@@ -1,0 +1,134 @@
+#ifndef X3_BENCH_BENCH_COMMON_H_
+#define X3_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cube/algorithm.h"
+#include "gen/workload.h"
+#include "storage/temp_file.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace x3 {
+namespace bench {
+
+/// Tree count for a figure: the paper's count scaled down by default
+/// (our substrate is a simulator, shapes are the target), overridable
+/// with X3_BENCH_TREES=<n>.
+inline size_t TreesFor(size_t default_trees) {
+  const char* env = std::getenv("X3_BENCH_TREES");
+  if (env != nullptr) {
+    long v = std::atol(env);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return default_trees;
+}
+
+/// Workloads are expensive to build; cache them per setting across
+/// benchmark registrations (benchmarks must not time generation).
+inline const Workload& CachedTreebankWorkload(
+    const ExperimentSetting& setting) {
+  static std::map<std::string, std::unique_ptr<Workload>>* cache =
+      new std::map<std::string, std::unique_ptr<Workload>>();
+  std::string key = StringPrintf(
+      "c%d-d%d-dense%d-a%zu-n%zu-s%llu", setting.coverage_holds ? 1 : 0,
+      setting.disjointness_holds ? 1 : 0, setting.dense ? 1 : 0,
+      setting.num_axes, setting.num_trees,
+      static_cast<unsigned long long>(setting.seed));
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    auto workload = BuildTreebankWorkload(setting);
+    X3_CHECK(workload.ok()) << workload.status();
+    it = cache->emplace(key, std::make_unique<Workload>(std::move(*workload)))
+             .first;
+  }
+  return *it->second;
+}
+
+inline const Workload& CachedDblpWorkload(size_t articles) {
+  static std::map<size_t, std::unique_ptr<Workload>>* cache =
+      new std::map<size_t, std::unique_ptr<Workload>>();
+  auto it = cache->find(articles);
+  if (it == cache->end()) {
+    auto workload = BuildDblpWorkload(articles);
+    X3_CHECK(workload.ok()) << workload.status();
+    it = cache->emplace(articles,
+                        std::make_unique<Workload>(std::move(*workload)))
+             .first;
+  }
+  return *it->second;
+}
+
+/// Runs one (algorithm, workload) cube computation per iteration, with
+/// a working-memory budget proportional to the fact table (the paper's
+/// crossovers are functions of the data:memory ratio). Reports the
+/// paper-relevant counters.
+inline void RunCubeBenchmark(benchmark::State& state, CubeAlgorithm algo,
+                             const Workload& workload) {
+  // The paper's machine fit roughly twice the base data in memory
+  // (1 GB RAM, 576 MB loaded Treebank). Scale the budget with the fact
+  // table the same way so crossovers land where theirs did: COUNTER is
+  // fine until its counters outgrow this, TD spills when a sort does.
+  size_t budget_bytes =
+      std::max<size_t>(workload.facts.ApproxBytes() * 2, 256 * 1024);
+  CubeComputeStats stats;
+  uint64_t cells = 0;
+  for (auto _ : state) {
+    TempFileManager temp;
+    MemoryBudget budget(budget_bytes);
+    CubeComputeOptions options;
+    options.aggregate = AggregateFunction::kCount;
+    options.budget = &budget;
+    options.temp_files = &temp;
+    options.properties = &workload.properties;
+    auto cube =
+        ComputeCube(algo, workload.facts, workload.lattice, options, &stats);
+    X3_CHECK(cube.ok()) << cube.status();
+    cells = cube->TotalCells();
+    benchmark::DoNotOptimize(cells);
+  }
+  state.counters["cells"] = static_cast<double>(cells);
+  state.counters["facts"] = static_cast<double>(workload.facts.size());
+  state.counters["cuboids"] =
+      static_cast<double>(workload.lattice.num_cuboids());
+  state.counters["passes"] = static_cast<double>(stats.passes);
+  state.counters["sorts"] = static_cast<double>(stats.sorts);
+  state.counters["spillMB"] =
+      static_cast<double>(stats.spill_bytes) / (1024.0 * 1024.0);
+  state.counters["rollups"] = static_cast<double>(stats.rollups);
+}
+
+/// Registers the per-axis sweep of one figure: for each axis count in
+/// [2, max_axes] and each algorithm, one benchmark named
+/// "<figure>/<ALGO>/axes:<k>" — the series the paper plots.
+inline void RegisterFigure(const std::string& figure,
+                           const ExperimentSetting& base,
+                           std::initializer_list<CubeAlgorithm> algorithms,
+                           size_t max_axes = 7) {
+  for (size_t axes = 2; axes <= max_axes; ++axes) {
+    ExperimentSetting setting = base;
+    setting.num_axes = axes;
+    for (CubeAlgorithm algo : algorithms) {
+      std::string name = StringPrintf("%s/%s/axes:%zu", figure.c_str(),
+                                      CubeAlgorithmToString(algo), axes);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [algo, setting](benchmark::State& state) {
+            const Workload& workload = CachedTreebankWorkload(setting);
+            RunCubeBenchmark(state, algo, workload);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace bench
+}  // namespace x3
+
+#endif  // X3_BENCH_BENCH_COMMON_H_

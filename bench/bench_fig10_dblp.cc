@@ -1,0 +1,34 @@
+// Figure 10: the DBLP experiment (§4.5) — cube article by /author,
+// /month, /year, /journal over 220k input trees (scaled down by
+// default; X3_BENCH_TREES=220000 for paper scale). One bar per
+// algorithm, including the schema-customized BUCCUST and TDCUST that
+// exploit summarizability locally while staying correct.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  size_t articles = x3::bench::TreesFor(20000);
+
+  for (x3::CubeAlgorithm algo :
+       {x3::CubeAlgorithm::kCounter, x3::CubeAlgorithm::kBUC,
+        x3::CubeAlgorithm::kBUCOpt, x3::CubeAlgorithm::kBUCCust,
+        x3::CubeAlgorithm::kTD, x3::CubeAlgorithm::kTDOpt,
+        x3::CubeAlgorithm::kTDOptAll, x3::CubeAlgorithm::kTDCust}) {
+    std::string name = x3::StringPrintf("fig10_dblp/%s",
+                                        x3::CubeAlgorithmToString(algo));
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [algo, articles](benchmark::State& state) {
+          const x3::Workload& workload =
+              x3::bench::CachedDblpWorkload(articles);
+          x3::bench::RunCubeBenchmark(state, algo, workload);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

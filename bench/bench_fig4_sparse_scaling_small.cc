@@ -1,0 +1,28 @@
+// Figure 4: sparse cubes from 10^4 Treebank input trees, total coverage
+// does NOT hold, disjointness holds. Series: running time vs number of
+// axes (2-7) for COUNTER, BUC, BUCOPT, TD, TDOPT.
+//
+// Default tree count is scaled down for CI; set X3_BENCH_TREES=10000
+// for the paper's scale.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  x3::ExperimentSetting base;
+  base.coverage_holds = false;
+  base.disjointness_holds = true;
+  base.dense = false;
+  base.num_trees = x3::bench::TreesFor(1000);
+  base.seed = 4;
+
+  x3::bench::RegisterFigure(
+      "fig4_sparse_small", base,
+      {x3::CubeAlgorithm::kCounter, x3::CubeAlgorithm::kBUC,
+       x3::CubeAlgorithm::kBUCOpt, x3::CubeAlgorithm::kTD,
+       x3::CubeAlgorithm::kTDOpt});
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

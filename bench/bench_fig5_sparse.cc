@@ -1,0 +1,28 @@
+// Figure 5: sparse cubes from 10^5 Treebank input trees, total coverage
+// does NOT hold, disjointness holds. Series: running time vs number of
+// axes (2-7) for COUNTER, BUC, BUCOPT, TD, TDOPT.
+//
+// Together with Figure 4 (10^4 trees) this is the §4.4 scaling pair.
+// Default scaled down for CI; X3_BENCH_TREES=100000 for paper scale.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  x3::ExperimentSetting base;
+  base.coverage_holds = false;
+  base.disjointness_holds = true;
+  base.dense = false;
+  base.num_trees = x3::bench::TreesFor(10000);
+  base.seed = 5;
+
+  x3::bench::RegisterFigure(
+      "fig5_sparse", base,
+      {x3::CubeAlgorithm::kCounter, x3::CubeAlgorithm::kBUC,
+       x3::CubeAlgorithm::kBUCOpt, x3::CubeAlgorithm::kTD,
+       x3::CubeAlgorithm::kTDOpt});
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Figure 7: sparse cubes from 10^5 Treebank input trees, total coverage
+// AND disjointness hold — the relational-like case, so TDOPTALL runs
+// instead of TDOPT. Series: COUNTER, BUC, BUCOPT, TD, TDOPTALL.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  x3::ExperimentSetting base;
+  base.coverage_holds = true;
+  base.disjointness_holds = true;
+  base.dense = false;
+  base.num_trees = x3::bench::TreesFor(10000);
+  base.seed = 7;
+
+  x3::bench::RegisterFigure(
+      "fig7_sparse_summarizable", base,
+      {x3::CubeAlgorithm::kCounter, x3::CubeAlgorithm::kBUC,
+       x3::CubeAlgorithm::kBUCOpt, x3::CubeAlgorithm::kTD,
+       x3::CubeAlgorithm::kTDOptAll});
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

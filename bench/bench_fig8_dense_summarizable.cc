@@ -1,0 +1,26 @@
+// Figure 8: dense cubes from 10^5 Treebank input trees, total coverage
+// AND disjointness hold. The top-down family shines here: TDOPTALL
+// computes coarser cuboids from finer aggregates without touching base
+// data. Series: COUNTER, BUC, BUCOPT, TD, TDOPTALL.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  x3::ExperimentSetting base;
+  base.coverage_holds = true;
+  base.disjointness_holds = true;
+  base.dense = true;
+  base.num_trees = x3::bench::TreesFor(10000);
+  base.seed = 8;
+
+  x3::bench::RegisterFigure(
+      "fig8_dense_summarizable", base,
+      {x3::CubeAlgorithm::kCounter, x3::CubeAlgorithm::kBUC,
+       x3::CubeAlgorithm::kBUCOpt, x3::CubeAlgorithm::kTD,
+       x3::CubeAlgorithm::kTDOptAll});
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

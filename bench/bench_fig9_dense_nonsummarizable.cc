@@ -1,0 +1,27 @@
+// Figure 9: dense cubes from 10^5 Treebank input trees with NEITHER
+// summarizability property holding. BUC and TD are the only correct
+// choices; the paper nevertheless timed the OPT variants "just to see
+// what the running time would be" (their results are wrong) — so do
+// we. Series: COUNTER, BUC, BUCOPT, TD, TDOPT, TDOPTALL.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  x3::ExperimentSetting base;
+  base.coverage_holds = false;
+  base.disjointness_holds = false;
+  base.dense = true;
+  base.num_trees = x3::bench::TreesFor(10000);
+  base.seed = 9;
+
+  x3::bench::RegisterFigure(
+      "fig9_dense_nonsummarizable", base,
+      {x3::CubeAlgorithm::kCounter, x3::CubeAlgorithm::kBUC,
+       x3::CubeAlgorithm::kBUCOpt, x3::CubeAlgorithm::kTD,
+       x3::CubeAlgorithm::kTDOpt, x3::CubeAlgorithm::kTDOptAll});
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

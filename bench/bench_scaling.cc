@@ -1,0 +1,43 @@
+// §4.4 scaling experiment: the Fig. 4 vs Fig. 5 pair generalized —
+// sparse cube, coverage fails / disjointness holds, 4 axes, input tree
+// count swept over a decade. The paper's observations: time grows
+// proportionally, and the optimized variants' advantage grows with
+// scale while COUNTER starts multi-passing earlier.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  size_t base_trees = x3::bench::TreesFor(1000);
+
+  for (size_t scale : {1, 2, 5, 10}) {
+    x3::ExperimentSetting setting;
+    setting.coverage_holds = false;
+    setting.disjointness_holds = true;
+    setting.dense = false;
+    setting.num_axes = 4;
+    setting.num_trees = base_trees * scale;
+    setting.seed = 44;
+    for (x3::CubeAlgorithm algo :
+         {x3::CubeAlgorithm::kCounter, x3::CubeAlgorithm::kBUC,
+          x3::CubeAlgorithm::kBUCOpt, x3::CubeAlgorithm::kTD,
+          x3::CubeAlgorithm::kTDOpt}) {
+      std::string name = x3::StringPrintf(
+          "scaling/%s/trees:%zu", x3::CubeAlgorithmToString(algo),
+          setting.num_trees);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [algo, setting](benchmark::State& state) {
+            const x3::Workload& workload =
+                x3::bench::CachedTreebankWorkload(setting);
+            x3::bench::RunCubeBenchmark(state, algo, workload);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// DBLP experiment (§4.5 of the paper) at example scale: generate
+// DBLP-like articles, infer summarizability from the real DTD fragment,
+// and run every cube algorithm, printing a mini version of Fig. 10.
+//
+//   ./build/examples/dblp_cube [num_articles]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "cube/algorithm.h"
+#include "gen/dblp_gen.h"
+#include "gen/workload.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  size_t articles = argc > 1 ? static_cast<size_t>(std::atol(argv[1])) : 5000;
+
+  std::printf("Generating %zu DBLP-like articles...\n", articles);
+  auto workload = x3::BuildDblpWorkload(articles);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nDBLP DTD fragment:\n%s\n", x3::DblpDtd().c_str());
+  std::printf("Inferred summarizability (rigid states):\n");
+  const char* axes[] = {"author", "month", "year", "journal"};
+  for (size_t a = 0; a < 4; ++a) {
+    const x3::SummarizabilityFlags& f = workload->properties.At(a, 0);
+    std::printf("  %-8s disjoint=%s covered=%s\n", axes[a],
+                f.disjoint ? "yes" : "NO", f.covered ? "yes" : "NO");
+  }
+
+  x3::CubeComputeOptions options;
+  options.properties = &workload->properties;
+
+  // Correctness oracle for the "correct?" column.
+  auto reference = x3::ComputeCube(x3::CubeAlgorithm::kReference,
+                                   workload->facts, workload->lattice,
+                                   options);
+  if (!reference.ok()) {
+    std::fprintf(stderr, "reference: %s\n",
+                 reference.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\n%-10s %10s %8s %8s %8s  %s\n", "algorithm", "ms", "sorts",
+              "rollups", "cells", "correct?");
+  for (x3::CubeAlgorithm algo :
+       {x3::CubeAlgorithm::kCounter, x3::CubeAlgorithm::kBUC,
+        x3::CubeAlgorithm::kBUCOpt, x3::CubeAlgorithm::kBUCCust,
+        x3::CubeAlgorithm::kTD, x3::CubeAlgorithm::kTDOpt,
+        x3::CubeAlgorithm::kTDOptAll, x3::CubeAlgorithm::kTDCust}) {
+    x3::CubeComputeStats stats;
+    x3::Timer timer;
+    auto cube = x3::ComputeCube(algo, workload->facts, workload->lattice,
+                                options, &stats);
+    double ms = timer.ElapsedSeconds() * 1e3;
+    if (!cube.ok()) {
+      std::fprintf(stderr, "%s: %s\n", x3::CubeAlgorithmToString(algo),
+                   cube.status().ToString().c_str());
+      return 1;
+    }
+    bool correct = reference->Equals(*cube);
+    std::printf("%-10s %10.2f %8llu %8llu %8llu  %s\n",
+                x3::CubeAlgorithmToString(algo), ms,
+                static_cast<unsigned long long>(stats.sorts),
+                static_cast<unsigned long long>(stats.rollups),
+                static_cast<unsigned long long>(cube->TotalCells()),
+                correct ? "yes" : "NO (assumptions violated)");
+  }
+  std::printf(
+      "\nAs in the paper: BUCCUST/TDCUST stay correct by exploiting the\n"
+      "schema only where it proves a property; BUCOPT/TDOPT/TDOPTALL are\n"
+      "faster but wrong because DBLP authors repeat and months go missing.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Tree-pattern relaxation walkthrough (§2.2 / Fig. 3 of the paper):
+// builds the Query 1 axis lattices, prints every relaxation state and
+// the lattice edges, and shows how each relaxed form changes the set of
+// matched publications on the Figure 1 data.
+//
+//   ./build/examples/pattern_relaxation
+
+#include <cstdio>
+
+#include "pattern/pattern_parser.h"
+#include "pattern/twig_matcher.h"
+#include "relax/axis_lattice.h"
+#include "xdb/database.h"
+
+namespace {
+
+constexpr const char* kWarehouse = R"(
+  <database>
+    <publication id="1">
+      <author id="a1"><name>John</name></author>
+      <author id="a2"><name>Jane</name></author>
+      <publisher id="p1"/>
+      <year>2003</year>
+    </publication>
+    <publication id="2">
+      <author id="a1"><name>John</name></author>
+      <publisher id="p2"/>
+      <year>2004</year>
+      <year>2005</year>
+    </publication>
+    <publication id="3">
+      <authors><author id="a3"><name>Smith</name></author></authors>
+      <year>2003</year>
+    </publication>
+    <publication id="4">
+      <author id="a2"><name>Jane</name></author>
+      <pubData><publisher id="p1"/><year>2004</year></pubData>
+    </publication>
+  </database>)";
+
+}  // namespace
+
+int main() {
+  auto db = x3::Database::Open({});
+  if (!db.ok() || !(*db)->LoadXmlString(kWarehouse).ok()) {
+    std::fprintf(stderr, "failed to load warehouse\n");
+    return 1;
+  }
+
+  // Build the $n axis: $b/author/name with (LND, SP, PC-AD).
+  x3::TreePattern base;
+  x3::PatternNodeId root = base.SetRoot("publication");
+  auto spine = x3::ParseRelativePath("/author/name", &base, root);
+  if (!spine.ok()) return 1;
+
+  auto lattice = x3::AxisLattice::Build(base, spine->back(),
+                                        x3::RelaxationSet::All(), "n");
+  if (!lattice.ok()) {
+    std::fprintf(stderr, "%s\n", lattice.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Axis $n = $b/author/name with (LND, SP, PC-AD)\n");
+  std::printf("Relaxation states (%zu):\n", lattice->num_states());
+
+  x3::TwigMatcher matcher(db->get());
+  for (x3::AxisStateId s : lattice->topo_order()) {
+    const x3::AxisState& state = lattice->state(s);
+    std::printf("\n  state %u (%d steps from rigid): %s\n", s,
+                state.min_steps,
+                state.grouping_present() ? state.pattern.ToString().c_str()
+                                         : "ABSENT (dimension removed)");
+    if (!state.grouping_present()) continue;
+    // Which (publication, name) pairs does this form match?
+    auto matches = matcher.FindMatches(state.pattern);
+    if (!matches.ok()) return 1;
+    std::printf("    matches:");
+    for (const x3::WitnessTree& w : *matches) {
+      x3::NodeId pub =
+          w.bindings[static_cast<size_t>(state.pattern.root())];
+      x3::NodeId name =
+          w.bindings[static_cast<size_t>(state.grouping_node)];
+      x3::NodeRecord rec;
+      if (!(*db)->GetNode(pub, &rec).ok()) return 1;
+      auto pub_id = (*db)->ChildrenWithTag(pub, (*db)->tags().Lookup("@id"));
+      std::string id = pub_id.ok() && !pub_id->empty()
+                           ? *(*db)->NodeValue((*pub_id)[0])
+                           : "?";
+      std::printf(" (pub %s, %s)", id.c_str(),
+                  (*db)->NodeValue(name)->c_str());
+    }
+    std::printf("\n    one-step relaxations:");
+    for (x3::AxisStateId t : lattice->successors(s)) {
+      const x3::AxisState& next = lattice->state(t);
+      std::printf(" -> %s", next.grouping_present()
+                                ? next.pattern.ToString().c_str()
+                                : "ABSENT");
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nNote how publication 3's nested author (under <authors>) only\n"
+      "appears once PC-AD relaxes the author edge — exactly the paper's\n"
+      "semantic-challenge example.\n");
+  return 0;
+}

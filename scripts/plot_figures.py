@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Render the benchmark output as per-figure ASCII charts / CSV.
+
+Parses the google-benchmark console output captured in bench_output.txt
+and prints, for each figure, the running-time-vs-axes series per
+algorithm (the series the paper plots), plus a quick ASCII chart so the
+shape is visible without leaving the terminal.
+
+Usage:
+    python3 scripts/plot_figures.py [bench_output.txt] [--csv]
+"""
+
+import re
+import sys
+from collections import defaultdict
+
+ROW = re.compile(
+    r"^(?P<name>\S+)\s+(?P<time>[0-9.]+)\s+ms\s+[0-9.]+\s+ms\s+\d+"
+)
+
+
+def parse(path):
+    # figures[figure][algo] -> list of (x_label, ms)
+    figures = defaultdict(lambda: defaultdict(list))
+    with open(path) as f:
+        for line in f:
+            m = ROW.match(line.strip())
+            if not m:
+                continue
+            name = m.group("name")
+            ms = float(m.group("time"))
+            parts = name.split("/")
+            figure = parts[0]
+            algo = parts[1] if len(parts) > 1 else ""
+            x = ""
+            for part in parts[2:]:
+                if part.startswith(("axes:", "trees:")):
+                    x = part.split(":", 1)[1]
+            figures[figure][algo].append((x, ms))
+    return figures
+
+
+def ascii_chart(series, width=50):
+    """One bar row per (algo, x) pair, log-free linear scaling."""
+    peak = max(ms for points in series.values() for _, ms in points)
+    lines = []
+    for algo in sorted(series):
+        for x, ms in series[algo]:
+            bar = "#" * max(1, int(ms / peak * width))
+            label = f"{algo}{'/' + x if x else ''}"
+            lines.append(f"  {label:<22} {ms:>10.2f} ms  {bar}")
+    return "\n".join(lines)
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    csv = "--csv" in sys.argv
+    path = args[0] if args else "bench_output.txt"
+    figures = parse(path)
+    if not figures:
+        print(f"no benchmark rows found in {path}", file=sys.stderr)
+        return 1
+    for figure in sorted(figures):
+        series = figures[figure]
+        print(f"\n=== {figure} ===")
+        if csv:
+            xs = sorted({x for pts in series.values() for x, _ in pts},
+                        key=lambda v: (len(v), v))
+            print("algorithm," + ",".join(xs))
+            for algo in sorted(series):
+                by_x = dict(series[algo])
+                print(algo + "," +
+                      ",".join(str(by_x.get(x, "")) for x in xs))
+        else:
+            print(ascii_chart(series))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

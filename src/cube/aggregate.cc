@@ -1,0 +1,56 @@
+#include "cube/aggregate.h"
+
+#include "util/string_util.h"
+
+namespace x3 {
+
+const char* AggregateFunctionToString(AggregateFunction fn) {
+  switch (fn) {
+    case AggregateFunction::kCount:
+      return "COUNT";
+    case AggregateFunction::kSum:
+      return "SUM";
+    case AggregateFunction::kMin:
+      return "MIN";
+    case AggregateFunction::kMax:
+      return "MAX";
+    case AggregateFunction::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+Result<AggregateFunction> ParseAggregateFunction(std::string_view name) {
+  std::string upper;
+  upper.reserve(name.size());
+  for (char c : name) {
+    upper += (c >= 'a' && c <= 'z') ? static_cast<char>(c - 'a' + 'A') : c;
+  }
+  if (upper == "COUNT") return AggregateFunction::kCount;
+  if (upper == "SUM") return AggregateFunction::kSum;
+  if (upper == "MIN") return AggregateFunction::kMin;
+  if (upper == "MAX") return AggregateFunction::kMax;
+  if (upper == "AVG") return AggregateFunction::kAvg;
+  return Status::InvalidArgument("unknown aggregate function: " +
+                                 std::string(name));
+}
+
+double AggregateState::Value(AggregateFunction fn) const {
+  switch (fn) {
+    case AggregateFunction::kCount:
+      return static_cast<double>(count);
+    case AggregateFunction::kSum:
+      return static_cast<double>(sum);
+    case AggregateFunction::kMin:
+      return count == 0 ? 0.0 : static_cast<double>(min);
+    case AggregateFunction::kMax:
+      return count == 0 ? 0.0 : static_cast<double>(max);
+    case AggregateFunction::kAvg:
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) /
+                              static_cast<double>(count);
+  }
+  return 0.0;
+}
+
+}  // namespace x3

@@ -1,0 +1,64 @@
+#ifndef X3_CUBE_AGGREGATE_H_
+#define X3_CUBE_AGGREGATE_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "util/result.h"
+
+namespace x3 {
+
+/// Aggregate functions the cube operator supports. COUNT counts
+/// *distinct facts* per group (the paper's publication count); the
+/// others aggregate each fact's measure once per group it belongs to.
+/// COUNT/SUM/MIN/MAX are distributive, AVG is algebraic — all roll up
+/// via AggregateState::Merge when summarizability permits.
+enum class AggregateFunction : uint8_t {
+  kCount,
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+};
+
+const char* AggregateFunctionToString(AggregateFunction fn);
+Result<AggregateFunction> ParseAggregateFunction(std::string_view name);
+
+/// Running state of one cube cell. Holds all components so any of the
+/// supported functions can be finalized from it, and so roll-up merges
+/// stay exact (AVG merges as (sum, count)).
+struct AggregateState {
+  int64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = std::numeric_limits<int64_t>::max();
+  int64_t max = std::numeric_limits<int64_t>::min();
+
+  /// Accumulates one fact's measure.
+  void Update(int64_t measure) {
+    ++count;
+    sum += measure;
+    if (measure < min) min = measure;
+    if (measure > max) max = measure;
+  }
+
+  /// Combines two partial states (coarser-from-finer roll-up).
+  void Merge(const AggregateState& other) {
+    count += other.count;
+    sum += other.sum;
+    if (other.min < min) min = other.min;
+    if (other.max > max) max = other.max;
+  }
+
+  /// Finalized value under `fn`. AVG of an empty state is 0.
+  double Value(AggregateFunction fn) const;
+
+  bool operator==(const AggregateState& other) const {
+    return count == other.count && sum == other.sum && min == other.min &&
+           max == other.max;
+  }
+};
+
+}  // namespace x3
+
+#endif  // X3_CUBE_AGGREGATE_H_

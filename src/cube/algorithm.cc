@@ -1,0 +1,132 @@
+#include "cube/algorithm.h"
+
+#include "util/string_util.h"
+
+namespace x3 {
+
+const char* CubeAlgorithmToString(CubeAlgorithm algo) {
+  switch (algo) {
+    case CubeAlgorithm::kReference:
+      return "REFERENCE";
+    case CubeAlgorithm::kCounter:
+      return "COUNTER";
+    case CubeAlgorithm::kBUC:
+      return "BUC";
+    case CubeAlgorithm::kBUCOpt:
+      return "BUCOPT";
+    case CubeAlgorithm::kBUCCust:
+      return "BUCCUST";
+    case CubeAlgorithm::kTD:
+      return "TD";
+    case CubeAlgorithm::kTDOpt:
+      return "TDOPT";
+    case CubeAlgorithm::kTDOptAll:
+      return "TDOPTALL";
+    case CubeAlgorithm::kTDCust:
+      return "TDCUST";
+  }
+  return "?";
+}
+
+Result<CubeAlgorithm> ParseCubeAlgorithm(std::string_view name) {
+  std::string upper;
+  for (char c : name) {
+    upper += (c >= 'a' && c <= 'z') ? static_cast<char>(c - 'a' + 'A') : c;
+  }
+  if (upper == "REFERENCE") return CubeAlgorithm::kReference;
+  if (upper == "COUNTER") return CubeAlgorithm::kCounter;
+  if (upper == "BUC") return CubeAlgorithm::kBUC;
+  if (upper == "BUCOPT") return CubeAlgorithm::kBUCOpt;
+  if (upper == "BUCCUST") return CubeAlgorithm::kBUCCust;
+  if (upper == "TD") return CubeAlgorithm::kTD;
+  if (upper == "TDOPT") return CubeAlgorithm::kTDOpt;
+  if (upper == "TDOPTALL") return CubeAlgorithm::kTDOptAll;
+  if (upper == "TDCUST") return CubeAlgorithm::kTDCust;
+  return Status::InvalidArgument("unknown cube algorithm: " +
+                                 std::string(name));
+}
+
+Result<CubeResult> ComputeCube(CubeAlgorithm algo, const FactTable& facts,
+                               const CubeLattice& lattice,
+                               const CubeComputeOptions& options,
+                               CubeComputeStats* stats) {
+  if (!facts.finished()) {
+    return Status::InvalidArgument("fact table not finished");
+  }
+  if (facts.num_axes() != lattice.num_axes()) {
+    return Status::InvalidArgument(StringPrintf(
+        "fact table has %zu axes but lattice has %zu", facts.num_axes(),
+        lattice.num_axes()));
+  }
+  CubeComputeStats local;
+  CubeComputeStats* st = stats != nullptr ? stats : &local;
+  *st = CubeComputeStats{};
+  Result<CubeResult> result = Status::Internal("unhandled cube algorithm");
+  switch (algo) {
+    case CubeAlgorithm::kReference:
+      result = internal::ComputeReference(facts, lattice, options, st);
+      break;
+    case CubeAlgorithm::kCounter:
+      result = internal::ComputeCounter(facts, lattice, options, st);
+      break;
+    case CubeAlgorithm::kBUC:
+    case CubeAlgorithm::kBUCOpt:
+    case CubeAlgorithm::kBUCCust:
+      result = internal::ComputeBottomUp(algo, facts, lattice, options, st);
+      break;
+    case CubeAlgorithm::kTD:
+    case CubeAlgorithm::kTDOpt:
+    case CubeAlgorithm::kTDOptAll:
+    case CubeAlgorithm::kTDCust:
+      result = internal::ComputeTopDown(algo, facts, lattice, options, st);
+      break;
+  }
+  if (result.ok() && options.min_count > 1) {
+    // The bottom-up family prunes natively; this central filter makes
+    // the iceberg semantics uniform (and is idempotent for BUC).
+    result->ApplyIcebergFilter(options.min_count);
+  }
+  return result;
+}
+
+namespace internal {
+
+bool ForEachGroupOfFact(
+    const FactTable& facts, const CubeLattice& lattice, CuboidId cuboid,
+    size_t fact, std::vector<std::vector<ValueId>>* scratch,
+    const std::function<void(const GroupKey&)>& fn) {
+  // Collect the distinct admitted value set per present axis.
+  size_t num_present = 0;
+  static thread_local std::vector<size_t> present_axes;
+  present_axes.clear();
+  for (size_t a = 0; a < lattice.num_axes(); ++a) {
+    AxisStateId s = lattice.StateOf(cuboid, a);
+    if (!lattice.axis(a).state(s).grouping_present()) continue;
+    facts.AdmittedValues(a, fact, s, &(*scratch)[num_present]);
+    if ((*scratch)[num_present].empty()) return false;  // coverage drop-out
+    present_axes.push_back(a);
+    ++num_present;
+  }
+  // Odometer over the cross product.
+  static thread_local std::vector<size_t> idx;
+  static thread_local std::vector<ValueId> tuple;
+  idx.assign(num_present, 0);
+  tuple.resize(num_present);
+  for (;;) {
+    for (size_t i = 0; i < num_present; ++i) {
+      tuple[i] = (*scratch)[i][idx[i]];
+    }
+    fn(PackGroupKey(tuple));
+    // Advance the odometer.
+    size_t i = 0;
+    for (; i < num_present; ++i) {
+      if (++idx[i] < (*scratch)[i].size()) break;
+      idx[i] = 0;
+    }
+    if (i == num_present) break;
+  }
+  return true;
+}
+
+}  // namespace internal
+}  // namespace x3

@@ -1,0 +1,166 @@
+#ifndef X3_CUBE_ALGORITHM_H_
+#define X3_CUBE_ALGORITHM_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "cube/cube_result.h"
+#include "cube/fact_table.h"
+#include "relax/cube_lattice.h"
+#include "schema/summarizability.h"
+#include "storage/temp_file.h"
+#include "util/memory_budget.h"
+#include "util/result.h"
+
+namespace x3 {
+
+/// The cube-computation algorithms evaluated in the paper (§4).
+enum class CubeAlgorithm : uint8_t {
+  /// Trusted per-cuboid evaluator used as the correctness oracle (not
+  /// in the paper; unbounded memory).
+  kReference,
+  /// Counter-based single/multi-pass algorithm (§3.3).
+  kCounter,
+  /// XML-aware bottom-up with overlap handling (§3.4, BUC).
+  kBUC,
+  /// Bottom-up assuming disjointness globally (BUCOPT). Produces wrong
+  /// results when the assumption fails — as in the paper's Fig. 9 runs.
+  kBUCOpt,
+  /// Bottom-up exploiting disjointness only where the property map
+  /// proves it (BUCCUST, §4.5) — always correct.
+  kBUCCust,
+  /// Top-down, every cuboid recomputed from base with fact ids (§3.5).
+  kTD,
+  /// Top-down assuming disjointness globally (TDOPT): shared sort
+  /// pipes, no fact-id tracking. Wrong under overlap.
+  kTDOpt,
+  /// Top-down assuming disjointness AND total coverage (TDOPTALL):
+  /// true roll-up from finer cuboids. Wrong when either fails.
+  kTDOptAll,
+  /// Top-down using roll-up / no-dedup paths only where the property
+  /// map proves them safe (TDCUST, §4.5) — always correct.
+  kTDCust,
+};
+
+const char* CubeAlgorithmToString(CubeAlgorithm algo);
+Result<CubeAlgorithm> ParseCubeAlgorithm(std::string_view name);
+
+/// Execution environment for a cube computation.
+struct CubeComputeOptions {
+  AggregateFunction aggregate = AggregateFunction::kCount;
+  /// Bounds working memory (counter tables, sort buffers, partition
+  /// copies). nullptr = unlimited.
+  MemoryBudget* budget = nullptr;
+  /// Required whenever sorts may spill (TD family under a budget).
+  TempFileManager* temp_files = nullptr;
+  /// Per-(axis,state) summarizability; used by the CUST variants and,
+  /// in tests, to predict which algorithms are safe. nullptr means
+  /// "assume nothing" for CUST variants.
+  const LatticeProperties* properties = nullptr;
+  /// Iceberg threshold: cells whose distinct-fact count is below this
+  /// are dropped from every cuboid (HAVING COUNT >= min_count). The
+  /// bottom-up family additionally prunes recursion below the threshold
+  /// (the iceberg-cube optimization BUC was designed for); the others
+  /// filter on output. 0 or 1 disables.
+  int64_t min_count = 0;
+};
+
+/// Cost counters exposed by every algorithm (machine-independent
+/// complements to wall-clock time).
+struct CubeComputeStats {
+  /// Scans over the fact table.
+  uint64_t base_scans = 0;
+  /// COUNTER: passes over the input (>1 means it did not fit).
+  uint64_t passes = 0;
+  /// Number of sorts started (TD family).
+  uint64_t sorts = 0;
+  /// Records fed into sorts.
+  uint64_t records_sorted = 0;
+  /// Spilled runs and bytes (external sorts).
+  uint64_t spilled_runs = 0;
+  uint64_t spill_bytes = 0;
+  /// BUC: partitions materialized.
+  uint64_t partitions = 0;
+  /// BUC: total rows placed into partitions (>= facts when overlapping).
+  uint64_t partition_rows = 0;
+  /// TDOPTALL/TDCUST: cuboids computed by roll-up or copy instead of
+  /// from base.
+  uint64_t rollups = 0;
+  /// Peak tracked memory (bytes) if a budget was supplied.
+  uint64_t peak_memory = 0;
+};
+
+/// Computes the full cube of `facts` over `lattice` with `algo`.
+///
+/// Correctness contract: kReference, kCounter, kBUC, kBUCCust, kTD and
+/// kTDCust always produce the exact cube. kBUCOpt/kTDOpt additionally
+/// require disjointness, kTDOptAll requires disjointness and total
+/// coverage; when their assumptions are violated by the data they run
+/// to completion but their output is wrong (the paper times them anyway
+/// in Fig. 9 — so do our benchmarks).
+Result<CubeResult> ComputeCube(CubeAlgorithm algo, const FactTable& facts,
+                               const CubeLattice& lattice,
+                               const CubeComputeOptions& options,
+                               CubeComputeStats* stats = nullptr);
+
+/// One step of a TDCUST execution plan.
+struct CuboidPlanStep {
+  enum class Kind : uint8_t {
+    kBaseWithIds,  // full TD sort carrying fact ids
+    kBaseNoIds,    // sort without ids (cuboid proven disjoint)
+    kRollup,       // aggregate an LND axis away from `source`
+    kCopy,         // structural edge: copy `source`'s cells
+  };
+  CuboidId cuboid = 0;
+  Kind kind = Kind::kBaseWithIds;
+  /// Source cuboid for kRollup/kCopy.
+  CuboidId source = 0;
+};
+
+/// Computes the strategy TDCUST would use per cuboid given the property
+/// map — the "choice of algorithm should be dictated by the semantics
+/// of the cube being computed" made inspectable.
+std::vector<CuboidPlanStep> PlanCustomTopDown(
+    const CubeLattice& lattice, const LatticeProperties& properties);
+
+/// Human-readable rendering of PlanCustomTopDown (one line per cuboid).
+std::string ExplainCustomTopDown(const CubeLattice& lattice,
+                                 const LatticeProperties& properties);
+
+namespace internal {
+
+/// Individual entry points (exposed for white-box tests).
+Result<CubeResult> ComputeReference(const FactTable& facts,
+                                    const CubeLattice& lattice,
+                                    const CubeComputeOptions& options,
+                                    CubeComputeStats* stats);
+Result<CubeResult> ComputeCounter(const FactTable& facts,
+                                  const CubeLattice& lattice,
+                                  const CubeComputeOptions& options,
+                                  CubeComputeStats* stats);
+Result<CubeResult> ComputeBottomUp(CubeAlgorithm variant,
+                                   const FactTable& facts,
+                                   const CubeLattice& lattice,
+                                   const CubeComputeOptions& options,
+                                   CubeComputeStats* stats);
+Result<CubeResult> ComputeTopDown(CubeAlgorithm variant,
+                                  const FactTable& facts,
+                                  const CubeLattice& lattice,
+                                  const CubeComputeOptions& options,
+                                  CubeComputeStats* stats);
+
+/// Enumerates, for one fact and one cuboid, every distinct group tuple
+/// the fact belongs to, invoking `fn(packed key)`. Returns false iff
+/// the fact belongs to no group of this cuboid (a coverage drop-out).
+/// `scratch` must have at least one vector per axis.
+bool ForEachGroupOfFact(
+    const FactTable& facts, const CubeLattice& lattice, CuboidId cuboid,
+    size_t fact, std::vector<std::vector<ValueId>>* scratch,
+    const std::function<void(const GroupKey&)>& fn);
+
+}  // namespace internal
+}  // namespace x3
+
+#endif  // X3_CUBE_ALGORITHM_H_

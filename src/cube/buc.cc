@@ -1,0 +1,169 @@
+#include "cube/algorithm.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace x3 {
+namespace internal {
+namespace {
+
+/// Bottom-up cube computation (§3.4), XMLized from Beyer-Ramakrishnan
+/// BUC: recursive refinement starting from the most relaxed grouping.
+/// The recursion walks the axes left to right; at axis `a` it branches
+/// over every relaxation state of that axis. The "absent" state leaves
+/// the current row set untouched; a present state partitions the rows
+/// by admitted grouping value — possibly into *overlapping* partitions
+/// when disjointness fails (a fact with several admitted values joins
+/// several partitions, §3.4's "consider all elements ... including
+/// those that have already satisfied the restrictions for some other
+/// children").
+///
+/// Reaching the end of the axis list emits one cube cell: the cuboid is
+/// the tuple of chosen states, the group the tuple of chosen values,
+/// and the rows are exactly the facts of that group (each exactly
+/// once, because partitioning deduplicates values per fact).
+class BucComputation {
+ public:
+  BucComputation(CubeAlgorithm variant, const FactTable& facts,
+                 const CubeLattice& lattice,
+                 const CubeComputeOptions& options, CubeComputeStats* stats)
+      : variant_(variant),
+        facts_(facts),
+        lattice_(lattice),
+        options_(options),
+        stats_(stats),
+        result_(lattice.num_cuboids(), options.aggregate),
+        states_(lattice.num_axes(), 0) {}
+
+  Result<CubeResult> Run() {
+    std::vector<uint32_t> rows(facts_.size());
+    for (size_t f = 0; f < facts_.size(); ++f) {
+      rows[f] = static_cast<uint32_t>(f);
+    }
+    ++stats_->base_scans;
+    X3_RETURN_IF_ERROR(Recurse(0, rows));
+    return std::move(result_);
+  }
+
+ private:
+  /// True when this variant may take the single-value fast path at
+  /// (axis, state).
+  bool AssumeDisjoint(size_t axis, AxisStateId state) const {
+    switch (variant_) {
+      case CubeAlgorithm::kBUC:
+        return false;
+      case CubeAlgorithm::kBUCOpt:
+        return true;
+      case CubeAlgorithm::kBUCCust:
+        return options_.properties != nullptr &&
+               options_.properties->At(axis, state).disjoint;
+      default:
+        return false;
+    }
+  }
+
+  Status Recurse(size_t axis, const std::vector<uint32_t>& rows) {
+    // Iceberg pruning: every deeper group is a subset of `rows`, so
+    // nothing below the threshold can qualify (Beyer-Ramakrishnan).
+    if (options_.min_count > 1 &&
+        rows.size() < static_cast<size_t>(options_.min_count)) {
+      return Status::OK();
+    }
+    if (axis == lattice_.num_axes()) {
+      Emit(rows);
+      return Status::OK();
+    }
+    const AxisLattice& axis_lattice = lattice_.axis(axis);
+    for (AxisStateId s = 0; s < axis_lattice.num_states(); ++s) {
+      states_[axis] = s;
+      if (!axis_lattice.state(s).grouping_present()) {
+        // Absent: the axis groups nothing; rows pass through unchanged.
+        X3_RETURN_IF_ERROR(Recurse(axis + 1, rows));
+        continue;
+      }
+      // Partition rows by admitted value at (axis, s): gather
+      // (value, row) pairs and sort by value — BUC's counting-sort
+      // style partitioning; runs of equal values are the partitions.
+      // Under overlap a fact contributes one pair per admitted value
+      // (§3.4's replicated membership); empty partitions never exist
+      // and recursion prunes automatically.
+      std::vector<std::pair<ValueId, uint32_t>> pairs;
+      pairs.reserve(rows.size());
+      bool fast = AssumeDisjoint(axis, s);
+      if (fast) {
+        for (uint32_t row : rows) {
+          ValueId v = facts_.FirstAdmittedValue(axis, row, s);
+          if (v != kInvalidValueId) pairs.emplace_back(v, row);
+        }
+      } else {
+        std::vector<ValueId> values;
+        for (uint32_t row : rows) {
+          facts_.AdmittedValues(axis, row, s, &values);
+          for (ValueId v : values) pairs.emplace_back(v, row);
+        }
+      }
+      std::sort(pairs.begin(), pairs.end());
+      size_t charged = pairs.size() * sizeof(pairs[0]);
+      stats_->partition_rows += pairs.size();
+      if (options_.budget != nullptr) {
+        options_.budget->ForceReserve(charged);
+        stats_->peak_memory =
+            std::max<uint64_t>(stats_->peak_memory, options_.budget->peak());
+      }
+      std::vector<uint32_t> partition;
+      for (size_t i = 0; i < pairs.size();) {
+        ValueId v = pairs[i].first;
+        partition.clear();
+        while (i < pairs.size() && pairs[i].first == v) {
+          partition.push_back(pairs[i].second);
+          ++i;
+        }
+        ++stats_->partitions;
+        values_.push_back(v);
+        Status status = Recurse(axis + 1, partition);
+        values_.pop_back();
+        X3_RETURN_IF_ERROR(status);
+      }
+      if (options_.budget != nullptr) options_.budget->Release(charged);
+    }
+    return Status::OK();
+  }
+
+  void Emit(const std::vector<uint32_t>& rows) {
+    if (rows.empty()) return;
+    CuboidId cuboid = lattice_.Encode(states_);
+    GroupKey key = PackGroupKey(values_);
+    AggregateState* cell = result_.MutableCell(cuboid, key);
+    for (uint32_t row : rows) {
+      cell->Update(facts_.measure(row));
+    }
+  }
+
+  CubeAlgorithm variant_;
+  const FactTable& facts_;
+  const CubeLattice& lattice_;
+  const CubeComputeOptions& options_;
+  CubeComputeStats* stats_;
+  CubeResult result_;
+  std::vector<AxisStateId> states_;
+  std::vector<ValueId> values_;
+};
+
+}  // namespace
+
+Result<CubeResult> ComputeBottomUp(CubeAlgorithm variant,
+                                   const FactTable& facts,
+                                   const CubeLattice& lattice,
+                                   const CubeComputeOptions& options,
+                                   CubeComputeStats* stats) {
+  if (variant == CubeAlgorithm::kBUCCust && options.properties == nullptr) {
+    X3_LOG(Info) << "BUCCUST without a property map runs as plain BUC";
+  }
+  BucComputation computation(variant, facts, lattice, options, stats);
+  return computation.Run();
+}
+
+}  // namespace internal
+}  // namespace x3

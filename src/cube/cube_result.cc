@@ -1,0 +1,189 @@
+#include "cube/cube_result.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace x3 {
+
+GroupKey PackGroupKey(std::span<const ValueId> values) {
+  GroupKey key;
+  key.resize(values.size() * 4);
+  for (size_t i = 0; i < values.size(); ++i) {
+    uint32_t v = values[i];
+    key[i * 4 + 0] = static_cast<char>((v >> 24) & 0xFF);
+    key[i * 4 + 1] = static_cast<char>((v >> 16) & 0xFF);
+    key[i * 4 + 2] = static_cast<char>((v >> 8) & 0xFF);
+    key[i * 4 + 3] = static_cast<char>(v & 0xFF);
+  }
+  return key;
+}
+
+std::vector<ValueId> UnpackGroupKey(const GroupKey& key) {
+  std::vector<ValueId> values(key.size() / 4);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = (static_cast<uint32_t>(static_cast<uint8_t>(key[i * 4])) << 24) |
+                (static_cast<uint32_t>(static_cast<uint8_t>(key[i * 4 + 1])) << 16) |
+                (static_cast<uint32_t>(static_cast<uint8_t>(key[i * 4 + 2])) << 8) |
+                static_cast<uint32_t>(static_cast<uint8_t>(key[i * 4 + 3]));
+  }
+  return values;
+}
+
+CubeResult::CubeResult(uint64_t num_cuboids, AggregateFunction fn)
+    : fn_(fn), cells_(num_cuboids) {}
+
+AggregateState* CubeResult::MutableCell(CuboidId cuboid, const GroupKey& key) {
+  return &cells_[cuboid][key];
+}
+
+const AggregateState* CubeResult::FindCell(CuboidId cuboid,
+                                           const GroupKey& key) const {
+  const auto& map = cells_[cuboid];
+  auto it = map.find(key);
+  return it == map.end() ? nullptr : &it->second;
+}
+
+uint64_t CubeResult::TotalCells() const {
+  uint64_t total = 0;
+  for (const auto& map : cells_) total += map.size();
+  return total;
+}
+
+bool CubeResult::Equals(const CubeResult& other, std::string* diff) const {
+  if (cells_.size() != other.cells_.size()) {
+    if (diff != nullptr) {
+      *diff = StringPrintf("cuboid count %zu vs %zu", cells_.size(),
+                           other.cells_.size());
+    }
+    return false;
+  }
+  for (size_t c = 0; c < cells_.size(); ++c) {
+    if (cells_[c].size() != other.cells_[c].size()) {
+      if (diff != nullptr) {
+        *diff = StringPrintf("cuboid %zu: %zu cells vs %zu", c,
+                             cells_[c].size(), other.cells_[c].size());
+      }
+      return false;
+    }
+    for (const auto& [key, state] : cells_[c]) {
+      auto it = other.cells_[c].find(key);
+      if (it == other.cells_[c].end()) {
+        if (diff != nullptr) {
+          *diff = StringPrintf("cuboid %zu: missing cell", c);
+        }
+        return false;
+      }
+      if (!(state == it->second)) {
+        if (diff != nullptr) {
+          *diff = StringPrintf(
+              "cuboid %zu: cell differs (count %lld vs %lld)", c,
+              static_cast<long long>(state.count),
+              static_cast<long long>(it->second.count));
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+XmlDocument CubeResult::ToXml(const CubeLattice& lattice,
+                              const FactTable& facts) const {
+  auto root = XmlNode::Element("cube");
+  root->SetAttribute("function", AggregateFunctionToString(fn_));
+  root->SetAttribute(
+      "cuboids", StringPrintf("%zu", cells_.size()));
+  for (CuboidId c = 0; c < cells_.size(); ++c) {
+    XmlNode* cuboid = root->AddElement("cuboid");
+    cuboid->SetAttribute("id",
+                         StringPrintf("%llu",
+                                      static_cast<unsigned long long>(c)));
+    cuboid->SetAttribute("spec", lattice.DescribeCuboid(c));
+    std::vector<size_t> present = lattice.PresentAxes(c);
+    std::vector<const GroupKey*> keys;
+    keys.reserve(cells_[c].size());
+    for (const auto& [key, state] : cells_[c]) keys.push_back(&key);
+    std::sort(keys.begin(), keys.end(),
+              [](const GroupKey* a, const GroupKey* b) { return *a < *b; });
+    for (const GroupKey* key : keys) {
+      XmlNode* cell = cuboid->AddElement("cell");
+      const AggregateState& state = cells_[c].at(*key);
+      cell->SetAttribute("value", StringPrintf("%.6g", state.Value(fn_)));
+      std::vector<ValueId> values = UnpackGroupKey(*key);
+      for (size_t i = 0; i < present.size() && i < values.size(); ++i) {
+        const std::string& axis_name =
+            lattice.axis(present[i]).name().empty()
+                ? StringPrintf("axis%zu", present[i])
+                : lattice.axis(present[i]).name();
+        cell->AddElementWithText(axis_name,
+                                 facts.AxisValueName(present[i], values[i]));
+      }
+    }
+  }
+  return XmlDocument(std::move(root));
+}
+
+void CubeResult::ApplyIcebergFilter(int64_t min_count) {
+  if (min_count <= 1) return;
+  for (auto& map : cells_) {
+    for (auto it = map.begin(); it != map.end();) {
+      if (it->second.count < min_count) {
+        it = map.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+Status CubeResult::WriteCsv(const std::string& path,
+                            const CubeLattice& lattice,
+                            const FactTable& facts) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot create " + path);
+  std::string line = "cuboid";
+  for (size_t a = 0; a < lattice.num_axes(); ++a) {
+    line += ",";
+    line += lattice.axis(a).name().empty()
+                ? StringPrintf("axis%zu", a)
+                : lattice.axis(a).name();
+  }
+  line += ",";
+  line += AggregateFunctionToString(fn_);
+  line += "\n";
+  std::fputs(line.c_str(), f);
+  for (CuboidId c = 0; c < cells_.size(); ++c) {
+    std::vector<size_t> present = lattice.PresentAxes(c);
+    // Deterministic output: sort keys.
+    std::vector<const GroupKey*> keys;
+    keys.reserve(cells_[c].size());
+    for (const auto& [key, state] : cells_[c]) keys.push_back(&key);
+    std::sort(keys.begin(), keys.end(),
+              [](const GroupKey* a, const GroupKey* b) { return *a < *b; });
+    for (const GroupKey* key : keys) {
+      std::vector<ValueId> values = UnpackGroupKey(*key);
+      line = StringPrintf("%llu", static_cast<unsigned long long>(c));
+      size_t vi = 0;
+      for (size_t a = 0; a < lattice.num_axes(); ++a) {
+        line += ",";
+        bool is_present =
+            std::find(present.begin(), present.end(), a) != present.end();
+        if (is_present && vi < values.size()) {
+          line += facts.AxisValueName(a, values[vi++]);
+        } else {
+          line += "-";
+        }
+      }
+      const AggregateState& state = cells_[c].at(*key);
+      line += StringPrintf(",%.6g", state.Value(fn_));
+      line += "\n";
+      std::fputs(line.c_str(), f);
+    }
+  }
+  if (std::fclose(f) != 0) return Status::IOError("close failed on " + path);
+  return Status::OK();
+}
+
+}  // namespace x3

@@ -1,0 +1,159 @@
+#include "cube/cube_spec.h"
+
+#include <algorithm>
+
+#include "pattern/pattern_parser.h"
+#include "pattern/twig_matcher.h"
+#include "util/string_util.h"
+
+namespace x3 {
+
+std::string ValueTransform::Apply(std::string_view value) const {
+  switch (kind) {
+    case Kind::kIdentity:
+      return std::string(value);
+    case Kind::kPrefix:
+      return std::string(value.substr(0, prefix_length));
+    case Kind::kLowercase:
+      return ToLowerAscii(value);
+  }
+  return std::string(value);
+}
+
+namespace {
+
+/// Parses the fact path and returns (pattern, output node).
+Result<ParsedPattern> ParseFactPath(const CubeQuery& query) {
+  if (query.fact_path.empty()) {
+    return Status::InvalidArgument("cube query has no fact path");
+  }
+  return ParsePattern(query.fact_path);
+}
+
+/// Builds the rigid pattern of one axis: fact tag as root plus the
+/// axis path, returning the grouping node.
+Result<std::pair<TreePattern, PatternNodeId>> BuildAxisPattern(
+    const std::string& fact_tag, const AxisSpec& axis) {
+  TreePattern pattern;
+  PatternNodeId root = pattern.SetRoot(fact_tag);
+  if (axis.path.empty() || axis.path[0] != '/') {
+    return Status::InvalidArgument(
+        "axis path must start with '/' or '//': " + axis.path);
+  }
+  X3_ASSIGN_OR_RETURN(std::vector<PatternNodeId> spine,
+                      ParseRelativePath(axis.path, &pattern, root));
+  return std::make_pair(std::move(pattern), spine.back());
+}
+
+}  // namespace
+
+Result<CubeLattice> BuildCubeLattice(const CubeQuery& query) {
+  if (query.axes.empty()) {
+    return Status::InvalidArgument("cube query has no axes");
+  }
+  X3_ASSIGN_OR_RETURN(ParsedPattern fact, ParseFactPath(query));
+  const std::string& fact_tag =
+      fact.pattern.node(fact.output_node()).tag;
+  std::vector<AxisLattice> axes;
+  axes.reserve(query.axes.size());
+  for (const AxisSpec& axis : query.axes) {
+    X3_ASSIGN_OR_RETURN(auto pattern_and_grouping,
+                        BuildAxisPattern(fact_tag, axis));
+    X3_ASSIGN_OR_RETURN(
+        AxisLattice lattice,
+        AxisLattice::Build(pattern_and_grouping.first,
+                           pattern_and_grouping.second, axis.relaxations,
+                           axis.name));
+    axes.push_back(std::move(lattice));
+  }
+  return CubeLattice::Build(std::move(axes));
+}
+
+Result<FactTable> BuildFactTable(const Database& db, const CubeQuery& query,
+                                 const CubeLattice& lattice) {
+  X3_ASSIGN_OR_RETURN(ParsedPattern fact, ParseFactPath(query));
+  TwigMatcher matcher(&db);
+
+  // Fact roots: distinct bindings of the fact path's output node.
+  X3_ASSIGN_OR_RETURN(std::vector<WitnessTree> fact_witnesses,
+                      matcher.FindMatches(fact.pattern));
+  std::vector<NodeId> fact_roots;
+  fact_roots.reserve(fact_witnesses.size());
+  for (const WitnessTree& w : fact_witnesses) {
+    NodeId id = w.bindings[static_cast<size_t>(fact.output_node())];
+    if (id != kInvalidNodeId) fact_roots.push_back(id);
+  }
+  std::sort(fact_roots.begin(), fact_roots.end());
+  fact_roots.erase(std::unique(fact_roots.begin(), fact_roots.end()),
+                   fact_roots.end());
+
+  // Optional measure path.
+  bool has_measure = !query.measure_path.empty();
+  TreePattern measure_pattern;
+  PatternNodeId measure_node = kNoPatternNode;
+  if (has_measure) {
+    const std::string& fact_tag = fact.pattern.node(fact.output_node()).tag;
+    PatternNodeId root = measure_pattern.SetRoot(fact_tag);
+    X3_ASSIGN_OR_RETURN(
+        std::vector<PatternNodeId> spine,
+        ParseRelativePath(query.measure_path, &measure_pattern, root));
+    measure_node = spine.back();
+  }
+
+  FactTable table(query.axes.size());
+
+  // Per axis: grouping tag id (for the candidate superset search).
+  std::vector<TagId> grouping_tags(query.axes.size(), kInvalidTagId);
+  for (size_t a = 0; a < query.axes.size(); ++a) {
+    const AxisState& rigid = lattice.axis(a).state(0);
+    const std::string& tag = rigid.pattern.node(rigid.grouping_node).tag;
+    grouping_tags[a] = db.tags().Lookup(tag);
+  }
+
+  for (NodeId fact_root : fact_roots) {
+    int64_t measure = 1;
+    if (has_measure) {
+      X3_ASSIGN_OR_RETURN(
+          std::vector<WitnessTree> mw,
+          matcher.FindMatchesUnder(measure_pattern, fact_root, /*limit=*/1));
+      if (!mw.empty()) {
+        NodeId m = mw[0].bindings[static_cast<size_t>(measure_node)];
+        if (m != kInvalidNodeId) {
+          X3_ASSIGN_OR_RETURN(std::string text, db.NodeValue(m));
+          Result<int64_t> parsed = ParseInt64(StripWhitespace(text));
+          measure = parsed.ok() ? *parsed : 0;
+        }
+      }
+    }
+    table.BeginFact(fact_root, measure);
+
+    for (size_t a = 0; a < query.axes.size(); ++a) {
+      if (grouping_tags[a] == kInvalidTagId) continue;  // tag never loaded
+      X3_ASSIGN_OR_RETURN(std::vector<NodeId> candidates,
+                          db.DescendantsWithTag(fact_root, grouping_tags[a]));
+      const AxisLattice& axis = lattice.axis(a);
+      for (NodeId candidate : candidates) {
+        AxisStateMask mask = 0;
+        for (AxisStateId s = 0; s < axis.num_states(); ++s) {
+          const AxisState& state = axis.state(s);
+          if (!state.grouping_present()) continue;
+          X3_ASSIGN_OR_RETURN(
+              bool embeds,
+              matcher.Embeds(state.pattern,
+                             {{state.pattern.root(), fact_root},
+                              {state.grouping_node, candidate}}));
+          if (embeds) mask |= AxisStateMask{1} << s;
+        }
+        if (mask == 0) continue;
+        X3_ASSIGN_OR_RETURN(std::string raw, db.NodeValue(candidate));
+        std::string value = query.axes[a].transform.Apply(raw);
+        ValueId vid = table.InternAxisValue(a, value);
+        table.AddBinding(a, mask, vid);
+      }
+    }
+  }
+  table.Finish();
+  return table;
+}
+
+}  // namespace x3

@@ -1,0 +1,77 @@
+#ifndef X3_CUBE_CUBE_SPEC_H_
+#define X3_CUBE_CUBE_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "cube/aggregate.h"
+#include "cube/fact_table.h"
+#include "relax/cube_lattice.h"
+#include "util/result.h"
+#include "xdb/database.h"
+
+namespace x3 {
+
+/// Transformation applied to a grouping value before dictionary
+/// encoding. The paper's dense-cube experiments "grouped only the first
+/// character of the marked-up text" — that is kPrefix with length 1.
+struct ValueTransform {
+  enum class Kind : uint8_t { kIdentity, kPrefix, kLowercase };
+
+  Kind kind = Kind::kIdentity;
+  size_t prefix_length = 1;
+
+  static ValueTransform Identity() { return {}; }
+  static ValueTransform Prefix(size_t n) {
+    return {Kind::kPrefix, n};
+  }
+  static ValueTransform Lowercase() {
+    return {Kind::kLowercase, 0};
+  }
+
+  std::string Apply(std::string_view value) const;
+};
+
+/// One grouping axis of an X^3 query: "$n in $b/author/name ...
+/// X^3 ... by $n (LND, SP, PC-AD)".
+struct AxisSpec {
+  /// Display name (the variable, e.g. "n").
+  std::string name;
+  /// Path relative to the fact node, e.g. "/author/name" or
+  /// "//publisher/@id". Must start with '/' or '//'.
+  std::string path;
+  /// Permitted relaxations for this axis.
+  RelaxationSet relaxations;
+  /// Value transform (dense/sparse control).
+  ValueTransform transform;
+};
+
+/// A complete cube specification (the programmatic form of the X^3
+/// query; the x3/ module parses the textual form into this).
+struct CubeQuery {
+  /// Pattern whose output node binds the fact variable, e.g.
+  /// "//publication".
+  std::string fact_path;
+  std::vector<AxisSpec> axes;
+  AggregateFunction aggregate = AggregateFunction::kCount;
+  /// Optional path (relative to the fact) whose first match's numeric
+  /// value is the fact's measure; empty => measure 1 (pure counting).
+  std::string measure_path;
+  /// Iceberg threshold from the query's HAVING clause; 0 = full cube.
+  int64_t min_count = 0;
+};
+
+/// Builds the relaxed-cube lattice for `query` (per-axis relaxation
+/// closures + product). Fails if an axis exceeds kMaxAxisStates.
+Result<CubeLattice> BuildCubeLattice(const CubeQuery& query);
+
+/// Evaluates the most relaxed fully instantiated pattern against `db`
+/// and materializes the fact table: every fact-root match of
+/// `query.fact_path`, with per-axis bindings and admission masks over
+/// the lattice's states (§3.4's pre-evaluation step).
+Result<FactTable> BuildFactTable(const Database& db, const CubeQuery& query,
+                                 const CubeLattice& lattice);
+
+}  // namespace x3
+
+#endif  // X3_CUBE_CUBE_SPEC_H_

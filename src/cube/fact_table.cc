@@ -1,0 +1,254 @@
+#include "cube/fact_table.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace x3 {
+
+FactTable::FactTable(size_t num_axes) : num_axes_(num_axes) {
+  axis_bindings_.resize(num_axes);
+  axis_offsets_.resize(num_axes);
+  axis_values_.resize(num_axes);
+  axis_value_ids_.resize(num_axes);
+  for (size_t a = 0; a < num_axes; ++a) {
+    axis_offsets_[a].push_back(0);
+  }
+}
+
+void FactTable::BeginFact(uint64_t fact_id, int64_t measure) {
+  X3_CHECK(!finished_) << "BeginFact after Finish";
+  // Seal the previous fact's offsets.
+  if (!fact_ids_.empty()) {
+    for (size_t a = 0; a < num_axes_; ++a) {
+      axis_offsets_[a].push_back(
+          static_cast<uint32_t>(axis_bindings_[a].size()));
+    }
+  }
+  fact_ids_.push_back(fact_id);
+  measures_.push_back(measure);
+}
+
+ValueId FactTable::InternAxisValue(size_t axis, std::string_view value) {
+  auto& ids = axis_value_ids_[axis];
+  auto it = ids.find(std::string(value));
+  if (it != ids.end()) return it->second;
+  ValueId id = static_cast<ValueId>(axis_values_[axis].size());
+  axis_values_[axis].emplace_back(value);
+  ids.emplace(axis_values_[axis].back(), id);
+  return id;
+}
+
+void FactTable::AddBinding(size_t axis, AxisStateMask mask, ValueId value) {
+  X3_CHECK(!finished_) << "AddBinding after Finish";
+  X3_CHECK(!fact_ids_.empty()) << "AddBinding before BeginFact";
+  auto& bindings = axis_bindings_[axis];
+  size_t fact_start = axis_offsets_[axis].back();
+  for (size_t i = fact_start; i < bindings.size(); ++i) {
+    if (bindings[i].value == value) {
+      bindings[i].mask |= mask;  // collapse duplicates by value
+      return;
+    }
+  }
+  bindings.push_back({mask, value});
+}
+
+void FactTable::Finish() {
+  X3_CHECK(!finished_);
+  if (!fact_ids_.empty()) {
+    for (size_t a = 0; a < num_axes_; ++a) {
+      axis_offsets_[a].push_back(
+          static_cast<uint32_t>(axis_bindings_[a].size()));
+    }
+  }
+  finished_ = true;
+}
+
+std::span<const AxisBinding> FactTable::bindings(size_t axis,
+                                                 size_t fact) const {
+  X3_DCHECK(finished_);
+  uint32_t lo = axis_offsets_[axis][fact];
+  uint32_t hi = axis_offsets_[axis][fact + 1];
+  return std::span<const AxisBinding>(axis_bindings_[axis].data() + lo,
+                                      hi - lo);
+}
+
+void FactTable::AdmittedValues(size_t axis, size_t fact, AxisStateId state,
+                               std::vector<ValueId>* out) const {
+  out->clear();
+  for (const AxisBinding& b : bindings(axis, fact)) {
+    if (!b.AdmittedAt(state)) continue;
+    bool seen = false;
+    for (ValueId v : *out) {
+      if (v == b.value) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out->push_back(b.value);
+  }
+}
+
+ValueId FactTable::FirstAdmittedValue(size_t axis, size_t fact,
+                                      AxisStateId state) const {
+  for (const AxisBinding& b : bindings(axis, fact)) {
+    if (b.AdmittedAt(state)) return b.value;
+  }
+  return kInvalidValueId;
+}
+
+size_t FactTable::ApproxBytes() const {
+  size_t bytes = fact_ids_.size() * (sizeof(uint64_t) + sizeof(int64_t));
+  for (size_t a = 0; a < num_axes_; ++a) {
+    bytes += axis_bindings_[a].size() * sizeof(AxisBinding);
+    bytes += axis_offsets_[a].size() * sizeof(uint32_t);
+    for (const std::string& v : axis_values_[a]) bytes += v.size() + 32;
+  }
+  return bytes;
+}
+
+namespace {
+
+constexpr uint32_t kFactTableMagic = 0x58334654;  // "X3FT"
+constexpr uint32_t kFactTableVersion = 1;
+
+Status WriteAll(std::FILE* f, const void* data, size_t len,
+                const std::string& path) {
+  if (len > 0 && std::fwrite(data, len, 1, f) != 1) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Status ReadAll(std::FILE* f, void* data, size_t len, const std::string& path) {
+  if (len > 0 && std::fread(data, len, 1, f) != 1) {
+    return Status::IOError("short read from " + path);
+  }
+  return Status::OK();
+}
+
+template <typename T>
+Status WritePod(std::FILE* f, const T& v, const std::string& path) {
+  return WriteAll(f, &v, sizeof(T), path);
+}
+
+template <typename T>
+Status ReadPod(std::FILE* f, T* v, const std::string& path) {
+  return ReadAll(f, v, sizeof(T), path);
+}
+
+}  // namespace
+
+Status FactTable::Save(const std::string& path) const {
+  if (!finished_) return Status::Internal("Save before Finish");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot create " + path);
+  auto cleanup = [&](Status s) {
+    std::fclose(f);
+    if (!s.ok()) std::remove(path.c_str());
+    return s;
+  };
+  Status s = Status::OK();
+  auto w = [&](const void* data, size_t len) {
+    if (s.ok()) s = WriteAll(f, data, len, path);
+  };
+  uint64_t header[4] = {kFactTableMagic, kFactTableVersion,
+                        static_cast<uint64_t>(num_axes_),
+                        static_cast<uint64_t>(fact_ids_.size())};
+  w(header, sizeof(header));
+  w(fact_ids_.data(), fact_ids_.size() * sizeof(uint64_t));
+  w(measures_.data(), measures_.size() * sizeof(int64_t));
+  for (size_t a = 0; a < num_axes_ && s.ok(); ++a) {
+    uint64_t counts[2] = {axis_bindings_[a].size(), axis_values_[a].size()};
+    w(counts, sizeof(counts));
+    w(axis_offsets_[a].data(), axis_offsets_[a].size() * sizeof(uint32_t));
+    w(axis_bindings_[a].data(),
+      axis_bindings_[a].size() * sizeof(AxisBinding));
+    for (const std::string& v : axis_values_[a]) {
+      uint32_t len = static_cast<uint32_t>(v.size());
+      w(&len, sizeof(len));
+      w(v.data(), v.size());
+    }
+  }
+  return cleanup(s);
+}
+
+Result<FactTable> FactTable::Load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  auto fail = [&](Status s) {
+    std::fclose(f);
+    return s;
+  };
+  // All stored counts must be consistent with the file size; a
+  // corrupted count must not drive a huge allocation.
+  std::fseek(f, 0, SEEK_END);
+  long file_size_long = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  uint64_t file_size =
+      file_size_long > 0 ? static_cast<uint64_t>(file_size_long) : 0;
+  auto plausible = [&](uint64_t count, uint64_t unit) {
+    return unit == 0 || count <= file_size / unit + 1;
+  };
+  uint64_t header[4];
+  Status s = ReadAll(f, header, sizeof(header), path);
+  if (!s.ok()) return fail(s);
+  if (header[0] != kFactTableMagic) {
+    return fail(Status::Corruption("bad fact table magic in " + path));
+  }
+  if (header[1] != kFactTableVersion) {
+    return fail(Status::Corruption("unsupported fact table version"));
+  }
+  size_t num_axes = static_cast<size_t>(header[2]);
+  size_t num_facts = static_cast<size_t>(header[3]);
+  if (!plausible(num_axes, sizeof(uint32_t)) ||
+      !plausible(num_facts, sizeof(uint64_t))) {
+    return fail(Status::Corruption("implausible counts in " + path));
+  }
+  FactTable table(num_axes);
+  table.fact_ids_.resize(num_facts);
+  table.measures_.resize(num_facts);
+  s = ReadAll(f, table.fact_ids_.data(), num_facts * sizeof(uint64_t), path);
+  if (!s.ok()) return fail(s);
+  s = ReadAll(f, table.measures_.data(), num_facts * sizeof(int64_t), path);
+  if (!s.ok()) return fail(s);
+  for (size_t a = 0; a < num_axes; ++a) {
+    uint64_t counts[2];
+    s = ReadAll(f, counts, sizeof(counts), path);
+    if (!s.ok()) return fail(s);
+    if (!plausible(counts[0], sizeof(AxisBinding)) ||
+        !plausible(counts[1], sizeof(uint32_t))) {
+      return fail(Status::Corruption("implausible axis counts in " + path));
+    }
+    size_t offsets = num_facts == 0 ? 1 : num_facts + 1;
+    table.axis_offsets_[a].resize(offsets);
+    s = ReadAll(f, table.axis_offsets_[a].data(),
+                offsets * sizeof(uint32_t), path);
+    if (!s.ok()) return fail(s);
+    table.axis_bindings_[a].resize(counts[0]);
+    s = ReadAll(f, table.axis_bindings_[a].data(),
+                counts[0] * sizeof(AxisBinding), path);
+    if (!s.ok()) return fail(s);
+    table.axis_values_[a].reserve(counts[1]);
+    for (uint64_t i = 0; i < counts[1]; ++i) {
+      uint32_t len = 0;
+      s = ReadPod(f, &len, path);
+      if (!s.ok()) return fail(s);
+      if (!plausible(len, 1)) {
+        return fail(Status::Corruption("implausible value length"));
+      }
+      std::string v(len, '\0');
+      s = ReadAll(f, v.data(), len, path);
+      if (!s.ok()) return fail(s);
+      table.axis_value_ids_[a].emplace(v, static_cast<ValueId>(i));
+      table.axis_values_[a].push_back(std::move(v));
+    }
+  }
+  std::fclose(f);
+  table.finished_ = true;
+  return table;
+}
+
+}  // namespace x3

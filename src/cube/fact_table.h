@@ -1,0 +1,121 @@
+#ifndef X3_CUBE_FACT_TABLE_H_
+#define X3_CUBE_FACT_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "relax/cube_lattice.h"
+#include "util/result.h"
+#include "xdb/database.h"
+
+namespace x3 {
+
+/// One axis binding of a fact: the transformed grouping value plus the
+/// admission mask recording at which of the axis's relaxation states
+/// this binding is a valid match (bit s = state s of the AxisLattice).
+struct AxisBinding {
+  AxisStateMask mask = 0;
+  ValueId value = kInvalidValueId;
+
+  bool AdmittedAt(AxisStateId state) const {
+    return (mask >> state) & 1u;
+  }
+  bool operator==(const AxisBinding& other) const {
+    return mask == other.mask && value == other.value;
+  }
+};
+
+/// The materialized input of cube computation: per fact, per axis, the
+/// list of bindings with admission masks. This is the paper's
+/// "pre-evaluated query tree pattern materialized into a file" (§4) —
+/// the most relaxed fully instantiated pattern is matched once, and all
+/// cube algorithms consume this table.
+///
+/// A fact with no binding on an axis simply has an empty binding list
+/// there (the coverage-violation case); a fact with several distinct
+/// values (the disjointness-violation case) has several bindings.
+/// Values are dictionary-encoded per axis.
+class FactTable {
+ public:
+  explicit FactTable(size_t num_axes);
+
+  FactTable(FactTable&&) = default;
+  FactTable& operator=(FactTable&&) = default;
+  FactTable(const FactTable&) = delete;
+  FactTable& operator=(const FactTable&) = delete;
+
+  // --- Building (BeginFact / AddBinding / ... / Finish) ---
+
+  /// Starts a new fact.
+  void BeginFact(uint64_t fact_id, int64_t measure);
+
+  /// Interns an axis value string to its per-axis ValueId.
+  ValueId InternAxisValue(size_t axis, std::string_view value);
+
+  /// Adds one binding for the current fact. Duplicate (mask, value)
+  /// pairs within a fact are collapsed.
+  void AddBinding(size_t axis, AxisStateMask mask, ValueId value);
+
+  /// Seals the table; required before any read access.
+  void Finish();
+
+  // --- Access ---
+
+  size_t num_axes() const { return num_axes_; }
+  size_t size() const { return fact_ids_.size(); }
+  bool finished() const { return finished_; }
+
+  uint64_t fact_id(size_t fact) const { return fact_ids_[fact]; }
+  int64_t measure(size_t fact) const { return measures_[fact]; }
+
+  /// Bindings of `axis` for `fact`.
+  std::span<const AxisBinding> bindings(size_t axis, size_t fact) const;
+
+  /// Distinct values of `axis` for `fact` admitted at `state`, appended
+  /// to `*out` (cleared first). Order is first-seen.
+  void AdmittedValues(size_t axis, size_t fact, AxisStateId state,
+                      std::vector<ValueId>* out) const;
+
+  /// First admitted value at `state`, or kInvalidValueId. (The value a
+  /// disjointness-assuming algorithm uses without checking for more.)
+  ValueId FirstAdmittedValue(size_t axis, size_t fact,
+                             AxisStateId state) const;
+
+  const std::string& AxisValueName(size_t axis, ValueId value) const {
+    return axis_values_[axis][value];
+  }
+  /// Number of distinct values seen on `axis`.
+  size_t AxisCardinality(size_t axis) const {
+    return axis_values_[axis].size();
+  }
+
+  /// Rough in-memory footprint, for budget-aware callers.
+  size_t ApproxBytes() const;
+
+  // --- Persistence (binary, versioned) ---
+
+  Status Save(const std::string& path) const;
+  static Result<FactTable> Load(const std::string& path);
+
+ private:
+  size_t num_axes_;
+  bool finished_ = false;
+
+  std::vector<uint64_t> fact_ids_;
+  std::vector<int64_t> measures_;
+  /// Per axis: flat binding array + per-fact offsets (size facts+1 once
+  /// finished).
+  std::vector<std::vector<AxisBinding>> axis_bindings_;
+  std::vector<std::vector<uint32_t>> axis_offsets_;
+  /// Per axis value dictionaries.
+  std::vector<std::vector<std::string>> axis_values_;
+  std::vector<std::unordered_map<std::string, ValueId>> axis_value_ids_;
+};
+
+}  // namespace x3
+
+#endif  // X3_CUBE_FACT_TABLE_H_

@@ -1,0 +1,30 @@
+#include "cube/algorithm.h"
+
+namespace x3 {
+namespace internal {
+
+/// The correctness oracle: computes every cuboid independently by
+/// scanning all facts and enumerating each fact's groups. O(cuboids *
+/// facts) with no memory bound; used by tests to validate every other
+/// algorithm and by small examples.
+Result<CubeResult> ComputeReference(const FactTable& facts,
+                                    const CubeLattice& lattice,
+                                    const CubeComputeOptions& options,
+                                    CubeComputeStats* stats) {
+  CubeResult result(lattice.num_cuboids(), options.aggregate);
+  std::vector<std::vector<ValueId>> scratch(lattice.num_axes());
+  for (CuboidId c = 0; c < lattice.num_cuboids(); ++c) {
+    ++stats->base_scans;
+    for (size_t f = 0; f < facts.size(); ++f) {
+      int64_t measure = facts.measure(f);
+      ForEachGroupOfFact(facts, lattice, c, f, &scratch,
+                         [&](const GroupKey& key) {
+                           result.MutableCell(c, key)->Update(measure);
+                         });
+    }
+  }
+  return result;
+}
+
+}  // namespace internal
+}  // namespace x3

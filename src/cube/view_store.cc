@@ -1,0 +1,237 @@
+#include "cube/view_store.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace x3 {
+
+const char* ViewStrategyToString(ViewStrategy s) {
+  switch (s) {
+    case ViewStrategy::kExact:
+      return "exact";
+    case ViewStrategy::kRollup:
+      return "rollup";
+    case ViewStrategy::kRollupWithIds:
+      return "rollup+ids";
+    case ViewStrategy::kBase:
+      return "base";
+  }
+  return "?";
+}
+
+Status CubeViewStore::Materialize(CuboidId cuboid, bool with_fact_ids) {
+  View view;
+  view.with_fact_ids = with_fact_ids;
+  view.present = lattice_->PresentAxes(cuboid);
+  view.states = lattice_->Decode(cuboid);
+
+  std::vector<std::vector<ValueId>> lists(view.present.size());
+  std::vector<size_t> idx;
+  std::vector<ValueId> tuple(view.present.size());
+  static const std::vector<ValueId> kNullList{kInvalidValueId};
+
+  for (size_t f = 0; f < facts_->size(); ++f) {
+    // Value-or-null list per present axis (null-value groups keep
+    // coverage-dropping facts visible to later roll-ups).
+    for (size_t i = 0; i < view.present.size(); ++i) {
+      size_t axis = view.present[i];
+      facts_->AdmittedValues(axis, f, view.states[axis], &lists[i]);
+      if (lists[i].empty()) lists[i] = kNullList;
+    }
+    idx.assign(view.present.size(), 0);
+    for (;;) {
+      for (size_t i = 0; i < view.present.size(); ++i) {
+        tuple[i] = lists[i][idx[i]];
+      }
+      ViewCell& cell = view.cells[PackGroupKey(tuple)];
+      cell.agg.Update(facts_->measure(f));
+      if (with_fact_ids) {
+        cell.facts.push_back(static_cast<uint32_t>(f));
+      }
+      size_t i = 0;
+      for (; i < view.present.size(); ++i) {
+        if (++idx[i] < lists[i].size()) break;
+        idx[i] = 0;
+      }
+      if (i == view.present.size()) break;
+    }
+  }
+  // Fact lists are built in ascending f, so they are sorted & distinct
+  // already (a fact enters a given cell at most once).
+  views_[cuboid] = std::move(view);
+  return Status::OK();
+}
+
+size_t CubeViewStore::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const auto& [id, view] : views_) {
+    for (const auto& [key, cell] : view.cells) {
+      bytes += key.size() + sizeof(ViewCell) + 32;
+      bytes += cell.facts.size() * sizeof(uint32_t);
+    }
+  }
+  return bytes;
+}
+
+bool CubeViewStore::IsLndDescendant(const View& view, CuboidId target,
+                                    std::vector<size_t>* kept_positions,
+                                    std::vector<size_t>* dropped_axes) const {
+  kept_positions->clear();
+  dropped_axes->clear();
+  std::vector<size_t> target_present = lattice_->PresentAxes(target);
+  size_t ti = 0;
+  for (size_t i = 0; i < view.present.size(); ++i) {
+    size_t axis = view.present[i];
+    AxisStateId target_state = lattice_->StateOf(target, axis);
+    if (ti < target_present.size() && target_present[ti] == axis) {
+      // Kept axis: state must be identical (structural relaxation
+      // changes bindings; views only help across LND edges).
+      if (target_state != view.states[axis]) return false;
+      kept_positions->push_back(i);
+      ++ti;
+    } else {
+      // Dropped axis: target must have it absent.
+      if (lattice_->axis(axis).state(target_state).grouping_present()) {
+        return false;
+      }
+      dropped_axes->push_back(axis);
+    }
+  }
+  // Any target-present axis not present in the view disqualifies it.
+  if (ti != target_present.size()) return false;
+  // Axes absent in both must agree on state (absent is unique per axis,
+  // so nothing further to check).
+  return true;
+}
+
+Result<std::unordered_map<GroupKey, AggregateState>> CubeViewStore::Answer(
+    CuboidId target, AggregateFunction fn,
+    const LatticeProperties* properties, ViewComputeStats* stats) const {
+  (void)fn;  // all components are maintained in AggregateState
+  ViewComputeStats local;
+  ViewComputeStats* st = stats != nullptr ? stats : &local;
+  *st = ViewComputeStats{};
+
+  std::unordered_map<GroupKey, AggregateState> out;
+
+  // Candidate views: prefer exact, then the smallest usable ancestor.
+  const View* best = nullptr;
+  CuboidId best_id = 0;
+  std::vector<size_t> best_kept, best_dropped;
+  bool best_exact = false;
+  bool best_needs_ids = false;
+  for (const auto& [id, view] : views_) {
+    std::vector<size_t> kept, dropped;
+    if (!IsLndDescendant(view, target, &kept, &dropped)) continue;
+    bool exact = dropped.empty();
+    bool safe_without_ids = true;
+    for (size_t axis : dropped) {
+      const SummarizabilityFlags flags =
+          properties != nullptr
+              ? properties->At(axis, view.states[axis])
+              : SummarizabilityFlags{false, false};
+      // Coverage is repaired by the null-value groups; only
+      // disjointness of the dropped axis matters for id-less merging.
+      if (!flags.disjoint) safe_without_ids = false;
+    }
+    bool usable = exact || safe_without_ids || view.with_fact_ids;
+    if (!usable) continue;
+    bool better = best == nullptr ||
+                  (exact && !best_exact) ||
+                  (exact == best_exact &&
+                   view.cells.size() < best->cells.size());
+    if (better) {
+      best = &view;
+      best_id = id;
+      best_kept = kept;
+      best_dropped = dropped;
+      best_exact = exact;
+      best_needs_ids = !exact && !safe_without_ids;
+    }
+  }
+
+  if (best == nullptr) {
+    // Fall back to the base table.
+    st->strategy = ViewStrategy::kBase;
+    std::vector<size_t> present = lattice_->PresentAxes(target);
+    std::vector<AxisStateId> states = lattice_->Decode(target);
+    std::vector<std::vector<ValueId>> lists(present.size());
+    std::vector<size_t> idx;
+    std::vector<ValueId> tuple(present.size());
+    for (size_t f = 0; f < facts_->size(); ++f) {
+      ++st->facts_scanned;
+      bool drop = false;
+      for (size_t i = 0; i < present.size(); ++i) {
+        facts_->AdmittedValues(present[i], f, states[present[i]], &lists[i]);
+        if (lists[i].empty()) {
+          drop = true;
+          break;
+        }
+      }
+      if (drop) continue;
+      idx.assign(present.size(), 0);
+      for (;;) {
+        for (size_t i = 0; i < present.size(); ++i) {
+          tuple[i] = lists[i][idx[i]];
+        }
+        out[PackGroupKey(tuple)].Update(facts_->measure(f));
+        size_t i = 0;
+        for (; i < present.size(); ++i) {
+          if (++idx[i] < lists[i].size()) break;
+          idx[i] = 0;
+        }
+        if (i == present.size()) break;
+      }
+    }
+    return out;
+  }
+
+  st->source_view = best_id;
+  if (best_exact) {
+    st->strategy = ViewStrategy::kExact;
+  } else {
+    st->strategy = best_needs_ids ? ViewStrategy::kRollupWithIds
+                                  : ViewStrategy::kRollup;
+  }
+
+  // Roll up: project each non-null view cell onto the kept fields.
+  std::unordered_map<GroupKey, std::vector<uint32_t>> fact_sets;
+  for (const auto& [key, cell] : best->cells) {
+    ++st->view_cells_scanned;
+    GroupKey target_key;
+    target_key.reserve(best_kept.size() * 4);
+    bool has_null = false;
+    for (size_t pos : best_kept) {
+      std::string_view field(key.data() + pos * 4, 4);
+      if (field == std::string_view("\xFF\xFF\xFF\xFF", 4)) {
+        has_null = true;
+        break;
+      }
+      target_key.append(field);
+    }
+    if (has_null) continue;
+    // Dropped-axis null cells DO contribute (the fact belongs to the
+    // target group even though the dropped axis was missing).
+    if (best_needs_ids) {
+      auto& set = fact_sets[target_key];
+      set.insert(set.end(), cell.facts.begin(), cell.facts.end());
+    } else {
+      out[target_key].Merge(cell.agg);
+    }
+  }
+  if (best_needs_ids) {
+    for (auto& [key, set] : fact_sets) {
+      std::sort(set.begin(), set.end());
+      set.erase(std::unique(set.begin(), set.end()), set.end());
+      AggregateState& agg = out[key];
+      for (uint32_t f : set) {
+        agg.Update(facts_->measure(f));
+        ++st->facts_scanned;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace x3

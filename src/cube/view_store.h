@@ -1,0 +1,119 @@
+#ifndef X3_CUBE_VIEW_STORE_H_
+#define X3_CUBE_VIEW_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cube/aggregate.h"
+#include "cube/cube_result.h"
+#include "cube/fact_table.h"
+#include "relax/cube_lattice.h"
+#include "schema/summarizability.h"
+#include "util/result.h"
+
+namespace x3 {
+
+/// How a cuboid request was answered by the view store.
+enum class ViewStrategy : uint8_t {
+  /// The cuboid itself was materialized: cells copied.
+  kExact,
+  /// Rolled up from a materialized LND-ancestor without fact ids
+  /// (requires the dropped axes to be disjoint at the view's states).
+  kRollup,
+  /// Rolled up from a materialized LND-ancestor by unioning the
+  /// tracked fact-id sets — correct even without summarizability
+  /// (§3.6's "accompany intermediate results ... with the attributes to
+  /// be aggregated, keeping track of fact items").
+  kRollupWithIds,
+  /// No usable view: computed from the base fact table.
+  kBase,
+};
+
+const char* ViewStrategyToString(ViewStrategy s);
+
+/// Statistics for one Answer() call.
+struct ViewComputeStats {
+  ViewStrategy strategy = ViewStrategy::kBase;
+  CuboidId source_view = 0;
+  uint64_t view_cells_scanned = 0;
+  uint64_t facts_scanned = 0;
+};
+
+/// Materialized intermediate cube results (§3.6).
+///
+/// A view is one cuboid's cells *with null-value groups*: every fact
+/// appears, facts missing an axis binding carried under a null key
+/// field (the §3.5 "null value group" patch that repairs coverage), and
+/// optionally with the contributing fact ids per cell (which repairs
+/// disjointness for later roll-ups at the cost of keeping fact items
+/// around — exactly the trade-off the paper describes).
+///
+/// Answer(target) picks the cheapest correct strategy: the exact view;
+/// an LND-ancestor view rolled up without ids when the dropped axes are
+/// provably disjoint; an id-carrying ancestor with fact-set union; or
+/// the base table.
+class CubeViewStore {
+ public:
+  /// Both referents must outlive the store.
+  CubeViewStore(const FactTable* facts, const CubeLattice* lattice)
+      : facts_(facts), lattice_(lattice) {}
+
+  CubeViewStore(const CubeViewStore&) = delete;
+  CubeViewStore& operator=(const CubeViewStore&) = delete;
+
+  /// Materializes `cuboid` from the base table (with null-value groups;
+  /// fact ids retained when `with_fact_ids`). Re-materializing replaces
+  /// the view.
+  Status Materialize(CuboidId cuboid, bool with_fact_ids);
+
+  bool Contains(CuboidId cuboid) const {
+    return views_.count(cuboid) > 0;
+  }
+  size_t num_views() const { return views_.size(); }
+
+  /// Approximate memory held by materialized views.
+  size_t ApproxBytes() const;
+
+  /// Computes the cells of `target` (no null groups — the real cuboid)
+  /// using the best available strategy. `properties` may be null
+  /// ("assume nothing": id-less roll-ups are never chosen).
+  Result<std::unordered_map<GroupKey, AggregateState>> Answer(
+      CuboidId target, AggregateFunction fn,
+      const LatticeProperties* properties = nullptr,
+      ViewComputeStats* stats = nullptr) const;
+
+ private:
+  struct ViewCell {
+    AggregateState agg;
+    /// Sorted distinct contributing fact indices (empty when the view
+    /// was materialized without ids).
+    std::vector<uint32_t> facts;
+  };
+  struct View {
+    bool with_fact_ids = false;
+    /// Present axes of the view's cuboid, ascending.
+    std::vector<size_t> present;
+    /// Per-axis state of the view's cuboid.
+    std::vector<AxisStateId> states;
+    /// Keyed over `present` (null fields = kInvalidValueId).
+    std::unordered_map<GroupKey, ViewCell> cells;
+  };
+
+  /// True iff `target` is `view` with zero or more of its axes
+  /// LND-dropped (same states on the shared axes). Fills
+  /// `kept_positions` with the view-key field index of each target
+  /// present axis.
+  bool IsLndDescendant(const View& view, CuboidId target,
+                       std::vector<size_t>* kept_positions,
+                       std::vector<size_t>* dropped_axes) const;
+
+  const FactTable* facts_;
+  const CubeLattice* lattice_;
+  std::unordered_map<CuboidId, View> views_;
+};
+
+}  // namespace x3
+
+#endif  // X3_CUBE_VIEW_STORE_H_

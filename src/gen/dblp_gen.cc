@@ -1,0 +1,93 @@
+#include "gen/dblp_gen.h"
+
+#include "util/string_util.h"
+
+namespace x3 {
+
+DblpGenerator::DblpGenerator(const DblpConfig& config)
+    : config_(config), rng_(config.seed) {}
+
+XmlDocument DblpGenerator::NextArticle() {
+  auto article = XmlNode::Element("article");
+  article->SetAttribute(
+      "key", StringPrintf("journals/a%llu", static_cast<unsigned long long>(
+                                                articles_generated_)));
+  ++articles_generated_;
+
+  // Author count from the configured distribution.
+  double total = 0;
+  for (double w : config_.author_count_weights) total += w;
+  double pick = rng_.NextDouble() * total;
+  size_t num_authors = 0;
+  for (size_t k = 0; k < 5; ++k) {
+    pick -= config_.author_count_weights[k];
+    if (pick <= 0) {
+      num_authors = k;
+      break;
+    }
+  }
+  for (size_t k = 0; k < num_authors; ++k) {
+    uint64_t a = rng_.Zipf(config_.num_authors, config_.zipf_theta);
+    article->AddElementWithText(
+        "author",
+        StringPrintf("Author %llu", static_cast<unsigned long long>(a)));
+  }
+
+  article->AddElementWithText(
+      "title", StringPrintf("On Topic %llu", static_cast<unsigned long long>(
+                                                 rng_.Uniform(100000))));
+
+  if (rng_.Bernoulli(config_.month_probability)) {
+    static constexpr const char* kMonths[] = {
+        "January", "February", "March",     "April",   "May",      "June",
+        "July",    "August",   "September", "October", "November", "December"};
+    article->AddElementWithText("month", kMonths[rng_.Uniform(12)]);
+  }
+
+  int year = config_.first_year +
+             static_cast<int>(rng_.Uniform(
+                 static_cast<uint64_t>(config_.num_years)));
+  article->AddElementWithText("year", StringPrintf("%d", year));
+
+  uint64_t j = rng_.Zipf(config_.num_journals, config_.zipf_theta);
+  article->AddElementWithText(
+      "journal",
+      StringPrintf("Journal %llu", static_cast<unsigned long long>(j)));
+
+  return XmlDocument(std::move(article));
+}
+
+Status DblpGenerator::LoadInto(Database* db, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    XmlDocument doc = NextArticle();
+    X3_RETURN_IF_ERROR(db->LoadDocument(doc).status());
+  }
+  return Status::OK();
+}
+
+std::string DblpDtd() {
+  return "<!ELEMENT article (author*, title, month?, year, journal)>\n"
+         "<!ATTLIST article key CDATA #REQUIRED>\n"
+         "<!ELEMENT author (#PCDATA)>\n"
+         "<!ELEMENT title (#PCDATA)>\n"
+         "<!ELEMENT month (#PCDATA)>\n"
+         "<!ELEMENT year (#PCDATA)>\n"
+         "<!ELEMENT journal (#PCDATA)>\n";
+}
+
+CubeQuery MakeDblpQuery() {
+  CubeQuery query;
+  query.fact_path = "//article";
+  RelaxationSet lnd = RelaxationSet::Of({RelaxationType::kLND});
+  for (const char* axis : {"author", "month", "year", "journal"}) {
+    AxisSpec spec;
+    spec.name = axis;
+    spec.path = std::string("/") + axis;
+    spec.relaxations = lnd;
+    query.axes.push_back(std::move(spec));
+  }
+  query.aggregate = AggregateFunction::kCount;
+  return query;
+}
+
+}  // namespace x3

@@ -1,0 +1,66 @@
+#ifndef X3_GEN_DBLP_GEN_H_
+#define X3_GEN_DBLP_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cube/cube_spec.h"
+#include "util/random.h"
+#include "util/result.h"
+#include "xdb/database.h"
+#include "xml/xml_node.h"
+
+namespace x3 {
+
+/// Configuration of the DBLP-like generator.
+///
+/// The paper's §4.5 experiment cubes `article` by /author, /month,
+/// /year and /journal over 220k input trees, relying on the DBLP DTD
+/// facts: "author is possibly repeated and missing, year and journal
+/// are mandatory and unique, and month is possibly missing". The
+/// generator reproduces exactly those cardinalities.
+struct DblpConfig {
+  uint64_t seed = 7;
+  /// Distinct author names / journals in the pools.
+  size_t num_authors = 2000;
+  size_t num_journals = 40;
+  /// Publication years span [first_year, first_year + num_years).
+  int first_year = 1990;
+  int num_years = 18;
+  /// Author-count distribution: P(k authors) ~ weights[k], k in 0..4.
+  /// Index 0 (no author) violates coverage; k >= 2 violates
+  /// disjointness — both as in real DBLP.
+  double author_count_weights[5] = {0.05, 0.45, 0.30, 0.15, 0.05};
+  /// Probability that month is present.
+  double month_probability = 0.7;
+  /// Zipf skew of author/journal popularity.
+  double zipf_theta = 0.5;
+};
+
+/// Deterministic generator of DBLP-like `article` records.
+class DblpGenerator {
+ public:
+  explicit DblpGenerator(const DblpConfig& config);
+
+  XmlDocument NextArticle();
+  Status LoadInto(Database* db, size_t count);
+
+  const DblpConfig& config() const { return config_; }
+
+ private:
+  DblpConfig config_;
+  Random rng_;
+  uint64_t articles_generated_ = 0;
+};
+
+/// The DBLP DTD fragment relevant to the experiment (used for §3.7
+/// schema inference: author*, title, month?, year, journal).
+std::string DblpDtd();
+
+/// The §4.5 query: cube article by /author, /month, /year, /journal
+/// (LND permitted on every axis).
+CubeQuery MakeDblpQuery();
+
+}  // namespace x3
+
+#endif  // X3_GEN_DBLP_GEN_H_

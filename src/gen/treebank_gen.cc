@@ -1,0 +1,148 @@
+#include "gen/treebank_gen.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace x3 {
+
+namespace {
+
+constexpr const char* kAxisTags[] = {"np", "vp", "pp", "adj",
+                                     "nn", "vb", "dt"};
+constexpr size_t kMaxAxes = sizeof(kAxisTags) / sizeof(kAxisTags[0]);
+
+constexpr const char* kFillerTags[] = {"x1", "x2", "x3", "x4", "x5"};
+constexpr size_t kNumFillerTags =
+    sizeof(kFillerTags) / sizeof(kFillerTags[0]);
+
+}  // namespace
+
+const char* TreebankAxisTag(size_t i) {
+  X3_CHECK(i < kMaxAxes) << "treebank generator supports at most 7 axes";
+  return kAxisTags[i];
+}
+
+const char* TreebankWrapperTag() { return "phr"; }
+const char* TreebankRootTag() { return "s"; }
+
+TreebankGenerator::TreebankGenerator(const TreebankConfig& config)
+    : config_(config), rng_(config.seed) {
+  X3_CHECK(config_.num_axes >= 1 && config_.num_axes <= kMaxAxes);
+  X3_CHECK(config_.value_cardinality >= 1);
+}
+
+std::string TreebankGenerator::AxisValue(size_t axis) {
+  uint64_t v = rng_.Zipf(config_.value_cardinality, config_.zipf_theta);
+  return StringPrintf("%s%llu", kAxisTags[axis],
+                      static_cast<unsigned long long>(v));
+}
+
+XmlDocument TreebankGenerator::NextTree() {
+  auto root = XmlNode::Element(TreebankRootTag());
+  root->SetAttribute(
+      "id", StringPrintf("t%llu",
+                         static_cast<unsigned long long>(trees_generated_)));
+  ++trees_generated_;
+
+  // Measure element.
+  root->AddElementWithText(
+      "len", StringPrintf("%lld", static_cast<long long>(rng_.Uniform(
+                                      static_cast<uint64_t>(
+                                          config_.measure_range)))));
+
+  for (size_t a = 0; a < config_.num_axes; ++a) {
+    if (rng_.Bernoulli(config_.missing_probability)) continue;
+    size_t copies = 1;
+    if (rng_.Bernoulli(config_.repeat_probability)) {
+      copies += 1 + rng_.Uniform(config_.max_extra_repeats);
+    }
+    for (size_t c = 0; c < copies; ++c) {
+      XmlNode* parent = root.get();
+      if (rng_.Bernoulli(config_.nesting_probability)) {
+        parent = parent->AddElement(TreebankWrapperTag());
+      }
+      parent->AddElementWithText(kAxisTags[a], AxisValue(a));
+    }
+  }
+
+  // Filler noise: random small subtrees of non-axis tags.
+  for (size_t fs = 0; fs < config_.filler_subtrees; ++fs) {
+    XmlNode* node = root->AddElement(
+        kFillerTags[rng_.Uniform(kNumFillerTags)]);
+    size_t depth = rng_.Uniform(config_.filler_max_depth + 1);
+    for (size_t d = 0; d < depth; ++d) {
+      node = node->AddElement(kFillerTags[rng_.Uniform(kNumFillerTags)]);
+    }
+    node->AddText(StringPrintf(
+        "w%llu", static_cast<unsigned long long>(rng_.Uniform(1000))));
+  }
+
+  return XmlDocument(std::move(root));
+}
+
+Status TreebankGenerator::LoadInto(Database* db, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    XmlDocument doc = NextTree();
+    X3_RETURN_IF_ERROR(db->LoadDocument(doc).status());
+  }
+  return Status::OK();
+}
+
+std::string TreebankGenerator::MatchingDtd() const {
+  std::string dtd;
+  std::string root_children = "len";
+  for (size_t a = 0; a < config_.num_axes; ++a) {
+    root_children += ", ";
+    root_children += kAxisTags[a];
+    bool optional = config_.missing_probability > 0;
+    bool repeatable = config_.repeat_probability > 0;
+    if (optional && repeatable) {
+      root_children += "*";
+    } else if (optional) {
+      root_children += "?";
+    } else if (repeatable) {
+      root_children += "+";
+    }
+  }
+  root_children += ", x1*, x2*, x3*, x4*, x5*";
+  if (config_.nesting_probability > 0) {
+    std::string phr_children;
+    for (size_t a = 0; a < config_.num_axes; ++a) {
+      if (a > 0) phr_children += " | ";
+      phr_children += kAxisTags[a];
+    }
+    dtd += StringPrintf("<!ELEMENT %s (%s)>\n", TreebankWrapperTag(),
+                        phr_children.c_str());
+    root_children += StringPrintf(", %s*", TreebankWrapperTag());
+  }
+  dtd += StringPrintf("<!ELEMENT %s (%s)>\n", TreebankRootTag(),
+                      root_children.c_str());
+  dtd += StringPrintf("<!ATTLIST %s id CDATA #REQUIRED>\n",
+                      TreebankRootTag());
+  dtd += "<!ELEMENT len (#PCDATA)>\n";
+  for (size_t a = 0; a < config_.num_axes; ++a) {
+    dtd += StringPrintf("<!ELEMENT %s (#PCDATA)>\n", kAxisTags[a]);
+  }
+  for (size_t ft = 0; ft < kNumFillerTags; ++ft) {
+    dtd += StringPrintf("<!ELEMENT %s (x1?, x2?, x3?, x4?, x5?, #PCDATA)>\n",
+                        kFillerTags[ft]);
+  }
+  return dtd;
+}
+
+CubeQuery MakeTreebankQuery(const TreebankConfig& config,
+                            RelaxationSet per_axis_relaxations) {
+  CubeQuery query;
+  query.fact_path = std::string("//") + TreebankRootTag();
+  for (size_t a = 0; a < config.num_axes; ++a) {
+    AxisSpec axis;
+    axis.name = TreebankAxisTag(a);
+    axis.path = std::string("/") + TreebankAxisTag(a);
+    axis.relaxations = per_axis_relaxations;
+    query.axes.push_back(std::move(axis));
+  }
+  query.aggregate = AggregateFunction::kCount;
+  return query;
+}
+
+}  // namespace x3

@@ -1,0 +1,97 @@
+#ifndef X3_GEN_TREEBANK_GEN_H_
+#define X3_GEN_TREEBANK_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cube/cube_spec.h"
+#include "util/random.h"
+#include "util/result.h"
+#include "xdb/database.h"
+#include "xml/xml_node.h"
+
+namespace x3 {
+
+/// Configuration of the synthetic Treebank-like generator.
+///
+/// The original experiments used the UW Treebank dataset (encrypted WSJ
+/// text; deep, recursive, heterogeneous) and "configured each experiment
+/// by controlling the behavior of the matching input trees according to
+/// two properties of summarizability" (§4). This generator exposes those
+/// controls directly: per-axis missing probability (coverage) and repeat
+/// probability (disjointness), value cardinality and skew (dense vs
+/// sparse cubes), and filler subtrees (depth/heterogeneity).
+struct TreebankConfig {
+  uint64_t seed = 42;
+  /// Grouping axes materialized in each tree (max 7, like the paper's
+  /// 2–7 axis sweeps). Axis i uses tag TreebankAxisTag(i).
+  size_t num_axes = 3;
+  /// Distinct values per axis. Large => sparse cube, small => dense.
+  size_t value_cardinality = 100;
+  /// Zipf skew of value selection (0 = uniform).
+  double zipf_theta = 0.0;
+  /// Probability that an axis element is absent from a tree. > 0
+  /// violates total coverage.
+  double missing_probability = 0.0;
+  /// Probability that an axis element is repeated (with an independent
+  /// value). > 0 violates disjointness.
+  double repeat_probability = 0.0;
+  /// Max extra repeats when repeating.
+  size_t max_extra_repeats = 2;
+  /// Probability that an axis element is nested under an intervening
+  /// wrapper element instead of being a direct child (exercises PC-AD
+  /// relaxation; leave 0 when axes use LND only).
+  double nesting_probability = 0.0;
+  /// Random filler subtrees per tree and their max depth
+  /// (heterogeneity/depth noise, like Treebank's parse structure).
+  size_t filler_subtrees = 2;
+  size_t filler_max_depth = 3;
+  /// Each tree carries a measure element with a value in
+  /// [0, measure_range).
+  int64_t measure_range = 100;
+};
+
+/// Tag of grouping axis `i` ("np", "vp", "pp", ...).
+const char* TreebankAxisTag(size_t i);
+/// Tag of the wrapper used when nesting ("phr").
+const char* TreebankWrapperTag();
+/// Root tag of each generated tree ("s").
+const char* TreebankRootTag();
+
+/// Deterministic generator of Treebank-like fact trees.
+class TreebankGenerator {
+ public:
+  explicit TreebankGenerator(const TreebankConfig& config);
+
+  /// Generates the next tree.
+  XmlDocument NextTree();
+
+  /// Generates `count` trees directly into a database.
+  Status LoadInto(Database* db, size_t count);
+
+  /// A DTD matching this configuration, for schema-inference tests:
+  /// cardinalities reflect the missing/repeat probabilities (e.g. a
+  /// mandatory unique axis declares `axis`, an optional repeatable one
+  /// declares `axis*`).
+  std::string MatchingDtd() const;
+
+  const TreebankConfig& config() const { return config_; }
+
+ private:
+  std::string AxisValue(size_t axis);
+
+  TreebankConfig config_;
+  Random rng_;
+  uint64_t trees_generated_ = 0;
+};
+
+/// The cube query the Treebank experiments run: fact = //s, one axis
+/// per generated axis tag with the given relaxations (LND by default,
+/// matching Figs. 4-9).
+CubeQuery MakeTreebankQuery(const TreebankConfig& config,
+                            RelaxationSet per_axis_relaxations =
+                                RelaxationSet::Of({RelaxationType::kLND}));
+
+}  // namespace x3
+
+#endif  // X3_GEN_TREEBANK_GEN_H_

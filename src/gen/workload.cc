@@ -1,0 +1,63 @@
+#include "gen/workload.h"
+
+#include <memory>
+
+#include "gen/dblp_gen.h"
+#include "schema/dtd_parser.h"
+
+namespace x3 {
+
+TreebankConfig MakeTreebankConfig(const ExperimentSetting& setting) {
+  TreebankConfig config;
+  config.seed = setting.seed;
+  config.num_axes = setting.num_axes;
+  // Dense: tiny domains so most cells are populated. Sparse: domains
+  // whose product dwarfs the tree count.
+  config.value_cardinality = setting.dense ? 4 : 50;
+  config.missing_probability = setting.coverage_holds ? 0.0 : 0.25;
+  config.repeat_probability = setting.disjointness_holds ? 0.0 : 0.25;
+  config.max_extra_repeats = 2;
+  return config;
+}
+
+Result<Workload> BuildTreebankWorkload(const ExperimentSetting& setting) {
+  TreebankConfig config = MakeTreebankConfig(setting);
+  TreebankGenerator generator(config);
+
+  X3_ASSIGN_OR_RETURN(std::unique_ptr<Database> db, Database::Open({}));
+  X3_RETURN_IF_ERROR(generator.LoadInto(db.get(), setting.num_trees));
+
+  CubeQuery query = MakeTreebankQuery(config);
+  X3_ASSIGN_OR_RETURN(CubeLattice lattice, BuildCubeLattice(query));
+  X3_ASSIGN_OR_RETURN(FactTable facts, BuildFactTable(*db, query, lattice));
+
+  X3_ASSIGN_OR_RETURN(SchemaGraph schema, ParseDtd(generator.MatchingDtd()));
+  X3_ASSIGN_OR_RETURN(
+      LatticeProperties properties,
+      InferLatticeProperties(schema, lattice, TreebankRootTag()));
+
+  return Workload(std::move(lattice), std::move(facts),
+                  std::move(properties));
+}
+
+Result<Workload> BuildDblpWorkload(size_t num_articles, uint64_t seed) {
+  DblpConfig config;
+  config.seed = seed;
+  DblpGenerator generator(config);
+
+  X3_ASSIGN_OR_RETURN(std::unique_ptr<Database> db, Database::Open({}));
+  X3_RETURN_IF_ERROR(generator.LoadInto(db.get(), num_articles));
+
+  CubeQuery query = MakeDblpQuery();
+  X3_ASSIGN_OR_RETURN(CubeLattice lattice, BuildCubeLattice(query));
+  X3_ASSIGN_OR_RETURN(FactTable facts, BuildFactTable(*db, query, lattice));
+
+  X3_ASSIGN_OR_RETURN(SchemaGraph schema, ParseDtd(DblpDtd()));
+  X3_ASSIGN_OR_RETURN(LatticeProperties properties,
+                      InferLatticeProperties(schema, lattice, "article"));
+
+  return Workload(std::move(lattice), std::move(facts),
+                  std::move(properties));
+}
+
+}  // namespace x3

@@ -1,0 +1,57 @@
+#ifndef X3_GEN_WORKLOAD_H_
+#define X3_GEN_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cube/cube_spec.h"
+#include "gen/treebank_gen.h"
+#include "schema/summarizability.h"
+#include "util/result.h"
+
+namespace x3 {
+
+/// One experimental setting of §4: which summarizability properties the
+/// input is generated to satisfy, cube density, axis count and scale.
+struct ExperimentSetting {
+  bool coverage_holds = true;
+  bool disjointness_holds = true;
+  bool dense = false;
+  size_t num_axes = 3;
+  size_t num_trees = 1000;
+  uint64_t seed = 42;
+};
+
+/// Derives the generator configuration that realizes a setting:
+/// coverage off => optional axis elements; disjointness off => repeated
+/// axis elements; dense => tiny value domains (the paper grouped "only
+/// the first character of the marked-up text"), sparse => large ones.
+TreebankConfig MakeTreebankConfig(const ExperimentSetting& setting);
+
+/// A ready-to-cube workload: lattice + materialized fact table (the
+/// database used to build them is transient, as in the paper's
+/// pre-evaluation methodology).
+struct Workload {
+  CubeLattice lattice;
+  FactTable facts;
+  LatticeProperties properties;
+
+  Workload(CubeLattice lattice_in, FactTable facts_in,
+           LatticeProperties properties_in)
+      : lattice(std::move(lattice_in)),
+        facts(std::move(facts_in)),
+        properties(std::move(properties_in)) {}
+};
+
+/// Generates Treebank-like data per `setting`, loads it into a scratch
+/// database, evaluates the grouping pattern and materializes the fact
+/// table. Properties are inferred from the generator's matching DTD.
+Result<Workload> BuildTreebankWorkload(const ExperimentSetting& setting);
+
+/// Same pipeline for the DBLP experiment (§4.5): `num_articles` facts,
+/// properties inferred from the real DBLP DTD fragment.
+Result<Workload> BuildDblpWorkload(size_t num_articles, uint64_t seed = 7);
+
+}  // namespace x3
+
+#endif  // X3_GEN_WORKLOAD_H_

@@ -1,0 +1,140 @@
+#include "pattern/join_matcher.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace x3 {
+
+namespace {
+
+WitnessTree EmptyWitness(size_t capacity) {
+  WitnessTree w;
+  w.bindings.assign(capacity, kInvalidNodeId);
+  return w;
+}
+
+/// Merges two partial witnesses with disjoint bound node sets.
+WitnessTree MergeWitness(const WitnessTree& a, const WitnessTree& b) {
+  WitnessTree out = a;
+  for (size_t i = 0; i < out.bindings.size(); ++i) {
+    if (b.bindings[i] != kInvalidNodeId) out.bindings[i] = b.bindings[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<JoinMatcher::SubtreeRelation> JoinMatcher::EvaluateSubtree(
+    const TreePattern& pattern, PatternNodeId node) {
+  const PatternNode& pnode = pattern.node(node);
+
+  // Seed relation: one tuple per candidate binding of this node.
+  SubtreeRelation relation;
+  relation.anchor = node;
+  std::vector<NodeId> candidates;
+  if (pnode.tag == "*") {
+    candidates.resize(db_->node_count());
+    for (NodeId id = 0; id < db_->node_count(); ++id) candidates[id] = id;
+  } else {
+    candidates = db_->NodesWithTag(pnode.tag);
+  }
+  relation.tuples.reserve(candidates.size());
+  for (NodeId id : candidates) {
+    if (pnode.has_value_filter) {
+      X3_ASSIGN_OR_RETURN(bool ok, NodeSatisfies(*db_, pnode, id));
+      if (!ok) continue;
+    }
+    WitnessTree w = EmptyWitness(pattern.capacity());
+    w.bindings[static_cast<size_t>(node)] = id;
+    relation.tuples.push_back(std::move(w));
+  }
+
+  for (PatternNodeId child : pnode.children) {
+    if (relation.tuples.empty() && !pattern.node(child).optional) {
+      // Still evaluate nothing: an empty required join stays empty.
+      relation.tuples.clear();
+      continue;
+    }
+    X3_ASSIGN_OR_RETURN(SubtreeRelation child_rel,
+                        EvaluateSubtree(pattern, child));
+
+    // Distinct sorted anchors on both sides feed the structural join.
+    std::vector<NodeId> parent_anchors;
+    parent_anchors.reserve(relation.tuples.size());
+    for (const WitnessTree& t : relation.tuples) {
+      parent_anchors.push_back(t.bindings[static_cast<size_t>(node)]);
+    }
+    std::sort(parent_anchors.begin(), parent_anchors.end());
+    parent_anchors.erase(
+        std::unique(parent_anchors.begin(), parent_anchors.end()),
+        parent_anchors.end());
+
+    std::vector<NodeId> child_anchors;
+    child_anchors.reserve(child_rel.tuples.size());
+    for (const WitnessTree& t : child_rel.tuples) {
+      child_anchors.push_back(t.bindings[static_cast<size_t>(child)]);
+    }
+    std::sort(child_anchors.begin(), child_anchors.end());
+    child_anchors.erase(
+        std::unique(child_anchors.begin(), child_anchors.end()),
+        child_anchors.end());
+
+    ++stats_.structural_joins;
+    X3_ASSIGN_OR_RETURN(
+        std::vector<JoinPair> pairs,
+        StructuralJoin(*db_, parent_anchors, child_anchors,
+                       pattern.node(child).edge));
+    stats_.join_pairs += pairs.size();
+
+    // Index: parent binding -> child bindings; child binding -> tuples.
+    std::unordered_map<NodeId, std::vector<NodeId>> children_of;
+    for (const JoinPair& p : pairs) {
+      children_of[p.ancestor].push_back(p.descendant);
+    }
+    std::unordered_map<NodeId, std::vector<const WitnessTree*>> tuples_of;
+    for (const WitnessTree& t : child_rel.tuples) {
+      tuples_of[t.bindings[static_cast<size_t>(child)]].push_back(&t);
+    }
+
+    bool optional = pattern.node(child).optional;
+    std::vector<WitnessTree> joined;
+    for (const WitnessTree& t : relation.tuples) {
+      NodeId anchor = t.bindings[static_cast<size_t>(node)];
+      auto it = children_of.find(anchor);
+      bool matched = false;
+      if (it != children_of.end()) {
+        for (NodeId child_binding : it->second) {
+          auto ct = tuples_of.find(child_binding);
+          if (ct == tuples_of.end()) continue;
+          for (const WitnessTree* child_tuple : ct->second) {
+            joined.push_back(MergeWitness(t, *child_tuple));
+            matched = true;
+          }
+        }
+      }
+      if (!matched && optional) {
+        joined.push_back(t);  // outer join: child subtree stays null
+      }
+    }
+    relation.tuples = std::move(joined);
+    stats_.intermediate_tuples += relation.tuples.size();
+  }
+  return relation;
+}
+
+Result<std::vector<WitnessTree>> JoinMatcher::FindMatches(
+    const TreePattern& pattern) {
+  if (pattern.root() == kNoPatternNode) {
+    return Status::InvalidArgument("pattern has no root");
+  }
+  X3_ASSIGN_OR_RETURN(SubtreeRelation relation,
+                      EvaluateSubtree(pattern, pattern.root()));
+  std::stable_sort(relation.tuples.begin(), relation.tuples.end(),
+                   [&](const WitnessTree& a, const WitnessTree& b) {
+                     return a.bindings[static_cast<size_t>(pattern.root())] <
+                            b.bindings[static_cast<size_t>(pattern.root())];
+                   });
+  return std::move(relation.tuples);
+}
+
+}  // namespace x3

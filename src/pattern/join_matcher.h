@@ -1,0 +1,65 @@
+#ifndef X3_PATTERN_JOIN_MATCHER_H_
+#define X3_PATTERN_JOIN_MATCHER_H_
+
+#include <vector>
+
+#include "pattern/tree_pattern.h"
+#include "pattern/twig_matcher.h"
+#include "util/result.h"
+#include "xdb/database.h"
+#include "xdb/structural_join.h"
+
+namespace x3 {
+
+/// Counters describing a join-plan evaluation.
+struct JoinPlanStats {
+  uint64_t structural_joins = 0;
+  uint64_t join_pairs = 0;
+  uint64_t intermediate_tuples = 0;
+};
+
+/// Tree-pattern evaluation the way TIMBER does it (§3.4: "A typical way
+/// to evaluate a tree pattern is to consider one edge at a time, and
+/// evaluate the corresponding structural join"): one stack-based
+/// structural join per pattern edge, composed bottom-up into witness
+/// tuples.
+///
+/// For each pattern node (post-order) the matcher holds a relation of
+/// partial witnesses for that node's subtree; a parent combines its
+/// candidate list with each child relation through the edge's
+/// structural join (descendant or child), cross-producting multiple
+/// matches and outer-joining optional children.
+///
+/// Produces exactly the same witness set as TwigMatcher (tests enforce
+/// this); the two differ only in evaluation strategy and therefore in
+/// cost shape — JoinMatcher is set-at-a-time (bulk joins over the tag
+/// indexes), TwigMatcher is node-at-a-time (recursive descent).
+class JoinMatcher {
+ public:
+  explicit JoinMatcher(const Database* db) : db_(db) {}
+
+  /// All witness trees of `pattern`, sorted by root binding (document
+  /// order), bindings aligned to pattern node ids like TwigMatcher's.
+  Result<std::vector<WitnessTree>> FindMatches(const TreePattern& pattern);
+
+  const JoinPlanStats& stats() const { return stats_; }
+
+ private:
+  /// A relation of partial witnesses keyed by the binding of
+  /// `anchor` (the subtree root all tuples share).
+  struct SubtreeRelation {
+    PatternNodeId anchor = kNoPatternNode;
+    /// Tuples: full-width binding vectors (capacity-sized).
+    std::vector<WitnessTree> tuples;
+  };
+
+  Result<SubtreeRelation> EvaluateSubtree(const TreePattern& pattern,
+                                          PatternNodeId node);
+
+  const Database* db_;
+  JoinPlanStats stats_;
+};
+
+}  // namespace x3
+
+#endif  // X3_PATTERN_JOIN_MATCHER_H_

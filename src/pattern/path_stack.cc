@@ -1,0 +1,226 @@
+#include "pattern/path_stack.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/logging.h"
+
+namespace x3 {
+
+namespace {
+
+/// One stack entry: the data node (with its end label cached) plus the
+/// index of the top of the parent-level stack at push time — every
+/// entry at or below that index is an ancestor candidate.
+struct StackEntry {
+  NodeId node;
+  NodeId end;
+  int parent_top;  // -1 when the parent stack was empty
+};
+
+}  // namespace
+
+bool PathStackMatcher::Supports(const TreePattern& pattern) {
+  if (pattern.root() == kNoPatternNode) return false;
+  PatternNodeId current = pattern.root();
+  for (;;) {
+    const PatternNode& node = pattern.node(current);
+    if (node.optional) return false;
+    if (node.children.empty()) return true;
+    if (node.children.size() > 1) return false;
+    current = node.children[0];
+  }
+}
+
+Result<std::vector<WitnessTree>> PathStackMatcher::FindMatches(
+    const TreePattern& pattern) {
+  if (!Supports(pattern)) {
+    return Status::InvalidArgument(
+        "PathStack evaluates linear chains without optional nodes");
+  }
+
+  // The chain, root first.
+  std::vector<PatternNodeId> chain;
+  for (PatternNodeId id = pattern.root(); id != kNoPatternNode;) {
+    chain.push_back(id);
+    const PatternNode& node = pattern.node(id);
+    id = node.children.empty() ? kNoPatternNode : node.children[0];
+  }
+  size_t levels = chain.size();
+
+  // Streams: per level, the sorted node list and a cursor. Wildcards
+  // stream every node (ids are dense preorder positions).
+  std::vector<const std::vector<NodeId>*> streams(levels);
+  std::vector<NodeId> all_nodes;
+  for (size_t i = 0; i < levels; ++i) {
+    const std::string& tag = pattern.node(chain[i]).tag;
+    if (tag == "*") {
+      if (all_nodes.empty()) {
+        all_nodes.resize(db_->node_count());
+        for (NodeId id = 0; id < db_->node_count(); ++id) all_nodes[id] = id;
+      }
+      streams[i] = &all_nodes;
+    } else {
+      streams[i] = &db_->NodesWithTag(tag);
+    }
+  }
+  std::vector<size_t> cursor(levels, 0);
+  std::vector<std::vector<StackEntry>> stacks(levels);
+
+  std::vector<WitnessTree> out;
+
+  // Expands all root-to-leaf chains ending at the given leaf entry.
+  auto emit_solutions = [&](const StackEntry& leaf_entry) {
+    // positions[i]: index into stacks[i] chosen for level i.
+    std::vector<int> positions(levels);
+    // Recursive expansion from the leaf level upward.
+    std::function<void(size_t, int)> expand = [&](size_t level,
+                                                  int max_index) {
+      if (max_index < 0) return;
+      if (level == 0) {
+        for (int j = 0; j <= max_index; ++j) {
+          positions[0] = j;
+          WitnessTree w;
+          w.bindings.assign(pattern.capacity(), kInvalidNodeId);
+          // Interior levels come from the stacks; the leaf binding is
+          // patched in by the caller (leaves are not stacked).
+          for (size_t l = 0; l + 1 < levels; ++l) {
+            w.bindings[static_cast<size_t>(chain[l])] =
+                stacks[l][static_cast<size_t>(positions[l])].node;
+          }
+          out.push_back(std::move(w));
+          ++stats_.solutions;
+        }
+        return;
+      }
+      for (int j = 0; j <= max_index; ++j) {
+        positions[level] = j;
+        expand(level - 1, stacks[level][static_cast<size_t>(j)].parent_top);
+      }
+    };
+    if (levels == 1) {
+      WitnessTree w;
+      w.bindings.assign(pattern.capacity(), kInvalidNodeId);
+      w.bindings[static_cast<size_t>(chain[0])] = leaf_entry.node;
+      out.push_back(std::move(w));
+      ++stats_.solutions;
+      return;
+    }
+    // The leaf entry is not on its stack; walk its ancestors directly
+    // and patch the leaf binding into each produced witness.
+    size_t before = out.size();
+    expand(levels - 2, leaf_entry.parent_top);
+    for (size_t i = before; i < out.size(); ++i) {
+      out[i].bindings[static_cast<size_t>(chain[levels - 1])] =
+          leaf_entry.node;
+    }
+  };
+
+  for (;;) {
+    // Find the stream whose head has the minimal start.
+    size_t qmin = levels;
+    NodeId min_start = kInvalidNodeId;
+    for (size_t i = 0; i < levels; ++i) {
+      if (cursor[i] >= streams[i]->size()) continue;
+      NodeId head = (*streams[i])[cursor[i]];
+      if (qmin == levels || head < min_start) {
+        qmin = i;
+        min_start = head;
+      }
+    }
+    if (qmin == levels) break;  // all streams exhausted
+    // If any higher level's stream is exhausted AND its stack is empty,
+    // deeper levels can never match again.
+    bool hopeless = false;
+    for (size_t i = 0; i < qmin; ++i) {
+      if (cursor[i] >= streams[i]->size() && stacks[i].empty()) {
+        hopeless = true;
+        break;
+      }
+    }
+    if (hopeless && qmin > 0) {
+      // Nothing above can embrace this node or any later one at qmin.
+      ++cursor[qmin];
+      continue;
+    }
+
+    ++stats_.nodes_scanned;
+    NodeRecord rec;
+    X3_RETURN_IF_ERROR(db_->GetNode(min_start, &rec));
+    // Value predicates prune the stream element here (before it can be
+    // pushed or emitted).
+    if (pattern.node(chain[qmin]).has_value_filter) {
+      X3_ASSIGN_OR_RETURN(
+          bool ok, NodeSatisfies(*db_, pattern.node(chain[qmin]), min_start));
+      if (!ok) {
+        ++cursor[qmin];
+        continue;
+      }
+    }
+
+    // Pop every stack entry whose interval closed before min_start.
+    for (size_t i = 0; i < levels; ++i) {
+      while (!stacks[i].empty() && stacks[i].back().end < min_start) {
+        stacks[i].pop_back();
+      }
+    }
+
+    int parent_top = -1;
+    if (qmin > 0) {
+      parent_top = static_cast<int>(stacks[qmin - 1].size()) - 1;
+      // The same node may sit in the parent stream when tags repeat
+      // along the chain (//a//a); containment must be strict.
+      if (parent_top >= 0 &&
+          stacks[qmin - 1][static_cast<size_t>(parent_top)].node ==
+              min_start) {
+        --parent_top;
+      }
+    }
+    StackEntry entry{min_start, rec.end, parent_top};
+    if (qmin == 0 || entry.parent_top >= 0) {
+      if (qmin == levels - 1) {
+        // Leaf level: expand solutions immediately; leaves need not be
+        // stacked (nothing nests under a chain's last level usefully —
+        // unless the leaf tag repeats along the chain, which the
+        // general push below handles).
+        emit_solutions(entry);
+        if (levels == 1) {
+          ++cursor[qmin];
+          continue;
+        }
+      } else {
+        stacks[qmin].push_back(entry);
+        ++stats_.pushes;
+      }
+    }
+    ++cursor[qmin];
+  }
+
+  // Post-filter parent-child edges (evaluated as ancestor-descendant).
+  bool has_pc = false;
+  for (size_t i = 1; i < levels; ++i) {
+    if (pattern.node(chain[i]).edge == StructuralAxis::kChild) {
+      has_pc = true;
+      break;
+    }
+  }
+  if (has_pc) {
+    std::vector<WitnessTree> filtered;
+    for (WitnessTree& w : out) {
+      bool ok = true;
+      for (size_t i = 1; i < levels && ok; ++i) {
+        if (pattern.node(chain[i]).edge != StructuralAxis::kChild) continue;
+        NodeId child = w.bindings[static_cast<size_t>(chain[i])];
+        NodeId parent = w.bindings[static_cast<size_t>(chain[i - 1])];
+        NodeRecord child_rec;
+        X3_RETURN_IF_ERROR(db_->GetNode(child, &child_rec));
+        ok = child_rec.parent == parent;
+      }
+      if (ok) filtered.push_back(std::move(w));
+    }
+    out = std::move(filtered);
+  }
+  return out;
+}
+
+}  // namespace x3

@@ -1,0 +1,54 @@
+#ifndef X3_PATTERN_PATH_STACK_H_
+#define X3_PATTERN_PATH_STACK_H_
+
+#include <vector>
+
+#include "pattern/tree_pattern.h"
+#include "pattern/twig_matcher.h"
+#include "util/result.h"
+#include "xdb/database.h"
+
+namespace x3 {
+
+/// Counters for a PathStack evaluation.
+struct PathStackStats {
+  uint64_t nodes_scanned = 0;
+  uint64_t pushes = 0;
+  uint64_t solutions = 0;
+};
+
+/// Holistic path matching à la PathStack (Bruno, Koudas & Srivastava,
+/// "Holistic Twig Joins", SIGMOD 2002): evaluates a *linear* pattern
+/// (a chain) in one synchronized pass over the per-tag node streams
+/// with one stack per pattern level, never materializing binary-join
+/// intermediates. This is the third evaluation strategy next to
+/// TwigMatcher (node-at-a-time) and JoinMatcher (edge-at-a-time); the
+/// three are proven equivalent on chains by property tests.
+///
+/// Parent-child edges are handled by evaluating the ancestor-descendant
+/// relaxation holistically and post-filtering the solutions (the
+/// standard practical treatment; PC pruning inside the stacks is an
+/// optimization, not a semantic necessity).
+class PathStackMatcher {
+ public:
+  explicit PathStackMatcher(const Database* db) : db_(db) {}
+
+  /// True iff the pattern is a chain without optional nodes (what
+  /// PathStack evaluates). Wildcards are fine.
+  static bool Supports(const TreePattern& pattern);
+
+  /// All witness trees, bindings aligned to pattern node ids (same
+  /// contract as TwigMatcher). Fails with InvalidArgument when
+  /// !Supports(pattern).
+  Result<std::vector<WitnessTree>> FindMatches(const TreePattern& pattern);
+
+  const PathStackStats& stats() const { return stats_; }
+
+ private:
+  const Database* db_;
+  PathStackStats stats_;
+};
+
+}  // namespace x3
+
+#endif  // X3_PATTERN_PATH_STACK_H_

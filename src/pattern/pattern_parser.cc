@@ -1,0 +1,234 @@
+#include "pattern/pattern_parser.h"
+
+#include "util/string_util.h"
+
+namespace x3 {
+namespace {
+
+bool IsNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.' ||
+         c == ':';
+}
+
+/// Recursive-descent parser for the XPath subset.
+class PathParser {
+ public:
+  explicit PathParser(std::string_view text) : text_(text) {}
+
+  /// Parses the whole text as a path under `parent` (kNoPatternNode for
+  /// a fresh absolute pattern whose first step becomes the root).
+  Result<std::vector<PatternNodeId>> Parse(TreePattern* pattern,
+                                           PatternNodeId parent) {
+    X3_ASSIGN_OR_RETURN(std::vector<PatternNodeId> spine,
+                        ParseSteps(pattern, parent));
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters in pattern");
+    }
+    return spine;
+  }
+
+ private:
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(StringPrintf(
+        "pattern parse error at offset %zu in \"%.*s\": %s", pos_,
+        static_cast<int>(text_.size()), text_.data(), msg.c_str()));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  /// Parses '/'/'//' + step sequences; returns the spine node ids.
+  Result<std::vector<PatternNodeId>> ParseSteps(TreePattern* pattern,
+                                                PatternNodeId parent) {
+    std::vector<PatternNodeId> spine;
+    bool first = true;
+    for (;;) {
+      SkipSpace();
+      StructuralAxis axis = StructuralAxis::kChild;
+      if (!AtEnd() && Peek() == '/') {
+        ++pos_;
+        if (!AtEnd() && Peek() == '/') {
+          ++pos_;
+          axis = StructuralAxis::kDescendant;
+        }
+      } else if (first) {
+        // Relative first step without a leading slash: child axis.
+        axis = StructuralAxis::kChild;
+      } else {
+        break;  // no more steps
+      }
+      SkipSpace();
+      X3_ASSIGN_OR_RETURN(std::string name, ParseName());
+      bool optional = false;
+      if (!AtEnd() && Peek() == '?') {
+        ++pos_;
+        optional = true;
+      }
+      PatternNodeId node;
+      if (parent == kNoPatternNode) {
+        if (pattern->root() != kNoPatternNode) {
+          return Error("pattern already has a root");
+        }
+        node = pattern->SetRoot(std::move(name));
+        (void)axis;  // the root has no incoming edge
+        if (optional) return Error("the root step cannot be optional");
+      } else {
+        node = pattern->AddNode(parent, std::move(name), axis, optional);
+      }
+      spine.push_back(node);
+      // Predicates attach as extra branches under this step (or as a
+      // value filter on it).
+      for (;;) {
+        SkipSpace();
+        if (AtEnd() || Peek() != '[') break;
+        ++pos_;
+        SkipSpace();
+        if (AtEnd() || Peek() != '.') {
+          return Error("predicate must start with '.'");
+        }
+        ++pos_;
+        X3_ASSIGN_OR_RETURN(bool was_value,
+                            MaybeParseValuePredicate(pattern, node));
+        if (!was_value) {
+          X3_ASSIGN_OR_RETURN(std::vector<PatternNodeId> branch,
+                              ParsePredicateSteps(pattern, node));
+          (void)branch;
+        }
+        SkipSpace();
+        if (AtEnd() || Peek() != ']') return Error("expected ']'");
+        ++pos_;
+      }
+      parent = node;
+      first = false;
+      SkipSpace();
+      if (AtEnd() || Peek() != '/') break;
+    }
+    if (spine.empty()) return Error("empty pattern");
+    return spine;
+  }
+
+  /// Steps inside a predicate: must begin with '/' or '//'.
+  Result<std::vector<PatternNodeId>> ParsePredicateSteps(
+      TreePattern* pattern, PatternNodeId parent) {
+    if (AtEnd() || Peek() != '/') {
+      return Error("expected '/' after '.' in predicate");
+    }
+    std::vector<PatternNodeId> spine;
+    for (;;) {
+      SkipSpace();
+      if (AtEnd() || Peek() != '/') break;
+      ++pos_;
+      StructuralAxis axis = StructuralAxis::kChild;
+      if (!AtEnd() && Peek() == '/') {
+        ++pos_;
+        axis = StructuralAxis::kDescendant;
+      }
+      SkipSpace();
+      X3_ASSIGN_OR_RETURN(std::string name, ParseName());
+      bool optional = false;
+      if (!AtEnd() && Peek() == '?') {
+        ++pos_;
+        optional = true;
+      }
+      PatternNodeId node =
+          pattern->AddNode(parent, std::move(name), axis, optional);
+      spine.push_back(node);
+      for (;;) {
+        SkipSpace();
+        if (AtEnd() || Peek() != '[') break;
+        ++pos_;
+        SkipSpace();
+        if (AtEnd() || Peek() != '.') {
+          return Error("predicate must start with '.'");
+        }
+        ++pos_;
+        X3_ASSIGN_OR_RETURN(bool was_value,
+                            MaybeParseValuePredicate(pattern, node));
+        if (!was_value) {
+          X3_ASSIGN_OR_RETURN(std::vector<PatternNodeId> nested,
+                              ParsePredicateSteps(pattern, node));
+          (void)nested;
+        }
+        SkipSpace();
+        if (AtEnd() || Peek() != ']') return Error("expected ']'");
+        ++pos_;
+      }
+      parent = node;
+    }
+    if (spine.empty()) return Error("empty predicate path");
+    return spine;
+  }
+
+  /// After "[." has been consumed: parses '= "value"' if present and
+  /// sets the filter on `node`. Returns false when the predicate is a
+  /// structural path instead (nothing consumed).
+  Result<bool> MaybeParseValuePredicate(TreePattern* pattern,
+                                        PatternNodeId node) {
+    SkipSpace();
+    if (AtEnd() || Peek() != '=') return false;
+    ++pos_;
+    SkipSpace();
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Error("expected quoted value after '.='");
+    }
+    char quote = Peek();
+    ++pos_;
+    size_t start = pos_;
+    while (!AtEnd() && Peek() != quote) ++pos_;
+    if (AtEnd()) return Error("unterminated value predicate");
+    std::string value(text_.substr(start, pos_ - start));
+    ++pos_;
+    X3_RETURN_IF_ERROR(pattern->SetValueFilter(node, std::move(value)));
+    return true;
+  }
+
+  Result<std::string> ParseName() {
+    if (AtEnd()) return Error("expected name");
+    std::string name;
+    if (Peek() == '@') {
+      name += '@';
+      ++pos_;
+    } else if (Peek() == '*') {
+      ++pos_;
+      return std::string("*");
+    }
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    if (pos_ == start) return Error("expected name");
+    name.append(text_.substr(start, pos_ - start));
+    return name;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ParsedPattern> ParsePattern(std::string_view text) {
+  ParsedPattern out;
+  PathParser parser(text);
+  X3_ASSIGN_OR_RETURN(out.spine, parser.Parse(&out.pattern, kNoPatternNode));
+  return out;
+}
+
+Result<std::vector<PatternNodeId>> ParseRelativePath(std::string_view text,
+                                                     TreePattern* pattern,
+                                                     PatternNodeId parent) {
+  if (parent == kNoPatternNode || !pattern->IsLive(parent)) {
+    return Status::InvalidArgument("relative path needs a live parent node");
+  }
+  PathParser parser(text);
+  return parser.Parse(pattern, parent);
+}
+
+}  // namespace x3

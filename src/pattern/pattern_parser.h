@@ -1,0 +1,51 @@
+#ifndef X3_PATTERN_PATTERN_PARSER_H_
+#define X3_PATTERN_PATTERN_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pattern/tree_pattern.h"
+#include "util/result.h"
+
+namespace x3 {
+
+/// A parsed path pattern: the pattern tree plus the node ids of the
+/// "spine" (the main path, in order). The last spine node is the
+/// pattern's output/grouping node.
+struct ParsedPattern {
+  TreePattern pattern;
+  std::vector<PatternNodeId> spine;
+
+  PatternNodeId output_node() const {
+    return spine.empty() ? kNoPatternNode : spine.back();
+  }
+};
+
+/// Parses an XPath-subset pattern into a TreePattern.
+///
+/// Grammar (no whitespace sensitivity):
+///   pattern   := ('/' | '//')? step (('/' | '//') step)*
+///   step      := name '?'? predicate*
+///   name      := NCName | '@' NCName | '*'
+///   predicate := '[' '.' ('/' | '//') step (('/' | '//') step)* ']'
+///
+/// Examples:
+///   //publication/author/name
+///   publication[./author/name][.//publisher/@id]/year
+///   //book/title?          (optional step: outer join)
+///
+/// A leading '//' makes the first step a descendant of an implicit
+/// document context; since the database matches pattern roots anywhere,
+/// '/a' and '//a' as the first step are equivalent here.
+Result<ParsedPattern> ParsePattern(std::string_view text);
+
+/// Parses a pattern that is relative to an existing pattern node: the
+/// steps are appended under `parent` of `pattern`, returning the spine.
+Result<std::vector<PatternNodeId>> ParseRelativePath(std::string_view text,
+                                                     TreePattern* pattern,
+                                                     PatternNodeId parent);
+
+}  // namespace x3
+
+#endif  // X3_PATTERN_PATTERN_PARSER_H_

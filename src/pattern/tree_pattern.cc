@@ -1,0 +1,160 @@
+#include "pattern/tree_pattern.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace x3 {
+
+PatternNodeId TreePattern::SetRoot(std::string tag) {
+  X3_CHECK(root_ == kNoPatternNode) << "root already set";
+  PatternNode node;
+  node.tag = std::move(tag);
+  nodes_.push_back(std::move(node));
+  tombstone_.push_back(false);
+  root_ = 0;
+  live_count_ = 1;
+  return root_;
+}
+
+PatternNodeId TreePattern::AddNode(PatternNodeId parent, std::string tag,
+                                   StructuralAxis edge, bool optional) {
+  X3_CHECK(IsLive(parent)) << "AddNode under dead parent";
+  PatternNode node;
+  node.tag = std::move(tag);
+  node.edge = edge;
+  node.optional = optional;
+  node.parent = parent;
+  PatternNodeId id = static_cast<PatternNodeId>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  tombstone_.push_back(false);
+  nodes_[static_cast<size_t>(parent)].children.push_back(id);
+  ++live_count_;
+  return id;
+}
+
+Status TreePattern::DeleteLeaf(PatternNodeId id) {
+  if (!IsLive(id)) return Status::InvalidArgument("delete of dead node");
+  if (id == root_) return Status::InvalidArgument("cannot delete root");
+  PatternNode& node = nodes_[static_cast<size_t>(id)];
+  if (!node.children.empty()) {
+    return Status::InvalidArgument("LND applies only to leaves: " +
+                                   node.tag);
+  }
+  auto& siblings = nodes_[static_cast<size_t>(node.parent)].children;
+  siblings.erase(std::remove(siblings.begin(), siblings.end(), id),
+                 siblings.end());
+  tombstone_[static_cast<size_t>(id)] = true;
+  --live_count_;
+  return Status::OK();
+}
+
+Status TreePattern::PromoteToGrandparent(PatternNodeId id) {
+  if (!IsLive(id)) return Status::InvalidArgument("SP of dead node");
+  if (id == root_) return Status::InvalidArgument("cannot promote root");
+  PatternNode& node = nodes_[static_cast<size_t>(id)];
+  PatternNodeId parent = node.parent;
+  PatternNodeId grandparent = nodes_[static_cast<size_t>(parent)].parent;
+  if (grandparent == kNoPatternNode) {
+    return Status::InvalidArgument("SP requires a grandparent: " + node.tag);
+  }
+  auto& siblings = nodes_[static_cast<size_t>(parent)].children;
+  siblings.erase(std::remove(siblings.begin(), siblings.end(), id),
+                 siblings.end());
+  node.parent = grandparent;
+  node.edge = StructuralAxis::kDescendant;
+  nodes_[static_cast<size_t>(grandparent)].children.push_back(id);
+  return Status::OK();
+}
+
+Status TreePattern::GeneralizeEdge(PatternNodeId id) {
+  if (!IsLive(id)) return Status::InvalidArgument("PC-AD of dead node");
+  if (id == root_) return Status::InvalidArgument("root has no edge");
+  nodes_[static_cast<size_t>(id)].edge = StructuralAxis::kDescendant;
+  return Status::OK();
+}
+
+Status TreePattern::SetValueFilter(PatternNodeId id, std::string value) {
+  if (!IsLive(id)) {
+    return Status::InvalidArgument("value filter on dead node");
+  }
+  PatternNode& node = nodes_[static_cast<size_t>(id)];
+  node.has_value_filter = true;
+  node.value_filter = std::move(value);
+  return Status::OK();
+}
+
+std::vector<PatternNodeId> TreePattern::LiveNodes() const {
+  std::vector<PatternNodeId> out;
+  if (root_ == kNoPatternNode) return out;
+  std::vector<PatternNodeId> stack{root_};
+  while (!stack.empty()) {
+    PatternNodeId id = stack.back();
+    stack.pop_back();
+    out.push_back(id);
+    const auto& children = nodes_[static_cast<size_t>(id)].children;
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+std::string TreePattern::CanonicalSubtree(PatternNodeId id,
+                                          PatternNodeId mark) const {
+  const PatternNode& node = nodes_[static_cast<size_t>(id)];
+  std::string out;
+  out += (id == root_ || node.edge == StructuralAxis::kChild) ? "/" : "//";
+  out += node.tag;
+  if (node.optional) out += "?";
+  if (node.has_value_filter) out += "{=" + node.value_filter + "}";
+  if (id == mark) out += "!";
+  if (!node.children.empty()) {
+    std::vector<std::string> parts;
+    parts.reserve(node.children.size());
+    for (PatternNodeId child : node.children) {
+      parts.push_back(CanonicalSubtree(child, mark));
+    }
+    std::sort(parts.begin(), parts.end());
+    out += "(";
+    out += JoinStrings(parts, ",");
+    out += ")";
+  }
+  return out;
+}
+
+std::string TreePattern::CanonicalForm(PatternNodeId mark) const {
+  if (root_ == kNoPatternNode) return "";
+  return CanonicalSubtree(root_, mark);
+}
+
+void TreePattern::RenderNode(PatternNodeId id, std::string* out) const {
+  const PatternNode& node = nodes_[static_cast<size_t>(id)];
+  if (id != root_) {
+    out->append(node.edge == StructuralAxis::kChild ? "/" : "//");
+  }
+  out->append(node.tag);
+  if (node.optional) out->append("?");
+  if (node.has_value_filter) {
+    out->append("[.=\"" + node.value_filter + "\"]");
+  }
+  if (node.children.size() == 1) {
+    RenderNode(node.children[0], out);
+  } else {
+    for (PatternNodeId child : node.children) {
+      out->append("[.");
+      RenderNode(child, out);
+      out->append("]");
+    }
+  }
+}
+
+std::string TreePattern::ToString() const {
+  if (root_ == kNoPatternNode) return "(empty)";
+  std::string out;
+  RenderNode(root_, &out);
+  return out;
+}
+
+}  // namespace x3

@@ -1,0 +1,269 @@
+#include "pattern/twig_matcher.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace x3 {
+
+namespace {
+
+/// Merges two partial witness sets by cross product. Bindings must be
+/// disjoint (each pattern node bound in exactly one side).
+std::vector<WitnessTree> CrossProduct(const std::vector<WitnessTree>& a,
+                                      const std::vector<WitnessTree>& b,
+                                      size_t limit) {
+  std::vector<WitnessTree> out;
+  out.reserve(std::min(a.size() * b.size(), limit));
+  for (const WitnessTree& wa : a) {
+    for (const WitnessTree& wb : b) {
+      WitnessTree w = wa;
+      for (size_t i = 0; i < w.bindings.size(); ++i) {
+        if (wb.bindings[i] != kInvalidNodeId) {
+          w.bindings[i] = wb.bindings[i];
+        }
+      }
+      out.push_back(std::move(w));
+      if (out.size() >= limit) return out;
+    }
+  }
+  return out;
+}
+
+WitnessTree EmptyWitness(size_t capacity) {
+  WitnessTree w;
+  w.bindings.assign(capacity, kInvalidNodeId);
+  return w;
+}
+
+}  // namespace
+
+Result<bool> NodeSatisfies(const Database& db, const PatternNode& pnode,
+                           NodeId id) {
+  NodeRecord rec;
+  X3_RETURN_IF_ERROR(db.GetNode(id, &rec));
+  if (pnode.tag != "*" && db.tags().Lookup(pnode.tag) != rec.tag_id) {
+    return false;
+  }
+  if (pnode.has_value_filter) {
+    if (rec.value_id == kInvalidValueId) return false;
+    if (db.values().Lookup(pnode.value_filter) != rec.value_id) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<std::vector<NodeId>> TwigMatcher::Candidates(const TreePattern& pattern,
+                                                    PatternNodeId pattern_id,
+                                                    NodeId parent_binding) {
+  const PatternNode& pnode = pattern.node(pattern_id);
+  std::vector<NodeId> candidates;
+  if (pnode.tag == "*") {
+    // Wildcard: all nodes in the subtree interval (ids are dense
+    // preorder positions).
+    NodeRecord parent_rec;
+    X3_RETURN_IF_ERROR(db_->GetNode(parent_binding, &parent_rec));
+    candidates.reserve(parent_rec.end - parent_binding);
+    for (NodeId id = parent_binding + 1; id <= parent_rec.end; ++id) {
+      candidates.push_back(id);
+    }
+  } else {
+    TagId tag_id = db_->tags().Lookup(pnode.tag);
+    if (tag_id == kInvalidTagId) return std::vector<NodeId>{};
+    X3_ASSIGN_OR_RETURN(candidates,
+                        db_->DescendantsWithTag(parent_binding, tag_id));
+  }
+  if (pnode.edge == StructuralAxis::kChild) {
+    std::vector<NodeId> children;
+    children.reserve(candidates.size());
+    for (NodeId id : candidates) {
+      NodeRecord rec;
+      X3_RETURN_IF_ERROR(db_->GetNode(id, &rec));
+      if (rec.parent == parent_binding) children.push_back(id);
+    }
+    candidates = std::move(children);
+  }
+  if (pnode.has_value_filter) {
+    std::vector<NodeId> filtered;
+    filtered.reserve(candidates.size());
+    for (NodeId id : candidates) {
+      X3_ASSIGN_OR_RETURN(bool ok, NodeSatisfies(*db_, pnode, id));
+      if (ok) filtered.push_back(id);
+    }
+    candidates = std::move(filtered);
+  }
+  stats_.candidates_examined += candidates.size();
+  return candidates;
+}
+
+Status TwigMatcher::MatchSubtree(const TreePattern& pattern,
+                                 PatternNodeId pattern_id, NodeId binding,
+                                 std::vector<WitnessTree>* out, size_t limit) {
+  // Start with this node's own binding.
+  std::vector<WitnessTree> acc;
+  WitnessTree self = EmptyWitness(pattern.capacity());
+  self.bindings[static_cast<size_t>(pattern_id)] = binding;
+  acc.push_back(std::move(self));
+
+  for (PatternNodeId child : pattern.node(pattern_id).children) {
+    X3_ASSIGN_OR_RETURN(std::vector<NodeId> candidates,
+                        Candidates(pattern, child, binding));
+    std::vector<WitnessTree> child_matches;
+    for (NodeId cand : candidates) {
+      X3_RETURN_IF_ERROR(
+          MatchSubtree(pattern, child, cand, &child_matches, limit));
+      if (child_matches.size() >= limit) break;
+    }
+    if (child_matches.empty()) {
+      if (pattern.node(child).optional) {
+        // Outer join: one all-null witness for the child subtree.
+        child_matches.push_back(EmptyWitness(pattern.capacity()));
+      } else {
+        // Required child failed: this candidate binding produces no
+        // witnesses. Earlier candidates' results in *out are kept.
+        return Status::OK();
+      }
+    }
+    acc = CrossProduct(acc, child_matches, limit);
+    if (acc.empty()) return Status::OK();
+  }
+  for (WitnessTree& w : acc) {
+    out->push_back(std::move(w));
+    if (out->size() >= limit) break;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<WitnessTree>> TwigMatcher::FindMatches(
+    const TreePattern& pattern, size_t limit) {
+  if (pattern.root() == kNoPatternNode) {
+    return Status::InvalidArgument("pattern has no root");
+  }
+  std::vector<WitnessTree> out;
+  const PatternNode& root = pattern.node(pattern.root());
+  if (root.tag == "*") {
+    for (NodeId id = 0; id < db_->node_count() && out.size() < limit; ++id) {
+      X3_ASSIGN_OR_RETURN(bool ok, NodeSatisfies(*db_, root, id));
+      if (!ok) continue;
+      X3_RETURN_IF_ERROR(FindUnderInto(pattern, id, &out, limit));
+    }
+    return out;
+  }
+  const std::vector<NodeId>& roots = db_->NodesWithTag(root.tag);
+  for (NodeId id : roots) {
+    if (out.size() >= limit) break;
+    if (root.has_value_filter) {
+      X3_ASSIGN_OR_RETURN(bool ok, NodeSatisfies(*db_, root, id));
+      if (!ok) continue;
+    }
+    X3_RETURN_IF_ERROR(FindUnderInto(pattern, id, &out, limit));
+  }
+  return out;
+}
+
+Result<std::vector<WitnessTree>> TwigMatcher::FindMatchesUnder(
+    const TreePattern& pattern, NodeId root_binding, size_t limit) {
+  if (pattern.root() == kNoPatternNode) {
+    return Status::InvalidArgument("pattern has no root");
+  }
+  X3_ASSIGN_OR_RETURN(
+      bool ok, NodeSatisfies(*db_, pattern.node(pattern.root()),
+                             root_binding));
+  if (!ok) return std::vector<WitnessTree>{};
+  std::vector<WitnessTree> out;
+  X3_RETURN_IF_ERROR(FindUnderInto(pattern, root_binding, &out, limit));
+  return out;
+}
+
+Result<bool> TwigMatcher::Embeds(
+    const TreePattern& pattern,
+    const std::vector<std::pair<PatternNodeId, NodeId>>& fixed_bindings) {
+  if (pattern.root() == kNoPatternNode) {
+    return Status::InvalidArgument("pattern has no root");
+  }
+  std::vector<NodeId> fixed(pattern.capacity(), kInvalidNodeId);
+  for (const auto& [pid, nid] : fixed_bindings) {
+    if (!pattern.IsLive(pid)) {
+      return Status::InvalidArgument("fixed binding on dead pattern node");
+    }
+    fixed[static_cast<size_t>(pid)] = nid;
+  }
+  NodeId root_fixed = fixed[static_cast<size_t>(pattern.root())];
+  if (root_fixed != kInvalidNodeId) {
+    X3_ASSIGN_OR_RETURN(
+        bool ok,
+        NodeSatisfies(*db_, pattern.node(pattern.root()), root_fixed));
+    if (!ok) return false;
+    return EmbedsSubtree(pattern, pattern.root(), root_fixed, fixed);
+  }
+  const PatternNode& root = pattern.node(pattern.root());
+  const std::vector<NodeId>& roots = db_->NodesWithTag(root.tag);
+  for (NodeId id : roots) {
+    if (root.has_value_filter) {
+      X3_ASSIGN_OR_RETURN(bool sat, NodeSatisfies(*db_, root, id));
+      if (!sat) continue;
+    }
+    X3_ASSIGN_OR_RETURN(bool ok,
+                        EmbedsSubtree(pattern, pattern.root(), id, fixed));
+    if (ok) return true;
+  }
+  return false;
+}
+
+Result<bool> TwigMatcher::EmbedsSubtree(const TreePattern& pattern,
+                                        PatternNodeId pattern_id,
+                                        NodeId binding,
+                                        const std::vector<NodeId>& fixed) {
+  for (PatternNodeId child : pattern.node(pattern_id).children) {
+    NodeId child_fixed = fixed[static_cast<size_t>(child)];
+    bool matched = false;
+    if (child_fixed != kInvalidNodeId) {
+      // The fixed node must satisfy the structural edge from `binding`.
+      NodeRecord crec;
+      X3_RETURN_IF_ERROR(db_->GetNode(child_fixed, &crec));
+      const PatternNode& pchild = pattern.node(child);
+      bool edge_ok = false;
+      if (pchild.edge == StructuralAxis::kChild) {
+        edge_ok = crec.parent == binding;
+      } else {
+        X3_ASSIGN_OR_RETURN(edge_ok, db_->IsAncestor(binding, child_fixed));
+      }
+      X3_ASSIGN_OR_RETURN(bool tag_ok,
+                          NodeSatisfies(*db_, pchild, child_fixed));
+      if (edge_ok && tag_ok) {
+        X3_ASSIGN_OR_RETURN(matched,
+                            EmbedsSubtree(pattern, child, child_fixed, fixed));
+      }
+    } else {
+      X3_ASSIGN_OR_RETURN(std::vector<NodeId> candidates,
+                          Candidates(pattern, child, binding));
+      for (NodeId cand : candidates) {
+        X3_ASSIGN_OR_RETURN(bool ok,
+                            EmbedsSubtree(pattern, child, cand, fixed));
+        if (ok) {
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched && !pattern.node(child).optional) return false;
+    if (!matched && child_fixed != kInvalidNodeId) {
+      // A fixed binding that cannot be embedded fails even if optional:
+      // the caller asked specifically about this binding.
+      return false;
+    }
+  }
+  return true;
+}
+
+Status TwigMatcher::FindUnderInto(const TreePattern& pattern, NodeId root,
+                                  std::vector<WitnessTree>* out,
+                                  size_t limit) {
+  size_t before = out->size();
+  X3_RETURN_IF_ERROR(MatchSubtree(pattern, pattern.root(), root, out, limit));
+  stats_.witnesses_emitted += out->size() - before;
+  return Status::OK();
+}
+
+}  // namespace x3

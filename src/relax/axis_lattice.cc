@@ -1,0 +1,192 @@
+#include "relax/axis_lattice.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace x3 {
+namespace {
+
+/// Nodes in relaxation scope: every live node except the root.
+std::vector<PatternNodeId> ScopeOf(const TreePattern& pattern) {
+  std::vector<PatternNodeId> scope;
+  for (PatternNodeId id : pattern.LiveNodes()) {
+    if (id != pattern.root()) scope.push_back(id);
+  }
+  return scope;
+}
+
+/// The collapsed "absent" state: just the fact root.
+TreePattern AbsentPattern(const TreePattern& base) {
+  TreePattern out;
+  out.SetRoot(base.node(base.root()).tag);
+  return out;
+}
+
+}  // namespace
+
+Result<AxisLattice> AxisLattice::Build(const TreePattern& base,
+                                       PatternNodeId grouping_node,
+                                       RelaxationSet permitted,
+                                       std::string axis_name) {
+  if (base.root() == kNoPatternNode) {
+    return Status::InvalidArgument("axis pattern has no root");
+  }
+  if (!base.IsLive(grouping_node) || grouping_node == base.root()) {
+    return Status::InvalidArgument(
+        "grouping node must be a live non-root pattern node");
+  }
+
+  AxisLattice lattice;
+  lattice.name_ = std::move(axis_name);
+  lattice.permitted_ = permitted;
+
+  std::unordered_map<std::string, AxisStateId> seen;
+
+  auto intern_state = [&](TreePattern pattern, PatternNodeId grouping,
+                          int steps) -> AxisStateId {
+    std::string key = pattern.CanonicalForm(grouping);
+    auto it = seen.find(key);
+    if (it != seen.end()) {
+      AxisState& existing = lattice.states_[it->second];
+      existing.min_steps = std::min(existing.min_steps, steps);
+      return it->second;
+    }
+    AxisStateId id = static_cast<AxisStateId>(lattice.states_.size());
+    AxisState state;
+    state.pattern = std::move(pattern);
+    state.grouping_node = grouping;
+    state.min_steps = steps;
+    lattice.states_.push_back(std::move(state));
+    lattice.successors_.emplace_back();
+    lattice.predecessors_.emplace_back();
+    seen.emplace(std::move(key), id);
+    return id;
+  };
+
+  AxisStateId rigid = intern_state(base, grouping_node, 0);
+  (void)rigid;
+
+  std::deque<AxisStateId> queue{0};
+  std::vector<bool> expanded;
+  while (!queue.empty()) {
+    AxisStateId current = queue.front();
+    queue.pop_front();
+    if (expanded.size() < lattice.states_.size()) {
+      expanded.resize(lattice.states_.size(), false);
+    }
+    if (expanded[current]) continue;
+    expanded[current] = true;
+
+    // Copy out what we need: intern_state may reallocate states_.
+    TreePattern pattern = lattice.states_[current].pattern;
+    PatternNodeId grouping = lattice.states_[current].grouping_node;
+    int steps = lattice.states_[current].min_steps;
+    if (!lattice.states_[current].grouping_present()) {
+      continue;  // absent state is terminal
+    }
+
+    std::vector<RelaxationOp> ops =
+        ApplicableRelaxations(pattern, ScopeOf(pattern), permitted);
+    for (const RelaxationOp& op : ops) {
+      TreePattern next;
+      PatternNodeId next_grouping = grouping;
+      if (op.type == RelaxationType::kLND && op.target == grouping) {
+        // Deleting the grouping node collapses the axis to "absent".
+        next = AbsentPattern(pattern);
+        next_grouping = kNoPatternNode;
+      } else {
+        X3_ASSIGN_OR_RETURN(next, ApplyRelaxation(pattern, op));
+      }
+      if (lattice.states_.size() >= kMaxAxisStates &&
+          seen.find(next.CanonicalForm(next_grouping)) == seen.end()) {
+        return Status::ResourceExhausted(StringPrintf(
+            "axis '%s' exceeds %zu relaxation states; restrict the "
+            "permitted relaxations",
+            lattice.name_.c_str(), kMaxAxisStates));
+      }
+      AxisStateId next_id = intern_state(std::move(next), next_grouping,
+                                         steps + 1);
+      if (next_id != current) {
+        auto& succ = lattice.successors_[current];
+        if (std::find(succ.begin(), succ.end(), next_id) == succ.end()) {
+          succ.push_back(next_id);
+          lattice.predecessors_[next_id].push_back(current);
+        }
+        if (next_id >= expanded.size() || !expanded[next_id]) {
+          queue.push_back(next_id);
+        }
+      }
+    }
+  }
+
+  // Locate the absent state.
+  for (AxisStateId i = 0; i < lattice.states_.size(); ++i) {
+    if (!lattice.states_[i].grouping_present()) {
+      lattice.absent_ = i;
+      break;
+    }
+  }
+
+  // Topological order (Kahn) — edges go less->more relaxed and the op
+  // measure argument guarantees acyclicity.
+  std::vector<int> indegree(lattice.states_.size(), 0);
+  for (const auto& succ : lattice.successors_) {
+    for (AxisStateId t : succ) ++indegree[t];
+  }
+  std::deque<AxisStateId> ready;
+  for (AxisStateId i = 0; i < lattice.states_.size(); ++i) {
+    if (indegree[i] == 0) ready.push_back(i);
+  }
+  while (!ready.empty()) {
+    AxisStateId id = ready.front();
+    ready.pop_front();
+    lattice.states_[id].topo_rank =
+        static_cast<int>(lattice.topo_order_.size());
+    lattice.topo_order_.push_back(id);
+    for (AxisStateId t : lattice.successors_[id]) {
+      if (--indegree[t] == 0) ready.push_back(t);
+    }
+  }
+  if (lattice.topo_order_.size() != lattice.states_.size()) {
+    return Status::Internal("axis relaxation graph has a cycle");
+  }
+
+  // Transitive closure (reverse topological order; <= 64 states).
+  lattice.reachable_.assign(lattice.states_.size(), 0);
+  for (auto it = lattice.topo_order_.rbegin();
+       it != lattice.topo_order_.rend(); ++it) {
+    AxisStateId s = *it;
+    AxisStateMask mask = AxisStateMask{1} << s;
+    for (AxisStateId t : lattice.successors_[s]) {
+      mask |= lattice.reachable_[t];
+    }
+    lattice.reachable_[s] = mask;
+  }
+  return lattice;
+}
+
+bool AxisLattice::IsChain() const {
+  for (size_t i = 0; i < states_.size(); ++i) {
+    if (successors_[i].size() > 1 || predecessors_[i].size() > 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string AxisLattice::ToString() const {
+  std::string out;
+  for (AxisStateId i = 0; i < states_.size(); ++i) {
+    const AxisState& s = states_[i];
+    out += StringPrintf("state %u (steps=%d rank=%d%s): %s\n", i,
+                        s.min_steps, s.topo_rank,
+                        s.grouping_present() ? "" : " ABSENT",
+                        s.pattern.ToString().c_str());
+  }
+  return out;
+}
+
+}  // namespace x3

@@ -1,0 +1,108 @@
+#ifndef X3_RELAX_AXIS_LATTICE_H_
+#define X3_RELAX_AXIS_LATTICE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pattern/tree_pattern.h"
+#include "relax/relaxation.h"
+#include "util/result.h"
+
+namespace x3 {
+
+/// Index of a relaxation state within an axis's lattice.
+using AxisStateId = uint32_t;
+
+/// Bitmask over an axis's states (bit s = state s); used as the
+/// admission mask of a binding in the fact table. Caps states at 64.
+using AxisStateMask = uint64_t;
+inline constexpr size_t kMaxAxisStates = 64;
+
+/// One relaxation state of a grouping axis: the (partially) relaxed
+/// pattern, and which pattern node carries the grouping value (absent
+/// when the grouping node has been LND-deleted — the classical
+/// "dimension removed" state).
+struct AxisState {
+  TreePattern pattern;
+  PatternNodeId grouping_node = kNoPatternNode;
+  /// Minimum number of relaxation ops from the rigid pattern.
+  int min_steps = 0;
+  /// Position in a topological order (0 = rigid).
+  int topo_rank = 0;
+
+  bool grouping_present() const { return grouping_node != kNoPatternNode; }
+};
+
+/// The relaxation-state DAG of one axis: all patterns reachable from
+/// the rigid axis pattern by applying the permitted relaxations, with
+/// one edge per single op. State 0 is always the rigid pattern; when
+/// LND is permitted there is a unique "absent" state (the grouping node
+/// deleted; the axis collapses to just the fact root, since conditions
+/// on a removed dimension play no further role in the cube — this
+/// matches the most-relaxed point (o) of the paper's Fig. 3).
+class AxisLattice {
+ public:
+  /// Builds the closure. `base` is the rigid axis pattern: its root is
+  /// the shared fact node; every other live node belongs to the axis and
+  /// is in relaxation scope. `grouping_node` is the value-carrying node.
+  static Result<AxisLattice> Build(const TreePattern& base,
+                                   PatternNodeId grouping_node,
+                                   RelaxationSet permitted,
+                                   std::string axis_name = "");
+
+  size_t num_states() const { return states_.size(); }
+  const AxisState& state(AxisStateId id) const { return states_[id]; }
+  AxisStateId rigid_state() const { return 0; }
+  std::optional<AxisStateId> absent_state() const { return absent_; }
+  const std::string& name() const { return name_; }
+  RelaxationSet permitted() const { return permitted_; }
+
+  /// One-step relaxation edges: succ = states one op more relaxed.
+  const std::vector<AxisStateId>& successors(AxisStateId id) const {
+    return successors_[id];
+  }
+  const std::vector<AxisStateId>& predecessors(AxisStateId id) const {
+    return predecessors_[id];
+  }
+
+  /// State ids in topological order, least relaxed first.
+  const std::vector<AxisStateId>& topo_order() const { return topo_order_; }
+
+  /// True iff `to` is reachable from `from` by zero or more relaxation
+  /// steps (i.e. `to` is at least as relaxed as `from`).
+  bool Reachable(AxisStateId from, AxisStateId to) const {
+    return (reachable_[from] >> to) & 1u;
+  }
+
+  /// Mask of all states reachable from `from` (including itself).
+  AxisStateMask ReachableMask(AxisStateId from) const {
+    return reachable_[from];
+  }
+
+  /// True iff the state DAG is a chain (each state has <= 1 successor
+  /// and <= 1 predecessor); several algorithm variants specialize on
+  /// chains.
+  bool IsChain() const;
+
+  /// Diagnostic dump, one line per state.
+  std::string ToString() const;
+
+ private:
+  AxisLattice() = default;
+
+  std::string name_;
+  RelaxationSet permitted_;
+  std::vector<AxisState> states_;
+  std::vector<std::vector<AxisStateId>> successors_;
+  std::vector<std::vector<AxisStateId>> predecessors_;
+  std::vector<AxisStateId> topo_order_;
+  /// reachable_[s] = bitmask of states reachable from s (closure).
+  std::vector<AxisStateMask> reachable_;
+  std::optional<AxisStateId> absent_;
+};
+
+}  // namespace x3
+
+#endif  // X3_RELAX_AXIS_LATTICE_H_

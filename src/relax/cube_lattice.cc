@@ -1,0 +1,110 @@
+#include "relax/cube_lattice.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace x3 {
+
+Result<CubeLattice> CubeLattice::Build(std::vector<AxisLattice> axes) {
+  if (axes.empty()) {
+    return Status::InvalidArgument("cube lattice needs at least one axis");
+  }
+  CubeLattice lattice;
+  lattice.axes_ = std::move(axes);
+  lattice.strides_.resize(lattice.axes_.size());
+  uint64_t stride = 1;
+  for (size_t i = 0; i < lattice.axes_.size(); ++i) {
+    lattice.strides_[i] = stride;
+    uint64_t n = lattice.axes_[i].num_states();
+    if (n == 0) return Status::InvalidArgument("axis with no states");
+    if (stride > UINT64_MAX / n) {
+      return Status::ResourceExhausted("cube lattice too large to index");
+    }
+    stride *= n;
+  }
+  lattice.num_cuboids_ = stride;
+  return lattice;
+}
+
+std::vector<AxisStateId> CubeLattice::Decode(CuboidId id) const {
+  std::vector<AxisStateId> states(axes_.size());
+  for (size_t i = 0; i < axes_.size(); ++i) {
+    states[i] = StateOf(id, i);
+  }
+  return states;
+}
+
+CuboidId CubeLattice::Encode(const std::vector<AxisStateId>& states) const {
+  CuboidId id = 0;
+  for (size_t i = 0; i < axes_.size(); ++i) {
+    id += static_cast<uint64_t>(states[i]) * strides_[i];
+  }
+  return id;
+}
+
+std::vector<size_t> CubeLattice::PresentAxes(CuboidId id) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < axes_.size(); ++i) {
+    if (axes_[i].state(StateOf(id, i)).grouping_present()) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<CuboidId> CubeLattice::MoreRelaxedNeighbors(CuboidId id) const {
+  std::vector<CuboidId> out;
+  for (size_t i = 0; i < axes_.size(); ++i) {
+    AxisStateId s = StateOf(id, i);
+    for (AxisStateId t : axes_[i].successors(s)) {
+      out.push_back(id + (static_cast<uint64_t>(t) - s) * strides_[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<CuboidId> CubeLattice::LessRelaxedNeighbors(CuboidId id) const {
+  std::vector<CuboidId> out;
+  for (size_t i = 0; i < axes_.size(); ++i) {
+    AxisStateId s = StateOf(id, i);
+    for (AxisStateId t : axes_[i].predecessors(s)) {
+      out.push_back(id - (static_cast<uint64_t>(s) - t) * strides_[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<CuboidId> CubeLattice::TopoOrder() const {
+  std::vector<CuboidId> order(num_cuboids_);
+  for (CuboidId id = 0; id < num_cuboids_; ++id) order[id] = id;
+  // Sum of per-axis topo ranks strictly increases along every edge, so
+  // sorting by it yields a topological order. Ties broken by id for
+  // determinism.
+  auto rank = [this](CuboidId id) {
+    uint64_t total = 0;
+    for (size_t i = 0; i < axes_.size(); ++i) {
+      total += static_cast<uint64_t>(axes_[i].state(StateOf(id, i)).topo_rank);
+    }
+    return total;
+  };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](CuboidId a, CuboidId b) { return rank(a) < rank(b); });
+  return order;
+}
+
+std::string CubeLattice::DescribeCuboid(CuboidId id) const {
+  std::string out = "[";
+  for (size_t i = 0; i < axes_.size(); ++i) {
+    if (i > 0) out += " ";
+    const AxisLattice& axis = axes_[i];
+    const AxisState& state = axis.state(StateOf(id, i));
+    out += axis.name().empty() ? StringPrintf("axis%zu", i) : axis.name();
+    out += ":";
+    out += state.grouping_present() ? state.pattern.ToString() : "ABSENT";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace x3

@@ -1,0 +1,78 @@
+#ifndef X3_RELAX_CUBE_LATTICE_H_
+#define X3_RELAX_CUBE_LATTICE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relax/axis_lattice.h"
+#include "util/result.h"
+
+namespace x3 {
+
+/// Identifier of a cuboid (lattice point): a mixed-radix encoding of
+/// the per-axis state ids.
+using CuboidId = uint64_t;
+
+/// The X^3 cube lattice: the product of the per-axis relaxation-state
+/// DAGs. Each lattice point (cuboid) assigns one relaxation state to
+/// every axis; its groups are determined by the values of the axes
+/// whose grouping node is still present. The global top is the rigid
+/// pattern on every axis; an edge is a single relaxation on a single
+/// axis (Fig. 3 of the paper).
+class CubeLattice {
+ public:
+  /// Takes ownership of the per-axis lattices.
+  static Result<CubeLattice> Build(std::vector<AxisLattice> axes);
+
+  size_t num_axes() const { return axes_.size(); }
+  const AxisLattice& axis(size_t i) const { return axes_[i]; }
+
+  /// Total number of cuboids (product of per-axis state counts).
+  uint64_t num_cuboids() const { return num_cuboids_; }
+
+  /// State of `axis` in cuboid `id`.
+  AxisStateId StateOf(CuboidId id, size_t axis) const {
+    return static_cast<AxisStateId>((id / strides_[axis]) %
+                                    axes_[axis].num_states());
+  }
+
+  /// Decodes all states of a cuboid.
+  std::vector<AxisStateId> Decode(CuboidId id) const;
+
+  /// Encodes per-axis states into a CuboidId.
+  CuboidId Encode(const std::vector<AxisStateId>& states) const;
+
+  /// The least relaxed cuboid (all axes rigid) — the lattice top in the
+  /// paper's orientation ("finest level of aggregation").
+  CuboidId FinestCuboid() const { return 0; }
+
+  /// Axes with a present grouping node in `id`, in axis order.
+  std::vector<size_t> PresentAxes(CuboidId id) const;
+
+  /// One-step-more-relaxed neighbours (children in the refinement
+  /// direction used by bottom-up computation they are parents; we use
+  /// the paper's "more relaxed = lower in the lattice" orientation).
+  std::vector<CuboidId> MoreRelaxedNeighbors(CuboidId id) const;
+  /// One-step-less-relaxed neighbours.
+  std::vector<CuboidId> LessRelaxedNeighbors(CuboidId id) const;
+
+  /// All cuboids in a topological order, least relaxed (finest) first.
+  /// Every edge goes from an earlier to a later element.
+  std::vector<CuboidId> TopoOrder() const;
+
+  /// Human-readable description of a cuboid, e.g.
+  /// "[n:/publication(/author(/name!)) p:ABSENT y:/publication(/year!)]".
+  std::string DescribeCuboid(CuboidId id) const;
+
+ private:
+  CubeLattice() = default;
+
+  std::vector<AxisLattice> axes_;
+  std::vector<uint64_t> strides_;
+  uint64_t num_cuboids_ = 0;
+};
+
+}  // namespace x3
+
+#endif  // X3_RELAX_CUBE_LATTICE_H_

@@ -1,0 +1,67 @@
+#include "relax/relaxation.h"
+
+namespace x3 {
+
+const char* RelaxationTypeToString(RelaxationType type) {
+  switch (type) {
+    case RelaxationType::kLND:
+      return "LND";
+    case RelaxationType::kSP:
+      return "SP";
+    case RelaxationType::kPCAD:
+      return "PC-AD";
+  }
+  return "?";
+}
+
+std::string RelaxationSet::ToString() const {
+  std::string out;
+  for (RelaxationType t : {RelaxationType::kLND, RelaxationType::kSP,
+                           RelaxationType::kPCAD}) {
+    if (!Contains(t)) continue;
+    if (!out.empty()) out += ", ";
+    out += RelaxationTypeToString(t);
+  }
+  return out;
+}
+
+std::vector<RelaxationOp> ApplicableRelaxations(
+    const TreePattern& pattern, const std::vector<PatternNodeId>& scope,
+    RelaxationSet set) {
+  std::vector<RelaxationOp> ops;
+  for (PatternNodeId id : scope) {
+    if (!pattern.IsLive(id) || id == pattern.root()) continue;
+    const PatternNode& node = pattern.node(id);
+    if (set.Contains(RelaxationType::kPCAD) &&
+        node.edge == StructuralAxis::kChild) {
+      ops.push_back({RelaxationType::kPCAD, id});
+    }
+    if (set.Contains(RelaxationType::kSP) &&
+        node.parent != pattern.root() && node.parent != kNoPatternNode) {
+      ops.push_back({RelaxationType::kSP, id});
+    }
+    if (set.Contains(RelaxationType::kLND) && pattern.IsLeaf(id)) {
+      ops.push_back({RelaxationType::kLND, id});
+    }
+  }
+  return ops;
+}
+
+Result<TreePattern> ApplyRelaxation(const TreePattern& pattern,
+                                    const RelaxationOp& op) {
+  TreePattern out = pattern;
+  switch (op.type) {
+    case RelaxationType::kLND:
+      X3_RETURN_IF_ERROR(out.DeleteLeaf(op.target));
+      break;
+    case RelaxationType::kSP:
+      X3_RETURN_IF_ERROR(out.PromoteToGrandparent(op.target));
+      break;
+    case RelaxationType::kPCAD:
+      X3_RETURN_IF_ERROR(out.GeneralizeEdge(op.target));
+      break;
+  }
+  return out;
+}
+
+}  // namespace x3

@@ -1,0 +1,89 @@
+#ifndef X3_RELAX_RELAXATION_H_
+#define X3_RELAX_RELAXATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pattern/tree_pattern.h"
+#include "util/result.h"
+
+namespace x3 {
+
+/// The three grouping-tree-pattern relaxations of §2.2.
+enum class RelaxationType : uint8_t {
+  /// Leaf Node Deletion: the classical "remove this dimension" (when
+  /// applied to the grouping node) or condition removal (other leaves).
+  kLND = 0,
+  /// Sub-tree Promotion: a[./b/c] -> a[./b][.//c].
+  kSP = 1,
+  /// Parent-Child to Ancestor-Descendant edge generalization.
+  kPCAD = 2,
+};
+
+const char* RelaxationTypeToString(RelaxationType type);
+
+/// A set of permitted relaxations, as written in the X^3 clause:
+/// "$n (LND, SP, PC-AD)".
+class RelaxationSet {
+ public:
+  constexpr RelaxationSet() = default;
+
+  static constexpr RelaxationSet None() { return RelaxationSet(); }
+  static RelaxationSet Of(std::initializer_list<RelaxationType> types) {
+    RelaxationSet s;
+    for (RelaxationType t : types) s.Add(t);
+    return s;
+  }
+  /// All three relaxations.
+  static RelaxationSet All() {
+    return Of({RelaxationType::kLND, RelaxationType::kSP,
+               RelaxationType::kPCAD});
+  }
+
+  void Add(RelaxationType type) { bits_ |= Bit(type); }
+  bool Contains(RelaxationType type) const {
+    return (bits_ & Bit(type)) != 0;
+  }
+  bool empty() const { return bits_ == 0; }
+
+  /// "LND, SP, PC-AD" rendering.
+  std::string ToString() const;
+
+  bool operator==(const RelaxationSet& other) const {
+    return bits_ == other.bits_;
+  }
+
+ private:
+  static constexpr uint8_t Bit(RelaxationType type) {
+    return static_cast<uint8_t>(1u << static_cast<uint8_t>(type));
+  }
+  uint8_t bits_ = 0;
+};
+
+/// One concrete relaxation application site.
+struct RelaxationOp {
+  RelaxationType type;
+  PatternNodeId target;
+};
+
+/// Lists every op of the permitted `set` applicable to `pattern`,
+/// restricted to nodes in `scope` (the axis's own nodes; the shared
+/// fact root is never relaxed).
+///
+/// Applicability (following §2.2 / Amer-Yahia et al.):
+///  * PC-AD: any scoped node whose incoming edge is parent-child.
+///  * SP: any scoped node whose parent is not the pattern root (the
+///    subtree moves under its grandparent with a descendant edge).
+///  * LND: any scoped leaf.
+std::vector<RelaxationOp> ApplicableRelaxations(
+    const TreePattern& pattern, const std::vector<PatternNodeId>& scope,
+    RelaxationSet set);
+
+/// Applies `op` to a copy of `pattern`.
+Result<TreePattern> ApplyRelaxation(const TreePattern& pattern,
+                                    const RelaxationOp& op);
+
+}  // namespace x3
+
+#endif  // X3_RELAX_RELAXATION_H_

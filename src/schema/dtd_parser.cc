@@ -1,0 +1,267 @@
+#include "schema/dtd_parser.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace x3 {
+namespace {
+
+bool IsNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.' ||
+         c == ':';
+}
+
+class DtdParser {
+ public:
+  explicit DtdParser(std::string_view input) : input_(input) {}
+
+  Result<SchemaGraph> Parse() {
+    SchemaGraph graph;
+    while (!AtEnd()) {
+      SkipSpace();
+      if (AtEnd()) break;
+      if (LookingAt("<!--")) {
+        SkipUntil("-->");
+        continue;
+      }
+      if (LookingAt("<!ELEMENT")) {
+        pos_ += 9;
+        X3_RETURN_IF_ERROR(ParseElementDecl(&graph));
+        continue;
+      }
+      if (LookingAt("<!ATTLIST")) {
+        pos_ += 9;
+        X3_RETURN_IF_ERROR(ParseAttlistDecl(&graph));
+        continue;
+      }
+      if (LookingAt("<!") || LookingAt("<?")) {
+        // ENTITY, NOTATION, PIs: skip to the closing '>'.
+        SkipUntil(">");
+        continue;
+      }
+      return Error("unexpected content in DTD");
+    }
+    return graph;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+
+  bool LookingAt(std::string_view token) const {
+    return input_.substr(pos_, token.size()) == token;
+  }
+
+  void SkipSpace() {
+    while (!AtEnd() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\n' ||
+                        Peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  void SkipUntil(std::string_view close) {
+    size_t found = input_.find(close, pos_);
+    pos_ = found == std::string_view::npos ? input_.size()
+                                           : found + close.size();
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(
+        StringPrintf("DTD parse error at offset %zu: %s", pos_, msg.c_str()));
+  }
+
+  Result<std::string> ParseName() {
+    SkipSpace();
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    if (pos_ == start) return Error("expected name");
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  Cardinality ParseCardinalitySuffix() {
+    if (AtEnd()) return Cardinality::One();
+    switch (Peek()) {
+      case '?':
+        ++pos_;
+        return Cardinality::Optional();
+      case '+':
+        ++pos_;
+        return Cardinality::Plus();
+      case '*':
+        ++pos_;
+        return Cardinality::Star();
+      default:
+        return Cardinality::One();
+    }
+  }
+
+  /// Parses a content-model group "( ... )card" and appends flattened
+  /// child specs to `decl` with the enclosing cardinality `outer`.
+  Status ParseGroup(ElementDecl* decl, Cardinality outer) {
+    SkipSpace();
+    if (AtEnd() || Peek() != '(') return Error("expected '('");
+    ++pos_;
+    bool is_choice = false;
+    std::vector<std::pair<std::string, Cardinality>> items;
+    std::vector<size_t> group_marks;  // indices where nested groups start
+    (void)group_marks;
+    // First pass: record members; we need to know whether it is a
+    // choice before finalizing their cardinalities, so collect into a
+    // temporary decl.
+    ElementDecl members;
+    for (;;) {
+      SkipSpace();
+      if (AtEnd()) return Error("unterminated content model");
+      if (Peek() == '#') {
+        // #PCDATA
+        if (!LookingAt("#PCDATA")) return Error("expected #PCDATA");
+        pos_ += 7;
+        decl->has_pcdata = true;
+      } else if (Peek() == '(') {
+        X3_RETURN_IF_ERROR(ParseGroup(&members, Cardinality::One()));
+      } else {
+        X3_ASSIGN_OR_RETURN(std::string name, ParseName());
+        Cardinality card = ParseCardinalitySuffix();
+        members.children.push_back({std::move(name), card});
+      }
+      SkipSpace();
+      if (AtEnd()) return Error("unterminated content model");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '|') {
+        is_choice = true;
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ')') {
+        ++pos_;
+        break;
+      }
+      return Error("expected ',', '|' or ')' in content model");
+    }
+    Cardinality group_card = ParseCardinalitySuffix().Compose(outer);
+    for (auto& child : members.children) {
+      Cardinality c = child.cardinality;
+      if (is_choice) c.min_one = false;  // a choice member may be absent
+      decl->children.push_back({std::move(child.tag), group_card.Compose(c)});
+    }
+    decl->has_pcdata = decl->has_pcdata || members.has_pcdata;
+    (void)items;
+    return Status::OK();
+  }
+
+  Status ParseElementDecl(SchemaGraph* graph) {
+    X3_ASSIGN_OR_RETURN(std::string name, ParseName());
+    ElementDecl decl;
+    decl.tag = std::move(name);
+    SkipSpace();
+    if (LookingAt("EMPTY")) {
+      pos_ += 5;
+    } else if (LookingAt("ANY")) {
+      pos_ += 3;
+      decl.is_any = true;
+    } else if (!AtEnd() && Peek() == '(') {
+      X3_RETURN_IF_ERROR(ParseGroup(&decl, Cardinality::One()));
+    } else {
+      return Error("expected content model for <!ELEMENT " + decl.tag + ">");
+    }
+    SkipSpace();
+    if (AtEnd() || Peek() != '>') return Error("expected '>'");
+    ++pos_;
+    graph->AddElement(std::move(decl));
+    return Status::OK();
+  }
+
+  Status ParseAttlistDecl(SchemaGraph* graph) {
+    X3_ASSIGN_OR_RETURN(std::string element, ParseName());
+    ElementDecl decl;
+    decl.tag = element;
+    for (;;) {
+      SkipSpace();
+      if (AtEnd()) return Error("unterminated ATTLIST");
+      if (Peek() == '>') {
+        ++pos_;
+        break;
+      }
+      X3_ASSIGN_OR_RETURN(std::string attr, ParseName());
+      // Type: a name (CDATA, ID, IDREF, NMTOKEN...) or an enumeration.
+      SkipSpace();
+      if (!AtEnd() && Peek() == '(') {
+        SkipUntil(")");
+      } else {
+        X3_RETURN_IF_ERROR(ParseName().status());
+      }
+      // Default declaration.
+      SkipSpace();
+      bool required = false;
+      if (LookingAt("#REQUIRED")) {
+        pos_ += 9;
+        required = true;
+      } else if (LookingAt("#IMPLIED")) {
+        pos_ += 8;
+      } else if (LookingAt("#FIXED")) {
+        pos_ += 6;
+        SkipSpace();
+        X3_RETURN_IF_ERROR(SkipQuoted());
+        required = true;  // fixed attributes are always present
+      } else if (!AtEnd() && (Peek() == '"' || Peek() == '\'')) {
+        X3_RETURN_IF_ERROR(SkipQuoted());  // defaulted: always present
+        required = true;
+      } else {
+        return Error("expected attribute default for " + attr);
+      }
+      decl.children.push_back({"@" + attr, required
+                                               ? Cardinality::One()
+                                               : Cardinality::Optional()});
+    }
+    graph->AddElement(std::move(decl));
+    return Status::OK();
+  }
+
+  Status SkipQuoted() {
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Error("expected quoted value");
+    }
+    char quote = Peek();
+    ++pos_;
+    while (!AtEnd() && Peek() != quote) ++pos_;
+    if (AtEnd()) return Error("unterminated quoted value");
+    ++pos_;
+    return Status::OK();
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SchemaGraph> ParseDtd(std::string_view input) {
+  DtdParser parser(input);
+  return parser.Parse();
+}
+
+Result<SchemaGraph> ParseDtdFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string buf;
+  if (size > 0) {
+    buf.resize(static_cast<size_t>(size));
+    if (std::fread(buf.data(), 1, buf.size(), f) != buf.size()) {
+      std::fclose(f);
+      return Status::IOError("short read of " + path);
+    }
+  }
+  std::fclose(f);
+  return ParseDtd(buf);
+}
+
+}  // namespace x3

@@ -1,0 +1,34 @@
+#ifndef X3_SCHEMA_DTD_PARSER_H_
+#define X3_SCHEMA_DTD_PARSER_H_
+
+#include <string_view>
+
+#include "schema/schema_graph.h"
+#include "util/result.h"
+
+namespace x3 {
+
+/// Parses a DTD fragment into a SchemaGraph.
+///
+/// Supported declarations:
+///   <!ELEMENT name (child1, child2?, (a | b)*, #PCDATA ...)>
+///   <!ELEMENT name EMPTY>  <!ELEMENT name ANY>
+///   <!ATTLIST name attr CDATA #REQUIRED>   (types are ignored;
+///       #REQUIRED -> mandatory, everything else -> optional)
+/// Comments (<!-- -->) and parameter entities are skipped; anything
+/// else unknown inside <!...> is ignored with a warning rather than
+/// rejected, since real-world DTDs (e.g. DBLP's) carry notations we do
+/// not need for summarizability analysis.
+///
+/// Content models are flattened to per-child cardinalities: an item's
+/// own cardinality composes with its enclosing groups', and members of
+/// a choice group lose the at-least-one guarantee. This abstraction is
+/// exactly the information §3.7's property inference consumes.
+Result<SchemaGraph> ParseDtd(std::string_view input);
+
+/// Reads and parses a DTD file.
+Result<SchemaGraph> ParseDtdFile(const std::string& path);
+
+}  // namespace x3
+
+#endif  // X3_SCHEMA_DTD_PARSER_H_

@@ -1,0 +1,97 @@
+#include "schema/schema_graph.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace x3 {
+
+void SchemaGraph::AddElement(ElementDecl decl) {
+  auto it = decls_.find(decl.tag);
+  if (it == decls_.end()) {
+    decls_.emplace(decl.tag, std::move(decl));
+    return;
+  }
+  // Merge: union child slots, OR the flags.
+  ElementDecl& existing = it->second;
+  existing.has_pcdata = existing.has_pcdata || decl.has_pcdata;
+  existing.is_any = existing.is_any || decl.is_any;
+  for (ChildSpec& child : decl.children) {
+    existing.children.push_back(std::move(child));
+  }
+}
+
+const ElementDecl* SchemaGraph::Find(std::string_view tag) const {
+  auto it = decls_.find(std::string(tag));
+  return it == decls_.end() ? nullptr : &it->second;
+}
+
+std::optional<Cardinality> SchemaGraph::ChildCardinality(
+    std::string_view parent_tag, std::string_view child_tag) const {
+  const ElementDecl* decl = Find(parent_tag);
+  if (decl == nullptr) return std::nullopt;
+  bool found = false;
+  bool min_one = false;
+  bool max_one = true;
+  int slots = 0;
+  for (const ChildSpec& child : decl->children) {
+    if (child.tag != child_tag) continue;
+    found = true;
+    ++slots;
+    // Any single guaranteed slot guarantees presence.
+    min_one = min_one || child.cardinality.min_one;
+    max_one = max_one && child.cardinality.max_one;
+  }
+  if (!found) return std::nullopt;
+  // Multiple slots of the same tag allow repetition.
+  if (slots > 1) max_one = false;
+  return Cardinality{min_one, max_one};
+}
+
+std::vector<ChildSpec> SchemaGraph::ChildrenOf(
+    std::string_view parent_tag) const {
+  const ElementDecl* decl = Find(parent_tag);
+  if (decl == nullptr) return {};
+  // Collapse duplicate tags via ChildCardinality.
+  std::vector<ChildSpec> out;
+  std::vector<std::string> seen;
+  for (const ChildSpec& child : decl->children) {
+    if (std::find(seen.begin(), seen.end(), child.tag) != seen.end()) {
+      continue;
+    }
+    seen.push_back(child.tag);
+    out.push_back({child.tag, *ChildCardinality(parent_tag, child.tag)});
+  }
+  return out;
+}
+
+std::vector<std::string> SchemaGraph::ElementTags() const {
+  std::vector<std::string> tags;
+  tags.reserve(decls_.size());
+  for (const auto& [tag, decl] : decls_) tags.push_back(tag);
+  std::sort(tags.begin(), tags.end());
+  return tags;
+}
+
+std::string SchemaGraph::ToString() const {
+  std::string out;
+  for (const std::string& tag : ElementTags()) {
+    const ElementDecl* decl = Find(tag);
+    out += tag;
+    out += " -> ";
+    if (decl->is_any) {
+      out += "ANY";
+    } else {
+      std::vector<std::string> parts;
+      for (const ChildSpec& child : ChildrenOf(tag)) {
+        parts.push_back(child.tag + child.cardinality.Symbol());
+      }
+      if (decl->has_pcdata) parts.push_back("#PCDATA");
+      out += JoinStrings(parts, ", ");
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace x3

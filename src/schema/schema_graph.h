@@ -1,0 +1,97 @@
+#ifndef X3_SCHEMA_SCHEMA_GRAPH_H_
+#define X3_SCHEMA_SCHEMA_GRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+
+namespace x3 {
+
+/// Occurrence bounds of a child within its parent's content model.
+/// DTD cardinalities map as: (none)=kOne, '?'=kOptional, '+'=kPlus,
+/// '*'=kStar; members of choice groups become optional.
+struct Cardinality {
+  bool min_one = true;   // guaranteed at least one occurrence
+  bool max_one = true;   // at most one occurrence
+
+  static Cardinality One() { return {true, true}; }
+  static Cardinality Optional() { return {false, true}; }
+  static Cardinality Plus() { return {true, false}; }
+  static Cardinality Star() { return {false, false}; }
+
+  /// Composition when a group with cardinality `outer` contains an item
+  /// with cardinality `inner`.
+  Cardinality Compose(Cardinality inner) const {
+    return {min_one && inner.min_one, max_one && inner.max_one};
+  }
+
+  const char* Symbol() const {
+    if (min_one && max_one) return "1";
+    if (!min_one && max_one) return "?";
+    if (min_one && !max_one) return "+";
+    return "*";
+  }
+
+  bool operator==(const Cardinality& other) const {
+    return min_one == other.min_one && max_one == other.max_one;
+  }
+};
+
+/// One child slot of an element declaration. Attribute declarations are
+/// folded in as children with tag "@<name>" (REQUIRED -> One,
+/// IMPLIED/default -> Optional); this matches the database's uniform
+/// treatment of attributes as nodes.
+struct ChildSpec {
+  std::string tag;
+  Cardinality cardinality;
+};
+
+/// Declaration of one element type.
+struct ElementDecl {
+  std::string tag;
+  std::vector<ChildSpec> children;
+  bool has_pcdata = false;
+  bool is_any = false;  // <!ELEMENT x ANY>
+};
+
+/// A DTD-derived schema: element declarations and the induced
+/// parent/child multigraph with cardinalities, the input to the §3.7
+/// summarizability inference.
+class SchemaGraph {
+ public:
+  SchemaGraph() = default;
+
+  /// Adds (or merges, unioning children) a declaration.
+  void AddElement(ElementDecl decl);
+
+  const ElementDecl* Find(std::string_view tag) const;
+  bool Contains(std::string_view tag) const { return Find(tag) != nullptr; }
+
+  /// Cardinality of `child_tag` within `parent_tag`, accumulated across
+  /// all slots mentioning it (two slots of the same tag make it
+  /// repeatable). nullopt when not a declared child.
+  std::optional<Cardinality> ChildCardinality(std::string_view parent_tag,
+                                              std::string_view child_tag) const;
+
+  /// All declared (childTag, cardinality) of a parent; empty for ANY or
+  /// undeclared parents.
+  std::vector<ChildSpec> ChildrenOf(std::string_view parent_tag) const;
+
+  std::vector<std::string> ElementTags() const;
+  size_t size() const { return decls_.size(); }
+
+  /// One line per declaration, for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::unordered_map<std::string, ElementDecl> decls_;
+};
+
+}  // namespace x3
+
+#endif  // X3_SCHEMA_SCHEMA_GRAPH_H_

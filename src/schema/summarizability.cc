@@ -1,0 +1,262 @@
+#include "schema/summarizability.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace x3 {
+
+LatticeProperties LatticeProperties::AssumeNothing(
+    const CubeLattice& lattice) {
+  std::vector<std::vector<SummarizabilityFlags>> flags(lattice.num_axes());
+  for (size_t a = 0; a < lattice.num_axes(); ++a) {
+    flags[a].assign(lattice.axis(a).num_states(), {false, false});
+  }
+  return LatticeProperties(std::move(flags));
+}
+
+LatticeProperties LatticeProperties::AssumeAll(const CubeLattice& lattice) {
+  std::vector<std::vector<SummarizabilityFlags>> flags(lattice.num_axes());
+  for (size_t a = 0; a < lattice.num_axes(); ++a) {
+    flags[a].assign(lattice.axis(a).num_states(), {true, true});
+  }
+  return LatticeProperties(std::move(flags));
+}
+
+SummarizabilityFlags LatticeProperties::ForCuboid(const CubeLattice& lattice,
+                                                  CuboidId cuboid) const {
+  SummarizabilityFlags out{true, true};
+  for (size_t a = 0; a < lattice.num_axes(); ++a) {
+    AxisStateId s = lattice.StateOf(cuboid, a);
+    if (!lattice.axis(a).state(s).grouping_present()) continue;
+    const SummarizabilityFlags& f = flags_[a][s];
+    out.disjoint = out.disjoint && f.disjoint;
+    out.covered = out.covered && f.covered;
+  }
+  return out;
+}
+
+bool LatticeProperties::AllHold(const CubeLattice& lattice) const {
+  return DisjointEverywhere(lattice) && CoveredEverywhere(lattice);
+}
+
+bool LatticeProperties::DisjointEverywhere(const CubeLattice& lattice) const {
+  for (size_t a = 0; a < lattice.num_axes(); ++a) {
+    for (AxisStateId s = 0; s < lattice.axis(a).num_states(); ++s) {
+      if (!lattice.axis(a).state(s).grouping_present()) continue;
+      if (!flags_[a][s].disjoint) return false;
+    }
+  }
+  return true;
+}
+
+bool LatticeProperties::CoveredEverywhere(const CubeLattice& lattice) const {
+  for (size_t a = 0; a < lattice.num_axes(); ++a) {
+    for (AxisStateId s = 0; s < lattice.axis(a).num_states(); ++s) {
+      if (!lattice.axis(a).state(s).grouping_present()) continue;
+      if (!flags_[a][s].covered) return false;
+    }
+  }
+  return true;
+}
+
+std::string LatticeProperties::ToString(const CubeLattice& lattice) const {
+  std::string out;
+  for (size_t a = 0; a < lattice.num_axes(); ++a) {
+    for (AxisStateId s = 0; s < lattice.axis(a).num_states(); ++s) {
+      const AxisState& state = lattice.axis(a).state(s);
+      out += StringPrintf(
+          "axis %zu state %u (%s): disjoint=%d covered=%d\n", a, s,
+          state.grouping_present() ? state.pattern.ToString().c_str()
+                                   : "ABSENT",
+          flags_[a][s].disjoint ? 1 : 0, flags_[a][s].covered ? 1 : 0);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Aggregate facts about the set of schema paths between two tags under
+/// one pattern edge.
+struct PathSummary {
+  int count = 0;               // capped at kPathCountCap
+  bool any_repeatable = false; // some path has a '*'/'+' step
+  bool any_mandatory = false;  // some path has all-mandatory steps
+  bool overflow = false;       // recursion/ANY/cap hit: treat as "many"
+};
+
+constexpr int kPathCountCap = 64;
+
+/// Enumerates simple schema paths `from` -> ... -> `to` of length in
+/// [1, max_depth], composing step cardinalities.
+void EnumeratePaths(const SchemaGraph& schema, const std::string& from,
+                    const std::string& to, int max_depth, bool repeatable,
+                    bool mandatory, std::vector<std::string>* on_path,
+                    PathSummary* summary) {
+  if (max_depth <= 0) return;
+  const ElementDecl* decl = schema.Find(from);
+  if (decl == nullptr) return;
+  if (decl->is_any) {
+    summary->overflow = true;
+    return;
+  }
+  for (const ChildSpec& child : schema.ChildrenOf(from)) {
+    bool step_rep = repeatable || !child.cardinality.max_one;
+    bool step_mand = mandatory && child.cardinality.min_one;
+    if (child.tag == to) {
+      if (summary->count < kPathCountCap) {
+        ++summary->count;
+      } else {
+        summary->overflow = true;
+      }
+      summary->any_repeatable = summary->any_repeatable || step_rep;
+      summary->any_mandatory = summary->any_mandatory || step_mand;
+      // A path may also continue through `to` and reach it again; that
+      // is covered by the recursion below.
+    }
+    // Attributes are leaves.
+    if (!child.tag.empty() && child.tag[0] == '@') continue;
+    if (std::find(on_path->begin(), on_path->end(), child.tag) !=
+        on_path->end()) {
+      // Recursive schema: a cycle passing through `child.tag` could
+      // generate unboundedly many paths.
+      summary->overflow = true;
+      continue;
+    }
+    on_path->push_back(child.tag);
+    EnumeratePaths(schema, child.tag, to, max_depth - 1, step_rep, step_mand,
+                   on_path, summary);
+    on_path->pop_back();
+  }
+}
+
+PathSummary SummarizeEdge(const SchemaGraph& schema, const std::string& from,
+                          const std::string& to, StructuralAxis axis,
+                          int max_depth) {
+  PathSummary summary;
+  if (axis == StructuralAxis::kChild) {
+    std::optional<Cardinality> card = schema.ChildCardinality(from, to);
+    const ElementDecl* decl = schema.Find(from);
+    if (decl != nullptr && decl->is_any) {
+      summary.overflow = true;
+      return summary;
+    }
+    if (card.has_value()) {
+      summary.count = 1;
+      summary.any_repeatable = !card->max_one;
+      summary.any_mandatory = card->min_one;
+    }
+    return summary;
+  }
+  std::vector<std::string> on_path{from};
+  EnumeratePaths(schema, from, to, max_depth, /*repeatable=*/false,
+                 /*mandatory=*/true, &on_path, &summary);
+  return summary;
+}
+
+/// Computes the flags for one axis state.
+SummarizabilityFlags AnalyzeState(const SchemaGraph& schema,
+                                  const AxisState& state,
+                                  const std::string& fact_tag,
+                                  int max_depth) {
+  SummarizabilityFlags flags;
+  const TreePattern& pattern = state.pattern;
+
+  // Undeclared tags anywhere on the pattern: fully conservative (the
+  // schema may be incomplete; never claim a property we cannot prove).
+  for (PatternNodeId id : pattern.LiveNodes()) {
+    const std::string& tag = pattern.node(id).tag;
+    if (id == pattern.root()) {
+      if (!schema.Contains(fact_tag)) return {false, false};
+      continue;
+    }
+    // Attribute tags are declared as @-children of their parent; check
+    // via the parent edge below instead of as standalone elements.
+    if (!tag.empty() && tag[0] == '@') continue;
+    if (tag == "*" || !schema.Contains(tag)) return {false, false};
+  }
+
+  // --- Disjointness: instantiation paths from root to grouping node.
+  int64_t total_paths = 1;
+  bool repeatable = false;
+  bool overflow = false;
+  PatternNodeId node = state.grouping_node;
+  std::vector<PatternNodeId> spine;
+  while (node != kNoPatternNode) {
+    spine.push_back(node);
+    node = pattern.node(node).parent;
+  }
+  std::reverse(spine.begin(), spine.end());  // root ... grouping
+  for (size_t i = 1; i < spine.size(); ++i) {
+    const PatternNode& child = pattern.node(spine[i]);
+    const std::string& parent_tag =
+        spine[i - 1] == pattern.root() ? fact_tag
+                                       : pattern.node(spine[i - 1]).tag;
+    PathSummary summary = SummarizeEdge(schema, parent_tag, child.tag,
+                                        child.edge, max_depth);
+    overflow = overflow || summary.overflow;
+    repeatable = repeatable || summary.any_repeatable;
+    total_paths *= summary.count;
+    if (total_paths > kPathCountCap) {
+      overflow = true;
+      total_paths = kPathCountCap;
+    }
+  }
+  if (overflow || total_paths > 1 || repeatable) {
+    flags.disjoint = false;
+  } else {
+    flags.disjoint = true;  // 0 or 1 non-repeatable instantiation
+  }
+
+  // --- Coverage: every pattern node must have a guaranteed embedding
+  // step from its parent, and the grouping spine must be instantiable
+  // at all (count >= 1 on every edge).
+  flags.covered = true;
+  for (PatternNodeId id : pattern.LiveNodes()) {
+    if (id == pattern.root()) continue;
+    const PatternNode& pnode = pattern.node(id);
+    if (pnode.optional) continue;  // outer-joined nodes never drop facts
+    if (pnode.has_value_filter) {
+      // A DTD constrains structure, never values: a value predicate can
+      // always drop facts.
+      flags.covered = false;
+      break;
+    }
+    const std::string& parent_tag = pnode.parent == pattern.root()
+                                        ? fact_tag
+                                        : pattern.node(pnode.parent).tag;
+    PathSummary summary =
+        SummarizeEdge(schema, parent_tag, pnode.tag, pnode.edge, max_depth);
+    if (!summary.any_mandatory) {
+      flags.covered = false;
+      break;
+    }
+  }
+  return flags;
+}
+
+}  // namespace
+
+Result<LatticeProperties> InferLatticeProperties(const SchemaGraph& schema,
+                                                 const CubeLattice& lattice,
+                                                 const std::string& fact_tag,
+                                                 int max_path_depth) {
+  std::vector<std::vector<SummarizabilityFlags>> flags(lattice.num_axes());
+  for (size_t a = 0; a < lattice.num_axes(); ++a) {
+    const AxisLattice& axis = lattice.axis(a);
+    flags[a].resize(axis.num_states());
+    for (AxisStateId s = 0; s < axis.num_states(); ++s) {
+      const AxisState& state = axis.state(s);
+      if (!state.grouping_present()) {
+        // Absent axis: vacuously both (it groups nothing).
+        flags[a][s] = {true, true};
+        continue;
+      }
+      flags[a][s] = AnalyzeState(schema, state, fact_tag, max_path_depth);
+    }
+  }
+  return LatticeProperties(std::move(flags));
+}
+
+}  // namespace x3

@@ -1,0 +1,85 @@
+#ifndef X3_SCHEMA_SUMMARIZABILITY_H_
+#define X3_SCHEMA_SUMMARIZABILITY_H_
+
+#include <string>
+#include <vector>
+
+#include "relax/cube_lattice.h"
+#include "schema/schema_graph.h"
+#include "util/result.h"
+
+namespace x3 {
+
+/// The two summarizability properties of §3.2 at one lattice position.
+struct SummarizabilityFlags {
+  /// Pairwise disjointness: no fact can have two distinct bindings for
+  /// the axis at this state.
+  bool disjoint = true;
+  /// Total coverage: every fact is guaranteed at least one binding for
+  /// the axis at this state.
+  bool covered = true;
+};
+
+/// Per-axis, per-state property map for a cube lattice, inferred from a
+/// schema (§3.7) or measured from data. Cuboid-level properties are the
+/// conjunction over the cuboid's present axes.
+class LatticeProperties {
+ public:
+  LatticeProperties() = default;
+  explicit LatticeProperties(std::vector<std::vector<SummarizabilityFlags>>
+                                 per_axis_per_state)
+      : flags_(std::move(per_axis_per_state)) {}
+
+  /// Properties assuming nothing (both false): the safe default that
+  /// forces algorithms onto their always-correct paths.
+  static LatticeProperties AssumeNothing(const CubeLattice& lattice);
+  /// Properties asserting both hold everywhere (the relational case).
+  static LatticeProperties AssumeAll(const CubeLattice& lattice);
+
+  const SummarizabilityFlags& At(size_t axis, AxisStateId state) const {
+    return flags_[axis][state];
+  }
+  SummarizabilityFlags* Mutable(size_t axis, AxisStateId state) {
+    return &flags_[axis][state];
+  }
+
+  /// Conjunction over the present axes of `cuboid`. Absent axes do not
+  /// constrain (they group nothing).
+  SummarizabilityFlags ForCuboid(const CubeLattice& lattice,
+                                 CuboidId cuboid) const;
+
+  /// True iff both properties hold at every state of every axis.
+  bool AllHold(const CubeLattice& lattice) const;
+  bool DisjointEverywhere(const CubeLattice& lattice) const;
+  bool CoveredEverywhere(const CubeLattice& lattice) const;
+
+  std::string ToString(const CubeLattice& lattice) const;
+
+ private:
+  /// flags_[axis][state].
+  std::vector<std::vector<SummarizabilityFlags>> flags_;
+};
+
+/// Infers lattice properties from a DTD-derived schema (§3.7):
+///  * An axis state is non-disjoint when the schema admits more than
+///    one instantiation path from the fact tag to the grouping tag
+///    under that state's pattern, or any step on the path is
+///    repeatable ('*' or '+', or several content-model slots).
+///  * An axis state is covered when the state's whole pattern has a
+///    guaranteed embedding: every pattern node is reachable through
+///    steps that are all mandatory ('1' or '+').
+/// The inference is sound but conservative: it may report a property as
+/// failing when the actual data happens to satisfy it, never the other
+/// way around (tests check this against brute-force data scans).
+///
+/// `fact_tag` is the tag the fact variable binds to. Recursive schemas
+/// are handled by bounding descendant-path enumeration at
+/// `max_path_depth` steps and treating overflow conservatively.
+Result<LatticeProperties> InferLatticeProperties(const SchemaGraph& schema,
+                                                 const CubeLattice& lattice,
+                                                 const std::string& fact_tag,
+                                                 int max_path_depth = 12);
+
+}  // namespace x3
+
+#endif  // X3_SCHEMA_SUMMARIZABILITY_H_

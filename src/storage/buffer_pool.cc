@@ -1,0 +1,143 @@
+#include "storage/buffer_pool.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace x3 {
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    page_id_ = other.page_id_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+const Page& PageHandle::page() const {
+  X3_CHECK(pool_ != nullptr);
+  return pool_->frames_[frame_].page;
+}
+
+Page& PageHandle::MutablePage() {
+  X3_CHECK(pool_ != nullptr);
+  pool_->MarkDirty(frame_);
+  return pool_->frames_[frame_].page;
+}
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(PageFile* file, size_t capacity)
+    : file_(file), capacity_(capacity == 0 ? 1 : capacity) {
+  frames_.resize(capacity_);
+  free_frames_.reserve(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) {
+    free_frames_.push_back(capacity_ - 1 - i);
+  }
+}
+
+BufferPool::~BufferPool() {
+  Status s = FlushAll();
+  if (!s.ok()) {
+    X3_LOG(Error) << "BufferPool flush on destruction failed: " << s;
+  }
+}
+
+Result<PageHandle> BufferPool::Fetch(PageId id) {
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    ++stats_.hits;
+    size_t frame = it->second;
+    Frame& f = frames_[frame];
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    ++f.pin_count;
+    return PageHandle(this, frame, id);
+  }
+  ++stats_.misses;
+  X3_ASSIGN_OR_RETURN(size_t frame, GrabFrame());
+  Frame& f = frames_[frame];
+  Status s = file_->ReadPage(id, &f.page);
+  if (!s.ok()) {
+    free_frames_.push_back(frame);
+    return s;
+  }
+  f.page_id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  f.in_lru = false;
+  page_table_[id] = frame;
+  return PageHandle(this, frame, id);
+}
+
+Result<PageHandle> BufferPool::New() {
+  X3_ASSIGN_OR_RETURN(PageId id, file_->AllocatePage());
+  X3_ASSIGN_OR_RETURN(size_t frame, GrabFrame());
+  Frame& f = frames_[frame];
+  f.page.Zero();
+  f.page_id = id;
+  f.pin_count = 1;
+  f.dirty = true;
+  f.in_lru = false;
+  page_table_[id] = frame;
+  return PageHandle(this, frame, id);
+}
+
+Status BufferPool::FlushAll() {
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
+    if (f.page_id != kInvalidPageId && f.dirty) {
+      X3_RETURN_IF_ERROR(file_->WritePage(f.page_id, f.page));
+      f.dirty = false;
+      ++stats_.dirty_writebacks;
+    }
+  }
+  return file_->Flush();
+}
+
+void BufferPool::Unpin(size_t frame) {
+  Frame& f = frames_[frame];
+  X3_CHECK(f.pin_count > 0) << "unpin of unpinned frame";
+  if (--f.pin_count == 0) {
+    f.lru_pos = lru_.insert(lru_.end(), frame);
+    f.in_lru = true;
+  }
+}
+
+void BufferPool::MarkDirty(size_t frame) { frames_[frame].dirty = true; }
+
+Result<size_t> BufferPool::GrabFrame() {
+  if (!free_frames_.empty()) {
+    size_t frame = free_frames_.back();
+    free_frames_.pop_back();
+    return frame;
+  }
+  if (lru_.empty()) {
+    return Status::ResourceExhausted(StringPrintf(
+        "buffer pool of %zu frames fully pinned", capacity_));
+  }
+  size_t frame = lru_.front();
+  lru_.pop_front();
+  Frame& f = frames_[frame];
+  f.in_lru = false;
+  ++stats_.evictions;
+  if (f.dirty) {
+    X3_RETURN_IF_ERROR(file_->WritePage(f.page_id, f.page));
+    ++stats_.dirty_writebacks;
+    f.dirty = false;
+  }
+  page_table_.erase(f.page_id);
+  f.page_id = kInvalidPageId;
+  return frame;
+}
+
+}  // namespace x3

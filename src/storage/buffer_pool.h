@@ -1,0 +1,122 @@
+#ifndef X3_STORAGE_BUFFER_POOL_H_
+#define X3_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/page.h"
+#include "storage/page_file.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace x3 {
+
+class BufferPool;
+
+/// Pin on a buffered page. While alive, the frame cannot be evicted.
+/// Obtained from BufferPool::Fetch/New; unpins on destruction.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  ~PageHandle() { Release(); }
+
+  PageHandle(PageHandle&& other) noexcept { *this = std::move(other); }
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId id() const { return page_id_; }
+
+  /// Read access to the page contents.
+  const Page& page() const;
+
+  /// Write access; marks the frame dirty.
+  Page& MutablePage();
+
+  /// Unpins early (also done by the destructor).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageHandle(BufferPool* pool, size_t frame, PageId page_id)
+      : pool_(pool), frame_(frame), page_id_(page_id) {}
+
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  PageId page_id_ = kInvalidPageId;
+};
+
+/// Counters describing buffer pool traffic.
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+};
+
+/// A fixed-capacity LRU buffer pool over a single PageFile.
+///
+/// This is the memory model the paper's substrate (TIMBER with a 512 MB
+/// pool over 8 KB pages) imposes on the cube algorithms: all base-data
+/// and intermediate-file access goes through here, so page hit/miss
+/// counts give a machine-independent I/O cost alongside wall-clock time.
+class BufferPool {
+ public:
+  /// Creates a pool of `capacity` frames over `file` (not owned; must
+  /// outlive the pool).
+  BufferPool(PageFile* file, size_t capacity);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Fetches page `id`, reading from disk on miss. Fails with
+  /// ResourceExhausted when every frame is pinned.
+  Result<PageHandle> Fetch(PageId id);
+
+  /// Allocates a fresh page in the file and returns it pinned (zeroed,
+  /// dirty).
+  Result<PageHandle> New();
+
+  /// Writes back all dirty frames.
+  Status FlushAll();
+
+  size_t capacity() const { return capacity_; }
+  const BufferPoolStats& stats() const { return stats_; }
+  PageFile* file() { return file_; }
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    Page page;
+    PageId page_id = kInvalidPageId;
+    uint32_t pin_count = 0;
+    bool dirty = false;
+    /// Position in lru_ when unpinned; lru_.end() otherwise.
+    std::list<size_t>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  void Unpin(size_t frame);
+  void MarkDirty(size_t frame);
+  /// Finds a frame for a new resident page, evicting if needed.
+  Result<size_t> GrabFrame();
+
+  PageFile* file_;
+  size_t capacity_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_frames_;
+  std::unordered_map<PageId, size_t> page_table_;
+  /// Unpinned frames, least recently used first.
+  std::list<size_t> lru_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace x3
+
+#endif  // X3_STORAGE_BUFFER_POOL_H_

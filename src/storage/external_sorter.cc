@@ -1,0 +1,289 @@
+#include "storage/external_sorter.h"
+
+#include <algorithm>
+#include <cstring>
+#include <queue>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace x3 {
+
+int BytewiseCompare(std::string_view a, std::string_view b) {
+  int c = std::memcmp(a.data(), b.data(), std::min(a.size(), b.size()));
+  if (c != 0) return c;
+  if (a.size() < b.size()) return -1;
+  if (a.size() > b.size()) return 1;
+  return 0;
+}
+
+namespace {
+
+/// Fixed per-record bookkeeping charge (std::string header + vector slot
+/// + allocator slack), in addition to payload bytes.
+constexpr size_t kRecordOverhead = 48;
+
+/// Writes length-prefixed records to a run file.
+class RunWriter {
+ public:
+  ~RunWriter() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Open(const std::string& path) {
+    file_ = std::fopen(path.c_str(), "wb");
+    if (file_ == nullptr) return Status::IOError("cannot create run " + path);
+    path_ = path;
+    return Status::OK();
+  }
+
+  Status Append(std::string_view record) {
+    uint32_t len = static_cast<uint32_t>(record.size());
+    if (std::fwrite(&len, sizeof(len), 1, file_) != 1 ||
+        (len > 0 && std::fwrite(record.data(), len, 1, file_) != 1)) {
+      return Status::IOError("short write to run " + path_);
+    }
+    bytes_ += sizeof(len) + len;
+    return Status::OK();
+  }
+
+  Status Close() {
+    if (file_ != nullptr && std::fclose(file_) != 0) {
+      file_ = nullptr;
+      return Status::IOError("close failed on run " + path_);
+    }
+    file_ = nullptr;
+    return Status::OK();
+  }
+
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t bytes_ = 0;
+};
+
+/// Reads length-prefixed records back from a run file.
+class RunReader {
+ public:
+  ~RunReader() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Open(const std::string& path) {
+    file_ = std::fopen(path.c_str(), "rb");
+    if (file_ == nullptr) return Status::IOError("cannot open run " + path);
+    path_ = path;
+    return Status::OK();
+  }
+
+  /// Returns false at EOF.
+  bool Next(std::string* record, Status* status) {
+    uint32_t len = 0;
+    size_t n = std::fread(&len, sizeof(len), 1, file_);
+    if (n != 1) {
+      if (std::feof(file_)) return false;
+      *status = Status::IOError("short read from run " + path_);
+      return false;
+    }
+    record->resize(len);
+    if (len > 0 && std::fread(record->data(), len, 1, file_) != 1) {
+      *status = Status::IOError("truncated record in run " + path_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+/// Streams a sorted in-memory buffer.
+class VectorStream : public SortedStream {
+ public:
+  explicit VectorStream(std::vector<std::string> records)
+      : records_(std::move(records)) {}
+
+  bool Next(std::string* record, Status* status) override {
+    (void)status;
+    if (pos_ >= records_.size()) return false;
+    *record = std::move(records_[pos_++]);
+    return true;
+  }
+
+ private:
+  std::vector<std::string> records_;
+  size_t pos_ = 0;
+};
+
+/// K-way merge over run files using a tournament heap.
+class MergeStream : public SortedStream {
+ public:
+  MergeStream(std::vector<std::string> run_paths, RecordComparator cmp)
+      : run_paths_(std::move(run_paths)), cmp_(std::move(cmp)) {}
+
+  Status Init() {
+    readers_.resize(run_paths_.size());
+    heads_.resize(run_paths_.size());
+    for (size_t i = 0; i < run_paths_.size(); ++i) {
+      readers_[i] = std::make_unique<RunReader>();
+      X3_RETURN_IF_ERROR(readers_[i]->Open(run_paths_[i]));
+      Status s;
+      if (readers_[i]->Next(&heads_[i], &s)) {
+        heap_.push_back(i);
+      } else if (!s.ok()) {
+        return s;
+      }
+    }
+    auto greater = [this](size_t a, size_t b) {
+      int c = cmp_(heads_[a], heads_[b]);
+      if (c != 0) return c > 0;
+      return a > b;  // deterministic tie-break on run index
+    };
+    std::make_heap(heap_.begin(), heap_.end(), greater);
+    initialized_ = true;
+    return Status::OK();
+  }
+
+  bool Next(std::string* record, Status* status) override {
+    X3_DCHECK(initialized_);
+    if (heap_.empty()) return false;
+    auto greater = [this](size_t a, size_t b) {
+      int c = cmp_(heads_[a], heads_[b]);
+      if (c != 0) return c > 0;
+      return a > b;
+    };
+    std::pop_heap(heap_.begin(), heap_.end(), greater);
+    size_t idx = heap_.back();
+    heap_.pop_back();
+    *record = std::move(heads_[idx]);
+    Status s;
+    if (readers_[idx]->Next(&heads_[idx], &s)) {
+      heap_.push_back(idx);
+      std::push_heap(heap_.begin(), heap_.end(), greater);
+    } else if (!s.ok()) {
+      *status = s;
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<std::string> run_paths_;
+  RecordComparator cmp_;
+  std::vector<std::unique_ptr<RunReader>> readers_;
+  std::vector<std::string> heads_;
+  std::vector<size_t> heap_;
+  bool initialized_ = false;
+};
+
+}  // namespace
+
+ExternalSorter::ExternalSorter(Options options)
+    : options_(std::move(options)) {}
+
+ExternalSorter::~ExternalSorter() {
+  if (options_.budget != nullptr) {
+    options_.budget->Release(buffered_bytes_);
+  }
+}
+
+Status ExternalSorter::Add(std::string_view record) {
+  X3_CHECK(!finished_) << "Add after Finish";
+  ++stats_.records;
+  stats_.bytes += record.size();
+  size_t charge = record.size() + kRecordOverhead;
+  if (options_.budget != nullptr && !options_.budget->unlimited()) {
+    if (!options_.budget->WouldFit(charge) && !buffer_.empty()) {
+      X3_RETURN_IF_ERROR(SpillBuffer());
+    }
+    // A single record larger than the whole budget still has to be
+    // buffered; overshoot is recorded rather than failing the sort.
+    options_.budget->ForceReserve(charge);
+  }
+  buffered_bytes_ += charge;
+  buffer_.emplace_back(record);
+  return Status::OK();
+}
+
+Status ExternalSorter::SpillBuffer() {
+  if (options_.temp_files == nullptr) {
+    return Status::ResourceExhausted(
+        "sort exceeded memory budget and no temp file manager configured");
+  }
+  std::sort(buffer_.begin(), buffer_.end(),
+            [this](const std::string& a, const std::string& b) {
+              return options_.comparator(a, b) < 0;
+            });
+  std::string path = options_.temp_files->NextPath("run");
+  RunWriter writer;
+  X3_RETURN_IF_ERROR(writer.Open(path));
+  for (const std::string& rec : buffer_) {
+    X3_RETURN_IF_ERROR(writer.Append(rec));
+  }
+  X3_RETURN_IF_ERROR(writer.Close());
+  stats_.spill_bytes += writer.bytes();
+  ++stats_.runs_spilled;
+  stats_.in_memory = false;
+  runs_.push_back(path);
+  buffer_.clear();
+  if (options_.budget != nullptr) options_.budget->Release(buffered_bytes_);
+  buffered_bytes_ = 0;
+  return Status::OK();
+}
+
+Status ExternalSorter::CascadeMerges() {
+  while (runs_.size() > options_.merge_fanin) {
+    std::vector<std::string> group(
+        runs_.begin(),
+        runs_.begin() + static_cast<ptrdiff_t>(options_.merge_fanin));
+    runs_.erase(runs_.begin(),
+                runs_.begin() + static_cast<ptrdiff_t>(options_.merge_fanin));
+    MergeStream merge(group, options_.comparator);
+    X3_RETURN_IF_ERROR(merge.Init());
+    std::string out_path = options_.temp_files->NextPath("merge");
+    RunWriter writer;
+    X3_RETURN_IF_ERROR(writer.Open(out_path));
+    std::string rec;
+    Status s;
+    while (merge.Next(&rec, &s)) {
+      X3_RETURN_IF_ERROR(writer.Append(rec));
+    }
+    X3_RETURN_IF_ERROR(s);
+    X3_RETURN_IF_ERROR(writer.Close());
+    for (const std::string& p : group) options_.temp_files->Remove(p);
+    runs_.push_back(out_path);
+    ++stats_.merge_passes;
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SortedStream>> ExternalSorter::Finish() {
+  X3_CHECK(!finished_) << "Finish called twice";
+  finished_ = true;
+  if (runs_.empty()) {
+    // Pure in-memory sort (quicksort).
+    std::sort(buffer_.begin(), buffer_.end(),
+              [this](const std::string& a, const std::string& b) {
+                return options_.comparator(a, b) < 0;
+              });
+    if (options_.budget != nullptr) {
+      options_.budget->Release(buffered_bytes_);
+      buffered_bytes_ = 0;
+    }
+    return std::unique_ptr<SortedStream>(
+        std::make_unique<VectorStream>(std::move(buffer_)));
+  }
+  if (!buffer_.empty()) {
+    X3_RETURN_IF_ERROR(SpillBuffer());
+  }
+  X3_RETURN_IF_ERROR(CascadeMerges());
+  ++stats_.merge_passes;
+  auto merge = std::make_unique<MergeStream>(runs_, options_.comparator);
+  X3_RETURN_IF_ERROR(merge->Init());
+  return std::unique_ptr<SortedStream>(std::move(merge));
+}
+
+}  // namespace x3

@@ -1,0 +1,98 @@
+#ifndef X3_STORAGE_EXTERNAL_SORTER_H_
+#define X3_STORAGE_EXTERNAL_SORTER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/temp_file.h"
+#include "util/memory_budget.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace x3 {
+
+/// Orders two serialized records; returns <0, 0, >0 like memcmp.
+using RecordComparator =
+    std::function<int(std::string_view, std::string_view)>;
+
+/// Lexicographic byte order (the default).
+int BytewiseCompare(std::string_view a, std::string_view b);
+
+/// Pull-iterator over sorted records.
+class SortedStream {
+ public:
+  virtual ~SortedStream() = default;
+
+  /// Advances to the next record. Returns false at end of stream; on
+  /// error sets *status (records may not be consumed after an error).
+  virtual bool Next(std::string* record, Status* status) = 0;
+};
+
+/// Counters describing a sort's execution strategy.
+struct SortStats {
+  uint64_t records = 0;
+  uint64_t bytes = 0;
+  uint64_t runs_spilled = 0;
+  uint64_t spill_bytes = 0;
+  uint64_t merge_passes = 0;
+  bool in_memory = true;
+};
+
+/// External merge sort over variable-length byte records.
+///
+/// The paper's algorithms "used the quicksort for an in-memory sort, and
+/// the mergesort for an external sort" (§4); this class is exactly that
+/// policy: records are buffered and quicksorted while they fit in the
+/// `MemoryBudget`; when the budget is exhausted the buffer is sorted and
+/// spilled as a run, and `Finish()` returns a k-way merge over the runs
+/// (cascaded into multiple passes when the run count exceeds the fan-in).
+class ExternalSorter {
+ public:
+  struct Options {
+    /// Budget charged for buffered records; nullptr or unlimited budget
+    /// means a pure in-memory sort.
+    MemoryBudget* budget = nullptr;
+    /// Where spill runs live. Required if spilling can happen.
+    TempFileManager* temp_files = nullptr;
+    RecordComparator comparator = BytewiseCompare;
+    /// Maximum runs merged at once.
+    size_t merge_fanin = 64;
+  };
+
+  explicit ExternalSorter(Options options);
+  ~ExternalSorter();
+
+  ExternalSorter(const ExternalSorter&) = delete;
+  ExternalSorter& operator=(const ExternalSorter&) = delete;
+
+  /// Adds one record.
+  Status Add(std::string_view record);
+
+  /// Completes the sort; after this, Add() is invalid. The returned
+  /// stream yields records in comparator order (duplicates preserved,
+  /// stable not guaranteed).
+  Result<std::unique_ptr<SortedStream>> Finish();
+
+  const SortStats& stats() const { return stats_; }
+
+ private:
+  Status SpillBuffer();
+  /// Reduces runs_ to at most merge_fanin via intermediate merges.
+  Status CascadeMerges();
+
+  Options options_;
+  std::vector<std::string> buffer_;
+  size_t buffered_bytes_ = 0;
+  std::vector<std::string> runs_;  // spill file paths
+  SortStats stats_;
+  bool finished_ = false;
+};
+
+}  // namespace x3
+
+#endif  // X3_STORAGE_EXTERNAL_SORTER_H_

@@ -1,0 +1,45 @@
+#ifndef X3_STORAGE_PAGE_H_
+#define X3_STORAGE_PAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+namespace x3 {
+
+/// Fixed page size. The paper configured TIMBER with 8 KB data pages; we
+/// use the same so page-count-based cost accounting is comparable.
+inline constexpr size_t kPageSize = 8192;
+
+/// Identifier of a page within a page file (0-based).
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = UINT32_MAX;
+
+/// Raw page buffer. Interpretation (slotted, node-array, ...) is layered
+/// on top by accessor classes; the buffer pool deals only in `Page`s.
+struct Page {
+  std::array<uint8_t, kPageSize> data;
+
+  void Zero() { std::memset(data.data(), 0, kPageSize); }
+
+  uint8_t* bytes() { return data.data(); }
+  const uint8_t* bytes() const { return data.data(); }
+
+  /// Unaligned typed reads/writes at a byte offset.
+  template <typename T>
+  T ReadAt(size_t offset) const {
+    T v;
+    std::memcpy(&v, data.data() + offset, sizeof(T));
+    return v;
+  }
+  template <typename T>
+  void WriteAt(size_t offset, const T& v) {
+    std::memcpy(data.data() + offset, &v, sizeof(T));
+  }
+};
+
+static_assert(sizeof(Page) == kPageSize, "Page must be exactly kPageSize");
+
+}  // namespace x3
+
+#endif  // X3_STORAGE_PAGE_H_

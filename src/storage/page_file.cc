@@ -1,0 +1,112 @@
+#include "storage/page_file.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace x3 {
+
+PageFile::~PageFile() { Close().ok(); }
+
+Status PageFile::Open(const std::string& path, bool truncate) {
+  if (file_ != nullptr) {
+    return Status::AlreadyExists("page file already open: " + path_);
+  }
+  const char* mode = truncate ? "w+b" : "r+b";
+  std::FILE* f = std::fopen(path.c_str(), mode);
+  if (f == nullptr && !truncate) {
+    // File may not exist yet.
+    f = std::fopen(path.c_str(), "w+b");
+  }
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  file_ = f;
+  path_ = path;
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    Close().ok();
+    return Status::IOError("seek failed on " + path);
+  }
+  long size = std::ftell(file_);
+  if (size < 0) {
+    Close().ok();
+    return Status::IOError("ftell failed on " + path);
+  }
+  if (size % static_cast<long>(kPageSize) != 0) {
+    Close().ok();
+    return Status::Corruption(
+        StringPrintf("page file %s size %ld not a multiple of page size",
+                     path.c_str(), size));
+  }
+  page_count_ = static_cast<PageId>(size / static_cast<long>(kPageSize));
+  return Status::OK();
+}
+
+Status PageFile::Close() {
+  if (file_ == nullptr) return Status::OK();
+  int rc = std::fclose(file_);
+  file_ = nullptr;
+  page_count_ = 0;
+  if (rc != 0) return Status::IOError("close failed on " + path_);
+  return Status::OK();
+}
+
+Status PageFile::ReadPage(PageId id, Page* page) {
+  if (file_ == nullptr) return Status::Internal("page file not open");
+  if (id >= page_count_) {
+    return Status::OutOfRange(
+        StringPrintf("read page %u of %u", id, page_count_));
+  }
+  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0) {
+    return Status::IOError("seek failed on " + path_);
+  }
+  if (std::fread(page->bytes(), kPageSize, 1, file_) != 1) {
+    return Status::IOError(StringPrintf("short read of page %u", id));
+  }
+  ++pages_read_;
+  return Status::OK();
+}
+
+Status PageFile::WritePage(PageId id, const Page& page) {
+  if (file_ == nullptr) return Status::Internal("page file not open");
+  if (id >= page_count_) {
+    return Status::OutOfRange(
+        StringPrintf("write page %u of %u", id, page_count_));
+  }
+  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0) {
+    return Status::IOError("seek failed on " + path_);
+  }
+  if (std::fwrite(page.bytes(), kPageSize, 1, file_) != 1) {
+    return Status::IOError(StringPrintf("short write of page %u", id));
+  }
+  ++pages_written_;
+  return Status::OK();
+}
+
+Result<PageId> PageFile::AllocatePage() {
+  if (file_ == nullptr) return Status::Internal("page file not open");
+  Page zero;
+  zero.Zero();
+  PageId id = page_count_;
+  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0) {
+    return Status::IOError("seek failed on " + path_);
+  }
+  if (std::fwrite(zero.bytes(), kPageSize, 1, file_) != 1) {
+    return Status::IOError("append failed on " + path_);
+  }
+  ++pages_written_;
+  ++page_count_;
+  return id;
+}
+
+Status PageFile::Flush() {
+  if (file_ == nullptr) return Status::OK();
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("flush failed on " + path_);
+  }
+  return Status::OK();
+}
+
+}  // namespace x3

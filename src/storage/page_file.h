@@ -1,0 +1,62 @@
+#ifndef X3_STORAGE_PAGE_FILE_H_
+#define X3_STORAGE_PAGE_FILE_H_
+
+#include <cstdio>
+#include <string>
+
+#include "storage/page.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace x3 {
+
+/// A file of fixed-size pages with read/write/append, the unit the
+/// buffer pool operates on. Not thread-safe (the engine is
+/// single-threaded, as was TIMBER's evaluation).
+class PageFile {
+ public:
+  PageFile() = default;
+  ~PageFile();
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  /// Opens (creating if necessary) the file at `path`. If `truncate`,
+  /// existing contents are discarded.
+  Status Open(const std::string& path, bool truncate);
+
+  /// Flushes and closes. Safe to call twice.
+  Status Close();
+
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  /// Number of pages currently in the file.
+  PageId page_count() const { return page_count_; }
+
+  /// Reads page `id` into `*page`.
+  Status ReadPage(PageId id, Page* page);
+
+  /// Writes `page` at `id`; `id` must be < page_count().
+  Status WritePage(PageId id, const Page& page);
+
+  /// Appends a new zeroed page, returning its id.
+  Result<PageId> AllocatePage();
+
+  Status Flush();
+
+  /// Lifetime I/O counters (for cost reporting).
+  uint64_t pages_read() const { return pages_read_; }
+  uint64_t pages_written() const { return pages_written_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  PageId page_count_ = 0;
+  uint64_t pages_read_ = 0;
+  uint64_t pages_written_ = 0;
+};
+
+}  // namespace x3
+
+#endif  // X3_STORAGE_PAGE_FILE_H_

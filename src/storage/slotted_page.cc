@@ -1,0 +1,55 @@
+#include "storage/slotted_page.h"
+
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace x3 {
+
+void SlottedPage::Init() {
+  set_record_count(0);
+  set_free_end(static_cast<uint16_t>(kPageSize));
+}
+
+size_t SlottedPage::FreeSpace() const {
+  size_t dir_end = kHeaderSize + static_cast<size_t>(record_count()) * kSlotSize;
+  size_t heap_start = free_end();
+  return heap_start > dir_end ? heap_start - dir_end : 0;
+}
+
+Result<SlotId> SlottedPage::Insert(std::string_view record) {
+  if (record.size() > MaxRecordSize()) {
+    return Status::InvalidArgument(
+        StringPrintf("record of %zu bytes exceeds page capacity",
+                     record.size()));
+  }
+  if (!Fits(record.size())) {
+    return Status::ResourceExhausted("slotted page full");
+  }
+  uint16_t count = record_count();
+  uint16_t new_end = static_cast<uint16_t>(free_end() - record.size());
+  std::memcpy(page_->bytes() + new_end, record.data(), record.size());
+  size_t slot_off = kHeaderSize + static_cast<size_t>(count) * kSlotSize;
+  page_->WriteAt<uint16_t>(slot_off, new_end);
+  page_->WriteAt<uint16_t>(slot_off + 2, static_cast<uint16_t>(record.size()));
+  set_free_end(new_end);
+  set_record_count(static_cast<uint16_t>(count + 1));
+  return static_cast<SlotId>(count);
+}
+
+Result<std::string_view> SlottedPage::Get(SlotId slot) const {
+  if (slot >= record_count()) {
+    return Status::OutOfRange(
+        StringPrintf("slot %u of %u", slot, record_count()));
+  }
+  size_t slot_off = kHeaderSize + static_cast<size_t>(slot) * kSlotSize;
+  uint16_t off = page_->ReadAt<uint16_t>(slot_off);
+  uint16_t len = page_->ReadAt<uint16_t>(slot_off + 2);
+  if (off + len > kPageSize) {
+    return Status::Corruption("slot points past page end");
+  }
+  return std::string_view(reinterpret_cast<const char*>(page_->bytes() + off),
+                          len);
+}
+
+}  // namespace x3

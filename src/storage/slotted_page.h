@@ -1,0 +1,67 @@
+#ifndef X3_STORAGE_SLOTTED_PAGE_H_
+#define X3_STORAGE_SLOTTED_PAGE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "storage/page.h"
+#include "util/result.h"
+
+namespace x3 {
+
+/// Slot index within a slotted page.
+using SlotId = uint16_t;
+
+/// Accessor imposing a classic slotted-record layout on a raw `Page`:
+///
+///   [ header | slot directory ->   ...free...   <- record heap ]
+///
+/// Header: record_count (u16), free_space_end (u16).
+/// Slot: offset (u16), length (u16). Records are appended from the end
+/// of the page growing downward; slots grow upward after the header.
+/// Records are immutable once inserted (the workloads are append-only,
+/// like a warehouse load).
+class SlottedPage {
+ public:
+  /// Wraps `page` (not owned). Call Init() on a fresh page before use.
+  explicit SlottedPage(Page* page) : page_(page) {}
+
+  /// Formats an empty slotted page.
+  void Init();
+
+  /// Number of records on the page.
+  uint16_t record_count() const { return page_->ReadAt<uint16_t>(0); }
+
+  /// Bytes available for a new record including its slot entry.
+  size_t FreeSpace() const;
+
+  /// True if a record of `len` bytes fits.
+  bool Fits(size_t len) const { return FreeSpace() >= len + kSlotSize; }
+
+  /// Appends a record; fails if it does not fit.
+  Result<SlotId> Insert(std::string_view record);
+
+  /// Returns record `slot` (view into the page buffer; invalidated by
+  /// page eviction).
+  Result<std::string_view> Get(SlotId slot) const;
+
+  /// Largest record that can ever fit on an empty page.
+  static constexpr size_t MaxRecordSize() {
+    return kPageSize - kHeaderSize - kSlotSize;
+  }
+
+ private:
+  static constexpr size_t kHeaderSize = 4;
+  static constexpr size_t kSlotSize = 4;
+
+  uint16_t free_end() const { return page_->ReadAt<uint16_t>(2); }
+  void set_record_count(uint16_t v) { page_->WriteAt<uint16_t>(0, v); }
+  void set_free_end(uint16_t v) { page_->WriteAt<uint16_t>(2, v); }
+
+  Page* page_;
+};
+
+}  // namespace x3
+
+#endif  // X3_STORAGE_SLOTTED_PAGE_H_

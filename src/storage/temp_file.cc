@@ -1,0 +1,46 @@
+#include "storage/temp_file.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace x3 {
+
+TempFileManager::TempFileManager(std::string base_dir)
+    : base_dir_(std::move(base_dir)) {
+  if (base_dir_.empty()) {
+    const char* env = std::getenv("TMPDIR");
+    base_dir_ = (env != nullptr && env[0] != '\0') ? env : "/tmp";
+  }
+  while (base_dir_.size() > 1 && base_dir_.back() == '/') {
+    base_dir_.pop_back();
+  }
+}
+
+TempFileManager::~TempFileManager() {
+  for (const std::string& p : owned_paths_) {
+    std::remove(p.c_str());
+  }
+}
+
+std::string TempFileManager::NextPath(const std::string& tag) {
+  std::string path =
+      StringPrintf("%s/x3-%d-%llu.%s.tmp", base_dir_.c_str(),
+                   static_cast<int>(::getpid()),
+                   static_cast<unsigned long long>(counter_++), tag.c_str());
+  owned_paths_.push_back(path);
+  return path;
+}
+
+void TempFileManager::Remove(const std::string& path) {
+  std::remove(path.c_str());
+  owned_paths_.erase(
+      std::remove(owned_paths_.begin(), owned_paths_.end(), path),
+      owned_paths_.end());
+}
+
+}  // namespace x3

@@ -1,0 +1,42 @@
+#ifndef X3_STORAGE_TEMP_FILE_H_
+#define X3_STORAGE_TEMP_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace x3 {
+
+/// Hands out unique temp file paths under a base directory and removes
+/// everything it created on destruction. Used by the external sorter and
+/// by materialized intermediate cube results.
+class TempFileManager {
+ public:
+  /// Files are created under `base_dir` (defaults to $TMPDIR or /tmp).
+  explicit TempFileManager(std::string base_dir = "");
+  ~TempFileManager();
+
+  TempFileManager(const TempFileManager&) = delete;
+  TempFileManager& operator=(const TempFileManager&) = delete;
+
+  /// Returns a fresh path like <base>/x3-<pid>-<n>.<tag>.tmp. The file
+  /// is not created; the path is recorded for cleanup.
+  std::string NextPath(const std::string& tag);
+
+  /// Deletes a file early and stops tracking it.
+  void Remove(const std::string& path);
+
+  const std::string& base_dir() const { return base_dir_; }
+  size_t created_count() const { return counter_; }
+
+ private:
+  std::string base_dir_;
+  uint64_t counter_ = 0;
+  std::vector<std::string> owned_paths_;
+};
+
+}  // namespace x3
+
+#endif  // X3_STORAGE_TEMP_FILE_H_

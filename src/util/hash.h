@@ -1,0 +1,43 @@
+#ifndef X3_UTIL_HASH_H_
+#define X3_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace x3 {
+
+/// 64-bit FNV-1a over raw bytes. Used for group-key hashing; not
+/// cryptographic.
+inline uint64_t Fnv1a64(const void* data, size_t len,
+                        uint64_t seed = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return Fnv1a64(s.data(), s.size());
+}
+
+/// Mixes a 64-bit value into a running hash (boost::hash_combine style,
+/// with a 64-bit golden-ratio constant).
+inline uint64_t HashCombine(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4);
+  return h;
+}
+
+/// Finalizer that spreads entropy across all bits (splitmix64 tail).
+inline uint64_t HashFinalize(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace x3
+
+#endif  // X3_UTIL_HASH_H_

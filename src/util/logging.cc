@@ -1,0 +1,75 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace x3 {
+namespace {
+
+std::atomic<int> g_log_level{-1};
+
+int InitialLevel() {
+  const char* env = std::getenv("X3_LOG_LEVEL");
+  if (env != nullptr) {
+    int v = std::atoi(env);
+    if (v >= 0 && v <= 4) return v;
+  }
+  return static_cast<int>(LogLevel::kWarning);
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() {
+  int v = g_log_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = InitialLevel();
+    g_log_level.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(v);
+}
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace internal {
+
+namespace {
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+}  // namespace
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  // Strip directories for brevity.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::fputs(stream_.str().c_str(), stderr);
+  if (level_ == LogLevel::kFatal) {
+    std::fflush(stderr);
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace x3

@@ -1,0 +1,85 @@
+#ifndef X3_UTIL_LOGGING_H_
+#define X3_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace x3 {
+
+/// Log severities in increasing order of importance.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Process-wide minimum level that is actually emitted. Defaults to
+/// kWarning so library users are not spammed; tests/benches raise or
+/// lower it explicitly. Reads `X3_LOG_LEVEL` (0-4) from the environment
+/// on first use.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log message; emits on destruction. kFatal aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Discards everything streamed into it; used for disabled levels.
+class NullLog {
+ public:
+  template <typename T>
+  NullLog& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Binds looser than operator<< so a whole streamed expression can be
+/// swallowed into void inside a ternary (the classic glog voidify).
+struct Voidify {
+  void operator&(const LogMessage&) {}
+};
+
+}  // namespace internal
+}  // namespace x3
+
+#define X3_LOG(level)                                            \
+  (static_cast<int>(::x3::LogLevel::k##level) <                  \
+   static_cast<int>(::x3::GetLogLevel()))                        \
+      ? (void)0                                                  \
+      : ::x3::internal::Voidify() &                              \
+            ::x3::internal::LogMessage(::x3::LogLevel::k##level, \
+                                       __FILE__, __LINE__)
+
+#define X3_LOG_STREAM(level) \
+  ::x3::internal::LogMessage(::x3::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Invariant check that is active in all build types (unlike assert).
+#define X3_CHECK(cond)                                                   \
+  while (!(cond))                                                        \
+  ::x3::internal::LogMessage(::x3::LogLevel::kFatal, __FILE__, __LINE__) \
+      << "Check failed: " #cond " "
+
+#define X3_DCHECK(cond) assert(cond)
+
+#endif  // X3_UTIL_LOGGING_H_

@@ -1,0 +1,24 @@
+#include "util/memory_budget.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace x3 {
+
+Status MemoryBudget::Reserve(size_t bytes) {
+  if (capacity_ != 0 && used_ + bytes > capacity_) {
+    return Status::ResourceExhausted(StringPrintf(
+        "memory budget exceeded: used=%zu request=%zu capacity=%zu", used_,
+        bytes, capacity_));
+  }
+  used_ += bytes;
+  peak_ = std::max(peak_, used_);
+  return Status::OK();
+}
+
+void MemoryBudget::Release(size_t bytes) {
+  used_ = bytes > used_ ? 0 : used_ - bytes;
+}
+
+}  // namespace x3

@@ -1,0 +1,86 @@
+#ifndef X3_UTIL_MEMORY_BUDGET_H_
+#define X3_UTIL_MEMORY_BUDGET_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace x3 {
+
+/// Tracks logical memory consumption against a fixed budget.
+///
+/// The paper's experiments ran on a 1 GB machine with a 512 MB buffer
+/// pool; the algorithmic crossovers (COUNTER thrashing into multi-pass
+/// mode, TD falling back to external sorts) are driven by the ratio of
+/// working-set size to available memory. `MemoryBudget` makes that ratio
+/// an explicit, testable parameter: cube algorithms and the external
+/// sorter charge their data structures here and switch to out-of-core
+/// strategies when a reservation fails.
+///
+/// A budget of 0 means "unlimited" (everything stays in memory).
+class MemoryBudget {
+ public:
+  /// Creates a budget of `capacity_bytes`; 0 = unlimited.
+  explicit MemoryBudget(size_t capacity_bytes = 0)
+      : capacity_(capacity_bytes) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  /// Attempts to reserve `bytes`; fails with ResourceExhausted when the
+  /// reservation would exceed capacity.
+  Status Reserve(size_t bytes);
+
+  /// Reserves unconditionally (used where overshoot is accounted but
+  /// unavoidable, e.g. a single oversized record).
+  void ForceReserve(size_t bytes) {
+    used_ += bytes;
+    if (used_ > peak_) peak_ = used_;
+  }
+
+  /// Releases a prior reservation.
+  void Release(size_t bytes);
+
+  /// True if `bytes` more would still fit.
+  bool WouldFit(size_t bytes) const {
+    return capacity_ == 0 || used_ + bytes <= capacity_;
+  }
+
+  size_t capacity() const { return capacity_; }
+  size_t used() const { return used_; }
+  size_t available() const {
+    if (capacity_ == 0) return SIZE_MAX;
+    return used_ >= capacity_ ? 0 : capacity_ - used_;
+  }
+  bool unlimited() const { return capacity_ == 0; }
+
+  /// Peak usage observed (for reporting).
+  size_t peak() const { return peak_; }
+
+ private:
+  size_t capacity_;
+  size_t used_ = 0;
+  size_t peak_ = 0;
+};
+
+/// RAII reservation helper.
+class ScopedReservation {
+ public:
+  ScopedReservation(MemoryBudget* budget, size_t bytes)
+      : budget_(budget), bytes_(bytes) {
+    budget_->ForceReserve(bytes_);
+  }
+  ~ScopedReservation() { budget_->Release(bytes_); }
+
+  ScopedReservation(const ScopedReservation&) = delete;
+  ScopedReservation& operator=(const ScopedReservation&) = delete;
+
+ private:
+  MemoryBudget* budget_;
+  size_t bytes_;
+};
+
+}  // namespace x3
+
+#endif  // X3_UTIL_MEMORY_BUDGET_H_

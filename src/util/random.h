@@ -1,0 +1,78 @@
+#ifndef X3_UTIL_RANDOM_H_
+#define X3_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace x3 {
+
+/// Deterministic, fast PRNG (xorshift128+ variant, splitmix64-seeded).
+/// Every generator in the library takes an explicit seed so experiments
+/// are exactly reproducible across runs and platforms.
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // splitmix64 to spread the seed across both words.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
+    s0_ = Mix(&z);
+    s1_ = Mix(&z);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Zipf-distributed value in [0, n) with skew `theta` in [0,1).
+  /// theta = 0 is uniform. Uses the rejection-free inverse-CDF
+  /// approximation of Gray et al. (quick and deterministic; adequate for
+  /// workload generation).
+  uint64_t Zipf(uint64_t n, double theta);
+
+ private:
+  static uint64_t Mix(uint64_t* z) {
+    uint64_t x = (*z += 0x9e3779b97f4a7c15ULL);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+inline uint64_t Random::Zipf(uint64_t n, double theta) {
+  if (n <= 1) return 0;
+  if (theta <= 0.0) return Uniform(n);
+  // Approximate inverse CDF: P(X <= x) ~ (x/n)^(1-theta).
+  double u = NextDouble();
+  double x = static_cast<double>(n) *
+             __builtin_pow(u, 1.0 / (1.0 - theta));
+  uint64_t v = static_cast<uint64_t>(x);
+  return v >= n ? n - 1 : v;
+}
+
+}  // namespace x3
+
+#endif  // X3_UTIL_RANDOM_H_

@@ -1,0 +1,74 @@
+#ifndef X3_UTIL_RESULT_H_
+#define X3_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace x3 {
+
+/// A value-or-error wrapper: either holds a `T` or a non-OK `Status`.
+/// Analogous to `arrow::Result` / `absl::StatusOr`.
+///
+/// Usage:
+///   Result<int> ParsePort(std::string_view s);
+///   ...
+///   X3_ASSIGN_OR_RETURN(int port, ParsePort(arg));
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit on purpose, mirrors StatusOr).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status. `status.ok()` is a programming
+  /// error (a Result must be either a value or an error).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; `Status::OK()` when a value is held.
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
+
+  /// Accessors require `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` on error.
+  T value_or(T fallback) const& { return ok() ? *value_ : fallback; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace x3
+
+#endif  // X3_UTIL_RESULT_H_

@@ -1,0 +1,125 @@
+#ifndef X3_UTIL_STATUS_H_
+#define X3_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace x3 {
+
+/// Error categories used across the library. Mirrors the coarse taxonomy
+/// used by storage engines (RocksDB/Arrow style): a small closed set of
+/// codes plus a free-form message.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kCorruption,
+  kIOError,
+  kResourceExhausted,
+  kUnimplemented,
+  kInternal,
+  kParseError,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value. The library does not throw
+/// exceptions across API boundaries; fallible operations return `Status`
+/// (or `Result<T>`, see result.h).
+///
+/// `Status` is cheap to copy in the OK case (no allocation) and carries a
+/// message only on error.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+}  // namespace x3
+
+/// Propagates an error status from an expression; evaluates `expr` once.
+#define X3_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::x3::Status _x3_status = (expr);             \
+    if (!_x3_status.ok()) return _x3_status;      \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on error returns the status, on
+/// success assigns the value to `lhs`.
+#define X3_ASSIGN_OR_RETURN(lhs, expr)            \
+  X3_ASSIGN_OR_RETURN_IMPL(                       \
+      X3_CONCAT_(_x3_result_, __LINE__), lhs, expr)
+
+#define X3_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)  \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#define X3_CONCAT_(a, b) X3_CONCAT_IMPL_(a, b)
+#define X3_CONCAT_IMPL_(a, b) a##b
+
+#endif  // X3_UTIL_STATUS_H_

@@ -1,0 +1,44 @@
+#ifndef X3_UTIL_STRING_UTIL_H_
+#define X3_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace x3 {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Lower-cases ASCII characters.
+std::string ToLowerAscii(std::string_view s);
+
+/// Parses a signed 64-bit integer; the whole string must be consumed.
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// Parses a double; the whole string must be consumed.
+Result<double> ParseDouble(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Escapes XML special characters (& < > " ') for text/attribute output.
+std::string XmlEscape(std::string_view s);
+
+}  // namespace x3
+
+#endif  // X3_UTIL_STRING_UTIL_H_

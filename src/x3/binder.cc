@@ -1,0 +1,102 @@
+#include "x3/binder.h"
+
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace x3 {
+namespace {
+
+/// Resolves `variable` to (nearest doc-rooted ancestor variable,
+/// concatenated relative path from it). A doc-rooted variable resolves
+/// to (itself, "").
+Result<std::pair<std::string, std::string>> ResolveChain(
+    const std::unordered_map<std::string, const AstBinding*>& bindings,
+    const std::string& variable, int depth = 0) {
+  if (depth > 16) {
+    return Status::InvalidArgument("variable binding chain too deep (cycle?)");
+  }
+  auto it = bindings.find(variable);
+  if (it == bindings.end()) {
+    return Status::InvalidArgument("unbound variable $" + variable);
+  }
+  const AstBinding* binding = it->second;
+  if (!binding->doc.empty()) {
+    return std::make_pair(variable, std::string());
+  }
+  X3_ASSIGN_OR_RETURN(
+      auto parent,
+      ResolveChain(bindings, binding->source_variable, depth + 1));
+  return std::make_pair(parent.first,
+                        parent.second + binding->path.ToString());
+}
+
+}  // namespace
+
+Result<CubeQuery> BindX3Query(const AstQuery& ast) {
+  std::unordered_map<std::string, const AstBinding*> bindings;
+  for (const AstBinding& b : ast.bindings) {
+    if (bindings.count(b.variable) > 0) {
+      return Status::InvalidArgument("variable $" + b.variable +
+                                     " bound twice");
+    }
+    bindings[b.variable] = &b;
+  }
+
+  auto fact_it = bindings.find(ast.fact_variable);
+  if (fact_it == bindings.end()) {
+    return Status::InvalidArgument("fact variable $" + ast.fact_variable +
+                                   " is not bound");
+  }
+  if (fact_it->second->doc.empty()) {
+    return Status::InvalidArgument(
+        "fact variable $" + ast.fact_variable +
+        " must be bound to a doc(...) path");
+  }
+
+  CubeQuery query;
+  query.fact_path = fact_it->second->path.ToString();
+
+  for (const AstAxis& axis : ast.axes) {
+    X3_ASSIGN_OR_RETURN(auto resolved,
+                        ResolveChain(bindings, axis.variable));
+    if (resolved.first != ast.fact_variable) {
+      return Status::InvalidArgument(
+          "axis variable $" + axis.variable +
+          " must be rooted at the fact variable $" + ast.fact_variable);
+    }
+    AxisSpec spec;
+    spec.name = axis.variable;
+    spec.path = resolved.second;
+    spec.relaxations = axis.relaxations;
+    if (axis.transform == "substring") {
+      spec.transform = ValueTransform::Prefix(
+          static_cast<size_t>(axis.transform_length));
+    } else if (axis.transform == "lowercase") {
+      spec.transform = ValueTransform::Lowercase();
+    }
+    query.axes.push_back(std::move(spec));
+  }
+  query.min_count = ast.min_count;
+
+  X3_ASSIGN_OR_RETURN(query.aggregate,
+                      ParseAggregateFunction(ast.ret.function));
+  if (!ast.ret.path.steps.empty()) {
+    if (ast.ret.variable != ast.fact_variable) {
+      return Status::InvalidArgument(
+          "the measure path must be relative to the fact variable");
+    }
+    query.measure_path = ast.ret.path.ToString();
+  } else if (ast.ret.variable != ast.fact_variable) {
+    X3_ASSIGN_OR_RETURN(auto resolved,
+                        ResolveChain(bindings, ast.ret.variable));
+    if (resolved.first != ast.fact_variable) {
+      return Status::InvalidArgument(
+          "the aggregated variable must be rooted at the fact variable");
+    }
+    query.measure_path = resolved.second;
+  }
+  return query;
+}
+
+}  // namespace x3

@@ -1,0 +1,25 @@
+#ifndef X3_X3_BINDER_H_
+#define X3_X3_BINDER_H_
+
+#include "cube/cube_spec.h"
+#include "util/result.h"
+#include "x3/parser.h"
+
+namespace x3 {
+
+/// Resolves a parsed X^3 query into an executable CubeQuery:
+///  * the fact variable's binding chain must root in a doc(...) source;
+///    its path becomes the fact path;
+///  * each axis variable's binding chain must root in the fact
+///    variable; the concatenated relative path becomes the axis path;
+///  * the return clause maps to the aggregate function, with an
+///    optional measure path relative to the fact variable.
+///
+/// The documents named by doc(...) are NOT loaded here — binding is
+/// purely static. Callers load data into the Database separately (or
+/// use X3Engine, which can auto-load).
+Result<CubeQuery> BindX3Query(const AstQuery& ast);
+
+}  // namespace x3
+
+#endif  // X3_X3_BINDER_H_

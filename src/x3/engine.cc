@@ -1,0 +1,49 @@
+#include "x3/engine.h"
+
+#include "util/timer.h"
+#include "x3/binder.h"
+#include "x3/parser.h"
+
+namespace x3 {
+
+Result<CubeQuery> X3Engine::Compile(std::string_view query_text) const {
+  X3_ASSIGN_OR_RETURN(AstQuery ast, ParseX3Query(query_text));
+  return BindX3Query(ast);
+}
+
+Result<X3ExecutionResult> X3Engine::Execute(std::string_view query_text,
+                                            CubeAlgorithm algorithm,
+                                            CubeComputeOptions options) const {
+  X3_ASSIGN_OR_RETURN(CubeQuery query, Compile(query_text));
+  return ExecuteQuery(query, algorithm, options);
+}
+
+Result<X3ExecutionResult> X3Engine::ExecuteQuery(
+    const CubeQuery& query, CubeAlgorithm algorithm,
+    CubeComputeOptions options) const {
+  options.aggregate = query.aggregate;
+  if (query.min_count > options.min_count) {
+    options.min_count = query.min_count;
+  }
+
+  Timer timer;
+  X3_ASSIGN_OR_RETURN(CubeLattice lattice, BuildCubeLattice(query));
+  X3_ASSIGN_OR_RETURN(FactTable facts,
+                      BuildFactTable(*db_, query, lattice));
+  double materialize_seconds = timer.ElapsedSeconds();
+
+  timer.Reset();
+  CubeComputeStats stats;
+  X3_ASSIGN_OR_RETURN(CubeResult cube, ComputeCube(algorithm, facts, lattice,
+                                                   options, &stats));
+  double cube_seconds = timer.ElapsedSeconds();
+
+  X3ExecutionResult result(std::move(lattice), std::move(facts),
+                           std::move(cube));
+  result.stats = stats;
+  result.materialize_seconds = materialize_seconds;
+  result.cube_seconds = cube_seconds;
+  return result;
+}
+
+}  // namespace x3

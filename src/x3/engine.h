@@ -1,0 +1,80 @@
+#ifndef X3_X3_ENGINE_H_
+#define X3_X3_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "cube/algorithm.h"
+#include "cube/cube_spec.h"
+#include "util/result.h"
+#include "xdb/database.h"
+
+namespace x3 {
+
+/// Result of executing an X^3 query end to end.
+struct X3ExecutionResult {
+  CubeLattice lattice;
+  FactTable facts;
+  CubeResult cube;
+  CubeComputeStats stats;
+  /// Wall-clock split: pattern evaluation / fact materialization vs
+  /// cube computation (the paper times only the latter).
+  double materialize_seconds = 0;
+  double cube_seconds = 0;
+
+  X3ExecutionResult(CubeLattice lattice_in, FactTable facts_in,
+                    CubeResult cube_in)
+      : lattice(std::move(lattice_in)),
+        facts(std::move(facts_in)),
+        cube(std::move(cube_in)) {}
+};
+
+/// The top of the public API: parse an X^3 query, build the relaxation
+/// lattice, materialize the fact table against a database, and compute
+/// the cube with a chosen algorithm.
+///
+///   auto db = Database::Open({});
+///   (*db)->LoadXmlFile("books.xml");
+///   X3Engine engine(db->get());
+///   auto result = engine.Execute(R"(
+///     for $b in doc("books.xml")//publication,
+///         $n in $b/author/name,
+///         $y in $b/year
+///     X^3 $b by $n (LND, SP, PC-AD), $y (LND)
+///     return COUNT($b))", CubeAlgorithm::kBUC);
+class X3Engine {
+ public:
+  /// `db` must outlive the engine and already contain the data (the
+  /// doc("...") names in queries are treated as documentation; all
+  /// loaded documents are queried).
+  explicit X3Engine(Database* db) : db_(db) {}
+
+  /// Parses + binds a query without executing it.
+  Result<CubeQuery> Compile(std::string_view query_text) const;
+
+  /// Full pipeline with default options.
+  Result<X3ExecutionResult> Execute(
+      std::string_view query_text,
+      CubeAlgorithm algorithm = CubeAlgorithm::kBUC) const {
+    return Execute(query_text, algorithm, CubeComputeOptions{});
+  }
+
+  /// Full pipeline with explicit compute options. The aggregate
+  /// function in `options` is overridden by the query's return clause.
+  Result<X3ExecutionResult> Execute(std::string_view query_text,
+                                    CubeAlgorithm algorithm,
+                                    CubeComputeOptions options) const;
+
+  /// Pipeline from an already-compiled query.
+  Result<X3ExecutionResult> ExecuteQuery(const CubeQuery& query,
+                                         CubeAlgorithm algorithm,
+                                         CubeComputeOptions options) const;
+
+ private:
+  Database* db_;
+};
+
+}  // namespace x3
+
+#endif  // X3_X3_ENGINE_H_

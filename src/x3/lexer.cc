@@ -1,0 +1,190 @@
+#include "x3/lexer.h"
+
+#include "util/string_util.h"
+
+namespace x3 {
+
+const char* TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kFor:
+      return "'for'";
+    case TokenKind::kIn:
+      return "'in'";
+    case TokenKind::kX3:
+      return "'X^3'";
+    case TokenKind::kBy:
+      return "'by'";
+    case TokenKind::kReturn:
+      return "'return'";
+    case TokenKind::kVariable:
+      return "variable";
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kDoubleSlash:
+      return "'//'";
+    case TokenKind::kAt:
+      return "'@'";
+    case TokenKind::kHaving:
+      return "'having'";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kGreaterEqual:
+      return "'>='";
+    case TokenKind::kEnd:
+      return "end of query";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool IsIdentChar(char c) {
+  return IsIdentStart(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> LexX3Query(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  auto error = [&](const std::string& msg) {
+    return Status::ParseError(
+        StringPrintf("X^3 lex error at offset %zu: %s", i, msg.c_str()));
+  };
+  while (i < input.size()) {
+    char c = input[i];
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      ++i;
+      continue;
+    }
+    // XQuery comment "(: ... :)".
+    if (c == '(' && i + 1 < input.size() && input[i + 1] == ':') {
+      size_t close = input.find(":)", i + 2);
+      if (close == std::string_view::npos) {
+        return error("unterminated comment");
+      }
+      i = close + 2;
+      continue;
+    }
+    size_t start = i;
+    switch (c) {
+      case '(':
+        tokens.push_back({TokenKind::kLParen, "(", start});
+        ++i;
+        continue;
+      case ')':
+        tokens.push_back({TokenKind::kRParen, ")", start});
+        ++i;
+        continue;
+      case ',':
+        tokens.push_back({TokenKind::kComma, ",", start});
+        ++i;
+        continue;
+      case '@':
+        tokens.push_back({TokenKind::kAt, "@", start});
+        ++i;
+        continue;
+      case '.':
+        // Trailing period of the query text (the paper ends Query 1
+        // with "."); ignore.
+        ++i;
+        continue;
+      case '/':
+        if (i + 1 < input.size() && input[i + 1] == '/') {
+          tokens.push_back({TokenKind::kDoubleSlash, "//", start});
+          i += 2;
+        } else {
+          tokens.push_back({TokenKind::kSlash, "/", start});
+          ++i;
+        }
+        continue;
+      case '$': {
+        ++i;
+        size_t name_start = i;
+        while (i < input.size() && IsIdentChar(input[i])) ++i;
+        if (i == name_start) return error("expected name after '$'");
+        tokens.push_back({TokenKind::kVariable,
+                          std::string(input.substr(name_start, i - name_start)),
+                          start});
+        continue;
+      }
+      case '"':
+      case '\'': {
+        char quote = c;
+        ++i;
+        size_t text_start = i;
+        while (i < input.size() && input[i] != quote) ++i;
+        if (i == input.size()) return error("unterminated string literal");
+        tokens.push_back({TokenKind::kString,
+                          std::string(input.substr(text_start, i - text_start)),
+                          start});
+        ++i;
+        continue;
+      }
+      case '>':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          tokens.push_back({TokenKind::kGreaterEqual, ">=", start});
+          i += 2;
+          continue;
+        }
+        return error("expected '=' after '>'");
+      default:
+        break;
+    }
+    if (c >= '0' && c <= '9') {
+      size_t num_start = i;
+      while (i < input.size() && input[i] >= '0' && input[i] <= '9') ++i;
+      tokens.push_back({TokenKind::kNumber,
+                        std::string(input.substr(num_start, i - num_start)),
+                        num_start});
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t ident_start = i;
+      while (i < input.size() && IsIdentChar(input[i])) ++i;
+      std::string word(input.substr(ident_start, i - ident_start));
+      // "X^3" / "x^3": the '^' splits the identifier; join it here.
+      if ((word == "X" || word == "x") && i < input.size() &&
+          input[i] == '^' && i + 1 < input.size() && input[i + 1] == '3') {
+        i += 2;
+        tokens.push_back({TokenKind::kX3, "X^3", ident_start});
+        continue;
+      }
+      std::string lower = ToLowerAscii(word);
+      if (lower == "for") {
+        tokens.push_back({TokenKind::kFor, word, ident_start});
+      } else if (lower == "in") {
+        tokens.push_back({TokenKind::kIn, word, ident_start});
+      } else if (lower == "by") {
+        tokens.push_back({TokenKind::kBy, word, ident_start});
+      } else if (lower == "return") {
+        tokens.push_back({TokenKind::kReturn, word, ident_start});
+      } else if (lower == "having") {
+        tokens.push_back({TokenKind::kHaving, word, ident_start});
+      } else if (lower == "x3" || lower == "cube") {
+        tokens.push_back({TokenKind::kX3, word, ident_start});
+      } else {
+        tokens.push_back({TokenKind::kIdent, word, ident_start});
+      }
+      continue;
+    }
+    return error(StringPrintf("unexpected character '%c'", c));
+  }
+  tokens.push_back({TokenKind::kEnd, "", input.size()});
+  return tokens;
+}
+
+}  // namespace x3

@@ -1,0 +1,50 @@
+#ifndef X3_X3_LEXER_H_
+#define X3_X3_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace x3 {
+
+/// Token kinds of the X^3 query language (the XQuery-FLWOR subset with
+/// the cube clause, Query 1 of the paper).
+enum class TokenKind : uint8_t {
+  kFor,
+  kIn,
+  kX3,      // "x3", "X3", "x^3", "X^3" or "cube"
+  kBy,
+  kReturn,
+  kHaving,
+  kVariable,  // $name (text = name without '$')
+  kIdent,     // bare name: doc, COUNT, LND, publication, ...
+  kString,    // "..." (text = unquoted)
+  kNumber,    // unsigned integer literal
+  kLParen,
+  kRParen,
+  kComma,
+  kSlash,
+  kDoubleSlash,
+  kAt,
+  kGreaterEqual,  // ">="
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  size_t offset = 0;
+};
+
+const char* TokenKindToString(TokenKind kind);
+
+/// Tokenizes an X^3 query. Identifiers may contain letters, digits,
+/// '_', '-' and '.'; "PC-AD" therefore lexes as a single identifier.
+/// Comments "(: ... :)" are skipped (XQuery style).
+Result<std::vector<Token>> LexX3Query(std::string_view input);
+
+}  // namespace x3
+
+#endif  // X3_X3_LEXER_H_

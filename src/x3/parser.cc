@@ -1,0 +1,233 @@
+#include "x3/parser.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+#include "x3/lexer.h"
+
+namespace x3 {
+
+std::string AstPath::ToString() const {
+  std::string out;
+  for (const AstStep& step : steps) {
+    out += step.descendant ? "//" : "/";
+    if (step.attribute) out += "@";
+    out += step.name;
+  }
+  return out;
+}
+
+namespace {
+
+class QueryParser {
+ public:
+  explicit QueryParser(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Result<AstQuery> Parse() {
+    AstQuery query;
+    X3_RETURN_IF_ERROR(Expect(TokenKind::kFor));
+    for (;;) {
+      X3_ASSIGN_OR_RETURN(AstBinding binding, ParseBinding());
+      query.bindings.push_back(std::move(binding));
+      if (Peek().kind != TokenKind::kComma) break;
+      Advance();
+    }
+    X3_RETURN_IF_ERROR(Expect(TokenKind::kX3));
+    X3_ASSIGN_OR_RETURN(Token fact_var, ExpectToken(TokenKind::kVariable));
+    query.fact_variable = fact_var.text;
+    if (Peek().kind == TokenKind::kSlash ||
+        Peek().kind == TokenKind::kDoubleSlash) {
+      X3_ASSIGN_OR_RETURN(query.fact_path, ParsePath());
+    }
+    X3_RETURN_IF_ERROR(Expect(TokenKind::kBy));
+    for (;;) {
+      X3_ASSIGN_OR_RETURN(AstAxis axis, ParseAxis());
+      query.axes.push_back(std::move(axis));
+      if (Peek().kind != TokenKind::kComma) break;
+      Advance();
+    }
+    X3_RETURN_IF_ERROR(Expect(TokenKind::kReturn));
+    X3_ASSIGN_OR_RETURN(query.ret, ParseReturn());
+    if (Peek().kind == TokenKind::kHaving) {
+      Advance();
+      X3_ASSIGN_OR_RETURN(query.min_count, ParseHaving());
+    }
+    X3_RETURN_IF_ERROR(Expect(TokenKind::kEnd));
+    return query;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(StringPrintf(
+        "X^3 parse error at offset %zu (near %s): %s", Peek().offset,
+        TokenKindToString(Peek().kind), msg.c_str()));
+  }
+
+  Status Expect(TokenKind kind) {
+    if (Peek().kind != kind) {
+      return Error(StringPrintf("expected %s", TokenKindToString(kind)));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<Token> ExpectToken(TokenKind kind) {
+    if (Peek().kind != kind) {
+      return Error(StringPrintf("expected %s", TokenKindToString(kind)));
+    }
+    return Advance();
+  }
+
+  Result<AstPath> ParsePath() {
+    AstPath path;
+    while (Peek().kind == TokenKind::kSlash ||
+           Peek().kind == TokenKind::kDoubleSlash) {
+      AstStep step;
+      step.descendant = Peek().kind == TokenKind::kDoubleSlash;
+      Advance();
+      if (Peek().kind == TokenKind::kAt) {
+        step.attribute = true;
+        Advance();
+      }
+      X3_ASSIGN_OR_RETURN(Token name, ExpectToken(TokenKind::kIdent));
+      step.name = name.text;
+      path.steps.push_back(std::move(step));
+    }
+    if (path.steps.empty()) return Error("expected a path");
+    return path;
+  }
+
+  Result<AstBinding> ParseBinding() {
+    AstBinding binding;
+    X3_ASSIGN_OR_RETURN(Token var, ExpectToken(TokenKind::kVariable));
+    binding.variable = var.text;
+    X3_RETURN_IF_ERROR(Expect(TokenKind::kIn));
+    if (Peek().kind == TokenKind::kIdent && Peek().text == "doc") {
+      Advance();
+      X3_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      X3_ASSIGN_OR_RETURN(Token doc, ExpectToken(TokenKind::kString));
+      binding.doc = doc.text;
+      X3_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      X3_ASSIGN_OR_RETURN(binding.path, ParsePath());
+      return binding;
+    }
+    if (Peek().kind == TokenKind::kVariable) {
+      binding.source_variable = Advance().text;
+      X3_ASSIGN_OR_RETURN(binding.path, ParsePath());
+      return binding;
+    }
+    return Error("expected doc(\"...\") or a variable after 'in'");
+  }
+
+  Result<AstAxis> ParseAxis() {
+    AstAxis axis;
+    if (Peek().kind == TokenKind::kIdent) {
+      std::string fn = ToLowerAscii(Peek().text);
+      if (fn != "substring" && fn != "lowercase") {
+        return Error("unknown axis transform '" + Peek().text + "'");
+      }
+      Advance();
+      axis.transform = fn;
+      X3_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      X3_ASSIGN_OR_RETURN(Token var, ExpectToken(TokenKind::kVariable));
+      axis.variable = var.text;
+      if (fn == "substring") {
+        X3_RETURN_IF_ERROR(Expect(TokenKind::kComma));
+        X3_ASSIGN_OR_RETURN(Token from, ExpectToken(TokenKind::kNumber));
+        if (from.text != "1") {
+          return Error("substring transforms must start at 1");
+        }
+        X3_RETURN_IF_ERROR(Expect(TokenKind::kComma));
+        X3_ASSIGN_OR_RETURN(Token len, ExpectToken(TokenKind::kNumber));
+        axis.transform_length = std::atoll(len.text.c_str());
+        if (axis.transform_length <= 0) {
+          return Error("substring length must be positive");
+        }
+      }
+      X3_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      if (Peek().kind == TokenKind::kLParen) {
+        return ParseRelaxations(std::move(axis));
+      }
+      return axis;
+    }
+    X3_ASSIGN_OR_RETURN(Token var, ExpectToken(TokenKind::kVariable));
+    axis.variable = var.text;
+    if (Peek().kind == TokenKind::kLParen) {
+      return ParseRelaxations(std::move(axis));
+    }
+    return axis;
+  }
+
+  /// Parses "(LND, SP, PC-AD)" into `axis`.
+  Result<AstAxis> ParseRelaxations(AstAxis axis) {
+    X3_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    for (;;) {
+      X3_ASSIGN_OR_RETURN(Token relax, ExpectToken(TokenKind::kIdent));
+      std::string lower = ToLowerAscii(relax.text);
+      if (lower == "lnd") {
+        axis.relaxations.Add(RelaxationType::kLND);
+      } else if (lower == "sp") {
+        axis.relaxations.Add(RelaxationType::kSP);
+      } else if (lower == "pc-ad" || lower == "pcad" || lower == "ad") {
+        axis.relaxations.Add(RelaxationType::kPCAD);
+      } else {
+        return Error("unknown relaxation '" + relax.text + "'");
+      }
+      if (Peek().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    X3_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    return axis;
+  }
+
+  /// Parses the body of "having count >= N" / "having COUNT($b) >= N".
+  Result<int64_t> ParseHaving() {
+    X3_ASSIGN_OR_RETURN(Token fn, ExpectToken(TokenKind::kIdent));
+    if (ToLowerAscii(fn.text) != "count") {
+      return Error("only 'having count >= N' is supported");
+    }
+    if (Peek().kind == TokenKind::kLParen) {
+      Advance();
+      X3_RETURN_IF_ERROR(ExpectToken(TokenKind::kVariable).status());
+      X3_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    }
+    X3_RETURN_IF_ERROR(Expect(TokenKind::kGreaterEqual));
+    X3_ASSIGN_OR_RETURN(Token n, ExpectToken(TokenKind::kNumber));
+    return static_cast<int64_t>(std::atoll(n.text.c_str()));
+  }
+
+  Result<AstReturn> ParseReturn() {
+    AstReturn ret;
+    X3_ASSIGN_OR_RETURN(Token fn, ExpectToken(TokenKind::kIdent));
+    ret.function = fn.text;
+    X3_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    X3_ASSIGN_OR_RETURN(Token var, ExpectToken(TokenKind::kVariable));
+    ret.variable = var.text;
+    if (Peek().kind == TokenKind::kSlash ||
+        Peek().kind == TokenKind::kDoubleSlash) {
+      X3_ASSIGN_OR_RETURN(ret.path, ParsePath());
+    }
+    X3_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    return ret;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<AstQuery> ParseX3Query(std::string_view input) {
+  X3_ASSIGN_OR_RETURN(std::vector<Token> tokens, LexX3Query(input));
+  QueryParser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace x3

@@ -1,0 +1,74 @@
+#ifndef X3_X3_PARSER_H_
+#define X3_X3_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "relax/relaxation.h"
+#include "util/result.h"
+
+namespace x3 {
+
+/// One step of a path in the query AST.
+struct AstStep {
+  bool descendant = false;  // '//' vs '/'
+  bool attribute = false;   // '@name'
+  std::string name;
+};
+
+/// A path: steps relative to a document or a variable.
+struct AstPath {
+  std::vector<AstStep> steps;
+
+  /// Renders as "/a//b/@c" (pattern-parser syntax).
+  std::string ToString() const;
+};
+
+/// "for $var in doc("file")//path" or "for $var in $other/path".
+struct AstBinding {
+  std::string variable;
+  /// Non-empty when the source is doc("...").
+  std::string doc;
+  /// Empty when the source is a document; else the source variable.
+  std::string source_variable;
+  AstPath path;
+};
+
+/// "$n (LND, SP, PC-AD)" in the X^3 clause, optionally wrapped in a
+/// value transform: "substring($n, 1, 1) (LND)" (the paper's
+/// first-character dense grouping) or "lowercase($n) (LND)".
+struct AstAxis {
+  std::string variable;
+  RelaxationSet relaxations;
+  /// "", "substring" or "lowercase".
+  std::string transform;
+  /// substring length (substring start is fixed at 1).
+  int64_t transform_length = 0;
+};
+
+/// "return COUNT($b)" / "return SUM($b/price)".
+struct AstReturn {
+  std::string function;
+  std::string variable;
+  AstPath path;  // optional path after the variable
+};
+
+/// A parsed X^3 query (Query 1 shape, plus the HAVING extension).
+struct AstQuery {
+  std::vector<AstBinding> bindings;
+  /// The fact expression "$b/@id": variable + optional path.
+  std::string fact_variable;
+  AstPath fact_path;
+  std::vector<AstAxis> axes;
+  AstReturn ret;
+  /// "having count >= N": iceberg threshold; 0 when absent.
+  int64_t min_count = 0;
+};
+
+/// Parses the token stream of an X^3 query into an AST.
+Result<AstQuery> ParseX3Query(std::string_view input);
+
+}  // namespace x3
+
+#endif  // X3_X3_PARSER_H_

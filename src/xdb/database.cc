@@ -1,0 +1,373 @@
+#include "xdb/database.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/string_util.h"
+#include "xdb/document_loader.h"
+#include "xml/xml_parser.h"
+
+namespace x3 {
+
+Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
+  auto db = std::unique_ptr<Database>(new Database());
+  db->options_ = options;
+  if (db->options_.data_file.empty()) {
+    db->options_.data_file = StringPrintf(
+        "/tmp/x3-db-%d-%p.dat", static_cast<int>(::getpid()),
+        static_cast<void*>(db.get()));
+    db->owns_data_file_ = true;
+  }
+  db->file_ = std::make_unique<PageFile>();
+  X3_RETURN_IF_ERROR(db->file_->Open(db->options_.data_file,
+                                     /*truncate=*/true));
+  db->pool_ = std::make_unique<BufferPool>(db->file_.get(),
+                                           db->options_.buffer_pool_pages);
+  db->store_ = std::make_unique<NodeStore>(db->pool_.get());
+  return db;
+}
+
+namespace {
+
+constexpr uint32_t kCatalogMagic = 0x58334354;  // "X3CT"
+constexpr uint32_t kCatalogVersion = 1;
+
+Status WriteAll(std::FILE* f, const void* data, size_t len,
+                const std::string& path) {
+  if (len > 0 && std::fwrite(data, len, 1, f) != 1) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Status ReadAll(std::FILE* f, void* data, size_t len,
+               const std::string& path) {
+  if (len > 0 && std::fread(data, len, 1, f) != 1) {
+    return Status::Corruption("truncated catalog " + path);
+  }
+  return Status::OK();
+}
+
+Status WriteString(std::FILE* f, const std::string& s,
+                   const std::string& path) {
+  uint32_t len = static_cast<uint32_t>(s.size());
+  X3_RETURN_IF_ERROR(WriteAll(f, &len, sizeof(len), path));
+  return WriteAll(f, s.data(), s.size(), path);
+}
+
+Result<std::string> ReadString(std::FILE* f, const std::string& path) {
+  uint32_t len = 0;
+  X3_RETURN_IF_ERROR(ReadAll(f, &len, sizeof(len), path));
+  if (len > (1u << 26)) {
+    return Status::Corruption("implausible string length in " + path);
+  }
+  std::string s(len, '\0');
+  X3_RETURN_IF_ERROR(ReadAll(f, s.data(), len, path));
+  return s;
+}
+
+std::string CatalogPath(const std::string& data_file) {
+  return data_file + ".cat";
+}
+
+}  // namespace
+
+Status Database::Checkpoint() {
+  X3_RETURN_IF_ERROR(pool_->FlushAll());
+  std::string path = CatalogPath(options_.data_file);
+  std::string tmp_path = path + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot create " + tmp_path);
+  auto finish = [&](Status s) {
+    if (f != nullptr) std::fclose(f);
+    if (!s.ok()) {
+      std::remove(tmp_path.c_str());
+      return s;
+    }
+    if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+      return Status::IOError("cannot move catalog into place: " + path);
+    }
+    return Status::OK();
+  };
+
+  uint32_t header[3] = {kCatalogMagic, kCatalogVersion, store_->size()};
+  X3_RETURN_IF_ERROR(WriteAll(f, header, sizeof(header), tmp_path));
+
+  uint32_t num_roots = static_cast<uint32_t>(roots_.size());
+  X3_RETURN_IF_ERROR(WriteAll(f, &num_roots, sizeof(num_roots), tmp_path));
+  X3_RETURN_IF_ERROR(
+      WriteAll(f, roots_.data(), roots_.size() * sizeof(NodeId), tmp_path));
+
+  uint32_t num_tags = static_cast<uint32_t>(tags_.size());
+  X3_RETURN_IF_ERROR(WriteAll(f, &num_tags, sizeof(num_tags), tmp_path));
+  for (TagId t = 0; t < num_tags; ++t) {
+    X3_RETURN_IF_ERROR(WriteString(f, tags_.Name(t), tmp_path));
+  }
+
+  uint32_t num_values = static_cast<uint32_t>(values_.size());
+  X3_RETURN_IF_ERROR(WriteAll(f, &num_values, sizeof(num_values), tmp_path));
+  for (ValueId v = 0; v < num_values; ++v) {
+    X3_RETURN_IF_ERROR(WriteString(f, values_.Value(v), tmp_path));
+  }
+
+  for (TagId t = 0; t < num_tags; ++t) {
+    const std::vector<NodeId>& list = NodesWithTagId(t);
+    uint32_t count = static_cast<uint32_t>(list.size());
+    X3_RETURN_IF_ERROR(WriteAll(f, &count, sizeof(count), tmp_path));
+    X3_RETURN_IF_ERROR(
+        WriteAll(f, list.data(), list.size() * sizeof(NodeId), tmp_path));
+  }
+  if (std::fflush(f) != 0) {
+    return finish(Status::IOError("flush failed on " + tmp_path));
+  }
+  return finish(Status::OK());
+}
+
+Result<std::unique_ptr<Database>> Database::OpenExisting(
+    DatabaseOptions options) {
+  if (options.data_file.empty()) {
+    return Status::InvalidArgument(
+        "OpenExisting requires an explicit data_file");
+  }
+  auto db = std::unique_ptr<Database>(new Database());
+  db->options_ = options;
+  db->file_ = std::make_unique<PageFile>();
+  X3_RETURN_IF_ERROR(db->file_->Open(options.data_file, /*truncate=*/false));
+  db->pool_ = std::make_unique<BufferPool>(db->file_.get(),
+                                           options.buffer_pool_pages);
+
+  std::string path = CatalogPath(options.data_file);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("no catalog at " + path +
+                            " (was Checkpoint() called?)");
+  }
+  auto fail = [&](Status s) {
+    std::fclose(f);
+    return s;
+  };
+  // Guard allocations against corrupted counts.
+  std::fseek(f, 0, SEEK_END);
+  long size_long = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  uint64_t file_size = size_long > 0 ? static_cast<uint64_t>(size_long) : 0;
+  auto plausible = [&](uint64_t count, uint64_t unit) {
+    return count <= file_size / (unit == 0 ? 1 : unit) + 1;
+  };
+  uint32_t header[3];
+  Status s = ReadAll(f, header, sizeof(header), path);
+  if (!s.ok()) return fail(s);
+  if (header[0] != kCatalogMagic) {
+    return fail(Status::Corruption("bad catalog magic in " + path));
+  }
+  if (header[1] != kCatalogVersion) {
+    return fail(Status::Corruption("unsupported catalog version"));
+  }
+  db->store_ = std::make_unique<NodeStore>(db->pool_.get(), header[2]);
+
+  uint32_t num_roots = 0;
+  s = ReadAll(f, &num_roots, sizeof(num_roots), path);
+  if (!s.ok()) return fail(s);
+  if (!plausible(num_roots, sizeof(NodeId))) {
+    return fail(Status::Corruption("implausible root count in catalog"));
+  }
+  db->roots_.resize(num_roots);
+  s = ReadAll(f, db->roots_.data(), num_roots * sizeof(NodeId), path);
+  if (!s.ok()) return fail(s);
+
+  uint32_t num_tags = 0;
+  s = ReadAll(f, &num_tags, sizeof(num_tags), path);
+  if (!s.ok()) return fail(s);
+  if (!plausible(num_tags, sizeof(uint32_t))) {
+    return fail(Status::Corruption("implausible tag count in catalog"));
+  }
+  for (uint32_t t = 0; t < num_tags; ++t) {
+    Result<std::string> name = ReadString(f, path);
+    if (!name.ok()) return fail(name.status());
+    if (db->tags_.Intern(*name) != t) {
+      return fail(Status::Corruption("tag dictionary out of order"));
+    }
+  }
+
+  uint32_t num_values = 0;
+  s = ReadAll(f, &num_values, sizeof(num_values), path);
+  if (!s.ok()) return fail(s);
+  if (!plausible(num_values, sizeof(uint32_t))) {
+    return fail(Status::Corruption("implausible value count in catalog"));
+  }
+  for (uint32_t v = 0; v < num_values; ++v) {
+    Result<std::string> value = ReadString(f, path);
+    if (!value.ok()) return fail(value.status());
+    if (db->values_.Intern(*value) != v) {
+      return fail(Status::Corruption("value dictionary out of order"));
+    }
+  }
+
+  db->tag_index_.resize(num_tags);
+  for (uint32_t t = 0; t < num_tags; ++t) {
+    uint32_t count = 0;
+    s = ReadAll(f, &count, sizeof(count), path);
+    if (!s.ok()) return fail(s);
+    if (!plausible(count, sizeof(NodeId))) {
+      return fail(Status::Corruption("implausible index size in catalog"));
+    }
+    db->tag_index_[t].resize(count);
+    s = ReadAll(f, db->tag_index_[t].data(), count * sizeof(NodeId), path);
+    if (!s.ok()) return fail(s);
+  }
+  std::fclose(f);
+  return db;
+}
+
+Database::~Database() {
+  // Tear down in dependency order before deleting the backing file.
+  store_.reset();
+  pool_.reset();
+  if (file_ != nullptr) {
+    file_->Close().ok();
+    file_.reset();
+  }
+  if (owns_data_file_) {
+    std::remove(options_.data_file.c_str());
+    std::remove(CatalogPath(options_.data_file).c_str());
+  }
+}
+
+Result<NodeId> Database::LoadDocument(const XmlDocument& doc) {
+  DocumentLoader loader(this);
+  return loader.Load(doc);
+}
+
+Result<NodeId> Database::LoadXmlString(std::string_view xml) {
+  X3_ASSIGN_OR_RETURN(XmlDocument doc, ParseXml(xml));
+  return LoadDocument(doc);
+}
+
+Result<NodeId> Database::LoadXmlFile(const std::string& path) {
+  X3_ASSIGN_OR_RETURN(XmlDocument doc, ParseXmlFile(path));
+  return LoadDocument(doc);
+}
+
+const std::vector<NodeId>& Database::NodesWithTag(std::string_view tag) const {
+  TagId id = tags_.Lookup(tag);
+  if (id == kInvalidTagId) return empty_;
+  return NodesWithTagId(id);
+}
+
+const std::vector<NodeId>& Database::NodesWithTagId(TagId tag_id) const {
+  if (tag_id >= tag_index_.size()) return empty_;
+  return tag_index_[tag_id];
+}
+
+Result<std::vector<NodeId>> Database::DescendantsWithTag(NodeId root,
+                                                         TagId tag_id) const {
+  NodeRecord root_rec;
+  X3_RETURN_IF_ERROR(GetNode(root, &root_rec));
+  const std::vector<NodeId>& list = NodesWithTagId(tag_id);
+  // Descendants of `root` have ids in (root, root_rec.end].
+  auto lo = std::upper_bound(list.begin(), list.end(), root);
+  auto hi = std::upper_bound(list.begin(), list.end(), root_rec.end);
+  return std::vector<NodeId>(lo, hi);
+}
+
+Result<std::vector<NodeId>> Database::ChildrenWithTag(NodeId root,
+                                                      TagId tag_id) const {
+  X3_ASSIGN_OR_RETURN(std::vector<NodeId> desc,
+                      DescendantsWithTag(root, tag_id));
+  std::vector<NodeId> out;
+  out.reserve(desc.size());
+  for (NodeId id : desc) {
+    NodeRecord rec;
+    X3_RETURN_IF_ERROR(GetNode(id, &rec));
+    if (rec.parent == root) out.push_back(id);
+  }
+  return out;
+}
+
+Result<bool> Database::IsAncestor(NodeId anc, NodeId desc) const {
+  if (anc >= desc) return false;
+  NodeRecord rec;
+  X3_RETURN_IF_ERROR(GetNode(anc, &rec));
+  return desc <= rec.end;
+}
+
+Result<DatabaseStats> Database::ComputeStats() const {
+  DatabaseStats stats;
+  stats.nodes = store_->size();
+  stats.documents = roots_.size();
+  stats.distinct_tags = tags_.size();
+  stats.distinct_values = values_.size();
+  stats.data_pages = file_->page_count();
+  uint64_t depth_sum = 0;
+  for (NodeId id = 0; id < store_->size(); ++id) {
+    NodeRecord rec;
+    X3_RETURN_IF_ERROR(store_->Get(id, &rec));
+    if (rec.kind == NodeKind::kElement) {
+      ++stats.elements;
+    } else {
+      ++stats.attributes;
+    }
+    depth_sum += rec.level;
+    if (rec.level > stats.max_depth) stats.max_depth = rec.level;
+  }
+  stats.avg_depth =
+      stats.nodes == 0 ? 0 : static_cast<double>(depth_sum) /
+                                 static_cast<double>(stats.nodes);
+  return stats;
+}
+
+Result<XmlDocument> Database::ReconstructSubtree(NodeId root) const {
+  NodeRecord root_rec;
+  X3_RETURN_IF_ERROR(GetNode(root, &root_rec));
+  if (root_rec.kind != NodeKind::kElement) {
+    return Status::InvalidArgument(
+        "can only reconstruct from an element node");
+  }
+  auto make_element = [&](const NodeRecord& rec) {
+    auto el = XmlNode::Element(tags_.Name(rec.tag_id));
+    if (rec.value_id != kInvalidValueId) {
+      el->AddText(values_.Value(rec.value_id));
+    }
+    return el;
+  };
+  std::unique_ptr<XmlNode> result = make_element(root_rec);
+  // Ids are preorder, so a single pass with a parent stack rebuilds the
+  // tree: the stack holds (node id, end, element) of open ancestors.
+  struct Open {
+    NodeId id;
+    NodeId end;
+    XmlNode* element;
+  };
+  std::vector<Open> stack{{root, root_rec.end, result.get()}};
+  for (NodeId id = root + 1; id <= root_rec.end; ++id) {
+    NodeRecord rec;
+    X3_RETURN_IF_ERROR(GetNode(id, &rec));
+    while (stack.back().end < id) stack.pop_back();
+    if (stack.back().id != rec.parent) {
+      return Status::Corruption(StringPrintf(
+          "node %u's parent %u is not the enclosing open element", id,
+          rec.parent));
+    }
+    XmlNode* parent = stack.back().element;
+    if (rec.kind == NodeKind::kAttribute) {
+      // Stored attribute tags carry the '@' prefix.
+      std::string name = tags_.Name(rec.tag_id).substr(1);
+      parent->SetAttribute(std::move(name), values_.Value(rec.value_id));
+    } else {
+      XmlNode* child = parent->AddChild(make_element(rec));
+      stack.push_back({id, rec.end, child});
+    }
+  }
+  return XmlDocument(std::move(result));
+}
+
+Result<std::string> Database::NodeValue(NodeId id) const {
+  NodeRecord rec;
+  X3_RETURN_IF_ERROR(GetNode(id, &rec));
+  if (rec.value_id == kInvalidValueId) return std::string();
+  return values_.Value(rec.value_id);
+}
+
+}  // namespace x3

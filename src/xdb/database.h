@@ -1,0 +1,149 @@
+#ifndef X3_XDB_DATABASE_H_
+#define X3_XDB_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+#include "util/result.h"
+#include "xdb/node_store.h"
+#include "xdb/tag_dictionary.h"
+#include "xdb/value_dictionary.h"
+#include "xml/xml_node.h"
+
+namespace x3 {
+
+/// Construction options for a Database.
+struct DatabaseOptions {
+  /// Path of the backing page file. Empty = a unique file under /tmp
+  /// that is deleted on close. The catalog (dictionaries, indexes,
+  /// document roots) is checkpointed to "<data_file>.cat".
+  std::string data_file;
+  /// Buffer pool capacity in frames (pages). The paper used a 512 MB
+  /// pool of 8 KB pages; the default here is deliberately smaller and
+  /// overridable so experiments can control the data:memory ratio.
+  size_t buffer_pool_pages = 4096;
+};
+
+/// Summary statistics of a database's contents (the numbers the paper
+/// reports for its datasets: element counts, depth distribution, size).
+struct DatabaseStats {
+  uint64_t nodes = 0;
+  uint64_t elements = 0;
+  uint64_t attributes = 0;
+  uint64_t documents = 0;
+  uint16_t max_depth = 0;
+  double avg_depth = 0;
+  uint64_t distinct_tags = 0;
+  uint64_t distinct_values = 0;
+  uint64_t data_pages = 0;
+};
+
+/// A minimal native XML database in the mould of TIMBER: documents are
+/// shredded into interval-labelled node records in a paged data file,
+/// with a tag dictionary, a value dictionary, and per-tag node indexes
+/// (node lists sorted in document order) that feed structural joins and
+/// tree-pattern evaluation.
+///
+/// NodeIds are global preorder positions across all loaded documents, so
+/// containment tests work database-wide without document ids (intervals
+/// of distinct documents never overlap).
+class Database {
+ public:
+  /// Creates an empty database (truncating any existing files at
+  /// options.data_file).
+  static Result<std::unique_ptr<Database>> Open(DatabaseOptions options);
+
+  /// Reopens a previously checkpointed database: the page file plus the
+  /// "<data_file>.cat" catalog written by Checkpoint(). Fails if either
+  /// is missing or corrupt.
+  static Result<std::unique_ptr<Database>> OpenExisting(
+      DatabaseOptions options);
+
+  /// Flushes all dirty pages and persists the catalog (dictionaries,
+  /// tag indexes, document roots) so OpenExisting can restore the
+  /// database after a restart.
+  Status Checkpoint();
+
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Shreds a parsed document into the store. Returns the root NodeId.
+  Result<NodeId> LoadDocument(const XmlDocument& doc);
+
+  /// Parses and loads an XML string.
+  Result<NodeId> LoadXmlString(std::string_view xml);
+
+  /// Parses and loads an XML file.
+  Result<NodeId> LoadXmlFile(const std::string& path);
+
+  /// Record access (goes through the buffer pool).
+  Status GetNode(NodeId id, NodeRecord* record) const {
+    return store_->Get(id, record);
+  }
+
+  /// All nodes with `tag`, in document order. Empty when unknown.
+  const std::vector<NodeId>& NodesWithTag(std::string_view tag) const;
+  const std::vector<NodeId>& NodesWithTagId(TagId tag_id) const;
+
+  /// Nodes with `tag_id` in the subtree of `root` (excluding `root`),
+  /// found by binary search on the tag index.
+  Result<std::vector<NodeId>> DescendantsWithTag(NodeId root,
+                                                 TagId tag_id) const;
+
+  /// Subset of DescendantsWithTag whose parent is `root`.
+  Result<std::vector<NodeId>> ChildrenWithTag(NodeId root, TagId tag_id) const;
+
+  /// True iff `anc` is a proper ancestor of `desc`.
+  Result<bool> IsAncestor(NodeId anc, NodeId desc) const;
+
+  /// The (stripped) value of a node: attribute value or element direct
+  /// text; empty string when absent.
+  Result<std::string> NodeValue(NodeId id) const;
+
+  TagDictionary& tags() { return tags_; }
+  const TagDictionary& tags() const { return tags_; }
+  ValueDictionary& values() { return values_; }
+  const ValueDictionary& values() const { return values_; }
+
+  NodeId node_count() const { return store_->size(); }
+
+  /// Scans the store and summarizes its contents.
+  Result<DatabaseStats> ComputeStats() const;
+
+  /// Rebuilds an XML tree from the stored form of `root`'s subtree.
+  /// Attributes and element nesting round-trip exactly; an element's
+  /// direct text (which the loader stores concatenated and stripped)
+  /// comes back as a single leading text child.
+  Result<XmlDocument> ReconstructSubtree(NodeId root) const;
+  const std::vector<NodeId>& document_roots() const { return roots_; }
+  const BufferPoolStats& buffer_stats() const { return pool_->stats(); }
+  BufferPool* buffer_pool() { return pool_.get(); }
+
+ private:
+  Database() = default;
+
+  friend class DocumentLoader;
+
+  DatabaseOptions options_;
+  bool owns_data_file_ = false;
+  std::unique_ptr<PageFile> file_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<NodeStore> store_;
+  TagDictionary tags_;
+  ValueDictionary values_;
+  /// tag_id -> node ids in document order.
+  std::vector<std::vector<NodeId>> tag_index_;
+  std::vector<NodeId> roots_;
+  std::vector<NodeId> empty_;
+};
+
+}  // namespace x3
+
+#endif  // X3_XDB_DATABASE_H_

@@ -1,0 +1,83 @@
+#include "xdb/document_loader.h"
+
+#include <string>
+
+#include "util/string_util.h"
+#include "xdb/database.h"
+
+namespace x3 {
+
+Result<NodeId> DocumentLoader::Load(const XmlDocument& doc) {
+  if (doc.root() == nullptr) {
+    return Status::InvalidArgument("cannot load empty document");
+  }
+  if (!doc.root()->is_element()) {
+    return Status::InvalidArgument("document root must be an element");
+  }
+  X3_ASSIGN_OR_RETURN(NodeId root,
+                      LoadElement(*doc.root(), kInvalidNodeId, 0));
+  db_->roots_.push_back(root);
+  return root;
+}
+
+Result<NodeId> DocumentLoader::LoadElement(const XmlNode& node, NodeId parent,
+                                           uint16_t level) {
+  TagId tag_id = db_->tags_.Intern(node.tag());
+
+  // Direct text: concatenation of text children, stripped.
+  std::string text;
+  for (const auto& child : node.children()) {
+    if (child->is_text()) text += child->text();
+  }
+  std::string_view stripped = StripWhitespace(text);
+  ValueId value_id = stripped.empty() ? kInvalidValueId
+                                      : db_->values_.Intern(stripped);
+
+  NodeRecord record;
+  record.parent = parent;
+  record.tag_id = tag_id;
+  record.value_id = value_id;
+  record.level = level;
+  record.kind = NodeKind::kElement;
+  record.end = 0;  // patched below
+  X3_ASSIGN_OR_RETURN(NodeId id, db_->store_->Append(record));
+  if (tag_id >= db_->tag_index_.size()) {
+    db_->tag_index_.resize(tag_id + 1);
+  }
+  db_->tag_index_[tag_id].push_back(id);
+
+  // Attributes as child records.
+  NodeId last = id;
+  for (const auto& [name, value] : node.attributes()) {
+    TagId attr_tag = db_->tags_.Intern("@" + name);
+    NodeRecord attr;
+    attr.parent = id;
+    attr.tag_id = attr_tag;
+    attr.value_id = db_->values_.Intern(value);
+    attr.level = static_cast<uint16_t>(level + 1);
+    attr.kind = NodeKind::kAttribute;
+    X3_ASSIGN_OR_RETURN(NodeId attr_id, db_->store_->Append(attr));
+    X3_RETURN_IF_ERROR(db_->store_->UpdateEnd(attr_id, attr_id));
+    if (attr_tag >= db_->tag_index_.size()) {
+      db_->tag_index_.resize(attr_tag + 1);
+    }
+    db_->tag_index_[attr_tag].push_back(attr_id);
+    last = attr_id;
+  }
+
+  // Element children.
+  for (const auto& child : node.children()) {
+    if (!child->is_element()) continue;
+    X3_ASSIGN_OR_RETURN(
+        NodeId child_id,
+        LoadElement(*child, id, static_cast<uint16_t>(level + 1)));
+    NodeRecord child_rec;
+    X3_RETURN_IF_ERROR(db_->store_->Get(child_id, &child_rec));
+    last = child_rec.end;
+  }
+
+  X3_RETURN_IF_ERROR(db_->store_->UpdateEnd(id, last));
+  return id;
+}
+
+}  // namespace x3

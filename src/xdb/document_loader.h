@@ -1,0 +1,44 @@
+#ifndef X3_XDB_DOCUMENT_LOADER_H_
+#define X3_XDB_DOCUMENT_LOADER_H_
+
+#include "util/result.h"
+#include "xdb/node_store.h"
+#include "xml/xml_node.h"
+
+namespace x3 {
+
+class Database;
+
+/// Shreds an in-memory XML tree into a Database: assigns global preorder
+/// NodeIds, computes (start, end, level) interval labels, interns tags
+/// and values, and maintains the per-tag indexes.
+///
+/// Mapping decisions (documented because they define the data model the
+/// cube sees):
+///  * Elements become element records; an element's `value` is the
+///    whitespace-stripped concatenation of its *direct* text children
+///    (the "marked-up text under it" the paper groups by).
+///  * Attributes become attribute records, children of their element,
+///    with tag "@<name>" and the attribute value as their value. They
+///    occupy interval space like leaf elements so structural predicates
+///    treat them uniformly.
+///  * Standalone text nodes are folded into the parent element's value
+///    and do not produce records (they cannot be addressed by tree
+///    patterns, which are tag-based).
+class DocumentLoader {
+ public:
+  explicit DocumentLoader(Database* db) : db_(db) {}
+
+  /// Loads `doc`; returns the root's NodeId.
+  Result<NodeId> Load(const XmlDocument& doc);
+
+ private:
+  Result<NodeId> LoadElement(const XmlNode& node, NodeId parent,
+                             uint16_t level);
+
+  Database* db_;
+};
+
+}  // namespace x3
+
+#endif  // X3_XDB_DOCUMENT_LOADER_H_

@@ -1,0 +1,73 @@
+#include "xdb/node_store.h"
+
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace x3 {
+
+void NodeStore::Encode(const NodeRecord& record, uint8_t* out) {
+  std::memcpy(out + 0, &record.end, 4);
+  std::memcpy(out + 4, &record.parent, 4);
+  std::memcpy(out + 8, &record.tag_id, 4);
+  std::memcpy(out + 12, &record.value_id, 4);
+  std::memcpy(out + 16, &record.level, 2);
+  out[18] = static_cast<uint8_t>(record.kind);
+  out[19] = 0;
+}
+
+void NodeStore::Decode(const uint8_t* in, NodeRecord* record) {
+  std::memcpy(&record->end, in + 0, 4);
+  std::memcpy(&record->parent, in + 4, 4);
+  std::memcpy(&record->tag_id, in + 8, 4);
+  std::memcpy(&record->value_id, in + 12, 4);
+  std::memcpy(&record->level, in + 16, 2);
+  record->kind = static_cast<NodeKind>(in[18]);
+}
+
+Result<NodeId> NodeStore::Append(const NodeRecord& record) {
+  NodeId id = count_;
+  PageId page_id = static_cast<PageId>(id / kRecordsPerPage);
+  size_t slot = id % kRecordsPerPage;
+  PageHandle handle;
+  if (page_id < pool_->file()->page_count()) {
+    X3_ASSIGN_OR_RETURN(handle, pool_->Fetch(page_id));
+  } else {
+    X3_ASSIGN_OR_RETURN(handle, pool_->New());
+    if (handle.id() != page_id) {
+      return Status::Internal(StringPrintf(
+          "node store page allocation out of order: got %u want %u",
+          handle.id(), page_id));
+    }
+  }
+  Encode(record, handle.MutablePage().bytes() + slot * kRecordBytes);
+  ++count_;
+  return id;
+}
+
+Status NodeStore::Get(NodeId id, NodeRecord* record) const {
+  if (id >= count_) {
+    return Status::OutOfRange(
+        StringPrintf("node %u of %u", id, count_));
+  }
+  PageId page_id = static_cast<PageId>(id / kRecordsPerPage);
+  size_t slot = id % kRecordsPerPage;
+  X3_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(page_id));
+  Decode(handle.page().bytes() + slot * kRecordBytes, record);
+  return Status::OK();
+}
+
+Status NodeStore::UpdateEnd(NodeId id, NodeId end) {
+  if (id >= count_) {
+    return Status::OutOfRange(
+        StringPrintf("node %u of %u", id, count_));
+  }
+  PageId page_id = static_cast<PageId>(id / kRecordsPerPage);
+  size_t slot = id % kRecordsPerPage;
+  X3_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(page_id));
+  uint8_t* base = handle.MutablePage().bytes() + slot * kRecordBytes;
+  std::memcpy(base, &end, 4);
+  return Status::OK();
+}
+
+}  // namespace x3

@@ -1,0 +1,84 @@
+#ifndef X3_XDB_NODE_STORE_H_
+#define X3_XDB_NODE_STORE_H_
+
+#include <cstdint>
+
+#include "storage/buffer_pool.h"
+#include "util/result.h"
+#include "xdb/tag_dictionary.h"
+#include "xdb/value_dictionary.h"
+
+namespace x3 {
+
+/// Identifier of a stored node. NodeIds are assigned in global document
+/// (pre-)order, so a node's id doubles as its interval *start* label:
+/// `anc` contains `desc` iff `anc < desc && desc <= record(anc).end`.
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNodeId = UINT32_MAX;
+
+/// Node kinds stored in the database.
+enum class NodeKind : uint8_t {
+  kElement = 0,
+  kAttribute = 1,
+};
+
+/// Fixed-size stored form of a node. The start label is implicit (the
+/// node's id); `end` is the id of the last node in the subtree
+/// (inclusive), giving the (start, end, level) interval encoding used by
+/// structural joins (Al-Khalifa et al.), plus a parent pointer for
+/// parent-child checks.
+struct NodeRecord {
+  NodeId end = 0;
+  NodeId parent = kInvalidNodeId;
+  TagId tag_id = kInvalidTagId;
+  /// Element: dictionary id of its (stripped) direct text, or
+  /// kInvalidValueId when it has none. Attribute: the attribute value.
+  ValueId value_id = kInvalidValueId;
+  uint16_t level = 0;
+  NodeKind kind = NodeKind::kElement;
+};
+
+/// Append-only paged array of NodeRecords behind a buffer pool.
+///
+/// This is the substrate's "data file": every record access is a page
+/// access through the pool, so scans and pattern evaluation have honest
+/// buffered-I/O behaviour like the paper's TIMBER setup.
+class NodeStore {
+ public:
+  /// `pool` must outlive the store. `existing_count` restores the node
+  /// count when reopening a checkpointed database.
+  explicit NodeStore(BufferPool* pool, NodeId existing_count = 0)
+      : pool_(pool), count_(existing_count) {}
+
+  NodeStore(const NodeStore&) = delete;
+  NodeStore& operator=(const NodeStore&) = delete;
+
+  /// Appends a record; returns its NodeId.
+  Result<NodeId> Append(const NodeRecord& record);
+
+  /// Reads record `id`.
+  Status Get(NodeId id, NodeRecord* record) const;
+
+  /// Rewrites the `end` label of `id` (set when its subtree completes
+  /// during loading).
+  Status UpdateEnd(NodeId id, NodeId end);
+
+  /// Number of stored nodes.
+  NodeId size() const { return count_; }
+
+  /// On-disk record footprint (bytes).
+  static constexpr size_t kRecordBytes = 20;
+  /// Records per page.
+  static constexpr size_t kRecordsPerPage = kPageSize / kRecordBytes;
+
+ private:
+  static void Encode(const NodeRecord& record, uint8_t* out);
+  static void Decode(const uint8_t* in, NodeRecord* record);
+
+  BufferPool* pool_;
+  NodeId count_;
+};
+
+}  // namespace x3
+
+#endif  // X3_XDB_NODE_STORE_H_

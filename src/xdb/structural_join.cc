@@ -1,0 +1,86 @@
+#include "xdb/structural_join.h"
+
+#include <algorithm>
+
+namespace x3 {
+
+Result<std::vector<JoinPair>> StructuralJoin(
+    const Database& db, const std::vector<NodeId>& ancestors,
+    const std::vector<NodeId>& descendants, StructuralAxis axis,
+    JoinStats* stats) {
+  std::vector<JoinPair> out;
+  JoinStats local;
+  JoinStats* st = stats != nullptr ? stats : &local;
+
+  // Stack of ancestors whose interval is still open, outermost first.
+  struct StackEntry {
+    NodeId id;
+    NodeId end;
+  };
+  std::vector<StackEntry> stack;
+
+  size_t ai = 0;
+  for (NodeId d : descendants) {
+    ++st->descendants_scanned;
+    NodeRecord d_rec;
+    X3_RETURN_IF_ERROR(db.GetNode(d, &d_rec));
+    // Pop ancestors that closed before d.
+    while (!stack.empty() && stack.back().end < d) stack.pop_back();
+    // Push every ancestor starting before d that could contain it.
+    while (ai < ancestors.size() && ancestors[ai] < d) {
+      NodeId a = ancestors[ai];
+      ++st->ancestors_scanned;
+      NodeRecord a_rec;
+      X3_RETURN_IF_ERROR(db.GetNode(a, &a_rec));
+      if (a_rec.end >= d) {
+        // Still open at d; everything below it on the stack that closed
+        // before a started has already been popped above, but interior
+        // closed intervals may remain — prune them now.
+        while (!stack.empty() && stack.back().end < a) stack.pop_back();
+        stack.push_back({a, a_rec.end});
+        st->max_stack_depth =
+            std::max<uint64_t>(st->max_stack_depth, stack.size());
+      }
+      ++ai;
+    }
+    if (axis == StructuralAxis::kDescendant) {
+      for (const StackEntry& e : stack) {
+        if (e.end >= d) {
+          out.push_back({e.id, d});
+          ++st->pairs_emitted;
+        }
+      }
+    } else {
+      // Parent-child: at most one stack entry can be the parent.
+      for (const StackEntry& e : stack) {
+        if (e.id == d_rec.parent) {
+          out.push_back({e.id, d});
+          ++st->pairs_emitted;
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<JoinPair>> NestedLoopStructuralJoin(
+    const Database& db, const std::vector<NodeId>& ancestors,
+    const std::vector<NodeId>& descendants, StructuralAxis axis) {
+  std::vector<JoinPair> out;
+  for (NodeId d : descendants) {
+    NodeRecord d_rec;
+    X3_RETURN_IF_ERROR(db.GetNode(d, &d_rec));
+    for (NodeId a : ancestors) {
+      if (a >= d) continue;
+      NodeRecord a_rec;
+      X3_RETURN_IF_ERROR(db.GetNode(a, &a_rec));
+      if (d > a_rec.end) continue;
+      if (axis == StructuralAxis::kChild && d_rec.parent != a) continue;
+      out.push_back({a, d});
+    }
+  }
+  return out;
+}
+
+}  // namespace x3

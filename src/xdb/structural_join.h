@@ -1,0 +1,63 @@
+#ifndef X3_XDB_STRUCTURAL_JOIN_H_
+#define X3_XDB_STRUCTURAL_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/result.h"
+#include "xdb/database.h"
+#include "xdb/node_store.h"
+
+namespace x3 {
+
+/// Axis of a structural relationship.
+enum class StructuralAxis : uint8_t {
+  kChild,       // parent-child (PC)
+  kDescendant,  // ancestor-descendant (AD)
+};
+
+/// One (ancestor, descendant) output pair of a structural join.
+struct JoinPair {
+  NodeId ancestor;
+  NodeId descendant;
+
+  bool operator==(const JoinPair& other) const {
+    return ancestor == other.ancestor && descendant == other.descendant;
+  }
+};
+
+/// Counters for join cost reporting.
+struct JoinStats {
+  uint64_t ancestors_scanned = 0;
+  uint64_t descendants_scanned = 0;
+  uint64_t pairs_emitted = 0;
+  uint64_t max_stack_depth = 0;
+};
+
+/// Stack-based structural merge join (Stack-Tree-Desc of Al-Khalifa et
+/// al.), the primitive TIMBER evaluates tree patterns with (§4: "the
+/// available structural join algorithms").
+///
+/// `ancestors` and `descendants` must each be sorted in document order
+/// (ascending NodeId); the lists may overlap. Produces every pair where
+/// the ancestor (strictly) contains the descendant, with axis kChild
+/// additionally requiring a direct parent link. Output is sorted by
+/// (descendant, ancestor).
+///
+/// Runs in a single pass over both lists plus a stack bounded by tree
+/// depth; node records are fetched through the database's buffer pool.
+Result<std::vector<JoinPair>> StructuralJoin(const Database& db,
+                                             const std::vector<NodeId>& ancestors,
+                                             const std::vector<NodeId>& descendants,
+                                             StructuralAxis axis,
+                                             JoinStats* stats = nullptr);
+
+/// Self-check helper: the naive O(|A|*|D|) nested-loop join, used by
+/// tests to validate StructuralJoin.
+Result<std::vector<JoinPair>> NestedLoopStructuralJoin(
+    const Database& db, const std::vector<NodeId>& ancestors,
+    const std::vector<NodeId>& descendants, StructuralAxis axis);
+
+}  // namespace x3
+
+#endif  // X3_XDB_STRUCTURAL_JOIN_H_

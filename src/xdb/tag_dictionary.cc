@@ -1,0 +1,19 @@
+#include "xdb/tag_dictionary.h"
+
+namespace x3 {
+
+TagId TagDictionary::Intern(std::string_view tag) {
+  auto it = ids_.find(std::string(tag));
+  if (it != ids_.end()) return it->second;
+  TagId id = static_cast<TagId>(names_.size());
+  names_.emplace_back(tag);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+TagId TagDictionary::Lookup(std::string_view tag) const {
+  auto it = ids_.find(std::string(tag));
+  return it == ids_.end() ? kInvalidTagId : it->second;
+}
+
+}  // namespace x3

@@ -1,0 +1,46 @@
+#ifndef X3_XDB_TAG_DICTIONARY_H_
+#define X3_XDB_TAG_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace x3 {
+
+/// Dictionary id of an element/attribute tag name.
+using TagId = uint32_t;
+inline constexpr TagId kInvalidTagId = UINT32_MAX;
+
+/// Interns tag names to dense 32-bit ids.
+///
+/// Attribute names are interned with a '@' prefix (e.g. "@id") so element
+/// and attribute namespaces cannot collide; this matches the paper's
+/// pattern syntax, where `publisher/@id` addresses the attribute node.
+class TagDictionary {
+ public:
+  TagDictionary() = default;
+
+  TagDictionary(const TagDictionary&) = delete;
+  TagDictionary& operator=(const TagDictionary&) = delete;
+
+  /// Returns the id for `tag`, interning it on first sight.
+  TagId Intern(std::string_view tag);
+
+  /// Returns the id for `tag` or kInvalidTagId if never interned.
+  TagId Lookup(std::string_view tag) const;
+
+  /// Returns the name for an id; id must be valid.
+  const std::string& Name(TagId id) const { return names_[id]; }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, TagId> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace x3
+
+#endif  // X3_XDB_TAG_DICTIONARY_H_

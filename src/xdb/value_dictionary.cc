@@ -1,0 +1,19 @@
+#include "xdb/value_dictionary.h"
+
+namespace x3 {
+
+ValueId ValueDictionary::Intern(std::string_view value) {
+  auto it = ids_.find(std::string(value));
+  if (it != ids_.end()) return it->second;
+  ValueId id = static_cast<ValueId>(values_.size());
+  values_.emplace_back(value);
+  ids_.emplace(values_.back(), id);
+  return id;
+}
+
+ValueId ValueDictionary::Lookup(std::string_view value) const {
+  auto it = ids_.find(std::string(value));
+  return it == ids_.end() ? kInvalidValueId : it->second;
+}
+
+}  // namespace x3

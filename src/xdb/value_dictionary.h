@@ -1,0 +1,38 @@
+#ifndef X3_XDB_VALUE_DICTIONARY_H_
+#define X3_XDB_VALUE_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace x3 {
+
+/// Dictionary id of a text/attribute value.
+using ValueId = uint32_t;
+inline constexpr ValueId kInvalidValueId = UINT32_MAX;
+
+/// Interns node values (element text, attribute values) to dense ids.
+/// Group-by comparisons then reduce to integer equality; the dictionary
+/// also provides value-order comparison for sorted cube output.
+class ValueDictionary {
+ public:
+  ValueDictionary() = default;
+
+  ValueDictionary(const ValueDictionary&) = delete;
+  ValueDictionary& operator=(const ValueDictionary&) = delete;
+
+  ValueId Intern(std::string_view value);
+  ValueId Lookup(std::string_view value) const;
+  const std::string& Value(ValueId id) const { return values_[id]; }
+  size_t size() const { return values_.size(); }
+
+ private:
+  std::unordered_map<std::string, ValueId> ids_;
+  std::vector<std::string> values_;
+};
+
+}  // namespace x3
+
+#endif  // X3_XDB_VALUE_DICTIONARY_H_

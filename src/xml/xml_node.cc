@@ -1,0 +1,77 @@
+#include "xml/xml_node.h"
+
+namespace x3 {
+
+std::unique_ptr<XmlNode> XmlNode::Element(std::string tag) {
+  auto node = std::unique_ptr<XmlNode>(new XmlNode(XmlNodeType::kElement));
+  node->tag_ = std::move(tag);
+  return node;
+}
+
+std::unique_ptr<XmlNode> XmlNode::Text(std::string text) {
+  auto node = std::unique_ptr<XmlNode>(new XmlNode(XmlNodeType::kText));
+  node->text_ = std::move(text);
+  return node;
+}
+
+const std::string* XmlNode::FindAttribute(std::string_view name) const {
+  for (const auto& [k, v] : attributes_) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+void XmlNode::SetAttribute(std::string name, std::string value) {
+  for (auto& [k, v] : attributes_) {
+    if (k == name) {
+      v = std::move(value);
+      return;
+    }
+  }
+  attributes_.emplace_back(std::move(name), std::move(value));
+}
+
+XmlNode* XmlNode::AddChild(std::unique_ptr<XmlNode> child) {
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+XmlNode* XmlNode::AddElement(std::string tag) {
+  return AddChild(Element(std::move(tag)));
+}
+
+XmlNode* XmlNode::AddElementWithText(std::string tag, std::string text) {
+  XmlNode* el = AddElement(std::move(tag));
+  el->AddText(std::move(text));
+  return el;
+}
+
+void XmlNode::AddText(std::string text) {
+  AddChild(Text(std::move(text)));
+}
+
+std::string XmlNode::CollectText() const {
+  if (is_text()) return text_;
+  std::string out;
+  for (const auto& child : children_) {
+    out += child->CollectText();
+  }
+  return out;
+}
+
+const XmlNode* XmlNode::FirstChildElement(std::string_view tag) const {
+  for (const auto& child : children_) {
+    if (child->is_element() && child->tag() == tag) return child.get();
+  }
+  return nullptr;
+}
+
+size_t XmlNode::SubtreeSize() const {
+  size_t n = 1;
+  for (const auto& child : children_) {
+    n += child->SubtreeSize();
+  }
+  return n;
+}
+
+}  // namespace x3

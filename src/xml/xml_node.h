@@ -1,0 +1,101 @@
+#ifndef X3_XML_XML_NODE_H_
+#define X3_XML_XML_NODE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace x3 {
+
+/// Kinds of DOM nodes the library models. Comments and processing
+/// instructions are parsed but not retained (they play no role in OLAP).
+enum class XmlNodeType : uint8_t {
+  kElement,
+  kText,
+};
+
+/// A node in an in-memory XML document tree.
+///
+/// Elements carry a tag, an ordered attribute list and ordered children;
+/// text nodes carry character data in `text`. This DOM is the staging
+/// representation between the parser / generators and the database
+/// loader (`xdb::DocumentLoader`), which converts it to interval-labelled
+/// storage form.
+class XmlNode {
+ public:
+  /// Creates an element node.
+  static std::unique_ptr<XmlNode> Element(std::string tag);
+  /// Creates a text node.
+  static std::unique_ptr<XmlNode> Text(std::string text);
+
+  XmlNodeType type() const { return type_; }
+  bool is_element() const { return type_ == XmlNodeType::kElement; }
+  bool is_text() const { return type_ == XmlNodeType::kText; }
+
+  /// Element tag, empty for text nodes.
+  const std::string& tag() const { return tag_; }
+  /// Character data, empty for elements.
+  const std::string& text() const { return text_; }
+
+  const std::vector<std::pair<std::string, std::string>>& attributes() const {
+    return attributes_;
+  }
+  /// Returns the attribute value or nullptr.
+  const std::string* FindAttribute(std::string_view name) const;
+  /// Appends (or overwrites) an attribute.
+  void SetAttribute(std::string name, std::string value);
+
+  const std::vector<std::unique_ptr<XmlNode>>& children() const {
+    return children_;
+  }
+  /// Appends a child, returning a borrowed pointer to it.
+  XmlNode* AddChild(std::unique_ptr<XmlNode> child);
+  /// Convenience: appends `<tag>` and returns it.
+  XmlNode* AddElement(std::string tag);
+  /// Convenience: appends `<tag>text</tag>` and returns the element.
+  XmlNode* AddElementWithText(std::string tag, std::string text);
+  /// Convenience: appends a text child.
+  void AddText(std::string text);
+
+  /// Concatenation of all descendant text (document order).
+  std::string CollectText() const;
+
+  /// First child element with `tag`, or nullptr.
+  const XmlNode* FirstChildElement(std::string_view tag) const;
+
+  /// Number of nodes in this subtree (elements + text nodes).
+  size_t SubtreeSize() const;
+
+ private:
+  explicit XmlNode(XmlNodeType type) : type_(type) {}
+
+  XmlNodeType type_;
+  std::string tag_;
+  std::string text_;
+  std::vector<std::pair<std::string, std::string>> attributes_;
+  std::vector<std::unique_ptr<XmlNode>> children_;
+};
+
+/// An XML document: optional prolog metadata plus the root element.
+class XmlDocument {
+ public:
+  XmlDocument() = default;
+  explicit XmlDocument(std::unique_ptr<XmlNode> root)
+      : root_(std::move(root)) {}
+
+  const XmlNode* root() const { return root_.get(); }
+  XmlNode* mutable_root() { return root_.get(); }
+  void set_root(std::unique_ptr<XmlNode> root) { root_ = std::move(root); }
+
+  /// Total node count of the tree (0 when empty).
+  size_t NodeCount() const { return root_ ? root_->SubtreeSize() : 0; }
+
+ private:
+  std::unique_ptr<XmlNode> root_;
+};
+
+}  // namespace x3
+
+#endif  // X3_XML_XML_NODE_H_

@@ -1,0 +1,41 @@
+#ifndef X3_XML_XML_PARSER_H_
+#define X3_XML_XML_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+#include "xml/xml_node.h"
+
+namespace x3 {
+
+/// Parser behaviour knobs.
+struct XmlParseOptions {
+  /// Drop text nodes that consist solely of whitespace (typical for
+  /// pretty-printed warehouse documents).
+  bool skip_whitespace_text = true;
+  /// Reject documents with content after the root element.
+  bool require_single_root = true;
+};
+
+/// Parses an XML document from an in-memory buffer.
+///
+/// Supported: elements, attributes (single or double quoted), character
+/// data, CDATA sections, comments, processing instructions, the XML
+/// declaration, an (ignored) DOCTYPE with an internal subset, the five
+/// predefined entities and decimal/hex character references.
+/// Not supported (rejected or ignored): external entities, namespaces
+/// beyond treating ':' as a name character, DTD-driven entity expansion.
+///
+/// Errors carry 1-based line/column positions in the message.
+Result<XmlDocument> ParseXml(std::string_view input,
+                             const XmlParseOptions& options = {});
+
+/// Reads and parses a file.
+Result<XmlDocument> ParseXmlFile(const std::string& path,
+                                 const XmlParseOptions& options = {});
+
+}  // namespace x3
+
+#endif  // X3_XML_XML_PARSER_H_

@@ -1,0 +1,94 @@
+#include "xml/xml_writer.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace x3 {
+namespace {
+
+bool HasTextChildren(const XmlNode& node) {
+  for (const auto& child : node.children()) {
+    if (child->is_text()) return true;
+  }
+  return false;
+}
+
+/// `pretty` turns indentation on for this subtree; elements with mixed
+/// content (text and element children together) render inline so
+/// pretty-printing never injects whitespace into character data.
+void WriteNode(const XmlNode& node, bool pretty, int depth,
+               std::string* out) {
+  auto indent = [&](int d) {
+    if (pretty) out->append(static_cast<size_t>(d) * 2, ' ');
+  };
+  if (node.is_text()) {
+    out->append(XmlEscape(node.text()));
+    return;
+  }
+  indent(depth);
+  out->push_back('<');
+  out->append(node.tag());
+  for (const auto& [k, v] : node.attributes()) {
+    out->push_back(' ');
+    out->append(k);
+    out->append("=\"");
+    out->append(XmlEscape(v));
+    out->push_back('"');
+  }
+  if (node.children().empty()) {
+    out->append("/>");
+    if (pretty) out->push_back('\n');
+    return;
+  }
+  out->push_back('>');
+  bool inline_children = !pretty || HasTextChildren(node);
+  if (!inline_children) out->push_back('\n');
+  for (const auto& child : node.children()) {
+    if (inline_children) {
+      WriteNode(*child, /*pretty=*/false, 0, out);
+    } else {
+      WriteNode(*child, pretty, depth + 1, out);
+    }
+  }
+  if (!inline_children) indent(depth);
+  out->append("</");
+  out->append(node.tag());
+  out->push_back('>');
+  if (pretty) out->push_back('\n');
+}
+
+}  // namespace
+
+std::string WriteXml(const XmlNode& node, const XmlWriteOptions& options) {
+  std::string out;
+  WriteNode(node, options.indent, 0, &out);
+  return out;
+}
+
+std::string WriteXml(const XmlDocument& doc, const XmlWriteOptions& options) {
+  std::string out;
+  if (options.declaration) {
+    out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+    out.push_back('\n');
+  }
+  if (doc.root() != nullptr) {
+    WriteNode(*doc.root(), options.indent, 0, &out);
+  }
+  return out;
+}
+
+Status WriteXmlFile(const XmlDocument& doc, const std::string& path,
+                    const XmlWriteOptions& options) {
+  std::string data = WriteXml(doc, options);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot create " + path);
+  size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  int rc = std::fclose(f);
+  if (written != data.size() || rc != 0) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace x3

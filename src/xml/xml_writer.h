@@ -1,0 +1,32 @@
+#ifndef X3_XML_XML_WRITER_H_
+#define X3_XML_XML_WRITER_H_
+
+#include <string>
+
+#include "util/status.h"
+#include "xml/xml_node.h"
+
+namespace x3 {
+
+/// Serialization knobs.
+struct XmlWriteOptions {
+  /// Pretty-print with 2-space indentation; otherwise compact output.
+  bool indent = true;
+  /// Emit an `<?xml version="1.0"?>` declaration.
+  bool declaration = true;
+};
+
+/// Serializes a subtree to a string (special characters escaped).
+std::string WriteXml(const XmlNode& node, const XmlWriteOptions& options = {});
+
+/// Serializes a whole document.
+std::string WriteXml(const XmlDocument& doc,
+                     const XmlWriteOptions& options = {});
+
+/// Serializes a document to a file.
+Status WriteXmlFile(const XmlDocument& doc, const std::string& path,
+                    const XmlWriteOptions& options = {});
+
+}  // namespace x3
+
+#endif  // X3_XML_XML_WRITER_H_

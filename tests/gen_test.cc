@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/dblp_gen.h"
+#include "gen/treebank_gen.h"
+#include "gen/workload.h"
+#include "schema/dtd_parser.h"
+#include "tests/test_helpers.h"
+#include "xml/xml_writer.h"
+
+namespace x3 {
+namespace {
+
+TEST(TreebankGenTest, Deterministic) {
+  TreebankConfig config;
+  config.seed = 5;
+  config.num_axes = 3;
+  TreebankGenerator g1(config);
+  TreebankGenerator g2(config);
+  XmlWriteOptions compact{false, false};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(WriteXml(g1.NextTree(), compact),
+              WriteXml(g2.NextTree(), compact));
+  }
+}
+
+TEST(TreebankGenTest, CoverageKnob) {
+  TreebankConfig config;
+  config.num_axes = 2;
+  config.missing_probability = 0.5;
+  TreebankGenerator gen(config);
+  size_t missing = 0;
+  constexpr int kTrees = 300;
+  for (int i = 0; i < kTrees; ++i) {
+    XmlDocument doc = gen.NextTree();
+    if (doc.root()->FirstChildElement(TreebankAxisTag(0)) == nullptr) {
+      ++missing;
+    }
+  }
+  EXPECT_GT(missing, kTrees / 4);
+  EXPECT_LT(missing, 3 * kTrees / 4);
+
+  // With probability 0 nothing is ever missing.
+  config.missing_probability = 0;
+  TreebankGenerator full(config);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NE(full.NextTree().root()->FirstChildElement(TreebankAxisTag(0)),
+              nullptr);
+  }
+}
+
+TEST(TreebankGenTest, DisjointnessKnob) {
+  TreebankConfig config;
+  config.num_axes = 1;
+  config.repeat_probability = 1.0;  // always repeat
+  TreebankGenerator gen(config);
+  XmlDocument doc = gen.NextTree();
+  size_t count = 0;
+  for (const auto& child : doc.root()->children()) {
+    if (child->is_element() && child->tag() == TreebankAxisTag(0)) ++count;
+  }
+  EXPECT_GE(count, 2u);
+}
+
+TEST(TreebankGenTest, NestingKnob) {
+  TreebankConfig config;
+  config.num_axes = 1;
+  config.nesting_probability = 1.0;
+  TreebankGenerator gen(config);
+  XmlDocument doc = gen.NextTree();
+  const XmlNode* wrapper =
+      doc.root()->FirstChildElement(TreebankWrapperTag());
+  ASSERT_NE(wrapper, nullptr);
+  EXPECT_NE(wrapper->FirstChildElement(TreebankAxisTag(0)), nullptr);
+}
+
+TEST(TreebankGenTest, ValueCardinalityBoundsDomain) {
+  TreebankConfig config;
+  config.num_axes = 1;
+  config.value_cardinality = 3;
+  TreebankGenerator gen(config);
+  std::set<std::string> values;
+  for (int i = 0; i < 200; ++i) {
+    XmlDocument doc = gen.NextTree();
+    const XmlNode* axis = doc.root()->FirstChildElement(TreebankAxisTag(0));
+    ASSERT_NE(axis, nullptr);
+    values.insert(axis->CollectText());
+  }
+  EXPECT_LE(values.size(), 3u);
+  EXPECT_GE(values.size(), 2u);
+}
+
+TEST(TreebankGenTest, MatchingDtdParses) {
+  for (bool cover : {true, false}) {
+    for (bool disjoint : {true, false}) {
+      TreebankConfig config;
+      config.num_axes = 3;
+      config.missing_probability = cover ? 0.0 : 0.3;
+      config.repeat_probability = disjoint ? 0.0 : 0.3;
+      TreebankGenerator gen(config);
+      auto schema = ParseDtd(gen.MatchingDtd());
+      ASSERT_TRUE(schema.ok()) << schema.status() << "\n"
+                               << gen.MatchingDtd();
+      Cardinality axis0 =
+          *schema->ChildCardinality(TreebankRootTag(), TreebankAxisTag(0));
+      EXPECT_EQ(axis0.min_one, cover);
+      EXPECT_EQ(axis0.max_one, disjoint);
+    }
+  }
+}
+
+TEST(TreebankGenTest, LoadIntoDatabase) {
+  auto db = testutil::OpenDb();
+  ASSERT_NE(db, nullptr);
+  TreebankConfig config;
+  config.num_axes = 2;
+  TreebankGenerator gen(config);
+  ASSERT_TRUE(gen.LoadInto(db.get(), 50).ok());
+  EXPECT_EQ(db->document_roots().size(), 50u);
+  EXPECT_EQ(db->NodesWithTag(TreebankRootTag()).size(), 50u);
+}
+
+TEST(DblpGenTest, Deterministic) {
+  DblpConfig config;
+  DblpGenerator g1(config);
+  DblpGenerator g2(config);
+  XmlWriteOptions compact{false, false};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(WriteXml(g1.NextArticle(), compact),
+              WriteXml(g2.NextArticle(), compact));
+  }
+}
+
+TEST(DblpGenTest, DtdCardinalitiesRespected) {
+  DblpConfig config;
+  DblpGenerator gen(config);
+  size_t no_author = 0, multi_author = 0, no_month = 0;
+  constexpr int kArticles = 500;
+  for (int i = 0; i < kArticles; ++i) {
+    XmlDocument doc = gen.NextArticle();
+    const XmlNode* root = doc.root();
+    size_t authors = 0;
+    bool has_month = false, has_year = false, has_journal = false,
+         has_title = false;
+    for (const auto& child : root->children()) {
+      if (!child->is_element()) continue;
+      if (child->tag() == "author") ++authors;
+      if (child->tag() == "month") has_month = true;
+      if (child->tag() == "year") has_year = true;
+      if (child->tag() == "journal") has_journal = true;
+      if (child->tag() == "title") has_title = true;
+    }
+    // year, journal, title mandatory and unique per the DTD.
+    EXPECT_TRUE(has_year && has_journal && has_title);
+    if (authors == 0) ++no_author;
+    if (authors > 1) ++multi_author;
+    if (!has_month) ++no_month;
+  }
+  EXPECT_GT(no_author, 0u);     // author possibly missing
+  EXPECT_GT(multi_author, 0u);  // author possibly repeated
+  EXPECT_GT(no_month, 0u);      // month possibly missing
+}
+
+TEST(WorkloadTest, SettingsDriveProperties) {
+  ExperimentSetting setting;
+  setting.num_axes = 2;
+  setting.num_trees = 100;
+
+  setting.coverage_holds = true;
+  setting.disjointness_holds = true;
+  auto both = BuildTreebankWorkload(setting);
+  ASSERT_TRUE(both.ok());
+  EXPECT_TRUE(both->properties.AllHold(both->lattice));
+
+  setting.coverage_holds = false;
+  auto no_cover = BuildTreebankWorkload(setting);
+  ASSERT_TRUE(no_cover.ok());
+  EXPECT_TRUE(no_cover->properties.DisjointEverywhere(no_cover->lattice));
+  EXPECT_FALSE(no_cover->properties.CoveredEverywhere(no_cover->lattice));
+
+  setting.coverage_holds = true;
+  setting.disjointness_holds = false;
+  auto no_disjoint = BuildTreebankWorkload(setting);
+  ASSERT_TRUE(no_disjoint.ok());
+  EXPECT_FALSE(
+      no_disjoint->properties.DisjointEverywhere(no_disjoint->lattice));
+}
+
+TEST(WorkloadTest, DenseVsSparseCardinality) {
+  ExperimentSetting setting;
+  setting.num_axes = 2;
+  setting.num_trees = 300;
+  setting.dense = true;
+  auto dense = BuildTreebankWorkload(setting);
+  ASSERT_TRUE(dense.ok());
+  setting.dense = false;
+  setting.seed = 43;
+  auto sparse = BuildTreebankWorkload(setting);
+  ASSERT_TRUE(sparse.ok());
+  EXPECT_LT(dense->facts.AxisCardinality(0),
+            sparse->facts.AxisCardinality(0));
+}
+
+TEST(WorkloadTest, DblpWorkloadShape) {
+  auto workload = BuildDblpWorkload(300);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  EXPECT_EQ(workload->lattice.num_axes(), 4u);
+  EXPECT_EQ(workload->lattice.num_cuboids(), 16u);
+  EXPECT_EQ(workload->facts.size(), 300u);
+}
+
+}  // namespace
+}  // namespace x3

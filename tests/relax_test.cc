@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "pattern/pattern_parser.h"
+#include "relax/axis_lattice.h"
+#include "relax/cube_lattice.h"
+#include "relax/relaxation.h"
+
+namespace x3 {
+namespace {
+
+TreePattern PathPattern(const std::string& root,
+                        const std::string& relative,
+                        PatternNodeId* grouping) {
+  TreePattern p;
+  PatternNodeId r = p.SetRoot(root);
+  auto spine = ParseRelativePath(relative, &p, r);
+  EXPECT_TRUE(spine.ok()) << spine.status();
+  *grouping = spine->back();
+  return p;
+}
+
+TEST(RelaxationSetTest, Basics) {
+  RelaxationSet set;
+  EXPECT_TRUE(set.empty());
+  set.Add(RelaxationType::kLND);
+  EXPECT_TRUE(set.Contains(RelaxationType::kLND));
+  EXPECT_FALSE(set.Contains(RelaxationType::kSP));
+  EXPECT_EQ(RelaxationSet::All().ToString(), "LND, SP, PC-AD");
+  EXPECT_EQ(RelaxationSet::Of({RelaxationType::kPCAD}).ToString(), "PC-AD");
+}
+
+TEST(RelaxationTest, ApplicableOps) {
+  PatternNodeId name;
+  TreePattern p = PathPattern("publication", "/author/name", &name);
+  std::vector<PatternNodeId> scope;
+  for (PatternNodeId id : p.LiveNodes()) {
+    if (id != p.root()) scope.push_back(id);
+  }
+  auto ops = ApplicableRelaxations(p, scope, RelaxationSet::All());
+  // author: PC-AD (child edge). name: PC-AD, SP (grandparent exists),
+  // LND (leaf).
+  int pcad = 0, sp = 0, lnd = 0;
+  for (const RelaxationOp& op : ops) {
+    if (op.type == RelaxationType::kPCAD) ++pcad;
+    if (op.type == RelaxationType::kSP) ++sp;
+    if (op.type == RelaxationType::kLND) ++lnd;
+  }
+  EXPECT_EQ(pcad, 2);
+  EXPECT_EQ(sp, 1);
+  EXPECT_EQ(lnd, 1);
+}
+
+TEST(RelaxationTest, ApplySP) {
+  PatternNodeId name;
+  TreePattern p = PathPattern("publication", "/author/name", &name);
+  auto relaxed = ApplyRelaxation(p, {RelaxationType::kSP, name});
+  ASSERT_TRUE(relaxed.ok());
+  // The paper's example: publication[./author/name] relaxes to
+  // publication[./author][.//name].
+  EXPECT_EQ(relaxed->ToString(), "publication[./author][.//name]");
+}
+
+TEST(AxisLatticeTest, LndOnlyIsTwoStateChain) {
+  PatternNodeId year;
+  TreePattern p = PathPattern("publication", "/year", &year);
+  auto lattice = AxisLattice::Build(
+      p, year, RelaxationSet::Of({RelaxationType::kLND}), "y");
+  ASSERT_TRUE(lattice.ok()) << lattice.status();
+  EXPECT_EQ(lattice->num_states(), 2u);
+  EXPECT_TRUE(lattice->state(0).grouping_present());
+  EXPECT_TRUE(lattice->absent_state().has_value());
+  EXPECT_FALSE(lattice->state(*lattice->absent_state()).grouping_present());
+  EXPECT_TRUE(lattice->IsChain());
+}
+
+TEST(AxisLatticeTest, LndPcadIsThreeStateChain) {
+  // //publisher/@id with (LND, PC-AD): rigid, @id-generalized?? The
+  // paper's $p axis: the publisher step is already descendant; PC-AD
+  // applies to the @id edge. States: rigid, //publisher//@id, absent.
+  PatternNodeId id;
+  TreePattern p = PathPattern("publication", "//publisher/@id", &id);
+  auto lattice = AxisLattice::Build(
+      p, id,
+      RelaxationSet::Of({RelaxationType::kLND, RelaxationType::kPCAD}), "p");
+  ASSERT_TRUE(lattice.ok()) << lattice.status();
+  EXPECT_EQ(lattice->num_states(), 3u);
+  // Not a chain: LND applies directly from the rigid state too, so the
+  // rigid state has two successors (PC-AD form and ABSENT).
+  EXPECT_FALSE(lattice->IsChain());
+}
+
+TEST(AxisLatticeTest, Query1AuthorNameAxis) {
+  // $n in $b/author/name with (LND, SP, PC-AD).
+  PatternNodeId name;
+  TreePattern p = PathPattern("publication", "/author/name", &name);
+  auto lattice = AxisLattice::Build(p, name, RelaxationSet::All(), "n");
+  ASSERT_TRUE(lattice.ok()) << lattice.status();
+
+  // Expected distinct states (by exploration of the op closure):
+  // publication/author/name (rigid), //author/name, /author//name,
+  // //author//name, [./author][.//name], [.//author][.//name],
+  // [.//name] (after LND author), and ABSENT.
+  std::set<std::string> forms;
+  for (AxisStateId s = 0; s < lattice->num_states(); ++s) {
+    forms.insert(lattice->state(s).grouping_present()
+                     ? lattice->state(s).pattern.ToString()
+                     : "ABSENT");
+  }
+  EXPECT_TRUE(forms.count("publication/author/name") == 1);
+  EXPECT_TRUE(forms.count("publication//author/name") == 1);
+  EXPECT_TRUE(forms.count("publication[./author][.//name]") == 1);
+  EXPECT_TRUE(forms.count("publication//name") == 1);
+  EXPECT_TRUE(forms.count("ABSENT") == 1);
+  EXPECT_FALSE(lattice->IsChain());
+  EXPECT_EQ(lattice->num_states(), 8u) << [&] {
+    std::string all;
+    for (const auto& f : forms) all += f + "\n";
+    return all;
+  }();
+}
+
+TEST(AxisLatticeTest, RigidIsTopoFirst) {
+  PatternNodeId name;
+  TreePattern p = PathPattern("publication", "/author/name", &name);
+  auto lattice = AxisLattice::Build(p, name, RelaxationSet::All(), "n");
+  ASSERT_TRUE(lattice.ok());
+  EXPECT_EQ(lattice->topo_order().front(), 0u);
+  EXPECT_EQ(lattice->state(0).topo_rank, 0);
+  // Edges go to higher topo rank.
+  for (AxisStateId s = 0; s < lattice->num_states(); ++s) {
+    for (AxisStateId t : lattice->successors(s)) {
+      EXPECT_GT(lattice->state(t).topo_rank, lattice->state(s).topo_rank);
+    }
+  }
+}
+
+TEST(AxisLatticeTest, ReachabilityClosure) {
+  PatternNodeId name;
+  TreePattern p = PathPattern("publication", "/author/name", &name);
+  auto lattice = AxisLattice::Build(p, name, RelaxationSet::All(), "n");
+  ASSERT_TRUE(lattice.ok());
+  // Reflexive.
+  for (AxisStateId s = 0; s < lattice->num_states(); ++s) {
+    EXPECT_TRUE(lattice->Reachable(s, s));
+  }
+  // Everything is reachable from rigid.
+  for (AxisStateId s = 0; s < lattice->num_states(); ++s) {
+    EXPECT_TRUE(lattice->Reachable(0, s));
+  }
+  // The absent state reaches only itself.
+  ASSERT_TRUE(lattice->absent_state().has_value());
+  AxisStateId absent = *lattice->absent_state();
+  for (AxisStateId s = 0; s < lattice->num_states(); ++s) {
+    EXPECT_EQ(lattice->Reachable(absent, s), s == absent);
+  }
+  // Consistent with edges and transitive.
+  for (AxisStateId s = 0; s < lattice->num_states(); ++s) {
+    for (AxisStateId t : lattice->successors(s)) {
+      EXPECT_TRUE(lattice->Reachable(s, t));
+      for (AxisStateId u = 0; u < lattice->num_states(); ++u) {
+        if (lattice->Reachable(t, u)) {
+          EXPECT_TRUE(lattice->Reachable(s, u));
+        }
+      }
+    }
+    // No back-edges: reachability is antisymmetric apart from self.
+    for (AxisStateId t = 0; t < lattice->num_states(); ++t) {
+      if (s != t && lattice->Reachable(s, t)) {
+        EXPECT_FALSE(lattice->Reachable(t, s));
+      }
+    }
+  }
+}
+
+TEST(AxisLatticeTest, ValueFilteredAxisRelaxes) {
+  // A value predicate on the grouping node survives relaxation ops.
+  TreePattern p;
+  PatternNodeId root = p.SetRoot("s");
+  auto spine = ParseRelativePath("/a[.=\"x\"]", &p, root);
+  ASSERT_TRUE(spine.ok()) << spine.status();
+  auto lattice = AxisLattice::Build(
+      p, spine->back(),
+      RelaxationSet::Of({RelaxationType::kLND, RelaxationType::kPCAD}),
+      "a");
+  ASSERT_TRUE(lattice.ok()) << lattice.status();
+  EXPECT_EQ(lattice->num_states(), 3u);  // rigid, //a, absent
+  for (AxisStateId s = 0; s < lattice->num_states(); ++s) {
+    if (!lattice->state(s).grouping_present()) continue;
+    EXPECT_TRUE(lattice->state(s)
+                    .pattern.node(lattice->state(s).grouping_node)
+                    .has_value_filter);
+  }
+}
+
+TEST(AxisLatticeTest, NoRelaxationsSingleState) {
+  PatternNodeId year;
+  TreePattern p = PathPattern("publication", "/year", &year);
+  auto lattice = AxisLattice::Build(p, year, RelaxationSet::None(), "y");
+  ASSERT_TRUE(lattice.ok());
+  EXPECT_EQ(lattice->num_states(), 1u);
+  EXPECT_FALSE(lattice->absent_state().has_value());
+}
+
+TEST(AxisLatticeTest, AbsentIsTerminal) {
+  PatternNodeId year;
+  TreePattern p = PathPattern("publication", "/year", &year);
+  auto lattice = AxisLattice::Build(
+      p, year, RelaxationSet::Of({RelaxationType::kLND}), "y");
+  ASSERT_TRUE(lattice.ok());
+  EXPECT_TRUE(lattice->successors(*lattice->absent_state()).empty());
+}
+
+CubeLattice MakeQuery1Lattice() {
+  PatternNodeId g;
+  TreePattern n = PathPattern("publication", "/author/name", &g);
+  auto an = AxisLattice::Build(n, g, RelaxationSet::All(), "n");
+  TreePattern p = PathPattern("publication", "//publisher/@id", &g);
+  auto ap = AxisLattice::Build(
+      p, g, RelaxationSet::Of({RelaxationType::kLND, RelaxationType::kPCAD}),
+      "p");
+  TreePattern y = PathPattern("publication", "/year", &g);
+  auto ay = AxisLattice::Build(
+      y, g, RelaxationSet::Of({RelaxationType::kLND}), "y");
+  EXPECT_TRUE(an.ok() && ap.ok() && ay.ok());
+  std::vector<AxisLattice> axes;
+  axes.push_back(std::move(*an));
+  axes.push_back(std::move(*ap));
+  axes.push_back(std::move(*ay));
+  auto lattice = CubeLattice::Build(std::move(axes));
+  EXPECT_TRUE(lattice.ok());
+  return std::move(*lattice);
+}
+
+TEST(CubeLatticeTest, Query1LatticeShape) {
+  CubeLattice lattice = MakeQuery1Lattice();
+  EXPECT_EQ(lattice.num_axes(), 3u);
+  // 8 (n) * 3 (p) * 2 (y) states.
+  EXPECT_EQ(lattice.num_cuboids(), 48u);
+  EXPECT_EQ(lattice.FinestCuboid(), 0u);
+  EXPECT_EQ(lattice.PresentAxes(0).size(), 3u);
+}
+
+TEST(CubeLatticeTest, EncodeDecodeRoundTrip) {
+  CubeLattice lattice = MakeQuery1Lattice();
+  for (CuboidId c = 0; c < lattice.num_cuboids(); ++c) {
+    EXPECT_EQ(lattice.Encode(lattice.Decode(c)), c);
+  }
+}
+
+TEST(CubeLatticeTest, NeighborsAreInverse) {
+  CubeLattice lattice = MakeQuery1Lattice();
+  for (CuboidId c = 0; c < lattice.num_cuboids(); ++c) {
+    for (CuboidId child : lattice.MoreRelaxedNeighbors(c)) {
+      auto parents = lattice.LessRelaxedNeighbors(child);
+      EXPECT_NE(std::find(parents.begin(), parents.end(), c), parents.end());
+    }
+  }
+}
+
+TEST(CubeLatticeTest, TopoOrderRespectsEdges) {
+  CubeLattice lattice = MakeQuery1Lattice();
+  std::vector<CuboidId> topo = lattice.TopoOrder();
+  ASSERT_EQ(topo.size(), lattice.num_cuboids());
+  std::vector<size_t> position(lattice.num_cuboids());
+  for (size_t i = 0; i < topo.size(); ++i) position[topo[i]] = i;
+  for (CuboidId c = 0; c < lattice.num_cuboids(); ++c) {
+    for (CuboidId child : lattice.MoreRelaxedNeighbors(c)) {
+      EXPECT_LT(position[c], position[child]);
+    }
+  }
+  EXPECT_EQ(topo.front(), lattice.FinestCuboid());
+}
+
+TEST(CubeLatticeTest, LndOnlyLatticeIsPowerSet) {
+  // d LND-only axes => 2^d cuboids: the classical cube.
+  std::vector<AxisLattice> axes;
+  for (int i = 0; i < 4; ++i) {
+    PatternNodeId g;
+    TreePattern p = PathPattern("s", "/a" + std::to_string(i), &g);
+    auto axis = AxisLattice::Build(
+        p, g, RelaxationSet::Of({RelaxationType::kLND}),
+        "a" + std::to_string(i));
+    ASSERT_TRUE(axis.ok());
+    axes.push_back(std::move(*axis));
+  }
+  auto lattice = CubeLattice::Build(std::move(axes));
+  ASSERT_TRUE(lattice.ok());
+  EXPECT_EQ(lattice->num_cuboids(), 16u);
+  // Each cuboid differs in its present-axis set.
+  std::set<std::vector<size_t>> present_sets;
+  for (CuboidId c = 0; c < 16; ++c) {
+    present_sets.insert(lattice->PresentAxes(c));
+  }
+  EXPECT_EQ(present_sets.size(), 16u);
+}
+
+TEST(CubeLatticeTest, DescribeCuboidMentionsAxes) {
+  CubeLattice lattice = MakeQuery1Lattice();
+  std::string desc = lattice.DescribeCuboid(lattice.FinestCuboid());
+  EXPECT_NE(desc.find("n:"), std::string::npos);
+  EXPECT_NE(desc.find("p:"), std::string::npos);
+  EXPECT_NE(desc.find("y:"), std::string::npos);
+  // The most relaxed cuboid mentions ABSENT.
+  std::vector<CuboidId> topo = lattice.TopoOrder();
+  EXPECT_NE(lattice.DescribeCuboid(topo.back()).find("ABSENT"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace x3

@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include "gen/dblp_gen.h"
+#include "gen/treebank_gen.h"
+#include "gen/workload.h"
+#include "pattern/pattern_parser.h"
+#include "schema/dtd_parser.h"
+#include "schema/summarizability.h"
+
+namespace x3 {
+namespace {
+
+TEST(CardinalityTest, Compose) {
+  EXPECT_EQ(Cardinality::One().Compose(Cardinality::Optional()),
+            Cardinality::Optional());
+  EXPECT_EQ(Cardinality::Star().Compose(Cardinality::One()),
+            Cardinality::Star());
+  EXPECT_EQ(Cardinality::Plus().Compose(Cardinality::Optional()),
+            Cardinality::Star());
+  EXPECT_EQ(Cardinality::One().Compose(Cardinality::One()),
+            Cardinality::One());
+}
+
+TEST(DtdParserTest, SimpleElements) {
+  auto schema = ParseDtd(
+      "<!ELEMENT publication (author*, publisher?, year+)>\n"
+      "<!ELEMENT author (name)>\n"
+      "<!ELEMENT name (#PCDATA)>\n"
+      "<!ELEMENT publisher EMPTY>\n"
+      "<!ELEMENT year (#PCDATA)>\n");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->size(), 5u);
+  EXPECT_EQ(*schema->ChildCardinality("publication", "author"),
+            Cardinality::Star());
+  EXPECT_EQ(*schema->ChildCardinality("publication", "publisher"),
+            Cardinality::Optional());
+  EXPECT_EQ(*schema->ChildCardinality("publication", "year"),
+            Cardinality::Plus());
+  EXPECT_EQ(*schema->ChildCardinality("author", "name"),
+            Cardinality::One());
+  EXPECT_FALSE(schema->ChildCardinality("publication", "name").has_value());
+  EXPECT_TRUE(schema->Find("name")->has_pcdata);
+}
+
+TEST(DtdParserTest, ChoiceGroupMakesMembersOptional) {
+  auto schema = ParseDtd("<!ELEMENT s ((a | b)*, c)>");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(*schema->ChildCardinality("s", "a"), Cardinality::Star());
+  EXPECT_EQ(*schema->ChildCardinality("s", "b"), Cardinality::Star());
+  EXPECT_EQ(*schema->ChildCardinality("s", "c"), Cardinality::One());
+}
+
+TEST(DtdParserTest, NestedGroups) {
+  auto schema = ParseDtd("<!ELEMENT s (a, (b, c?)+)>");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(*schema->ChildCardinality("s", "b"), Cardinality::Plus());
+  EXPECT_EQ(*schema->ChildCardinality("s", "c"), Cardinality::Star());
+}
+
+TEST(DtdParserTest, DuplicateSlotsBecomeRepeatable) {
+  auto schema = ParseDtd("<!ELEMENT s (a, b, a?)>");
+  ASSERT_TRUE(schema.ok());
+  Cardinality a = *schema->ChildCardinality("s", "a");
+  EXPECT_TRUE(a.min_one);    // the first slot guarantees one
+  EXPECT_FALSE(a.max_one);   // two slots allow two
+}
+
+TEST(DtdParserTest, Attlist) {
+  auto schema = ParseDtd(
+      "<!ELEMENT e EMPTY>\n"
+      "<!ATTLIST e id ID #REQUIRED note CDATA #IMPLIED kind (a|b) \"a\">\n");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(*schema->ChildCardinality("e", "@id"), Cardinality::One());
+  EXPECT_EQ(*schema->ChildCardinality("e", "@note"),
+            Cardinality::Optional());
+  EXPECT_EQ(*schema->ChildCardinality("e", "@kind"), Cardinality::One());
+}
+
+TEST(DtdParserTest, AnyAndComments) {
+  auto schema = ParseDtd(
+      "<!-- preamble -->\n"
+      "<!ELEMENT x ANY>\n"
+      "<!ENTITY % ignored \"stuff\">\n");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_TRUE(schema->Find("x")->is_any);
+}
+
+TEST(DtdParserTest, RealDblpFragmentParses) {
+  auto schema = ParseDtd(DblpDtd());
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(*schema->ChildCardinality("article", "author"),
+            Cardinality::Star());
+  EXPECT_EQ(*schema->ChildCardinality("article", "month"),
+            Cardinality::Optional());
+  EXPECT_EQ(*schema->ChildCardinality("article", "year"),
+            Cardinality::One());
+}
+
+TEST(DtdParserTest, Errors) {
+  EXPECT_FALSE(ParseDtd("<!ELEMENT x>").ok());
+  EXPECT_FALSE(ParseDtd("<!ELEMENT x (a").ok());
+  EXPECT_FALSE(ParseDtd("junk").ok());
+}
+
+// --- Summarizability inference (§3.7) ---
+
+class InferenceTest : public ::testing::Test {
+ protected:
+  /// Builds a single-axis lattice for `fact_tag` + `axis_path` with
+  /// relaxations `set`, then infers properties from `dtd`.
+  void Infer(const std::string& dtd, const std::string& fact_tag,
+             const std::string& axis_path, RelaxationSet set) {
+    auto schema = ParseDtd(dtd);
+    ASSERT_TRUE(schema.ok()) << schema.status();
+    TreePattern p;
+    PatternNodeId root = p.SetRoot(fact_tag);
+    auto spine = ParseRelativePath(axis_path, &p, root);
+    ASSERT_TRUE(spine.ok()) << spine.status();
+    auto axis = AxisLattice::Build(p, spine->back(), set, "a");
+    ASSERT_TRUE(axis.ok()) << axis.status();
+    std::vector<AxisLattice> axes;
+    axes.push_back(std::move(*axis));
+    auto lattice = CubeLattice::Build(std::move(axes));
+    ASSERT_TRUE(lattice.ok());
+    lattice_ = std::make_unique<CubeLattice>(std::move(*lattice));
+    auto props = InferLatticeProperties(*schema, *lattice_, fact_tag);
+    ASSERT_TRUE(props.ok()) << props.status();
+    props_ = std::make_unique<LatticeProperties>(std::move(*props));
+  }
+
+  const SummarizabilityFlags& RigidFlags() const {
+    return props_->At(0, 0);
+  }
+
+  std::unique_ptr<CubeLattice> lattice_;
+  std::unique_ptr<LatticeProperties> props_;
+};
+
+TEST_F(InferenceTest, MandatoryUniqueChildHasBoth) {
+  Infer("<!ELEMENT article (year)>\n<!ELEMENT year (#PCDATA)>", "article",
+        "/year", RelaxationSet::Of({RelaxationType::kLND}));
+  EXPECT_TRUE(RigidFlags().disjoint);
+  EXPECT_TRUE(RigidFlags().covered);
+  EXPECT_TRUE(props_->AllHold(*lattice_));
+}
+
+TEST_F(InferenceTest, OptionalChildBreaksCoverageOnly) {
+  Infer("<!ELEMENT article (month?)>\n<!ELEMENT month (#PCDATA)>", "article",
+        "/month", RelaxationSet::Of({RelaxationType::kLND}));
+  EXPECT_TRUE(RigidFlags().disjoint);
+  EXPECT_FALSE(RigidFlags().covered);
+}
+
+TEST_F(InferenceTest, RepeatedChildBreaksDisjointness) {
+  Infer("<!ELEMENT article (author+)>\n<!ELEMENT author (#PCDATA)>",
+        "article", "/author", RelaxationSet::Of({RelaxationType::kLND}));
+  EXPECT_FALSE(RigidFlags().disjoint);
+  EXPECT_TRUE(RigidFlags().covered);  // '+' guarantees presence
+}
+
+TEST_F(InferenceTest, StarBreaksBoth) {
+  Infer(DblpDtd(), "article", "/author",
+        RelaxationSet::Of({RelaxationType::kLND}));
+  EXPECT_FALSE(RigidFlags().disjoint);
+  EXPECT_FALSE(RigidFlags().covered);
+}
+
+TEST_F(InferenceTest, MultiplePathsBreakDisjointnessAtRelaxedState) {
+  // name reachable under both author and editor: the rigid
+  // /author/name path is unique, but //name (after SP+LND) sees both.
+  const char* dtd =
+      "<!ELEMENT pub (author, editor)>\n"
+      "<!ELEMENT author (name)>\n"
+      "<!ELEMENT editor (name)>\n"
+      "<!ELEMENT name (#PCDATA)>\n";
+  Infer(dtd, "pub", "/author/name", RelaxationSet::All());
+  EXPECT_TRUE(RigidFlags().disjoint);
+  EXPECT_TRUE(RigidFlags().covered);
+  // Find the //name state (grouping node directly under the root).
+  bool found = false;
+  const AxisLattice& axis = lattice_->axis(0);
+  for (AxisStateId s = 0; s < axis.num_states(); ++s) {
+    if (!axis.state(s).grouping_present()) continue;
+    if (axis.state(s).pattern.ToString() == "pub//name") {
+      found = true;
+      EXPECT_FALSE(props_->At(0, s).disjoint);
+      EXPECT_TRUE(props_->At(0, s).covered);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(InferenceTest, UndeclaredTagIsFullyConservative) {
+  Infer("<!ELEMENT article (year)>\n<!ELEMENT year (#PCDATA)>", "article",
+        "/volume", RelaxationSet::Of({RelaxationType::kLND}));
+  EXPECT_FALSE(RigidFlags().disjoint);
+  EXPECT_FALSE(RigidFlags().covered);
+}
+
+TEST_F(InferenceTest, RecursiveSchemaIsConservative) {
+  const char* dtd =
+      "<!ELEMENT s (s?, v)>\n"
+      "<!ELEMENT v (#PCDATA)>\n";
+  Infer(dtd, "s", "//v", RelaxationSet::Of({RelaxationType::kLND}));
+  // Unboundedly many s/s/.../v paths: disjointness must not be claimed.
+  EXPECT_FALSE(RigidFlags().disjoint);
+}
+
+TEST_F(InferenceTest, RequiredAttributeCovered) {
+  Infer("<!ELEMENT e EMPTY>\n<!ATTLIST e id CDATA #REQUIRED>", "e", "/@id",
+        RelaxationSet::Of({RelaxationType::kLND}));
+  EXPECT_TRUE(RigidFlags().disjoint);
+  EXPECT_TRUE(RigidFlags().covered);
+}
+
+TEST_F(InferenceTest, AbsentStateIsVacuouslyBoth) {
+  Infer(DblpDtd(), "article", "/author",
+        RelaxationSet::Of({RelaxationType::kLND}));
+  const AxisLattice& axis = lattice_->axis(0);
+  ASSERT_TRUE(axis.absent_state().has_value());
+  EXPECT_TRUE(props_->At(0, *axis.absent_state()).disjoint);
+  EXPECT_TRUE(props_->At(0, *axis.absent_state()).covered);
+}
+
+/// Cross-check: inference is *sound* w.r.t. generated data — when the
+/// analyzer claims a property at a state, a brute-force scan of the
+/// fact table must confirm it.
+class InferenceSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(InferenceSoundnessTest, InferredPropertiesHoldInData) {
+  ExperimentSetting setting;
+  setting.num_axes = 3;
+  setting.num_trees = 200;
+  setting.seed = 1000 + static_cast<uint64_t>(GetParam());
+  setting.coverage_holds = (GetParam() % 2) == 0;
+  setting.disjointness_holds = (GetParam() / 2 % 2) == 0;
+  auto workload = BuildTreebankWorkload(setting);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  const CubeLattice& lattice = workload->lattice;
+  const FactTable& facts = workload->facts;
+
+  for (size_t a = 0; a < lattice.num_axes(); ++a) {
+    for (AxisStateId s = 0; s < lattice.axis(a).num_states(); ++s) {
+      if (!lattice.axis(a).state(s).grouping_present()) continue;
+      const SummarizabilityFlags& flags = workload->properties.At(a, s);
+      // Brute-force the actual properties.
+      bool data_disjoint = true;
+      bool data_covered = true;
+      std::vector<ValueId> values;
+      for (size_t f = 0; f < facts.size(); ++f) {
+        facts.AdmittedValues(a, f, s, &values);
+        if (values.size() > 1) data_disjoint = false;
+        if (values.empty()) data_covered = false;
+      }
+      if (flags.disjoint) {
+        EXPECT_TRUE(data_disjoint) << "axis " << a;
+      }
+      if (flags.covered) {
+        EXPECT_TRUE(data_covered) << "axis " << a;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Settings, InferenceSoundnessTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(SchemaGraphTest, ToStringListsDeclarations) {
+  auto schema = ParseDtd(DblpDtd());
+  ASSERT_TRUE(schema.ok());
+  std::string s = schema->ToString();
+  EXPECT_NE(s.find("article -> "), std::string::npos);
+  EXPECT_NE(s.find("author*"), std::string::npos);
+  EXPECT_NE(s.find("month?"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace x3

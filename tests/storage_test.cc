@@ -1,0 +1,492 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/external_sorter.h"
+#include "storage/page_file.h"
+#include "storage/slotted_page.h"
+#include "storage/temp_file.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace x3 {
+namespace {
+
+class PageFileTest : public ::testing::Test {
+ protected:
+  std::string Path() {
+    return temp_.NextPath(::testing::UnitTest::GetInstance()
+                              ->current_test_info()
+                              ->name());
+  }
+  TempFileManager temp_;
+};
+
+TEST_F(PageFileTest, AllocateReadWrite) {
+  PageFile file;
+  ASSERT_TRUE(file.Open(Path(), true).ok());
+  EXPECT_EQ(file.page_count(), 0u);
+
+  auto id = file.AllocatePage();
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 0u);
+  EXPECT_EQ(file.page_count(), 1u);
+
+  Page page;
+  page.Zero();
+  page.WriteAt<uint64_t>(16, 0xdeadbeefULL);
+  ASSERT_TRUE(file.WritePage(0, page).ok());
+
+  Page read;
+  ASSERT_TRUE(file.ReadPage(0, &read).ok());
+  EXPECT_EQ(read.ReadAt<uint64_t>(16), 0xdeadbeefULL);
+}
+
+TEST_F(PageFileTest, ReadBeyondEndFails) {
+  PageFile file;
+  ASSERT_TRUE(file.Open(Path(), true).ok());
+  Page page;
+  EXPECT_EQ(file.ReadPage(0, &page).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(PageFileTest, ReopenPreservesPages) {
+  std::string path = Path();
+  {
+    PageFile file;
+    ASSERT_TRUE(file.Open(path, true).ok());
+    ASSERT_TRUE(file.AllocatePage().ok());
+    Page page;
+    page.Zero();
+    page.WriteAt<uint32_t>(0, 77);
+    ASSERT_TRUE(file.WritePage(0, page).ok());
+    ASSERT_TRUE(file.Close().ok());
+  }
+  PageFile file;
+  ASSERT_TRUE(file.Open(path, false).ok());
+  EXPECT_EQ(file.page_count(), 1u);
+  Page page;
+  ASSERT_TRUE(file.ReadPage(0, &page).ok());
+  EXPECT_EQ(page.ReadAt<uint32_t>(0), 77u);
+}
+
+TEST_F(PageFileTest, CountsIo) {
+  PageFile file;
+  ASSERT_TRUE(file.Open(Path(), true).ok());
+  ASSERT_TRUE(file.AllocatePage().ok());
+  Page page;
+  ASSERT_TRUE(file.ReadPage(0, &page).ok());
+  ASSERT_TRUE(file.ReadPage(0, &page).ok());
+  EXPECT_EQ(file.pages_read(), 2u);
+  EXPECT_GE(file.pages_written(), 1u);
+}
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  void Open(size_t frames) {
+    ASSERT_TRUE(file_.Open(temp_.NextPath("pool"), true).ok());
+    pool_ = std::make_unique<BufferPool>(&file_, frames);
+  }
+  TempFileManager temp_;
+  PageFile file_;
+  std::unique_ptr<BufferPool> pool_;
+};
+
+TEST_F(BufferPoolTest, NewPageIsZeroed) {
+  Open(4);
+  auto handle = pool_->New();
+  ASSERT_TRUE(handle.ok());
+  for (size_t i = 0; i < kPageSize; i += 512) {
+    EXPECT_EQ(handle->page().bytes()[i], 0);
+  }
+}
+
+TEST_F(BufferPoolTest, FetchHitsCachedPage) {
+  Open(4);
+  PageId id;
+  {
+    auto handle = pool_->New();
+    ASSERT_TRUE(handle.ok());
+    id = handle->id();
+    handle->MutablePage().WriteAt<uint32_t>(0, 42);
+  }
+  auto again = pool_->Fetch(id);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->page().ReadAt<uint32_t>(0), 42u);
+  EXPECT_EQ(pool_->stats().hits, 1u);
+  EXPECT_EQ(pool_->stats().misses, 0u);
+}
+
+TEST_F(BufferPoolTest, EvictsLruAndWritesBackDirty) {
+  Open(2);
+  // Create three pages through a 2-frame pool.
+  for (int i = 0; i < 3; ++i) {
+    auto handle = pool_->New();
+    ASSERT_TRUE(handle.ok());
+    handle->MutablePage().WriteAt<uint32_t>(0, static_cast<uint32_t>(i + 1));
+  }
+  EXPECT_GE(pool_->stats().evictions, 1u);
+  // All three still readable (evicted ones from disk).
+  for (PageId id = 0; id < 3; ++id) {
+    auto handle = pool_->Fetch(id);
+    ASSERT_TRUE(handle.ok());
+    EXPECT_EQ(handle->page().ReadAt<uint32_t>(0), id + 1);
+  }
+}
+
+TEST_F(BufferPoolTest, PinnedPagesCannotBeEvicted) {
+  Open(2);
+  auto h1 = pool_->New();
+  auto h2 = pool_->New();
+  ASSERT_TRUE(h1.ok());
+  ASSERT_TRUE(h2.ok());
+  // Both frames pinned: a third page cannot be placed.
+  auto h3 = pool_->New();
+  EXPECT_FALSE(h3.ok());
+  EXPECT_EQ(h3.status().code(), StatusCode::kResourceExhausted);
+  // Releasing one pin unblocks.
+  h1->Release();
+  auto h4 = pool_->New();
+  EXPECT_TRUE(h4.ok());
+}
+
+TEST_F(BufferPoolTest, MoveTransfersPin) {
+  Open(2);
+  auto h1 = pool_->New();
+  ASSERT_TRUE(h1.ok());
+  PageHandle moved = std::move(*h1);
+  EXPECT_TRUE(moved.valid());
+  EXPECT_FALSE(h1->valid());
+  moved.Release();
+  EXPECT_FALSE(moved.valid());
+}
+
+TEST_F(BufferPoolTest, FlushAllPersists) {
+  Open(4);
+  PageId id;
+  {
+    auto handle = pool_->New();
+    ASSERT_TRUE(handle.ok());
+    id = handle->id();
+    handle->MutablePage().WriteAt<uint64_t>(8, 555);
+  }
+  ASSERT_TRUE(pool_->FlushAll().ok());
+  Page raw;
+  ASSERT_TRUE(file_.ReadPage(id, &raw).ok());
+  EXPECT_EQ(raw.ReadAt<uint64_t>(8), 555u);
+}
+
+TEST(SlottedPageTest, InsertAndGet) {
+  Page raw;
+  SlottedPage page(&raw);
+  page.Init();
+  EXPECT_EQ(page.record_count(), 0u);
+
+  auto s1 = page.Insert("hello");
+  auto s2 = page.Insert("world!");
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(*page.Get(*s1), "hello");
+  EXPECT_EQ(*page.Get(*s2), "world!");
+  EXPECT_EQ(page.record_count(), 2u);
+}
+
+TEST(SlottedPageTest, EmptyRecordAllowed) {
+  Page raw;
+  SlottedPage page(&raw);
+  page.Init();
+  auto slot = page.Insert("");
+  ASSERT_TRUE(slot.ok());
+  EXPECT_EQ(*page.Get(*slot), "");
+}
+
+TEST(SlottedPageTest, FillsUntilFull) {
+  Page raw;
+  SlottedPage page(&raw);
+  page.Init();
+  std::string record(100, 'x');
+  size_t inserted = 0;
+  while (page.Fits(record.size())) {
+    ASSERT_TRUE(page.Insert(record).ok());
+    ++inserted;
+  }
+  EXPECT_GT(inserted, 70u);  // ~8K / 104
+  EXPECT_EQ(page.Insert(record).status().code(),
+            StatusCode::kResourceExhausted);
+  // All records still intact.
+  for (SlotId s = 0; s < page.record_count(); ++s) {
+    EXPECT_EQ(*page.Get(s), record);
+  }
+}
+
+TEST(SlottedPageTest, OversizeRecordRejected) {
+  Page raw;
+  SlottedPage page(&raw);
+  page.Init();
+  std::string record(SlottedPage::MaxRecordSize() + 1, 'x');
+  EXPECT_EQ(page.Insert(record).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SlottedPageTest, GetOutOfRange) {
+  Page raw;
+  SlottedPage page(&raw);
+  page.Init();
+  EXPECT_EQ(page.Get(0).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(TempFileTest, PathsAreUnique) {
+  TempFileManager temp;
+  std::string a = temp.NextPath("x");
+  std::string b = temp.NextPath("x");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(temp.created_count(), 2u);
+}
+
+TEST(TempFileTest, CleansUpOnDestruction) {
+  std::string path;
+  {
+    TempFileManager temp;
+    path = temp.NextPath("cleanup");
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("data", f);
+    fclose(f);
+  }
+  FILE* f = fopen(path.c_str(), "r");
+  EXPECT_EQ(f, nullptr);
+  if (f != nullptr) fclose(f);
+}
+
+std::vector<std::string> Drain(SortedStream* stream) {
+  std::vector<std::string> out;
+  std::string rec;
+  Status s;
+  while (stream->Next(&rec, &s)) out.push_back(rec);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return out;
+}
+
+TEST(ExternalSorterTest, InMemorySort) {
+  ExternalSorter sorter({});
+  for (const char* rec : {"pear", "apple", "zoo", "banana"}) {
+    ASSERT_TRUE(sorter.Add(rec).ok());
+  }
+  auto stream = sorter.Finish();
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(Drain(stream->get()),
+            (std::vector<std::string>{"apple", "banana", "pear", "zoo"}));
+  EXPECT_TRUE(sorter.stats().in_memory);
+  EXPECT_EQ(sorter.stats().runs_spilled, 0u);
+}
+
+TEST(ExternalSorterTest, EmptyInput) {
+  ExternalSorter sorter({});
+  auto stream = sorter.Finish();
+  ASSERT_TRUE(stream.ok());
+  EXPECT_TRUE(Drain(stream->get()).empty());
+}
+
+TEST(ExternalSorterTest, DuplicatesPreserved) {
+  ExternalSorter sorter({});
+  for (const char* rec : {"b", "a", "b", "a", "b"}) {
+    ASSERT_TRUE(sorter.Add(rec).ok());
+  }
+  auto stream = sorter.Finish();
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(Drain(stream->get()),
+            (std::vector<std::string>{"a", "a", "b", "b", "b"}));
+}
+
+TEST(ExternalSorterTest, SpillsUnderBudgetAndStaysSorted) {
+  TempFileManager temp;
+  MemoryBudget budget(4096);  // tiny: forces many runs
+  ExternalSorter::Options options;
+  options.budget = &budget;
+  options.temp_files = &temp;
+  ExternalSorter sorter(options);
+
+  Random rng(3);
+  std::vector<std::string> expected;
+  for (int i = 0; i < 2000; ++i) {
+    std::string rec = StringPrintf("key-%05llu",
+                                   static_cast<unsigned long long>(
+                                       rng.Uniform(100000)));
+    expected.push_back(rec);
+    ASSERT_TRUE(sorter.Add(rec).ok());
+  }
+  std::sort(expected.begin(), expected.end());
+
+  auto stream = sorter.Finish();
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(Drain(stream->get()), expected);
+  EXPECT_FALSE(sorter.stats().in_memory);
+  EXPECT_GT(sorter.stats().runs_spilled, 1u);
+  EXPECT_EQ(sorter.stats().records, 2000u);
+}
+
+TEST(ExternalSorterTest, CascadedMergePasses) {
+  TempFileManager temp;
+  MemoryBudget budget(2048);
+  ExternalSorter::Options options;
+  options.budget = &budget;
+  options.temp_files = &temp;
+  options.merge_fanin = 4;  // force multi-pass merging
+  ExternalSorter sorter(options);
+
+  Random rng(11);
+  std::vector<std::string> expected;
+  for (int i = 0; i < 3000; ++i) {
+    std::string rec = StringPrintf("%08llu", static_cast<unsigned long long>(
+                                                 rng.Next() % 10000000));
+    expected.push_back(rec);
+    ASSERT_TRUE(sorter.Add(rec).ok());
+  }
+  std::sort(expected.begin(), expected.end());
+  auto stream = sorter.Finish();
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(Drain(stream->get()), expected);
+  EXPECT_GT(sorter.stats().merge_passes, 1u);
+}
+
+TEST(ExternalSorterTest, CustomComparator) {
+  ExternalSorter::Options options;
+  options.comparator = [](std::string_view a, std::string_view b) {
+    // Reverse order.
+    return -BytewiseCompare(a, b);
+  };
+  ExternalSorter sorter(options);
+  for (const char* rec : {"a", "c", "b"}) {
+    ASSERT_TRUE(sorter.Add(rec).ok());
+  }
+  auto stream = sorter.Finish();
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(Drain(stream->get()), (std::vector<std::string>{"c", "b", "a"}));
+}
+
+TEST(ExternalSorterTest, BudgetExceededWithoutTempFilesFails) {
+  MemoryBudget budget(64);
+  ExternalSorter::Options options;
+  options.budget = &budget;
+  ExternalSorter sorter(options);
+  Status last = Status::OK();
+  for (int i = 0; i < 100 && last.ok(); ++i) {
+    last = sorter.Add("0123456789abcdef");
+  }
+  EXPECT_EQ(last.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExternalSorterTest, BinaryRecordsWithEmbeddedNuls) {
+  ExternalSorter sorter({});
+  std::string a("a\0b", 3);
+  std::string b("a\0a", 3);
+  ASSERT_TRUE(sorter.Add(a).ok());
+  ASSERT_TRUE(sorter.Add(b).ok());
+  auto stream = sorter.Finish();
+  ASSERT_TRUE(stream.ok());
+  auto out = Drain(stream->get());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], b);
+  EXPECT_EQ(out[1], a);
+}
+
+/// Model-based buffer pool test: random page writes/reads through a
+/// small pool must behave exactly like an in-memory array of pages.
+class BufferPoolModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BufferPoolModelTest, MatchesInMemoryModel) {
+  TempFileManager temp;
+  PageFile file;
+  ASSERT_TRUE(file.Open(temp.NextPath("model"), true).ok());
+  BufferPool pool(&file, /*capacity=*/3);
+  Random rng(GetParam());
+
+  std::vector<std::vector<uint64_t>> model;  // model[page][slot]
+  constexpr size_t kSlots = kPageSize / sizeof(uint64_t);
+
+  for (int op = 0; op < 600; ++op) {
+    int kind = static_cast<int>(rng.Uniform(3));
+    if (kind == 0 || model.empty()) {
+      // Allocate.
+      auto handle = pool.New();
+      ASSERT_TRUE(handle.ok());
+      model.emplace_back(kSlots, 0);
+      ASSERT_EQ(handle->id(), model.size() - 1);
+    } else if (kind == 1) {
+      // Write a random slot of a random page.
+      PageId id = static_cast<PageId>(rng.Uniform(model.size()));
+      size_t slot = rng.Uniform(kSlots);
+      uint64_t value = rng.Next();
+      auto handle = pool.Fetch(id);
+      ASSERT_TRUE(handle.ok());
+      handle->MutablePage().WriteAt<uint64_t>(slot * sizeof(uint64_t),
+                                              value);
+      model[id][slot] = value;
+    } else {
+      // Read a random slot and compare with the model.
+      PageId id = static_cast<PageId>(rng.Uniform(model.size()));
+      size_t slot = rng.Uniform(kSlots);
+      auto handle = pool.Fetch(id);
+      ASSERT_TRUE(handle.ok());
+      EXPECT_EQ(handle->page().ReadAt<uint64_t>(slot * sizeof(uint64_t)),
+                model[id][slot])
+          << "page " << id << " slot " << slot << " op " << op;
+    }
+  }
+  // Full verification after a flush, straight from the file.
+  ASSERT_TRUE(pool.FlushAll().ok());
+  for (PageId id = 0; id < model.size(); ++id) {
+    Page raw;
+    ASSERT_TRUE(file.ReadPage(id, &raw).ok());
+    for (size_t slot = 0; slot < kSlots; slot += 37) {
+      EXPECT_EQ(raw.ReadAt<uint64_t>(slot * sizeof(uint64_t)),
+                model[id][slot]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BufferPoolModelTest,
+                         ::testing::Values(501, 502, 503, 504));
+
+/// Slotted page property: any sequence of random-size inserts that
+/// reports success must be fully readable back, byte-exact.
+class SlottedPageModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SlottedPageModelTest, RandomFillReadsBack) {
+  Page raw;
+  SlottedPage page(&raw);
+  page.Init();
+  Random rng(GetParam());
+  std::vector<std::string> model;
+  for (int i = 0; i < 1000; ++i) {
+    size_t len = rng.Uniform(300);
+    std::string record(len, '\0');
+    for (char& c : record) c = static_cast<char>(rng.Uniform(256));
+    auto slot = page.Insert(record);
+    if (!slot.ok()) {
+      EXPECT_EQ(slot.status().code(), StatusCode::kResourceExhausted);
+      break;
+    }
+    EXPECT_EQ(*slot, model.size());
+    model.push_back(std::move(record));
+  }
+  ASSERT_EQ(page.record_count(), model.size());
+  for (SlotId s = 0; s < model.size(); ++s) {
+    EXPECT_EQ(*page.Get(s), model[s]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SlottedPageModelTest,
+                         ::testing::Values(601, 602, 603));
+
+TEST(BytewiseCompareTest, PrefixOrdering) {
+  EXPECT_LT(BytewiseCompare("ab", "abc"), 0);
+  EXPECT_GT(BytewiseCompare("abc", "ab"), 0);
+  EXPECT_EQ(BytewiseCompare("abc", "abc"), 0);
+  EXPECT_LT(BytewiseCompare("", "a"), 0);
+}
+
+}  // namespace
+}  // namespace x3

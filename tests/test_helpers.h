@@ -1,0 +1,87 @@
+#ifndef X3_TESTS_TEST_HELPERS_H_
+#define X3_TESTS_TEST_HELPERS_H_
+
+#include <memory>
+#include <string>
+
+#include "util/random.h"
+#include "xdb/database.h"
+#include "xml/xml_node.h"
+
+namespace x3 {
+namespace testutil {
+
+/// The publication warehouse of the paper's Figure 1 (plus text values
+/// on the publishers so value grouping has something to chew on).
+inline const char* kFigure1Xml = R"(
+  <database>
+    <publication id="1">
+      <author id="a1"><name>John</name></author>
+      <author id="a2"><name>Jane</name></author>
+      <publisher id="p1"/>
+      <year>2003</year>
+    </publication>
+    <publication id="2">
+      <author id="a1"><name>John</name></author>
+      <publisher id="p2"/>
+      <year>2004</year>
+      <year>2005</year>
+    </publication>
+    <publication id="3">
+      <authors><author id="a3"><name>Smith</name></author></authors>
+      <year>2003</year>
+    </publication>
+    <publication id="4">
+      <author id="a2"><name>Jane</name></author>
+      <pubData><publisher id="p1"/><year>2004</year></pubData>
+    </publication>
+  </database>)";
+
+/// Opens an empty scratch database (data file auto-deleted).
+inline std::unique_ptr<Database> OpenDb(size_t pool_pages = 256) {
+  DatabaseOptions options;
+  options.buffer_pool_pages = pool_pages;
+  auto db = Database::Open(options);
+  if (!db.ok()) return nullptr;
+  return std::move(*db);
+}
+
+/// Opens a database pre-loaded with the Figure 1 document.
+inline std::unique_ptr<Database> OpenFigure1Db() {
+  auto db = OpenDb();
+  if (db == nullptr) return nullptr;
+  if (!db->LoadXmlString(kFigure1Xml).ok()) return nullptr;
+  return db;
+}
+
+/// Generates a random tree with tags drawn from {t0..t{tags-1}} for
+/// structural-join / matcher property tests.
+inline std::unique_ptr<XmlNode> RandomTree(Random* rng, size_t max_nodes,
+                                           size_t tags, size_t max_children) {
+  auto make_tag = [&](uint64_t t) {
+    return "t" + std::to_string(t);
+  };
+  auto root = XmlNode::Element(make_tag(rng->Uniform(tags)));
+  std::vector<XmlNode*> frontier{root.get()};
+  size_t nodes = 1;
+  while (nodes < max_nodes && !frontier.empty()) {
+    size_t pick = rng->Uniform(frontier.size());
+    XmlNode* parent = frontier[pick];
+    size_t children = 1 + rng->Uniform(max_children);
+    for (size_t c = 0; c < children && nodes < max_nodes; ++c) {
+      XmlNode* child = parent->AddElement(make_tag(rng->Uniform(tags)));
+      if (rng->Bernoulli(0.3)) {
+        child->AddText("v" + std::to_string(rng->Uniform(5)));
+      }
+      frontier.push_back(child);
+      ++nodes;
+    }
+    frontier.erase(frontier.begin() + static_cast<ptrdiff_t>(pick));
+  }
+  return root;
+}
+
+}  // namespace testutil
+}  // namespace x3
+
+#endif  // X3_TESTS_TEST_HELPERS_H_

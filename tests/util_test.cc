@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "util/hash.h"
+#include "util/memory_budget.h"
+#include "util/random.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace x3 {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kParseError); ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::IOError("x"));
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::OutOfRange("not positive");
+  return v;
+}
+
+Result<int> Doubled(int v) {
+  X3_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  return parsed * 2;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ParsePositive(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 21);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ParsePositive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(r.value_or(99), 99);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubled(4), 8);
+  EXPECT_FALSE(Doubled(-4).ok());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(SplitString("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, JoinRoundTrips) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y \n"), "x y");
+  EXPECT_EQ(StripWhitespace("\t\n"), "");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("publication", "pub"));
+  EXPECT_FALSE(StartsWith("pub", "publication"));
+  EXPECT_TRUE(EndsWith("book.xml", ".xml"));
+  EXPECT_FALSE(EndsWith("xml", "book.xml"));
+}
+
+TEST(StringUtilTest, ParseInt64) {
+  EXPECT_EQ(*ParseInt64("42"), 42);
+  EXPECT_EQ(*ParseInt64("-7"), -7);
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("999999999999999999999999").ok());
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("2.5"), 2.5);
+  EXPECT_FALSE(ParseDouble("abc").ok());
+}
+
+TEST(StringUtilTest, StringPrintfFormats) {
+  EXPECT_EQ(StringPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringPrintf("%s", ""), "");
+}
+
+TEST(StringUtilTest, XmlEscape) {
+  EXPECT_EQ(XmlEscape("a<b>&\"'c"), "a&lt;b&gt;&amp;&quot;&apos;c");
+  EXPECT_EQ(XmlEscape("plain"), "plain");
+}
+
+TEST(RandomTest, Deterministic) {
+  Random a(123);
+  Random b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, SeedsDiffer) {
+  Random a(1);
+  Random b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RandomTest, ZipfInRangeAndSkewed) {
+  Random rng(17);
+  uint64_t low_bucket = 0;
+  constexpr int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t v = rng.Zipf(100, 0.9);
+    EXPECT_LT(v, 100u);
+    if (v < 10) ++low_bucket;
+  }
+  // With strong skew, far more than 10% of the mass is in the lowest
+  // 10% of the domain.
+  EXPECT_GT(low_bucket, kDraws / 5);
+}
+
+TEST(HashTest, FnvMatchesKnownVector) {
+  // FNV-1a 64 of empty input is the offset basis.
+  EXPECT_EQ(Fnv1a64(nullptr, 0), 0xcbf29ce484222325ULL);
+  EXPECT_NE(HashString("a"), HashString("b"));
+}
+
+TEST(HashTest, CombineOrderSensitive) {
+  uint64_t h1 = HashCombine(HashCombine(0, 1), 2);
+  uint64_t h2 = HashCombine(HashCombine(0, 2), 1);
+  EXPECT_NE(h1, h2);
+}
+
+TEST(MemoryBudgetTest, UnlimitedByDefault) {
+  MemoryBudget budget;
+  EXPECT_TRUE(budget.unlimited());
+  EXPECT_TRUE(budget.Reserve(1ull << 40).ok());
+}
+
+TEST(MemoryBudgetTest, EnforcesCapacity) {
+  MemoryBudget budget(100);
+  EXPECT_TRUE(budget.Reserve(60).ok());
+  EXPECT_TRUE(budget.Reserve(40).ok());
+  EXPECT_EQ(budget.Reserve(1).code(), StatusCode::kResourceExhausted);
+  budget.Release(50);
+  EXPECT_TRUE(budget.Reserve(50).ok());
+}
+
+TEST(MemoryBudgetTest, TracksPeak) {
+  MemoryBudget budget(1000);
+  ASSERT_TRUE(budget.Reserve(700).ok());
+  budget.Release(600);
+  ASSERT_TRUE(budget.Reserve(100).ok());
+  EXPECT_EQ(budget.peak(), 700u);
+  EXPECT_EQ(budget.used(), 200u);
+}
+
+TEST(MemoryBudgetTest, ForceReserveOvershoots) {
+  MemoryBudget budget(10);
+  budget.ForceReserve(50);
+  EXPECT_EQ(budget.used(), 50u);
+  EXPECT_EQ(budget.available(), 0u);
+  EXPECT_FALSE(budget.WouldFit(1));
+}
+
+TEST(MemoryBudgetTest, ScopedReservationReleases) {
+  MemoryBudget budget(100);
+  {
+    ScopedReservation r(&budget, 80);
+    EXPECT_EQ(budget.used(), 80u);
+  }
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+}  // namespace
+}  // namespace x3

@@ -1,0 +1,451 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tests/test_helpers.h"
+#include "util/random.h"
+#include "xdb/database.h"
+#include "xdb/structural_join.h"
+#include "xml/xml_node.h"
+
+namespace x3 {
+namespace {
+
+using testutil::OpenDb;
+using testutil::OpenFigure1Db;
+
+TEST(DictionaryTest, TagInternIsStable) {
+  TagDictionary tags;
+  TagId a = tags.Intern("author");
+  TagId b = tags.Intern("year");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(tags.Intern("author"), a);
+  EXPECT_EQ(tags.Lookup("author"), a);
+  EXPECT_EQ(tags.Lookup("nope"), kInvalidTagId);
+  EXPECT_EQ(tags.Name(b), "year");
+  EXPECT_EQ(tags.size(), 2u);
+}
+
+TEST(DictionaryTest, ValueIntern) {
+  ValueDictionary values;
+  ValueId v = values.Intern("2003");
+  EXPECT_EQ(values.Intern("2003"), v);
+  EXPECT_NE(values.Intern("2004"), v);
+  EXPECT_EQ(values.Value(v), "2003");
+  EXPECT_EQ(values.Lookup("2005"), kInvalidValueId);
+}
+
+TEST(DatabaseTest, LoadsFigure1) {
+  auto db = OpenFigure1Db();
+  ASSERT_NE(db, nullptr);
+  EXPECT_EQ(db->document_roots().size(), 1u);
+  EXPECT_EQ(db->NodesWithTag("publication").size(), 4u);
+  EXPECT_EQ(db->NodesWithTag("author").size(), 5u);
+  EXPECT_EQ(db->NodesWithTag("year").size(), 5u);
+  EXPECT_EQ(db->NodesWithTag("publisher").size(), 3u);
+  EXPECT_EQ(db->NodesWithTag("@id").size(),
+            4u + 5u + 3u);  // publications + authors + publishers
+  EXPECT_TRUE(db->NodesWithTag("nosuch").empty());
+}
+
+TEST(DatabaseTest, IntervalLabelsAreConsistent) {
+  auto db = OpenFigure1Db();
+  ASSERT_NE(db, nullptr);
+  // Every node's interval must be contained in its parent's, and ids
+  // are preorder, so parent < child <= parent.end.
+  for (NodeId id = 1; id < db->node_count(); ++id) {
+    NodeRecord rec;
+    ASSERT_TRUE(db->GetNode(id, &rec).ok());
+    ASSERT_NE(rec.parent, kInvalidNodeId);
+    NodeRecord parent;
+    ASSERT_TRUE(db->GetNode(rec.parent, &parent).ok());
+    EXPECT_LT(rec.parent, id);
+    EXPECT_LE(rec.end, parent.end);
+    EXPECT_LE(id, rec.end);
+    EXPECT_EQ(rec.level, parent.level + 1);
+  }
+  NodeRecord root;
+  ASSERT_TRUE(db->GetNode(0, &root).ok());
+  EXPECT_EQ(root.level, 0);
+  EXPECT_EQ(root.end, db->node_count() - 1);
+}
+
+TEST(DatabaseTest, NodeValues) {
+  auto db = OpenFigure1Db();
+  ASSERT_NE(db, nullptr);
+  const auto& names = db->NodesWithTag("name");
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(*db->NodeValue(names[0]), "John");
+  EXPECT_EQ(*db->NodeValue(names[1]), "Jane");
+  // Attribute values.
+  const auto& ids = db->NodesWithTag("@id");
+  ASSERT_FALSE(ids.empty());
+  EXPECT_EQ(*db->NodeValue(ids[0]), "1");
+  // Element without text.
+  const auto& pubs = db->NodesWithTag("publication");
+  EXPECT_EQ(*db->NodeValue(pubs[0]), "");
+}
+
+TEST(DatabaseTest, DescendantsAndChildren) {
+  auto db = OpenFigure1Db();
+  ASSERT_NE(db, nullptr);
+  const auto& pubs = db->NodesWithTag("publication");
+  TagId author = db->tags().Lookup("author");
+  TagId name = db->tags().Lookup("name");
+
+  // Publication 1 has two direct authors.
+  auto d1 = db->DescendantsWithTag(pubs[0], author);
+  ASSERT_TRUE(d1.ok());
+  EXPECT_EQ(d1->size(), 2u);
+  auto c1 = db->ChildrenWithTag(pubs[0], author);
+  ASSERT_TRUE(c1.ok());
+  EXPECT_EQ(c1->size(), 2u);
+
+  // Publication 3's author is nested under <authors>: descendant yes,
+  // child no.
+  auto d3 = db->DescendantsWithTag(pubs[2], author);
+  ASSERT_TRUE(d3.ok());
+  EXPECT_EQ(d3->size(), 1u);
+  auto c3 = db->ChildrenWithTag(pubs[2], author);
+  ASSERT_TRUE(c3.ok());
+  EXPECT_TRUE(c3->empty());
+
+  // name under publication 3 (depth 3).
+  auto n3 = db->DescendantsWithTag(pubs[2], name);
+  ASSERT_TRUE(n3.ok());
+  ASSERT_EQ(n3->size(), 1u);
+  EXPECT_EQ(*db->NodeValue((*n3)[0]), "Smith");
+}
+
+TEST(DatabaseTest, IsAncestor) {
+  auto db = OpenFigure1Db();
+  ASSERT_NE(db, nullptr);
+  const auto& pubs = db->NodesWithTag("publication");
+  const auto& names = db->NodesWithTag("name");
+  EXPECT_TRUE(*db->IsAncestor(0, pubs[0]));
+  EXPECT_TRUE(*db->IsAncestor(pubs[0], names[0]));
+  EXPECT_FALSE(*db->IsAncestor(pubs[1], names[0]));
+  EXPECT_FALSE(*db->IsAncestor(pubs[0], pubs[0]));  // not proper
+}
+
+TEST(DatabaseTest, MultipleDocuments) {
+  auto db = OpenDb();
+  ASSERT_NE(db, nullptr);
+  ASSERT_TRUE(db->LoadXmlString("<a><b/></a>").ok());
+  ASSERT_TRUE(db->LoadXmlString("<a><b/><b/></a>").ok());
+  EXPECT_EQ(db->document_roots().size(), 2u);
+  EXPECT_EQ(db->NodesWithTag("a").size(), 2u);
+  EXPECT_EQ(db->NodesWithTag("b").size(), 3u);
+  // Intervals of distinct documents do not contain each other.
+  EXPECT_FALSE(*db->IsAncestor(db->document_roots()[0],
+                               db->document_roots()[1]));
+}
+
+TEST(DatabaseTest, SmallBufferPoolStillWorks) {
+  // A 2-frame pool forces constant eviction during load and reads.
+  auto db = OpenDb(/*pool_pages=*/2);
+  ASSERT_NE(db, nullptr);
+  ASSERT_TRUE(db->LoadXmlString(testutil::kFigure1Xml).ok());
+  EXPECT_EQ(db->NodesWithTag("publication").size(), 4u);
+  NodeRecord rec;
+  ASSERT_TRUE(db->GetNode(0, &rec).ok());
+  EXPECT_EQ(rec.end, db->node_count() - 1);
+}
+
+TEST(DatabaseTest, EmptyDocumentRejected) {
+  auto db = OpenDb();
+  ASSERT_NE(db, nullptr);
+  XmlDocument empty;
+  EXPECT_FALSE(db->LoadDocument(empty).ok());
+}
+
+TEST(NodeStoreTest, RecordRoundTrip) {
+  auto db = OpenDb();
+  ASSERT_NE(db, nullptr);
+  ASSERT_TRUE(db->LoadXmlString("<r><x a=\"v\">text</x></r>").ok());
+  // r=0, x=1, @a=2
+  NodeRecord x;
+  ASSERT_TRUE(db->GetNode(1, &x).ok());
+  EXPECT_EQ(x.parent, 0u);
+  EXPECT_EQ(x.kind, NodeKind::kElement);
+  EXPECT_EQ(db->tags().Name(x.tag_id), "x");
+  EXPECT_EQ(db->values().Value(x.value_id), "text");
+  NodeRecord attr;
+  ASSERT_TRUE(db->GetNode(2, &attr).ok());
+  EXPECT_EQ(attr.kind, NodeKind::kAttribute);
+  EXPECT_EQ(db->tags().Name(attr.tag_id), "@a");
+  EXPECT_EQ(db->values().Value(attr.value_id), "v");
+  EXPECT_EQ(attr.end, 2u);
+}
+
+TEST(NodeStoreTest, GetOutOfRange) {
+  auto db = OpenDb();
+  ASSERT_NE(db, nullptr);
+  NodeRecord rec;
+  EXPECT_EQ(db->GetNode(0, &rec).code(), StatusCode::kOutOfRange);
+}
+
+TEST(NodeStoreTest, ManyNodesAcrossPages) {
+  auto db = OpenDb(/*pool_pages=*/4);
+  ASSERT_NE(db, nullptr);
+  // > kRecordsPerPage nodes to span multiple pages.
+  std::string xml = "<r>";
+  for (int i = 0; i < 1000; ++i) xml += "<n/>";
+  xml += "</r>";
+  ASSERT_TRUE(db->LoadXmlString(xml).ok());
+  EXPECT_EQ(db->node_count(), 1001u);
+  EXPECT_EQ(db->NodesWithTag("n").size(), 1000u);
+  NodeRecord rec;
+  ASSERT_TRUE(db->GetNode(1000, &rec).ok());
+  EXPECT_EQ(rec.parent, 0u);
+}
+
+TEST(DatabaseTest, ComputeStats) {
+  auto db = OpenFigure1Db();
+  ASSERT_NE(db, nullptr);
+  auto stats = db->ComputeStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->nodes, db->node_count());
+  EXPECT_EQ(stats->documents, 1u);
+  EXPECT_EQ(stats->attributes, 12u);  // 4 pub + 5 author + 3 publisher ids
+  EXPECT_EQ(stats->elements, stats->nodes - stats->attributes);
+  // database > publication > authors > author > name is depth 4.
+  EXPECT_EQ(stats->max_depth, 4u);
+  EXPECT_GT(stats->avg_depth, 1.0);
+  EXPECT_LT(stats->avg_depth, 4.0);
+  EXPECT_EQ(stats->distinct_tags, db->tags().size());
+  EXPECT_GE(stats->data_pages, 1u);
+}
+
+TEST(DatabaseTest, ReconstructSubtreeRoundTrips) {
+  auto db = OpenFigure1Db();
+  ASSERT_NE(db, nullptr);
+  // Reconstruct the whole document and reload it into a second
+  // database: the stored forms must be identical record for record
+  // (the storage-level fixpoint property of load + reconstruct).
+  auto doc = db->ReconstructSubtree(db->document_roots()[0]);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  auto db2 = OpenDb();
+  ASSERT_NE(db2, nullptr);
+  ASSERT_TRUE(db2->LoadDocument(*doc).ok());
+  ASSERT_EQ(db2->node_count(), db->node_count());
+  for (NodeId id = 0; id < db->node_count(); ++id) {
+    NodeRecord a, b;
+    ASSERT_TRUE(db->GetNode(id, &a).ok());
+    ASSERT_TRUE(db2->GetNode(id, &b).ok());
+    EXPECT_EQ(db->tags().Name(a.tag_id), db2->tags().Name(b.tag_id));
+    EXPECT_EQ(a.end, b.end);
+    EXPECT_EQ(a.parent, b.parent);
+    EXPECT_EQ(a.level, b.level);
+    EXPECT_EQ(a.kind, b.kind);
+    if (a.value_id == kInvalidValueId) {
+      EXPECT_EQ(b.value_id, kInvalidValueId);
+    } else {
+      ASSERT_NE(b.value_id, kInvalidValueId);
+      EXPECT_EQ(db->values().Value(a.value_id),
+                db2->values().Value(b.value_id));
+    }
+  }
+}
+
+TEST(DatabaseTest, ReconstructPartialSubtree) {
+  auto db = OpenFigure1Db();
+  ASSERT_NE(db, nullptr);
+  const auto& pubs = db->NodesWithTag("publication");
+  auto doc = db->ReconstructSubtree(pubs[0]);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->tag(), "publication");
+  ASSERT_NE(doc->root()->FindAttribute("id"), nullptr);
+  EXPECT_EQ(*doc->root()->FindAttribute("id"), "1");
+  EXPECT_NE(doc->root()->FirstChildElement("publisher"), nullptr);
+  // Reconstructing from an attribute node is rejected.
+  const auto& attrs = db->NodesWithTag("@id");
+  EXPECT_FALSE(db->ReconstructSubtree(attrs[0]).ok());
+}
+
+TEST(DatabaseTest, ReconstructRandomTrees) {
+  Random rng(777);
+  auto db = OpenDb();
+  ASSERT_NE(db, nullptr);
+  for (int i = 0; i < 3; ++i) {
+    XmlDocument doc(testutil::RandomTree(&rng, 60, 4, 3));
+    ASSERT_TRUE(db->LoadDocument(doc).ok());
+  }
+  auto db2 = OpenDb();
+  ASSERT_NE(db2, nullptr);
+  for (NodeId root : db->document_roots()) {
+    auto doc = db->ReconstructSubtree(root);
+    ASSERT_TRUE(doc.ok());
+    ASSERT_TRUE(db2->LoadDocument(*doc).ok());
+  }
+  EXPECT_EQ(db2->node_count(), db->node_count());
+}
+
+TEST(DatabasePersistenceTest, CheckpointAndReopen) {
+  std::string data_file = "/tmp/x3-persist-test.db";
+  std::remove(data_file.c_str());
+  std::remove((data_file + ".cat").c_str());
+
+  DatabaseOptions options;
+  options.data_file = data_file;
+  NodeId pub_count = 0;
+  {
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->LoadXmlString(testutil::kFigure1Xml).ok());
+    pub_count = static_cast<NodeId>((*db)->NodesWithTag("publication").size());
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+  }
+  // Reopen from disk and verify structure and values survive.
+  auto db = Database::OpenExisting(options);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ((*db)->NodesWithTag("publication").size(), pub_count);
+  EXPECT_EQ((*db)->document_roots().size(), 1u);
+  const auto& names = (*db)->NodesWithTag("name");
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(*(*db)->NodeValue(names[3]), "Smith");
+  NodeRecord root;
+  ASSERT_TRUE((*db)->GetNode(0, &root).ok());
+  EXPECT_EQ(root.end, (*db)->node_count() - 1);
+  // Loading more documents after reopen keeps global preorder intact.
+  ASSERT_TRUE((*db)->LoadXmlString("<publication><year>2007</year>"
+                                   "</publication>")
+                  .ok());
+  EXPECT_EQ((*db)->NodesWithTag("publication").size(), pub_count + 1);
+
+  std::remove(data_file.c_str());
+  std::remove((data_file + ".cat").c_str());
+}
+
+TEST(DatabasePersistenceTest, OpenExistingWithoutCatalogFails) {
+  std::string data_file = "/tmp/x3-persist-nocat.db";
+  std::remove(data_file.c_str());
+  std::remove((data_file + ".cat").c_str());
+  DatabaseOptions options;
+  options.data_file = data_file;
+  {
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->LoadXmlString("<a/>").ok());
+    // No checkpoint.
+  }
+  auto reopened = Database::OpenExisting(options);
+  EXPECT_EQ(reopened.status().code(), StatusCode::kNotFound);
+  std::remove(data_file.c_str());
+}
+
+TEST(DatabasePersistenceTest, OpenExistingNeedsPath) {
+  EXPECT_EQ(Database::OpenExisting({}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- Structural join ---
+
+class StructuralJoinTest : public ::testing::Test {
+ protected:
+  void Load(const std::string& xml) {
+    db_ = OpenDb();
+    ASSERT_NE(db_, nullptr);
+    ASSERT_TRUE(db_->LoadXmlString(xml).ok());
+  }
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(StructuralJoinTest, AncestorDescendantBasic) {
+  Load("<a><b><a><b/></a></b><b/></a>");
+  const auto& as = db_->NodesWithTag("a");
+  const auto& bs = db_->NodesWithTag("b");
+  auto pairs = StructuralJoin(*db_, as, bs, StructuralAxis::kDescendant);
+  ASSERT_TRUE(pairs.ok());
+  // outer a contains all 3 b's; inner a contains 1 b.
+  EXPECT_EQ(pairs->size(), 4u);
+}
+
+TEST_F(StructuralJoinTest, ParentChildBasic) {
+  Load("<a><b><a><b/></a></b><b/></a>");
+  const auto& as = db_->NodesWithTag("a");
+  const auto& bs = db_->NodesWithTag("b");
+  auto pairs = StructuralJoin(*db_, as, bs, StructuralAxis::kChild);
+  ASSERT_TRUE(pairs.ok());
+  // outer a has 2 b children; inner a has 1.
+  EXPECT_EQ(pairs->size(), 3u);
+}
+
+TEST_F(StructuralJoinTest, EmptyInputs) {
+  Load("<a><b/></a>");
+  std::vector<NodeId> empty;
+  auto pairs = StructuralJoin(*db_, empty, db_->NodesWithTag("b"),
+                              StructuralAxis::kDescendant);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_TRUE(pairs->empty());
+  pairs = StructuralJoin(*db_, db_->NodesWithTag("a"), empty,
+                         StructuralAxis::kDescendant);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_TRUE(pairs->empty());
+}
+
+TEST_F(StructuralJoinTest, OutputSortedByDescendant) {
+  Load("<a><a><b/><b/></a><b/></a>");
+  auto pairs = StructuralJoin(*db_, db_->NodesWithTag("a"),
+                              db_->NodesWithTag("b"),
+                              StructuralAxis::kDescendant);
+  ASSERT_TRUE(pairs.ok());
+  for (size_t i = 1; i < pairs->size(); ++i) {
+    EXPECT_LE((*pairs)[i - 1].descendant, (*pairs)[i].descendant);
+  }
+}
+
+TEST_F(StructuralJoinTest, StatsPopulated) {
+  Load("<a><b/><b/></a>");
+  JoinStats stats;
+  auto pairs = StructuralJoin(*db_, db_->NodesWithTag("a"),
+                              db_->NodesWithTag("b"),
+                              StructuralAxis::kDescendant, &stats);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_EQ(stats.pairs_emitted, 2u);
+  EXPECT_EQ(stats.descendants_scanned, 2u);
+  EXPECT_GE(stats.max_stack_depth, 1u);
+}
+
+/// Property: the stack join matches the nested-loop join on random
+/// trees, for both axes and various tag pairs.
+class StructuralJoinPropertyTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StructuralJoinPropertyTest, MatchesNestedLoop) {
+  Random rng(GetParam());
+  auto db = OpenDb();
+  ASSERT_NE(db, nullptr);
+  for (int docs = 0; docs < 3; ++docs) {
+    XmlDocument doc(testutil::RandomTree(&rng, 80, 4, 3));
+    ASSERT_TRUE(db->LoadDocument(doc).ok());
+  }
+  for (size_t t1 = 0; t1 < 4; ++t1) {
+    for (size_t t2 = 0; t2 < 4; ++t2) {
+      const auto& anc = db->NodesWithTag("t" + std::to_string(t1));
+      const auto& desc = db->NodesWithTag("t" + std::to_string(t2));
+      for (StructuralAxis axis :
+           {StructuralAxis::kDescendant, StructuralAxis::kChild}) {
+        auto fast = StructuralJoin(*db, anc, desc, axis);
+        auto slow = NestedLoopStructuralJoin(*db, anc, desc, axis);
+        ASSERT_TRUE(fast.ok());
+        ASSERT_TRUE(slow.ok());
+        auto key = [](const JoinPair& p) {
+          return (static_cast<uint64_t>(p.descendant) << 32) | p.ancestor;
+        };
+        std::sort(fast->begin(), fast->end(),
+                  [&](auto a, auto b) { return key(a) < key(b); });
+        std::sort(slow->begin(), slow->end(),
+                  [&](auto a, auto b) { return key(a) < key(b); });
+        EXPECT_EQ(*fast, *slow)
+            << "axis=" << static_cast<int>(axis) << " t" << t1 << "/t" << t2;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StructuralJoinPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 11, 99));
+
+}  // namespace
+}  // namespace x3

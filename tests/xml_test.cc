@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_helpers.h"
+#include "util/random.h"
+#include "xml/xml_node.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace x3 {
+namespace {
+
+TEST(XmlNodeTest, BuildTree) {
+  auto root = XmlNode::Element("publication");
+  root->SetAttribute("id", "1");
+  XmlNode* author = root->AddElement("author");
+  author->AddElementWithText("name", "John");
+  root->AddElementWithText("year", "2003");
+
+  EXPECT_EQ(root->tag(), "publication");
+  ASSERT_NE(root->FindAttribute("id"), nullptr);
+  EXPECT_EQ(*root->FindAttribute("id"), "1");
+  EXPECT_EQ(root->FindAttribute("missing"), nullptr);
+  EXPECT_EQ(root->children().size(), 2u);
+  EXPECT_EQ(root->SubtreeSize(), 6u);  // pub, author, name, "John", year, "2003"
+  ASSERT_NE(root->FirstChildElement("year"), nullptr);
+  EXPECT_EQ(root->FirstChildElement("year")->CollectText(), "2003");
+}
+
+TEST(XmlNodeTest, SetAttributeOverwrites) {
+  auto el = XmlNode::Element("e");
+  el->SetAttribute("a", "1");
+  el->SetAttribute("a", "2");
+  EXPECT_EQ(el->attributes().size(), 1u);
+  EXPECT_EQ(*el->FindAttribute("a"), "2");
+}
+
+TEST(XmlParserTest, SimpleDocument) {
+  auto doc = ParseXml("<a><b>text</b><c x=\"1\"/></a>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const XmlNode* root = doc->root();
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->tag(), "a");
+  ASSERT_EQ(root->children().size(), 2u);
+  EXPECT_EQ(root->children()[0]->tag(), "b");
+  EXPECT_EQ(root->children()[0]->CollectText(), "text");
+  EXPECT_EQ(*root->children()[1]->FindAttribute("x"), "1");
+}
+
+TEST(XmlParserTest, DeclarationCommentsDoctype) {
+  auto doc = ParseXml(
+      "<?xml version=\"1.0\"?>\n"
+      "<!-- a comment -->\n"
+      "<!DOCTYPE db [<!ELEMENT db (x)*>]>\n"
+      "<db><x/></db>\n"
+      "<!-- trailing -->");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root()->tag(), "db");
+}
+
+TEST(XmlParserTest, EntitiesDecoded) {
+  auto doc = ParseXml("<t a=\"&lt;&amp;&gt;\">&quot;x&apos; &#65;&#x42;</t>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(*doc->root()->FindAttribute("a"), "<&>");
+  EXPECT_EQ(doc->root()->CollectText(), "\"x' AB");
+}
+
+TEST(XmlParserTest, Utf8CharRef) {
+  auto doc = ParseXml("<t>&#233;</t>");  // é
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->CollectText(), "\xC3\xA9");
+}
+
+TEST(XmlParserTest, CdataIsLiteral) {
+  auto doc = ParseXml("<t><![CDATA[<raw>&amp;]]></t>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root()->CollectText(), "<raw>&amp;");
+}
+
+TEST(XmlParserTest, WhitespaceTextSkippedByDefault) {
+  auto doc = ParseXml("<a>\n  <b/>\n</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->children().size(), 1u);
+
+  XmlParseOptions keep;
+  keep.skip_whitespace_text = false;
+  auto doc2 = ParseXml("<a>\n  <b/>\n</a>", keep);
+  ASSERT_TRUE(doc2.ok());
+  EXPECT_EQ(doc2->root()->children().size(), 3u);
+}
+
+TEST(XmlParserTest, MismatchedTagRejected) {
+  auto doc = ParseXml("<a><b></a></b>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+  EXPECT_NE(doc.status().message().find("mismatched"), std::string::npos);
+}
+
+TEST(XmlParserTest, UnterminatedElementRejected) {
+  EXPECT_FALSE(ParseXml("<a><b>").ok());
+}
+
+TEST(XmlParserTest, DuplicateAttributeRejected) {
+  EXPECT_FALSE(ParseXml("<a x=\"1\" x=\"2\"/>").ok());
+}
+
+TEST(XmlParserTest, ContentAfterRootRejected) {
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());
+  XmlParseOptions lax;
+  lax.require_single_root = false;
+  EXPECT_TRUE(ParseXml("<a/><b/>", lax).ok());
+}
+
+TEST(XmlParserTest, UnknownEntityRejected) {
+  EXPECT_FALSE(ParseXml("<a>&nosuch;</a>").ok());
+}
+
+TEST(XmlParserTest, ErrorsCarryPosition) {
+  auto doc = ParseXml("<a>\n<b x=></b></a>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("2:"), std::string::npos)
+      << doc.status().message();
+}
+
+TEST(XmlParserTest, BomSkipped) {
+  auto doc = ParseXml("\xEF\xBB\xBF<a/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->tag(), "a");
+}
+
+TEST(XmlParserTest, PaperFigure1Fragment) {
+  // The heterogeneous publication database of Fig. 1: a publication
+  // with two authors, one with two years, one without publisher, one
+  // with pubData wrapping.
+  const char* kXml = R"(
+    <database>
+      <publication id="1">
+        <author id="a1"><name>John</name></author>
+        <author id="a2"><name>Jane</name></author>
+        <publisher id="p1"/>
+        <year>2003</year>
+      </publication>
+      <publication id="2">
+        <author id="a1"><name>John</name></author>
+        <publisher id="p2"/>
+        <year>2004</year>
+        <year>2005</year>
+      </publication>
+      <publication id="3">
+        <authors><author id="a3"><name>Smith</name></author></authors>
+        <year>2003</year>
+      </publication>
+      <publication id="4">
+        <author id="a2"><name>Jane</name></author>
+        <pubData><publisher id="p1"/><year>2004</year></pubData>
+      </publication>
+    </database>)";
+  auto doc = ParseXml(kXml);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root()->children().size(), 4u);
+}
+
+TEST(XmlWriterTest, RoundTrip) {
+  const char* kXml =
+      "<db><pub id=\"1\"><name>A &amp; B</name></pub><pub id=\"2\"/></db>";
+  auto doc = ParseXml(kXml);
+  ASSERT_TRUE(doc.ok());
+  XmlWriteOptions compact;
+  compact.indent = false;
+  compact.declaration = false;
+  std::string out = WriteXml(*doc, compact);
+  auto doc2 = ParseXml(out);
+  ASSERT_TRUE(doc2.ok()) << out;
+  EXPECT_EQ(WriteXml(*doc2, compact), out);
+}
+
+TEST(XmlWriterTest, IndentedOutput) {
+  auto doc = ParseXml("<a><b><c>t</c></b></a>");
+  ASSERT_TRUE(doc.ok());
+  std::string out = WriteXml(*doc);
+  EXPECT_NE(out.find("<?xml"), std::string::npos);
+  EXPECT_NE(out.find("  <b>"), std::string::npos);
+  EXPECT_NE(out.find("    <c>t</c>"), std::string::npos);
+}
+
+TEST(XmlWriterTest, EscapesAttributesAndText) {
+  auto el = XmlNode::Element("e");
+  el->SetAttribute("a", "x\"y<z");
+  el->AddText("1<2&3");
+  XmlWriteOptions compact;
+  compact.indent = false;
+  compact.declaration = false;
+  EXPECT_EQ(WriteXml(*el, compact),
+            "<e a=\"x&quot;y&lt;z\">1&lt;2&amp;3</e>");
+}
+
+/// Property: serialize(parse(serialize(tree))) is a fixpoint for random
+/// trees with text values, both compact and indented.
+class XmlRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(XmlRoundTripTest, RandomTreesRoundTrip) {
+  Random rng(GetParam());
+  for (int t = 0; t < 10; ++t) {
+    XmlDocument doc(testutil::RandomTree(&rng, 60, 5, 4));
+    XmlWriteOptions compact;
+    compact.indent = false;
+    compact.declaration = false;
+    std::string once = WriteXml(doc, compact);
+    auto reparsed = ParseXml(once);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << once;
+    EXPECT_EQ(WriteXml(*reparsed, compact), once);
+    // Indented form parses back to the same compact form (whitespace
+    // text is skipped by default).
+    auto via_indented = ParseXml(WriteXml(doc));
+    ASSERT_TRUE(via_indented.ok());
+    EXPECT_EQ(WriteXml(*via_indented, compact), once);
+    // Node counts survive.
+    EXPECT_EQ(reparsed->NodeCount(), doc.NodeCount());
+  }
+}
+
+TEST_P(XmlRoundTripTest, SpecialCharactersSurvive) {
+  Random rng(GetParam() + 10);
+  const std::string alphabet = "<>&\"' ab\tc\n";
+  for (int t = 0; t < 50; ++t) {
+    auto el = XmlNode::Element("e");
+    std::string text;
+    for (int i = 0; i < 12; ++i) {
+      text += alphabet[rng.Uniform(alphabet.size())];
+    }
+    el->SetAttribute("a", text);
+    // Leading/trailing whitespace in text nodes is parser-stripped by
+    // collectors downstream; compare attribute exactly and text after
+    // a round trip of the escaped form.
+    el->AddText(text);
+    XmlWriteOptions compact;
+    compact.indent = false;
+    compact.declaration = false;
+    std::string xml = WriteXml(*el, compact);
+    XmlParseOptions keep_ws;
+    keep_ws.skip_whitespace_text = false;
+    auto doc = ParseXml(xml, keep_ws);
+    ASSERT_TRUE(doc.ok()) << xml;
+    EXPECT_EQ(*doc->root()->FindAttribute("a"), text) << xml;
+    EXPECT_EQ(doc->root()->CollectText(), text) << xml;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlRoundTripTest,
+                         ::testing::Values(71, 72, 73));
+
+TEST(XmlFileTest, WriteAndParseFile) {
+  auto doc = ParseXml("<root><child>v</child></root>");
+  ASSERT_TRUE(doc.ok());
+  std::string path = "/tmp/x3-xml-test.xml";
+  ASSERT_TRUE(WriteXmlFile(*doc, path).ok());
+  auto loaded = ParseXmlFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->root()->tag(), "root");
+  std::remove(path.c_str());
+}
+
+TEST(XmlFileTest, MissingFileFails) {
+  EXPECT_EQ(ParseXmlFile("/nonexistent/x.xml").status().code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace x3
