@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_sparse_scaling_small.dir/bench_fig4_sparse_scaling_small.cc.o"
+  "CMakeFiles/bench_fig4_sparse_scaling_small.dir/bench_fig4_sparse_scaling_small.cc.o.d"
+  "bench_fig4_sparse_scaling_small"
+  "bench_fig4_sparse_scaling_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_sparse_scaling_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_sparse.dir/bench_fig5_sparse.cc.o"
+  "CMakeFiles/bench_fig5_sparse.dir/bench_fig5_sparse.cc.o.d"
+  "bench_fig5_sparse"
+  "bench_fig5_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

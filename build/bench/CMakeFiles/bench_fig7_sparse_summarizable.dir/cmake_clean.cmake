@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_sparse_summarizable.dir/bench_fig7_sparse_summarizable.cc.o"
+  "CMakeFiles/bench_fig7_sparse_summarizable.dir/bench_fig7_sparse_summarizable.cc.o.d"
+  "bench_fig7_sparse_summarizable"
+  "bench_fig7_sparse_summarizable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_sparse_summarizable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

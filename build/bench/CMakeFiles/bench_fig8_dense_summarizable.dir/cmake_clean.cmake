@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_dense_summarizable.dir/bench_fig8_dense_summarizable.cc.o"
+  "CMakeFiles/bench_fig8_dense_summarizable.dir/bench_fig8_dense_summarizable.cc.o.d"
+  "bench_fig8_dense_summarizable"
+  "bench_fig8_dense_summarizable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_dense_summarizable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_dense_nonsummarizable.dir/bench_fig9_dense_nonsummarizable.cc.o"
+  "CMakeFiles/bench_fig9_dense_nonsummarizable.dir/bench_fig9_dense_nonsummarizable.cc.o.d"
+  "bench_fig9_dense_nonsummarizable"
+  "bench_fig9_dense_nonsummarizable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_dense_nonsummarizable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblp_cube.dir/dblp_cube.cpp.o"
+  "CMakeFiles/dblp_cube.dir/dblp_cube.cpp.o.d"
+  "dblp_cube"
+  "dblp_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblp_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

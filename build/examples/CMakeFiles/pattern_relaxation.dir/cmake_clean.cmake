@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_relaxation.dir/pattern_relaxation.cpp.o"
+  "CMakeFiles/pattern_relaxation.dir/pattern_relaxation.cpp.o.d"
+  "pattern_relaxation"
+  "pattern_relaxation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_relaxation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_analysis.dir/warehouse_analysis.cpp.o"
+  "CMakeFiles/warehouse_analysis.dir/warehouse_analysis.cpp.o.d"
+  "warehouse_analysis"
+  "warehouse_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

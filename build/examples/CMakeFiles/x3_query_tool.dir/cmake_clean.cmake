@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x3_query_tool.dir/x3_query_tool.cpp.o"
+  "CMakeFiles/x3_query_tool.dir/x3_query_tool.cpp.o.d"
+  "x3_query_tool"
+  "x3_query_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x3_query_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cube/aggregate.cc" "src/CMakeFiles/x3cube.dir/cube/aggregate.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/cube/aggregate.cc.o.d"
+  "/root/repo/src/cube/algorithm.cc" "src/CMakeFiles/x3cube.dir/cube/algorithm.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/cube/algorithm.cc.o.d"
+  "/root/repo/src/cube/buc.cc" "src/CMakeFiles/x3cube.dir/cube/buc.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/cube/buc.cc.o.d"
+  "/root/repo/src/cube/counter.cc" "src/CMakeFiles/x3cube.dir/cube/counter.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/cube/counter.cc.o.d"
+  "/root/repo/src/cube/cube_result.cc" "src/CMakeFiles/x3cube.dir/cube/cube_result.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/cube/cube_result.cc.o.d"
+  "/root/repo/src/cube/cube_spec.cc" "src/CMakeFiles/x3cube.dir/cube/cube_spec.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/cube/cube_spec.cc.o.d"
+  "/root/repo/src/cube/fact_table.cc" "src/CMakeFiles/x3cube.dir/cube/fact_table.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/cube/fact_table.cc.o.d"
+  "/root/repo/src/cube/reference.cc" "src/CMakeFiles/x3cube.dir/cube/reference.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/cube/reference.cc.o.d"
+  "/root/repo/src/cube/topdown.cc" "src/CMakeFiles/x3cube.dir/cube/topdown.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/cube/topdown.cc.o.d"
+  "/root/repo/src/cube/view_store.cc" "src/CMakeFiles/x3cube.dir/cube/view_store.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/cube/view_store.cc.o.d"
+  "/root/repo/src/gen/dblp_gen.cc" "src/CMakeFiles/x3cube.dir/gen/dblp_gen.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/gen/dblp_gen.cc.o.d"
+  "/root/repo/src/gen/treebank_gen.cc" "src/CMakeFiles/x3cube.dir/gen/treebank_gen.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/gen/treebank_gen.cc.o.d"
+  "/root/repo/src/gen/workload.cc" "src/CMakeFiles/x3cube.dir/gen/workload.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/gen/workload.cc.o.d"
+  "/root/repo/src/pattern/join_matcher.cc" "src/CMakeFiles/x3cube.dir/pattern/join_matcher.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/pattern/join_matcher.cc.o.d"
+  "/root/repo/src/pattern/path_stack.cc" "src/CMakeFiles/x3cube.dir/pattern/path_stack.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/pattern/path_stack.cc.o.d"
+  "/root/repo/src/pattern/pattern_parser.cc" "src/CMakeFiles/x3cube.dir/pattern/pattern_parser.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/pattern/pattern_parser.cc.o.d"
+  "/root/repo/src/pattern/tree_pattern.cc" "src/CMakeFiles/x3cube.dir/pattern/tree_pattern.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/pattern/tree_pattern.cc.o.d"
+  "/root/repo/src/pattern/twig_matcher.cc" "src/CMakeFiles/x3cube.dir/pattern/twig_matcher.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/pattern/twig_matcher.cc.o.d"
+  "/root/repo/src/relax/axis_lattice.cc" "src/CMakeFiles/x3cube.dir/relax/axis_lattice.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/relax/axis_lattice.cc.o.d"
+  "/root/repo/src/relax/cube_lattice.cc" "src/CMakeFiles/x3cube.dir/relax/cube_lattice.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/relax/cube_lattice.cc.o.d"
+  "/root/repo/src/relax/relaxation.cc" "src/CMakeFiles/x3cube.dir/relax/relaxation.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/relax/relaxation.cc.o.d"
+  "/root/repo/src/schema/dtd_parser.cc" "src/CMakeFiles/x3cube.dir/schema/dtd_parser.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/schema/dtd_parser.cc.o.d"
+  "/root/repo/src/schema/schema_graph.cc" "src/CMakeFiles/x3cube.dir/schema/schema_graph.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/schema/schema_graph.cc.o.d"
+  "/root/repo/src/schema/summarizability.cc" "src/CMakeFiles/x3cube.dir/schema/summarizability.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/schema/summarizability.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/x3cube.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/external_sorter.cc" "src/CMakeFiles/x3cube.dir/storage/external_sorter.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/storage/external_sorter.cc.o.d"
+  "/root/repo/src/storage/page_file.cc" "src/CMakeFiles/x3cube.dir/storage/page_file.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/storage/page_file.cc.o.d"
+  "/root/repo/src/storage/slotted_page.cc" "src/CMakeFiles/x3cube.dir/storage/slotted_page.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/storage/slotted_page.cc.o.d"
+  "/root/repo/src/storage/temp_file.cc" "src/CMakeFiles/x3cube.dir/storage/temp_file.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/storage/temp_file.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/x3cube.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/memory_budget.cc" "src/CMakeFiles/x3cube.dir/util/memory_budget.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/util/memory_budget.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/x3cube.dir/util/status.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/x3cube.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/util/string_util.cc.o.d"
+  "/root/repo/src/x3/binder.cc" "src/CMakeFiles/x3cube.dir/x3/binder.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/x3/binder.cc.o.d"
+  "/root/repo/src/x3/engine.cc" "src/CMakeFiles/x3cube.dir/x3/engine.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/x3/engine.cc.o.d"
+  "/root/repo/src/x3/lexer.cc" "src/CMakeFiles/x3cube.dir/x3/lexer.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/x3/lexer.cc.o.d"
+  "/root/repo/src/x3/parser.cc" "src/CMakeFiles/x3cube.dir/x3/parser.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/x3/parser.cc.o.d"
+  "/root/repo/src/xdb/database.cc" "src/CMakeFiles/x3cube.dir/xdb/database.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/xdb/database.cc.o.d"
+  "/root/repo/src/xdb/document_loader.cc" "src/CMakeFiles/x3cube.dir/xdb/document_loader.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/xdb/document_loader.cc.o.d"
+  "/root/repo/src/xdb/node_store.cc" "src/CMakeFiles/x3cube.dir/xdb/node_store.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/xdb/node_store.cc.o.d"
+  "/root/repo/src/xdb/structural_join.cc" "src/CMakeFiles/x3cube.dir/xdb/structural_join.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/xdb/structural_join.cc.o.d"
+  "/root/repo/src/xdb/tag_dictionary.cc" "src/CMakeFiles/x3cube.dir/xdb/tag_dictionary.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/xdb/tag_dictionary.cc.o.d"
+  "/root/repo/src/xdb/value_dictionary.cc" "src/CMakeFiles/x3cube.dir/xdb/value_dictionary.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/xdb/value_dictionary.cc.o.d"
+  "/root/repo/src/xml/xml_node.cc" "src/CMakeFiles/x3cube.dir/xml/xml_node.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/xml/xml_node.cc.o.d"
+  "/root/repo/src/xml/xml_parser.cc" "src/CMakeFiles/x3cube.dir/xml/xml_parser.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/xml/xml_parser.cc.o.d"
+  "/root/repo/src/xml/xml_writer.cc" "src/CMakeFiles/x3cube.dir/xml/xml_writer.cc.o" "gcc" "src/CMakeFiles/x3cube.dir/xml/xml_writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libx3cube.a"
+)

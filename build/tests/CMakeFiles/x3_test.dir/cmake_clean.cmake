@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x3_test.dir/x3_test.cc.o"
+  "CMakeFiles/x3_test.dir/x3_test.cc.o.d"
+  "x3_test"
+  "x3_test.pdb"
+  "x3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdb_test.dir/xdb_test.cc.o"
+  "CMakeFiles/xdb_test.dir/xdb_test.cc.o.d"
+  "xdb_test"
+  "xdb_test.pdb"
+  "xdb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
