@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Repo lint for project invariants clang-tidy cannot know about.
+
+Rules (see docs/STATIC_ANALYSIS.md for the rationale):
+
+  void-cast-status   No discarding a function call via a void cast
+                     ("(void)Foo()" / "static_cast<void>(Foo())"). Status
+                     and Result are [[nodiscard]]; a deliberate discard
+                     must be spelled `.IgnoreError()` (Status) or
+                     testutil::Consume(...) (tests) so it stays grep-able.
+  raw-new-delete     No raw `new` / `delete` outside src/storage/ (the
+                     only layer that manages raw memory). A `new`
+                     immediately wrapped in std::unique_ptr<...>(new ...)
+                     is allowed: it is the standard factory idiom for
+                     classes with private constructors.
+  banned-random      No rand()/srand()/time() in src/: every code path is
+                     deterministic and seeded (util/random.h) so results
+                     and tests reproduce bit-for-bit.
+  bare-assert        No bare assert() in src/: invariants that guard
+                     memory accesses (page boundaries, slot indexes) must
+                     use X3_CHECK (active in release builds); debug-only
+                     sanity checks use X3_DCHECK.
+  include-hygiene    Project includes are quoted "dir/file.h" paths from
+                     the src/ root: no "../" escapes, no <bits/...>, and
+                     headers carry an X3_*_H_ include guard.
+
+A finding can be suppressed with a trailing comment naming the rule:
+    some_call();  // x3-lint: allow(raw-new-delete) -- justification
+Run from the repo root (or pass --root). Exit status 1 on findings.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+CC_EXTENSIONS = (".cc", ".h", ".cpp", ".hpp")
+
+VOID_CAST_CALL = re.compile(
+    r"(?:\(\s*void\s*\)|static_cast<\s*void\s*>\s*\()\s*[A-Za-z_][\w:]*(?:\s*(?:\.|->)\s*[A-Za-z_]\w*)*\s*\(")
+RAW_NEW = re.compile(r"(?<![\w.])new\s+[A-Za-z_][\w:<>, ]*")
+UNIQUE_PTR_NEW = re.compile(r"unique_ptr\s*<[^;]*>\s*\(\s*new\b")
+RAW_DELETE = re.compile(r"(?<![\w.])delete(?:\s*\[\s*\])?\s+[A-Za-z_(]")
+BANNED_RANDOM = re.compile(r"(?<![\w:.>])(?:std\s*::\s*)?(rand|srand|time)\s*\(")
+BARE_ASSERT = re.compile(r"(?<![\w:.])assert\s*\(")
+PARENT_INCLUDE = re.compile(r'#\s*include\s+"[^"]*\.\.')
+BITS_INCLUDE = re.compile(r"#\s*include\s+<bits/")
+GUARD = re.compile(r"#ifndef\s+(X3_\w+_H_)")
+ALLOW = re.compile(r"x3-lint:\s*allow\(([\w-]+)\)")
+
+
+def strip_comments_and_strings(line):
+    """Blanks out string/char literals and // comments (keeps length).
+
+    Good enough for line-based lint rules; block comments are handled by
+    the caller via in_block state.
+    """
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            out.append(c)
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    out.append("  ")
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    out.append(quote)
+                    i += 1
+                    break
+                out.append(" ")
+                i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+class Linter:
+    def __init__(self, root):
+        self.root = root
+        self.findings = []
+
+    def report(self, path, lineno, rule, message, raw_line):
+        allow = ALLOW.search(raw_line)
+        if allow and allow.group(1) == rule:
+            return
+        rel = os.path.relpath(path, self.root)
+        self.findings.append(f"{rel}:{lineno}: [{rule}] {message}")
+
+    def lint_file(self, path):
+        rel = os.path.relpath(path, self.root).replace(os.sep, "/")
+        in_storage = rel.startswith("src/storage/")
+        in_src = rel.startswith("src/")
+        is_logging_h = rel == "src/util/logging.h"
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.readlines()
+
+        in_block = False
+        has_guard = False
+        for lineno, raw in enumerate(lines, start=1):
+            line = raw
+            if in_block:
+                end = line.find("*/")
+                if end < 0:
+                    continue
+                line = " " * (end + 2) + line[end + 2:]
+                in_block = False
+            # Strip block comments opening on this line.
+            while True:
+                start = line.find("/*")
+                if start < 0:
+                    break
+                end = line.find("*/", start + 2)
+                if end < 0:
+                    line = line[:start]
+                    in_block = True
+                    break
+                line = line[:start] + " " * (end + 2 - start) + line[end + 2:]
+            code = strip_comments_and_strings(line)
+
+            if GUARD.search(code):
+                has_guard = True
+
+            if VOID_CAST_CALL.search(code):
+                self.report(path, lineno, "void-cast-status",
+                            "discarding a call via void cast; handle the "
+                            "Status or use .IgnoreError()", raw)
+            if in_src and not in_storage:
+                stripped = code.strip()
+                is_deleted_member = re.search(r"=\s*delete\s*[;,)]", code)
+                if RAW_NEW.search(code) and not UNIQUE_PTR_NEW.search(code):
+                    self.report(path, lineno, "raw-new-delete",
+                                "raw `new` outside src/storage/ (wrap in "
+                                "std::make_unique or unique_ptr<T>(new ...))",
+                                raw)
+                if (RAW_DELETE.search(code) and not is_deleted_member
+                        and not stripped.startswith("///")):
+                    self.report(path, lineno, "raw-new-delete",
+                                "raw `delete` outside src/storage/", raw)
+            if in_src and BANNED_RANDOM.search(code):
+                self.report(path, lineno, "banned-random",
+                            "rand()/srand()/time() in deterministic code; "
+                            "use util/random.h with an explicit seed", raw)
+            if in_src and not is_logging_h and BARE_ASSERT.search(code):
+                self.report(path, lineno, "bare-assert",
+                            "bare assert(); use X3_CHECK (always on) or "
+                            "X3_DCHECK (debug-only)", raw)
+            # Include rules look at the raw line: string stripping blanks
+            # out the quoted path the rule needs to see.
+            if PARENT_INCLUDE.search(line):
+                self.report(path, lineno, "include-hygiene",
+                            '"../" in include path; include from the src/ '
+                            "root instead", raw)
+            if BITS_INCLUDE.search(line):
+                self.report(path, lineno, "include-hygiene",
+                            "non-portable <bits/...> include", raw)
+
+        if rel.endswith(".h") and in_src and not has_guard:
+            self.report(path, 1, "include-hygiene",
+                        "header missing X3_*_H_ include guard", "")
+
+    def run(self, dirs):
+        for d in dirs:
+            top = os.path.join(self.root, d)
+            if not os.path.isdir(top):
+                continue
+            for dirpath, dirnames, filenames in os.walk(top):
+                dirnames[:] = [x for x in dirnames if x != "build"]
+                for name in sorted(filenames):
+                    if name.endswith(CC_EXTENSIONS):
+                        self.lint_file(os.path.join(dirpath, name))
+        return self.findings
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=os.getcwd(),
+                        help="repository root (default: cwd)")
+    args = parser.parse_args()
+
+    linter = Linter(os.path.abspath(args.root))
+    findings = linter.run(["src", "tests", "bench", "examples"])
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"\nx3_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("x3_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,10 +23,11 @@ GroupKey PackGroupKey(std::span<const ValueId> values) {
 std::vector<ValueId> UnpackGroupKey(const GroupKey& key) {
   std::vector<ValueId> values(key.size() / 4);
   for (size_t i = 0; i < values.size(); ++i) {
-    values[i] = (static_cast<uint32_t>(static_cast<uint8_t>(key[i * 4])) << 24) |
-                (static_cast<uint32_t>(static_cast<uint8_t>(key[i * 4 + 1])) << 16) |
-                (static_cast<uint32_t>(static_cast<uint8_t>(key[i * 4 + 2])) << 8) |
-                static_cast<uint32_t>(static_cast<uint8_t>(key[i * 4 + 3]));
+    auto byte = [&key](size_t j) {
+      return static_cast<uint32_t>(static_cast<uint8_t>(key[j]));
+    };
+    values[i] = (byte(i * 4) << 24) | (byte(i * 4 + 1) << 16) |
+                (byte(i * 4 + 2) << 8) | byte(i * 4 + 3);
   }
   return values;
 }

@@ -32,6 +32,11 @@ uint32_t ReadBE32(const char* p) {
 
 void AppendMeasure(std::string* out, int64_t measure) {
   uint64_t u = static_cast<uint64_t>(measure);
+  // uint64_t -> const char* byte view of an aligned local: char aliases
+  // anything, so no strict-aliasing or alignment UB (audited). The bytes
+  // are native-endian, but the field is an opaque trailer that never
+  // participates in sort-key comparison and is read back via memcpy in
+  // ReadMeasure, so the encoding round-trips on any host.
   out->append(reinterpret_cast<const char*>(&u), 8);
 }
 

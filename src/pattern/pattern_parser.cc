@@ -5,6 +5,11 @@
 namespace x3 {
 namespace {
 
+/// Maximum nesting of structural predicates ("[./a[./b[...]]]"). The
+/// parser recurses once per level; bounding it turns hostile deeply
+/// nested inputs into a ParseError instead of a stack overflow.
+constexpr size_t kMaxPredicateDepth = 64;
+
 bool IsNameChar(char c) {
   return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
          (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.' ||
@@ -119,6 +124,18 @@ class PathParser {
   /// Steps inside a predicate: must begin with '/' or '//'.
   Result<std::vector<PatternNodeId>> ParsePredicateSteps(
       TreePattern* pattern, PatternNodeId parent) {
+    if (depth_ >= kMaxPredicateDepth) {
+      return Error("predicate nesting exceeds maximum depth");
+    }
+    ++depth_;
+    Result<std::vector<PatternNodeId>> steps =
+        ParsePredicateStepsInner(pattern, parent);
+    --depth_;
+    return steps;
+  }
+
+  Result<std::vector<PatternNodeId>> ParsePredicateStepsInner(
+      TreePattern* pattern, PatternNodeId parent) {
     if (AtEnd() || Peek() != '/') {
       return Error("expected '/' after '.' in predicate");
     }
@@ -210,6 +227,7 @@ class PathParser {
 
   std::string_view text_;
   size_t pos_ = 0;
+  size_t depth_ = 0;
 };
 
 }  // namespace

@@ -14,6 +14,11 @@ bool IsNameChar(char c) {
          c == ':';
 }
 
+/// Maximum nesting of content-model groups "(a,(b,(c,...)))". Bounds
+/// ParseGroup's recursion so hostile inputs fail with a ParseError
+/// instead of a stack overflow.
+constexpr size_t kMaxGroupDepth = 64;
+
 class DtdParser {
  public:
   explicit DtdParser(std::string_view input) : input_(input) {}
@@ -101,13 +106,20 @@ class DtdParser {
   /// Parses a content-model group "( ... )card" and appends flattened
   /// child specs to `decl` with the enclosing cardinality `outer`.
   Status ParseGroup(ElementDecl* decl, Cardinality outer) {
+    if (depth_ >= kMaxGroupDepth) {
+      return Error("content-model nesting exceeds maximum depth");
+    }
+    ++depth_;
+    Status s = ParseGroupInner(decl, outer);
+    --depth_;
+    return s;
+  }
+
+  Status ParseGroupInner(ElementDecl* decl, Cardinality outer) {
     SkipSpace();
     if (AtEnd() || Peek() != '(') return Error("expected '('");
     ++pos_;
     bool is_choice = false;
-    std::vector<std::pair<std::string, Cardinality>> items;
-    std::vector<size_t> group_marks;  // indices where nested groups start
-    (void)group_marks;
     // First pass: record members; we need to know whether it is a
     // choice before finalizing their cardinalities, so collect into a
     // temporary decl.
@@ -151,7 +163,6 @@ class DtdParser {
       decl->children.push_back({std::move(child.tag), group_card.Compose(c)});
     }
     decl->has_pcdata = decl->has_pcdata || members.has_pcdata;
-    (void)items;
     return Status::OK();
   }
 
@@ -237,6 +248,7 @@ class DtdParser {
 
   std::string_view input_;
   size_t pos_ = 0;
+  size_t depth_ = 0;
 };
 
 }  // namespace

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <cstring>
 
+#include "util/logging.h"
+
 namespace x3 {
 
 /// Fixed page size. The paper configured TIMBER with 8 KB data pages; we
@@ -25,15 +27,21 @@ struct Page {
   uint8_t* bytes() { return data.data(); }
   const uint8_t* bytes() const { return data.data(); }
 
-  /// Unaligned typed reads/writes at a byte offset.
+  /// Unaligned typed reads/writes at a byte offset. memcpy (not a
+  /// pointer cast) keeps this free of alignment and strict-aliasing UB;
+  /// the page-boundary invariant is enforced in every build type.
   template <typename T>
   T ReadAt(size_t offset) const {
+    X3_CHECK(offset + sizeof(T) <= kPageSize)
+        << "page read at offset " << offset << " of width " << sizeof(T);
     T v;
     std::memcpy(&v, data.data() + offset, sizeof(T));
     return v;
   }
   template <typename T>
   void WriteAt(size_t offset, const T& v) {
+    X3_CHECK(offset + sizeof(T) <= kPageSize)
+        << "page write at offset " << offset << " of width " << sizeof(T);
     std::memcpy(data.data() + offset, &v, sizeof(T));
   }
 };

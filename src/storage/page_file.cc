@@ -7,7 +7,7 @@
 
 namespace x3 {
 
-PageFile::~PageFile() { Close().ok(); }
+PageFile::~PageFile() { Close().IgnoreError(); }
 
 Status PageFile::Open(const std::string& path, bool truncate) {
   if (file_ != nullptr) {
@@ -26,16 +26,16 @@ Status PageFile::Open(const std::string& path, bool truncate) {
   file_ = f;
   path_ = path;
   if (std::fseek(file_, 0, SEEK_END) != 0) {
-    Close().ok();
+    Close().IgnoreError();
     return Status::IOError("seek failed on " + path);
   }
   long size = std::ftell(file_);
   if (size < 0) {
-    Close().ok();
+    Close().IgnoreError();
     return Status::IOError("ftell failed on " + path);
   }
   if (size % static_cast<long>(kPageSize) != 0) {
-    Close().ok();
+    Close().IgnoreError();
     return Status::Corruption(
         StringPrintf("page file %s size %ld not a multiple of page size",
                      path.c_str(), size));

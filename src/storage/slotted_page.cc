@@ -12,7 +12,8 @@ void SlottedPage::Init() {
 }
 
 size_t SlottedPage::FreeSpace() const {
-  size_t dir_end = kHeaderSize + static_cast<size_t>(record_count()) * kSlotSize;
+  size_t dir_end =
+      kHeaderSize + static_cast<size_t>(record_count()) * kSlotSize;
   size_t heap_start = free_end();
   return heap_start > dir_end ? heap_start - dir_end : 0;
 }
@@ -28,8 +29,14 @@ Result<SlotId> SlottedPage::Insert(std::string_view record) {
   }
   uint16_t count = record_count();
   uint16_t new_end = static_cast<uint16_t>(free_end() - record.size());
-  std::memcpy(page_->bytes() + new_end, record.data(), record.size());
   size_t slot_off = kHeaderSize + static_cast<size_t>(count) * kSlotSize;
+  // Fits() proved FreeSpace() >= len + kSlotSize, which implies the heap
+  // cannot grow down into the slot directory; check it anyway — this is
+  // the invariant whose violation silently corrupts neighbouring records.
+  X3_CHECK(slot_off + kSlotSize <= new_end)
+      << "slot directory would overlap record heap (count=" << count
+      << ", new_end=" << new_end << ")";
+  std::memcpy(page_->bytes() + new_end, record.data(), record.size());
   page_->WriteAt<uint16_t>(slot_off, new_end);
   page_->WriteAt<uint16_t>(slot_off + 2, static_cast<uint16_t>(record.size()));
   set_free_end(new_end);
@@ -45,9 +52,14 @@ Result<std::string_view> SlottedPage::Get(SlotId slot) const {
   size_t slot_off = kHeaderSize + static_cast<size_t>(slot) * kSlotSize;
   uint16_t off = page_->ReadAt<uint16_t>(slot_off);
   uint16_t len = page_->ReadAt<uint16_t>(slot_off + 2);
+  // uint16_t operands promote to int, so `off + len` cannot wrap before
+  // the comparison.
   if (off + len > kPageSize) {
     return Status::Corruption("slot points past page end");
   }
+  // uint8_t* -> const char* is a byte-pointer reinterpretation: char may
+  // alias any object and has alignment 1, so this is free of alignment
+  // and strict-aliasing UB (audited; see docs/STATIC_ANALYSIS.md).
   return std::string_view(reinterpret_cast<const char*>(page_->bytes() + off),
                           len);
 }

@@ -1,6 +1,7 @@
 #ifndef X3_UTIL_LOGGING_H_
 #define X3_UTIL_LOGGING_H_
 
+#include <cassert>
 #include <cstdlib>
 #include <sstream>
 #include <string>
@@ -75,11 +76,17 @@ struct Voidify {
   ::x3::internal::LogMessage(::x3::LogLevel::k##level, __FILE__, __LINE__)
 
 /// Invariant check that is active in all build types (unlike assert).
+/// Use this — not bare `assert` — for invariants whose violation would
+/// corrupt data or read out of bounds (page boundaries, slot indexes,
+/// buffer-pool pin counts): the repo lint (scripts/x3_lint.py) enforces
+/// it in src/.
 #define X3_CHECK(cond)                                                   \
   while (!(cond))                                                        \
   ::x3::internal::LogMessage(::x3::LogLevel::kFatal, __FILE__, __LINE__) \
       << "Check failed: " #cond " "
 
+/// Debug-only check; compiled out under NDEBUG. For hot-path sanity
+/// checks only, never for conditions that guard memory accesses.
 #define X3_DCHECK(cond) assert(cond)
 
 #endif  // X3_UTIL_LOGGING_H_

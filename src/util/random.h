@@ -33,7 +33,8 @@ class Random {
 
   /// Uniform in [lo, hi] inclusive.
   int64_t UniformRange(int64_t lo, int64_t hi) {
-    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+    return lo +
+           static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
   }
 
   /// Uniform double in [0, 1).

@@ -1,10 +1,10 @@
 #ifndef X3_UTIL_RESULT_H_
 #define X3_UTIL_RESULT_H_
 
-#include <cassert>
 #include <optional>
 #include <utility>
 
+#include "util/logging.h"
 #include "util/status.h"
 
 namespace x3 {
@@ -16,8 +16,11 @@ namespace x3 {
 ///   Result<int> ParsePort(std::string_view s);
 ///   ...
 ///   X3_ASSIGN_OR_RETURN(int port, ParsePort(arg));
+///
+/// `[[nodiscard]]`: a dropped `Result` is a dropped error; call sites
+/// must consume it (or its `.status()`).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a value (implicit on purpose, mirrors StatusOr).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -25,7 +28,7 @@ class Result {
   /// Constructs from an error status. `status.ok()` is a programming
   /// error (a Result must be either a value or an error).
   Result(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "Result constructed from OK status");
+    X3_DCHECK(!status_.ok() && "Result constructed from OK status");
     if (status_.ok()) {
       status_ = Status::Internal("Result constructed from OK status");
     }
@@ -36,23 +39,23 @@ class Result {
   Result(Result&&) noexcept = default;
   Result& operator=(Result&&) noexcept = default;
 
-  bool ok() const { return value_.has_value(); }
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
 
   /// The error status; `Status::OK()` when a value is held.
-  const Status& status() const& { return status_; }
-  Status status() && { return std::move(status_); }
+  [[nodiscard]] const Status& status() const& { return status_; }
+  [[nodiscard]] Status status() && { return std::move(status_); }
 
   /// Accessors require `ok()`.
-  const T& value() const& {
-    assert(ok());
+  [[nodiscard]] const T& value() const& {
+    X3_DCHECK(ok());
     return *value_;
   }
-  T& value() & {
-    assert(ok());
+  [[nodiscard]] T& value() & {
+    X3_DCHECK(ok());
     return *value_;
   }
-  T&& value() && {
-    assert(ok());
+  [[nodiscard]] T&& value() && {
+    X3_DCHECK(ok());
     return std::move(*value_);
   }
 

@@ -35,7 +35,13 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// `Status` is cheap to copy in the OK case (no allocation) and carries a
 /// message only on error.
-class Status {
+///
+/// The class is `[[nodiscard]]`: any call site that drops a returned
+/// `Status` on the floor is a build error (-Werror=unused-result).
+/// Deliberately ignoring an error must be spelled `.IgnoreError()` so it
+/// survives code review and the repo lint (scripts/x3_lint.py forbids
+/// discarding via a void cast).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -81,12 +87,17 @@ class Status {
     return Status(StatusCode::kParseError, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// Explicitly consumes an error status. The only sanctioned way to
+  /// drop a `Status`: best-effort cleanup paths where the primary error
+  /// has already been recorded. Grep-able, unlike `(void)`.
+  void IgnoreError() const {}
 
   /// "OK" or "<Code>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   bool operator==(const Status& other) const {
     return code_ == other.code_ && message_ == other.message_;

@@ -1,7 +1,5 @@
 #include "x3/parser.h"
 
-#include <cstdlib>
-
 #include "util/string_util.h"
 #include "x3/lexer.h"
 
@@ -143,7 +141,8 @@ class QueryParser {
         }
         X3_RETURN_IF_ERROR(Expect(TokenKind::kComma));
         X3_ASSIGN_OR_RETURN(Token len, ExpectToken(TokenKind::kNumber));
-        axis.transform_length = std::atoll(len.text.c_str());
+        // atoll is UB on overflow; ParseInt64 rejects out-of-range input.
+        X3_ASSIGN_OR_RETURN(axis.transform_length, ParseInt64(len.text));
         if (axis.transform_length <= 0) {
           return Error("substring length must be positive");
         }
@@ -200,7 +199,7 @@ class QueryParser {
     }
     X3_RETURN_IF_ERROR(Expect(TokenKind::kGreaterEqual));
     X3_ASSIGN_OR_RETURN(Token n, ExpectToken(TokenKind::kNumber));
-    return static_cast<int64_t>(std::atoll(n.text.c_str()));
+    return ParseInt64(n.text);
   }
 
   Result<AstReturn> ParseReturn() {

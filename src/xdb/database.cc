@@ -226,7 +226,7 @@ Database::~Database() {
   store_.reset();
   pool_.reset();
   if (file_ != nullptr) {
-    file_->Close().ok();
+    file_->Close().IgnoreError();
     file_.reset();
   }
   if (owns_data_file_) {

@@ -46,11 +46,10 @@ struct JoinStats {
 ///
 /// Runs in a single pass over both lists plus a stack bounded by tree
 /// depth; node records are fetched through the database's buffer pool.
-Result<std::vector<JoinPair>> StructuralJoin(const Database& db,
-                                             const std::vector<NodeId>& ancestors,
-                                             const std::vector<NodeId>& descendants,
-                                             StructuralAxis axis,
-                                             JoinStats* stats = nullptr);
+Result<std::vector<JoinPair>> StructuralJoin(
+    const Database& db, const std::vector<NodeId>& ancestors,
+    const std::vector<NodeId>& descendants, StructuralAxis axis,
+    JoinStats* stats = nullptr);
 
 /// Self-check helper: the naive O(|A|*|D|) nested-loop join, used by
 /// tests to validate StructuralJoin.

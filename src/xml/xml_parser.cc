@@ -246,6 +246,17 @@ class Parser {
   }
 
   Result<std::unique_ptr<XmlNode>> ParseElement() {
+    if (depth_ >= options_.max_depth) {
+      return Error(StringPrintf("element nesting exceeds maximum depth %zu",
+                                options_.max_depth));
+    }
+    ++depth_;
+    Result<std::unique_ptr<XmlNode>> element = ParseElementInner();
+    --depth_;
+    return element;
+  }
+
+  Result<std::unique_ptr<XmlNode>> ParseElementInner() {
     if (!Match("<")) return Error("expected '<'");
     X3_ASSIGN_OR_RETURN(std::string tag, ParseName());
     auto element = XmlNode::Element(std::move(tag));
@@ -291,7 +302,9 @@ class Parser {
     };
 
     for (;;) {
-      if (AtEnd()) return Error("unterminated element <" + element->tag() + ">");
+      if (AtEnd()) {
+        return Error("unterminated element <" + element->tag() + ">");
+      }
       if (LookingAt("</")) {
         X3_RETURN_IF_ERROR(flush_text());
         AdvanceBy(2);
@@ -343,6 +356,7 @@ class Parser {
   size_t pos_ = 0;
   size_t line_ = 1;
   size_t col_ = 1;
+  size_t depth_ = 0;
 };
 
 }  // namespace

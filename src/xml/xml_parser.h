@@ -17,6 +17,11 @@ struct XmlParseOptions {
   bool skip_whitespace_text = true;
   /// Reject documents with content after the root element.
   bool require_single_root = true;
+  /// Maximum element nesting depth. The parser (and the node tree's
+  /// destructor) recurse once per level, so this bounds stack use on
+  /// hostile inputs; documents deeper than this are rejected with a
+  /// ParseError rather than overflowing the stack.
+  size_t max_depth = 256;
 };
 
 /// Parses an XML document from an in-memory buffer.

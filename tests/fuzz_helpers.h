@@ -1,0 +1,95 @@
+#ifndef X3_TESTS_FUZZ_HELPERS_H_
+#define X3_TESTS_FUZZ_HELPERS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/random.h"
+
+namespace x3 {
+namespace fuzz {
+
+/// Deterministic fuzz-style input generation, libFuzzer-flavoured but
+/// dependency-free: a seeded xorshift PRNG drives byte-level mutation of
+/// a seed corpus plus grammar-fragment splicing. Every harness run with
+/// the same seed produces the same inputs, so a crash found in CI
+/// reproduces locally from just the seed number (which gtest prints as
+/// the test parameter).
+
+/// `len` uniformly random bytes (full 0..255 range, embedded NULs
+/// included — parsers take string_view and must tolerate them).
+inline std::string RandomBytes(Random* rng, size_t len) {
+  std::string out(len, '\0');
+  for (char& c : out) c = static_cast<char>(rng->Uniform(256));
+  return out;
+}
+
+/// Classic byte-level mutator: flip / delete / duplicate / insert-random
+/// / splice-from-corpus, `mutations` times.
+inline std::string MutateBytes(Random* rng, std::string input, int mutations,
+                               const std::vector<std::string>& corpus = {}) {
+  for (int m = 0; m < mutations; ++m) {
+    if (input.empty()) {
+      input = RandomBytes(rng, 1 + rng->Uniform(8));
+      continue;
+    }
+    size_t pos = rng->Uniform(input.size());
+    switch (rng->Uniform(corpus.empty() ? 4 : 5)) {
+      case 0:  // flip a byte
+        input[pos] = static_cast<char>(rng->Uniform(256));
+        break;
+      case 1:  // delete a span
+        input.erase(pos, 1 + rng->Uniform(4));
+        break;
+      case 2:  // duplicate a byte
+        input.insert(pos, 1, input[pos]);
+        break;
+      case 3:  // insert random bytes
+        input.insert(pos, RandomBytes(rng, 1 + rng->Uniform(4)));
+        break;
+      default: {  // splice a fragment of another corpus entry
+        const std::string& other = corpus[rng->Uniform(corpus.size())];
+        if (!other.empty()) {
+          size_t from = rng->Uniform(other.size());
+          size_t len = 1 + rng->Uniform(other.size() - from);
+          input.insert(pos, other.substr(from, len));
+        }
+        break;
+      }
+    }
+  }
+  return input;
+}
+
+/// Grammar-fragment mutator: assembles an input by concatenating random
+/// fragments from a vocabulary. Produces inputs that get much deeper
+/// into a parser than byte noise (balanced-ish brackets, keywords in
+/// plausible positions) while still being almost always invalid.
+inline std::string AssembleFromFragments(
+    Random* rng, const std::vector<std::string_view>& vocabulary,
+    size_t max_fragments) {
+  std::string out;
+  size_t n = 1 + rng->Uniform(max_fragments);
+  for (size_t i = 0; i < n; ++i) {
+    out.append(vocabulary[rng->Uniform(vocabulary.size())]);
+  }
+  return out;
+}
+
+/// A string nested `depth` times: prefix + ... + suffix around `core`,
+/// e.g. Nest("<a>", "x", "</a>", 3) == "<a><a><a>x</a></a></a>".
+inline std::string Nest(std::string_view prefix, std::string_view core,
+                        std::string_view suffix, size_t depth) {
+  std::string out;
+  out.reserve((prefix.size() + suffix.size()) * depth + core.size());
+  for (size_t i = 0; i < depth; ++i) out.append(prefix);
+  out.append(core);
+  for (size_t i = 0; i < depth; ++i) out.append(suffix);
+  return out;
+}
+
+}  // namespace fuzz
+}  // namespace x3
+
+#endif  // X3_TESTS_FUZZ_HELPERS_H_

@@ -1,0 +1,71 @@
+// Deterministic fuzz-style harness for the tree-pattern (XPath subset)
+// parser. Malformed patterns must produce an error Status — never a
+// crash — because pattern text reaches ParsePattern straight from user
+// queries via the X^3 binder.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "pattern/pattern_parser.h"
+#include "tests/fuzz_helpers.h"
+#include "tests/test_helpers.h"
+#include "util/random.h"
+
+namespace x3 {
+namespace {
+
+const std::vector<std::string>& SeedCorpus() {
+  static const std::vector<std::string> corpus = {
+      "//publication[./author/name][.//publisher/@id]/year?",
+      "/database/publication/author",
+      "//a[.=\"v\"]/b?[./c][.//d?]/@e",
+      "a/b//c[./d[./e[./f]]]",
+      "//*[./x]/*",
+  };
+  return corpus;
+}
+
+const std::vector<std::string_view>& Fragments() {
+  static const std::vector<std::string_view> fragments = {
+      "/",  "//", "[",    "]",    ".",    "=",       "\"v\"", "'v'",
+      "?",  "@",  "name", "a",    "*",    "[./a]",   "[.=",   "\"",
+      "'",  " ",  "\t",   "pub",  "@id",  "[.//b?]", "x3",
+  };
+  return fragments;
+}
+
+class PatternFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PatternFuzzTest, ByteMutationsNeverCrash) {
+  Random rng(GetParam());
+  const std::vector<std::string>& corpus = SeedCorpus();
+  for (int i = 0; i < 800; ++i) {
+    std::string input =
+        fuzz::MutateBytes(&rng, corpus[rng.Uniform(corpus.size())],
+                          1 + static_cast<int>(rng.Uniform(16)), corpus);
+    testutil::Consume(ParsePattern(input));
+  }
+}
+
+TEST_P(PatternFuzzTest, GrammarAssemblyNeverCrashes) {
+  Random rng(GetParam() + 100);
+  for (int i = 0; i < 800; ++i) {
+    std::string input = fuzz::AssembleFromFragments(&rng, Fragments(), 30);
+    testutil::Consume(ParsePattern(input));
+  }
+}
+
+TEST_P(PatternFuzzTest, RandomBytesNeverCrash) {
+  Random rng(GetParam() + 200);
+  for (int i = 0; i < 400; ++i) {
+    testutil::Consume(ParsePattern(fuzz::RandomBytes(&rng, rng.Uniform(120))));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PatternFuzzTest,
+                         ::testing::Values(0x2001, 0x2002, 0x2003));
+
+}  // namespace
+}  // namespace x3

@@ -1,0 +1,90 @@
+// Deterministic fuzz-style harness for the X^3 query lexer and parser.
+// Query text is the system's outermost attack surface (examples ship a
+// query REPL), so the lexer and parser must turn arbitrary bytes into
+// an error Status without crashing.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "tests/fuzz_helpers.h"
+#include "tests/test_helpers.h"
+#include "util/random.h"
+#include "x3/lexer.h"
+#include "x3/parser.h"
+
+namespace x3 {
+namespace {
+
+const std::vector<std::string>& SeedCorpus() {
+  static const std::vector<std::string> corpus = {
+      "for $b in doc(\"book.xml\")//publication, $n in $b/author/name "
+      "X^3 $b/@id by substring($n, 1, 2) (LND, SP, PC-AD) "
+      "return COUNT($b) having count >= 2",
+      "for $p in doc('w.xml')/db/pub X^3 $p by $p (LND) return count($p)",
+      "for $a in doc(\"d\")/x x^3 $a by lowercase($a) return count($a) "
+      "having count($a) >= 10",
+  };
+  return corpus;
+}
+
+/// Token-level vocabulary, including boundary-pushing numbers (atoll on
+/// "99999999999999999999999" used to be UB before ParseInt64).
+const std::vector<std::string_view>& Fragments() {
+  static const std::vector<std::string_view> fragments = {
+      "for ",     "in ",   "X^3 ",  "by ",       "return ",   "having ",
+      "count",    ">=",    "$b",    "$",         "doc(",      "\"d.xml\"",
+      ")",        "(",     ",",     "/",         "//",        "@",
+      "substring", "lowercase", "LND", "SP",     "PC-AD",     "1",
+      "99999999999999999999999",     "(: c :)",  "(:",        "'s'",
+      "\"",       "'",     " ",     "ident",     "x^",        "^3",
+  };
+  return fragments;
+}
+
+class X3QueryFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(X3QueryFuzzTest, LexerByteMutationsNeverCrash) {
+  Random rng(GetParam());
+  const std::vector<std::string>& corpus = SeedCorpus();
+  for (int i = 0; i < 800; ++i) {
+    std::string input =
+        fuzz::MutateBytes(&rng, corpus[rng.Uniform(corpus.size())],
+                          1 + static_cast<int>(rng.Uniform(20)), corpus);
+    testutil::Consume(LexX3Query(input));
+  }
+}
+
+TEST_P(X3QueryFuzzTest, ParserByteMutationsNeverCrash) {
+  Random rng(GetParam() + 100);
+  const std::vector<std::string>& corpus = SeedCorpus();
+  for (int i = 0; i < 800; ++i) {
+    std::string input =
+        fuzz::MutateBytes(&rng, corpus[rng.Uniform(corpus.size())],
+                          1 + static_cast<int>(rng.Uniform(20)), corpus);
+    testutil::Consume(ParseX3Query(input));
+  }
+}
+
+TEST_P(X3QueryFuzzTest, GrammarAssemblyNeverCrashes) {
+  Random rng(GetParam() + 200);
+  for (int i = 0; i < 800; ++i) {
+    std::string input = fuzz::AssembleFromFragments(&rng, Fragments(), 40);
+    testutil::Consume(ParseX3Query(input));
+  }
+}
+
+TEST_P(X3QueryFuzzTest, RandomBytesNeverCrash) {
+  Random rng(GetParam() + 300);
+  for (int i = 0; i < 400; ++i) {
+    testutil::Consume(
+        ParseX3Query(fuzz::RandomBytes(&rng, rng.Uniform(200))));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, X3QueryFuzzTest,
+                         ::testing::Values(0x3001, 0x3002, 0x3003));
+
+}  // namespace
+}  // namespace x3

@@ -1,0 +1,163 @@
+// Regression tests distilled from the fuzz harnesses: each case is a
+// concrete malformed input class that must produce an error Status (the
+// right error, where it matters) instead of crashing, hanging or
+// overflowing the stack. See tests/fuzz_*_test.cc for the generative
+// versions.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "pattern/pattern_parser.h"
+#include "schema/dtd_parser.h"
+#include "tests/fuzz_helpers.h"
+#include "util/status.h"
+#include "x3/lexer.h"
+#include "x3/parser.h"
+#include "xml/xml_parser.h"
+
+namespace x3 {
+namespace {
+
+// --- XML ------------------------------------------------------------------
+
+TEST(MalformedXmlTest, EmptyAndGarbage) {
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("not xml at all").ok());
+  EXPECT_FALSE(ParseXml(std::string_view("\0\0\0\0", 4)).ok());
+  EXPECT_FALSE(ParseXml("\xFF\xFE<a/>").ok());
+}
+
+TEST(MalformedXmlTest, TruncatedStructures) {
+  EXPECT_FALSE(ParseXml("<").ok());
+  EXPECT_FALSE(ParseXml("<a").ok());
+  EXPECT_FALSE(ParseXml("<a>").ok());
+  EXPECT_FALSE(ParseXml("<a><b></b>").ok());
+  EXPECT_FALSE(ParseXml("<a b=").ok());
+  EXPECT_FALSE(ParseXml("<a b=\"c").ok());
+  EXPECT_FALSE(ParseXml("<a><![CDATA[x").ok());
+  EXPECT_FALSE(ParseXml("<a>&amp").ok());
+}
+
+TEST(MalformedXmlTest, MismatchedAndDuplicate) {
+  EXPECT_FALSE(ParseXml("<a></b>").ok());
+  EXPECT_FALSE(ParseXml("<a x=\"1\" x=\"2\"/>").ok());
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());  // two roots
+}
+
+TEST(MalformedXmlTest, BadReferences) {
+  EXPECT_FALSE(ParseXml("<a>&bogus;</a>").ok());
+  EXPECT_FALSE(ParseXml("<a>&#xFFFFFFFFFF;</a>").ok());  // > 0x10FFFF
+  EXPECT_FALSE(ParseXml("<a>&#99999999999;</a>").ok());
+  EXPECT_FALSE(ParseXml("<a>&#;</a>").ok());
+  EXPECT_FALSE(ParseXml("<a>&#x;</a>").ok());
+}
+
+TEST(MalformedXmlTest, DeepNestingRejectedNotCrashed) {
+  // Far deeper than any stack could take via recursion; must be a clean
+  // ParseError from the depth limit.
+  std::string deep = fuzz::Nest("<a>", "x", "</a>", 200000);
+  Result<XmlDocument> r = ParseXml(deep);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("depth"), std::string::npos);
+}
+
+TEST(MalformedXmlTest, DepthLimitIsConfigurable) {
+  XmlParseOptions options;
+  options.max_depth = 8;
+  EXPECT_FALSE(ParseXml(fuzz::Nest("<a>", "x", "</a>", 9), options).ok());
+  EXPECT_TRUE(ParseXml(fuzz::Nest("<a>", "x", "</a>", 8), options).ok());
+}
+
+// --- Tree patterns --------------------------------------------------------
+
+TEST(MalformedPatternTest, EmptyAndGarbage) {
+  EXPECT_FALSE(ParsePattern("").ok());
+  EXPECT_FALSE(ParsePattern("///").ok());
+  EXPECT_FALSE(ParsePattern("[").ok());
+  EXPECT_FALSE(ParsePattern("a[").ok());
+  EXPECT_FALSE(ParsePattern("a[x]").ok());  // predicate must start with '.'
+  EXPECT_FALSE(ParsePattern("a[.=\"unterminated").ok());
+  EXPECT_FALSE(ParsePattern("a/").ok());
+  EXPECT_FALSE(ParsePattern("a?extra?").ok());
+}
+
+TEST(MalformedPatternTest, DeepPredicateNestingRejectedNotCrashed) {
+  // 100000 levels of "[./a" would overflow the stack without the
+  // recursion bound; must come back as a clean ParseError.
+  std::string deep = "r" + fuzz::Nest("[./a", "", "]", 100000);
+  Result<ParsedPattern> r = ParsePattern(deep);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("depth"), std::string::npos);
+}
+
+TEST(MalformedPatternTest, ShallowPredicateNestingStillParses) {
+  EXPECT_TRUE(ParsePattern("r" + fuzz::Nest("[./a", "", "]", 32)).ok());
+}
+
+// --- DTD ------------------------------------------------------------------
+
+TEST(MalformedDtdTest, DeepGroupNestingRejectedNotCrashed) {
+  std::string deep =
+      "<!ELEMENT r " + fuzz::Nest("(", "a", ")", 100000) + ">";
+  Result<SchemaGraph> r = ParseDtd(deep);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(MalformedDtdTest, TruncatedDeclarations) {
+  EXPECT_FALSE(ParseDtd("<!ELEMENT").ok());
+  EXPECT_FALSE(ParseDtd("<!ELEMENT a (b").ok());
+  EXPECT_FALSE(ParseDtd("<!ATTLIST a b CDATA").ok());
+  EXPECT_FALSE(ParseDtd("junk").ok());
+}
+
+// --- X^3 queries ----------------------------------------------------------
+
+TEST(MalformedX3QueryTest, LexerErrors) {
+  EXPECT_FALSE(LexX3Query("for $ in x").ok());     // name after '$'
+  EXPECT_FALSE(LexX3Query("\"unterminated").ok());
+  EXPECT_FALSE(LexX3Query("(: unterminated").ok());
+  EXPECT_FALSE(LexX3Query("a > b").ok());          // '>' without '='
+  EXPECT_FALSE(LexX3Query("#").ok());
+}
+
+TEST(MalformedX3QueryTest, ParserErrors) {
+  EXPECT_FALSE(ParseX3Query("").ok());
+  EXPECT_FALSE(ParseX3Query("for").ok());
+  EXPECT_FALSE(ParseX3Query("for $b in").ok());
+  EXPECT_FALSE(ParseX3Query("for $b in doc(\"d\")/a X^3 $b").ok());
+  EXPECT_FALSE(
+      ParseX3Query("for $b in doc(\"d\")/a X^3 $b by $b return").ok());
+  EXPECT_FALSE(ParseX3Query("return count($b)").ok());
+}
+
+TEST(MalformedX3QueryTest, HugeNumbersAreErrorsNotUB) {
+  // atoll on an out-of-range literal was undefined behaviour; ParseInt64
+  // must turn it into OutOfRange.
+  Result<AstQuery> r = ParseX3Query(
+      "for $b in doc(\"d\")/a X^3 $b by $b return count($b) "
+      "having count >= 99999999999999999999999");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+
+  Result<AstQuery> r2 = ParseX3Query(
+      "for $b in doc(\"d\")/a X^3 $b by substring($b, 1, "
+      "99999999999999999999999) return count($b)");
+  EXPECT_FALSE(r2.ok());
+}
+
+TEST(MalformedX3QueryTest, TruncationsOfValidQueryAlwaysError) {
+  const std::string valid =
+      "for $b in doc(\"book.xml\")//publication X^3 $b by $b "
+      "return count($b)";
+  for (size_t len = 0; len < valid.size(); ++len) {
+    Result<AstQuery> r = ParseX3Query(std::string_view(valid).substr(0, len));
+    EXPECT_FALSE(r.ok()) << "prefix length " << len;
+  }
+}
+
+}  // namespace
+}  // namespace x3

@@ -5,11 +5,19 @@
 #include <string>
 
 #include "util/random.h"
+#include "util/result.h"
 #include "xdb/database.h"
 #include "xml/xml_node.h"
 
 namespace x3 {
 namespace testutil {
+
+/// Explicitly consumes a `Status`/`Result` whose value is irrelevant to
+/// the test (robustness sweeps only assert "returned, didn't crash").
+/// Status/Result are [[nodiscard]] so a bare call no longer compiles.
+inline void Consume(const Status&) {}
+template <typename T>
+void Consume(const Result<T>&) {}
 
 /// The publication warehouse of the paper's Figure 1 (plus text values
 /// on the publishers so value grouping has something to chew on).

@@ -21,7 +21,8 @@ TEST(XmlNodeTest, BuildTree) {
   EXPECT_EQ(*root->FindAttribute("id"), "1");
   EXPECT_EQ(root->FindAttribute("missing"), nullptr);
   EXPECT_EQ(root->children().size(), 2u);
-  EXPECT_EQ(root->SubtreeSize(), 6u);  // pub, author, name, "John", year, "2003"
+  // pub, author, name, "John", year, "2003"
+  EXPECT_EQ(root->SubtreeSize(), 6u);
   ASSERT_NE(root->FirstChildElement("year"), nullptr);
   EXPECT_EQ(root->FirstChildElement("year")->CollectText(), "2003");
 }
