@@ -7,10 +7,12 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cube/algorithm.h"
 #include "gen/workload.h"
 #include "storage/temp_file.h"
+#include "util/exec.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -78,19 +80,28 @@ inline void RunCubeBenchmark(benchmark::State& state, CubeAlgorithm algo,
       std::max<size_t>(workload.facts.ApproxBytes() * 2, 256 * 1024);
   CubeComputeStats stats;
   uint64_t cells = 0;
+  double plan_ms = 0;
+  double cuboid_ms = 0;
+  double pipe_ms = 0;
+  double pass_ms = 0;
   for (auto _ : state) {
     TempFileManager temp;
     MemoryBudget budget(budget_bytes);
+    ExecutionContext ctx(
+        ExecutionContext::Options{&budget, &temp, nullptr, std::nullopt});
     CubeComputeOptions options;
     options.aggregate = AggregateFunction::kCount;
-    options.budget = &budget;
-    options.temp_files = &temp;
     options.properties = &workload.properties;
+    options.exec = &ctx;
     auto cube =
         ComputeCube(algo, workload.facts, workload.lattice, options, &stats);
     X3_CHECK(cube.ok()) << cube.status();
     cells = cube->TotalCells();
     benchmark::DoNotOptimize(cells);
+    plan_ms = ctx.stats()->TotalSeconds("plan") * 1e3;
+    cuboid_ms = ctx.stats()->TotalSeconds("cuboid") * 1e3;
+    pipe_ms = ctx.stats()->TotalSeconds("pipe") * 1e3;
+    pass_ms = ctx.stats()->TotalSeconds("pass") * 1e3;
   }
   state.counters["cells"] = static_cast<double>(cells);
   state.counters["facts"] = static_cast<double>(workload.facts.size());
@@ -101,6 +112,12 @@ inline void RunCubeBenchmark(benchmark::State& state, CubeAlgorithm algo,
   state.counters["spillMB"] =
       static_cast<double>(stats.spill_bytes) / (1024.0 * 1024.0);
   state.counters["rollups"] = static_cast<double>(stats.rollups);
+  // Stage breakdown from the execution context (last iteration): plan
+  // time plus whichever per-stage family the algorithm recorded.
+  state.counters["planMs"] = plan_ms;
+  state.counters["cuboidMs"] = cuboid_ms;
+  state.counters["pipeMs"] = pipe_ms;
+  state.counters["passMs"] = pass_ms;
 }
 
 /// Registers the per-axis sweep of one figure: for each axis count in
@@ -108,7 +125,7 @@ inline void RunCubeBenchmark(benchmark::State& state, CubeAlgorithm algo,
 /// "<figure>/<ALGO>/axes:<k>" — the series the paper plots.
 inline void RegisterFigure(const std::string& figure,
                            const ExperimentSetting& base,
-                           std::initializer_list<CubeAlgorithm> algorithms,
+                           const std::vector<CubeAlgorithm>& algorithms,
                            size_t max_axes = 7) {
   for (size_t axes = 2; axes <= max_axes; ++axes) {
     ExperimentSetting setting = base;
@@ -126,6 +143,46 @@ inline void RegisterFigure(const std::string& figure,
           ->Iterations(1);
     }
   }
+}
+
+/// Runs whatever has been registered. The shared tail of every bench
+/// main.
+inline int RunRegisteredBenchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+/// Declarative description of one paper figure: the experimental
+/// setting axes of §4 plus the algorithm series the figure plots. The
+/// per-figure bench binaries are one FigureSpec each (the setup used to
+/// be copy-pasted across all of them).
+struct FigureSpec {
+  std::string figure;
+  bool coverage_holds = false;
+  bool disjointness_holds = true;
+  bool dense = false;
+  /// Paper-scale tree count, scaled down by default; X3_BENCH_TREES
+  /// overrides (see TreesFor).
+  size_t default_trees = 10000;
+  uint64_t seed = 42;
+  std::vector<CubeAlgorithm> algorithms;
+  size_t max_axes = 7;
+};
+
+/// Registers `spec`'s sweep and runs it: the whole main() of a
+/// per-figure bench binary.
+inline int RunFigureBenchmark(int argc, char** argv,
+                              const FigureSpec& spec) {
+  ExperimentSetting base;
+  base.coverage_holds = spec.coverage_holds;
+  base.disjointness_holds = spec.disjointness_holds;
+  base.dense = spec.dense;
+  base.num_trees = TreesFor(spec.default_trees);
+  base.seed = spec.seed;
+  RegisterFigure(spec.figure, base, spec.algorithms, spec.max_axes);
+  return RunRegisteredBenchmarks(argc, argv);
 }
 
 }  // namespace bench

@@ -27,8 +27,5 @@ int main(int argc, char** argv) {
         ->Iterations(1);
   }
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return x3::bench::RunRegisteredBenchmarks(argc, argv);
 }

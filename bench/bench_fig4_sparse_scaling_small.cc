@@ -8,21 +8,15 @@
 #include "bench/bench_common.h"
 
 int main(int argc, char** argv) {
-  x3::ExperimentSetting base;
-  base.coverage_holds = false;
-  base.disjointness_holds = true;
-  base.dense = false;
-  base.num_trees = x3::bench::TreesFor(1000);
-  base.seed = 4;
-
-  x3::bench::RegisterFigure(
-      "fig4_sparse_small", base,
-      {x3::CubeAlgorithm::kCounter, x3::CubeAlgorithm::kBUC,
-       x3::CubeAlgorithm::kBUCOpt, x3::CubeAlgorithm::kTD,
-       x3::CubeAlgorithm::kTDOpt});
-
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  x3::bench::FigureSpec spec;
+  spec.figure = "fig4_sparse_small";
+  spec.coverage_holds = false;
+  spec.disjointness_holds = true;
+  spec.dense = false;
+  spec.default_trees = 1000;
+  spec.seed = 4;
+  spec.algorithms = {x3::CubeAlgorithm::kCounter, x3::CubeAlgorithm::kBUC,
+                     x3::CubeAlgorithm::kBUCOpt, x3::CubeAlgorithm::kTD,
+                     x3::CubeAlgorithm::kTDOpt};
+  return x3::bench::RunFigureBenchmark(argc, argv, spec);
 }

@@ -5,21 +5,15 @@
 #include "bench/bench_common.h"
 
 int main(int argc, char** argv) {
-  x3::ExperimentSetting base;
-  base.coverage_holds = true;
-  base.disjointness_holds = true;
-  base.dense = false;
-  base.num_trees = x3::bench::TreesFor(10000);
-  base.seed = 7;
-
-  x3::bench::RegisterFigure(
-      "fig7_sparse_summarizable", base,
-      {x3::CubeAlgorithm::kCounter, x3::CubeAlgorithm::kBUC,
-       x3::CubeAlgorithm::kBUCOpt, x3::CubeAlgorithm::kTD,
-       x3::CubeAlgorithm::kTDOptAll});
-
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  x3::bench::FigureSpec spec;
+  spec.figure = "fig7_sparse_summarizable";
+  spec.coverage_holds = true;
+  spec.disjointness_holds = true;
+  spec.dense = false;
+  spec.default_trees = 10000;
+  spec.seed = 7;
+  spec.algorithms = {x3::CubeAlgorithm::kCounter, x3::CubeAlgorithm::kBUC,
+                     x3::CubeAlgorithm::kBUCOpt, x3::CubeAlgorithm::kTD,
+                     x3::CubeAlgorithm::kTDOptAll};
+  return x3::bench::RunFigureBenchmark(argc, argv, spec);
 }

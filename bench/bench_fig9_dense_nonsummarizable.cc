@@ -7,21 +7,15 @@
 #include "bench/bench_common.h"
 
 int main(int argc, char** argv) {
-  x3::ExperimentSetting base;
-  base.coverage_holds = false;
-  base.disjointness_holds = false;
-  base.dense = true;
-  base.num_trees = x3::bench::TreesFor(10000);
-  base.seed = 9;
-
-  x3::bench::RegisterFigure(
-      "fig9_dense_nonsummarizable", base,
-      {x3::CubeAlgorithm::kCounter, x3::CubeAlgorithm::kBUC,
-       x3::CubeAlgorithm::kBUCOpt, x3::CubeAlgorithm::kTD,
-       x3::CubeAlgorithm::kTDOpt, x3::CubeAlgorithm::kTDOptAll});
-
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  x3::bench::FigureSpec spec;
+  spec.figure = "fig9_dense_nonsummarizable";
+  spec.coverage_holds = false;
+  spec.disjointness_holds = false;
+  spec.dense = true;
+  spec.default_trees = 10000;
+  spec.seed = 9;
+  spec.algorithms = {x3::CubeAlgorithm::kCounter, x3::CubeAlgorithm::kBUC,
+                     x3::CubeAlgorithm::kBUCOpt, x3::CubeAlgorithm::kTD,
+                     x3::CubeAlgorithm::kTDOpt, x3::CubeAlgorithm::kTDOptAll};
+  return x3::bench::RunFigureBenchmark(argc, argv, spec);
 }

@@ -36,8 +36,5 @@ int main(int argc, char** argv) {
     }
   }
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return x3::bench::RunRegisteredBenchmarks(argc, argv);
 }

@@ -1,5 +1,9 @@
 #include "cube/algorithm.h"
 
+#include <optional>
+
+#include "cube/executor.h"
+#include "cube/plan.h"
 #include "util/string_util.h"
 
 namespace x3 {
@@ -61,26 +65,47 @@ Result<CubeResult> ComputeCube(CubeAlgorithm algo, const FactTable& facts,
   CubeComputeStats local;
   CubeComputeStats* st = stats != nullptr ? stats : &local;
   *st = CubeComputeStats{};
-  Result<CubeResult> result = Status::Internal("unhandled cube algorithm");
-  switch (algo) {
-    case CubeAlgorithm::kReference:
-      result = internal::ComputeReference(facts, lattice, options, st);
-      break;
-    case CubeAlgorithm::kCounter:
-      result = internal::ComputeCounter(facts, lattice, options, st);
-      break;
-    case CubeAlgorithm::kBUC:
-    case CubeAlgorithm::kBUCOpt:
-    case CubeAlgorithm::kBUCCust:
-      result = internal::ComputeBottomUp(algo, facts, lattice, options, st);
-      break;
-    case CubeAlgorithm::kTD:
-    case CubeAlgorithm::kTDOpt:
-    case CubeAlgorithm::kTDOptAll:
-    case CubeAlgorithm::kTDCust:
-      result = internal::ComputeTopDown(algo, facts, lattice, options, st);
-      break;
+
+  // Reconcile the execution context with the per-call options: a
+  // caller-supplied context wins for budget/temp_files; otherwise an
+  // uncancellable local context wraps the option fields.
+  ExecutionContext local_ctx(ExecutionContext::Options{
+      options.budget, options.temp_files, nullptr, std::nullopt});
+  ExecutionContext* ctx =
+      options.exec != nullptr ? options.exec : &local_ctx;
+  CubeComputeOptions effective = options;
+  effective.exec = ctx;
+  if (options.exec != nullptr) {
+    if (ctx->budget() != nullptr) effective.budget = ctx->budget();
+    if (ctx->temp_files() != nullptr) {
+      effective.temp_files = ctx->temp_files();
+    }
   }
+
+  // Plan. CUST variants with no property map plan conservatively.
+  std::optional<LatticeProperties> assume_nothing;
+  const LatticeProperties* props = effective.properties;
+  if (props == nullptr) {
+    assume_nothing = LatticeProperties::AssumeNothing(lattice);
+    props = &*assume_nothing;
+  }
+  CubePlan plan;
+  {
+    ScopedStageTimer timer(ctx->stats(), "plan");
+    plan = BuildCubePlan(algo, lattice, *props);
+  }
+
+  // Execute through the registry — no per-algorithm switch here.
+  const CuboidExecutor* executor = GlobalCuboidExecutorRegistry().Find(algo);
+  if (executor == nullptr) {
+    return Status::Internal(std::string("no executor registered for ") +
+                            CubeAlgorithmToString(algo));
+  }
+  Result<CubeResult> result = [&]() -> Result<CubeResult> {
+    ScopedStageTimer timer(ctx->stats(), "compute");
+    X3_RETURN_IF_ERROR(ctx->CheckInterrupted());
+    return executor->Execute(plan, facts, lattice, effective, ctx, st);
+  }();
   if (result.ok() && options.min_count > 1) {
     // The bottom-up family prunes natively; this central filter makes
     // the iceberg semantics uniform (and is idempotent for BUC).

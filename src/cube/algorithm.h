@@ -8,9 +8,11 @@
 
 #include "cube/cube_result.h"
 #include "cube/fact_table.h"
+#include "cube/plan.h"
 #include "relax/cube_lattice.h"
 #include "schema/summarizability.h"
 #include "storage/temp_file.h"
+#include "util/exec.h"
 #include "util/memory_budget.h"
 #include "util/result.h"
 
@@ -65,6 +67,11 @@ struct CubeComputeOptions {
   /// (the iceberg-cube optimization BUC was designed for); the others
   /// filter on output. 0 or 1 disables.
   int64_t min_count = 0;
+  /// Execution context carrying cancellation, deadline and the stage
+  /// stats sink. nullptr = ComputeCube builds an uncancellable context
+  /// from `budget`/`temp_files`. When set, its non-null budget and
+  /// temp-file manager take precedence over the fields above.
+  ExecutionContext* exec = nullptr;
 };
 
 /// Cost counters exposed by every algorithm (machine-independent
@@ -94,6 +101,13 @@ struct CubeComputeStats {
 
 /// Computes the full cube of `facts` over `lattice` with `algo`.
 ///
+/// Plan-then-execute: builds the CubePlan for `algo` (see cube/plan.h),
+/// then dispatches to the executor registered for the algorithm (see
+/// cube/executor.h) — no per-algorithm switch on the execution path.
+/// When `options.exec` carries a cancellation token or deadline, a
+/// cancelled / expired run returns kCancelled / kDeadlineExceeded with
+/// all budget charges released.
+///
 /// Correctness contract: kReference, kCounter, kBUC, kBUCCust, kTD and
 /// kTDCust always produce the exact cube. kBUCOpt/kTDOpt additionally
 /// require disjointness, kTDOptAll requires disjointness and total
@@ -105,51 +119,7 @@ Result<CubeResult> ComputeCube(CubeAlgorithm algo, const FactTable& facts,
                                const CubeComputeOptions& options,
                                CubeComputeStats* stats = nullptr);
 
-/// One step of a TDCUST execution plan.
-struct CuboidPlanStep {
-  enum class Kind : uint8_t {
-    kBaseWithIds,  // full TD sort carrying fact ids
-    kBaseNoIds,    // sort without ids (cuboid proven disjoint)
-    kRollup,       // aggregate an LND axis away from `source`
-    kCopy,         // structural edge: copy `source`'s cells
-  };
-  CuboidId cuboid = 0;
-  Kind kind = Kind::kBaseWithIds;
-  /// Source cuboid for kRollup/kCopy.
-  CuboidId source = 0;
-};
-
-/// Computes the strategy TDCUST would use per cuboid given the property
-/// map — the "choice of algorithm should be dictated by the semantics
-/// of the cube being computed" made inspectable.
-std::vector<CuboidPlanStep> PlanCustomTopDown(
-    const CubeLattice& lattice, const LatticeProperties& properties);
-
-/// Human-readable rendering of PlanCustomTopDown (one line per cuboid).
-std::string ExplainCustomTopDown(const CubeLattice& lattice,
-                                 const LatticeProperties& properties);
-
 namespace internal {
-
-/// Individual entry points (exposed for white-box tests).
-Result<CubeResult> ComputeReference(const FactTable& facts,
-                                    const CubeLattice& lattice,
-                                    const CubeComputeOptions& options,
-                                    CubeComputeStats* stats);
-Result<CubeResult> ComputeCounter(const FactTable& facts,
-                                  const CubeLattice& lattice,
-                                  const CubeComputeOptions& options,
-                                  CubeComputeStats* stats);
-Result<CubeResult> ComputeBottomUp(CubeAlgorithm variant,
-                                   const FactTable& facts,
-                                   const CubeLattice& lattice,
-                                   const CubeComputeOptions& options,
-                                   CubeComputeStats* stats);
-Result<CubeResult> ComputeTopDown(CubeAlgorithm variant,
-                                  const FactTable& facts,
-                                  const CubeLattice& lattice,
-                                  const CubeComputeOptions& options,
-                                  CubeComputeStats* stats);
 
 /// Enumerates, for one fact and one cuboid, every distinct group tuple
 /// the fact belongs to, invoking `fn(packed key)`. Returns false iff

@@ -1,8 +1,7 @@
-#include "cube/algorithm.h"
-
 #include <algorithm>
 #include <unordered_map>
 
+#include "cube/executor.h"
 #include "util/logging.h"
 
 namespace x3 {
@@ -28,16 +27,19 @@ class BucComputation {
  public:
   BucComputation(CubeAlgorithm variant, const FactTable& facts,
                  const CubeLattice& lattice,
-                 const CubeComputeOptions& options, CubeComputeStats* stats)
+                 const CubeComputeOptions& options, ExecutionContext* ctx,
+                 CubeComputeStats* stats)
       : variant_(variant),
         facts_(facts),
         lattice_(lattice),
         options_(options),
+        ctx_(ctx),
         stats_(stats),
         result_(lattice.num_cuboids(), options.aggregate),
         states_(lattice.num_axes(), 0) {}
 
   Result<CubeResult> Run() {
+    ScopedStageTimer timer(ctx_->stats(), "partition-walk");
     std::vector<uint32_t> rows(facts_.size());
     for (size_t f = 0; f < facts_.size(); ++f) {
       rows[f] = static_cast<uint32_t>(f);
@@ -65,6 +67,7 @@ class BucComputation {
   }
 
   Status Recurse(size_t axis, const std::vector<uint32_t>& rows) {
+    X3_RETURN_IF_ERROR(ctx_->Poll());
     // Iceberg pruning: every deeper group is a subset of `rows`, so
     // nothing below the threshold can qualify (Beyer-Ramakrishnan).
     if (options_.min_count > 1 &&
@@ -112,8 +115,12 @@ class BucComputation {
         stats_->peak_memory =
             std::max<uint64_t>(stats_->peak_memory, options_.budget->peak());
       }
+      // The charge must be released on every exit, including an error
+      // (cancellation) surfacing from a deeper level — collect the
+      // status and fall through to the Release.
+      Status status = Status::OK();
       std::vector<uint32_t> partition;
-      for (size_t i = 0; i < pairs.size();) {
+      for (size_t i = 0; i < pairs.size() && status.ok();) {
         ValueId v = pairs[i].first;
         partition.clear();
         while (i < pairs.size() && pairs[i].first == v) {
@@ -122,11 +129,11 @@ class BucComputation {
         }
         ++stats_->partitions;
         values_.push_back(v);
-        Status status = Recurse(axis + 1, partition);
+        status = Recurse(axis + 1, partition);
         values_.pop_back();
-        X3_RETURN_IF_ERROR(status);
       }
       if (options_.budget != nullptr) options_.budget->Release(charged);
+      X3_RETURN_IF_ERROR(status);
     }
     return Status::OK();
   }
@@ -145,24 +152,39 @@ class BucComputation {
   const FactTable& facts_;
   const CubeLattice& lattice_;
   const CubeComputeOptions& options_;
+  ExecutionContext* ctx_;
   CubeComputeStats* stats_;
   CubeResult result_;
   std::vector<AxisStateId> states_;
   std::vector<ValueId> values_;
 };
 
+/// Bottom-up family: the plan's kPartitionRecurse steps are emitted by
+/// one recursive walk; the variant (from the plan) decides where the
+/// single-value fast path applies.
+class BottomUpExecutor final : public CuboidExecutor {
+ public:
+  const char* name() const override { return "bottom-up"; }
+
+  Result<CubeResult> Execute(const CubePlan& plan, const FactTable& facts,
+                             const CubeLattice& lattice,
+                             const CubeComputeOptions& options,
+                             ExecutionContext* ctx,
+                             CubeComputeStats* stats) const override {
+    if (plan.algorithm == CubeAlgorithm::kBUCCust &&
+        options.properties == nullptr) {
+      X3_LOG(Info) << "BUCCUST without a property map runs as plain BUC";
+    }
+    BucComputation computation(plan.algorithm, facts, lattice, options, ctx,
+                               stats);
+    return computation.Run();
+  }
+};
+
 }  // namespace
 
-Result<CubeResult> ComputeBottomUp(CubeAlgorithm variant,
-                                   const FactTable& facts,
-                                   const CubeLattice& lattice,
-                                   const CubeComputeOptions& options,
-                                   CubeComputeStats* stats) {
-  if (variant == CubeAlgorithm::kBUCCust && options.properties == nullptr) {
-    X3_LOG(Info) << "BUCCUST without a property map runs as plain BUC";
-  }
-  BucComputation computation(variant, facts, lattice, options, stats);
-  return computation.Run();
+std::unique_ptr<CuboidExecutor> MakeBottomUpExecutor() {
+  return std::make_unique<BottomUpExecutor>();
 }
 
 }  // namespace internal

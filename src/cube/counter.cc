@@ -1,8 +1,9 @@
-#include "cube/algorithm.h"
-
 #include <algorithm>
+#include <unordered_map>
 
+#include "cube/executor.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace x3 {
 namespace internal {
@@ -13,11 +14,18 @@ constexpr size_t kCellOverhead = 64;
 
 /// One pass attempt over a batch of cuboids. Returns true on success;
 /// false when the memory budget was exhausted mid-pass (the partial
-/// counters are discarded and the caller splits the batch).
+/// counters are discarded and the caller splits the batch). Any budget
+/// reserved during the pass is released on every path, including a
+/// cancellation or deadline unwind.
 Result<bool> CounterPass(const FactTable& facts, const CubeLattice& lattice,
                          const CubeComputeOptions& options,
                          const std::vector<CuboidId>& batch,
-                         CubeResult* result, CubeComputeStats* stats) {
+                         ExecutionContext* ctx, CubeResult* result,
+                         CubeComputeStats* stats) {
+  ScopedStageTimer timer(
+      ctx->stats(),
+      StringPrintf("pass/%llu", static_cast<unsigned long long>(
+                                    stats->passes)));
   ++stats->passes;
   ++stats->base_scans;
   MemoryBudget* budget = options.budget;
@@ -34,7 +42,10 @@ Result<bool> CounterPass(const FactTable& facts, const CubeLattice& lattice,
   std::vector<size_t> idx;
   std::vector<ValueId> tuple;
   bool overflow = false;
+  Status interrupted = Status::OK();
   for (size_t f = 0; f < facts.size() && !overflow; ++f) {
+    interrupted = ctx->Poll();
+    if (!interrupted.ok()) break;
     int64_t measure = facts.measure(f);
     for (size_t a = 0; a < lattice.num_axes(); ++a) {
       for (AxisStateId s = 0; s < lattice.axis(a).num_states(); ++s) {
@@ -105,6 +116,7 @@ Result<bool> CounterPass(const FactTable& facts, const CubeLattice& lattice,
                                             budget->peak());
     budget->Release(reserved);
   }
+  X3_RETURN_IF_ERROR(interrupted);
   if (overflow) return false;
   // Merge into the result ("write the counters out").
   for (size_t b = 0; b < batch.size(); ++b) {
@@ -121,11 +133,11 @@ Result<bool> CounterPass(const FactTable& facts, const CubeLattice& lattice,
 /// passes, at 7 axes we needed 5 passes", §4.6).
 Status CounterBatch(const FactTable& facts, const CubeLattice& lattice,
                     const CubeComputeOptions& options,
-                    const std::vector<CuboidId>& batch, CubeResult* result,
-                    CubeComputeStats* stats) {
+                    const std::vector<CuboidId>& batch, ExecutionContext* ctx,
+                    CubeResult* result, CubeComputeStats* stats) {
   if (batch.empty()) return Status::OK();
-  X3_ASSIGN_OR_RETURN(
-      bool ok, CounterPass(facts, lattice, options, batch, result, stats));
+  X3_ASSIGN_OR_RETURN(bool ok, CounterPass(facts, lattice, options, batch,
+                                           ctx, result, stats));
   if (ok) return Status::OK();
   if (batch.size() == 1) {
     // A single cuboid that alone exceeds the budget: there is nothing
@@ -135,9 +147,9 @@ Status CounterBatch(const FactTable& facts, const CubeLattice& lattice,
     forced.budget = nullptr;
     X3_LOG(Warning) << "COUNTER: cuboid " << batch[0]
                     << " alone exceeds the memory budget; forcing";
-    X3_ASSIGN_OR_RETURN(
-        bool forced_ok,
-        CounterPass(facts, lattice, forced, batch, result, stats));
+    X3_ASSIGN_OR_RETURN(bool forced_ok,
+                        CounterPass(facts, lattice, forced, batch, ctx,
+                                    result, stats));
     X3_CHECK(forced_ok);
     return Status::OK();
   }
@@ -145,22 +157,38 @@ Status CounterBatch(const FactTable& facts, const CubeLattice& lattice,
   std::vector<CuboidId> left(batch.begin(), batch.begin() + mid);
   std::vector<CuboidId> right(batch.begin() + mid, batch.end());
   X3_RETURN_IF_ERROR(
-      CounterBatch(facts, lattice, options, left, result, stats));
-  return CounterBatch(facts, lattice, options, right, result, stats);
+      CounterBatch(facts, lattice, options, left, ctx, result, stats));
+  return CounterBatch(facts, lattice, options, right, ctx, result, stats);
 }
+
+/// Counter-based family (§3.3): all cuboids off one shared scan, split
+/// into multiple passes when the counters exceed the budget. The plan's
+/// kHashAggregate steps are the batch list.
+class CounterExecutor final : public CuboidExecutor {
+ public:
+  const char* name() const override { return "counter"; }
+
+  Result<CubeResult> Execute(const CubePlan& plan, const FactTable& facts,
+                             const CubeLattice& lattice,
+                             const CubeComputeOptions& options,
+                             ExecutionContext* ctx,
+                             CubeComputeStats* stats) const override {
+    CubeResult result(lattice.num_cuboids(), options.aggregate);
+    std::vector<CuboidId> all;
+    all.reserve(plan.steps.size());
+    for (const CuboidPlanStep& step : plan.steps) {
+      all.push_back(step.cuboid);
+    }
+    X3_RETURN_IF_ERROR(
+        CounterBatch(facts, lattice, options, all, ctx, &result, stats));
+    return result;
+  }
+};
 
 }  // namespace
 
-Result<CubeResult> ComputeCounter(const FactTable& facts,
-                                  const CubeLattice& lattice,
-                                  const CubeComputeOptions& options,
-                                  CubeComputeStats* stats) {
-  CubeResult result(lattice.num_cuboids(), options.aggregate);
-  std::vector<CuboidId> all(lattice.num_cuboids());
-  for (CuboidId c = 0; c < lattice.num_cuboids(); ++c) all[c] = c;
-  X3_RETURN_IF_ERROR(
-      CounterBatch(facts, lattice, options, all, &result, stats));
-  return result;
+std::unique_ptr<CuboidExecutor> MakeCounterExecutor() {
+  return std::make_unique<CounterExecutor>();
 }
 
 }  // namespace internal

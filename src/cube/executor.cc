@@ -1,0 +1,62 @@
+#include "cube/executor.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace x3 {
+
+Status CuboidExecutorRegistry::Register(
+    CubeAlgorithm algo, std::unique_ptr<CuboidExecutor> executor) {
+  if (executor == nullptr) {
+    return Status::InvalidArgument("null executor");
+  }
+  auto [it, inserted] = executors_.emplace(algo, std::move(executor));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists(
+        std::string("executor already registered for ") +
+        CubeAlgorithmToString(algo));
+  }
+  return Status::OK();
+}
+
+const CuboidExecutor* CuboidExecutorRegistry::Find(CubeAlgorithm algo) const {
+  auto it = executors_.find(algo);
+  return it == executors_.end() ? nullptr : it->second.get();
+}
+
+std::vector<CubeAlgorithm> CuboidExecutorRegistry::Algorithms() const {
+  std::vector<CubeAlgorithm> out;
+  out.reserve(executors_.size());
+  for (const auto& [algo, executor] : executors_) {
+    (void)executor;
+    out.push_back(algo);
+  }
+  return out;
+}
+
+CuboidExecutorRegistry& GlobalCuboidExecutorRegistry() {
+  static CuboidExecutorRegistry registry;
+  static bool seeded = [] {
+    auto add = [](CubeAlgorithm algo,
+                  std::unique_ptr<CuboidExecutor> executor) {
+      Status s = registry.Register(algo, std::move(executor));
+      X3_CHECK(s.ok()) << s;
+    };
+    add(CubeAlgorithm::kReference, internal::MakeReferenceExecutor());
+    add(CubeAlgorithm::kCounter, internal::MakeCounterExecutor());
+    add(CubeAlgorithm::kBUC, internal::MakeBottomUpExecutor());
+    add(CubeAlgorithm::kBUCOpt, internal::MakeBottomUpExecutor());
+    add(CubeAlgorithm::kBUCCust, internal::MakeBottomUpExecutor());
+    add(CubeAlgorithm::kTD, internal::MakeTopDownExecutor());
+    add(CubeAlgorithm::kTDOpt, internal::MakeTopDownExecutor());
+    add(CubeAlgorithm::kTDOptAll, internal::MakeTopDownExecutor());
+    add(CubeAlgorithm::kTDCust, internal::MakeTopDownExecutor());
+    return true;
+  }();
+  (void)seeded;
+  return registry;
+}
+
+}  // namespace x3

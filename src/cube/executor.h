@@ -1,0 +1,74 @@
+#ifndef X3_CUBE_EXECUTOR_H_
+#define X3_CUBE_EXECUTOR_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cube/algorithm.h"
+#include "cube/plan.h"
+#include "util/exec.h"
+
+namespace x3 {
+
+/// Executes a CubePlan for one algorithm family. Implementations live
+/// with their algorithm (reference.cc, counter.cc, buc.cc, topdown.cc)
+/// and are looked up through the registry — ComputeCube's hot path has
+/// no per-algorithm switch.
+///
+/// Contract: `ctx` is never null; long loops must Poll() it and unwind
+/// with kCancelled / kDeadlineExceeded, releasing every budget charge on
+/// the way out. Executors read budget/temp_files from `options` (already
+/// reconciled with the context by ComputeCube) and record stage timings
+/// into ctx->stats().
+class CuboidExecutor {
+ public:
+  virtual ~CuboidExecutor() = default;
+
+  virtual const char* name() const = 0;
+
+  virtual Result<CubeResult> Execute(const CubePlan& plan,
+                                     const FactTable& facts,
+                                     const CubeLattice& lattice,
+                                     const CubeComputeOptions& options,
+                                     ExecutionContext* ctx,
+                                     CubeComputeStats* stats) const = 0;
+};
+
+/// Maps CubeAlgorithm -> executor. One executor instance may serve
+/// several algorithms of a family (registered once per algorithm).
+class CuboidExecutorRegistry {
+ public:
+  /// Fails with kAlreadyExists when `algo` is already registered.
+  Status Register(CubeAlgorithm algo,
+                  std::unique_ptr<CuboidExecutor> executor);
+
+  /// nullptr when `algo` has no registered executor.
+  const CuboidExecutor* Find(CubeAlgorithm algo) const;
+
+  /// Registered algorithms in enum order (tests sweep this instead of
+  /// hard-coding the nine variants).
+  std::vector<CubeAlgorithm> Algorithms() const;
+
+ private:
+  std::map<CubeAlgorithm, std::unique_ptr<CuboidExecutor>> executors_;
+};
+
+/// The process-wide registry, seeded with all built-in families on first
+/// use (explicit seeding, not static initializers: a static library must
+/// not rely on the linker keeping registration objects alive).
+CuboidExecutorRegistry& GlobalCuboidExecutorRegistry();
+
+namespace internal {
+
+/// Built-in executor factories (one per family; exposed for white-box
+/// tests that want an executor without the global registry).
+std::unique_ptr<CuboidExecutor> MakeReferenceExecutor();
+std::unique_ptr<CuboidExecutor> MakeCounterExecutor();
+std::unique_ptr<CuboidExecutor> MakeBottomUpExecutor();
+std::unique_ptr<CuboidExecutor> MakeTopDownExecutor();
+
+}  // namespace internal
+}  // namespace x3
+
+#endif  // X3_CUBE_EXECUTOR_H_

@@ -1,0 +1,118 @@
+#ifndef X3_CUBE_PLAN_H_
+#define X3_CUBE_PLAN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "relax/cube_lattice.h"
+#include "schema/summarizability.h"
+
+namespace x3 {
+
+enum class CubeAlgorithm : uint8_t;  // cube/algorithm.h
+
+/// One step of a cube execution plan: how one cuboid is produced.
+///
+/// Originally this described only the TDCUST strategy choice; it is now
+/// the unit of the `CubePlan` built for *every* algorithm family, so
+/// EXPLAIN can show — and executors can follow — the per-cuboid
+/// strategy "dictated by the semantics of the cube being computed"
+/// (§4.5) no matter which family runs.
+struct CuboidPlanStep {
+  enum class Kind : uint8_t {
+    kBaseWithIds,      // full TD sort carrying fact ids
+    kBaseNoIds,        // sort without ids (cuboid proven disjoint)
+    kRollup,           // aggregate an LND axis away from `source`
+    kCopy,             // structural edge: copy `source`'s cells
+    kHashAggregate,    // counter family: hash cells off a shared scan
+    kPartitionRecurse, // bottom-up family: cells emitted by the
+                       // recursive partition walk
+    kSharedSort,       // TDOPT: prefix aggregation of pipe `source`
+  };
+  CuboidId cuboid = 0;
+  Kind kind = Kind::kBaseWithIds;
+  /// kRollup/kCopy: source cuboid. kSharedSort: index into
+  /// CubePlan::pipes. Unused otherwise.
+  CuboidId source = 0;
+  /// Safety annotation from the property map: true when the chosen
+  /// strategy provably yields the exact cube for this cuboid. OPT
+  /// variants plan unsafe steps when their global assumption is
+  /// unproven — exactly the paper's Fig. 9 caveat, now visible in
+  /// EXPLAIN before any cycles are spent.
+  bool safe = true;
+};
+
+const char* CuboidPlanStepKindToString(CuboidPlanStep::Kind kind);
+
+/// A shared-sort pipe (TDOPT): one sort of the base in `sort_order`
+/// serves every prefix cuboid in `covered`.
+struct CubePlanPipe {
+  /// (axis, state) per present axis, in the pipe's sort order (a
+  /// chain-friendly permutation, not axis order).
+  std::vector<std::pair<size_t, AxisStateId>> sort_order;
+  /// (prefix length, cuboid) pairs computed from this pipe's sort.
+  std::vector<std::pair<size_t, CuboidId>> covered;
+};
+
+/// The execution plan for a whole cube: one step per cuboid (in
+/// dependency order — roll-up sources always precede their readers)
+/// plus, for the shared-sort family, the pipe definitions.
+struct CubePlan {
+  CubeAlgorithm algorithm{};
+  std::vector<CuboidPlanStep> steps;
+  std::vector<CubePlanPipe> pipes;
+  /// Number of steps whose strategy is not proven safe by the property
+  /// map (0 for the always-correct variants).
+  size_t unsafe_steps = 0;
+};
+
+/// Builds the execution plan `algo` would follow over `lattice` given
+/// the property map. Pure planning: no data is touched, so EXPLAIN is
+/// free and the same plan object drives the executor afterwards.
+CubePlan BuildCubePlan(CubeAlgorithm algo, const CubeLattice& lattice,
+                       const LatticeProperties& properties);
+
+/// Human-readable rendering of a plan: a header line, then one line per
+/// cuboid (and one per pipe for the shared-sort family). Unsafe steps
+/// are flagged "UNSAFE".
+std::string ExplainCubePlan(const CubePlan& plan, const CubeLattice& lattice);
+
+/// Computes the strategy TDCUST would use per cuboid given the property
+/// map. Equivalent to BuildCubePlan(kTDCust, ...).steps; kept as the
+/// stable inspection API.
+std::vector<CuboidPlanStep> PlanCustomTopDown(
+    const CubeLattice& lattice, const LatticeProperties& properties);
+
+/// Human-readable rendering of PlanCustomTopDown (one line per cuboid).
+std::string ExplainCustomTopDown(const CubeLattice& lattice,
+                                 const LatticeProperties& properties);
+
+namespace internal {
+
+/// Differing axis of a lattice edge (p -> c one-step relaxation).
+struct LatticeEdge {
+  size_t axis;
+  AxisStateId from_state;
+  AxisStateId to_state;
+  bool to_absent;
+};
+
+/// The single differing axis between `p` and `c`, or nullopt when they
+/// differ in zero or two-plus axes.
+std::optional<LatticeEdge> EdgeBetween(const CubeLattice& lattice, CuboidId p,
+                                       CuboidId c);
+
+/// TDCUST's per-edge safety test (see DESIGN.md §5): an LND roll-up is
+/// safe iff the dropped axis is disjoint and covered at the parent's
+/// state; a structural copy is safe iff the axis is covered at the
+/// tighter state and disjoint at the more relaxed one (then both states
+/// bind exactly the same single value for every fact).
+bool EdgeRollupSafe(const LatticeProperties& props, const LatticeEdge& edge);
+
+}  // namespace internal
+}  // namespace x3
+
+#endif  // X3_CUBE_PLAN_H_

@@ -1,29 +1,49 @@
-#include "cube/algorithm.h"
+#include "cube/executor.h"
+#include "util/string_util.h"
 
 namespace x3 {
 namespace internal {
+namespace {
 
 /// The correctness oracle: computes every cuboid independently by
 /// scanning all facts and enumerating each fact's groups. O(cuboids *
 /// facts) with no memory bound; used by tests to validate every other
 /// algorithm and by small examples.
-Result<CubeResult> ComputeReference(const FactTable& facts,
-                                    const CubeLattice& lattice,
-                                    const CubeComputeOptions& options,
-                                    CubeComputeStats* stats) {
-  CubeResult result(lattice.num_cuboids(), options.aggregate);
-  std::vector<std::vector<ValueId>> scratch(lattice.num_axes());
-  for (CuboidId c = 0; c < lattice.num_cuboids(); ++c) {
-    ++stats->base_scans;
-    for (size_t f = 0; f < facts.size(); ++f) {
-      int64_t measure = facts.measure(f);
-      ForEachGroupOfFact(facts, lattice, c, f, &scratch,
-                         [&](const GroupKey& key) {
-                           result.MutableCell(c, key)->Update(measure);
-                         });
+class ReferenceExecutor final : public CuboidExecutor {
+ public:
+  const char* name() const override { return "reference"; }
+
+  Result<CubeResult> Execute(const CubePlan& plan, const FactTable& facts,
+                             const CubeLattice& lattice,
+                             const CubeComputeOptions& options,
+                             ExecutionContext* ctx,
+                             CubeComputeStats* stats) const override {
+    CubeResult result(lattice.num_cuboids(), options.aggregate);
+    std::vector<std::vector<ValueId>> scratch(lattice.num_axes());
+    for (const CuboidPlanStep& step : plan.steps) {
+      ScopedStageTimer timer(
+          ctx->stats(),
+          StringPrintf("cuboid/%llu",
+                       static_cast<unsigned long long>(step.cuboid)));
+      ++stats->base_scans;
+      for (size_t f = 0; f < facts.size(); ++f) {
+        X3_RETURN_IF_ERROR(ctx->Poll());
+        int64_t measure = facts.measure(f);
+        ForEachGroupOfFact(facts, lattice, step.cuboid, f, &scratch,
+                           [&](const GroupKey& key) {
+                             result.MutableCell(step.cuboid, key)
+                                 ->Update(measure);
+                           });
+      }
     }
+    return result;
   }
-  return result;
+};
+
+}  // namespace
+
+std::unique_ptr<CuboidExecutor> MakeReferenceExecutor() {
+  return std::make_unique<ReferenceExecutor>();
 }
 
 }  // namespace internal

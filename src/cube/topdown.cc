@@ -1,9 +1,8 @@
-#include "cube/algorithm.h"
-
 #include <algorithm>
 #include <cstring>
 #include <optional>
 
+#include "cube/executor.h"
 #include "storage/external_sorter.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -46,10 +45,12 @@ int64_t ReadMeasure(const char* p) {
   return static_cast<int64_t>(u);
 }
 
-ExternalSorter::Options SorterOptions(const CubeComputeOptions& options) {
+ExternalSorter::Options SorterOptions(const CubeComputeOptions& options,
+                                      ExecutionContext* ctx) {
   ExternalSorter::Options sort_options;
   sort_options.budget = options.budget;
   sort_options.temp_files = options.temp_files;
+  sort_options.exec = ctx;
   return sort_options;
 }
 
@@ -68,16 +69,17 @@ void AbsorbSortStats(const SortStats& sort_stats, CubeComputeStats* stats) {
 /// duplicates collapsed.
 Status CuboidFromBase(const FactTable& facts, const CubeLattice& lattice,
                       CuboidId cuboid, bool with_ids,
-                      const CubeComputeOptions& options, CubeResult* result,
-                      CubeComputeStats* stats) {
+                      const CubeComputeOptions& options, ExecutionContext* ctx,
+                      CubeResult* result, CubeComputeStats* stats) {
   std::vector<size_t> present = lattice.PresentAxes(cuboid);
   size_t key_len = present.size() * 4;
-  ExternalSorter sorter(SorterOptions(options));
+  ExternalSorter sorter(SorterOptions(options, ctx));
   ++stats->base_scans;
 
   std::vector<std::vector<ValueId>> scratch(lattice.num_axes());
   std::string record;
   for (size_t f = 0; f < facts.size(); ++f) {
+    X3_RETURN_IF_ERROR(ctx->Poll());
     int64_t measure = facts.measure(f);
     Status add_status = Status::OK();
     ForEachGroupOfFact(facts, lattice, cuboid, f, &scratch,
@@ -113,6 +115,7 @@ Status CuboidFromBase(const FactTable& facts, const CubeLattice& lattice,
   std::string rec;
   Status s;
   while (stream->Next(&rec, &s)) {
+    X3_RETURN_IF_ERROR(ctx->Poll());
     std::string_view group(rec.data(), key_len);
     size_t dedup_len = with_ids ? key_len + 4 : rec.size();
     std::string_view dedup_key(rec.data(), dedup_len);
@@ -132,121 +135,20 @@ Status CuboidFromBase(const FactTable& facts, const CubeLattice& lattice,
   return Status::OK();
 }
 
-/// A shared-sort "pipe" (TDOPT): the signature of a maximal cuboid plus
-/// the list of prefix cuboids computed from one sort of the base.
-struct Pipe {
-  /// (axis, state) per present axis, ascending axis order.
-  std::vector<std::pair<size_t, AxisStateId>> signature;
-  /// (prefix length, cuboid) pairs served by this pipe.
-  std::vector<std::pair<size_t, CuboidId>> covered;
-};
-
-/// Signature of a cuboid: its present axes with their states.
-std::vector<std::pair<size_t, AxisStateId>> SignatureOf(
-    const CubeLattice& lattice, CuboidId cuboid) {
-  std::vector<std::pair<size_t, AxisStateId>> sig;
-  for (size_t a = 0; a < lattice.num_axes(); ++a) {
-    AxisStateId s = lattice.StateOf(cuboid, a);
-    if (lattice.axis(a).state(s).grouping_present()) {
-      sig.emplace_back(a, s);
-    }
-  }
-  return sig;
-}
-
-/// The cuboid obtained by keeping the first `k` signature entries and
-/// setting every other axis to its absent state; nullopt when an axis
-/// outside the prefix has no absent state.
-std::optional<CuboidId> PrefixCuboid(
-    const CubeLattice& lattice,
-    const std::vector<std::pair<size_t, AxisStateId>>& signature, size_t k) {
-  std::vector<AxisStateId> states(lattice.num_axes());
-  std::vector<bool> in_prefix(lattice.num_axes(), false);
-  for (size_t i = 0; i < k; ++i) {
-    states[signature[i].first] = signature[i].second;
-    in_prefix[signature[i].first] = true;
-  }
-  for (size_t a = 0; a < lattice.num_axes(); ++a) {
-    if (in_prefix[a]) continue;
-    std::optional<AxisStateId> absent = lattice.axis(a).absent_state();
-    if (!absent.has_value()) return std::nullopt;
-    states[a] = *absent;
-  }
-  return lattice.Encode(states);
-}
-
-/// Greedy pipe cover: repeatedly take the largest uncovered cuboid and
-/// let one sort in a well-chosen axis order serve a whole chain of
-/// prefix cuboids. This is the PipeSort/MemoryCube-style sort sharing
-/// that disjointness unlocks (one record per fact, prefix aggregation
-/// from base).
-///
-/// The axis order within a pipe matters: prefixes of the sort order are
-/// the cuboids the pipe computes for free, so we build the order
-/// back-to-front, at each level preferring to drop an axis whose
-/// remaining subset is still uncovered (a greedy symmetric-chain
-/// decomposition; for a d-dimensional LND lattice this yields about
-/// C(d, d/2) pipes instead of one sort per cuboid).
-std::vector<Pipe> BuildPipes(const CubeLattice& lattice) {
-  std::vector<CuboidId> order(lattice.num_cuboids());
-  for (CuboidId c = 0; c < lattice.num_cuboids(); ++c) order[c] = c;
-  std::stable_sort(order.begin(), order.end(), [&](CuboidId a, CuboidId b) {
-    return SignatureOf(lattice, a).size() > SignatureOf(lattice, b).size();
-  });
-  std::vector<bool> covered(lattice.num_cuboids(), false);
-  std::vector<Pipe> pipes;
-  for (CuboidId c : order) {
-    if (covered[c]) continue;
-    std::vector<std::pair<size_t, AxisStateId>> remaining =
-        SignatureOf(lattice, c);
-    // Build the sort order back to front: the axis dropped first comes
-    // last in the sort order.
-    std::vector<std::pair<size_t, AxisStateId>> sort_order(remaining.size());
-    size_t fill = remaining.size();
-    while (!remaining.empty()) {
-      size_t choice = 0;
-      for (size_t i = 0; i < remaining.size(); ++i) {
-        std::vector<std::pair<size_t, AxisStateId>> without = remaining;
-        without.erase(without.begin() + static_cast<ptrdiff_t>(i));
-        // Does dropping axis i leave an uncovered, constructible cuboid?
-        std::optional<CuboidId> sub =
-            PrefixCuboid(lattice, without, without.size());
-        if (sub.has_value() && !covered[*sub]) {
-          choice = i;
-          break;
-        }
-      }
-      sort_order[--fill] = remaining[choice];
-      remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(choice));
-    }
-    Pipe pipe;
-    pipe.signature = std::move(sort_order);
-    for (size_t k = pipe.signature.size() + 1; k-- > 0;) {
-      std::optional<CuboidId> prefix =
-          PrefixCuboid(lattice, pipe.signature, k);
-      if (!prefix.has_value()) continue;
-      if (k < pipe.signature.size() && covered[*prefix]) continue;
-      covered[*prefix] = true;
-      pipe.covered.emplace_back(k, *prefix);
-    }
-    pipes.push_back(std::move(pipe));
-  }
-  return pipes;
-}
-
 /// TDOPT: runs one pipe — a single sort of one record per fact (value
-/// or null per signature entry), then simultaneous prefix aggregation
+/// or null per sort-order entry), then simultaneous prefix aggregation
 /// for every covered cuboid. Correct only under disjointness (the
 /// first admitted value is THE value).
-Status RunPipe(const FactTable& facts, const CubeLattice& /*lattice*/,
-               const Pipe& pipe, const CubeComputeOptions& options,
+Status RunPipe(const FactTable& facts, const CubePlanPipe& pipe,
+               const CubeComputeOptions& options, ExecutionContext* ctx,
                CubeResult* result, CubeComputeStats* stats) {
-  ExternalSorter sorter(SorterOptions(options));
+  ExternalSorter sorter(SorterOptions(options, ctx));
   ++stats->base_scans;
   std::string record;
   for (size_t f = 0; f < facts.size(); ++f) {
+    X3_RETURN_IF_ERROR(ctx->Poll());
     record.clear();
-    for (const auto& [axis, state] : pipe.signature) {
+    for (const auto& [axis, state] : pipe.sort_order) {
       ValueId v = facts.FirstAdmittedValue(axis, f, state);
       AppendBE32(&record, v == kInvalidValueId ? kNullField : v);
     }
@@ -263,7 +165,7 @@ Status RunPipe(const FactTable& facts, const CubeLattice& /*lattice*/,
   struct PrefixAgg {
     size_t k;
     CuboidId cuboid;
-    /// Record-field indices of the first k signature axes in ascending
+    /// Record-field indices of the first k sort-order axes in ascending
     /// axis order — group keys are always packed in axis order, while
     /// the pipe's sort order is a chain-friendly permutation.
     std::vector<size_t> field_order;
@@ -280,7 +182,7 @@ Status RunPipe(const FactTable& facts, const CubeLattice& /*lattice*/,
     for (size_t i = 0; i < k; ++i) agg.field_order[i] = i;
     std::sort(agg.field_order.begin(), agg.field_order.end(),
               [&](size_t a, size_t b) {
-                return pipe.signature[a].first < pipe.signature[b].first;
+                return pipe.sort_order[a].first < pipe.sort_order[b].first;
               });
     aggs.push_back(std::move(agg));
   }
@@ -299,6 +201,7 @@ Status RunPipe(const FactTable& facts, const CubeLattice& /*lattice*/,
   std::string rec;
   Status s;
   while (stream->Next(&rec, &s)) {
+    X3_RETURN_IF_ERROR(ctx->Poll());
     int64_t measure = ReadMeasure(rec.data() + rec.size() - 8);
     for (PrefixAgg& agg : aggs) {
       std::string_view prefix(rec.data(), agg.k * 4);
@@ -323,43 +226,22 @@ Status RunPipe(const FactTable& facts, const CubeLattice& /*lattice*/,
   return Status::OK();
 }
 
-/// Differing axis of a lattice edge (p -> c one-step relaxation).
-struct EdgeInfo {
-  size_t axis;
-  AxisStateId from_state;
-  AxisStateId to_state;
-  bool to_absent;
-};
-
-std::optional<EdgeInfo> EdgeBetween(const CubeLattice& lattice, CuboidId p,
-                                    CuboidId c) {
-  std::optional<EdgeInfo> info;
-  for (size_t a = 0; a < lattice.num_axes(); ++a) {
-    AxisStateId sp = lattice.StateOf(p, a);
-    AxisStateId sc = lattice.StateOf(c, a);
-    if (sp == sc) continue;
-    if (info.has_value()) return std::nullopt;  // differs in 2+ axes
-    info = EdgeInfo{a, sp, sc,
-                    !lattice.axis(a).state(sc).grouping_present()};
-  }
-  return info;
-}
-
 /// Computes cuboid `c` from already-computed less-relaxed neighbour `p`
 /// along `edge`: LND edges aggregate the dropped axis away; structural
 /// edges copy cells verbatim (valid under the coverage+disjointness
-/// preconditions the caller established).
-void RollUp(const CubeLattice& lattice, CuboidId p, CuboidId c,
-            const EdgeInfo& edge, CubeResult* result,
-            CubeComputeStats* stats) {
+/// preconditions the planner established).
+Status RollUp(const CubeLattice& lattice, CuboidId p, CuboidId c,
+              const LatticeEdge& edge, ExecutionContext* ctx,
+              CubeResult* result, CubeComputeStats* stats) {
   ++stats->rollups;
   const auto& parent_cells = result->cuboid(p);
   if (!edge.to_absent) {
     // Structural relaxation: identical groups.
     for (const auto& [key, state] : parent_cells) {
+      X3_RETURN_IF_ERROR(ctx->Poll());
       result->MutableCell(c, key)->Merge(state);
     }
-    return;
+    return Status::OK();
   }
   // LND: drop the axis's field from each key and merge.
   std::vector<size_t> parent_present = lattice.PresentAxes(p);
@@ -371,171 +253,75 @@ void RollUp(const CubeLattice& lattice, CuboidId p, CuboidId c,
     }
   }
   for (const auto& [key, state] : parent_cells) {
+    X3_RETURN_IF_ERROR(ctx->Poll());
     GroupKey child_key;
     child_key.reserve(key.size() - 4);
     child_key.append(key, 0, drop_pos * 4);
     child_key.append(key, drop_pos * 4 + 4, std::string::npos);
     result->MutableCell(c, child_key)->Merge(state);
   }
+  return Status::OK();
 }
 
-/// TDCUST's per-edge safety test (see DESIGN.md §5): an LND roll-up is
-/// safe iff the dropped axis is disjoint and covered at the parent's
-/// state; a structural copy is safe iff the axis is covered at the
-/// tighter state and disjoint at the more relaxed one (then both states
-/// bind exactly the same single value for every fact).
-bool EdgeRollupSafe(const LatticeProperties& props, const EdgeInfo& edge) {
-  if (edge.to_absent) {
-    const SummarizabilityFlags& f = props.At(edge.axis, edge.from_state);
-    return f.disjoint && f.covered;
+/// Top-down family: pure plan interpreter. The four TD variants differ
+/// only in the plans they produce (cube/plan.cc); execution is the same
+/// loop over pipes and steps for all of them.
+class TopDownExecutor final : public CuboidExecutor {
+ public:
+  const char* name() const override { return "top-down"; }
+
+  Result<CubeResult> Execute(const CubePlan& plan, const FactTable& facts,
+                             const CubeLattice& lattice,
+                             const CubeComputeOptions& options,
+                             ExecutionContext* ctx,
+                             CubeComputeStats* stats) const override {
+    CubeResult result(lattice.num_cuboids(), options.aggregate);
+    for (size_t p = 0; p < plan.pipes.size(); ++p) {
+      ScopedStageTimer timer(ctx->stats(), StringPrintf("pipe/%zu", p));
+      X3_RETURN_IF_ERROR(RunPipe(facts, plan.pipes[p], options, ctx, &result,
+                                 stats));
+    }
+    for (const CuboidPlanStep& step : plan.steps) {
+      switch (step.kind) {
+        case CuboidPlanStep::Kind::kBaseWithIds:
+        case CuboidPlanStep::Kind::kBaseNoIds: {
+          ScopedStageTimer timer(
+              ctx->stats(),
+              StringPrintf("cuboid/%llu",
+                           static_cast<unsigned long long>(step.cuboid)));
+          X3_RETURN_IF_ERROR(CuboidFromBase(
+              facts, lattice, step.cuboid,
+              step.kind == CuboidPlanStep::Kind::kBaseWithIds, options, ctx,
+              &result, stats));
+          break;
+        }
+        case CuboidPlanStep::Kind::kRollup:
+        case CuboidPlanStep::Kind::kCopy: {
+          std::optional<LatticeEdge> edge =
+              EdgeBetween(lattice, step.source, step.cuboid);
+          X3_CHECK(edge.has_value());
+          X3_RETURN_IF_ERROR(RollUp(lattice, step.source, step.cuboid, *edge,
+                                    ctx, &result, stats));
+          break;
+        }
+        case CuboidPlanStep::Kind::kSharedSort:
+          break;  // already produced by its pipe above
+        default:
+          return Status::Internal(
+              StringPrintf("step kind %s not executable by the top-down "
+                           "family",
+                           CuboidPlanStepKindToString(step.kind)));
+      }
+    }
+    return result;
   }
-  return props.At(edge.axis, edge.from_state).covered &&
-         props.At(edge.axis, edge.to_state).disjoint;
-}
+};
 
 }  // namespace
 
-Result<CubeResult> ComputeTopDown(CubeAlgorithm variant,
-                                  const FactTable& facts,
-                                  const CubeLattice& lattice,
-                                  const CubeComputeOptions& options,
-                                  CubeComputeStats* stats) {
-  CubeResult result(lattice.num_cuboids(), options.aggregate);
-
-  if (variant == CubeAlgorithm::kTD) {
-    // Unoptimized: every cuboid from base, carrying fact identifiers.
-    for (CuboidId c = 0; c < lattice.num_cuboids(); ++c) {
-      X3_RETURN_IF_ERROR(CuboidFromBase(facts, lattice, c, /*with_ids=*/true,
-                                        options, &result, stats));
-    }
-    return result;
-  }
-
-  if (variant == CubeAlgorithm::kTDOpt) {
-    std::vector<Pipe> pipes = BuildPipes(lattice);
-    for (const Pipe& pipe : pipes) {
-      X3_RETURN_IF_ERROR(
-          RunPipe(facts, lattice, pipe, options, &result, stats));
-    }
-    return result;
-  }
-
-  if (variant == CubeAlgorithm::kTDOptAll) {
-    // Finest cuboid from one base sort, everything else by roll-up /
-    // copy along lattice edges (valid under global coverage +
-    // disjointness, which this variant assumes).
-    std::vector<CuboidId> topo = lattice.TopoOrder();
-    X3_CHECK(!topo.empty() && topo.front() == lattice.FinestCuboid());
-    X3_RETURN_IF_ERROR(CuboidFromBase(facts, lattice, topo.front(),
-                                      /*with_ids=*/false, options, &result,
-                                      stats));
-    for (size_t i = 1; i < topo.size(); ++i) {
-      CuboidId c = topo[i];
-      std::vector<CuboidId> parents = lattice.LessRelaxedNeighbors(c);
-      X3_CHECK(!parents.empty());
-      CuboidId p = parents.front();
-      std::optional<EdgeInfo> edge = EdgeBetween(lattice, p, c);
-      X3_CHECK(edge.has_value());
-      RollUp(lattice, p, c, *edge, &result, stats);
-    }
-    return result;
-  }
-
-  // TDCUST: per cuboid, the cheapest strategy the property map proves
-  // safe; otherwise the full TD path.
-  X3_CHECK(variant == CubeAlgorithm::kTDCust);
-  LatticeProperties assume_nothing =
-      LatticeProperties::AssumeNothing(lattice);
-  const LatticeProperties& props =
-      options.properties != nullptr ? *options.properties : assume_nothing;
-  for (const CuboidPlanStep& step : PlanCustomTopDown(lattice, props)) {
-    switch (step.kind) {
-      case CuboidPlanStep::Kind::kBaseWithIds:
-      case CuboidPlanStep::Kind::kBaseNoIds:
-        X3_RETURN_IF_ERROR(CuboidFromBase(
-            facts, lattice, step.cuboid,
-            step.kind == CuboidPlanStep::Kind::kBaseWithIds, options,
-            &result, stats));
-        break;
-      case CuboidPlanStep::Kind::kRollup:
-      case CuboidPlanStep::Kind::kCopy: {
-        std::optional<EdgeInfo> edge =
-            EdgeBetween(lattice, step.source, step.cuboid);
-        X3_CHECK(edge.has_value());
-        RollUp(lattice, step.source, step.cuboid, *edge, &result, stats);
-        break;
-      }
-    }
-  }
-  return result;
+std::unique_ptr<CuboidExecutor> MakeTopDownExecutor() {
+  return std::make_unique<TopDownExecutor>();
 }
 
 }  // namespace internal
-
-std::vector<CuboidPlanStep> PlanCustomTopDown(
-    const CubeLattice& lattice, const LatticeProperties& properties) {
-  using internal::EdgeBetween;
-  using internal::EdgeRollupSafe;
-  using EdgeInfo = internal::EdgeInfo;
-  std::vector<CuboidPlanStep> plan;
-  std::vector<CuboidId> topo = lattice.TopoOrder();
-  plan.reserve(topo.size());
-  for (size_t i = 0; i < topo.size(); ++i) {
-    CuboidId c = topo[i];
-    CuboidPlanStep step;
-    step.cuboid = c;
-    bool rolled = false;
-    if (i > 0) {
-      for (CuboidId p : lattice.LessRelaxedNeighbors(c)) {
-        std::optional<EdgeInfo> edge = EdgeBetween(lattice, p, c);
-        if (!edge.has_value()) continue;
-        if (EdgeRollupSafe(properties, *edge)) {
-          step.kind = edge->to_absent ? CuboidPlanStep::Kind::kRollup
-                                      : CuboidPlanStep::Kind::kCopy;
-          step.source = p;
-          rolled = true;
-          break;
-        }
-      }
-    }
-    if (!rolled) {
-      step.kind = properties.ForCuboid(lattice, c).disjoint
-                      ? CuboidPlanStep::Kind::kBaseNoIds
-                      : CuboidPlanStep::Kind::kBaseWithIds;
-    }
-    plan.push_back(step);
-  }
-  return plan;
-}
-
-std::string ExplainCustomTopDown(const CubeLattice& lattice,
-                                 const LatticeProperties& properties) {
-  std::string out;
-  for (const CuboidPlanStep& step : PlanCustomTopDown(lattice, properties)) {
-    out += StringPrintf("cuboid %4llu %s  <- ",
-                        static_cast<unsigned long long>(step.cuboid),
-                        lattice.DescribeCuboid(step.cuboid).c_str());
-    switch (step.kind) {
-      case CuboidPlanStep::Kind::kBaseWithIds:
-        out += "base scan + sort (fact ids retained: disjointness unproven)";
-        break;
-      case CuboidPlanStep::Kind::kBaseNoIds:
-        out += "base scan + sort (no fact ids: disjoint)";
-        break;
-      case CuboidPlanStep::Kind::kRollup:
-        out += StringPrintf(
-            "roll-up from cuboid %llu (dropped axis disjoint+covered)",
-            static_cast<unsigned long long>(step.source));
-        break;
-      case CuboidPlanStep::Kind::kCopy:
-        out += StringPrintf(
-            "copy of cuboid %llu (structural edge with equal bindings)",
-            static_cast<unsigned long long>(step.source));
-        break;
-    }
-    out += "\n";
-  }
-  return out;
-}
-
 }  // namespace x3

@@ -213,6 +213,9 @@ Status ExternalSorter::SpillBuffer() {
     return Status::ResourceExhausted(
         "sort exceeded memory budget and no temp file manager configured");
   }
+  if (options_.exec != nullptr) {
+    X3_RETURN_IF_ERROR(options_.exec->CheckInterrupted());
+  }
   std::sort(buffer_.begin(), buffer_.end(),
             [this](const std::string& a, const std::string& b) {
               return options_.comparator(a, b) < 0;
@@ -249,6 +252,9 @@ Status ExternalSorter::CascadeMerges() {
     std::string rec;
     Status s;
     while (merge.Next(&rec, &s)) {
+      if (options_.exec != nullptr) {
+        X3_RETURN_IF_ERROR(options_.exec->Poll());
+      }
       X3_RETURN_IF_ERROR(writer.Append(rec));
     }
     X3_RETURN_IF_ERROR(s);

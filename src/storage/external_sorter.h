@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "storage/temp_file.h"
+#include "util/exec.h"
 #include "util/memory_budget.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -62,6 +63,10 @@ class ExternalSorter {
     RecordComparator comparator = BytewiseCompare;
     /// Maximum runs merged at once.
     size_t merge_fanin = 64;
+    /// Polled during spills and cascade merges so a cancelled or expired
+    /// query unwinds mid-sort instead of finishing the pass. nullptr =
+    /// uninterruptible.
+    ExecutionContext* exec = nullptr;
   };
 
   explicit ExternalSorter(Options options);

@@ -1,0 +1,50 @@
+#include "util/exec.h"
+
+#include "util/string_util.h"
+
+namespace x3 {
+
+namespace {
+
+bool LabelMatches(const std::string& label, std::string_view query) {
+  if (label.size() == query.size()) return label == query;
+  return label.size() > query.size() &&
+         label.compare(0, query.size(), query) == 0 &&
+         label[query.size()] == '/';
+}
+
+}  // namespace
+
+double StatsSink::TotalSeconds(std::string_view label) const {
+  double total = 0;
+  for (const StageTiming& t : timings_) {
+    if (LabelMatches(t.label, label)) total += t.seconds;
+  }
+  return total;
+}
+
+size_t StatsSink::CountStages(std::string_view label) const {
+  size_t n = 0;
+  for (const StageTiming& t : timings_) {
+    if (LabelMatches(t.label, label)) ++n;
+  }
+  return n;
+}
+
+std::string StatsSink::ToString() const {
+  std::string out;
+  for (const StageTiming& t : timings_) {
+    out += StringPrintf("%s: %.3f ms\n", t.label.c_str(), t.seconds * 1e3);
+  }
+  return out;
+}
+
+std::optional<double> ExecutionContext::RemainingSeconds() const {
+  if (!options_.deadline.has_value()) return std::nullopt;
+  double remaining =
+      std::chrono::duration<double>(*options_.deadline - Clock::now())
+          .count();
+  return remaining > 0 ? remaining : 0;
+}
+
+}  // namespace x3

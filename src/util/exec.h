@@ -1,0 +1,202 @@
+#ifndef X3_UTIL_EXEC_H_
+#define X3_UTIL_EXEC_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/memory_budget.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace x3 {
+
+class TempFileManager;  // storage/temp_file.h; held by pointer only
+
+/// Cooperative cancellation flag shared between a query's issuer and
+/// its executing thread. The issuer calls Cancel(); long-running loops
+/// observe it through ExecutionContext::Poll() and unwind with
+/// kCancelled. Thread-safe; Cancel() is idempotent.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    int64_t remaining = trip_after_.load(std::memory_order_relaxed);
+    if (remaining >= 0 &&
+        trip_after_.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+      cancelled_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// Arms the token to trip after `checks` further cancelled() calls —
+  /// a deterministic way to cancel mid-computation (tests use it to
+  /// prove every algorithm family unwinds cleanly from deep inside its
+  /// hot loop, without racing a second thread).
+  void CancelAfterChecks(int64_t checks) {
+    trip_after_.store(checks, std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::atomic<bool> cancelled_{false};
+  /// -1 = disarmed; >= 0 = remaining checks before auto-cancel.
+  mutable std::atomic<int64_t> trip_after_{-1};
+};
+
+/// One named stage timing recorded during execution ("materialize",
+/// "plan", "compute", "cuboid/12", "pass/2", ...).
+struct StageTiming {
+  std::string label;
+  double seconds = 0;
+};
+
+/// Collects per-stage wall-clock timings during a query's execution.
+/// Append-only and cheap; not thread-safe (one sink per execution).
+class StatsSink {
+ public:
+  void Record(std::string_view label, double seconds) {
+    timings_.push_back({std::string(label), seconds});
+  }
+
+  const std::vector<StageTiming>& timings() const { return timings_; }
+
+  /// Sum of all stages whose label equals `label` or starts with
+  /// "<label>/" (so TotalSeconds("cuboid") sums every per-cuboid entry).
+  double TotalSeconds(std::string_view label) const;
+
+  /// Number of stages with label `label` or prefix "<label>/".
+  size_t CountStages(std::string_view label) const;
+
+  void Clear() { timings_.clear(); }
+
+  /// One "label: 1.234 ms" line per stage, for logs and EXPLAIN ANALYZE
+  /// style output.
+  std::string ToString() const;
+
+ private:
+  std::vector<StageTiming> timings_;
+};
+
+/// RAII helper: records the elapsed time of a scope into a sink under a
+/// fixed label. A null sink disables recording.
+class ScopedStageTimer {
+ public:
+  ScopedStageTimer(StatsSink* sink, std::string label)
+      : sink_(sink), label_(std::move(label)) {}
+  ~ScopedStageTimer() {
+    if (sink_ != nullptr) sink_->Record(label_, timer_.ElapsedSeconds());
+  }
+
+  ScopedStageTimer(const ScopedStageTimer&) = delete;
+  ScopedStageTimer& operator=(const ScopedStageTimer&) = delete;
+
+ private:
+  StatsSink* sink_;
+  std::string label_;
+  Timer timer_;
+};
+
+/// The execution environment threaded through a whole query: memory
+/// budget, temp-file manager, cooperative cancellation, a monotonic
+/// deadline, and the per-stage stats sink. One context per execution;
+/// not thread-safe (the deadline poll counter is unsynchronized).
+///
+/// Cancellation contract: every long-running loop (fact scans, BUC
+/// recursion, sort runs, merge passes) calls Poll() and propagates a
+/// non-OK status outward without side effects beyond already-merged
+/// partial state; all resources are RAII-owned, so an early unwind
+/// leaks nothing. Poll() checks the cancellation flag on every call
+/// and the clock only every kDeadlineStride calls (steady_clock reads
+/// are too expensive for per-row polling).
+class ExecutionContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Options {
+    /// Bounds working memory. nullptr = unlimited.
+    MemoryBudget* budget = nullptr;
+    /// Where sort spills and intermediates live.
+    TempFileManager* temp_files = nullptr;
+    /// Cooperative cancellation; nullptr = not cancellable.
+    const CancellationToken* cancel = nullptr;
+    /// Absolute monotonic deadline; nullopt = no deadline.
+    std::optional<Clock::time_point> deadline;
+  };
+
+  ExecutionContext() = default;
+  explicit ExecutionContext(Options options) : options_(options) {}
+
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  MemoryBudget* budget() const { return options_.budget; }
+  TempFileManager* temp_files() const { return options_.temp_files; }
+  const std::optional<Clock::time_point>& deadline() const {
+    return options_.deadline;
+  }
+
+  StatsSink* stats() { return &stats_; }
+  const StatsSink& stats() const { return stats_; }
+
+  /// Cheap per-iteration check: cancellation flag every call, deadline
+  /// every kDeadlineStride calls. OK, kCancelled or kDeadlineExceeded.
+  Status Poll() {
+    if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+      return Status::Cancelled("execution cancelled");
+    }
+    if (options_.deadline.has_value() &&
+        (++deadline_poll_count_ % kDeadlineStride) == 0) {
+      return CheckDeadline();
+    }
+    return Status::OK();
+  }
+
+  /// Unstrided check (stage boundaries): flag and clock both.
+  Status CheckInterrupted() {
+    if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+      return Status::Cancelled("execution cancelled");
+    }
+    if (options_.deadline.has_value()) return CheckDeadline();
+    return Status::OK();
+  }
+
+  /// Remaining time, clamped at zero; nullopt when no deadline is set.
+  std::optional<double> RemainingSeconds() const;
+
+ private:
+  static constexpr uint64_t kDeadlineStride = 512;
+
+  Status CheckDeadline() const {
+    if (Clock::now() > *options_.deadline) {
+      return Status::DeadlineExceeded("execution deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+  Options options_;
+  StatsSink stats_;
+  uint64_t deadline_poll_count_ = 0;
+};
+
+/// A deadline `seconds` from now on the context clock.
+inline ExecutionContext::Clock::time_point DeadlineAfterSeconds(
+    double seconds) {
+  return ExecutionContext::Clock::now() +
+         std::chrono::duration_cast<ExecutionContext::Clock::duration>(
+             std::chrono::duration<double>(seconds));
+}
+
+}  // namespace x3
+
+#endif  // X3_UTIL_EXEC_H_

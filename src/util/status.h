@@ -23,6 +23,8 @@ enum class StatusCode : uint8_t {
   kUnimplemented,
   kInternal,
   kParseError,
+  kCancelled,
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -85,6 +87,12 @@ class [[nodiscard]] Status {
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,5 +1,8 @@
 #include "x3/engine.h"
 
+#include <algorithm>
+#include <optional>
+
 #include "util/timer.h"
 #include "x3/binder.h"
 #include "x3/parser.h"
@@ -26,23 +29,51 @@ Result<X3ExecutionResult> X3Engine::ExecuteQuery(
     options.min_count = query.min_count;
   }
 
+  // One context for the whole pipeline: either the caller's (its
+  // budget/temp_files win, see ComputeCube) or a local uncancellable
+  // one wrapping the option fields.
+  ExecutionContext local_ctx(ExecutionContext::Options{
+      options.budget, options.temp_files, nullptr, std::nullopt});
+  ExecutionContext* ctx =
+      options.exec != nullptr ? options.exec : &local_ctx;
+  options.exec = ctx;
+  MemoryBudget* budget =
+      ctx->budget() != nullptr ? ctx->budget() : options.budget;
+
   Timer timer;
+  X3_RETURN_IF_ERROR(ctx->CheckInterrupted());
   X3_ASSIGN_OR_RETURN(CubeLattice lattice, BuildCubeLattice(query));
   X3_ASSIGN_OR_RETURN(FactTable facts,
                       BuildFactTable(*db_, query, lattice));
   double materialize_seconds = timer.ElapsedSeconds();
+  ctx->stats()->Record("materialize", materialize_seconds);
+
+  // The materialized fact table is working memory of the query: charge
+  // it for the duration of the cube computation so peak_memory reflects
+  // the real footprint and budgeted algorithms see what is left.
+  std::optional<ScopedReservation> facts_reservation;
+  if (budget != nullptr) {
+    facts_reservation.emplace(budget, facts.ApproxBytes());
+  }
+  X3_RETURN_IF_ERROR(ctx->CheckInterrupted());
 
   timer.Reset();
   CubeComputeStats stats;
   X3_ASSIGN_OR_RETURN(CubeResult cube, ComputeCube(algorithm, facts, lattice,
                                                    options, &stats));
   double cube_seconds = timer.ElapsedSeconds();
+  if (budget != nullptr) {
+    stats.peak_memory =
+        std::max<uint64_t>(stats.peak_memory, budget->peak());
+  }
 
   X3ExecutionResult result(std::move(lattice), std::move(facts),
                            std::move(cube));
   result.stats = stats;
   result.materialize_seconds = materialize_seconds;
   result.cube_seconds = cube_seconds;
+  result.plan_seconds = ctx->stats()->TotalSeconds("plan");
+  result.stage_timings = ctx->stats()->timings();
   return result;
 }
 

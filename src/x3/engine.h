@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "cube/algorithm.h"
 #include "cube/cube_spec.h"
@@ -22,6 +23,12 @@ struct X3ExecutionResult {
   /// cube computation (the paper times only the latter).
   double materialize_seconds = 0;
   double cube_seconds = 0;
+  /// Time spent building the CubePlan (part of cube_seconds).
+  double plan_seconds = 0;
+  /// Full per-stage breakdown ("materialize", "plan", "compute",
+  /// "cuboid/<id>", "pass/<n>", "pipe/<n>", ...) from the execution
+  /// context's stats sink.
+  std::vector<StageTiming> stage_timings;
 
   X3ExecutionResult(CubeLattice lattice_in, FactTable facts_in,
                     CubeResult cube_in)
@@ -66,7 +73,12 @@ class X3Engine {
                                     CubeAlgorithm algorithm,
                                     CubeComputeOptions options) const;
 
-  /// Pipeline from an already-compiled query.
+  /// Pipeline from an already-compiled query. When `options.exec` is
+  /// set, its cancellation token and deadline cover the whole pipeline
+  /// (materialization included) and its budget is charged for the
+  /// materialized fact table; otherwise an internal context is built
+  /// from `options.budget` / `options.temp_files`. Stage timings land
+  /// in X3ExecutionResult::stage_timings either way.
   Result<X3ExecutionResult> ExecuteQuery(const CubeQuery& query,
                                          CubeAlgorithm algorithm,
                                          CubeComputeOptions options) const;

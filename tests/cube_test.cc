@@ -4,6 +4,7 @@
 
 #include "cube/algorithm.h"
 #include "cube/cube_spec.h"
+#include "cube/executor.h"
 #include "cube/view_store.h"
 #include "gen/treebank_gen.h"
 #include "gen/workload.h"
@@ -462,6 +463,55 @@ TEST_F(Figure1CubeTest, ExplainCustomTopDownPlan) {
   EXPECT_EQ(steps[0].kind, CuboidPlanStep::Kind::kBaseNoIds);
 }
 
+// Golden rendering of PlanCustomTopDown over a hand-built property map:
+// a two-axis LND-only lattice where the author axis is proven
+// disjoint+covered at every state and the year axis is proven nothing.
+// TDCUST must roll the author axis up / copy across it, and fall back
+// to id-carrying base sorts wherever the unproven year axis changes.
+TEST(ExplainGoldenTest, CustomPlanOverFixedPropertyMap) {
+  CubeQuery query;
+  query.fact_path = "//publication";
+  query.axes.push_back(
+      {"a", "/author", RelaxationSet::Of({RelaxationType::kLND}), {}});
+  query.axes.push_back(
+      {"y", "/year", RelaxationSet::Of({RelaxationType::kLND}), {}});
+  auto lattice = BuildCubeLattice(query);
+  ASSERT_TRUE(lattice.ok()) << lattice.status();
+
+  LatticeProperties props = LatticeProperties::AssumeNothing(*lattice);
+  for (AxisStateId s = 0; s < lattice->axis(0).num_states(); ++s) {
+    props.Mutable(0, s)->disjoint = true;
+    props.Mutable(0, s)->covered = true;
+  }
+
+  const std::string golden =
+      "cuboid    0 [a:publication/author y:publication/year]  <- "
+      "base scan + sort (fact ids retained: disjointness unproven)\n"
+      "cuboid    1 [a:ABSENT y:publication/year]  <- "
+      "roll-up from cuboid 0 (dropped axis disjoint+covered)\n"
+      "cuboid    2 [a:publication/author y:ABSENT]  <- "
+      "base scan + sort (no fact ids: disjoint)\n"
+      "cuboid    3 [a:ABSENT y:ABSENT]  <- "
+      "roll-up from cuboid 2 (dropped axis disjoint+covered)\n";
+  EXPECT_EQ(ExplainCustomTopDown(*lattice, props), golden);
+
+  // The steps behind the rendering: dropping or relaxing the proven
+  // author axis never rescans base; changing the year axis always does.
+  std::vector<CuboidPlanStep> steps = PlanCustomTopDown(*lattice, props);
+  ASSERT_EQ(steps.size(), lattice->num_cuboids());
+  size_t base_steps = 0;
+  for (const CuboidPlanStep& step : steps) {
+    if (step.kind == CuboidPlanStep::Kind::kBaseWithIds ||
+        step.kind == CuboidPlanStep::Kind::kBaseNoIds) {
+      ++base_steps;
+    }
+    EXPECT_TRUE(step.safe);  // TDCUST only picks proven strategies
+  }
+  // One base sort per year state (present and absent); everything else
+  // derives along the proven author axis.
+  EXPECT_EQ(base_steps, lattice->axis(1).num_states());
+}
+
 TEST_F(Figure1CubeTest, CsvOutput) {
   auto cube = ComputeCube(CubeAlgorithm::kReference, *facts_, *lattice_,
                           {AggregateFunction::kCount});
@@ -804,6 +854,50 @@ TEST(IcebergTest, AllAlgorithmsAgreeOnFilteredCube) {
     std::string diff;
     EXPECT_TRUE(reference->Equals(*cube, &diff))
         << CubeAlgorithmToString(algo) << ": " << diff;
+  }
+}
+
+// Satellite conformance: every registered executor, iceberg thresholds
+// 0/2/5, on the overlapping DBLP-style workload (multi-author articles
+// make the author axis genuinely non-disjoint). Variants whose plan is
+// fully proven safe must agree cell-exactly with the reference at every
+// threshold; unsafe OPT plans are still required to complete cleanly.
+TEST(IcebergTest, RegisteredAlgorithmsAgreeAcrossThresholds) {
+  auto workload = BuildDblpWorkload(400);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+
+  for (int64_t min_count : {0, 2, 5}) {
+    CubeComputeOptions options;
+    options.aggregate = AggregateFunction::kCount;
+    options.properties = &workload->properties;
+    options.min_count = min_count;
+
+    auto reference = ComputeCube(CubeAlgorithm::kReference, workload->facts,
+                                 workload->lattice, options);
+    ASSERT_TRUE(reference.ok()) << reference.status();
+    EXPECT_GT(reference->TotalCells(), 0u);
+    if (min_count > 1) {
+      for (CuboidId c = 0; c < workload->lattice.num_cuboids(); ++c) {
+        for (const auto& [key, state] : reference->cuboid(c)) {
+          EXPECT_GE(state.count, min_count);
+        }
+      }
+    }
+
+    for (CubeAlgorithm algo : GlobalCuboidExecutorRegistry().Algorithms()) {
+      CubePlan plan = BuildCubePlan(algo, workload->lattice,
+                                    workload->properties);
+      auto cube = ComputeCube(algo, workload->facts, workload->lattice,
+                              options);
+      ASSERT_TRUE(cube.ok()) << CubeAlgorithmToString(algo)
+                             << " min_count=" << min_count << ": "
+                             << cube.status();
+      if (plan.unsafe_steps > 0) continue;
+      std::string diff;
+      EXPECT_TRUE(reference->Equals(*cube, &diff))
+          << CubeAlgorithmToString(algo) << " min_count=" << min_count
+          << ": " << diff;
+    }
   }
 }
 

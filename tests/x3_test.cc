@@ -380,6 +380,72 @@ TEST(EngineTest, CustAlgorithmsWithInferredPropertiesEndToEnd) {
   }
 }
 
+TEST(EngineTest, BudgetChargedForMaterializedFacts) {
+  auto db = testutil::OpenFigure1Db();
+  ASSERT_NE(db, nullptr);
+  X3Engine engine(db.get());
+
+  MemoryBudget budget(64 * 1024 * 1024);
+  CubeComputeOptions options;
+  options.budget = &budget;
+  auto result = engine.Execute(kQuery1, CubeAlgorithm::kBUC, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  // The materialized fact table is charged against the budget for the
+  // duration of the computation, so peak memory can never understate
+  // the input's resident size.
+  EXPECT_GE(result->stats.peak_memory, result->facts.ApproxBytes());
+  EXPECT_GT(result->facts.ApproxBytes(), 0u);
+  // ...and the charge is released once execution finishes.
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(EngineTest, StageTimingsSurfaced) {
+  auto db = testutil::OpenFigure1Db();
+  ASSERT_NE(db, nullptr);
+  X3Engine engine(db.get());
+  auto result = engine.Execute(kQuery1, CubeAlgorithm::kCounter);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  bool saw_materialize = false, saw_plan = false, saw_compute = false;
+  for (const StageTiming& stage : result->stage_timings) {
+    if (stage.label == "materialize") saw_materialize = true;
+    if (stage.label == "plan") saw_plan = true;
+    if (stage.label == "compute") saw_compute = true;
+    EXPECT_GE(stage.seconds, 0.0);
+  }
+  EXPECT_TRUE(saw_materialize);
+  EXPECT_TRUE(saw_plan);
+  EXPECT_TRUE(saw_compute);
+  EXPECT_GE(result->plan_seconds, 0.0);
+  EXPECT_LE(result->plan_seconds, result->cube_seconds);
+}
+
+TEST(EngineTest, CallerContextInterruptsWholePipeline) {
+  auto db = testutil::OpenFigure1Db();
+  ASSERT_NE(db, nullptr);
+  X3Engine engine(db.get());
+
+  // Pre-cancelled token: the pipeline must stop before materializing.
+  CancellationToken token;
+  token.Cancel();
+  ExecutionContext cancelled({nullptr, nullptr, &token, std::nullopt});
+  CubeComputeOptions options;
+  options.exec = &cancelled;
+  auto result = engine.Execute(kQuery1, CubeAlgorithm::kBUC, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+
+  // Expired deadline: same unwind, different status.
+  ExecutionContext late({nullptr, nullptr, nullptr,
+                         ExecutionContext::Clock::now() -
+                             std::chrono::milliseconds(1)});
+  options.exec = &late;
+  result = engine.Execute(kQuery1, CubeAlgorithm::kBUC, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
 TEST(EngineTest, CompileOnlyValidates) {
   auto db = testutil::OpenFigure1Db();
   ASSERT_NE(db, nullptr);
