@@ -69,9 +69,12 @@ inline const Workload& CachedDblpWorkload(size_t articles) {
 /// Runs one (algorithm, workload) cube computation per iteration, with
 /// a working-memory budget proportional to the fact table (the paper's
 /// crossovers are functions of the data:memory ratio). Reports the
-/// paper-relevant counters.
+/// paper-relevant counters. `parallelism` feeds the executor's worker
+/// count (1 = the sequential baseline; results are cell-identical at
+/// every level, so the timings are comparable).
 inline void RunCubeBenchmark(benchmark::State& state, CubeAlgorithm algo,
-                             const Workload& workload) {
+                             const Workload& workload,
+                             size_t parallelism = 1) {
   // The paper's machine fit roughly twice the base data in memory
   // (1 GB RAM, 576 MB loaded Treebank). Scale the budget with the fact
   // table the same way so crossovers land where theirs did: COUNTER is
@@ -93,6 +96,7 @@ inline void RunCubeBenchmark(benchmark::State& state, CubeAlgorithm algo,
     options.aggregate = AggregateFunction::kCount;
     options.properties = &workload.properties;
     options.exec = &ctx;
+    options.parallelism = parallelism;
     auto cube =
         ComputeCube(algo, workload.facts, workload.lattice, options, &stats);
     X3_CHECK(cube.ok()) << cube.status();
@@ -138,6 +142,32 @@ inline void RegisterFigure(const std::string& figure,
           [algo, setting](benchmark::State& state) {
             const Workload& workload = CachedTreebankWorkload(setting);
             RunCubeBenchmark(state, algo, workload);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+/// Registers the thread-scaling sweep: for each worker count in
+/// `thread_counts` and each algorithm, one benchmark named
+/// "<figure>/<ALGO>/threads:<t>" on a fixed workload — the speedup
+/// series of the scaling figure. The threads:1 point is the sequential
+/// baseline the others are normalized against.
+inline void RegisterThreadSweep(const std::string& figure,
+                                const ExperimentSetting& setting,
+                                const std::vector<CubeAlgorithm>& algorithms,
+                                const std::vector<size_t>& thread_counts) {
+  for (CubeAlgorithm algo : algorithms) {
+    for (size_t threads : thread_counts) {
+      std::string name =
+          StringPrintf("%s/%s/threads:%zu", figure.c_str(),
+                       CubeAlgorithmToString(algo), threads);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [algo, setting, threads](benchmark::State& state) {
+            const Workload& workload = CachedTreebankWorkload(setting);
+            RunCubeBenchmark(state, algo, workload, threads);
           })
           ->Unit(benchmark::kMillisecond)
           ->Iterations(1);

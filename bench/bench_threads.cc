@@ -1,0 +1,33 @@
+// Thread-scaling figure: cube-computation wall time vs worker count on
+// a dense, fully summarizable workload (the setting where every family
+// schedules many independent plan steps: TDOPTALL rolls up a deep
+// chain, TDOPT runs several pipes, REFERENCE/COUNTER/TD fan out per
+// cuboid). threads:1 is the sequential baseline; speedup at t workers
+// is baseline_ms / threads:t_ms per algorithm. BUC appears as the flat
+// control series — its recursive walk is sequential by design (see
+// src/cube/buc.cc).
+//
+// Honest-reporting note: the speedup this figure shows is bounded by
+// the *physical* cores of the machine running it. On a single-core
+// container every series is flat (scheduling overhead only); the >1 ×
+// speedups require real hardware parallelism.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  x3::ExperimentSetting setting;
+  setting.coverage_holds = true;
+  setting.disjointness_holds = true;
+  setting.dense = true;
+  setting.num_axes = 5;
+  setting.num_trees = x3::bench::TreesFor(4000);
+  setting.seed = 42;
+  x3::bench::RegisterThreadSweep(
+      "threads", setting,
+      {x3::CubeAlgorithm::kReference, x3::CubeAlgorithm::kCounter,
+       x3::CubeAlgorithm::kTD, x3::CubeAlgorithm::kTDOpt,
+       x3::CubeAlgorithm::kTDOptAll, x3::CubeAlgorithm::kTDCust,
+       x3::CubeAlgorithm::kBUC},
+      {1, 2, 4, 8});
+  return x3::bench::RunRegisteredBenchmarks(argc, argv);
+}

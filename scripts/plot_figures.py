@@ -34,7 +34,7 @@ def parse(path):
             algo = parts[1] if len(parts) > 1 else ""
             x = ""
             for part in parts[2:]:
-                if part.startswith(("axes:", "trees:")):
+                if part.startswith(("axes:", "trees:", "threads:")):
                     x = part.split(":", 1)[1]
             figures[figure][algo].append((x, ms))
     return figures

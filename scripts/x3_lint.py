@@ -23,6 +23,12 @@ Rules (see docs/STATIC_ANALYSIS.md for the rationale):
   include-hygiene    Project includes are quoted "dir/file.h" paths from
                      the src/ root: no "../" escapes, no <bits/...>, and
                      headers carry an X3_*_H_ include guard.
+  raw-thread         No raw std::thread/std::jthread in src/ outside
+                     src/util/thread_pool.*: all engine concurrency goes
+                     through ThreadPool/TaskGroup so shutdown, draining
+                     and error propagation live in one audited place.
+                     (Tests may spawn threads directly to hammer the
+                     primitives.)
 
 A finding can be suppressed with a trailing comment naming the rule:
     some_call();  // x3-lint: allow(raw-new-delete) -- justification
@@ -46,6 +52,10 @@ BARE_ASSERT = re.compile(r"(?<![\w:.])assert\s*\(")
 PARENT_INCLUDE = re.compile(r'#\s*include\s+"[^"]*\.\.')
 BITS_INCLUDE = re.compile(r"#\s*include\s+<bits/")
 GUARD = re.compile(r"#ifndef\s+(X3_\w+_H_)")
+# Matches std::thread / std::jthread as a type use. std::this_thread
+# does not match: after "std::" the literal "thread" fails against
+# "this_thread" at its third character.
+RAW_THREAD = re.compile(r"std\s*::\s*j?thread\b")
 ALLOW = re.compile(r"x3-lint:\s*allow\(([\w-]+)\)")
 
 
@@ -99,6 +109,7 @@ class Linter:
         in_storage = rel.startswith("src/storage/")
         in_src = rel.startswith("src/")
         is_logging_h = rel == "src/util/logging.h"
+        is_thread_pool = rel.startswith("src/util/thread_pool.")
         with open(path, encoding="utf-8", errors="replace") as f:
             lines = f.readlines()
 
@@ -148,6 +159,10 @@ class Linter:
                 self.report(path, lineno, "banned-random",
                             "rand()/srand()/time() in deterministic code; "
                             "use util/random.h with an explicit seed", raw)
+            if in_src and not is_thread_pool and RAW_THREAD.search(code):
+                self.report(path, lineno, "raw-thread",
+                            "raw std::thread outside src/util/thread_pool.*; "
+                            "use ThreadPool/TaskGroup", raw)
             if in_src and not is_logging_h and BARE_ASSERT.search(code):
                 self.report(path, lineno, "bare-assert",
                             "bare assert(); use X3_CHECK (always on) or "

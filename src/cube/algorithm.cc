@@ -1,10 +1,12 @@
 #include "cube/algorithm.h"
 
+#include <algorithm>
 #include <optional>
 
 #include "cube/executor.h"
 #include "cube/plan.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace x3 {
 
@@ -50,6 +52,19 @@ Result<CubeAlgorithm> ParseCubeAlgorithm(std::string_view name) {
                                  std::string(name));
 }
 
+void CubeComputeStats::Absorb(const CubeComputeStats& other) {
+  base_scans += other.base_scans;
+  passes += other.passes;
+  sorts += other.sorts;
+  records_sorted += other.records_sorted;
+  spilled_runs += other.spilled_runs;
+  spill_bytes += other.spill_bytes;
+  partitions += other.partitions;
+  partition_rows += other.partition_rows;
+  rollups += other.rollups;
+  peak_memory = std::max(peak_memory, other.peak_memory);
+}
+
 Result<CubeResult> ComputeCube(CubeAlgorithm algo, const FactTable& facts,
                                const CubeLattice& lattice,
                                const CubeComputeOptions& options,
@@ -75,6 +90,9 @@ Result<CubeResult> ComputeCube(CubeAlgorithm algo, const FactTable& facts,
       options.exec != nullptr ? options.exec : &local_ctx;
   CubeComputeOptions effective = options;
   effective.exec = ctx;
+  if (effective.parallelism == 0) {
+    effective.parallelism = ThreadPool::DefaultConcurrency();
+  }
   if (options.exec != nullptr) {
     if (ctx->budget() != nullptr) effective.budget = ctx->budget();
     if (ctx->temp_files() != nullptr) {

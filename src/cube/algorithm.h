@@ -72,6 +72,15 @@ struct CubeComputeOptions {
   /// from `budget`/`temp_files`. When set, its non-null budget and
   /// temp-file manager take precedence over the fields above.
   ExecutionContext* exec = nullptr;
+  /// Worker threads for plan execution. 1 (the default) runs every step
+  /// on the calling thread — exactly the pre-parallel behavior. 0 means
+  /// "use the hardware concurrency". Values > 1 run independent plan
+  /// steps concurrently on a worker pool; the result is bit-identical
+  /// to parallelism 1 for every algorithm (each cuboid is written by
+  /// exactly one task, roll-ups wait on their producers, and the
+  /// aggregates are commutative). The bottom-up family executes its
+  /// single recursive partition walk sequentially regardless.
+  size_t parallelism = 1;
 };
 
 /// Cost counters exposed by every algorithm (machine-independent
@@ -97,6 +106,12 @@ struct CubeComputeStats {
   uint64_t rollups = 0;
   /// Peak tracked memory (bytes) if a budget was supplied.
   uint64_t peak_memory = 0;
+
+  /// Merges the counters of `other` into this (sum everywhere, max for
+  /// peak_memory). The parallel executor gives each task its own stats
+  /// and absorbs them at the join point in task order, so the merged
+  /// totals are deterministic.
+  void Absorb(const CubeComputeStats& other);
 };
 
 /// Computes the full cube of `facts` over `lattice` with `algo`.

@@ -162,6 +162,16 @@ class BucComputation {
 /// Bottom-up family: the plan's kPartitionRecurse steps are emitted by
 /// one recursive walk; the variant (from the plan) decides where the
 /// single-value fast path applies.
+///
+/// This family ignores options.parallelism and always runs on the
+/// calling thread: the recursion does not decompose at cuboid
+/// granularity — sibling partitions of the walk emit cells into the
+/// *same* cuboid maps (every cuboid aggregates contributions from many
+/// partitions), so there is no per-cuboid task with a single writer to
+/// schedule. Splitting the top-level partitions instead would need
+/// per-cell synchronization or a merge phase that forfeits BUC's
+/// iceberg pruning. The differential tests still sweep this family at
+/// every parallelism (the knob is simply a no-op here).
 class BottomUpExecutor final : public CuboidExecutor {
  public:
   const char* name() const override { return "bottom-up"; }

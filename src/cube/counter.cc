@@ -179,8 +179,35 @@ class CounterExecutor final : public CuboidExecutor {
     for (const CuboidPlanStep& step : plan.steps) {
       all.push_back(step.cuboid);
     }
+    if (options.parallelism <= 1 || all.size() <= 1) {
+      X3_RETURN_IF_ERROR(
+          CounterBatch(facts, lattice, options, all, ctx, &result, stats));
+      return result;
+    }
+    // Parallel: round-robin the cuboids into one batch per worker, each
+    // an independent task. Batches write disjoint cuboid maps of the
+    // shared result, and the shared atomic budget still caps the sum of
+    // all counters — a batch that overflows splits itself exactly as in
+    // the sequential multi-pass case, so cell contents stay exact (the
+    // pass *structure* may differ from the single-thread run; the
+    // differential tests compare cells, which are identical).
+    const size_t num_batches = std::min(options.parallelism, all.size());
+    std::vector<std::vector<CuboidId>> batches(num_batches);
+    for (size_t i = 0; i < all.size(); ++i) {
+      batches[i % num_batches].push_back(all[i]);
+    }
+    std::vector<PlanTask> tasks;
+    tasks.reserve(num_batches);
+    for (std::vector<CuboidId>& batch : batches) {
+      tasks.push_back(PlanTask{
+          [&, batch = std::move(batch)](CubeComputeStats* task_stats) {
+            return CounterBatch(facts, lattice, options, batch, ctx, &result,
+                                task_stats);
+          },
+          {}});
+    }
     X3_RETURN_IF_ERROR(
-        CounterBatch(facts, lattice, options, all, ctx, &result, stats));
+        RunPlanTasks(std::move(tasks), options.parallelism, stats));
     return result;
   }
 };

@@ -24,6 +24,14 @@ GroupKey PackGroupKey(std::span<const ValueId> values);
 std::vector<ValueId> UnpackGroupKey(const GroupKey& key);
 
 /// The computed cube: one cell map per cuboid of the lattice.
+///
+/// Not internally synchronized, but safe under the parallel executor's
+/// discipline: each cuboid's cell map is a distinct object touched by
+/// exactly one plan task (MutableCell/mutable_cuboid on different
+/// cuboids never share state), and a task reading another cuboid
+/// (roll-up) is ordered after its producer by the scheduler. Whole-
+/// result reads (Equals, ApplyIcebergFilter, TotalCells) require
+/// quiescence — they run after the execution's join point.
 class CubeResult {
  public:
   CubeResult(uint64_t num_cuboids, AggregateFunction fn);

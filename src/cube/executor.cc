@@ -1,10 +1,98 @@
 #include "cube/executor.h"
 
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
 #include <utility>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace x3 {
+
+Status RunPlanTasks(std::vector<PlanTask> tasks, size_t parallelism,
+                    CubeComputeStats* stats) {
+  X3_CHECK(stats != nullptr);
+  const size_t n = tasks.size();
+  if (parallelism <= 1 || n <= 1) {
+    // The sequential path: index order, shared stats, stop at the first
+    // error. This is exactly the pre-parallel execution.
+    for (PlanTask& task : tasks) {
+      X3_RETURN_IF_ERROR(task.run(stats));
+    }
+    return Status::OK();
+  }
+
+  // Dependency bookkeeping. Steps are in dependency order, so every dep
+  // points at a lower index — checked here, relied on below.
+  std::vector<size_t> blockers(n, 0);
+  std::vector<std::vector<size_t>> dependents(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d : tasks[i].deps) {
+      X3_CHECK(d < i) << "plan task " << i << " depends on later task " << d;
+      dependents[d].push_back(i);
+    }
+    blockers[i] = tasks[i].deps.size();
+  }
+
+  // Each task gets its own stats so workers never share a counter; the
+  // per-task stats are absorbed in index order at the join point.
+  std::vector<CubeComputeStats> task_stats(n);
+  std::vector<Status> statuses(n, Status::OK());
+
+  ThreadPool pool(std::min(parallelism, n));
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t completed = 0;
+  size_t inflight = 0;
+  bool failed = false;
+
+  // Submits task i (mu must be held). On completion the worker, under
+  // mu, unblocks dependents — that lock hand-off is the happens-before
+  // edge making a producer cuboid's cells visible to its roll-up
+  // readers. After a failure nothing new is submitted, but tasks
+  // already running drain normally (their own unwind releases every
+  // budget charge they hold).
+  std::function<void(size_t)> submit = [&](size_t i) {
+    ++inflight;
+    pool.Submit([&, i] {
+      Status s = tasks[i].run(&task_stats[i]);
+      std::lock_guard<std::mutex> lock(mu);
+      statuses[i] = std::move(s);
+      ++completed;
+      --inflight;
+      if (!statuses[i].ok()) failed = true;
+      if (!failed) {
+        for (size_t d : dependents[i]) {
+          if (--blockers[d] == 0) submit(d);
+        }
+      }
+      cv.notify_all();
+    });
+  };
+
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    for (size_t i = 0; i < n; ++i) {
+      if (blockers[i] == 0) submit(i);
+    }
+    cv.wait(lock, [&] {
+      return inflight == 0 && (failed || completed == n);
+    });
+  }
+
+  // Deterministic merge and error selection: task-index order, never
+  // completion order, so parallel runs report the same stats and the
+  // same first error as each other (unrun tasks contribute zero stats
+  // and an OK status).
+  for (size_t i = 0; i < n; ++i) {
+    stats->Absorb(task_stats[i]);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (!statuses[i].ok()) return statuses[i];
+  }
+  return Status::OK();
+}
 
 Status CuboidExecutorRegistry::Register(
     CubeAlgorithm algo, std::unique_ptr<CuboidExecutor> executor) {

@@ -1,6 +1,7 @@
 #ifndef X3_CUBE_EXECUTOR_H_
 #define X3_CUBE_EXECUTOR_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -58,6 +59,37 @@ class CuboidExecutorRegistry {
 /// use (explicit seeding, not static initializers: a static library must
 /// not rely on the linker keeping registration objects alive).
 CuboidExecutorRegistry& GlobalCuboidExecutorRegistry();
+
+/// One schedulable unit of a plan execution: a closure producing one
+/// cuboid (or one shared-sort pipe) plus the indices of the tasks that
+/// must complete first. Tasks write into disjoint parts of the shared
+/// CubeResult (each cuboid's cell map has exactly one producer), so
+/// they need no locking of their own; the scheduler's mutex provides
+/// the happens-before edge between a producer and its readers.
+struct PlanTask {
+  /// Must *accumulate* into the passed stats (increment counters, max
+  /// the peaks) rather than assign: at parallelism 1 every task shares
+  /// the caller's stats object; in parallel each task gets a zeroed
+  /// one, absorbed at the join point.
+  std::function<Status(CubeComputeStats*)> run;
+  /// Indices into the task vector; every dep must be < this task's own
+  /// index (dependency order), which RunPlanTasks checks.
+  std::vector<size_t> deps;
+};
+
+/// Runs `tasks` respecting dependencies, with at most `parallelism`
+/// worker threads, and merges per-task stats into `stats`.
+///
+/// parallelism <= 1 runs every task on the calling thread in index
+/// order against `stats` directly, stopping at the first error —
+/// byte-for-byte the pre-parallel behavior. parallelism > 1 schedules
+/// ready tasks onto a worker pool; on any failure no new tasks are
+/// submitted but in-flight ones drain (each task's own unwind releases
+/// its budget charges), and the returned status is the first non-OK by
+/// task index — not by completion time — so errors are deterministic.
+/// Per-task stats are absorbed in task-index order either way.
+Status RunPlanTasks(std::vector<PlanTask> tasks, size_t parallelism,
+                    CubeComputeStats* stats);
 
 namespace internal {
 

@@ -1,6 +1,7 @@
 #include "cube/plan.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "cube/algorithm.h"
 #include "util/logging.h"
@@ -341,6 +342,36 @@ CubePlan BuildCubePlan(CubeAlgorithm algo, const CubeLattice& lattice,
     if (!step.safe) ++plan.unsafe_steps;
   }
   return plan;
+}
+
+std::vector<std::vector<size_t>> PlanStepDependencies(const CubePlan& plan) {
+  const size_t num_pipes = plan.pipes.size();
+  std::vector<std::vector<size_t>> deps(num_pipes + plan.steps.size());
+  // Producer task of each cuboid, filled as steps are walked; steps are
+  // in dependency order, so a reader always finds its source here.
+  std::unordered_map<CuboidId, size_t> producer;
+  producer.reserve(plan.steps.size());
+  for (size_t i = 0; i < plan.steps.size(); ++i) {
+    const CuboidPlanStep& step = plan.steps[i];
+    const size_t task = num_pipes + i;
+    switch (step.kind) {
+      case CuboidPlanStep::Kind::kSharedSort:
+        X3_CHECK(static_cast<size_t>(step.source) < num_pipes);
+        deps[task].push_back(static_cast<size_t>(step.source));
+        break;
+      case CuboidPlanStep::Kind::kRollup:
+      case CuboidPlanStep::Kind::kCopy: {
+        auto it = producer.find(step.source);
+        X3_CHECK(it != producer.end());
+        deps[task].push_back(it->second);
+        break;
+      }
+      default:
+        break;
+    }
+    producer[step.cuboid] = task;
+  }
+  return deps;
 }
 
 std::string ExplainCubePlan(const CubePlan& plan,

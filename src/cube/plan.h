@@ -75,6 +75,16 @@ struct CubePlan {
 CubePlan BuildCubePlan(CubeAlgorithm algo, const CubeLattice& lattice,
                        const LatticeProperties& properties);
 
+/// The dependency DAG of a plan, in the task numbering the parallel
+/// executor uses: tasks [0, pipes.size()) are the pipes, task
+/// pipes.size() + i is steps[i]. Entry t lists the tasks that must
+/// complete before task t may run: a kSharedSort step depends on its
+/// pipe; a kRollup/kCopy step depends on the step that produces its
+/// source cuboid. Every dependency index is smaller than its reader's
+/// (steps are in dependency order), so the sequential schedule
+/// "pipes, then steps in order" is always valid.
+std::vector<std::vector<size_t>> PlanStepDependencies(const CubePlan& plan);
+
 /// Human-readable rendering of a plan: a header line, then one line per
 /// cuboid (and one per pipe for the shared-sort family). Unsafe steps
 /// are flagged "UNSAFE".

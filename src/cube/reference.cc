@@ -19,23 +19,36 @@ class ReferenceExecutor final : public CuboidExecutor {
                              ExecutionContext* ctx,
                              CubeComputeStats* stats) const override {
     CubeResult result(lattice.num_cuboids(), options.aggregate);
-    std::vector<std::vector<ValueId>> scratch(lattice.num_axes());
+    // Every cuboid is independent here, so each plan step becomes one
+    // dependency-free task. A task owns its scratch space and writes
+    // only its own cuboid's cell map, so tasks share nothing mutable
+    // but the (atomic) budget and the (synchronized) stats sink.
+    std::vector<PlanTask> tasks;
+    tasks.reserve(plan.steps.size());
     for (const CuboidPlanStep& step : plan.steps) {
-      ScopedStageTimer timer(
-          ctx->stats(),
-          StringPrintf("cuboid/%llu",
-                       static_cast<unsigned long long>(step.cuboid)));
-      ++stats->base_scans;
-      for (size_t f = 0; f < facts.size(); ++f) {
-        X3_RETURN_IF_ERROR(ctx->Poll());
-        int64_t measure = facts.measure(f);
-        ForEachGroupOfFact(facts, lattice, step.cuboid, f, &scratch,
-                           [&](const GroupKey& key) {
-                             result.MutableCell(step.cuboid, key)
-                                 ->Update(measure);
-                           });
-      }
+      tasks.push_back(PlanTask{
+          [&, step](CubeComputeStats* task_stats) -> Status {
+            ScopedStageTimer timer(
+                ctx->stats(),
+                StringPrintf("cuboid/%llu",
+                             static_cast<unsigned long long>(step.cuboid)));
+            ++task_stats->base_scans;
+            std::vector<std::vector<ValueId>> scratch(lattice.num_axes());
+            for (size_t f = 0; f < facts.size(); ++f) {
+              X3_RETURN_IF_ERROR(ctx->Poll());
+              int64_t measure = facts.measure(f);
+              ForEachGroupOfFact(facts, lattice, step.cuboid, f, &scratch,
+                                 [&](const GroupKey& key) {
+                                   result.MutableCell(step.cuboid, key)
+                                       ->Update(measure);
+                                 });
+            }
+            return Status::OK();
+          },
+          {}});
     }
+    X3_RETURN_IF_ERROR(
+        RunPlanTasks(std::move(tasks), options.parallelism, stats));
     return result;
   }
 };

@@ -276,43 +276,69 @@ class TopDownExecutor final : public CuboidExecutor {
                              ExecutionContext* ctx,
                              CubeComputeStats* stats) const override {
     CubeResult result(lattice.num_cuboids(), options.aggregate);
+    // Task layout per PlanStepDependencies: pipes first, then steps.
+    // Pipes and base sorts are independent; a roll-up / copy step waits
+    // on whichever task produces its source cuboid; a kSharedSort step
+    // is a marker waiting on its pipe (the pipe writes its cells). At
+    // parallelism 1 RunPlanTasks walks this list in index order, which
+    // is byte-for-byte the old pipes-then-steps loop.
+    const std::vector<std::vector<size_t>> deps = PlanStepDependencies(plan);
+    std::vector<PlanTask> tasks;
+    tasks.reserve(deps.size());
     for (size_t p = 0; p < plan.pipes.size(); ++p) {
-      ScopedStageTimer timer(ctx->stats(), StringPrintf("pipe/%zu", p));
-      X3_RETURN_IF_ERROR(RunPipe(facts, plan.pipes[p], options, ctx, &result,
-                                 stats));
+      tasks.push_back(PlanTask{
+          [&, p](CubeComputeStats* task_stats) {
+            ScopedStageTimer timer(ctx->stats(),
+                                   StringPrintf("pipe/%zu", p));
+            return RunPipe(facts, plan.pipes[p], options, ctx, &result,
+                           task_stats);
+          },
+          deps[p]});
     }
-    for (const CuboidPlanStep& step : plan.steps) {
+    for (size_t i = 0; i < plan.steps.size(); ++i) {
+      const CuboidPlanStep& step = plan.steps[i];
+      PlanTask task;
+      task.deps = deps[plan.pipes.size() + i];
       switch (step.kind) {
         case CuboidPlanStep::Kind::kBaseWithIds:
-        case CuboidPlanStep::Kind::kBaseNoIds: {
-          ScopedStageTimer timer(
-              ctx->stats(),
-              StringPrintf("cuboid/%llu",
-                           static_cast<unsigned long long>(step.cuboid)));
-          X3_RETURN_IF_ERROR(CuboidFromBase(
-              facts, lattice, step.cuboid,
-              step.kind == CuboidPlanStep::Kind::kBaseWithIds, options, ctx,
-              &result, stats));
+        case CuboidPlanStep::Kind::kBaseNoIds:
+          task.run = [&, step](CubeComputeStats* task_stats) {
+            ScopedStageTimer timer(
+                ctx->stats(),
+                StringPrintf("cuboid/%llu",
+                             static_cast<unsigned long long>(step.cuboid)));
+            return CuboidFromBase(
+                facts, lattice, step.cuboid,
+                step.kind == CuboidPlanStep::Kind::kBaseWithIds, options, ctx,
+                &result, task_stats);
+          };
           break;
-        }
         case CuboidPlanStep::Kind::kRollup:
-        case CuboidPlanStep::Kind::kCopy: {
-          std::optional<LatticeEdge> edge =
-              EdgeBetween(lattice, step.source, step.cuboid);
-          X3_CHECK(edge.has_value());
-          X3_RETURN_IF_ERROR(RollUp(lattice, step.source, step.cuboid, *edge,
-                                    ctx, &result, stats));
+        case CuboidPlanStep::Kind::kCopy:
+          task.run = [&, step](CubeComputeStats* task_stats) -> Status {
+            std::optional<LatticeEdge> edge =
+                EdgeBetween(lattice, step.source, step.cuboid);
+            X3_CHECK(edge.has_value());
+            return RollUp(lattice, step.source, step.cuboid, *edge, ctx,
+                          &result, task_stats);
+          };
           break;
-        }
         case CuboidPlanStep::Kind::kSharedSort:
-          break;  // already produced by its pipe above
+          // Cells come from the pipe this task depends on; the task
+          // itself is a scheduling marker so transitive readers (none
+          // today, but the DAG allows them) wait correctly.
+          task.run = [](CubeComputeStats*) { return Status::OK(); };
+          break;
         default:
           return Status::Internal(
               StringPrintf("step kind %s not executable by the top-down "
                            "family",
                            CuboidPlanStepKindToString(step.kind)));
       }
+      tasks.push_back(std::move(task));
     }
+    X3_RETURN_IF_ERROR(
+        RunPlanTasks(std::move(tasks), options.parallelism, stats));
     return result;
   }
 };

@@ -11,8 +11,11 @@
 namespace x3 {
 
 /// A file of fixed-size pages with read/write/append, the unit the
-/// buffer pool operates on. Not thread-safe (the engine is
-/// single-threaded, as was TIMBER's evaluation).
+/// buffer pool operates on. Not thread-safe — and deliberately so: the
+/// page layer serves document storage and pattern materialization,
+/// which stay single-threaded. Parallel cube execution never touches
+/// it (sort spills go through TempFileManager + stdio streams owned by
+/// one worker each).
 class PageFile {
  public:
   PageFile() = default;

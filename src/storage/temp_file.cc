@@ -28,6 +28,7 @@ TempFileManager::~TempFileManager() {
 }
 
 std::string TempFileManager::NextPath(const std::string& tag) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string path =
       StringPrintf("%s/x3-%d-%llu.%s.tmp", base_dir_.c_str(),
                    static_cast<int>(::getpid()),
@@ -38,9 +39,15 @@ std::string TempFileManager::NextPath(const std::string& tag) {
 
 void TempFileManager::Remove(const std::string& path) {
   std::remove(path.c_str());
+  std::lock_guard<std::mutex> lock(mu_);
   owned_paths_.erase(
       std::remove(owned_paths_.begin(), owned_paths_.end(), path),
       owned_paths_.end());
+}
+
+size_t TempFileManager::created_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counter_;
 }
 
 }  // namespace x3

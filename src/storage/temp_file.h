@@ -2,6 +2,7 @@
 #define X3_STORAGE_TEMP_FILE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,7 +12,10 @@ namespace x3 {
 
 /// Hands out unique temp file paths under a base directory and removes
 /// everything it created on destruction. Used by the external sorter and
-/// by materialized intermediate cube results.
+/// by materialized intermediate cube results. Thread-safe: the workers
+/// of a parallel cube execution share one manager, so NextPath/Remove
+/// synchronize the path counter and the cleanup list (destruction still
+/// requires the usual external quiescence — no worker may outlive it).
 class TempFileManager {
  public:
   /// Files are created under `base_dir` (defaults to $TMPDIR or /tmp).
@@ -29,10 +33,11 @@ class TempFileManager {
   void Remove(const std::string& path);
 
   const std::string& base_dir() const { return base_dir_; }
-  size_t created_count() const { return counter_; }
+  size_t created_count() const;
 
  private:
   std::string base_dir_;
+  mutable std::mutex mu_;
   uint64_t counter_ = 0;
   std::vector<std::string> owned_paths_;
 };

@@ -15,7 +15,20 @@ bool LabelMatches(const std::string& label, std::string_view query) {
 
 }  // namespace
 
+void StatsSink::Append(const StatsSink& other) {
+  // Snapshot under the source lock, then append under ours (two sinks,
+  // two locks; self-append is not a use case).
+  std::vector<StageTiming> copied;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    copied = other.timings_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  timings_.insert(timings_.end(), copied.begin(), copied.end());
+}
+
 double StatsSink::TotalSeconds(std::string_view label) const {
+  std::lock_guard<std::mutex> lock(mu_);
   double total = 0;
   for (const StageTiming& t : timings_) {
     if (LabelMatches(t.label, label)) total += t.seconds;
@@ -24,6 +37,7 @@ double StatsSink::TotalSeconds(std::string_view label) const {
 }
 
 size_t StatsSink::CountStages(std::string_view label) const {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t n = 0;
   for (const StageTiming& t : timings_) {
     if (LabelMatches(t.label, label)) ++n;
@@ -32,6 +46,7 @@ size_t StatsSink::CountStages(std::string_view label) const {
 }
 
 std::string StatsSink::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   for (const StageTiming& t : timings_) {
     out += StringPrintf("%s: %.3f ms\n", t.label.c_str(), t.seconds * 1e3);

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -43,7 +44,9 @@ class CancellationToken {
   /// Arms the token to trip after `checks` further cancelled() calls —
   /// a deterministic way to cancel mid-computation (tests use it to
   /// prove every algorithm family unwinds cleanly from deep inside its
-  /// hot loop, without racing a second thread).
+  /// hot loop, without racing a second thread). Checks are counted
+  /// across every thread polling the token, so under parallel
+  /// execution the trip still happens after `checks` polls total.
   void CancelAfterChecks(int64_t checks) {
     trip_after_.store(checks, std::memory_order_relaxed);
   }
@@ -62,14 +65,27 @@ struct StageTiming {
 };
 
 /// Collects per-stage wall-clock timings during a query's execution.
-/// Append-only and cheap; not thread-safe (one sink per execution).
+/// Append-only and cheap. Thread-safe for concurrent Record calls (the
+/// parallel cube executor's workers share one sink), with entry order
+/// following completion order; the aggregate queries
+/// (TotalSeconds/CountStages) are order-independent, so their results
+/// do not depend on worker interleaving.
 class StatsSink {
  public:
   void Record(std::string_view label, double seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
     timings_.push_back({std::string(label), seconds});
   }
 
+  /// Direct view of the entries. Only safe once concurrent recording
+  /// has quiesced (after the execution's join point) — callers that
+  /// need a snapshot mid-flight should use the aggregate queries.
   const std::vector<StageTiming>& timings() const { return timings_; }
+
+  /// Appends every entry of `other` (merge of per-worker sinks at a
+  /// join point). TotalSeconds/CountStages over the merged sink equal
+  /// the sums over the parts.
+  void Append(const StatsSink& other);
 
   /// Sum of all stages whose label equals `label` or starts with
   /// "<label>/" (so TotalSeconds("cuboid") sums every per-cuboid entry).
@@ -78,13 +94,17 @@ class StatsSink {
   /// Number of stages with label `label` or prefix "<label>/".
   size_t CountStages(std::string_view label) const;
 
-  void Clear() { timings_.clear(); }
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    timings_.clear();
+  }
 
   /// One "label: 1.234 ms" line per stage, for logs and EXPLAIN ANALYZE
   /// style output.
   std::string ToString() const;
 
  private:
+  mutable std::mutex mu_;
   std::vector<StageTiming> timings_;
 };
 
@@ -109,16 +129,23 @@ class ScopedStageTimer {
 
 /// The execution environment threaded through a whole query: memory
 /// budget, temp-file manager, cooperative cancellation, a monotonic
-/// deadline, and the per-stage stats sink. One context per execution;
-/// not thread-safe (the deadline poll counter is unsynchronized).
+/// deadline, and the per-stage stats sink. One context per execution,
+/// shareable by that execution's worker threads: the budget is atomic,
+/// the stats sink synchronizes Record, the cancellation flag and the
+/// deadline are immutable-or-atomic, and the deadline poll stride
+/// counter is per-thread state — Poll() and CheckInterrupted() may be
+/// called concurrently from any worker.
 ///
 /// Cancellation contract: every long-running loop (fact scans, BUC
 /// recursion, sort runs, merge passes) calls Poll() and propagates a
 /// non-OK status outward without side effects beyond already-merged
 /// partial state; all resources are RAII-owned, so an early unwind
-/// leaks nothing. Poll() checks the cancellation flag on every call
-/// and the clock only every kDeadlineStride calls (steady_clock reads
-/// are too expensive for per-row polling).
+/// leaks nothing. Under parallel execution the scheduler additionally
+/// drains in-flight tasks before surfacing the interruption, so every
+/// worker's budget charges are released by its own unwind. Poll()
+/// checks the cancellation flag on every call and the clock only every
+/// kDeadlineStride calls per thread (steady_clock reads are too
+/// expensive for per-row polling).
 class ExecutionContext {
  public:
   using Clock = std::chrono::steady_clock;
@@ -155,9 +182,16 @@ class ExecutionContext {
     if (options_.cancel != nullptr && options_.cancel->cancelled()) {
       return Status::Cancelled("execution cancelled");
     }
-    if (options_.deadline.has_value() &&
-        (++deadline_poll_count_ % kDeadlineStride) == 0) {
-      return CheckDeadline();
+    if (options_.deadline.has_value()) {
+      // Per-thread stride state: each worker of a parallel execution
+      // strides its own clock reads, with no shared counter to race on.
+      // The counter deliberately spans contexts — it only rations
+      // steady_clock reads, so at worst a fresh context's first check
+      // lands up to one stride late, same as mid-stride polling.
+      static thread_local uint64_t deadline_poll_count = 0;
+      if ((++deadline_poll_count % kDeadlineStride) == 0) {
+        return CheckDeadline();
+      }
     }
     return Status::OK();
   }
@@ -174,9 +208,12 @@ class ExecutionContext {
   /// Remaining time, clamped at zero; nullopt when no deadline is set.
   std::optional<double> RemainingSeconds() const;
 
- private:
+  /// Poll() reads the clock once per this many calls on each thread.
+  /// Public so tests can bound "how many polls until an expired
+  /// deadline must surface" without hard-coding the number.
   static constexpr uint64_t kDeadlineStride = 512;
 
+ private:
   Status CheckDeadline() const {
     if (Clock::now() > *options_.deadline) {
       return Status::DeadlineExceeded("execution deadline exceeded");
@@ -186,7 +223,6 @@ class ExecutionContext {
 
   Options options_;
   StatsSink stats_;
-  uint64_t deadline_poll_count_ = 0;
 };
 
 /// A deadline `seconds` from now on the context clock.

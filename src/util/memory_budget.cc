@@ -1,24 +1,37 @@
 #include "util/memory_budget.h"
 
-#include <algorithm>
-
 #include "util/string_util.h"
 
 namespace x3 {
 
 Status MemoryBudget::Reserve(size_t bytes) {
-  if (capacity_ != 0 && used_ + bytes > capacity_) {
-    return Status::ResourceExhausted(StringPrintf(
-        "memory budget exceeded: used=%zu request=%zu capacity=%zu", used_,
-        bytes, capacity_));
+  if (capacity_ == 0) {
+    ForceReserve(bytes);
+    return Status::OK();
   }
-  used_ += bytes;
-  peak_ = std::max(peak_, used_);
+  // CAS loop so the cap holds under concurrent reservations: the add
+  // only lands if the fit check was made against the value the add
+  // applies to.
+  size_t used = used_.load(std::memory_order_relaxed);
+  do {
+    if (used + bytes > capacity_) {
+      return Status::ResourceExhausted(StringPrintf(
+          "memory budget exceeded: used=%zu request=%zu capacity=%zu", used,
+          bytes, capacity_));
+    }
+  } while (!used_.compare_exchange_weak(used, used + bytes,
+                                        std::memory_order_relaxed));
+  UpdatePeak(used + bytes);
   return Status::OK();
 }
 
 void MemoryBudget::Release(size_t bytes) {
-  used_ = bytes > used_ ? 0 : used_ - bytes;
+  // Clamp at zero (a forced overshoot may release more than is
+  // tracked); CAS keeps the clamp exact under concurrent releases.
+  size_t used = used_.load(std::memory_order_relaxed);
+  while (!used_.compare_exchange_weak(used, bytes > used ? 0 : used - bytes,
+                                      std::memory_order_relaxed)) {
+  }
 }
 
 }  // namespace x3

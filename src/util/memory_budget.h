@@ -1,6 +1,7 @@
 #ifndef X3_UTIL_MEMORY_BUDGET_H_
 #define X3_UTIL_MEMORY_BUDGET_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -18,6 +19,13 @@ namespace x3 {
 /// sorter charge their data structures here and switch to out-of-core
 /// strategies when a reservation fails.
 ///
+/// Thread-safe: one budget is shared by every worker of a parallel cube
+/// execution. `Reserve` enforces the capacity as a hard cap via a CAS
+/// loop (concurrent reservations can never overshoot it together);
+/// `ForceReserve` remains the documented overshoot path. A
+/// WouldFit-then-ForceReserve sequence is not atomic — callers that
+/// need the hard cap must use Reserve.
+///
 /// A budget of 0 means "unlimited" (everything stays in memory).
 class MemoryBudget {
  public:
@@ -29,39 +37,53 @@ class MemoryBudget {
   MemoryBudget& operator=(const MemoryBudget&) = delete;
 
   /// Attempts to reserve `bytes`; fails with ResourceExhausted when the
-  /// reservation would exceed capacity.
+  /// reservation would exceed capacity. Under concurrency the capacity
+  /// is a hard cap: of several racing reservations, only those that
+  /// together still fit can succeed.
   Status Reserve(size_t bytes);
 
   /// Reserves unconditionally (used where overshoot is accounted but
   /// unavoidable, e.g. a single oversized record).
   void ForceReserve(size_t bytes) {
-    used_ += bytes;
-    if (used_ > peak_) peak_ = used_;
+    size_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    UpdatePeak(now);
   }
 
-  /// Releases a prior reservation.
+  /// Releases a prior reservation (clamped at zero).
   void Release(size_t bytes);
 
-  /// True if `bytes` more would still fit.
+  /// True if `bytes` more would still fit. Advisory under concurrency:
+  /// another thread may reserve between this check and a follow-up
+  /// Reserve/ForceReserve.
   bool WouldFit(size_t bytes) const {
-    return capacity_ == 0 || used_ + bytes <= capacity_;
+    return capacity_ == 0 ||
+           used_.load(std::memory_order_relaxed) + bytes <= capacity_;
   }
 
   size_t capacity() const { return capacity_; }
-  size_t used() const { return used_; }
+  size_t used() const { return used_.load(std::memory_order_relaxed); }
   size_t available() const {
     if (capacity_ == 0) return SIZE_MAX;
-    return used_ >= capacity_ ? 0 : capacity_ - used_;
+    size_t used = this->used();
+    return used >= capacity_ ? 0 : capacity_ - used;
   }
   bool unlimited() const { return capacity_ == 0; }
 
   /// Peak usage observed (for reporting).
-  size_t peak() const { return peak_; }
+  size_t peak() const { return peak_.load(std::memory_order_relaxed); }
 
  private:
+  void UpdatePeak(size_t now) {
+    size_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
   size_t capacity_;
-  size_t used_ = 0;
-  size_t peak_ = 0;
+  std::atomic<size_t> used_{0};
+  std::atomic<size_t> peak_{0};
 };
 
 /// RAII reservation helper.

@@ -1,0 +1,91 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace x3 {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t n = std::max<size_t>(num_threads, 1);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  X3_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    X3_CHECK(!stopping_) << "Submit on a stopping ThreadPool";
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+size_t ThreadPool::DefaultConcurrency() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain before exiting: stopping_ only ends the loop once the
+      // queue is empty, so every submitted task runs.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+TaskGroup::~TaskGroup() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void TaskGroup::Spawn(std::function<Status()> fn) {
+  X3_CHECK(fn != nullptr);
+  size_t index;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    X3_CHECK(!waited_) << "Spawn after Wait on a TaskGroup";
+    index = statuses_.size();
+    statuses_.push_back(Status::OK());
+    ++pending_;
+  }
+  pool_->Submit([this, index, fn = std::move(fn)] {
+    Status status = fn();
+    std::lock_guard<std::mutex> lock(mu_);
+    statuses_[index] = std::move(status);
+    if (--pending_ == 0) done_cv_.notify_all();
+  });
+}
+
+Status TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  waited_ = true;
+  for (const Status& status : statuses_) {
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+}  // namespace x3

@@ -1,0 +1,94 @@
+#ifndef X3_UTIL_THREAD_POOL_H_
+#define X3_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace x3 {
+
+/// Fixed-size worker pool. All concurrency in the engine goes through
+/// this class (the repo lint bans raw std::thread elsewhere in src/):
+/// one shared implementation keeps the shutdown, draining and
+/// error-propagation rules in a single audited place.
+///
+/// Submitted tasks are executed FIFO by `num_threads` workers. The
+/// destructor drains the queue — every task submitted before
+/// destruction runs to completion before the workers join — so a task
+/// may safely reference state owned by the pool's owner. Tasks must not
+/// throw (the engine is Status-based; an escaping exception terminates,
+/// as anywhere else in the codebase).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains all queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Thread-safe; may be called from inside a
+  /// running task (that is how the plan scheduler releases dependents).
+  void Submit(std::function<void()> task);
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency() with the zero-means-unknown
+  /// case clamped to 1. The meaning of `parallelism = 0` knobs.
+  static size_t DefaultConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Tracks a batch of Status-returning tasks spawned onto a pool and
+/// joins them: Wait() blocks until every spawned task has finished and
+/// returns the first non-OK status in *spawn order* (not completion
+/// order), so the reported error is deterministic however the workers
+/// interleave. Every spawned task always runs — an early failure does
+/// not skip the rest; tasks that should stop early must observe a
+/// shared CancellationToken / ExecutionContext themselves.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+
+  /// Joins any still-running tasks (their statuses are discarded).
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Schedules `fn` on the pool. Must not be called after Wait().
+  void Spawn(std::function<Status()> fn);
+
+  /// Blocks until all spawned tasks finished; returns the first non-OK
+  /// status in spawn order, or OK when every task succeeded.
+  Status Wait();
+
+ private:
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  /// One slot per spawned task, written by the worker that ran it.
+  std::vector<Status> statuses_;
+  size_t pending_ = 0;
+  bool waited_ = false;
+};
+
+}  // namespace x3
+
+#endif  // X3_UTIL_THREAD_POOL_H_

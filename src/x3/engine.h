@@ -79,6 +79,11 @@ class X3Engine {
   /// materialized fact table; otherwise an internal context is built
   /// from `options.budget` / `options.temp_files`. Stage timings land
   /// in X3ExecutionResult::stage_timings either way.
+  ///
+  /// `options.parallelism` applies to the cube-computation phase only
+  /// (pattern evaluation and fact materialization stay single-threaded)
+  /// and never changes the result: parallel runs are cell-identical to
+  /// parallelism 1 (see CubeComputeOptions::parallelism).
   Result<X3ExecutionResult> ExecuteQuery(const CubeQuery& query,
                                          CubeAlgorithm algorithm,
                                          CubeComputeOptions options) const;

@@ -1,0 +1,403 @@
+// Concurrency unit tests for the machinery under the parallel cube
+// executor: MemoryBudget's atomic hard cap, StatsSink's synchronized
+// Record/Append, ThreadPool/TaskGroup scheduling and draining, and
+// RunPlanTasks' dependency ordering and failure semantics. These run
+// in the ThreadSanitizer CI lane (label "tsan"), so a data race here
+// is a build failure, not a flake.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "cube/executor.h"
+#include "util/exec.h"
+#include "util/memory_budget.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace x3 {
+namespace {
+
+// --- MemoryBudget under contention ---
+
+TEST(MemoryBudgetConcurrencyTest, HammeredReserveNeverExceedsCap) {
+  constexpr size_t kCapacity = 1 << 20;
+  constexpr size_t kThreads = 8;
+  constexpr size_t kRounds = 2000;
+  constexpr size_t kChunk = 4096;
+  MemoryBudget budget(kCapacity);
+  std::atomic<bool> overshoot{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (size_t i = 0; i < kRounds; ++i) {
+        if (budget.Reserve(kChunk).ok()) {
+          // The cap must hold at every instant, including while other
+          // threads race their own reservations.
+          if (budget.used() > kCapacity) {
+            overshoot.store(true, std::memory_order_relaxed);
+          }
+          budget.Release(kChunk);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(overshoot.load());
+  EXPECT_EQ(budget.used(), 0u);
+  EXPECT_LE(budget.peak(), kCapacity);
+  EXPECT_GT(budget.peak(), 0u);
+}
+
+TEST(MemoryBudgetConcurrencyTest, MixedReserveAndForceReserveEndAtZero) {
+  MemoryBudget budget(1 << 16);
+  constexpr size_t kThreads = 6;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < 1000; ++i) {
+        size_t bytes = 128 + 64 * (t + 1);
+        if (t % 2 == 0) {
+          // ForceReserve may overshoot the cap, but its accounting must
+          // stay exact: each charge is matched by one release.
+          budget.ForceReserve(bytes);
+          budget.Release(bytes);
+        } else if (budget.Reserve(bytes).ok()) {
+          budget.Release(bytes);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(MemoryBudgetConcurrencyTest, ConcurrentScopedReservationsBalance) {
+  MemoryBudget budget;  // unlimited: every reservation succeeds
+  constexpr size_t kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (size_t i = 0; i < 500; ++i) {
+        ScopedReservation r1(&budget, 1024);
+        ScopedReservation r2(&budget, 333);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(budget.used(), 0u);
+  EXPECT_GE(budget.peak(), 1024u + 333u);
+}
+
+// --- StatsSink under contention ---
+
+TEST(StatsSinkConcurrencyTest, ConcurrentRecordLosesNothing) {
+  StatsSink sink;
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 500;
+  // 0.5 is exactly representable in binary, so summing kThreads *
+  // kPerThread of them is exact — the equality below has no epsilon.
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (size_t i = 0; i < kPerThread; ++i) sink.Record("stage", 0.5);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(sink.CountStages("stage"), kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(sink.TotalSeconds("stage"),
+                   0.5 * static_cast<double>(kThreads * kPerThread));
+}
+
+TEST(StatsSinkConcurrencyTest, AppendMergesPerWorkerSinksExactly) {
+  // The merge-at-join alternative to a shared sink: per-worker sinks
+  // appended into one. Totals must equal the sums over the parts.
+  StatsSink workers[3];
+  workers[0].Record("cuboid/0", 0.25);
+  workers[0].Record("cuboid/1", 0.25);
+  workers[1].Record("cuboid/2", 0.5);
+  workers[2].Record("pipe/0", 1.0);
+  StatsSink merged;
+  merged.Record("plan", 2.0);
+  for (const StatsSink& w : workers) merged.Append(w);
+  EXPECT_EQ(merged.CountStages("cuboid"), 3u);
+  EXPECT_DOUBLE_EQ(merged.TotalSeconds("cuboid"), 1.0);
+  EXPECT_DOUBLE_EQ(merged.TotalSeconds("pipe"), 1.0);
+  EXPECT_DOUBLE_EQ(merged.TotalSeconds("plan"), 2.0);
+  EXPECT_EQ(merged.timings().size(), 5u);
+}
+
+TEST(StatsSinkConcurrencyTest, AggregateQueriesRaceRecordSafely) {
+  // Readers using the aggregate queries may overlap writers; they see
+  // some prefix of the records, never torn state.
+  StatsSink sink;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (size_t i = 0; i < 2000; ++i) sink.Record("w", 0.5);
+    stop.store(true);
+  });
+  size_t last = 0;
+  while (!stop.load()) {
+    size_t n = sink.CountStages("w");
+    EXPECT_GE(n, last);  // append-only: counts are monotone
+    last = n;
+  }
+  writer.join();
+  EXPECT_EQ(sink.CountStages("w"), 2000u);
+}
+
+// --- ThreadPool / TaskGroup ---
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { ran.fetch_add(1); });
+  }
+  TaskGroup group(&pool);
+  for (int i = 0; i < 10; ++i) {
+    group.Spawn([&]() -> Status {
+      ran.fetch_add(1);
+      return Status::OK();
+    });
+  }
+  EXPECT_TRUE(group.Wait().ok());
+  // The group's tasks are done; plain Submits drain by the destructor.
+  // (Destroy the pool before asserting to exercise that contract.)
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&] { ran.fetch_add(1); });
+    }
+    // No join here: the destructor must run all 200 before the workers
+    // exit, so owner-held state stays referenceable from tasks.
+  }
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&] { ran.store(true); });
+  TaskGroup group(&pool);
+  group.Spawn([] { return Status::OK(); });
+  EXPECT_TRUE(group.Wait().ok());
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, DefaultConcurrencyIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::DefaultConcurrency(), 1u);
+}
+
+TEST(TaskGroupTest, ReportsFirstErrorInSpawnOrderAndRunsEverything) {
+  ThreadPool pool(4);
+  TaskGroup group(&pool);
+  std::atomic<int> ran{0};
+  group.Spawn([&]() -> Status {
+    ran.fetch_add(1);
+    return Status::OK();
+  });
+  group.Spawn([&]() -> Status {
+    ran.fetch_add(1);
+    return Status::InvalidArgument("first by spawn order");
+  });
+  group.Spawn([&]() -> Status {
+    ran.fetch_add(1);
+    return Status::Internal("second by spawn order");
+  });
+  group.Spawn([&]() -> Status {
+    ran.fetch_add(1);
+    return Status::OK();
+  });
+  Status status = group.Wait();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // A failure does not skip later tasks — cooperative cancellation is
+  // the CancellationToken's job, not the group's.
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(TaskGroupTest, TasksUnwindCleanlyOnMidFlightCancellation) {
+  // Every task polls a shared context; CancelAfterChecks trips the
+  // token partway through, and each task's own unwind must release its
+  // budget charges — the drain leaves nothing reserved.
+  CancellationToken token;
+  token.CancelAfterChecks(50);
+  MemoryBudget budget(1 << 20);
+  ExecutionContext ctx({&budget, nullptr, &token, std::nullopt});
+  ThreadPool pool(4);
+  TaskGroup group(&pool);
+  std::atomic<int> cancelled{0};
+  for (int t = 0; t < 8; ++t) {
+    group.Spawn([&]() -> Status {
+      ScopedReservation r(&budget, 2048);
+      for (int i = 0; i < 100; ++i) {
+        Status s = ctx.Poll();
+        if (!s.ok()) {
+          cancelled.fetch_add(1);
+          return s;
+        }
+      }
+      return Status::OK();
+    });
+  }
+  Status status = group.Wait();
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_GT(cancelled.load(), 0);
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+// --- RunPlanTasks ---
+
+std::vector<PlanTask> ChainTasks(std::vector<int>* order, size_t n) {
+  // Task i depends on i-1 and appends i to `order`: any schedule that
+  // honors dependencies yields 0,1,...,n-1 exactly.
+  std::vector<PlanTask> tasks;
+  for (size_t i = 0; i < n; ++i) {
+    PlanTask task;
+    task.run = [order, i](CubeComputeStats*) {
+      order->push_back(static_cast<int>(i));
+      return Status::OK();
+    };
+    if (i > 0) task.deps.push_back(i - 1);
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+TEST(RunPlanTasksTest, ChainRunsInDependencyOrderAtEveryParallelism) {
+  for (size_t parallelism : {size_t{1}, size_t{2}, size_t{4}}) {
+    std::vector<int> order;  // only ready tasks run, so no lock needed
+    CubeComputeStats stats;
+    Status s = RunPlanTasks(ChainTasks(&order, 16), parallelism, &stats);
+    EXPECT_TRUE(s.ok()) << s;
+    ASSERT_EQ(order.size(), 16u) << "parallelism " << parallelism;
+    for (size_t i = 0; i < order.size(); ++i) {
+      EXPECT_EQ(order[i], static_cast<int>(i))
+          << "parallelism " << parallelism;
+    }
+  }
+}
+
+TEST(RunPlanTasksTest, IndependentTasksAllRunAndStatsMergeInOrder) {
+  for (size_t parallelism : {size_t{1}, size_t{4}}) {
+    std::atomic<uint64_t> ran{0};
+    std::vector<PlanTask> tasks;
+    for (size_t i = 0; i < 20; ++i) {
+      // Tasks accumulate into their stats (++/max, never plain
+      // assignment): at parallelism 1 all tasks share one object, in
+      // parallel each gets a fresh one absorbed at the join.
+      tasks.push_back(
+          PlanTask{[&ran, i](CubeComputeStats* st) {
+                     ran.fetch_add(1);
+                     ++st->base_scans;
+                     st->peak_memory = std::max(st->peak_memory,
+                                                uint64_t{100} + i);
+                     return Status::OK();
+                   },
+                   {}});
+    }
+    CubeComputeStats stats;
+    Status s = RunPlanTasks(std::move(tasks), parallelism, &stats);
+    EXPECT_TRUE(s.ok()) << s;
+    EXPECT_EQ(ran.load(), 20u);
+    EXPECT_EQ(stats.base_scans, 20u);
+    // Absorb takes max for peak_memory, sum for the counters.
+    EXPECT_EQ(stats.peak_memory, 119u);
+  }
+}
+
+TEST(RunPlanTasksTest, FailureSkipsDependentsButReportsByTaskIndex) {
+  for (size_t parallelism : {size_t{1}, size_t{4}}) {
+    std::atomic<bool> dependent_ran{false};
+    std::vector<PlanTask> tasks;
+    tasks.push_back(PlanTask{
+        [](CubeComputeStats*) { return Status::Internal("task 0 fails"); },
+        {}});
+    PlanTask dependent;
+    dependent.run = [&](CubeComputeStats*) {
+      dependent_ran.store(true);
+      return Status::OK();
+    };
+    dependent.deps.push_back(0);
+    tasks.push_back(std::move(dependent));
+    CubeComputeStats stats;
+    Status s = RunPlanTasks(std::move(tasks), parallelism, &stats);
+    EXPECT_EQ(s.code(), StatusCode::kInternal)
+        << "parallelism " << parallelism;
+    EXPECT_FALSE(dependent_ran.load()) << "parallelism " << parallelism;
+  }
+}
+
+TEST(RunPlanTasksTest, FirstErrorByIndexWinsOverCompletionOrder) {
+  // Two failing independent tasks: whatever order they finish in, the
+  // reported error is task 1's (the lower index), never task 3's.
+  for (int repeat = 0; repeat < 20; ++repeat) {
+    std::vector<PlanTask> tasks;
+    for (size_t i = 0; i < 4; ++i) {
+      tasks.push_back(
+          PlanTask{[i](CubeComputeStats*) -> Status {
+                     if (i == 1) return Status::InvalidArgument("low index");
+                     if (i == 3) return Status::Internal("high index");
+                     return Status::OK();
+                   },
+                   {}});
+    }
+    CubeComputeStats stats;
+    Status s = RunPlanTasks(std::move(tasks), 4, &stats);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s;
+  }
+}
+
+TEST(RunPlanTasksTest, EmptyTaskListIsOk) {
+  CubeComputeStats stats;
+  EXPECT_TRUE(RunPlanTasks({}, 4, &stats).ok());
+  EXPECT_TRUE(RunPlanTasks({}, 1, &stats).ok());
+}
+
+// --- CubeComputeStats::Absorb ---
+
+TEST(CubeComputeStatsTest, AbsorbSumsCountersAndMaxesPeak) {
+  CubeComputeStats a;
+  a.base_scans = 1;
+  a.passes = 2;
+  a.sorts = 3;
+  a.records_sorted = 100;
+  a.spilled_runs = 1;
+  a.spill_bytes = 512;
+  a.partitions = 4;
+  a.partition_rows = 40;
+  a.rollups = 5;
+  a.peak_memory = 1000;
+  CubeComputeStats b;
+  b.base_scans = 10;
+  b.rollups = 1;
+  b.peak_memory = 700;
+  a.Absorb(b);
+  EXPECT_EQ(a.base_scans, 11u);
+  EXPECT_EQ(a.passes, 2u);
+  EXPECT_EQ(a.sorts, 3u);
+  EXPECT_EQ(a.records_sorted, 100u);
+  EXPECT_EQ(a.spilled_runs, 1u);
+  EXPECT_EQ(a.spill_bytes, 512u);
+  EXPECT_EQ(a.partitions, 4u);
+  EXPECT_EQ(a.partition_rows, 40u);
+  EXPECT_EQ(a.rollups, 6u);
+  EXPECT_EQ(a.peak_memory, 1000u);  // max, not sum
+}
+
+}  // namespace
+}  // namespace x3

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <set>
 #include <string>
 
@@ -121,11 +122,27 @@ TEST(ExecutionContextTest, PollNoticesExpiredDeadlineWithinStride) {
   ExecutionContext ctx({nullptr, nullptr, nullptr,
                         ExecutionContext::Clock::now() -
                             std::chrono::milliseconds(1)});
-  // Poll only reads the clock every kDeadlineStride calls; within one
-  // stride's worth of polls the expiry must surface.
+  // Poll reads the clock every kDeadlineStride calls on each thread,
+  // and the per-thread counter carries over from earlier contexts on
+  // this thread — so the expiry must surface within one full stride of
+  // polls, wherever the counter currently stands. The bound is derived
+  // from the constant, not hard-coded, so a stride change cannot
+  // silently turn this test flaky.
   Status status = Status::OK();
-  for (int i = 0; i < 600 && status.ok(); ++i) status = ctx.Poll();
+  for (uint64_t i = 0;
+       i <= ExecutionContext::kDeadlineStride && status.ok(); ++i) {
+    status = ctx.Poll();
+  }
   EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ExecutionContextTest, CheckInterruptedIsUnstridedAtStageBoundaries) {
+  // Unlike Poll, CheckInterrupted must notice an expired deadline on
+  // the very first call — stage boundaries never wait out a stride.
+  ExecutionContext ctx({nullptr, nullptr, nullptr,
+                        ExecutionContext::Clock::now() -
+                            std::chrono::milliseconds(1)});
+  EXPECT_EQ(ctx.CheckInterrupted().code(), StatusCode::kDeadlineExceeded);
 }
 
 TEST(ExecutionContextTest, RemainingSecondsTracksFutureDeadline) {
@@ -249,6 +266,69 @@ TEST(CubePlanTest, UnsafeStepsTrackTheUnprovenAssumptions) {
     EXPECT_EQ(ExplainCubePlan(proven, summarizable->lattice).find("UNSAFE"),
               std::string::npos)
         << CubeAlgorithmToString(algo);
+  }
+}
+
+// --- Plan dependency DAG (drives the parallel executor) ---
+
+TEST(CubePlanTest, DependenciesRespectTaskNumberingForEveryVariant) {
+  auto workload = SummarizableWorkload();
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  for (CubeAlgorithm algo : GlobalCuboidExecutorRegistry().Algorithms()) {
+    CubePlan plan =
+        BuildCubePlan(algo, workload->lattice, workload->properties);
+    std::vector<std::vector<size_t>> deps = PlanStepDependencies(plan);
+    ASSERT_EQ(deps.size(), plan.pipes.size() + plan.steps.size())
+        << CubeAlgorithmToString(algo);
+    // Pipes are sources: no dependencies. Every dependency points at an
+    // earlier task, so "pipes then steps in order" is always a valid
+    // sequential schedule.
+    for (size_t t = 0; t < deps.size(); ++t) {
+      if (t < plan.pipes.size()) {
+        EXPECT_TRUE(deps[t].empty()) << CubeAlgorithmToString(algo);
+      }
+      for (size_t d : deps[t]) {
+        EXPECT_LT(d, t) << CubeAlgorithmToString(algo);
+      }
+    }
+  }
+}
+
+TEST(CubePlanTest, RollupStepsDependOnTheirProducers) {
+  auto workload = SummarizableWorkload();
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  CubePlan plan = BuildCubePlan(CubeAlgorithm::kTDOptAll, workload->lattice,
+                                workload->properties);
+  std::vector<std::vector<size_t>> deps = PlanStepDependencies(plan);
+  // TDOPTALL computes the finest cuboid from base and rolls everything
+  // else up, so every step but the first must name its source's task.
+  ASSERT_GT(plan.steps.size(), 1u);
+  EXPECT_TRUE(deps[0].empty());
+  std::map<CuboidId, size_t> producer;
+  for (size_t i = 0; i < plan.steps.size(); ++i) {
+    const CuboidPlanStep& step = plan.steps[i];
+    if (step.kind == CuboidPlanStep::Kind::kRollup ||
+        step.kind == CuboidPlanStep::Kind::kCopy) {
+      ASSERT_EQ(deps[i].size(), 1u);
+      EXPECT_EQ(deps[i][0], producer.at(step.source));
+    }
+    producer[step.cuboid] = i;
+  }
+}
+
+TEST(CubePlanTest, SharedSortStepsDependOnTheirPipes) {
+  auto workload = SummarizableWorkload();
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  CubePlan plan = BuildCubePlan(CubeAlgorithm::kTDOpt, workload->lattice,
+                                workload->properties);
+  ASSERT_GT(plan.pipes.size(), 0u);
+  std::vector<std::vector<size_t>> deps = PlanStepDependencies(plan);
+  for (size_t i = 0; i < plan.steps.size(); ++i) {
+    const CuboidPlanStep& step = plan.steps[i];
+    ASSERT_EQ(step.kind, CuboidPlanStep::Kind::kSharedSort);
+    ASSERT_EQ(deps[plan.pipes.size() + i].size(), 1u);
+    EXPECT_EQ(deps[plan.pipes.size() + i][0],
+              static_cast<size_t>(step.source));
   }
 }
 
