@@ -29,6 +29,14 @@ Rules (see docs/STATIC_ANALYSIS.md for the rationale):
                      and error propagation live in one audited place.
                      (Tests may spawn threads directly to hammer the
                      primitives.)
+  raw-stdio          No stdio file I/O (fopen/fread/fwrite/...) and no
+                     direct file removal (remove(x.c_str())) in src/
+                     outside src/util/env.*: every byte of file I/O goes
+                     through the Env seam so fault injection sees it and
+                     checksums/retries apply uniformly. The std::remove
+                     *algorithm* (erase-remove over iterators) is fine:
+                     the removal rule only fires on remove taking a
+                     c_str() argument.
 
 A finding can be suppressed with a trailing comment naming the rule:
     some_call();  // x3-lint: allow(raw-new-delete) -- justification
@@ -56,6 +64,14 @@ GUARD = re.compile(r"#ifndef\s+(X3_\w+_H_)")
 # does not match: after "std::" the literal "thread" fails against
 # "this_thread" at its third character.
 RAW_THREAD = re.compile(r"std\s*::\s*j?thread\b")
+RAW_STDIO = re.compile(
+    r"(?<![\w:.>])(?:std\s*::\s*)?"
+    r"(fopen|freopen|fdopen|fread|fwrite|fclose|fseeko?|ftello?|fflush|"
+    r"tmpfile|fputs|fgets|fprintf|fscanf)\s*\(")
+# Distinguishes file removal (remove(p.c_str())) from the std::remove
+# algorithm: iterator arguments never involve a c_str() call.
+REMOVE_FILE = re.compile(
+    r"(?<![\w.])(?:std\s*::\s*)?remove\s*\((?:[^;()]|\([^()]*\))*c_str\s*\(")
 ALLOW = re.compile(r"x3-lint:\s*allow\(([\w-]+)\)")
 
 
@@ -110,6 +126,7 @@ class Linter:
         in_src = rel.startswith("src/")
         is_logging_h = rel == "src/util/logging.h"
         is_thread_pool = rel.startswith("src/util/thread_pool.")
+        is_env = rel.startswith("src/util/env.")
         with open(path, encoding="utf-8", errors="replace") as f:
             lines = f.readlines()
 
@@ -163,6 +180,16 @@ class Linter:
                 self.report(path, lineno, "raw-thread",
                             "raw std::thread outside src/util/thread_pool.*; "
                             "use ThreadPool/TaskGroup", raw)
+            if in_src and not is_env:
+                if RAW_STDIO.search(code):
+                    self.report(path, lineno, "raw-stdio",
+                                "stdio file I/O in src/; route it through "
+                                "the Env/File seam (util/env.h)", raw)
+                if REMOVE_FILE.search(code):
+                    self.report(path, lineno, "raw-stdio",
+                                "direct file removal in src/; use "
+                                "Env::RemoveFile so fault tests observe it",
+                                raw)
             if in_src and not is_logging_h and BARE_ASSERT.search(code):
                 self.report(path, lineno, "bare-assert",
                             "bare assert(); use X3_CHECK (always on) or "

@@ -1,8 +1,8 @@
 #include "cube/cube_result.h"
 
 #include <algorithm>
-#include <cstdio>
 
+#include "util/env.h"
 #include "util/string_util.h"
 
 namespace x3 {
@@ -141,9 +141,10 @@ void CubeResult::ApplyIcebergFilter(int64_t min_count) {
 
 Status CubeResult::WriteCsv(const std::string& path,
                             const CubeLattice& lattice,
-                            const FactTable& facts) const {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::IOError("cannot create " + path);
+                            const FactTable& facts, Env* env) const {
+  SequentialFileWriter writer;
+  X3_RETURN_IF_ERROR(
+      writer.Open(env != nullptr ? env : Env::Default(), path));
   std::string line = "cuboid";
   for (size_t a = 0; a < lattice.num_axes(); ++a) {
     line += ",";
@@ -154,7 +155,7 @@ Status CubeResult::WriteCsv(const std::string& path,
   line += ",";
   line += AggregateFunctionToString(fn_);
   line += "\n";
-  std::fputs(line.c_str(), f);
+  X3_RETURN_IF_ERROR(writer.Append(line));
   for (CuboidId c = 0; c < cells_.size(); ++c) {
     std::vector<size_t> present = lattice.PresentAxes(c);
     // Deterministic output: sort keys.
@@ -180,11 +181,10 @@ Status CubeResult::WriteCsv(const std::string& path,
       const AggregateState& state = cells_[c].at(*key);
       line += StringPrintf(",%.6g", state.Value(fn_));
       line += "\n";
-      std::fputs(line.c_str(), f);
+      X3_RETURN_IF_ERROR(writer.Append(line));
     }
   }
-  if (std::fclose(f) != 0) return Status::IOError("close failed on " + path);
-  return Status::OK();
+  return writer.Close();
 }
 
 }  // namespace x3

@@ -68,9 +68,10 @@ class CubeResult {
   bool Equals(const CubeResult& other, std::string* diff = nullptr) const;
 
   /// Writes "cuboid_id,axis values...,value" rows (values rendered via
-  /// the fact table's dictionaries; absent axes print "-").
+  /// the fact table's dictionaries; absent axes print "-"). `env` =
+  /// nullptr uses Env::Default().
   Status WriteCsv(const std::string& path, const CubeLattice& lattice,
-                  const FactTable& facts) const;
+                  const FactTable& facts, Env* env = nullptr) const;
 
   /// Drops every cell whose distinct-fact count is below `min_count`
   /// (iceberg filter). No-op for min_count <= 1.

@@ -1,6 +1,5 @@
 #include "cube/fact_table.h"
 
-#include <cstdio>
 #include <cstring>
 
 #include "util/logging.h"
@@ -114,45 +113,22 @@ namespace {
 constexpr uint32_t kFactTableMagic = 0x58334654;  // "X3FT"
 constexpr uint32_t kFactTableVersion = 1;
 
-Status WriteAll(std::FILE* f, const void* data, size_t len,
-                const std::string& path) {
-  if (len > 0 && std::fwrite(data, len, 1, f) != 1) {
-    return Status::IOError("short write to " + path);
-  }
-  return Status::OK();
-}
-
-Status ReadAll(std::FILE* f, void* data, size_t len, const std::string& path) {
-  if (len > 0 && std::fread(data, len, 1, f) != 1) {
-    return Status::IOError("short read from " + path);
-  }
-  return Status::OK();
-}
-
-template <typename T>
-Status WritePod(std::FILE* f, const T& v, const std::string& path) {
-  return WriteAll(f, &v, sizeof(T), path);
-}
-
-template <typename T>
-Status ReadPod(std::FILE* f, T* v, const std::string& path) {
-  return ReadAll(f, v, sizeof(T), path);
-}
-
 }  // namespace
 
-Status FactTable::Save(const std::string& path) const {
+Status FactTable::Save(const std::string& path, Env* env) const {
   if (!finished_) return Status::Internal("Save before Finish");
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::IOError("cannot create " + path);
+  if (env == nullptr) env = Env::Default();
+  SequentialFileWriter writer;
+  X3_RETURN_IF_ERROR(writer.Open(env, path));
   auto cleanup = [&](Status s) {
-    std::fclose(f);
-    if (!s.ok()) std::remove(path.c_str());
+    Status close = writer.Close();
+    if (s.ok()) s = close;
+    if (!s.ok()) env->RemoveFile(path).IgnoreError();
     return s;
   };
   Status s = Status::OK();
   auto w = [&](const void* data, size_t len) {
-    if (s.ok()) s = WriteAll(f, data, len, path);
+    if (s.ok()) s = writer.Append(data, len);
   };
   uint64_t header[4] = {kFactTableMagic, kFactTableVersion,
                         static_cast<uint64_t>(num_axes_),
@@ -175,78 +151,65 @@ Status FactTable::Save(const std::string& path) const {
   return cleanup(s);
 }
 
-Result<FactTable> FactTable::Load(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::IOError("cannot open " + path);
-  auto fail = [&](Status s) {
-    std::fclose(f);
-    return s;
-  };
+Result<FactTable> FactTable::Load(const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
   // All stored counts must be consistent with the file size; a
   // corrupted count must not drive a huge allocation.
-  std::fseek(f, 0, SEEK_END);
-  long file_size_long = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  uint64_t file_size =
-      file_size_long > 0 ? static_cast<uint64_t>(file_size_long) : 0;
+  X3_ASSIGN_OR_RETURN(uint64_t file_size, env->FileSize(path));
   auto plausible = [&](uint64_t count, uint64_t unit) {
     return unit == 0 || count <= file_size / unit + 1;
   };
+  SequentialFileReader reader;
+  X3_RETURN_IF_ERROR(reader.Open(env, path));
   uint64_t header[4];
-  Status s = ReadAll(f, header, sizeof(header), path);
-  if (!s.ok()) return fail(s);
+  X3_RETURN_IF_ERROR(reader.Read(header, sizeof(header)));
   if (header[0] != kFactTableMagic) {
-    return fail(Status::Corruption("bad fact table magic in " + path));
+    return Status::Corruption("bad fact table magic in " + path);
   }
   if (header[1] != kFactTableVersion) {
-    return fail(Status::Corruption("unsupported fact table version"));
+    return Status::Corruption("unsupported fact table version");
   }
   size_t num_axes = static_cast<size_t>(header[2]);
   size_t num_facts = static_cast<size_t>(header[3]);
   if (!plausible(num_axes, sizeof(uint32_t)) ||
       !plausible(num_facts, sizeof(uint64_t))) {
-    return fail(Status::Corruption("implausible counts in " + path));
+    return Status::Corruption("implausible counts in " + path);
   }
   FactTable table(num_axes);
   table.fact_ids_.resize(num_facts);
   table.measures_.resize(num_facts);
-  s = ReadAll(f, table.fact_ids_.data(), num_facts * sizeof(uint64_t), path);
-  if (!s.ok()) return fail(s);
-  s = ReadAll(f, table.measures_.data(), num_facts * sizeof(int64_t), path);
-  if (!s.ok()) return fail(s);
+  X3_RETURN_IF_ERROR(
+      reader.Read(table.fact_ids_.data(), num_facts * sizeof(uint64_t)));
+  X3_RETURN_IF_ERROR(
+      reader.Read(table.measures_.data(), num_facts * sizeof(int64_t)));
   for (size_t a = 0; a < num_axes; ++a) {
     uint64_t counts[2];
-    s = ReadAll(f, counts, sizeof(counts), path);
-    if (!s.ok()) return fail(s);
+    X3_RETURN_IF_ERROR(reader.Read(counts, sizeof(counts)));
     if (!plausible(counts[0], sizeof(AxisBinding)) ||
         !plausible(counts[1], sizeof(uint32_t))) {
-      return fail(Status::Corruption("implausible axis counts in " + path));
+      return Status::Corruption("implausible axis counts in " + path);
     }
     size_t offsets = num_facts == 0 ? 1 : num_facts + 1;
     table.axis_offsets_[a].resize(offsets);
-    s = ReadAll(f, table.axis_offsets_[a].data(),
-                offsets * sizeof(uint32_t), path);
-    if (!s.ok()) return fail(s);
+    X3_RETURN_IF_ERROR(reader.Read(table.axis_offsets_[a].data(),
+                                   offsets * sizeof(uint32_t)));
     table.axis_bindings_[a].resize(counts[0]);
-    s = ReadAll(f, table.axis_bindings_[a].data(),
-                counts[0] * sizeof(AxisBinding), path);
-    if (!s.ok()) return fail(s);
+    X3_RETURN_IF_ERROR(reader.Read(table.axis_bindings_[a].data(),
+                                   counts[0] * sizeof(AxisBinding)));
     table.axis_values_[a].reserve(counts[1]);
     for (uint64_t i = 0; i < counts[1]; ++i) {
       uint32_t len = 0;
-      s = ReadPod(f, &len, path);
-      if (!s.ok()) return fail(s);
+      X3_RETURN_IF_ERROR(reader.Read(&len, sizeof(len)));
       if (!plausible(len, 1)) {
-        return fail(Status::Corruption("implausible value length"));
+        return Status::Corruption("implausible value length");
       }
       std::string v(len, '\0');
-      s = ReadAll(f, v.data(), len, path);
-      if (!s.ok()) return fail(s);
+      X3_RETURN_IF_ERROR(reader.Read(v.data(), len));
       table.axis_value_ids_[a].emplace(v, static_cast<ValueId>(i));
       table.axis_values_[a].push_back(std::move(v));
     }
   }
-  std::fclose(f);
+  X3_RETURN_IF_ERROR(reader.Close());
   table.finished_ = true;
   return table;
 }

@@ -98,8 +98,9 @@ class FactTable {
 
   // --- Persistence (binary, versioned) ---
 
-  Status Save(const std::string& path) const;
-  static Result<FactTable> Load(const std::string& path);
+  /// `env` = nullptr uses Env::Default().
+  Status Save(const std::string& path, Env* env = nullptr) const;
+  static Result<FactTable> Load(const std::string& path, Env* env = nullptr);
 
  private:
   size_t num_axes_;

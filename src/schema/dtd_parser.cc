@@ -1,7 +1,6 @@
 #include "schema/dtd_parser.h"
 
-#include <cstdio>
-
+#include "util/env.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -258,21 +257,9 @@ Result<SchemaGraph> ParseDtd(std::string_view input) {
   return parser.Parse();
 }
 
-Result<SchemaGraph> ParseDtdFile(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::IOError("cannot open " + path);
-  std::fseek(f, 0, SEEK_END);
-  long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
+Result<SchemaGraph> ParseDtdFile(const std::string& path, Env* env) {
   std::string buf;
-  if (size > 0) {
-    buf.resize(static_cast<size_t>(size));
-    if (std::fread(buf.data(), 1, buf.size(), f) != buf.size()) {
-      std::fclose(f);
-      return Status::IOError("short read of " + path);
-    }
-  }
-  std::fclose(f);
+  X3_RETURN_IF_ERROR(ReadFileToString(env, path, &buf));
   return ParseDtd(buf);
 }
 

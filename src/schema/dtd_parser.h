@@ -1,9 +1,11 @@
 #ifndef X3_SCHEMA_DTD_PARSER_H_
 #define X3_SCHEMA_DTD_PARSER_H_
 
+#include <string>
 #include <string_view>
 
 #include "schema/schema_graph.h"
+#include "util/env.h"
 #include "util/result.h"
 
 namespace x3 {
@@ -26,8 +28,8 @@ namespace x3 {
 /// exactly the information §3.7's property inference consumes.
 Result<SchemaGraph> ParseDtd(std::string_view input);
 
-/// Reads and parses a DTD file.
-Result<SchemaGraph> ParseDtdFile(const std::string& path);
+/// Reads and parses a DTD file through `env` (nullptr = Env::Default()).
+Result<SchemaGraph> ParseDtdFile(const std::string& path, Env* env = nullptr);
 
 }  // namespace x3
 

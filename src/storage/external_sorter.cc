@@ -23,80 +23,69 @@ namespace {
 /// + allocator slack), in addition to payload bytes.
 constexpr size_t kRecordOverhead = 48;
 
-/// Writes length-prefixed records to a run file.
+/// Writes length-prefixed records to a run file through the Env.
 class RunWriter {
  public:
-  ~RunWriter() {
-    if (file_ != nullptr) std::fclose(file_);
-  }
-
-  Status Open(const std::string& path) {
-    file_ = std::fopen(path.c_str(), "wb");
-    if (file_ == nullptr) return Status::IOError("cannot create run " + path);
+  Status Open(Env* env, const std::string& path) {
     path_ = path;
-    return Status::OK();
+    return writer_.Open(env, path);
   }
 
   Status Append(std::string_view record) {
     uint32_t len = static_cast<uint32_t>(record.size());
-    if (std::fwrite(&len, sizeof(len), 1, file_) != 1 ||
-        (len > 0 && std::fwrite(record.data(), len, 1, file_) != 1)) {
-      return Status::IOError("short write to run " + path_);
-    }
+    X3_RETURN_IF_ERROR(writer_.Append(
+        std::string_view(reinterpret_cast<const char*>(&len), sizeof(len))));
+    if (len > 0) X3_RETURN_IF_ERROR(writer_.Append(record));
     bytes_ += sizeof(len) + len;
     return Status::OK();
   }
 
-  Status Close() {
-    if (file_ != nullptr && std::fclose(file_) != 0) {
-      file_ = nullptr;
-      return Status::IOError("close failed on run " + path_);
-    }
-    file_ = nullptr;
-    return Status::OK();
-  }
+  Status Close() { return writer_.Close(); }
 
   uint64_t bytes() const { return bytes_; }
 
  private:
-  std::FILE* file_ = nullptr;
+  SequentialFileWriter writer_;
   std::string path_;
   uint64_t bytes_ = 0;
 };
 
-/// Reads length-prefixed records back from a run file.
+/// Reads length-prefixed records back from a run file through the Env.
 class RunReader {
  public:
-  ~RunReader() {
-    if (file_ != nullptr) std::fclose(file_);
-  }
-
-  Status Open(const std::string& path) {
-    file_ = std::fopen(path.c_str(), "rb");
-    if (file_ == nullptr) return Status::IOError("cannot open run " + path);
+  Status Open(Env* env, const std::string& path) {
     path_ = path;
-    return Status::OK();
+    return reader_.Open(env, path);
   }
 
   /// Returns false at EOF.
   bool Next(std::string* record, Status* status) {
     uint32_t len = 0;
-    size_t n = std::fread(&len, sizeof(len), 1, file_);
-    if (n != 1) {
-      if (std::feof(file_)) return false;
-      *status = Status::IOError("short read from run " + path_);
+    size_t got = 0;
+    Status s = reader_.ReadPartial(&len, sizeof(len), &got);
+    if (!s.ok()) {
+      *status = s;
+      return false;
+    }
+    if (got == 0) return false;  // clean EOF between records
+    if (got != sizeof(len)) {
+      *status =
+          Status::Corruption("truncated record header in run " + path_);
       return false;
     }
     record->resize(len);
-    if (len > 0 && std::fread(record->data(), len, 1, file_) != 1) {
-      *status = Status::IOError("truncated record in run " + path_);
-      return false;
+    if (len > 0) {
+      s = reader_.Read(record->data(), len);
+      if (!s.ok()) {
+        *status = s;
+        return false;
+      }
     }
     return true;
   }
 
  private:
-  std::FILE* file_ = nullptr;
+  SequentialFileReader reader_;
   std::string path_;
 };
 
@@ -121,15 +110,16 @@ class VectorStream : public SortedStream {
 /// K-way merge over run files using a tournament heap.
 class MergeStream : public SortedStream {
  public:
-  MergeStream(std::vector<std::string> run_paths, RecordComparator cmp)
-      : run_paths_(std::move(run_paths)), cmp_(std::move(cmp)) {}
+  MergeStream(Env* env, std::vector<std::string> run_paths,
+              RecordComparator cmp)
+      : env_(env), run_paths_(std::move(run_paths)), cmp_(std::move(cmp)) {}
 
   Status Init() {
     readers_.resize(run_paths_.size());
     heads_.resize(run_paths_.size());
     for (size_t i = 0; i < run_paths_.size(); ++i) {
       readers_[i] = std::make_unique<RunReader>();
-      X3_RETURN_IF_ERROR(readers_[i]->Open(run_paths_[i]));
+      X3_RETURN_IF_ERROR(readers_[i]->Open(env_, run_paths_[i]));
       Status s;
       if (readers_[i]->Next(&heads_[i], &s)) {
         heap_.push_back(i);
@@ -171,6 +161,7 @@ class MergeStream : public SortedStream {
   }
 
  private:
+  Env* env_;
   std::vector<std::string> run_paths_;
   RecordComparator cmp_;
   std::vector<std::unique_ptr<RunReader>> readers_;
@@ -222,7 +213,7 @@ Status ExternalSorter::SpillBuffer() {
             });
   std::string path = options_.temp_files->NextPath("run");
   RunWriter writer;
-  X3_RETURN_IF_ERROR(writer.Open(path));
+  X3_RETURN_IF_ERROR(writer.Open(options_.temp_files->env(), path));
   for (const std::string& rec : buffer_) {
     X3_RETURN_IF_ERROR(writer.Append(rec));
   }
@@ -244,11 +235,11 @@ Status ExternalSorter::CascadeMerges() {
         runs_.begin() + static_cast<ptrdiff_t>(options_.merge_fanin));
     runs_.erase(runs_.begin(),
                 runs_.begin() + static_cast<ptrdiff_t>(options_.merge_fanin));
-    MergeStream merge(group, options_.comparator);
+    MergeStream merge(options_.temp_files->env(), group, options_.comparator);
     X3_RETURN_IF_ERROR(merge.Init());
     std::string out_path = options_.temp_files->NextPath("merge");
     RunWriter writer;
-    X3_RETURN_IF_ERROR(writer.Open(out_path));
+    X3_RETURN_IF_ERROR(writer.Open(options_.temp_files->env(), out_path));
     std::string rec;
     Status s;
     while (merge.Next(&rec, &s)) {
@@ -287,7 +278,8 @@ Result<std::unique_ptr<SortedStream>> ExternalSorter::Finish() {
   }
   X3_RETURN_IF_ERROR(CascadeMerges());
   ++stats_.merge_passes;
-  auto merge = std::make_unique<MergeStream>(runs_, options_.comparator);
+  auto merge = std::make_unique<MergeStream>(options_.temp_files->env(), runs_,
+                                             options_.comparator);
   X3_RETURN_IF_ERROR(merge->Init());
   return std::unique_ptr<SortedStream>(std::move(merge));
 }

@@ -2,7 +2,6 @@
 #define X3_STORAGE_EXTERNAL_SORTER_H_
 
 #include <cstdint>
-#include <cstdio>
 #include <functional>
 #include <memory>
 #include <string>

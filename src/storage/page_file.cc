@@ -1,6 +1,5 @@
 #include "storage/page_file.h"
 
-#include <cerrno>
 #include <cstring>
 
 #include "util/string_util.h"
@@ -9,48 +8,47 @@ namespace x3 {
 
 PageFile::~PageFile() { Close().IgnoreError(); }
 
-Status PageFile::Open(const std::string& path, bool truncate) {
+Status PageFile::Open(const std::string& path, bool truncate, Env* env) {
   if (file_ != nullptr) {
     return Status::AlreadyExists("page file already open: " + path_);
   }
-  const char* mode = truncate ? "w+b" : "r+b";
-  std::FILE* f = std::fopen(path.c_str(), mode);
-  if (f == nullptr && !truncate) {
-    // File may not exist yet.
-    f = std::fopen(path.c_str(), "w+b");
-  }
-  if (f == nullptr) {
-    return Status::IOError("cannot open " + path + ": " +
-                           std::strerror(errno));
-  }
-  file_ = f;
+  env_ = env != nullptr ? env : Env::Default();
+  OpenMode mode = truncate ? OpenMode::kTruncate : OpenMode::kReadWrite;
+  Result<std::unique_ptr<File>> file = env_->OpenFile(path, mode);
+  if (!file.ok()) return file.status();
+  file_ = std::move(*file);
   path_ = path;
-  if (std::fseek(file_, 0, SEEK_END) != 0) {
+  Result<uint64_t> size = file_->Size();
+  if (!size.ok()) {
     Close().IgnoreError();
-    return Status::IOError("seek failed on " + path);
+    return size.status();
   }
-  long size = std::ftell(file_);
-  if (size < 0) {
+  if (*size % kDiskPageSize != 0) {
+    Status s = Status::Corruption(StringPrintf(
+        "page file %s size %llu not a multiple of %zu (torn final page %llu?)",
+        path.c_str(), static_cast<unsigned long long>(*size), kDiskPageSize,
+        static_cast<unsigned long long>(*size / kDiskPageSize)));
     Close().IgnoreError();
-    return Status::IOError("ftell failed on " + path);
+    return s;
   }
-  if (size % static_cast<long>(kPageSize) != 0) {
+  uint64_t pages = *size / kDiskPageSize;
+  if (pages >= kMaxPageCount) {
     Close().IgnoreError();
-    return Status::Corruption(
-        StringPrintf("page file %s size %ld not a multiple of page size",
-                     path.c_str(), size));
+    return Status::Corruption(StringPrintf(
+        "page file %s holds %llu pages, beyond the PageId range",
+        path.c_str(), static_cast<unsigned long long>(pages)));
   }
-  page_count_ = static_cast<PageId>(size / static_cast<long>(kPageSize));
+  page_count_ = static_cast<PageId>(pages);
   return Status::OK();
 }
 
 Status PageFile::Close() {
   if (file_ == nullptr) return Status::OK();
-  int rc = std::fclose(file_);
-  file_ = nullptr;
+  Status s = file_->Close();
+  file_.reset();
+  env_ = nullptr;
   page_count_ = 0;
-  if (rc != 0) return Status::IOError("close failed on " + path_);
-  return Status::OK();
+  return s;
 }
 
 Status PageFile::ReadPage(PageId id, Page* page) {
@@ -59,14 +57,31 @@ Status PageFile::ReadPage(PageId id, Page* page) {
     return Status::OutOfRange(
         StringPrintf("read page %u of %u", id, page_count_));
   }
-  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0) {
-    return Status::IOError("seek failed on " + path_);
+  uint8_t disk_page[kDiskPageSize];
+  X3_RETURN_IF_ERROR(file_->ReadAt(
+      static_cast<uint64_t>(id) * kDiskPageSize, disk_page, kDiskPageSize));
+  uint64_t stored = 0;
+  std::memcpy(&stored, disk_page + kPageSize, kPageTrailerSize);
+  uint64_t expected = PageChecksum(disk_page, id);
+  if (stored != expected) {
+    return Status::Corruption(StringPrintf(
+        "page %u of %s failed checksum (stored %016llx, computed %016llx): "
+        "torn write or corruption",
+        id, path_.c_str(), static_cast<unsigned long long>(stored),
+        static_cast<unsigned long long>(expected)));
   }
-  if (std::fread(page->bytes(), kPageSize, 1, file_) != 1) {
-    return Status::IOError(StringPrintf("short read of page %u", id));
-  }
+  std::memcpy(page->bytes(), disk_page, kPageSize);
   ++pages_read_;
   return Status::OK();
+}
+
+Status PageFile::WritePageWithTrailer(PageId id, const uint8_t* payload) {
+  uint8_t disk_page[kDiskPageSize];
+  std::memcpy(disk_page, payload, kPageSize);
+  uint64_t checksum = PageChecksum(payload, id);
+  std::memcpy(disk_page + kPageSize, &checksum, kPageTrailerSize);
+  return file_->WriteAt(static_cast<uint64_t>(id) * kDiskPageSize, disk_page,
+                        kDiskPageSize);
 }
 
 Status PageFile::WritePage(PageId id, const Page& page) {
@@ -75,27 +90,22 @@ Status PageFile::WritePage(PageId id, const Page& page) {
     return Status::OutOfRange(
         StringPrintf("write page %u of %u", id, page_count_));
   }
-  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0) {
-    return Status::IOError("seek failed on " + path_);
-  }
-  if (std::fwrite(page.bytes(), kPageSize, 1, file_) != 1) {
-    return Status::IOError(StringPrintf("short write of page %u", id));
-  }
+  X3_RETURN_IF_ERROR(WritePageWithTrailer(id, page.bytes()));
   ++pages_written_;
   return Status::OK();
 }
 
 Result<PageId> PageFile::AllocatePage() {
   if (file_ == nullptr) return Status::Internal("page file not open");
+  if (page_count_ >= kMaxPageCount) {
+    return Status::ResourceExhausted(StringPrintf(
+        "page file %s full: PageId space exhausted at %u pages",
+        path_.c_str(), page_count_));
+  }
   Page zero;
   zero.Zero();
   PageId id = page_count_;
-  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0) {
-    return Status::IOError("seek failed on " + path_);
-  }
-  if (std::fwrite(zero.bytes(), kPageSize, 1, file_) != 1) {
-    return Status::IOError("append failed on " + path_);
-  }
+  X3_RETURN_IF_ERROR(WritePageWithTrailer(id, zero.bytes()));
   ++pages_written_;
   ++page_count_;
   return id;
@@ -103,8 +113,19 @@ Result<PageId> PageFile::AllocatePage() {
 
 Status PageFile::Flush() {
   if (file_ == nullptr) return Status::OK();
-  if (std::fflush(file_) != 0) {
-    return Status::IOError("flush failed on " + path_);
+  return Status::OK();
+}
+
+Status PageFile::Sync() {
+  if (file_ == nullptr) return Status::Internal("page file not open");
+  return file_->Sync();
+}
+
+Status PageFile::VerifyAllPages() {
+  if (file_ == nullptr) return Status::Internal("page file not open");
+  Page scratch;
+  for (PageId id = 0; id < page_count_; ++id) {
+    X3_RETURN_IF_ERROR(ReadPage(id, &scratch));
   }
   return Status::OK();
 }

@@ -3,18 +3,19 @@
 #include <unistd.h>
 
 #include <algorithm>
-#include <cstdio>
 #include <cstdlib>
 
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace x3 {
 
-TempFileManager::TempFileManager(std::string base_dir)
-    : base_dir_(std::move(base_dir)) {
+TempFileManager::TempFileManager(std::string base_dir, Env* env)
+    : env_(env != nullptr ? env : Env::Default()),
+      base_dir_(std::move(base_dir)) {
   if (base_dir_.empty()) {
-    const char* env = std::getenv("TMPDIR");
-    base_dir_ = (env != nullptr && env[0] != '\0') ? env : "/tmp";
+    const char* tmpdir = std::getenv("TMPDIR");
+    base_dir_ = (tmpdir != nullptr && tmpdir[0] != '\0') ? tmpdir : "/tmp";
   }
   while (base_dir_.size() > 1 && base_dir_.back() == '/') {
     base_dir_.pop_back();
@@ -22,9 +23,25 @@ TempFileManager::TempFileManager(std::string base_dir)
 }
 
 TempFileManager::~TempFileManager() {
-  for (const std::string& p : owned_paths_) {
-    std::remove(p.c_str());
+  // Snapshot without the lock held across I/O; destruction requires
+  // external quiescence anyway.
+  std::vector<std::string> paths;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paths.swap(owned_paths_);
   }
+  for (const std::string& p : paths) {
+    RemoveAndCount(p);
+  }
+}
+
+void TempFileManager::RemoveAndCount(const std::string& path) {
+  Status s = env_->RemoveFile(path);
+  if (s.ok() || s.code() == StatusCode::kNotFound) return;
+  X3_LOG(Warning) << "temp file removal failed (possible leak): "
+                  << s.ToString();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++remove_failures_;
 }
 
 std::string TempFileManager::NextPath(const std::string& tag) {
@@ -38,16 +55,23 @@ std::string TempFileManager::NextPath(const std::string& tag) {
 }
 
 void TempFileManager::Remove(const std::string& path) {
-  std::remove(path.c_str());
-  std::lock_guard<std::mutex> lock(mu_);
-  owned_paths_.erase(
-      std::remove(owned_paths_.begin(), owned_paths_.end(), path),
-      owned_paths_.end());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    owned_paths_.erase(
+        std::remove(owned_paths_.begin(), owned_paths_.end(), path),
+        owned_paths_.end());
+  }
+  RemoveAndCount(path);
 }
 
 size_t TempFileManager::created_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return counter_;
+}
+
+uint64_t TempFileManager::remove_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return remove_failures_;
 }
 
 }  // namespace x3

@@ -6,20 +6,24 @@
 #include <string>
 #include <vector>
 
-#include "util/result.h"
+#include "util/env.h"
 
 namespace x3 {
 
 /// Hands out unique temp file paths under a base directory and removes
 /// everything it created on destruction. Used by the external sorter and
-/// by materialized intermediate cube results. Thread-safe: the workers
-/// of a parallel cube execution share one manager, so NextPath/Remove
-/// synchronize the path counter and the cleanup list (destruction still
-/// requires the usual external quiescence — no worker may outlive it).
+/// by materialized intermediate cube results. Removal goes through the
+/// Env (so fault tests can observe it), and failed removals are logged
+/// and counted instead of silently ignored — the fault-sweep harness
+/// asserts the count stays zero. Thread-safe: the workers of a parallel
+/// cube execution share one manager, so NextPath/Remove synchronize the
+/// path counter and the cleanup list (destruction still requires the
+/// usual external quiescence — no worker may outlive it).
 class TempFileManager {
  public:
   /// Files are created under `base_dir` (defaults to $TMPDIR or /tmp).
-  explicit TempFileManager(std::string base_dir = "");
+  /// `env` = nullptr uses Env::Default().
+  explicit TempFileManager(std::string base_dir = "", Env* env = nullptr);
   ~TempFileManager();
 
   TempFileManager(const TempFileManager&) = delete;
@@ -33,12 +37,24 @@ class TempFileManager {
   void Remove(const std::string& path);
 
   const std::string& base_dir() const { return base_dir_; }
+  Env* env() const { return env_; }
   size_t created_count() const;
 
+  /// Removals (explicit or at destruction) that failed for a reason
+  /// other than the file never having been created. A non-zero count
+  /// means temp files may have leaked on disk.
+  uint64_t remove_failures() const;
+
  private:
+  /// Removes `path` via the env, counting real failures. NotFound is
+  /// success: NextPath hands out paths before any file exists.
+  void RemoveAndCount(const std::string& path);
+
+  Env* env_;
   std::string base_dir_;
   mutable std::mutex mu_;
   uint64_t counter_ = 0;
+  uint64_t remove_failures_ = 0;
   std::vector<std::string> owned_paths_;
 };
 

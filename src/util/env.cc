@@ -1,0 +1,434 @@
+#include "util/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace x3 {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& what, const std::string& path,
+                         int err) {
+  return what + " " + path + ": " + std::strerror(err);
+}
+
+/// POSIX positional file: pread/pwrite with off_t offsets (no seek
+/// state, no `long` arithmetic — the pre-Env PageFile overflowed past
+/// 2 GiB in exactly that arithmetic).
+class PosixFile : public File {
+ public:
+  PosixFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixFile() override { Close().IgnoreError(); }
+
+  Status ReadAt(uint64_t offset, void* out, size_t n) override {
+    size_t got = 0;
+    X3_RETURN_IF_ERROR(ReadAtPartial(offset, out, n, &got));
+    if (got != n) {
+      return Status::IOError(StringPrintf(
+          "short read of %zu bytes at offset %llu from %s (got %zu)", n,
+          static_cast<unsigned long long>(offset), path_.c_str(), got));
+    }
+    return Status::OK();
+  }
+
+  Status ReadAtPartial(uint64_t offset, void* out, size_t n,
+                       size_t* bytes_read) override {
+    *bytes_read = 0;
+    X3_RETURN_IF_ERROR(CheckOpenAndOffset(offset, n));
+    char* dst = static_cast<char*>(out);
+    while (*bytes_read < n) {
+      ssize_t rc = ::pread(fd_, dst + *bytes_read, n - *bytes_read,
+                           static_cast<off_t>(offset + *bytes_read));
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(ErrnoMessage("read failed on", path_, errno));
+      }
+      if (rc == 0) break;  // EOF
+      *bytes_read += static_cast<size_t>(rc);
+    }
+    return Status::OK();
+  }
+
+  Status WriteAt(uint64_t offset, const void* data, size_t n) override {
+    X3_RETURN_IF_ERROR(CheckOpenAndOffset(offset, n));
+    const char* src = static_cast<const char*>(data);
+    size_t written = 0;
+    while (written < n) {
+      ssize_t rc = ::pwrite(fd_, src + written, n - written,
+                            static_cast<off_t>(offset + written));
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(ErrnoMessage("write failed on", path_, errno));
+      }
+      written += static_cast<size_t>(rc);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::Internal("sync on closed file " + path_);
+    if (::fsync(fd_) != 0) {
+      return Status::IOError(ErrnoMessage("fsync failed on", path_, errno));
+    }
+    return Status::OK();
+  }
+
+  Result<uint64_t> Size() override {
+    if (fd_ < 0) return Status::Internal("size of closed file " + path_);
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) {
+      return Status::IOError(ErrnoMessage("fstat failed on", path_, errno));
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) {
+      return Status::IOError(ErrnoMessage("close failed on", path_, errno));
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status CheckOpenAndOffset(uint64_t offset, size_t n) const {
+    if (fd_ < 0) return Status::Internal("I/O on closed file " + path_);
+    if (offset + n < offset || offset + n > static_cast<uint64_t>(INT64_MAX)) {
+      return Status::OutOfRange(StringPrintf(
+          "file offset %llu + %zu out of range on %s",
+          static_cast<unsigned long long>(offset), n, path_.c_str()));
+    }
+    return Status::OK();
+  }
+
+  int fd_;
+  std::string path_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<File>> OpenFile(const std::string& path,
+                                         OpenMode mode) override {
+    int flags = 0;
+    switch (mode) {
+      case OpenMode::kReadOnly:
+        flags = O_RDONLY;
+        break;
+      case OpenMode::kReadWrite:
+        flags = O_RDWR | O_CREAT;
+        break;
+      case OpenMode::kTruncate:
+        flags = O_RDWR | O_CREAT | O_TRUNC;
+        break;
+    }
+    int fd = ::open(path.c_str(), flags | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      if (errno == ENOENT) {
+        return Status::NotFound(ErrnoMessage("cannot open", path, errno));
+      }
+      return Status::IOError(ErrnoMessage("cannot open", path, errno));
+    }
+    return std::unique_ptr<File>(std::make_unique<PosixFile>(fd, path));
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      if (errno == ENOENT) {
+        return Status::NotFound(ErrnoMessage("cannot remove", path, errno));
+      }
+      return Status::IOError(ErrnoMessage("cannot remove", path, errno));
+    }
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IOError(
+          ErrnoMessage("cannot rename", from + " -> " + to, errno));
+    }
+    return Status::OK();
+  }
+
+  Result<uint64_t> FileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      if (errno == ENOENT) {
+        return Status::NotFound(ErrnoMessage("cannot stat", path, errno));
+      }
+      return Status::IOError(ErrnoMessage("cannot stat", path, errno));
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();  // x3-lint: allow(raw-new-delete) -- intentionally leaked process singleton
+  return env;
+}
+
+bool IsTransientFault(const Status& s) {
+  return !s.ok() &&
+         s.message().find(kTransientFaultMarker) != std::string::npos;
+}
+
+Status RetryEnv::RunWithRetry(const std::function<Status()>& op) {
+  Status s = op();
+  for (int attempt = 1; attempt < policy_.max_attempts && IsTransientFault(s);
+       ++attempt) {
+    uint64_t backoff = policy_.backoff_base_ms
+                       << static_cast<unsigned>(attempt - 1);
+    backoff_ms_ += backoff;
+    if (policy_.sleep) policy_.sleep(backoff);
+    ++retries_;
+    s = op();
+  }
+  return s;
+}
+
+namespace {
+
+/// Retries the wrapped file's operations under the owning RetryEnv's
+/// policy. The env must outlive its files (the usual Env contract).
+class RetryFile : public File {
+ public:
+  RetryFile(RetryEnv* env, std::unique_ptr<File> target)
+      : env_(env), target_(std::move(target)) {}
+
+  Status ReadAt(uint64_t offset, void* out, size_t n) override {
+    return Retry([&] { return target_->ReadAt(offset, out, n); });
+  }
+  Status ReadAtPartial(uint64_t offset, void* out, size_t n,
+                       size_t* bytes_read) override {
+    return Retry(
+        [&] { return target_->ReadAtPartial(offset, out, n, bytes_read); });
+  }
+  Status WriteAt(uint64_t offset, const void* data, size_t n) override {
+    return Retry([&] { return target_->WriteAt(offset, data, n); });
+  }
+  Status Sync() override {
+    return Retry([&] { return target_->Sync(); });
+  }
+  Result<uint64_t> Size() override { return target_->Size(); }
+  Status Close() override { return target_->Close(); }
+
+ private:
+  Status Retry(const std::function<Status()>& op);
+
+  RetryEnv* env_;
+  std::unique_ptr<File> target_;
+};
+
+Status RetryFile::Retry(const std::function<Status()>& op) {
+  return env_->RunWithRetry(op);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<File>> RetryEnv::OpenFile(const std::string& path,
+                                                 OpenMode mode) {
+  Result<std::unique_ptr<File>> result = target()->OpenFile(path, mode);
+  for (int attempt = 1;
+       attempt < policy_.max_attempts && !result.ok() &&
+       IsTransientFault(result.status());
+       ++attempt) {
+    uint64_t backoff = policy_.backoff_base_ms
+                       << static_cast<unsigned>(attempt - 1);
+    backoff_ms_ += backoff;
+    if (policy_.sleep) policy_.sleep(backoff);
+    ++retries_;
+    result = target()->OpenFile(path, mode);
+  }
+  if (!result.ok()) return result.status();
+  return std::unique_ptr<File>(
+      std::make_unique<RetryFile>(this, std::move(*result)));
+}
+
+Status RetryEnv::RemoveFile(const std::string& path) {
+  return RunWithRetry([&] { return target()->RemoveFile(path); });
+}
+
+Status RetryEnv::RenameFile(const std::string& from, const std::string& to) {
+  return RunWithRetry([&] { return target()->RenameFile(from, to); });
+}
+
+Result<uint64_t> RetryEnv::FileSize(const std::string& path) {
+  uint64_t size = 0;
+  Status s = RunWithRetry([&]() -> Status {
+    Result<uint64_t> r = target()->FileSize(path);
+    if (!r.ok()) return r.status();
+    size = *r;
+    return Status::OK();
+  });
+  if (!s.ok()) return s;
+  return size;
+}
+
+SequentialFileWriter::~SequentialFileWriter() { Close().IgnoreError(); }
+
+Status SequentialFileWriter::Open(Env* env, const std::string& path) {
+  if (file_ != nullptr) {
+    return Status::AlreadyExists("writer already open: " + path_);
+  }
+  X3_ASSIGN_OR_RETURN(file_, env->OpenFile(path, OpenMode::kTruncate));
+  path_ = path;
+  buffer_.clear();
+  buffer_.reserve(kBufferSize);
+  offset_ = 0;
+  status_ = Status::OK();
+  return Status::OK();
+}
+
+Status SequentialFileWriter::Append(const void* data, size_t n) {
+  if (!status_.ok()) return status_;
+  if (file_ == nullptr) {
+    return Status::Internal("append to closed writer " + path_);
+  }
+  buffer_.append(static_cast<const char*>(data), n);
+  if (buffer_.size() >= kBufferSize) return Flush();
+  return Status::OK();
+}
+
+Status SequentialFileWriter::Flush() {
+  if (!status_.ok()) return status_;
+  if (file_ == nullptr) {
+    return Status::Internal("flush of closed writer " + path_);
+  }
+  if (buffer_.empty()) return Status::OK();
+  status_ = file_->WriteAt(offset_, buffer_.data(), buffer_.size());
+  if (!status_.ok()) return status_;
+  offset_ += buffer_.size();
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status SequentialFileWriter::Sync() {
+  X3_RETURN_IF_ERROR(Flush());
+  status_ = file_->Sync();
+  return status_;
+}
+
+Status SequentialFileWriter::Close() {
+  if (file_ == nullptr) return status_;
+  Status flush = Flush();
+  Status close = file_->Close();
+  file_.reset();
+  if (!status_.ok()) return status_;
+  if (!flush.ok()) return flush;
+  return close;
+}
+
+Status SequentialFileReader::Open(Env* env, const std::string& path) {
+  if (file_ != nullptr) {
+    return Status::AlreadyExists("reader already open: " + path_);
+  }
+  X3_ASSIGN_OR_RETURN(file_, env->OpenFile(path, OpenMode::kReadOnly));
+  path_ = path;
+  buffer_.clear();
+  pos_ = 0;
+  offset_ = 0;
+  eof_ = false;
+  return Status::OK();
+}
+
+Status SequentialFileReader::Read(void* out, size_t n) {
+  size_t got = 0;
+  X3_RETURN_IF_ERROR(ReadPartial(out, n, &got));
+  if (got != n) {
+    return Status::IOError(StringPrintf(
+        "unexpected end of %s: wanted %zu bytes, got %zu", path_.c_str(), n,
+        got));
+  }
+  return Status::OK();
+}
+
+Status SequentialFileReader::ReadPartial(void* out, size_t n,
+                                         size_t* bytes_read) {
+  *bytes_read = 0;
+  if (file_ == nullptr) {
+    return Status::Internal("read from closed reader " + path_);
+  }
+  char* dst = static_cast<char*>(out);
+  while (*bytes_read < n) {
+    if (pos_ < buffer_.size()) {
+      size_t take = std::min(n - *bytes_read, buffer_.size() - pos_);
+      std::memcpy(dst + *bytes_read, buffer_.data() + pos_, take);
+      pos_ += take;
+      *bytes_read += take;
+      continue;
+    }
+    if (eof_) break;
+    buffer_.resize(kBufferSize);
+    size_t got = 0;
+    Status s = file_->ReadAtPartial(offset_, buffer_.data(), kBufferSize, &got);
+    if (!s.ok()) {
+      buffer_.clear();
+      pos_ = 0;
+      return s;
+    }
+    buffer_.resize(got);
+    pos_ = 0;
+    offset_ += got;
+    if (got == 0) eof_ = true;
+  }
+  return Status::OK();
+}
+
+Status SequentialFileReader::Close() {
+  if (file_ == nullptr) return Status::OK();
+  Status s = file_->Close();
+  file_.reset();
+  buffer_.clear();
+  pos_ = 0;
+  return s;
+}
+
+Status ReadFileToString(Env* env, const std::string& path, std::string* out) {
+  if (env == nullptr) env = Env::Default();
+  out->clear();
+  X3_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                      env->OpenFile(path, OpenMode::kReadOnly));
+  X3_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  out->resize(static_cast<size_t>(size));
+  if (size > 0) {
+    Status s = file->ReadAt(0, out->data(), out->size());
+    if (!s.ok()) {
+      out->clear();
+      file->Close().IgnoreError();
+      return s;
+    }
+  }
+  return file->Close();
+}
+
+Status WriteStringToFile(Env* env, const std::string& path,
+                         std::string_view data, bool sync) {
+  if (env == nullptr) env = Env::Default();
+  X3_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                      env->OpenFile(path, OpenMode::kTruncate));
+  Status s = data.empty()
+                 ? Status::OK()
+                 : file->WriteAt(0, data.data(), data.size());
+  if (s.ok() && sync) s = file->Sync();
+  Status close = file->Close();
+  if (!s.ok()) return s;
+  return close;
+}
+
+}  // namespace x3

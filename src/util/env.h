@@ -1,0 +1,263 @@
+#ifndef X3_UTIL_ENV_H_
+#define X3_UTIL_ENV_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace x3 {
+
+/// How a file is opened through Env::OpenFile.
+enum class OpenMode : uint8_t {
+  /// Existing file, read-only.
+  kReadOnly,
+  /// Read/write; created (empty) when missing, existing contents kept.
+  kReadWrite,
+  /// Read/write; created, existing contents discarded.
+  kTruncate,
+};
+
+/// A positionally addressed open file. All operations return Status so
+/// every failure — including the injected ones — travels the normal
+/// error-unwind path. Offsets are uint64_t end to end: the layer never
+/// does `long` arithmetic, so files past 2 GiB are safe by construction.
+///
+/// Not thread-safe per instance (each file object has one owner);
+/// distinct File objects may be used from different threads.
+class File {
+ public:
+  virtual ~File() = default;
+
+  /// Reads exactly `n` bytes at `offset`. A short read (EOF included)
+  /// is an error.
+  virtual Status ReadAt(uint64_t offset, void* out, size_t n) = 0;
+
+  /// Reads up to `n` bytes at `offset`; `*bytes_read` receives the
+  /// number actually read (0 at EOF). Short reads are not errors.
+  virtual Status ReadAtPartial(uint64_t offset, void* out, size_t n,
+                               size_t* bytes_read) = 0;
+
+  /// Writes exactly `n` bytes at `offset`, extending the file as
+  /// needed. Partial writes are errors (data past the reported failure
+  /// point is unspecified — the torn-write model).
+  virtual Status WriteAt(uint64_t offset, const void* data, size_t n) = 0;
+
+  /// Durably flushes written data to the device (real fsync).
+  virtual Status Sync() = 0;
+
+  /// Current size of the file in bytes.
+  virtual Result<uint64_t> Size() = 0;
+
+  /// Closes the file. Idempotent; the destructor closes best-effort.
+  virtual Status Close() = 0;
+};
+
+/// The storage environment seam: every file operation in src/ goes
+/// through an Env so tests can substitute a fault-injecting
+/// implementation and enumerate every I/O error path (the CalicoDB /
+/// LevelDB Env pattern). The default implementation is POSIX
+/// (open/pread/pwrite/fsync/unlink/rename).
+///
+/// Thread-safe: an Env may be shared by all files of a process.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The process-wide POSIX environment (never null, never deleted).
+  static Env* Default();
+
+  virtual Result<std::unique_ptr<File>> OpenFile(const std::string& path,
+                                                 OpenMode mode) = 0;
+
+  /// Removes a file; NotFound when it does not exist.
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// Atomically renames `from` to `to` (replacing `to`).
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+};
+
+/// Forwards every call to a wrapped Env; the base class for decorators
+/// (FaultInjectionEnv, RetryEnv).
+class EnvWrapper : public Env {
+ public:
+  explicit EnvWrapper(Env* target) : target_(target) {}
+
+  Env* target() const { return target_; }
+
+  Result<std::unique_ptr<File>> OpenFile(const std::string& path,
+                                         OpenMode mode) override {
+    return target_->OpenFile(path, mode);
+  }
+  Status RemoveFile(const std::string& path) override {
+    return target_->RemoveFile(path);
+  }
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    return target_->RenameFile(from, to);
+  }
+  Result<uint64_t> FileSize(const std::string& path) override {
+    return target_->FileSize(path);
+  }
+  bool FileExists(const std::string& path) override {
+    return target_->FileExists(path);
+  }
+
+ private:
+  Env* target_;
+};
+
+/// Marker carried in the message of Status values describing faults the
+/// environment reports as transient (a retry may succeed). The fault
+/// injector tags its transient faults with it; RetryEnv keys off it.
+inline constexpr std::string_view kTransientFaultMarker = "[transient]";
+
+/// True when `s` is a non-OK status tagged with kTransientFaultMarker.
+bool IsTransientFault(const Status& s);
+
+/// Bounded, deterministic retry policy for transient faults. Backoff is
+/// pure arithmetic over the attempt number and the sleeper is
+/// injectable, so tests drive the whole schedule without a real clock.
+struct RetryPolicy {
+  /// Total tries per operation (first attempt included). <= 1 disables.
+  int max_attempts = 4;
+  /// Backoff before retry k (1-based) is `backoff_base_ms << (k - 1)`.
+  uint64_t backoff_base_ms = 1;
+  /// Called with each backoff duration. nullptr = no sleeping (the
+  /// schedule is still computed and reported to `on_backoff_ms`).
+  std::function<void(uint64_t ms)> sleep;
+};
+
+/// Env decorator that retries operations whose failure is a transient
+/// fault (IsTransientFault), with the bounded backoff of RetryPolicy.
+/// Non-transient failures surface immediately. Files opened through a
+/// RetryEnv retry their ReadAt/ReadAtPartial/WriteAt/Sync the same way.
+class RetryEnv : public EnvWrapper {
+ public:
+  RetryEnv(Env* target, RetryPolicy policy)
+      : EnvWrapper(target), policy_(std::move(policy)) {}
+
+  Result<std::unique_ptr<File>> OpenFile(const std::string& path,
+                                         OpenMode mode) override;
+  Status RemoveFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+
+  /// Retries attempted so far (beyond first attempts), for tests and
+  /// observability.
+  uint64_t retries_attempted() const { return retries_; }
+  /// Sum of backoff milliseconds scheduled (whether or not a sleeper
+  /// was installed) — lets tests assert the deterministic schedule.
+  uint64_t backoff_ms_total() const { return backoff_ms_; }
+
+  const RetryPolicy& policy() const { return policy_; }
+
+  /// Runs `op` under the retry policy. Shared by env- and file-level
+  /// operations; public for the internal RetryFile decorator, not part
+  /// of the user API.
+  Status RunWithRetry(const std::function<Status()>& op);
+
+ private:
+  RetryPolicy policy_;
+  uint64_t retries_ = 0;
+  uint64_t backoff_ms_ = 0;
+};
+
+/// Buffered sequential writer over an Env file. Append gathers bytes in
+/// a user-space buffer and issues large WriteAt calls; Flush() drains
+/// the buffer, Sync() additionally fsyncs. Errors are sticky: once a
+/// write fails every later call reports the original failure, and
+/// Close() never masks it.
+class SequentialFileWriter {
+ public:
+  SequentialFileWriter() = default;
+  ~SequentialFileWriter();
+
+  SequentialFileWriter(const SequentialFileWriter&) = delete;
+  SequentialFileWriter& operator=(const SequentialFileWriter&) = delete;
+
+  /// Creates/truncates `path` through `env`.
+  Status Open(Env* env, const std::string& path);
+
+  Status Append(const void* data, size_t n);
+  Status Append(std::string_view data) {
+    return Append(data.data(), data.size());
+  }
+
+  /// Pushes buffered bytes to the file.
+  Status Flush();
+
+  /// Flush + durable sync.
+  Status Sync();
+
+  /// Flushes and closes. Safe to call twice.
+  Status Close();
+
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+  /// Bytes appended so far (buffered or written).
+  uint64_t bytes_appended() const { return offset_ + buffer_.size(); }
+
+ private:
+  static constexpr size_t kBufferSize = 1 << 16;
+
+  std::unique_ptr<File> file_;
+  std::string path_;
+  std::string buffer_;
+  uint64_t offset_ = 0;  // file offset of buffer_[0]
+  Status status_;        // sticky first error
+};
+
+/// Buffered sequential reader over an Env file.
+class SequentialFileReader {
+ public:
+  SequentialFileReader() = default;
+
+  SequentialFileReader(const SequentialFileReader&) = delete;
+  SequentialFileReader& operator=(const SequentialFileReader&) = delete;
+
+  /// Opens `path` read-only through `env`.
+  Status Open(Env* env, const std::string& path);
+
+  /// Reads exactly `n` bytes; EOF before `n` bytes is an IOError.
+  Status Read(void* out, size_t n);
+
+  /// Reads up to `n` bytes; `*bytes_read` is 0 at EOF.
+  Status ReadPartial(void* out, size_t n, size_t* bytes_read);
+
+  Status Close();
+
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+  uint64_t offset() const { return offset_ - (buffer_.size() - pos_); }
+
+ private:
+  static constexpr size_t kBufferSize = 1 << 16;
+
+  std::unique_ptr<File> file_;
+  std::string path_;
+  std::string buffer_;
+  size_t pos_ = 0;       // next unread byte in buffer_
+  uint64_t offset_ = 0;  // file offset just past buffer_
+  bool eof_ = false;
+};
+
+/// Reads the whole of `path` into `*out` (replacing its contents).
+Status ReadFileToString(Env* env, const std::string& path, std::string* out);
+
+/// Creates/truncates `path` with `data` and closes it. `sync` makes the
+/// write durable before Close.
+Status WriteStringToFile(Env* env, const std::string& path,
+                         std::string_view data, bool sync = false);
+
+}  // namespace x3
+
+#endif  // X3_UTIL_ENV_H_

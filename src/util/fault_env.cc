@@ -1,0 +1,256 @@
+#include "util/fault_env.h"
+
+#include "util/hash.h"
+#include "util/string_util.h"
+
+namespace x3 {
+
+const char* FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kEIO:
+      return "EIO";
+    case FaultKind::kENOSPC:
+      return "ENOSPC";
+    case FaultKind::kShortRead:
+      return "short-read";
+    case FaultKind::kShortWrite:
+      return "short-write";
+    case FaultKind::kSyncFailure:
+      return "sync-failure";
+    case FaultKind::kTornWriteCrash:
+      return "torn-write-crash";
+  }
+  return "unknown";
+}
+
+const char* FaultOpToString(FaultOp op) {
+  switch (op) {
+    case FaultOp::kOpen:
+      return "open";
+    case FaultOp::kRead:
+      return "read";
+    case FaultOp::kWrite:
+      return "write";
+    case FaultOp::kSync:
+      return "sync";
+    case FaultOp::kRemove:
+      return "remove";
+    case FaultOp::kRename:
+      return "rename";
+    case FaultOp::kSize:
+      return "size";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool IsMetadataOp(FaultOp op) {
+  return op == FaultOp::kRemove || op == FaultOp::kRename ||
+         op == FaultOp::kSize;
+}
+
+/// Degrades a scheduled kind to one the operation can express: e.g. a
+/// short-write scheduled onto a read op becomes plain EIO.
+FaultKind EffectiveKind(FaultKind kind, FaultOp op) {
+  switch (kind) {
+    case FaultKind::kShortRead:
+      return op == FaultOp::kRead ? kind : FaultKind::kEIO;
+    case FaultKind::kShortWrite:
+    case FaultKind::kTornWriteCrash:
+    case FaultKind::kENOSPC:
+      return op == FaultOp::kWrite ? kind : FaultKind::kEIO;
+    case FaultKind::kSyncFailure:
+      return op == FaultOp::kSync ? kind : FaultKind::kEIO;
+    case FaultKind::kEIO:
+      return kind;
+  }
+  return FaultKind::kEIO;
+}
+
+}  // namespace
+
+void FaultInjectionEnv::Arm(const Options& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = options;
+  ops_seen_ = 0;
+  faults_fired_ = 0;
+  crashed_ = false;
+  trace_.clear();
+}
+
+uint64_t FaultInjectionEnv::ops_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_seen_;
+}
+
+uint64_t FaultInjectionEnv::faults_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_fired_;
+}
+
+bool FaultInjectionEnv::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+std::vector<FaultOp> FaultInjectionEnv::op_trace() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_;
+}
+
+Status FaultInjectionEnv::MakeFaultStatus(FaultKind kind, FaultOp op,
+                                          uint64_t index,
+                                          bool transient) const {
+  std::string msg = StringPrintf(
+      "injected %s fault at %s op %llu%s", FaultKindToString(kind),
+      FaultOpToString(op), static_cast<unsigned long long>(index),
+      transient ? " " : "");
+  if (transient) msg += kTransientFaultMarker;
+  if (kind == FaultKind::kENOSPC) {
+    msg += " (no space left on device)";
+    return Status::ResourceExhausted(std::move(msg));
+  }
+  return Status::IOError(std::move(msg));
+}
+
+FaultInjectionEnv::Decision FaultInjectionEnv::NextOp(FaultOp op,
+                                                      size_t transfer_len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Decision d;
+  if (IsMetadataOp(op) && !options_.count_metadata_ops) {
+    return d;  // pass-through, uncounted
+  }
+  uint64_t index = ops_seen_++;
+  trace_.push_back(op);
+  if (crashed_) {
+    ++faults_fired_;
+    d.status = Status::IOError(StringPrintf(
+        "injected crash: environment down since torn write (op %llu)",
+        static_cast<unsigned long long>(index)));
+    return d;
+  }
+  if (options_.fail_op_index == kNeverFail ||
+      index < options_.fail_op_index ||
+      (options_.repeat != UINT64_MAX &&
+       index >= options_.fail_op_index + options_.repeat)) {
+    return d;
+  }
+  FaultKind kind = EffectiveKind(options_.kind, op);
+  ++faults_fired_;
+  if (options_.transient && options_.repeat != UINT64_MAX &&
+      index + 1 >= options_.fail_op_index + options_.repeat) {
+    // Last scheduled firing of a transient fault: disarm so a retry of
+    // the same operation (which gets a fresh index) succeeds.
+    options_.fail_op_index = kNeverFail;
+  }
+  d.status = MakeFaultStatus(kind, op, index, options_.transient);
+  if (kind == FaultKind::kShortRead || kind == FaultKind::kShortWrite ||
+      kind == FaultKind::kTornWriteCrash) {
+    // Seeded prefix: 0..transfer_len bytes actually make it through.
+    uint64_t r = HashFinalize(options_.seed ^ (index * 0x9e3779b97f4a7c15ULL));
+    d.short_transfer = true;
+    d.prefix_len = transfer_len == 0
+                       ? 0
+                       : static_cast<size_t>(r % (transfer_len + 1));
+  }
+  if (kind == FaultKind::kTornWriteCrash) crashed_ = true;
+  return d;
+}
+
+namespace {
+
+/// File decorator consulting the owning FaultInjectionEnv before every
+/// data operation. Close is deliberately not counted: teardown paths
+/// must stay runnable so each sweep iteration can clean up after its
+/// injected failure.
+class FaultFile : public File {
+ public:
+  FaultFile(FaultInjectionEnv* env, std::unique_ptr<File> target)
+      : env_(env), target_(std::move(target)) {}
+
+  Status ReadAt(uint64_t offset, void* out, size_t n) override {
+    FaultInjectionEnv::Decision d = env_->NextOp(FaultOp::kRead, n);
+    if (d.status.ok()) return target_->ReadAt(offset, out, n);
+    if (d.short_transfer && d.prefix_len > 0) {
+      size_t got = 0;
+      target_->ReadAtPartial(offset, out, d.prefix_len, &got).IgnoreError();
+    }
+    return d.status;
+  }
+
+  Status ReadAtPartial(uint64_t offset, void* out, size_t n,
+                       size_t* bytes_read) override {
+    FaultInjectionEnv::Decision d = env_->NextOp(FaultOp::kRead, n);
+    if (d.status.ok()) {
+      return target_->ReadAtPartial(offset, out, n, bytes_read);
+    }
+    *bytes_read = 0;
+    if (d.short_transfer && d.prefix_len > 0) {
+      target_->ReadAtPartial(offset, out, d.prefix_len, bytes_read)
+          .IgnoreError();
+    }
+    return d.status;
+  }
+
+  Status WriteAt(uint64_t offset, const void* data, size_t n) override {
+    FaultInjectionEnv::Decision d = env_->NextOp(FaultOp::kWrite, n);
+    if (d.status.ok()) return target_->WriteAt(offset, data, n);
+    if (d.short_transfer && d.prefix_len > 0) {
+      // The torn prefix really lands on disk — that is the point.
+      target_->WriteAt(offset, data, d.prefix_len).IgnoreError();
+    }
+    return d.status;
+  }
+
+  Status Sync() override {
+    FaultInjectionEnv::Decision d = env_->NextOp(FaultOp::kSync, 0);
+    if (!d.status.ok()) return d.status;
+    return target_->Sync();
+  }
+
+  Result<uint64_t> Size() override {
+    FaultInjectionEnv::Decision d = env_->NextOp(FaultOp::kSize, 0);
+    if (!d.status.ok()) return d.status;
+    return target_->Size();
+  }
+
+  Status Close() override { return target_->Close(); }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::unique_ptr<File> target_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<File>> FaultInjectionEnv::OpenFile(
+    const std::string& path, OpenMode mode) {
+  Decision d = NextOp(FaultOp::kOpen, 0);
+  if (!d.status.ok()) return d.status;
+  Result<std::unique_ptr<File>> file = target()->OpenFile(path, mode);
+  if (!file.ok()) return file.status();
+  return std::unique_ptr<File>(
+      std::make_unique<FaultFile>(this, std::move(*file)));
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  Decision d = NextOp(FaultOp::kRemove, 0);
+  if (!d.status.ok()) return d.status;
+  return target()->RemoveFile(path);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  Decision d = NextOp(FaultOp::kRename, 0);
+  if (!d.status.ok()) return d.status;
+  return target()->RenameFile(from, to);
+}
+
+Result<uint64_t> FaultInjectionEnv::FileSize(const std::string& path) {
+  Decision d = NextOp(FaultOp::kSize, 0);
+  if (!d.status.ok()) return d.status;
+  return target()->FileSize(path);
+}
+
+}  // namespace x3

@@ -1,0 +1,134 @@
+#ifndef X3_UTIL_FAULT_ENV_H_
+#define X3_UTIL_FAULT_ENV_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/env.h"
+
+namespace x3 {
+
+/// Classes of injectable storage faults. Kinds that make no sense for
+/// the operation they land on degrade to kEIO (so a seeded schedule can
+/// assign kinds blindly to operation indexes).
+enum class FaultKind : uint8_t {
+  /// Operation fails outright (EIO-style), nothing transferred.
+  kEIO,
+  /// Write fails with a disk-full error, nothing transferred.
+  kENOSPC,
+  /// Read transfers a seeded prefix, then reports an error.
+  kShortRead,
+  /// Write persists a seeded prefix of the buffer, then reports an
+  /// error (the data past the prefix is torn off).
+  kShortWrite,
+  /// Sync fails; written data may or may not be durable.
+  kSyncFailure,
+  /// Write persists a seeded prefix, then the whole environment
+  /// "crashes": this and every later data operation fails. Models a
+  /// power cut mid-write; reopening with a clean Env afterwards is the
+  /// recovery test.
+  kTornWriteCrash,
+};
+
+const char* FaultKindToString(FaultKind kind);
+
+/// Kinds of operations the injector counts (the fault schedule indexes
+/// this sequence).
+enum class FaultOp : uint8_t {
+  kOpen,
+  kRead,
+  kWrite,
+  kSync,
+  kRemove,
+  kRename,
+  kSize,
+};
+
+const char* FaultOpToString(FaultOp op);
+
+/// Deterministic fault-injecting Env decorator: counts data operations
+/// (open/read/write/sync by default) and fails the N-th one with a
+/// chosen FaultKind. Turns "every I/O error path" into an enumerable
+/// matrix: run once to count operations, then replay failing each index
+/// in turn (tests/fault_sweep_test.cc).
+///
+/// Thread-safe: the counter, schedule and trace are mutex-guarded, so
+/// the env may back a parallel execution's temp files.
+class FaultInjectionEnv : public EnvWrapper {
+ public:
+  static constexpr uint64_t kNeverFail = UINT64_MAX;
+
+  struct Options {
+    /// Index (into the counted-operation sequence, 0-based) of the
+    /// operation that fails. kNeverFail = count only.
+    uint64_t fail_op_index = kNeverFail;
+    FaultKind kind = FaultKind::kEIO;
+    /// Tags the injected Status with kTransientFaultMarker and disarms
+    /// the schedule after firing, so a retry succeeds.
+    bool transient = false;
+    /// Number of consecutive operation indexes (starting at
+    /// fail_op_index) that fail. UINT64_MAX = every operation from the
+    /// index on ("device stays broken").
+    uint64_t repeat = 1;
+    /// Drives torn/short transfer prefix lengths.
+    uint64_t seed = 0;
+    /// Also count (and allow faults on) remove/rename/size. Off by
+    /// default so inter-iteration cleanup cannot be broken by the
+    /// schedule.
+    bool count_metadata_ops = false;
+  };
+
+  explicit FaultInjectionEnv(Env* target) : EnvWrapper(target) {}
+  FaultInjectionEnv(Env* target, const Options& options)
+      : EnvWrapper(target), options_(options) {}
+
+  /// Re-arms the schedule and resets every counter and the trace.
+  void Arm(const Options& options);
+
+  /// Counted operations so far.
+  uint64_t ops_seen() const;
+  /// Faults injected so far.
+  uint64_t faults_fired() const;
+  /// True once a kTornWriteCrash fault has fired: all further data
+  /// operations fail until Arm() is called again.
+  bool crashed() const;
+  /// The kind of every counted operation, in order (for schedule
+  /// construction: which indexes are writes, which are syncs, ...).
+  std::vector<FaultOp> op_trace() const;
+
+  Result<std::unique_ptr<File>> OpenFile(const std::string& path,
+                                         OpenMode mode) override;
+  Status RemoveFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+
+  /// Outcome of consulting the schedule for one operation. Public for
+  /// the internal FaultFile decorator; not part of the user API.
+  struct Decision {
+    Status status;                // OK = proceed normally
+    bool short_transfer = false;  // transfer `prefix_len` bytes first
+    size_t prefix_len = 0;
+  };
+
+  /// Counts the operation and decides its fate. `transfer_len` is the
+  /// byte count of a read/write (for prefix computation). Public for
+  /// the internal FaultFile decorator; not part of the user API.
+  Decision NextOp(FaultOp op, size_t transfer_len);
+
+ private:
+  Status MakeFaultStatus(FaultKind kind, FaultOp op, uint64_t index,
+                         bool transient) const;
+
+  mutable std::mutex mu_;
+  Options options_;
+  uint64_t ops_seen_ = 0;
+  uint64_t faults_fired_ = 0;
+  bool crashed_ = false;
+  std::vector<FaultOp> trace_;
+};
+
+}  // namespace x3
+
+#endif  // X3_UTIL_FAULT_ENV_H_

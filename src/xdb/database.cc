@@ -3,8 +3,9 @@
 #include <unistd.h>
 
 #include <algorithm>
-#include <cstdio>
+#include <cstring>
 
+#include "util/hash.h"
 #include "util/string_util.h"
 #include "xdb/document_loader.h"
 #include "xml/xml_parser.h"
@@ -14,6 +15,7 @@ namespace x3 {
 Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
   auto db = std::unique_ptr<Database>(new Database());
   db->options_ = options;
+  db->env_ = options.env != nullptr ? options.env : Env::Default();
   if (db->options_.data_file.empty()) {
     db->options_.data_file = StringPrintf(
         "/tmp/x3-db-%d-%p.dat", static_cast<int>(::getpid()),
@@ -22,7 +24,7 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
   }
   db->file_ = std::make_unique<PageFile>();
   X3_RETURN_IF_ERROR(db->file_->Open(db->options_.data_file,
-                                     /*truncate=*/true));
+                                     /*truncate=*/true, db->env_));
   db->pool_ = std::make_unique<BufferPool>(db->file_.get(),
                                            db->options_.buffer_pool_pages);
   db->store_ = std::make_unique<NodeStore>(db->pool_.get());
@@ -32,41 +34,56 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
 namespace {
 
 constexpr uint32_t kCatalogMagic = 0x58334354;  // "X3CT"
-constexpr uint32_t kCatalogVersion = 1;
+// Version 2: catalog carries a trailing 64-bit checksum of the body.
+constexpr uint32_t kCatalogVersion = 2;
 
-Status WriteAll(std::FILE* f, const void* data, size_t len,
-                const std::string& path) {
-  if (len > 0 && std::fwrite(data, len, 1, f) != 1) {
-    return Status::IOError("short write to " + path);
-  }
-  return Status::OK();
+/// Seed for the catalog body checksum, distinct from page checksums.
+constexpr uint64_t kCatalogChecksumSeed = 0x58334354a5a5a5a5ULL;
+
+void AppendRaw(std::string* out, const void* data, size_t len) {
+  out->append(static_cast<const char*>(data), len);
 }
 
-Status ReadAll(std::FILE* f, void* data, size_t len,
-               const std::string& path) {
-  if (len > 0 && std::fread(data, len, 1, f) != 1) {
-    return Status::Corruption("truncated catalog " + path);
-  }
-  return Status::OK();
-}
-
-Status WriteString(std::FILE* f, const std::string& s,
-                   const std::string& path) {
+void AppendString(std::string* out, const std::string& s) {
   uint32_t len = static_cast<uint32_t>(s.size());
-  X3_RETURN_IF_ERROR(WriteAll(f, &len, sizeof(len), path));
-  return WriteAll(f, s.data(), s.size(), path);
+  AppendRaw(out, &len, sizeof(len));
+  AppendRaw(out, s.data(), s.size());
 }
 
-Result<std::string> ReadString(std::FILE* f, const std::string& path) {
-  uint32_t len = 0;
-  X3_RETURN_IF_ERROR(ReadAll(f, &len, sizeof(len), path));
-  if (len > (1u << 26)) {
-    return Status::Corruption("implausible string length in " + path);
+/// In-memory reader over the catalog body with bounds-checked reads, so
+/// a truncated catalog becomes Corruption instead of an overrun.
+class CatalogCursor {
+ public:
+  CatalogCursor(std::string_view data, std::string path)
+      : data_(data), path_(std::move(path)) {}
+
+  Status ReadRaw(void* out, size_t len) {
+    if (len > data_.size() - pos_) {
+      return Status::Corruption("truncated catalog " + path_);
+    }
+    std::memcpy(out, data_.data() + pos_, len);
+    pos_ += len;
+    return Status::OK();
   }
-  std::string s(len, '\0');
-  X3_RETURN_IF_ERROR(ReadAll(f, s.data(), len, path));
-  return s;
-}
+
+  Result<std::string> ReadString() {
+    uint32_t len = 0;
+    X3_RETURN_IF_ERROR(ReadRaw(&len, sizeof(len)));
+    if (len > (1u << 26)) {
+      return Status::Corruption("implausible string length in " + path_);
+    }
+    std::string s(len, '\0');
+    X3_RETURN_IF_ERROR(ReadRaw(s.data(), len));
+    return s;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+  std::string path_;
+};
 
 std::string CatalogPath(const std::string& data_file) {
   return data_file + ".cat";
@@ -76,53 +93,50 @@ std::string CatalogPath(const std::string& data_file) {
 
 Status Database::Checkpoint() {
   X3_RETURN_IF_ERROR(pool_->FlushAll());
-  std::string path = CatalogPath(options_.data_file);
-  std::string tmp_path = path + ".tmp";
-  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
-  if (f == nullptr) return Status::IOError("cannot create " + tmp_path);
-  auto finish = [&](Status s) {
-    if (f != nullptr) std::fclose(f);
-    if (!s.ok()) {
-      std::remove(tmp_path.c_str());
-      return s;
-    }
-    if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
-      return Status::IOError("cannot move catalog into place: " + path);
-    }
-    return Status::OK();
-  };
+  // Make the data pages durable before the catalog that describes them.
+  X3_RETURN_IF_ERROR(file_->Sync());
 
+  std::string body;
   uint32_t header[3] = {kCatalogMagic, kCatalogVersion, store_->size()};
-  X3_RETURN_IF_ERROR(WriteAll(f, header, sizeof(header), tmp_path));
+  AppendRaw(&body, header, sizeof(header));
 
   uint32_t num_roots = static_cast<uint32_t>(roots_.size());
-  X3_RETURN_IF_ERROR(WriteAll(f, &num_roots, sizeof(num_roots), tmp_path));
-  X3_RETURN_IF_ERROR(
-      WriteAll(f, roots_.data(), roots_.size() * sizeof(NodeId), tmp_path));
+  AppendRaw(&body, &num_roots, sizeof(num_roots));
+  AppendRaw(&body, roots_.data(), roots_.size() * sizeof(NodeId));
 
   uint32_t num_tags = static_cast<uint32_t>(tags_.size());
-  X3_RETURN_IF_ERROR(WriteAll(f, &num_tags, sizeof(num_tags), tmp_path));
+  AppendRaw(&body, &num_tags, sizeof(num_tags));
   for (TagId t = 0; t < num_tags; ++t) {
-    X3_RETURN_IF_ERROR(WriteString(f, tags_.Name(t), tmp_path));
+    AppendString(&body, tags_.Name(t));
   }
 
   uint32_t num_values = static_cast<uint32_t>(values_.size());
-  X3_RETURN_IF_ERROR(WriteAll(f, &num_values, sizeof(num_values), tmp_path));
+  AppendRaw(&body, &num_values, sizeof(num_values));
   for (ValueId v = 0; v < num_values; ++v) {
-    X3_RETURN_IF_ERROR(WriteString(f, values_.Value(v), tmp_path));
+    AppendString(&body, values_.Value(v));
   }
 
   for (TagId t = 0; t < num_tags; ++t) {
     const std::vector<NodeId>& list = NodesWithTagId(t);
     uint32_t count = static_cast<uint32_t>(list.size());
-    X3_RETURN_IF_ERROR(WriteAll(f, &count, sizeof(count), tmp_path));
-    X3_RETURN_IF_ERROR(
-        WriteAll(f, list.data(), list.size() * sizeof(NodeId), tmp_path));
+    AppendRaw(&body, &count, sizeof(count));
+    AppendRaw(&body, list.data(), list.size() * sizeof(NodeId));
   }
-  if (std::fflush(f) != 0) {
-    return finish(Status::IOError("flush failed on " + tmp_path));
+
+  uint64_t checksum = HashFinalize(
+      Fnv1a64(body.data(), body.size(), kCatalogChecksumSeed));
+  AppendRaw(&body, &checksum, sizeof(checksum));
+
+  // Write-to-temp + fsync + atomic rename: a crash at any point leaves
+  // either the old catalog or the new one, never a half-written mix.
+  std::string path = CatalogPath(options_.data_file);
+  std::string tmp_path = path + ".tmp";
+  Status s = WriteStringToFile(env_, tmp_path, body, /*sync=*/true);
+  if (!s.ok()) {
+    env_->RemoveFile(tmp_path).IgnoreError();
+    return s;
   }
-  return finish(Status::OK());
+  return env_->RenameFile(tmp_path, path);
 }
 
 Result<std::unique_ptr<Database>> Database::OpenExisting(
@@ -133,91 +147,111 @@ Result<std::unique_ptr<Database>> Database::OpenExisting(
   }
   auto db = std::unique_ptr<Database>(new Database());
   db->options_ = options;
+  db->env_ = options.env != nullptr ? options.env : Env::Default();
   db->file_ = std::make_unique<PageFile>();
-  X3_RETURN_IF_ERROR(db->file_->Open(options.data_file, /*truncate=*/false));
+  X3_RETURN_IF_ERROR(
+      db->file_->Open(options.data_file, /*truncate=*/false, db->env_));
+  // Recovery scan: checksum-verify every page before trusting any of
+  // them, so torn writes surface now (with a page id) rather than as a
+  // wrong cube later.
+  X3_RETURN_IF_ERROR(db->file_->VerifyAllPages());
   db->pool_ = std::make_unique<BufferPool>(db->file_.get(),
                                            options.buffer_pool_pages);
 
   std::string path = CatalogPath(options.data_file);
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return Status::NotFound("no catalog at " + path +
-                            " (was Checkpoint() called?)");
-  }
-  auto fail = [&](Status s) {
-    std::fclose(f);
+  std::string raw;
+  Status s = ReadFileToString(db->env_, path, &raw);
+  if (!s.ok()) {
+    if (s.code() == StatusCode::kNotFound) {
+      return Status::NotFound("no catalog at " + path +
+                              " (was Checkpoint() called?)");
+    }
     return s;
-  };
-  // Guard allocations against corrupted counts.
-  std::fseek(f, 0, SEEK_END);
-  long size_long = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  uint64_t file_size = size_long > 0 ? static_cast<uint64_t>(size_long) : 0;
-  auto plausible = [&](uint64_t count, uint64_t unit) {
-    return count <= file_size / (unit == 0 ? 1 : unit) + 1;
-  };
+  }
+  if (raw.size() < sizeof(uint64_t)) {
+    return Status::Corruption("catalog " + path + " too small");
+  }
+  std::string_view body(raw.data(), raw.size() - sizeof(uint64_t));
+  uint64_t stored = 0;
+  std::memcpy(&stored, raw.data() + body.size(), sizeof(stored));
+  uint64_t computed = HashFinalize(
+      Fnv1a64(body.data(), body.size(), kCatalogChecksumSeed));
+  if (stored != computed) {
+    return Status::Corruption(StringPrintf(
+        "catalog %s failed checksum (stored %016llx, computed %016llx): "
+        "torn write or corruption",
+        path.c_str(), static_cast<unsigned long long>(stored),
+        static_cast<unsigned long long>(computed)));
+  }
+
+  CatalogCursor cursor(body, path);
   uint32_t header[3];
-  Status s = ReadAll(f, header, sizeof(header), path);
-  if (!s.ok()) return fail(s);
+  X3_RETURN_IF_ERROR(cursor.ReadRaw(header, sizeof(header)));
   if (header[0] != kCatalogMagic) {
-    return fail(Status::Corruption("bad catalog magic in " + path));
+    return Status::Corruption("bad catalog magic in " + path);
   }
   if (header[1] != kCatalogVersion) {
-    return fail(Status::Corruption("unsupported catalog version"));
+    return Status::Corruption("unsupported catalog version");
+  }
+  // The node count must fit in the verified data pages.
+  uint64_t capacity = static_cast<uint64_t>(db->file_->page_count()) *
+                      NodeStore::kRecordsPerPage;
+  if (header[2] > capacity) {
+    return Status::Corruption(StringPrintf(
+        "catalog claims %u nodes but %s has %u pages (capacity %llu): "
+        "truncated page file?",
+        header[2], options.data_file.c_str(), db->file_->page_count(),
+        static_cast<unsigned long long>(capacity)));
   }
   db->store_ = std::make_unique<NodeStore>(db->pool_.get(), header[2]);
 
+  // Guard allocations against implausible counts before resizing: any
+  // array must fit in the bytes that are actually left.
+  auto plausible = [&cursor](uint64_t count, uint64_t unit) {
+    return count * unit <= cursor.remaining();
+  };
+
   uint32_t num_roots = 0;
-  s = ReadAll(f, &num_roots, sizeof(num_roots), path);
-  if (!s.ok()) return fail(s);
+  X3_RETURN_IF_ERROR(cursor.ReadRaw(&num_roots, sizeof(num_roots)));
   if (!plausible(num_roots, sizeof(NodeId))) {
-    return fail(Status::Corruption("implausible root count in catalog"));
+    return Status::Corruption("implausible root count in catalog");
   }
   db->roots_.resize(num_roots);
-  s = ReadAll(f, db->roots_.data(), num_roots * sizeof(NodeId), path);
-  if (!s.ok()) return fail(s);
+  X3_RETURN_IF_ERROR(
+      cursor.ReadRaw(db->roots_.data(), num_roots * sizeof(NodeId)));
 
   uint32_t num_tags = 0;
-  s = ReadAll(f, &num_tags, sizeof(num_tags), path);
-  if (!s.ok()) return fail(s);
-  if (!plausible(num_tags, sizeof(uint32_t))) {
-    return fail(Status::Corruption("implausible tag count in catalog"));
-  }
+  X3_RETURN_IF_ERROR(cursor.ReadRaw(&num_tags, sizeof(num_tags)));
   for (uint32_t t = 0; t < num_tags; ++t) {
-    Result<std::string> name = ReadString(f, path);
-    if (!name.ok()) return fail(name.status());
-    if (db->tags_.Intern(*name) != t) {
-      return fail(Status::Corruption("tag dictionary out of order"));
+    X3_ASSIGN_OR_RETURN(std::string name, cursor.ReadString());
+    if (db->tags_.Intern(name) != t) {
+      return Status::Corruption("tag dictionary out of order");
     }
   }
 
   uint32_t num_values = 0;
-  s = ReadAll(f, &num_values, sizeof(num_values), path);
-  if (!s.ok()) return fail(s);
-  if (!plausible(num_values, sizeof(uint32_t))) {
-    return fail(Status::Corruption("implausible value count in catalog"));
-  }
+  X3_RETURN_IF_ERROR(cursor.ReadRaw(&num_values, sizeof(num_values)));
   for (uint32_t v = 0; v < num_values; ++v) {
-    Result<std::string> value = ReadString(f, path);
-    if (!value.ok()) return fail(value.status());
-    if (db->values_.Intern(*value) != v) {
-      return fail(Status::Corruption("value dictionary out of order"));
+    X3_ASSIGN_OR_RETURN(std::string value, cursor.ReadString());
+    if (db->values_.Intern(value) != v) {
+      return Status::Corruption("value dictionary out of order");
     }
   }
 
   db->tag_index_.resize(num_tags);
   for (uint32_t t = 0; t < num_tags; ++t) {
     uint32_t count = 0;
-    s = ReadAll(f, &count, sizeof(count), path);
-    if (!s.ok()) return fail(s);
+    X3_RETURN_IF_ERROR(cursor.ReadRaw(&count, sizeof(count)));
     if (!plausible(count, sizeof(NodeId))) {
-      return fail(Status::Corruption("implausible index size in catalog"));
+      return Status::Corruption("implausible index size in catalog");
     }
     db->tag_index_[t].resize(count);
-    s = ReadAll(f, db->tag_index_[t].data(), count * sizeof(NodeId), path);
-    if (!s.ok()) return fail(s);
+    X3_RETURN_IF_ERROR(
+        cursor.ReadRaw(db->tag_index_[t].data(), count * sizeof(NodeId)));
   }
-  std::fclose(f);
+  if (cursor.remaining() != 0) {
+    return Status::Corruption("trailing bytes in catalog " + path);
+  }
   return db;
 }
 
@@ -229,9 +263,9 @@ Database::~Database() {
     file_->Close().IgnoreError();
     file_.reset();
   }
-  if (owns_data_file_) {
-    std::remove(options_.data_file.c_str());
-    std::remove(CatalogPath(options_.data_file).c_str());
+  if (owns_data_file_ && env_ != nullptr) {
+    env_->RemoveFile(options_.data_file).IgnoreError();
+    env_->RemoveFile(CatalogPath(options_.data_file)).IgnoreError();
   }
 }
 
@@ -246,7 +280,7 @@ Result<NodeId> Database::LoadXmlString(std::string_view xml) {
 }
 
 Result<NodeId> Database::LoadXmlFile(const std::string& path) {
-  X3_ASSIGN_OR_RETURN(XmlDocument doc, ParseXmlFile(path));
+  X3_ASSIGN_OR_RETURN(XmlDocument doc, ParseXmlFile(path, env_));
   return LoadDocument(doc);
 }
 

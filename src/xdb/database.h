@@ -9,6 +9,7 @@
 
 #include "storage/buffer_pool.h"
 #include "storage/page_file.h"
+#include "util/env.h"
 #include "util/result.h"
 #include "xdb/node_store.h"
 #include "xdb/tag_dictionary.h"
@@ -27,6 +28,10 @@ struct DatabaseOptions {
   /// pool of 8 KB pages; the default here is deliberately smaller and
   /// overridable so experiments can control the data:memory ratio.
   size_t buffer_pool_pages = 4096;
+  /// All file I/O (page file, catalog, XML loads through LoadXmlFile)
+  /// goes through this Env. nullptr = Env::Default(). Inject a
+  /// FaultInjectionEnv here to storm the storage layer.
+  Env* env = nullptr;
 };
 
 /// Summary statistics of a database's contents (the numbers the paper
@@ -59,14 +64,17 @@ class Database {
   static Result<std::unique_ptr<Database>> Open(DatabaseOptions options);
 
   /// Reopens a previously checkpointed database: the page file plus the
-  /// "<data_file>.cat" catalog written by Checkpoint(). Fails if either
-  /// is missing or corrupt.
+  /// "<data_file>.cat" catalog written by Checkpoint(). Every data page
+  /// is checksum-verified and the catalog's trailing checksum is
+  /// checked, so a torn write or bit flip surfaces as Corruption here —
+  /// naming the damaged page — rather than as a wrong cube later.
   static Result<std::unique_ptr<Database>> OpenExisting(
       DatabaseOptions options);
 
-  /// Flushes all dirty pages and persists the catalog (dictionaries,
-  /// tag indexes, document roots) so OpenExisting can restore the
-  /// database after a restart.
+  /// Flushes all dirty pages, fsyncs the page file, and durably
+  /// persists the catalog (dictionaries, tag indexes, document roots)
+  /// with a write-to-temp + fsync + rename sequence so OpenExisting can
+  /// restore the database after a restart or crash.
   Status Checkpoint();
 
   ~Database();
@@ -132,6 +140,7 @@ class Database {
   friend class DocumentLoader;
 
   DatabaseOptions options_;
+  Env* env_ = nullptr;
   bool owns_data_file_ = false;
   std::unique_ptr<PageFile> file_;
   std::unique_ptr<BufferPool> pool_;

@@ -373,23 +373,16 @@ Result<XmlDocument> ParseXml(std::string_view input,
   return parser.Parse();
 }
 
+Result<XmlDocument> ParseXmlFile(const std::string& path, Env* env,
+                                 const XmlParseOptions& options) {
+  std::string buf;
+  X3_RETURN_IF_ERROR(ReadFileToString(env, path, &buf));
+  return ParseXml(buf, options);
+}
+
 Result<XmlDocument> ParseXmlFile(const std::string& path,
                                  const XmlParseOptions& options) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::IOError("cannot open " + path);
-  std::fseek(f, 0, SEEK_END);
-  long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  std::string buf;
-  if (size > 0) {
-    buf.resize(static_cast<size_t>(size));
-    if (std::fread(buf.data(), 1, buf.size(), f) != buf.size()) {
-      std::fclose(f);
-      return Status::IOError("short read of " + path);
-    }
-  }
-  std::fclose(f);
-  return ParseXml(buf, options);
+  return ParseXmlFile(path, nullptr, options);
 }
 
 }  // namespace x3

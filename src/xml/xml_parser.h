@@ -5,6 +5,7 @@
 #include <string>
 #include <string_view>
 
+#include "util/env.h"
 #include "util/result.h"
 #include "xml/xml_node.h"
 
@@ -37,7 +38,11 @@ struct XmlParseOptions {
 Result<XmlDocument> ParseXml(std::string_view input,
                              const XmlParseOptions& options = {});
 
-/// Reads and parses a file.
+/// Reads and parses a file through `env` (nullptr = Env::Default()).
+Result<XmlDocument> ParseXmlFile(const std::string& path, Env* env,
+                                 const XmlParseOptions& options = {});
+
+/// Reads and parses a file via the default Env.
 Result<XmlDocument> ParseXmlFile(const std::string& path,
                                  const XmlParseOptions& options = {});
 

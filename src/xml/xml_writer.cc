@@ -1,7 +1,5 @@
 #include "xml/xml_writer.h"
 
-#include <cstdio>
-
 #include "util/string_util.h"
 
 namespace x3 {
@@ -78,17 +76,14 @@ std::string WriteXml(const XmlDocument& doc, const XmlWriteOptions& options) {
   return out;
 }
 
+Status WriteXmlFile(const XmlDocument& doc, const std::string& path, Env* env,
+                    const XmlWriteOptions& options) {
+  return WriteStringToFile(env, path, WriteXml(doc, options));
+}
+
 Status WriteXmlFile(const XmlDocument& doc, const std::string& path,
                     const XmlWriteOptions& options) {
-  std::string data = WriteXml(doc, options);
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::IOError("cannot create " + path);
-  size_t written = std::fwrite(data.data(), 1, data.size(), f);
-  int rc = std::fclose(f);
-  if (written != data.size() || rc != 0) {
-    return Status::IOError("short write to " + path);
-  }
-  return Status::OK();
+  return WriteXmlFile(doc, path, nullptr, options);
 }
 
 }  // namespace x3

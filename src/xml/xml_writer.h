@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "util/env.h"
 #include "util/status.h"
 #include "xml/xml_node.h"
 
@@ -23,7 +24,12 @@ std::string WriteXml(const XmlNode& node, const XmlWriteOptions& options = {});
 std::string WriteXml(const XmlDocument& doc,
                      const XmlWriteOptions& options = {});
 
-/// Serializes a document to a file.
+/// Serializes a document to a file through `env` (nullptr =
+/// Env::Default()).
+Status WriteXmlFile(const XmlDocument& doc, const std::string& path, Env* env,
+                    const XmlWriteOptions& options = {});
+
+/// Serializes a document to a file via the default Env.
 Status WriteXmlFile(const XmlDocument& doc, const std::string& path,
                     const XmlWriteOptions& options = {});
 

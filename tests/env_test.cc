@@ -1,0 +1,350 @@
+#include "util/env.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/temp_file.h"
+#include "util/fault_env.h"
+
+namespace x3 {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  std::string Path() {
+    return temp_.NextPath(::testing::UnitTest::GetInstance()
+                              ->current_test_info()
+                              ->name());
+  }
+  TempFileManager temp_;
+};
+
+TEST_F(EnvTest, WriteAndReadBack) {
+  Env* env = Env::Default();
+  std::string path = Path();
+  ASSERT_TRUE(WriteStringToFile(env, path, "hello env").ok());
+  std::string out;
+  ASSERT_TRUE(ReadFileToString(env, path, &out).ok());
+  EXPECT_EQ(out, "hello env");
+  auto size = env->FileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 9u);
+  EXPECT_TRUE(env->FileExists(path));
+}
+
+TEST_F(EnvTest, MissingFileIsNotFound) {
+  Env* env = Env::Default();
+  std::string out;
+  EXPECT_EQ(ReadFileToString(env, "/nonexistent/x3/file", &out).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(env->FileSize("/nonexistent/x3/file").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(env->FileExists("/nonexistent/x3/file"));
+}
+
+TEST_F(EnvTest, RemoveTwiceReportsNotFound) {
+  Env* env = Env::Default();
+  std::string path = Path();
+  ASSERT_TRUE(WriteStringToFile(env, path, "x").ok());
+  EXPECT_TRUE(env->RemoveFile(path).ok());
+  EXPECT_EQ(env->RemoveFile(path).code(), StatusCode::kNotFound);
+}
+
+TEST_F(EnvTest, RenameReplacesTarget) {
+  Env* env = Env::Default();
+  std::string from = Path();
+  std::string to = Path();
+  ASSERT_TRUE(WriteStringToFile(env, from, "new").ok());
+  ASSERT_TRUE(WriteStringToFile(env, to, "old").ok());
+  ASSERT_TRUE(env->RenameFile(from, to).ok());
+  std::string out;
+  ASSERT_TRUE(ReadFileToString(env, to, &out).ok());
+  EXPECT_EQ(out, "new");
+  EXPECT_FALSE(env->FileExists(from));
+}
+
+TEST_F(EnvTest, PositionalReadWrite) {
+  Env* env = Env::Default();
+  auto file = env->OpenFile(Path(), OpenMode::kTruncate);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->WriteAt(0, "aaaa", 4).ok());
+  ASSERT_TRUE((*file)->WriteAt(8, "bbbb", 4).ok());  // leaves a hole
+  auto size = (*file)->Size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 12u);
+
+  char buf[4];
+  ASSERT_TRUE((*file)->ReadAt(8, buf, 4).ok());
+  EXPECT_EQ(std::string(buf, 4), "bbbb");
+  // Exact read past EOF is an error; partial read reports what exists.
+  EXPECT_EQ((*file)->ReadAt(10, buf, 4).code(), StatusCode::kIOError);
+  size_t got = 0;
+  ASSERT_TRUE((*file)->ReadAtPartial(10, buf, 4, &got).ok());
+  EXPECT_EQ(got, 2u);
+  ASSERT_TRUE((*file)->ReadAtPartial(100, buf, 4, &got).ok());
+  EXPECT_EQ(got, 0u);
+  EXPECT_TRUE((*file)->Close().ok());
+}
+
+TEST_F(EnvTest, ReadOnlyOpenOfMissingFileIsNotFound) {
+  EXPECT_EQ(
+      Env::Default()->OpenFile(Path(), OpenMode::kReadOnly).status().code(),
+      StatusCode::kNotFound);
+}
+
+TEST_F(EnvTest, SequentialWriterReaderRoundTrip) {
+  Env* env = Env::Default();
+  std::string path = Path();
+  // Spans several 64 KiB writer buffers.
+  std::string data;
+  data.reserve(300 * 1000);
+  for (int i = 0; i < 300; ++i) data.append(1000, static_cast<char>('a' + i % 26));
+
+  SequentialFileWriter writer;
+  ASSERT_TRUE(writer.Open(env, path).ok());
+  for (size_t off = 0; off < data.size(); off += 777) {
+    ASSERT_TRUE(
+        writer.Append(data.substr(off, std::min<size_t>(777, data.size() - off)))
+            .ok());
+  }
+  EXPECT_EQ(writer.bytes_appended(), data.size());
+  ASSERT_TRUE(writer.Sync().ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  SequentialFileReader reader;
+  ASSERT_TRUE(reader.Open(env, path).ok());
+  std::string out(data.size(), '\0');
+  ASSERT_TRUE(reader.Read(out.data(), out.size()).ok());
+  EXPECT_EQ(out, data);
+  size_t got = 99;
+  ASSERT_TRUE(reader.ReadPartial(out.data(), 16, &got).ok());
+  EXPECT_EQ(got, 0u);  // clean EOF
+  EXPECT_EQ(reader.Read(out.data(), 1).code(), StatusCode::kIOError);
+  EXPECT_TRUE(reader.Close().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+
+TEST_F(EnvTest, FaultEnvCountsWithoutFailing) {
+  FaultInjectionEnv fault(Env::Default());
+  std::string path = Path();
+  ASSERT_TRUE(WriteStringToFile(&fault, path, "abc").ok());
+  std::string out;
+  ASSERT_TRUE(ReadFileToString(&fault, path, &out).ok());
+  EXPECT_EQ(out, "abc");
+  EXPECT_EQ(fault.faults_fired(), 0u);
+  // open + write + open + read at minimum (size/remove are metadata).
+  EXPECT_GE(fault.ops_seen(), 4u);
+  std::vector<FaultOp> trace = fault.op_trace();
+  EXPECT_EQ(trace.size(), fault.ops_seen());
+  EXPECT_EQ(trace[0], FaultOp::kOpen);
+}
+
+TEST_F(EnvTest, FaultEnvFailsScheduledOp) {
+  FaultInjectionEnv fault(Env::Default());
+  FaultInjectionEnv::Options opts;
+  opts.fail_op_index = 1;  // the WriteAt inside WriteStringToFile
+  opts.kind = FaultKind::kEIO;
+  fault.Arm(opts);
+  Status s = WriteStringToFile(&fault, Path(), "doomed");
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_NE(s.message().find("injected EIO fault"), std::string::npos)
+      << s.ToString();
+  EXPECT_EQ(fault.faults_fired(), 1u);
+}
+
+TEST_F(EnvTest, EnospcSurfacesAsResourceExhausted) {
+  FaultInjectionEnv fault(Env::Default());
+  FaultInjectionEnv::Options opts;
+  opts.fail_op_index = 1;
+  opts.kind = FaultKind::kENOSPC;
+  fault.Arm(opts);
+  Status s = WriteStringToFile(&fault, Path(), "doomed");
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(s.message().find("no space left on device"), std::string::npos);
+}
+
+TEST_F(EnvTest, InapplicableKindDegradesToEio) {
+  FaultInjectionEnv fault(Env::Default());
+  FaultInjectionEnv::Options opts;
+  opts.fail_op_index = 0;  // the open
+  opts.kind = FaultKind::kShortRead;
+  fault.Arm(opts);
+  Status s = WriteStringToFile(&fault, Path(), "doomed");
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_NE(s.message().find("EIO"), std::string::npos) << s.ToString();
+}
+
+TEST_F(EnvTest, ShortReadReportsError) {
+  std::string path = Path();
+  ASSERT_TRUE(
+      WriteStringToFile(Env::Default(), path, std::string(1000, 'r')).ok());
+  FaultInjectionEnv fault(Env::Default());
+  FaultInjectionEnv::Options opts;
+  opts.fail_op_index = 1;  // open, then the read
+  opts.kind = FaultKind::kShortRead;
+  opts.seed = 7;
+  fault.Arm(opts);
+  std::string out;
+  Status s = ReadFileToString(&fault, path, &out);
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_TRUE(out.empty());  // no silent partial data
+}
+
+TEST_F(EnvTest, SyncFailure) {
+  FaultInjectionEnv fault(Env::Default());
+  std::string path = Path();
+  auto file = fault.OpenFile(path, OpenMode::kTruncate);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->WriteAt(0, "x", 1).ok());
+  FaultInjectionEnv::Options opts;
+  opts.fail_op_index = 0;
+  opts.kind = FaultKind::kSyncFailure;
+  fault.Arm(opts);
+  EXPECT_EQ((*file)->Sync().code(), StatusCode::kIOError);
+  EXPECT_TRUE((*file)->Close().ok());  // Close is never failed
+}
+
+TEST_F(EnvTest, MetadataOpsNotCountedByDefault) {
+  FaultInjectionEnv fault(Env::Default());
+  std::string path = Path();
+  ASSERT_TRUE(WriteStringToFile(Env::Default(), path, "x").ok());
+  FaultInjectionEnv::Options opts;
+  opts.fail_op_index = 0;
+  fault.Arm(opts);
+  // Remove/size pass through untouched so cleanup cannot be broken.
+  EXPECT_TRUE(fault.FileSize(path).ok());
+  EXPECT_TRUE(fault.RemoveFile(path).ok());
+  EXPECT_EQ(fault.ops_seen(), 0u);
+}
+
+TEST_F(EnvTest, MetadataOpsFailWhenOptedIn) {
+  FaultInjectionEnv fault(Env::Default());
+  std::string path = Path();
+  ASSERT_TRUE(WriteStringToFile(Env::Default(), path, "x").ok());
+  FaultInjectionEnv::Options opts;
+  opts.fail_op_index = 0;
+  opts.count_metadata_ops = true;
+  fault.Arm(opts);
+  EXPECT_EQ(fault.RemoveFile(path).code(), StatusCode::kIOError);
+  EXPECT_TRUE(Env::Default()->FileExists(path));
+}
+
+TEST_F(EnvTest, TornWriteCrashPersistsPrefixAndKillsEnv) {
+  for (uint64_t seed : {11u, 22u, 33u}) {
+    FaultInjectionEnv fault(Env::Default());
+    std::string path = Path();
+    std::string data(4096, 'T');
+    FaultInjectionEnv::Options opts;
+    opts.fail_op_index = 1;  // the write
+    opts.kind = FaultKind::kTornWriteCrash;
+    opts.seed = seed;
+    fault.Arm(opts);
+    Status s = WriteStringToFile(&fault, path, data);
+    EXPECT_EQ(s.code(), StatusCode::kIOError) << "seed " << seed;
+    EXPECT_TRUE(fault.crashed());
+    // Every later data op fails until re-armed (the machine is "off").
+    std::string out;
+    EXPECT_FALSE(ReadFileToString(&fault, path, &out).ok());
+    // The torn prefix really landed: visible through a clean env.
+    ASSERT_TRUE(ReadFileToString(Env::Default(), path, &out).ok());
+    EXPECT_LE(out.size(), data.size());
+    EXPECT_EQ(out, data.substr(0, out.size()));
+  }
+}
+
+TEST_F(EnvTest, TempManagerCountsFailedRemoves) {
+  FaultInjectionEnv fault(Env::Default());
+  TempFileManager temp("", &fault);
+  std::string path = temp.NextPath("leak");
+  ASSERT_TRUE(WriteStringToFile(Env::Default(), path, "x").ok());
+  FaultInjectionEnv::Options opts;
+  opts.fail_op_index = 0;
+  opts.count_metadata_ops = true;
+  opts.repeat = UINT64_MAX;
+  fault.Arm(opts);
+  temp.Remove(path);
+  EXPECT_EQ(temp.remove_failures(), 1u);
+  // Never-created paths are not failures.
+  fault.Arm(FaultInjectionEnv::Options());
+  temp.Remove(temp.NextPath("never-created"));
+  EXPECT_EQ(temp.remove_failures(), 1u);
+  Env::Default()->RemoveFile(path).IgnoreError();
+}
+
+// ---------------------------------------------------------------------------
+// Retry
+
+TEST_F(EnvTest, TransientFaultRetriedToSuccess) {
+  FaultInjectionEnv fault(Env::Default());
+  RetryPolicy policy;
+  RetryEnv retry(&fault, policy);
+  std::string path = Path();
+  FaultInjectionEnv::Options opts;
+  opts.fail_op_index = 1;  // the write
+  opts.transient = true;
+  fault.Arm(opts);
+  ASSERT_TRUE(WriteStringToFile(&retry, path, "persisted").ok());
+  EXPECT_EQ(retry.retries_attempted(), 1u);
+  std::string out;
+  ASSERT_TRUE(ReadFileToString(Env::Default(), path, &out).ok());
+  EXPECT_EQ(out, "persisted");
+}
+
+TEST_F(EnvTest, PersistentTransientFaultExhaustsRetries) {
+  FaultInjectionEnv fault(Env::Default());
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.backoff_base_ms = 1;
+  std::vector<uint64_t> sleeps;
+  policy.sleep = [&sleeps](uint64_t ms) { sleeps.push_back(ms); };
+  RetryEnv retry(&fault, policy);
+  FaultInjectionEnv::Options opts;
+  opts.fail_op_index = 1;
+  opts.transient = true;
+  opts.repeat = UINT64_MAX;  // the device never heals
+  fault.Arm(opts);
+  Status s = WriteStringToFile(&retry, Path(), "doomed");
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_TRUE(IsTransientFault(s));
+  // Deterministic exponential schedule: 1, 2, 4 ms.
+  EXPECT_EQ(sleeps, (std::vector<uint64_t>{1, 2, 4}));
+  EXPECT_EQ(retry.retries_attempted(), 3u);
+  EXPECT_EQ(retry.backoff_ms_total(), 7u);
+}
+
+TEST_F(EnvTest, NonTransientFaultNotRetried) {
+  FaultInjectionEnv fault(Env::Default());
+  RetryEnv retry(&fault, RetryPolicy());
+  FaultInjectionEnv::Options opts;
+  opts.fail_op_index = 1;
+  fault.Arm(opts);
+  Status s = WriteStringToFile(&retry, Path(), "doomed");
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_FALSE(IsTransientFault(s));
+  EXPECT_EQ(retry.retries_attempted(), 0u);
+  EXPECT_EQ(fault.faults_fired(), 1u);
+}
+
+TEST_F(EnvTest, TransientOpenFaultRetried) {
+  FaultInjectionEnv fault(Env::Default());
+  RetryEnv retry(&fault, RetryPolicy());
+  std::string path = Path();
+  ASSERT_TRUE(WriteStringToFile(Env::Default(), path, "here").ok());
+  FaultInjectionEnv::Options opts;
+  opts.fail_op_index = 0;  // the open
+  opts.transient = true;
+  fault.Arm(opts);
+  std::string out;
+  ASSERT_TRUE(ReadFileToString(&retry, path, &out).ok());
+  EXPECT_EQ(out, "here");
+  EXPECT_EQ(retry.retries_attempted(), 1u);
+}
+
+}  // namespace
+}  // namespace x3

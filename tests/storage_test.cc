@@ -488,5 +488,121 @@ TEST(BytewiseCompareTest, PrefixOrdering) {
   EXPECT_LT(BytewiseCompare("", "a"), 0);
 }
 
+// ---------------------------------------------------------------------------
+// Corruption detection and recovery-on-reopen. These damage the on-disk
+// bytes directly (through a clean Env) and assert that reopen surfaces
+// Corruption naming the bad page rather than serving damaged data.
+
+class PageFileCorruptionTest : public PageFileTest {
+ protected:
+  /// Creates a two-page file where page i's payload is filled with
+  /// (i + 1), synced and closed. Returns its path.
+  std::string WriteTwoPageFile() {
+    std::string path = Path();
+    PageFile file;
+    EXPECT_TRUE(file.Open(path, true).ok());
+    for (uint32_t i = 0; i < 2; ++i) {
+      EXPECT_TRUE(file.AllocatePage().ok());
+      Page page;
+      page.Zero();
+      std::fill(page.bytes(), page.bytes() + kPageSize,
+                static_cast<uint8_t>(i + 1));
+      EXPECT_TRUE(file.WritePage(i, page).ok());
+    }
+    EXPECT_TRUE(file.Sync().ok());
+    EXPECT_TRUE(file.Close().ok());
+    return path;
+  }
+
+  /// Rewrites `n` bytes of `path` at `offset`.
+  void Patch(const std::string& path, uint64_t offset, const void* data,
+             size_t n) {
+    auto file = Env::Default()->OpenFile(path, OpenMode::kReadWrite);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->WriteAt(offset, data, n).ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+};
+
+TEST_F(PageFileCorruptionTest, TruncatedFileIsCorruptionOnOpen) {
+  std::string path = WriteTwoPageFile();
+  // Chop the file mid-page, as a crash during an append would.
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(Env::Default(), path, &contents).ok());
+  contents.resize(kDiskPageSize + 100);
+  ASSERT_TRUE(WriteStringToFile(Env::Default(), path, contents).ok());
+
+  PageFile reopened;
+  Status s = reopened.Open(path, false);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_NE(s.message().find("torn final page"), std::string::npos)
+      << s.ToString();
+}
+
+TEST_F(PageFileCorruptionTest, BitFlippedPayloadFailsChecksum) {
+  std::string path = WriteTwoPageFile();
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(Env::Default(), path, &contents).ok());
+  uint8_t flipped = static_cast<uint8_t>(contents[kDiskPageSize + 17]) ^ 0x40;
+  Patch(path, kDiskPageSize + 17, &flipped, 1);
+
+  PageFile reopened;
+  ASSERT_TRUE(reopened.Open(path, false).ok());
+  Page page;
+  ASSERT_TRUE(reopened.ReadPage(0, &page).ok());  // page 0 is untouched
+  Status s = reopened.ReadPage(1, &page);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_NE(s.message().find("page 1"), std::string::npos) << s.ToString();
+  EXPECT_NE(s.message().find("failed checksum"), std::string::npos);
+  // The full recovery scan names the same page.
+  Status scan = reopened.VerifyAllPages();
+  EXPECT_EQ(scan.code(), StatusCode::kCorruption);
+  EXPECT_NE(scan.message().find("page 1"), std::string::npos);
+}
+
+TEST_F(PageFileCorruptionTest, StaleTrailerFailsChecksum) {
+  std::string path = WriteTwoPageFile();
+  // Model a torn update: the payload of page 0 is rewritten but the old
+  // trailer survives (payload landed, trailer write was lost).
+  std::string fresh(kPageSize, 'Z');
+  Patch(path, 0, fresh.data(), fresh.size());
+
+  PageFile reopened;
+  ASSERT_TRUE(reopened.Open(path, false).ok());
+  Page page;
+  Status s = reopened.ReadPage(0, &page);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_NE(s.message().find("page 0"), std::string::npos) << s.ToString();
+}
+
+TEST_F(PageFileCorruptionTest, TrailerFromAnotherPageIsDetected) {
+  std::string path = WriteTwoPageFile();
+  // Copy page 1's full disk image (payload + trailer) over page 0. The
+  // checksum is internally consistent, but seeded with the wrong page
+  // id — exactly the misdirected-write case an unseeded checksum
+  // cannot see.
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(Env::Default(), path, &contents).ok());
+  Patch(path, 0, contents.data() + kDiskPageSize, kDiskPageSize);
+
+  PageFile reopened;
+  ASSERT_TRUE(reopened.Open(path, false).ok());
+  Page page;
+  EXPECT_EQ(reopened.ReadPage(0, &page).code(), StatusCode::kCorruption);
+}
+
+TEST_F(PageFileCorruptionTest, AllocatePastMaxPageCountIsRefused) {
+  // Exercised through the public API by faking the count: open a file,
+  // then check the guard arithmetic does not wrap by asserting the
+  // constant leaves no room past kInvalidPageId.
+  static_assert(PageFile::kMaxPageCount == kInvalidPageId,
+                "AllocatePage must refuse to hand out kInvalidPageId");
+  PageFile file;
+  ASSERT_TRUE(file.Open(Path(), true).ok());
+  auto id = file.AllocatePage();
+  ASSERT_TRUE(id.ok());
+  EXPECT_LT(*id, PageFile::kMaxPageCount);
+}
+
 }  // namespace
 }  // namespace x3

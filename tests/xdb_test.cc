@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "storage/temp_file.h"
 #include "tests/test_helpers.h"
 #include "util/random.h"
 #include "xdb/database.h"
@@ -337,6 +338,94 @@ TEST(DatabasePersistenceTest, OpenExistingWithoutCatalogFails) {
 TEST(DatabasePersistenceTest, OpenExistingNeedsPath) {
   EXPECT_EQ(Database::OpenExisting({}).status().code(),
             StatusCode::kInvalidArgument);
+}
+
+/// Checkpoints Figure 1 into <temp>/...db and returns its options, for
+/// the recovery tests that damage the on-disk bytes afterwards.
+class DatabaseRecoveryTest : public ::testing::Test {
+ protected:
+  DatabaseOptions CheckpointedDb() {
+    DatabaseOptions options;
+    options.data_file = temp_.NextPath("recovery-db");
+    auto db = Database::Open(options);
+    EXPECT_TRUE(db.ok());
+    EXPECT_TRUE((*db)->LoadXmlString(testutil::kFigure1Xml).ok());
+    EXPECT_TRUE((*db)->Checkpoint().ok());
+    // The ".cat" sibling is not a TempFileManager path; remove it in
+    // TearDown.
+    catalog_path_ = options.data_file + ".cat";
+    return options;
+  }
+
+  void TearDown() override {
+    if (!catalog_path_.empty()) {
+      Env::Default()->RemoveFile(catalog_path_).IgnoreError();
+    }
+  }
+
+  /// Flips one bit of `path` at `offset`.
+  void FlipBit(const std::string& path, uint64_t offset) {
+    auto file = Env::Default()->OpenFile(path, OpenMode::kReadWrite);
+    ASSERT_TRUE(file.ok());
+    uint8_t byte = 0;
+    ASSERT_TRUE((*file)->ReadAt(offset, &byte, 1).ok());
+    byte ^= 0x20;
+    ASSERT_TRUE((*file)->WriteAt(offset, &byte, 1).ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+
+  TempFileManager temp_;
+  std::string catalog_path_;
+};
+
+TEST_F(DatabaseRecoveryTest, BitFlippedPageIsCorruptionOnReopen) {
+  DatabaseOptions options = CheckpointedDb();
+  FlipBit(options.data_file, 100);
+  auto reopened = Database::OpenExisting(options);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(reopened.status().message().find("page 0"), std::string::npos)
+      << reopened.status().ToString();
+}
+
+TEST_F(DatabaseRecoveryTest, TruncatedPageFileIsCorruptionOnReopen) {
+  DatabaseOptions options = CheckpointedDb();
+  // Drop the last page cleanly (a page-aligned truncation passes the
+  // size check and every surviving checksum; only the catalog's node
+  // count exposes the loss).
+  auto size = Env::Default()->FileSize(options.data_file);
+  ASSERT_TRUE(size.ok());
+  ASSERT_GE(*size, kDiskPageSize);
+  std::string contents;
+  ASSERT_TRUE(
+      ReadFileToString(Env::Default(), options.data_file, &contents).ok());
+  contents.resize(contents.size() - kDiskPageSize);
+  ASSERT_TRUE(
+      WriteStringToFile(Env::Default(), options.data_file, contents).ok());
+  auto reopened = Database::OpenExisting(options);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(reopened.status().message().find("truncated page file?"),
+            std::string::npos)
+      << reopened.status().ToString();
+}
+
+TEST_F(DatabaseRecoveryTest, CorruptCatalogIsCorruptionOnReopen) {
+  DatabaseOptions options = CheckpointedDb();
+  FlipBit(options.data_file + ".cat", 24);
+  auto reopened = Database::OpenExisting(options);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(reopened.status().message().find("failed checksum"),
+            std::string::npos)
+      << reopened.status().ToString();
+}
+
+TEST_F(DatabaseRecoveryTest, UndamagedDbReopensClean) {
+  DatabaseOptions options = CheckpointedDb();
+  auto reopened = Database::OpenExisting(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->NodesWithTag("publication").size(), 4u);
 }
 
 // --- Structural join ---

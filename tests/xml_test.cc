@@ -262,7 +262,7 @@ TEST(XmlFileTest, WriteAndParseFile) {
 
 TEST(XmlFileTest, MissingFileFails) {
   EXPECT_EQ(ParseXmlFile("/nonexistent/x.xml").status().code(),
-            StatusCode::kIOError);
+            StatusCode::kNotFound);
 }
 
 }  // namespace
