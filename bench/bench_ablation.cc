@@ -162,4 +162,6 @@ BENCHMARK(BM_AblationBufferPoolSize)->Arg(8)->Arg(64)->Arg(4096)
 }  // namespace
 }  // namespace x3
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return x3::bench::RunRegisteredBenchmarks(argc, argv);
+}

@@ -12,9 +12,12 @@
 #include "cube/algorithm.h"
 #include "gen/workload.h"
 #include "storage/temp_file.h"
+#include "util/env.h"
 #include "util/exec.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 namespace x3 {
 namespace bench {
@@ -175,12 +178,61 @@ inline void RegisterThreadSweep(const std::string& figure,
   }
 }
 
+/// Observability flags shared by every bench binary:
+///   --trace-out=<path>    enable the global tracer and export a Chrome
+///                         trace JSON (load in Perfetto / about:tracing)
+///   --metrics-out=<path>  export the metric registry as Prometheus text
+/// Parsed and stripped before benchmark::Initialize (which rejects
+/// unknown flags).
+struct ObservabilityFlags {
+  std::string trace_out;
+  std::string metrics_out;
+};
+
+inline ObservabilityFlags ParseObservabilityFlags(int* argc, char** argv) {
+  ObservabilityFlags flags;
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string arg = argv[i];
+    const std::string kTrace = "--trace-out=";
+    const std::string kMetrics = "--metrics-out=";
+    if (arg.rfind(kTrace, 0) == 0) {
+      flags.trace_out = arg.substr(kTrace.size());
+    } else if (arg.rfind(kMetrics, 0) == 0) {
+      flags.metrics_out = arg.substr(kMetrics.size());
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+  if (!flags.trace_out.empty()) Tracer::Global().SetEnabled(true);
+  return flags;
+}
+
+/// Writes the requested exports after a bench run; X3_CHECKs on export
+/// failure so CI smoke runs fail loudly instead of dropping the files.
+inline void WriteObservabilityExports(const ObservabilityFlags& flags) {
+  if (!flags.trace_out.empty()) {
+    Status s = Tracer::Global().WriteChromeTrace(Env::Default(),
+                                                 flags.trace_out);
+    X3_CHECK(s.ok()) << "--trace-out export failed: " << s;
+  }
+  if (!flags.metrics_out.empty()) {
+    Status s = MetricRegistry::Global().WritePrometheusFile(
+        Env::Default(), flags.metrics_out);
+    X3_CHECK(s.ok()) << "--metrics-out export failed: " << s;
+  }
+}
+
 /// Runs whatever has been registered. The shared tail of every bench
-/// main.
+/// main. Handles the observability flags before handing the rest of the
+/// command line to the benchmark library.
 inline int RunRegisteredBenchmarks(int argc, char** argv) {
+  ObservabilityFlags flags = ParseObservabilityFlags(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  WriteObservabilityExports(flags);
   return 0;
 }
 

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
+
 #include <memory>
 
 #include "cube/cube_spec.h"
@@ -225,4 +227,6 @@ BENCHMARK(BM_FactTableBuild)->Arg(1000)->Arg(5000)
 }  // namespace
 }  // namespace x3
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return x3::bench::RunRegisteredBenchmarks(argc, argv);
+}

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Validates the observability exports a bench run produces.
+
+Usage: check_observability.py <trace.json> <metrics.txt>
+
+Checks (the CI bench-smoke gate; see DESIGN.md §9):
+  - the trace file is non-empty, valid JSON, has a traceEvents list with
+    at least one span event, and every 'B'/'E' pair matches per thread
+    with non-decreasing per-thread timestamps;
+  - the metrics file is non-empty Prometheus text: every metric has
+    exactly one # HELP and one # TYPE line, names obey the Prometheus
+    charset, and at least one x3_* sample is present.
+
+Exit status 1 with a message on any violation.
+"""
+
+import json
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_LINE = re.compile(r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{[^}]*\})? ")
+
+
+def fail(msg):
+    print(f"check_observability: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path):
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    if not text.strip():
+        fail(f"{path}: empty trace file")
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        fail(f"{path}: invalid JSON: {e}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(f"{path}: no traceEvents list")
+    spans = [e for e in events if e.get("ph") in ("B", "E")]
+    if not spans:
+        fail(f"{path}: no span events (was the tracer enabled?)")
+    open_stacks = {}
+    last_ts = {}
+    for e in spans:
+        tid, ts = e["tid"], e["ts"]
+        if tid in last_ts and ts < last_ts[tid]:
+            fail(f"{path}: timestamps regress on tid {tid}")
+        last_ts[tid] = ts
+        stack = open_stacks.setdefault(tid, [])
+        if e["ph"] == "B":
+            stack.append(e["name"])
+        else:
+            if not stack or stack.pop() != e["name"]:
+                fail(f"{path}: unmatched E '{e['name']}' on tid {tid}")
+    for tid, stack in open_stacks.items():
+        if stack:
+            fail(f"{path}: unclosed span(s) {stack} on tid {tid}")
+    print(f"check_observability: {path}: {len(spans)} span events, "
+          f"{len(open_stacks)} thread(s)")
+
+
+def check_metrics(path):
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    if not lines:
+        fail(f"{path}: empty metrics file")
+    help_counts = {}
+    type_counts = {}
+    samples = 0
+    for line in lines:
+        if line.startswith("# HELP "):
+            name = line.split()[2]
+            help_counts[name] = help_counts.get(name, 0) + 1
+        elif line.startswith("# TYPE "):
+            name = line.split()[2]
+            type_counts[name] = type_counts.get(name, 0) + 1
+        elif line and not line.startswith("#"):
+            m = SAMPLE_LINE.match(line)
+            if not m:
+                fail(f"{path}: unparseable sample line: {line!r}")
+            if not METRIC_NAME.match(m.group("name")):
+                fail(f"{path}: bad metric name: {m.group('name')!r}")
+            samples += 1
+    for name, count in list(help_counts.items()) + list(type_counts.items()):
+        if count != 1:
+            fail(f"{path}: metric {name} has {count} HELP/TYPE lines")
+    if set(help_counts) != set(type_counts):
+        fail(f"{path}: HELP/TYPE sets differ")
+    if not any(n.startswith("x3_") for n in type_counts):
+        fail(f"{path}: no x3_* metrics exported")
+    if samples == 0:
+        fail(f"{path}: no samples")
+    print(f"check_observability: {path}: {len(type_counts)} metrics, "
+          f"{samples} samples")
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail("usage: check_observability.py <trace.json> <metrics.txt>")
+    check_trace(sys.argv[1])
+    check_metrics(sys.argv[2])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

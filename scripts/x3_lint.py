@@ -37,6 +37,11 @@ Rules (see docs/STATIC_ANALYSIS.md for the rationale):
                      *algorithm* (erase-remove over iterators) is fine:
                      the removal rule only fires on remove taking a
                      c_str() argument.
+  raw-clock          No raw clock reads (steady_clock::now() and friends,
+                     Clock::now()) in src/ outside src/util/timer.h and
+                     src/util/trace.cc: all timing goes through
+                     Timer/MonotonicNow so stage timings and trace
+                     timestamps share one time base behind one seam.
 
 A finding can be suppressed with a trailing comment naming the rule:
     some_call();  // x3-lint: allow(raw-new-delete) -- justification
@@ -72,6 +77,11 @@ RAW_STDIO = re.compile(
 # algorithm: iterator arguments never involve a c_str() call.
 REMOVE_FILE = re.compile(
     r"(?<![\w.])(?:std\s*::\s*)?remove\s*\((?:[^;()]|\([^()]*\))*c_str\s*\(")
+# Raw clock reads: any std::chrono clock's now(), or a Clock::now()
+# through a type alias. MonotonicNow/Timer (util/timer.h) are the seam.
+RAW_CLOCK = re.compile(
+    r"(?:steady_clock|system_clock|high_resolution_clock|\bClock)\s*::\s*"
+    r"now\s*\(")
 ALLOW = re.compile(r"x3-lint:\s*allow\(([\w-]+)\)")
 
 
@@ -127,6 +137,7 @@ class Linter:
         is_logging_h = rel == "src/util/logging.h"
         is_thread_pool = rel.startswith("src/util/thread_pool.")
         is_env = rel.startswith("src/util/env.")
+        is_clock_seam = rel in ("src/util/timer.h", "src/util/trace.cc")
         with open(path, encoding="utf-8", errors="replace") as f:
             lines = f.readlines()
 
@@ -190,6 +201,10 @@ class Linter:
                                 "direct file removal in src/; use "
                                 "Env::RemoveFile so fault tests observe it",
                                 raw)
+            if in_src and not is_clock_seam and RAW_CLOCK.search(code):
+                self.report(path, lineno, "raw-clock",
+                            "raw clock read in src/; use Timer or "
+                            "MonotonicNow (util/timer.h)", raw)
             if in_src and not is_logging_h and BARE_ASSERT.search(code):
                 self.report(path, lineno, "bare-assert",
                             "bare assert(); use X3_CHECK (always on) or "

@@ -5,10 +5,28 @@
 
 #include "cube/executor.h"
 #include "cube/plan.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
 namespace x3 {
+
+namespace {
+
+Counter& ComputationsCounter() {
+  static Counter* c = MetricRegistry::Global().GetCounter(
+      "x3_cube_computations_total", "Completed cube computations");
+  return *c;
+}
+
+Counter& ResultCellsCounter() {
+  static Counter* c = MetricRegistry::Global().GetCounter(
+      "x3_cube_result_cells_total",
+      "Cells produced by completed cube computations");
+  return *c;
+}
+
+}  // namespace
 
 const char* CubeAlgorithmToString(CubeAlgorithm algo) {
   switch (algo) {
@@ -109,7 +127,7 @@ Result<CubeResult> ComputeCube(CubeAlgorithm algo, const FactTable& facts,
   }
   CubePlan plan;
   {
-    ScopedStageTimer timer(ctx->stats(), "plan");
+    ScopedStageTimer timer(ctx->stats(), "plan", ctx->tracer());
     plan = BuildCubePlan(algo, lattice, *props);
   }
 
@@ -120,7 +138,7 @@ Result<CubeResult> ComputeCube(CubeAlgorithm algo, const FactTable& facts,
                             CubeAlgorithmToString(algo));
   }
   Result<CubeResult> result = [&]() -> Result<CubeResult> {
-    ScopedStageTimer timer(ctx->stats(), "compute");
+    ScopedStageTimer timer(ctx->stats(), "compute", ctx->tracer());
     X3_RETURN_IF_ERROR(ctx->CheckInterrupted());
     return executor->Execute(plan, facts, lattice, effective, ctx, st);
   }();
@@ -129,7 +147,46 @@ Result<CubeResult> ComputeCube(CubeAlgorithm algo, const FactTable& facts,
     // the iceberg semantics uniform (and is idempotent for BUC).
     result->ApplyIcebergFilter(options.min_count);
   }
+  if (result.ok()) {
+    ComputationsCounter().Increment();
+    ResultCellsCounter().Increment(result->TotalCells());
+  }
   return result;
+}
+
+Result<std::string> ExplainAnalyzeCube(CubeAlgorithm algo,
+                                       const FactTable& facts,
+                                       const CubeLattice& lattice,
+                                       const CubeComputeOptions& options,
+                                       CubeComputeStats* stats) {
+  // A private context gives the run its own stats sink, so the rendered
+  // actuals cover exactly this execution; the caller's budget, temp
+  // files, cancellation, deadline and tracer still apply.
+  ExecutionContext::Options ctx_options;
+  if (options.exec != nullptr) {
+    ctx_options.budget = options.exec->budget();
+    ctx_options.temp_files = options.exec->temp_files();
+    ctx_options.cancel = options.exec->cancellation();
+    ctx_options.deadline = options.exec->deadline();
+    ctx_options.tracer = options.exec->tracer();
+  }
+  ExecutionContext ctx(ctx_options);
+  CubeComputeOptions effective = options;
+  effective.exec = &ctx;
+  CubeComputeStats local;
+  CubeComputeStats* st = stats != nullptr ? stats : &local;
+  X3_ASSIGN_OR_RETURN(CubeResult result,
+                      ComputeCube(algo, facts, lattice, effective, st));
+  // Re-derive the plan the execution followed (same property-map
+  // defaulting as ComputeCube; planning is pure, so the steps match).
+  std::optional<LatticeProperties> assume_nothing;
+  const LatticeProperties* props = options.properties;
+  if (props == nullptr) {
+    assume_nothing = LatticeProperties::AssumeNothing(lattice);
+    props = &*assume_nothing;
+  }
+  CubePlan plan = BuildCubePlan(algo, lattice, *props);
+  return ExplainCubePlanWithActuals(plan, lattice, *ctx.stats(), result);
 }
 
 namespace internal {

@@ -134,6 +134,18 @@ Result<CubeResult> ComputeCube(CubeAlgorithm algo, const FactTable& facts,
                                const CubeComputeOptions& options,
                                CubeComputeStats* stats = nullptr);
 
+/// EXPLAIN ANALYZE: runs `algo` end to end (same cost as ComputeCube)
+/// and renders its plan with every pipe and step annotated with the
+/// actual wall-clock time, output rows and spill I/O of this execution.
+/// The run gets a private stats sink so the actuals cover exactly this
+/// computation; the caller's budget, temp files, cancellation, deadline
+/// and tracer (from `options` / `options.exec`) still apply.
+Result<std::string> ExplainAnalyzeCube(CubeAlgorithm algo,
+                                       const FactTable& facts,
+                                       const CubeLattice& lattice,
+                                       const CubeComputeOptions& options,
+                                       CubeComputeStats* stats = nullptr);
+
 namespace internal {
 
 /// Enumerates, for one fact and one cuboid, every distinct group tuple

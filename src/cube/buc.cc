@@ -39,13 +39,14 @@ class BucComputation {
         states_(lattice.num_axes(), 0) {}
 
   Result<CubeResult> Run() {
-    ScopedStageTimer timer(ctx_->stats(), "partition-walk");
+    ScopedStageTimer timer(ctx_->stats(), "partition-walk", ctx_->tracer());
     std::vector<uint32_t> rows(facts_.size());
     for (size_t f = 0; f < facts_.size(); ++f) {
       rows[f] = static_cast<uint32_t>(f);
     }
     ++stats_->base_scans;
     X3_RETURN_IF_ERROR(Recurse(0, rows));
+    timer.AddRows(result_.TotalCells());
     return std::move(result_);
   }
 

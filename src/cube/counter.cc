@@ -25,7 +25,8 @@ Result<bool> CounterPass(const FactTable& facts, const CubeLattice& lattice,
   ScopedStageTimer timer(
       ctx->stats(),
       StringPrintf("pass/%llu", static_cast<unsigned long long>(
-                                    stats->passes)));
+                                    stats->passes)),
+      ctx->tracer());
   ++stats->passes;
   ++stats->base_scans;
   MemoryBudget* budget = options.budget;
@@ -121,6 +122,7 @@ Result<bool> CounterPass(const FactTable& facts, const CubeLattice& lattice,
   // Merge into the result ("write the counters out").
   for (size_t b = 0; b < batch.size(); ++b) {
     auto* out = result->mutable_cuboid(batch[b]);
+    timer.AddRows(counters[b].size());
     for (auto& [key, state] : counters[b]) {
       (*out)[key].Merge(state);
     }

@@ -6,9 +6,21 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace x3 {
+
+namespace {
+
+Counter& PlanTasksCounter() {
+  static Counter* c = MetricRegistry::Global().GetCounter(
+      "x3_cube_plan_tasks_total",
+      "Plan tasks (pipes, cuboid steps) executed by the cube executor");
+  return *c;
+}
+
+}  // namespace
 
 Status RunPlanTasks(std::vector<PlanTask> tasks, size_t parallelism,
                     CubeComputeStats* stats) {
@@ -18,6 +30,7 @@ Status RunPlanTasks(std::vector<PlanTask> tasks, size_t parallelism,
     // The sequential path: index order, shared stats, stop at the first
     // error. This is exactly the pre-parallel execution.
     for (PlanTask& task : tasks) {
+      PlanTasksCounter().Increment();
       X3_RETURN_IF_ERROR(task.run(stats));
     }
     return Status::OK();
@@ -56,6 +69,7 @@ Status RunPlanTasks(std::vector<PlanTask> tasks, size_t parallelism,
   std::function<void(size_t)> submit = [&](size_t i) {
     ++inflight;
     pool.Submit([&, i] {
+      PlanTasksCounter().Increment();
       Status s = tasks[i].run(&task_stats[i]);
       std::lock_guard<std::mutex> lock(mu);
       statuses[i] = std::move(s);

@@ -4,6 +4,8 @@
 #include <unordered_map>
 
 #include "cube/algorithm.h"
+#include "cube/cube_result.h"
+#include "util/exec.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -248,8 +250,10 @@ void PlanCustom(const CubeLattice& lattice,
 
 /// The step line shared by ExplainCubePlan and ExplainCustomTopDown.
 /// The per-kind phrases are golden-tested; change them deliberately.
-std::string RenderStep(const CuboidPlanStep& step,
-                       const CubeLattice& lattice) {
+/// A non-empty `annotation` (EXPLAIN ANALYZE actuals) is appended
+/// before the newline.
+std::string RenderStep(const CuboidPlanStep& step, const CubeLattice& lattice,
+                       const std::string& annotation = {}) {
   std::string out =
       StringPrintf("cuboid %4llu %s  <- ",
                    static_cast<unsigned long long>(step.cuboid),
@@ -283,8 +287,86 @@ std::string RenderStep(const CuboidPlanStep& step,
       break;
   }
   if (!step.safe) out += "  [UNSAFE: assumption unproven here]";
+  if (!annotation.empty()) out += "  " + annotation;
   out += "\n";
   return out;
+}
+
+/// The pipe header line shared by both plan renderers (no newline).
+std::string RenderPipe(size_t p, const CubePlanPipe& pipe,
+                       const CubeLattice& lattice) {
+  std::string out = StringPrintf("pipe %4zu sort order:", p);
+  for (const auto& [axis, state] : pipe.sort_order) {
+    out += StringPrintf(" %s@%u", lattice.axis(axis).name().c_str(),
+                        static_cast<unsigned>(state));
+  }
+  out += StringPrintf("  (serves %zu cuboids)", pipe.covered.size());
+  return out;
+}
+
+/// "[actual 1.2 ms, rows 34, spilled 56 bytes]" for one executed step,
+/// from the stage labels the executors record into the sink. Empty when
+/// the step's stage was never recorded (a sink from a different run).
+std::string StepActuals(const CuboidPlanStep& step, const StatsSink& stats,
+                        const CubeResult& result) {
+  const unsigned long long cells =
+      static_cast<unsigned long long>(result.cuboid(step.cuboid).size());
+  switch (step.kind) {
+    case CuboidPlanStep::Kind::kBaseWithIds:
+    case CuboidPlanStep::Kind::kBaseNoIds:
+    case CuboidPlanStep::Kind::kRollup:
+    case CuboidPlanStep::Kind::kCopy: {
+      std::optional<StageTiming> t = stats.Find(
+          StringPrintf("cuboid/%llu",
+                       static_cast<unsigned long long>(step.cuboid)));
+      if (!t.has_value()) return {};
+      std::string out =
+          StringPrintf("[actual %.3f ms, rows %llu", t->seconds * 1e3, cells);
+      if (t->bytes > 0) {
+        out += StringPrintf(", spilled %llu bytes",
+                            static_cast<unsigned long long>(t->bytes));
+      }
+      return out + "]";
+    }
+    case CuboidPlanStep::Kind::kSharedSort: {
+      // Cells come from the pipe's shared sort; point at its timing.
+      std::optional<StageTiming> t = stats.Find(
+          StringPrintf("pipe/%llu",
+                       static_cast<unsigned long long>(step.source)));
+      if (!t.has_value()) return {};
+      return StringPrintf("[rows %llu, from pipe %llu: actual %.3f ms]",
+                          cells,
+                          static_cast<unsigned long long>(step.source),
+                          t->seconds * 1e3);
+    }
+    case CuboidPlanStep::Kind::kHashAggregate: {
+      // The reference executor times each cuboid individually; prefer
+      // that exact stage when present.
+      std::optional<StageTiming> per_cuboid = stats.Find(
+          StringPrintf("cuboid/%llu",
+                       static_cast<unsigned long long>(step.cuboid)));
+      if (per_cuboid.has_value()) {
+        return StringPrintf("[actual %.3f ms, rows %llu]",
+                            per_cuboid->seconds * 1e3, cells);
+      }
+      // The counter family's passes are shared across cuboids; report
+      // the shared scan cost beside each cuboid's own row count.
+      size_t passes = stats.CountStages("pass");
+      if (passes == 0) return {};
+      return StringPrintf(
+          "[rows %llu, shared scan %.3f ms across %zu pass(es)]", cells,
+          stats.TotalSeconds("pass") * 1e3, passes);
+    }
+    case CuboidPlanStep::Kind::kPartitionRecurse: {
+      // One recursive walk emits every cuboid; its total is the shared
+      // cost beside each cuboid's own row count.
+      std::optional<StageTiming> t = stats.Find("partition-walk");
+      if (!t.has_value()) return {};
+      return StringPrintf("[rows %llu, partition walk %.3f ms total]", cells,
+                          t->seconds * 1e3);
+    }
+  }
+  return {};
 }
 
 }  // namespace
@@ -381,16 +463,51 @@ std::string ExplainCubePlan(const CubePlan& plan,
       CubeAlgorithmToString(plan.algorithm), plan.steps.size(),
       plan.pipes.size(), plan.unsafe_steps);
   for (size_t p = 0; p < plan.pipes.size(); ++p) {
-    out += StringPrintf("pipe %4zu sort order:", p);
-    for (const auto& [axis, state] : plan.pipes[p].sort_order) {
-      out += StringPrintf(" %s@%u", lattice.axis(axis).name().c_str(),
-                          static_cast<unsigned>(state));
-    }
-    out += StringPrintf("  (serves %zu cuboids)\n",
-                        plan.pipes[p].covered.size());
+    out += RenderPipe(p, plan.pipes[p], lattice);
+    out += "\n";
   }
   for (const CuboidPlanStep& step : plan.steps) {
     out += RenderStep(step, lattice);
+  }
+  return out;
+}
+
+std::string ExplainCubePlanWithActuals(const CubePlan& plan,
+                                       const CubeLattice& lattice,
+                                       const StatsSink& stats,
+                                       const CubeResult& result) {
+  std::string out = StringPrintf(
+      "%s: %zu cuboid(s), %zu pipe(s), %zu unsafe step(s)",
+      CubeAlgorithmToString(plan.algorithm), plan.steps.size(),
+      plan.pipes.size(), plan.unsafe_steps);
+  std::optional<StageTiming> plan_t = stats.Find("plan");
+  std::optional<StageTiming> compute_t = stats.Find("compute");
+  if (compute_t.has_value()) {
+    out += StringPrintf(
+        "; plan %.3f ms, compute %.3f ms, %llu cells",
+        (plan_t.has_value() ? plan_t->seconds : 0.0) * 1e3,
+        compute_t->seconds * 1e3,
+        static_cast<unsigned long long>(result.TotalCells()));
+  }
+  out += "\n";
+  for (size_t p = 0; p < plan.pipes.size(); ++p) {
+    out += RenderPipe(p, plan.pipes[p], lattice);
+    std::optional<StageTiming> t =
+        stats.Find(StringPrintf("pipe/%zu", p));
+    if (t.has_value()) {
+      out += StringPrintf("  [actual %.3f ms, rows %llu",
+                          t->seconds * 1e3,
+                          static_cast<unsigned long long>(t->rows));
+      if (t->bytes > 0) {
+        out += StringPrintf(", spilled %llu bytes",
+                            static_cast<unsigned long long>(t->bytes));
+      }
+      out += "]";
+    }
+    out += "\n";
+  }
+  for (const CuboidPlanStep& step : plan.steps) {
+    out += RenderStep(step, lattice, StepActuals(step, stats, result));
   }
   return out;
 }

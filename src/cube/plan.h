@@ -13,6 +13,8 @@
 namespace x3 {
 
 enum class CubeAlgorithm : uint8_t;  // cube/algorithm.h
+class CubeResult;                    // cube/cube_result.h
+class StatsSink;                     // util/exec.h
 
 /// One step of a cube execution plan: how one cuboid is produced.
 ///
@@ -89,6 +91,19 @@ std::vector<std::vector<size_t>> PlanStepDependencies(const CubePlan& plan);
 /// cuboid (and one per pipe for the shared-sort family). Unsafe steps
 /// are flagged "UNSAFE".
 std::string ExplainCubePlan(const CubePlan& plan, const CubeLattice& lattice);
+
+/// ExplainCubePlan with per-line actuals: each pipe and step line is
+/// annotated with the wall-clock time, output rows and spill I/O that
+/// an execution of this plan recorded in `stats` (the executors' stage
+/// labels: "cuboid/<id>", "pipe/<n>", "pass/<n>", "partition-walk"),
+/// and with the cell count of each cuboid in `result`. Steps whose
+/// label never got recorded render without an annotation. This is the
+/// rendering half of ExplainAnalyzeCube (cube/algorithm.h), exposed so
+/// callers holding a finished execution's sink can re-render for free.
+std::string ExplainCubePlanWithActuals(const CubePlan& plan,
+                                       const CubeLattice& lattice,
+                                       const StatsSink& stats,
+                                       const CubeResult& result);
 
 /// Computes the strategy TDCUST would use per cuboid given the property
 /// map. Equivalent to BuildCubePlan(kTDCust, ...).steps; kept as the

@@ -31,7 +31,8 @@ class ReferenceExecutor final : public CuboidExecutor {
             ScopedStageTimer timer(
                 ctx->stats(),
                 StringPrintf("cuboid/%llu",
-                             static_cast<unsigned long long>(step.cuboid)));
+                             static_cast<unsigned long long>(step.cuboid)),
+                ctx->tracer());
             ++task_stats->base_scans;
             std::vector<std::vector<ValueId>> scratch(lattice.num_axes());
             for (size_t f = 0; f < facts.size(); ++f) {
@@ -43,6 +44,7 @@ class ReferenceExecutor final : public CuboidExecutor {
                                        ->Update(measure);
                                  });
             }
+            timer.AddRows(result.cuboid(step.cuboid).size());
             return Status::OK();
           },
           {}});

@@ -71,6 +71,10 @@ Status CuboidFromBase(const FactTable& facts, const CubeLattice& lattice,
                       CuboidId cuboid, bool with_ids,
                       const CubeComputeOptions& options, ExecutionContext* ctx,
                       CubeResult* result, CubeComputeStats* stats) {
+  ScopedStageTimer stage(
+      ctx->stats(),
+      StringPrintf("cuboid/%llu", static_cast<unsigned long long>(cuboid)),
+      ctx->tracer());
   std::vector<size_t> present = lattice.PresentAxes(cuboid);
   size_t key_len = present.size() * 4;
   ExternalSorter sorter(SorterOptions(options, ctx));
@@ -97,6 +101,7 @@ Status CuboidFromBase(const FactTable& facts, const CubeLattice& lattice,
 
   X3_ASSIGN_OR_RETURN(std::unique_ptr<SortedStream> stream, sorter.Finish());
   AbsorbSortStats(sorter.stats(), stats);
+  stage.AddBytes(sorter.stats().spill_bytes);
   if (options.budget != nullptr) {
     stats->peak_memory =
         std::max<uint64_t>(stats->peak_memory, options.budget->peak());
@@ -109,6 +114,7 @@ Status CuboidFromBase(const FactTable& facts, const CubeLattice& lattice,
   auto flush = [&]() {
     if (have_group) {
       result->MutableCell(cuboid, current_group)->Merge(state);
+      stage.AddRows(1);
     }
     state = AggregateState{};
   };
@@ -140,8 +146,11 @@ Status CuboidFromBase(const FactTable& facts, const CubeLattice& lattice,
 /// for every covered cuboid. Correct only under disjointness (the
 /// first admitted value is THE value).
 Status RunPipe(const FactTable& facts, const CubePlanPipe& pipe,
-               const CubeComputeOptions& options, ExecutionContext* ctx,
-               CubeResult* result, CubeComputeStats* stats) {
+               size_t pipe_index, const CubeComputeOptions& options,
+               ExecutionContext* ctx, CubeResult* result,
+               CubeComputeStats* stats) {
+  ScopedStageTimer stage(ctx->stats(), StringPrintf("pipe/%zu", pipe_index),
+                         ctx->tracer());
   ExternalSorter sorter(SorterOptions(options, ctx));
   ++stats->base_scans;
   std::string record;
@@ -157,6 +166,7 @@ Status RunPipe(const FactTable& facts, const CubePlanPipe& pipe,
   }
   X3_ASSIGN_OR_RETURN(std::unique_ptr<SortedStream> stream, sorter.Finish());
   AbsorbSortStats(sorter.stats(), stats);
+  stage.AddBytes(sorter.stats().spill_bytes);
   if (options.budget != nullptr) {
     stats->peak_memory =
         std::max<uint64_t>(stats->peak_memory, options.budget->peak());
@@ -194,6 +204,7 @@ Status RunPipe(const FactTable& facts, const CubePlanPipe& pipe,
         key.append(agg->current, field * 4, 4);
       }
       result->MutableCell(agg->cuboid, key)->Merge(agg->state);
+      stage.AddRows(1);
     }
     agg->state = AggregateState{};
   };
@@ -233,6 +244,10 @@ Status RunPipe(const FactTable& facts, const CubePlanPipe& pipe,
 Status RollUp(const CubeLattice& lattice, CuboidId p, CuboidId c,
               const LatticeEdge& edge, ExecutionContext* ctx,
               CubeResult* result, CubeComputeStats* stats) {
+  ScopedStageTimer stage(
+      ctx->stats(),
+      StringPrintf("cuboid/%llu", static_cast<unsigned long long>(c)),
+      ctx->tracer());
   ++stats->rollups;
   const auto& parent_cells = result->cuboid(p);
   if (!edge.to_absent) {
@@ -241,6 +256,7 @@ Status RollUp(const CubeLattice& lattice, CuboidId p, CuboidId c,
       X3_RETURN_IF_ERROR(ctx->Poll());
       result->MutableCell(c, key)->Merge(state);
     }
+    stage.AddRows(result->cuboid(c).size());
     return Status::OK();
   }
   // LND: drop the axis's field from each key and merge.
@@ -260,6 +276,7 @@ Status RollUp(const CubeLattice& lattice, CuboidId p, CuboidId c,
     child_key.append(key, drop_pos * 4 + 4, std::string::npos);
     result->MutableCell(c, child_key)->Merge(state);
   }
+  stage.AddRows(result->cuboid(c).size());
   return Status::OK();
 }
 
@@ -288,9 +305,7 @@ class TopDownExecutor final : public CuboidExecutor {
     for (size_t p = 0; p < plan.pipes.size(); ++p) {
       tasks.push_back(PlanTask{
           [&, p](CubeComputeStats* task_stats) {
-            ScopedStageTimer timer(ctx->stats(),
-                                   StringPrintf("pipe/%zu", p));
-            return RunPipe(facts, plan.pipes[p], options, ctx, &result,
+            return RunPipe(facts, plan.pipes[p], p, options, ctx, &result,
                            task_stats);
           },
           deps[p]});
@@ -303,10 +318,6 @@ class TopDownExecutor final : public CuboidExecutor {
         case CuboidPlanStep::Kind::kBaseWithIds:
         case CuboidPlanStep::Kind::kBaseNoIds:
           task.run = [&, step](CubeComputeStats* task_stats) {
-            ScopedStageTimer timer(
-                ctx->stats(),
-                StringPrintf("cuboid/%llu",
-                             static_cast<unsigned long long>(step.cuboid)));
             return CuboidFromBase(
                 facts, lattice, step.cuboid,
                 step.kind == CuboidPlanStep::Kind::kBaseWithIds, options, ctx,

@@ -1,9 +1,39 @@
 #include "storage/buffer_pool.h"
 
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
 
 namespace x3 {
+
+namespace {
+
+// Process-wide mirrors of the per-pool stats (DESIGN.md §9): the
+// struct counters stay the per-instance test surface, these feed the
+// exported registry.
+Counter& PoolHitsCounter() {
+  static Counter* c = MetricRegistry::Global().GetCounter(
+      "x3_storage_pool_hits_total", "Buffer-pool page hits");
+  return *c;
+}
+Counter& PoolMissesCounter() {
+  static Counter* c = MetricRegistry::Global().GetCounter(
+      "x3_storage_pool_misses_total", "Buffer-pool page misses");
+  return *c;
+}
+Counter& PoolEvictionsCounter() {
+  static Counter* c = MetricRegistry::Global().GetCounter(
+      "x3_storage_pool_evictions_total", "Buffer-pool frame evictions");
+  return *c;
+}
+Counter& PoolWritebacksCounter() {
+  static Counter* c = MetricRegistry::Global().GetCounter(
+      "x3_storage_pool_writebacks_total",
+      "Dirty pages written back by the buffer pool");
+  return *c;
+}
+
+}  // namespace
 
 PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
   if (this != &other) {
@@ -54,6 +84,7 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     ++stats_.hits;
+    PoolHitsCounter().Increment();
     size_t frame = it->second;
     Frame& f = frames_[frame];
     if (f.in_lru) {
@@ -64,6 +95,7 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
     return PageHandle(this, frame, id);
   }
   ++stats_.misses;
+  PoolMissesCounter().Increment();
   X3_ASSIGN_OR_RETURN(size_t frame, GrabFrame());
   Frame& f = frames_[frame];
   Status s = file_->ReadPage(id, &f.page);
@@ -99,6 +131,7 @@ Status BufferPool::FlushAll() {
       X3_RETURN_IF_ERROR(file_->WritePage(f.page_id, f.page));
       f.dirty = false;
       ++stats_.dirty_writebacks;
+      PoolWritebacksCounter().Increment();
     }
   }
   return file_->Flush();
@@ -130,9 +163,11 @@ Result<size_t> BufferPool::GrabFrame() {
   Frame& f = frames_[frame];
   f.in_lru = false;
   ++stats_.evictions;
+  PoolEvictionsCounter().Increment();
   if (f.dirty) {
     X3_RETURN_IF_ERROR(file_->WritePage(f.page_id, f.page));
     ++stats_.dirty_writebacks;
+    PoolWritebacksCounter().Increment();
     f.dirty = false;
   }
   page_table_.erase(f.page_id);

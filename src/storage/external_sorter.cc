@@ -5,9 +5,33 @@
 #include <queue>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 namespace x3 {
+
+namespace {
+
+// Process-wide mirrors of SortStats (DESIGN.md §9): the struct stays
+// the per-sort test surface, these feed the exported registry.
+Counter& RunsSpilledCounter() {
+  static Counter* c = MetricRegistry::Global().GetCounter(
+      "x3_sort_runs_spilled_total", "Sorted runs spilled to temp files");
+  return *c;
+}
+Counter& SpillBytesCounter() {
+  static Counter* c = MetricRegistry::Global().GetCounter(
+      "x3_sort_spill_bytes_total", "Bytes written to sort spill runs");
+  return *c;
+}
+Counter& MergePassesCounter() {
+  static Counter* c = MetricRegistry::Global().GetCounter(
+      "x3_sort_merge_passes_total", "K-way merge passes over spilled runs");
+  return *c;
+}
+
+}  // namespace
 
 int BytewiseCompare(std::string_view a, std::string_view b) {
   int c = std::memcmp(a.data(), b.data(), std::min(a.size(), b.size()));
@@ -207,6 +231,9 @@ Status ExternalSorter::SpillBuffer() {
   if (options_.exec != nullptr) {
     X3_RETURN_IF_ERROR(options_.exec->CheckInterrupted());
   }
+  X3_TRACE_SPAN(options_.exec != nullptr ? options_.exec->tracer()
+                                         : &Tracer::Global(),
+                "sort/spill");
   std::sort(buffer_.begin(), buffer_.end(),
             [this](const std::string& a, const std::string& b) {
               return options_.comparator(a, b) < 0;
@@ -220,6 +247,8 @@ Status ExternalSorter::SpillBuffer() {
   X3_RETURN_IF_ERROR(writer.Close());
   stats_.spill_bytes += writer.bytes();
   ++stats_.runs_spilled;
+  RunsSpilledCounter().Increment();
+  SpillBytesCounter().Increment(writer.bytes());
   stats_.in_memory = false;
   runs_.push_back(path);
   buffer_.clear();
@@ -230,6 +259,9 @@ Status ExternalSorter::SpillBuffer() {
 
 Status ExternalSorter::CascadeMerges() {
   while (runs_.size() > options_.merge_fanin) {
+    X3_TRACE_SPAN(options_.exec != nullptr ? options_.exec->tracer()
+                                           : &Tracer::Global(),
+                  "sort/merge-pass");
     std::vector<std::string> group(
         runs_.begin(),
         runs_.begin() + static_cast<ptrdiff_t>(options_.merge_fanin));
@@ -253,6 +285,7 @@ Status ExternalSorter::CascadeMerges() {
     for (const std::string& p : group) options_.temp_files->Remove(p);
     runs_.push_back(out_path);
     ++stats_.merge_passes;
+    MergePassesCounter().Increment();
   }
   return Status::OK();
 }
@@ -278,6 +311,7 @@ Result<std::unique_ptr<SortedStream>> ExternalSorter::Finish() {
   }
   X3_RETURN_IF_ERROR(CascadeMerges());
   ++stats_.merge_passes;
+  MergePassesCounter().Increment();
   auto merge = std::make_unique<MergeStream>(options_.temp_files->env(), runs_,
                                              options_.comparator);
   X3_RETURN_IF_ERROR(merge->Init());

@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
 
 namespace x3 {
@@ -18,6 +19,57 @@ namespace {
 std::string ErrnoMessage(const std::string& what, const std::string& path,
                          int err) {
   return what + " " + path + ": " + std::strerror(err);
+}
+
+// Engine-wide I/O metrics (DESIGN.md §9). The counters live in the
+// POSIX layer so the Env decorators (fault injection, retry) stack on
+// top without double counting: however deep the decorator chain, a
+// physical operation lands here exactly once.
+Counter& ReadsCounter() {
+  static Counter* c = MetricRegistry::Global().GetCounter(
+      "x3_env_reads_total", "File read calls served by the POSIX Env");
+  return *c;
+}
+Counter& ReadBytesCounter() {
+  static Counter* c = MetricRegistry::Global().GetCounter(
+      "x3_env_read_bytes_total", "Bytes read through the POSIX Env");
+  return *c;
+}
+Counter& WritesCounter() {
+  static Counter* c = MetricRegistry::Global().GetCounter(
+      "x3_env_writes_total", "File write calls served by the POSIX Env");
+  return *c;
+}
+Counter& WrittenBytesCounter() {
+  static Counter* c = MetricRegistry::Global().GetCounter(
+      "x3_env_written_bytes_total", "Bytes written through the POSIX Env");
+  return *c;
+}
+Counter& SyncsCounter() {
+  static Counter* c = MetricRegistry::Global().GetCounter(
+      "x3_env_syncs_total", "fsync calls served by the POSIX Env");
+  return *c;
+}
+Counter& OpensCounter() {
+  static Counter* c = MetricRegistry::Global().GetCounter(
+      "x3_env_opens_total", "Files opened through the POSIX Env");
+  return *c;
+}
+Counter& RemovesCounter() {
+  static Counter* c = MetricRegistry::Global().GetCounter(
+      "x3_env_removes_total", "Files removed through the POSIX Env");
+  return *c;
+}
+Counter& RenamesCounter() {
+  static Counter* c = MetricRegistry::Global().GetCounter(
+      "x3_env_renames_total", "Files renamed through the POSIX Env");
+  return *c;
+}
+Counter& RetriesCounter() {
+  static Counter* c = MetricRegistry::Global().GetCounter(
+      "x3_env_retries_total",
+      "Operations retried by RetryEnv after a transient fault");
+  return *c;
 }
 
 /// POSIX positional file: pread/pwrite with off_t offsets (no seek
@@ -44,6 +96,7 @@ class PosixFile : public File {
                        size_t* bytes_read) override {
     *bytes_read = 0;
     X3_RETURN_IF_ERROR(CheckOpenAndOffset(offset, n));
+    ReadsCounter().Increment();
     char* dst = static_cast<char*>(out);
     while (*bytes_read < n) {
       ssize_t rc = ::pread(fd_, dst + *bytes_read, n - *bytes_read,
@@ -55,11 +108,13 @@ class PosixFile : public File {
       if (rc == 0) break;  // EOF
       *bytes_read += static_cast<size_t>(rc);
     }
+    ReadBytesCounter().Increment(*bytes_read);
     return Status::OK();
   }
 
   Status WriteAt(uint64_t offset, const void* data, size_t n) override {
     X3_RETURN_IF_ERROR(CheckOpenAndOffset(offset, n));
+    WritesCounter().Increment();
     const char* src = static_cast<const char*>(data);
     size_t written = 0;
     while (written < n) {
@@ -67,15 +122,18 @@ class PosixFile : public File {
                             static_cast<off_t>(offset + written));
       if (rc < 0) {
         if (errno == EINTR) continue;
+        WrittenBytesCounter().Increment(written);
         return Status::IOError(ErrnoMessage("write failed on", path_, errno));
       }
       written += static_cast<size_t>(rc);
     }
+    WrittenBytesCounter().Increment(written);
     return Status::OK();
   }
 
   Status Sync() override {
     if (fd_ < 0) return Status::Internal("sync on closed file " + path_);
+    SyncsCounter().Increment();
     if (::fsync(fd_) != 0) {
       return Status::IOError(ErrnoMessage("fsync failed on", path_, errno));
     }
@@ -139,10 +197,12 @@ class PosixEnv : public Env {
       }
       return Status::IOError(ErrnoMessage("cannot open", path, errno));
     }
+    OpensCounter().Increment();
     return std::unique_ptr<File>(std::make_unique<PosixFile>(fd, path));
   }
 
   Status RemoveFile(const std::string& path) override {
+    RemovesCounter().Increment();
     if (::unlink(path.c_str()) != 0) {
       if (errno == ENOENT) {
         return Status::NotFound(ErrnoMessage("cannot remove", path, errno));
@@ -153,6 +213,7 @@ class PosixEnv : public Env {
   }
 
   Status RenameFile(const std::string& from, const std::string& to) override {
+    RenamesCounter().Increment();
     if (::rename(from.c_str(), to.c_str()) != 0) {
       return Status::IOError(
           ErrnoMessage("cannot rename", from + " -> " + to, errno));
@@ -197,6 +258,7 @@ Status RetryEnv::RunWithRetry(const std::function<Status()>& op) {
     backoff_ms_ += backoff;
     if (policy_.sleep) policy_.sleep(backoff);
     ++retries_;
+    RetriesCounter().Increment();
     s = op();
   }
   return s;
@@ -253,6 +315,7 @@ Result<std::unique_ptr<File>> RetryEnv::OpenFile(const std::string& path,
     backoff_ms_ += backoff;
     if (policy_.sleep) policy_.sleep(backoff);
     ++retries_;
+    RetriesCounter().Increment();
     result = target()->OpenFile(path, mode);
   }
   if (!result.ok()) return result.status();

@@ -1,5 +1,7 @@
 #include "util/exec.h"
 
+#include <algorithm>
+
 #include "util/string_util.h"
 
 namespace x3 {
@@ -15,8 +17,29 @@ bool LabelMatches(const std::string& label, std::string_view query) {
 
 }  // namespace
 
+StageTiming* StatsSink::EntryLocked(std::string_view label) {
+  auto it = index_.find(std::string(label));
+  if (it != index_.end()) return &timings_[it->second];
+  StageTiming entry;
+  entry.label = std::string(label);
+  index_.emplace(entry.label, timings_.size());
+  timings_.push_back(std::move(entry));
+  return &timings_.back();
+}
+
+void StatsSink::Record(std::string_view label, double seconds, uint64_t rows,
+                       uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  StageTiming* entry = EntryLocked(label);
+  entry->seconds += seconds;
+  entry->max_seconds = std::max(entry->max_seconds, seconds);
+  entry->count += 1;
+  entry->rows += rows;
+  entry->bytes += bytes;
+}
+
 void StatsSink::Append(const StatsSink& other) {
-  // Snapshot under the source lock, then append under ours (two sinks,
+  // Snapshot under the source lock, then merge under ours (two sinks,
   // two locks; self-append is not a use case).
   std::vector<StageTiming> copied;
   {
@@ -24,7 +47,14 @@ void StatsSink::Append(const StatsSink& other) {
     copied = other.timings_;
   }
   std::lock_guard<std::mutex> lock(mu_);
-  timings_.insert(timings_.end(), copied.begin(), copied.end());
+  for (const StageTiming& t : copied) {
+    StageTiming* entry = EntryLocked(t.label);
+    entry->seconds += t.seconds;
+    entry->max_seconds = std::max(entry->max_seconds, t.max_seconds);
+    entry->count += t.count;
+    entry->rows += t.rows;
+    entry->bytes += t.bytes;
+  }
 }
 
 double StatsSink::TotalSeconds(std::string_view label) const {
@@ -40,16 +70,29 @@ size_t StatsSink::CountStages(std::string_view label) const {
   std::lock_guard<std::mutex> lock(mu_);
   size_t n = 0;
   for (const StageTiming& t : timings_) {
-    if (LabelMatches(t.label, label)) ++n;
+    if (LabelMatches(t.label, label)) n += t.count;
   }
   return n;
+}
+
+std::optional<StageTiming> StatsSink::Find(std::string_view label) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(std::string(label));
+  if (it == index_.end()) return std::nullopt;
+  return timings_[it->second];
 }
 
 std::string StatsSink::ToString() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   for (const StageTiming& t : timings_) {
-    out += StringPrintf("%s: %.3f ms\n", t.label.c_str(), t.seconds * 1e3);
+    out += StringPrintf("%s: %.3f ms", t.label.c_str(), t.seconds * 1e3);
+    if (t.count > 1) {
+      out += StringPrintf(" (x%llu, max %.3f ms)",
+                          static_cast<unsigned long long>(t.count),
+                          t.max_seconds * 1e3);
+    }
+    out += "\n";
   }
   return out;
 }
@@ -57,7 +100,7 @@ std::string StatsSink::ToString() const {
 std::optional<double> ExecutionContext::RemainingSeconds() const {
   if (!options_.deadline.has_value()) return std::nullopt;
   double remaining =
-      std::chrono::duration<double>(*options_.deadline - Clock::now())
+      std::chrono::duration<double>(*options_.deadline - MonotonicNow())
           .count();
   return remaining > 0 ? remaining : 0;
 }

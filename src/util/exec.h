@@ -8,11 +8,13 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "util/memory_budget.h"
 #include "util/status.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace x3 {
 
@@ -57,66 +59,109 @@ class CancellationToken {
   mutable std::atomic<int64_t> trip_after_{-1};
 };
 
-/// One named stage timing recorded during execution ("materialize",
-/// "plan", "compute", "cuboid/12", "pass/2", ...).
+/// The merged record of every occurrence of one stage label during
+/// execution ("materialize", "plan", "compute", "cuboid/12", "pass/2",
+/// ...). Same-label occurrences — the COUNTER family times "pass/0"
+/// once per parallel batch, a retried stage runs twice — are folded
+/// into one entry: `seconds` sums them, `max_seconds` keeps the largest
+/// single occurrence, `count` says how many were folded in. `rows` and
+/// `bytes` accumulate the optional per-stage output-row and I/O detail
+/// that EXPLAIN ANALYZE renders.
 struct StageTiming {
   std::string label;
-  double seconds = 0;
+  double seconds = 0;      // summed across occurrences
+  double max_seconds = 0;  // largest single occurrence
+  uint64_t count = 0;      // occurrences merged into this entry
+  uint64_t rows = 0;       // rows/cells produced (0 when not reported)
+  uint64_t bytes = 0;      // bytes of I/O performed (0 when not reported)
 };
 
 /// Collects per-stage wall-clock timings during a query's execution.
-/// Append-only and cheap. Thread-safe for concurrent Record calls (the
-/// parallel cube executor's workers share one sink), with entry order
-/// following completion order; the aggregate queries
-/// (TotalSeconds/CountStages) are order-independent, so their results
-/// do not depend on worker interleaving.
+/// Thread-safe for concurrent Record calls (the parallel cube
+/// executor's workers share one sink).
+///
+/// Merge semantics: entries are keyed by exact label. Record and Append
+/// fold a same-label occurrence into the existing entry (sum seconds /
+/// rows / bytes, max of max_seconds, count += occurrences) instead of
+/// appending a duplicate row — so a label timed on N threads reports
+/// its total once, not N look-alike rows, and `timings().size()` is the
+/// number of distinct labels. Entry order is first-recording order;
+/// under parallel execution that order may vary run to run, but the
+/// aggregate queries (TotalSeconds/CountStages/Find) are
+/// order-independent.
 class StatsSink {
  public:
   void Record(std::string_view label, double seconds) {
-    std::lock_guard<std::mutex> lock(mu_);
-    timings_.push_back({std::string(label), seconds});
+    Record(label, seconds, 0, 0);
   }
+
+  /// Records one stage occurrence with optional row/byte detail.
+  void Record(std::string_view label, double seconds, uint64_t rows,
+              uint64_t bytes);
 
   /// Direct view of the entries. Only safe once concurrent recording
   /// has quiesced (after the execution's join point) — callers that
   /// need a snapshot mid-flight should use the aggregate queries.
   const std::vector<StageTiming>& timings() const { return timings_; }
 
-  /// Appends every entry of `other` (merge of per-worker sinks at a
-  /// join point). TotalSeconds/CountStages over the merged sink equal
-  /// the sums over the parts.
+  /// Merges every entry of `other` into this sink (per-worker sinks at
+  /// a join point) under the label-merge semantics above:
+  /// TotalSeconds/CountStages over the merged sink equal the sums over
+  /// the parts.
   void Append(const StatsSink& other);
 
   /// Sum of all stages whose label equals `label` or starts with
   /// "<label>/" (so TotalSeconds("cuboid") sums every per-cuboid entry).
   double TotalSeconds(std::string_view label) const;
 
-  /// Number of stages with label `label` or prefix "<label>/".
+  /// Total occurrence count over stages with label `label` or prefix
+  /// "<label>/" (a label recorded on N threads counts N).
   size_t CountStages(std::string_view label) const;
+
+  /// The merged entry for exactly `label`, or nullopt if never
+  /// recorded.
+  std::optional<StageTiming> Find(std::string_view label) const;
 
   void Clear() {
     std::lock_guard<std::mutex> lock(mu_);
     timings_.clear();
+    index_.clear();
   }
 
-  /// One "label: 1.234 ms" line per stage, for logs and EXPLAIN ANALYZE
-  /// style output.
+  /// One "label: 1.234 ms" line per stage (with "xN" and max detail for
+  /// merged occurrences), for logs and EXPLAIN ANALYZE style output.
   std::string ToString() const;
 
  private:
+  /// Callee must hold mu_.
+  StageTiming* EntryLocked(std::string_view label);
+
   mutable std::mutex mu_;
   std::vector<StageTiming> timings_;
+  /// label -> index into timings_ (stable: entries are never removed
+  /// except by Clear).
+  std::unordered_map<std::string, size_t> index_;
 };
 
 /// RAII helper: records the elapsed time of a scope into a sink under a
-/// fixed label. A null sink disables recording.
+/// fixed label, and opens a trace span of the same label on `tracer`
+/// (when tracing is compiled in and the tracer is enabled). A null sink
+/// disables recording; a null tracer disables the span. AddRows /
+/// AddBytes accumulate the optional per-stage detail that EXPLAIN
+/// ANALYZE renders; they are recorded with the timing at scope exit.
 class ScopedStageTimer {
  public:
-  ScopedStageTimer(StatsSink* sink, std::string label)
-      : sink_(sink), label_(std::move(label)) {}
+  ScopedStageTimer(StatsSink* sink, std::string label,
+                   Tracer* tracer = nullptr)
+      : sink_(sink), label_(std::move(label)), span_(tracer, label_) {}
   ~ScopedStageTimer() {
-    if (sink_ != nullptr) sink_->Record(label_, timer_.ElapsedSeconds());
+    if (sink_ != nullptr) {
+      sink_->Record(label_, timer_.ElapsedSeconds(), rows_, bytes_);
+    }
   }
+
+  void AddRows(uint64_t rows) { rows_ += rows; }
+  void AddBytes(uint64_t bytes) { bytes_ += bytes; }
 
   ScopedStageTimer(const ScopedStageTimer&) = delete;
   ScopedStageTimer& operator=(const ScopedStageTimer&) = delete;
@@ -124,6 +169,9 @@ class ScopedStageTimer {
  private:
   StatsSink* sink_;
   std::string label_;
+  TraceSpan span_;
+  uint64_t rows_ = 0;
+  uint64_t bytes_ = 0;
   Timer timer_;
 };
 
@@ -148,7 +196,7 @@ class ScopedStageTimer {
 /// expensive for per-row polling).
 class ExecutionContext {
  public:
-  using Clock = std::chrono::steady_clock;
+  using Clock = MonotonicClock;
 
   struct Options {
     /// Bounds working memory. nullptr = unlimited.
@@ -159,6 +207,9 @@ class ExecutionContext {
     const CancellationToken* cancel = nullptr;
     /// Absolute monotonic deadline; nullopt = no deadline.
     std::optional<Clock::time_point> deadline;
+    /// Span tracer for this execution; nullptr = the process-global
+    /// tracer (the usual case — per-execution tracers are for tests).
+    Tracer* tracer = nullptr;
   };
 
   ExecutionContext() = default;
@@ -169,12 +220,18 @@ class ExecutionContext {
 
   MemoryBudget* budget() const { return options_.budget; }
   TempFileManager* temp_files() const { return options_.temp_files; }
+  const CancellationToken* cancellation() const { return options_.cancel; }
   const std::optional<Clock::time_point>& deadline() const {
     return options_.deadline;
   }
 
   StatsSink* stats() { return &stats_; }
   const StatsSink& stats() const { return stats_; }
+
+  /// The tracer spans of this execution record into (never null).
+  Tracer* tracer() const {
+    return options_.tracer != nullptr ? options_.tracer : &Tracer::Global();
+  }
 
   /// Cheap per-iteration check: cancellation flag every call, deadline
   /// every kDeadlineStride calls. OK, kCancelled or kDeadlineExceeded.
@@ -215,7 +272,7 @@ class ExecutionContext {
 
  private:
   Status CheckDeadline() const {
-    if (Clock::now() > *options_.deadline) {
+    if (MonotonicNow() > *options_.deadline) {
       return Status::DeadlineExceeded("execution deadline exceeded");
     }
     return Status::OK();
@@ -228,7 +285,7 @@ class ExecutionContext {
 /// A deadline `seconds` from now on the context clock.
 inline ExecutionContext::Clock::time_point DeadlineAfterSeconds(
     double seconds) {
-  return ExecutionContext::Clock::now() +
+  return MonotonicNow() +
          std::chrono::duration_cast<ExecutionContext::Clock::duration>(
              std::chrono::duration<double>(seconds));
 }

@@ -1,9 +1,21 @@
 #include "util/fault_env.h"
 
 #include "util/hash.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
 
 namespace x3 {
+
+namespace {
+
+Counter& FaultsInjectedCounter() {
+  static Counter* c = MetricRegistry::Global().GetCounter(
+      "x3_env_faults_injected_total",
+      "Storage faults fired by FaultInjectionEnv schedules");
+  return *c;
+}
+
+}  // namespace
 
 const char* FaultKindToString(FaultKind kind) {
   switch (kind) {
@@ -125,6 +137,7 @@ FaultInjectionEnv::Decision FaultInjectionEnv::NextOp(FaultOp op,
   trace_.push_back(op);
   if (crashed_) {
     ++faults_fired_;
+    FaultsInjectedCounter().Increment();
     d.status = Status::IOError(StringPrintf(
         "injected crash: environment down since torn write (op %llu)",
         static_cast<unsigned long long>(index)));
@@ -138,6 +151,7 @@ FaultInjectionEnv::Decision FaultInjectionEnv::NextOp(FaultOp op,
   }
   FaultKind kind = EffectiveKind(options_.kind, op);
   ++faults_fired_;
+  FaultsInjectedCounter().Increment();
   if (options_.transient && options_.repeat != UINT64_MAX &&
       index + 1 >= options_.fail_op_index + options_.repeat) {
     // Last scheduled firing of a transient fault: disarm so a retry of

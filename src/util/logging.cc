@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <string>
 
 namespace x3 {
 namespace {
@@ -64,8 +65,14 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   stream_ << "\n";
-  // Terminal output, not file I/O: the Env seam does not apply.
-  std::fputs(stream_.str().c_str(), stderr);  // x3-lint: allow(raw-stdio)
+  // Terminal output, not file I/O: the Env seam does not apply. The
+  // whole buffered line goes out in ONE stdio call: stderr is
+  // unbuffered, so a single fwrite maps to a single write(2) and
+  // concurrent loggers can interleave only at line granularity — never
+  // mid-line (the torn-log regression in tests/logging_test.cc).
+  const std::string line = stream_.str();
+  size_t written = std::fwrite(line.data(), 1, line.size(), stderr);  // x3-lint: allow(raw-stdio)
+  (void)written;  // stderr gone: nothing useful left to do
   if (level_ == LogLevel::kFatal) {
     std::fflush(stderr);  // x3-lint: allow(raw-stdio) -- stderr
     std::abort();

@@ -1,8 +1,29 @@
 #include "util/memory_budget.h"
 
+#include "util/metrics.h"
 #include "util/string_util.h"
 
 namespace x3 {
+
+namespace {
+
+// Engine-wide metrics (DESIGN.md §9): pointers cached once, hot path is
+// one relaxed atomic each.
+Counter& DenialsCounter() {
+  static Counter* c = MetricRegistry::Global().GetCounter(
+      "x3_memory_reserve_denials_total",
+      "Reservations rejected by the memory budget hard cap");
+  return *c;
+}
+
+Gauge& PeakGauge() {
+  static Gauge* g = MetricRegistry::Global().GetGauge(
+      "x3_memory_peak_bytes",
+      "Largest tracked working-set size observed by any memory budget");
+  return *g;
+}
+
+}  // namespace
 
 Status MemoryBudget::Reserve(size_t bytes) {
   if (capacity_ == 0) {
@@ -15,6 +36,7 @@ Status MemoryBudget::Reserve(size_t bytes) {
   size_t used = used_.load(std::memory_order_relaxed);
   do {
     if (used + bytes > capacity_) {
+      DenialsCounter().Increment();
       return Status::ResourceExhausted(StringPrintf(
           "memory budget exceeded: used=%zu request=%zu capacity=%zu", used,
           bytes, capacity_));
@@ -25,6 +47,11 @@ Status MemoryBudget::Reserve(size_t bytes) {
   return Status::OK();
 }
 
+void MemoryBudget::ForceReserve(size_t bytes) {
+  size_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  UpdatePeak(now);
+}
+
 void MemoryBudget::Release(size_t bytes) {
   // Clamp at zero (a forced overshoot may release more than is
   // tracked); CAS keeps the clamp exact under concurrent releases.
@@ -32,6 +59,15 @@ void MemoryBudget::Release(size_t bytes) {
   while (!used_.compare_exchange_weak(used, bytes > used ? 0 : used - bytes,
                                       std::memory_order_relaxed)) {
   }
+}
+
+void MemoryBudget::UpdatePeak(size_t now) {
+  size_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now,
+                                      std::memory_order_relaxed)) {
+  }
+  PeakGauge().SetMax(static_cast<int64_t>(now));
 }
 
 }  // namespace x3

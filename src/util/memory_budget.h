@@ -44,10 +44,7 @@ class MemoryBudget {
 
   /// Reserves unconditionally (used where overshoot is accounted but
   /// unavoidable, e.g. a single oversized record).
-  void ForceReserve(size_t bytes) {
-    size_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
-    UpdatePeak(now);
-  }
+  void ForceReserve(size_t bytes);
 
   /// Releases a prior reservation (clamped at zero).
   void Release(size_t bytes);
@@ -73,13 +70,7 @@ class MemoryBudget {
   size_t peak() const { return peak_.load(std::memory_order_relaxed); }
 
  private:
-  void UpdatePeak(size_t now) {
-    size_t peak = peak_.load(std::memory_order_relaxed);
-    while (now > peak &&
-           !peak_.compare_exchange_weak(peak, now,
-                                        std::memory_order_relaxed)) {
-    }
-  }
+  void UpdatePeak(size_t now);
 
   size_t capacity_;
   std::atomic<size_t> used_{0};

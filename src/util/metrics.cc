@@ -1,0 +1,282 @@
+#include "util/metrics.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "util/env.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace x3 {
+
+void Histogram::Observe(double value) {
+  if (value < 0) value = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (value <= BucketUpperBound(i)) {
+      buckets_[i].fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Saturating nanosecond accumulation; overflow would need ~292 years
+  // of summed time, but clamp anyway rather than wrap.
+  double nanos = value * 1e9;
+  int64_t ticks = nanos >= static_cast<double>(
+                               std::numeric_limits<int64_t>::max())
+                      ? std::numeric_limits<int64_t>::max()
+                      : static_cast<int64_t>(nanos);
+  sum_nanos_.fetch_add(ticks, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::bucket_count(size_t i) const {
+  X3_CHECK(i < kNumBuckets);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b <= i; ++b) {
+    cumulative += buckets_[b].load(std::memory_order_relaxed);
+  }
+  return cumulative;
+}
+
+double Histogram::BucketUpperBound(size_t i) {
+  if (i + 1 >= kNumBuckets) return std::numeric_limits<double>::infinity();
+  double bound = 1e-6;
+  for (size_t k = 0; k < i; ++k) bound *= 4;
+  return bound;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_nanos_.store(0, std::memory_order_relaxed);
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* registry = new MetricRegistry();  // x3-lint: allow(raw-new-delete) -- intentionally leaked process singleton
+  return *registry;
+}
+
+MetricRegistry::Entry* MetricRegistry::GetOrCreate(const std::string& name,
+                                                   const std::string& help,
+                                                   Type type) {
+  X3_CHECK(internal::ValidMetricName(name))
+      << "invalid metric name: " << name;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    X3_CHECK(it->second.type == type)
+        << "metric " << name << " re-registered with a different type";
+    return &it->second;
+  }
+  Entry entry;
+  entry.type = type;
+  entry.help = help;
+  switch (type) {
+    case Type::kCounter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case Type::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case Type::kHistogram:
+      entry.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  return &entries_.emplace(name, std::move(entry)).first->second;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name,
+                                    const std::string& help) {
+  return GetOrCreate(name, help, Type::kCounter)->counter.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name,
+                                const std::string& help) {
+  return GetOrCreate(name, help, Type::kGauge)->gauge.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name,
+                                        const std::string& help) {
+  return GetOrCreate(name, help, Type::kHistogram)->histogram.get();
+}
+
+namespace {
+
+/// Renders `le` bounds the way Prometheus clients conventionally do.
+std::string RenderBound(double bound) {
+  if (std::isinf(bound)) return "+Inf";
+  return StringPrintf("%g", bound);
+}
+
+}  // namespace
+
+std::string MetricRegistry::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  // std::map iteration is name-sorted: exposition order is stable.
+  for (const auto& [name, entry] : entries_) {
+    out += StringPrintf("# HELP %s %s\n", name.c_str(), entry.help.c_str());
+    switch (entry.type) {
+      case Type::kCounter:
+        out += StringPrintf("# TYPE %s counter\n", name.c_str());
+        out += StringPrintf("%s %llu\n", name.c_str(),
+                            static_cast<unsigned long long>(
+                                entry.counter->value()));
+        break;
+      case Type::kGauge:
+        out += StringPrintf("# TYPE %s gauge\n", name.c_str());
+        out += StringPrintf("%s %lld\n", name.c_str(),
+                            static_cast<long long>(entry.gauge->value()));
+        break;
+      case Type::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        out += StringPrintf("# TYPE %s histogram\n", name.c_str());
+        for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+          out += StringPrintf(
+              "%s_bucket{le=\"%s\"} %llu\n", name.c_str(),
+              RenderBound(Histogram::BucketUpperBound(i)).c_str(),
+              static_cast<unsigned long long>(h.bucket_count(i)));
+        }
+        out += StringPrintf("%s_sum %.9f\n", name.c_str(), h.sum());
+        out += StringPrintf("%s_count %llu\n", name.c_str(),
+                            static_cast<unsigned long long>(h.count()));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string counters, gauges, histograms;
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.type) {
+      case Type::kCounter:
+        if (!counters.empty()) counters += ",";
+        counters += StringPrintf("\"%s\":%llu", name.c_str(),
+                                 static_cast<unsigned long long>(
+                                     entry.counter->value()));
+        break;
+      case Type::kGauge:
+        if (!gauges.empty()) gauges += ",";
+        gauges += StringPrintf("\"%s\":%lld", name.c_str(),
+                               static_cast<long long>(entry.gauge->value()));
+        break;
+      case Type::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        if (!histograms.empty()) histograms += ",";
+        histograms += StringPrintf("\"%s\":{\"count\":%llu,\"sum\":%.9f,"
+                                   "\"buckets\":[",
+                                   name.c_str(),
+                                   static_cast<unsigned long long>(h.count()),
+                                   h.sum());
+        for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+          if (i > 0) histograms += ",";
+          double bound = Histogram::BucketUpperBound(i);
+          histograms += StringPrintf(
+              "{\"le\":%s,\"count\":%llu}",
+              std::isinf(bound) ? "\"+Inf\""
+                                : StringPrintf("%g", bound).c_str(),
+              static_cast<unsigned long long>(h.bucket_count(i)));
+        }
+        histograms += "]}";
+        break;
+      }
+    }
+  }
+  return StringPrintf("{\"counters\":{%s},\"gauges\":{%s},"
+                      "\"histograms\":{%s}}\n",
+                      counters.c_str(), gauges.c_str(), histograms.c_str());
+}
+
+std::map<std::string, int64_t> MetricRegistry::SnapshotValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, int64_t> out;
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.type) {
+      case Type::kCounter:
+        out[name] = static_cast<int64_t>(entry.counter->value());
+        break;
+      case Type::kGauge:
+        out[name] = entry.gauge->value();
+        break;
+      case Type::kHistogram:
+        out[name + "_count"] =
+            static_cast<int64_t>(entry.histogram->count());
+        break;
+    }
+  }
+  return out;
+}
+
+void MetricRegistry::ResetAllForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : entries_) {
+    switch (entry.type) {
+      case Type::kCounter:
+        entry.counter->Reset();
+        break;
+      case Type::kGauge:
+        entry.gauge->Reset();
+        break;
+      case Type::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+Status MetricRegistry::WritePrometheusFile(Env* env,
+                                           const std::string& path) const {
+  return WriteStringToFile(env, path, ToPrometheusText());
+}
+
+namespace internal {
+
+bool ValidMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name.substr(1)) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+namespace {
+std::string* g_metrics_env_path = nullptr;
+}  // namespace
+
+bool InitMetricsFromEnv() {
+  const char* path = std::getenv("X3_METRICS");
+  if (path == nullptr || *path == '\0') return false;
+  if (g_metrics_env_path == nullptr) g_metrics_env_path = new std::string();  // x3-lint: allow(raw-new-delete) -- leaked process singleton
+  *g_metrics_env_path = path;
+  return true;
+}
+
+void FlushMetricsAtExit() {
+  if (g_metrics_env_path == nullptr || g_metrics_env_path->empty()) return;
+  Status s = MetricRegistry::Global().WritePrometheusFile(
+      Env::Default(), *g_metrics_env_path);
+  s.IgnoreError();  // exiting: nowhere to report a late I/O failure
+}
+
+namespace {
+/// `X3_METRICS=path.txt` dumps the Prometheus text exposition of every
+/// engine metric on clean exit — no code changes needed in tests or
+/// benches (README "Observability").
+struct MetricsEnvHook {
+  MetricsEnvHook() {
+    if (InitMetricsFromEnv()) std::atexit(FlushMetricsAtExit);
+  }
+};
+MetricsEnvHook g_metrics_env_hook;
+}  // namespace
+
+}  // namespace internal
+}  // namespace x3

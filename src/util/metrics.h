@@ -1,0 +1,159 @@
+#ifndef X3_UTIL_METRICS_H_
+#define X3_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace x3 {
+
+class Env;  // util/env.h; used by pointer only
+
+/// Monotonically increasing counter. Lock-free; Increment is one
+/// relaxed fetch_add, cheap enough for every I/O call site.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written value (plus a CAS max for peak-style gauges).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// Raises the gauge to `v` if larger (peak tracking).
+  void SetMax(int64_t v) {
+    int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Histogram of non-negative values (typically seconds) over fixed
+/// exponential buckets: upper bounds 1e-6 * 4^i, covering 1 µs to ~4.6
+/// minutes, last bucket +Inf. Observe is a few relaxed atomics. The sum
+/// is accumulated in nanosecond ticks so it stays a lock-free integer
+/// (atomic<double> arithmetic is C++20).
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 14;
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const {
+    return static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+  /// Cumulative count of observations <= BucketUpperBound(i).
+  uint64_t bucket_count(size_t i) const;
+  /// +Inf (represented as infinity) for the last bucket.
+  static double BucketUpperBound(size_t i);
+
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<int64_t> sum_nanos_{0};
+};
+
+/// Process-wide registry of named metrics. Names follow the
+/// `x3_<layer>_<name>` convention (DESIGN.md §9) and the Prometheus
+/// charset `[a-zA-Z_:][a-zA-Z0-9_:]*` (checked at registration).
+///
+/// GetCounter/GetGauge/GetHistogram return a stable pointer for the
+/// process lifetime — call sites cache it in a function-local static so
+/// the hot path is just the atomic op, no map lookup. Registering the
+/// same name twice returns the same object; registering it as a
+/// different metric type is a checked error.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// The registry every engine metric lives in. Never destroyed.
+  static MetricRegistry& Global();
+
+  Counter* GetCounter(const std::string& name, const std::string& help);
+  Gauge* GetGauge(const std::string& name, const std::string& help);
+  Histogram* GetHistogram(const std::string& name, const std::string& help);
+
+  /// Prometheus text exposition format: exactly one `# HELP` and one
+  /// `# TYPE` line per metric, sorted by name.
+  std::string ToPrometheusText() const;
+
+  /// JSON object {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, buckets: [{le, count}]}}}.
+  std::string ToJson() const;
+
+  /// name -> integer value for every counter and gauge (histograms
+  /// contribute "<name>_count"). The determinism harness compares two
+  /// runs' snapshots after dropping time-valued metrics by name.
+  std::map<std::string, int64_t> SnapshotValues() const;
+
+  /// Zeroes every registered metric (objects and registration survive,
+  /// so cached pointers stay valid). Test isolation only.
+  void ResetAllForTest();
+
+  /// Writes ToPrometheusText() to `path` through `env`.
+  Status WritePrometheusFile(Env* env, const std::string& path) const;
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Type type;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* GetOrCreate(const std::string& name, const std::string& help,
+                     Type type);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+namespace internal {
+
+/// True iff `name` matches the Prometheus metric-name charset.
+bool ValidMetricName(std::string_view name);
+
+/// Re-reads the X3_METRICS environment variable; when set to a path,
+/// remembers it for FlushMetricsAtExit. Runs once at static
+/// initialization (which also registers the atexit dump); exposed so
+/// tests can drive the hook directly.
+bool InitMetricsFromEnv();
+
+/// Writes the global registry's Prometheus text to the X3_METRICS path
+/// (no-op when X3_METRICS was not set).
+void FlushMetricsAtExit();
+
+}  // namespace internal
+}  // namespace x3
+
+#endif  // X3_UTIL_METRICS_H_

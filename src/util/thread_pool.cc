@@ -4,14 +4,34 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/string_util.h"
+#include "util/trace.h"
 
 namespace x3 {
+
+namespace {
+
+Counter& TasksCounter() {
+  static Counter* c = MetricRegistry::Global().GetCounter(
+      "x3_threadpool_tasks_total", "Tasks executed by thread-pool workers");
+  return *c;
+}
+
+Histogram& QueueWaitHistogram() {
+  static Histogram* h = MetricRegistry::Global().GetHistogram(
+      "x3_threadpool_queue_wait_seconds",
+      "Time tasks spent queued before a worker picked them up");
+  return *h;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   size_t n = std::max<size_t>(num_threads, 1);
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -29,7 +49,7 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     X3_CHECK(!stopping_) << "Submit on a stopping ThreadPool";
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{std::move(task), Timer()});
   }
   cv_.notify_one();
 }
@@ -39,9 +59,13 @@ size_t ThreadPool::DefaultConcurrency() {
   return n == 0 ? 1 : static_cast<size_t>(n);
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  // Name the worker's track in the global tracer so an exported trace
+  // shows one labeled lane per pool thread in Perfetto.
+  Tracer::Global().SetCurrentThreadName(
+      StringPrintf("pool-worker-%zu", worker_index));
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -51,7 +75,9 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    QueueWaitHistogram().Observe(task.queued.ElapsedSeconds());
+    TasksCounter().Increment();
+    task.fn();
   }
 }
 

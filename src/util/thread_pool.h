@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "util/status.h"
+#include "util/timer.h"
 
 namespace x3 {
 
@@ -46,11 +47,19 @@ class ThreadPool {
   static size_t DefaultConcurrency();
 
  private:
-  void WorkerLoop();
+  /// A queued task plus its enqueue stopwatch (the
+  /// x3_threadpool_queue_wait_seconds histogram observes the gap
+  /// between Submit and the moment a worker picks the task up).
+  struct QueuedTask {
+    std::function<void()> fn;
+    Timer queued;
+  };
+
+  void WorkerLoop(size_t worker_index);
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

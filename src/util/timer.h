@@ -6,6 +6,16 @@
 
 namespace x3 {
 
+/// The engine's single monotonic clock. Every wall-clock read in src/
+/// outside this file and the tracer goes through this seam (the repo
+/// lint rule `raw-clock` enforces it), so stage timings, deadlines and
+/// trace timestamps all share one time base.
+using MonotonicClock = std::chrono::steady_clock;
+
+inline MonotonicClock::time_point MonotonicNow() {
+  return MonotonicClock::now();
+}
+
 /// Monotonic wall-clock stopwatch.
 class Timer {
  public:

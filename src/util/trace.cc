@@ -1,0 +1,245 @@
+#include "util/trace.h"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "util/env.h"
+#include "util/string_util.h"
+
+namespace x3 {
+namespace {
+
+/// The only raw monotonic-clock read outside util/timer.h (the repo
+/// lint pins both): trace timestamps and Timer share one time base.
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void AppendJsonEscaped(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StringPrintf("\\u%04x", c);
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Tracer::Tracer(size_t capacity)
+    : capacity_(capacity < 2 ? 2 : capacity) {}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // x3-lint: allow(raw-new-delete) -- intentionally leaked process singleton
+  return *tracer;
+}
+
+uint32_t Tracer::CurrentThreadId() {
+  static std::atomic<uint32_t> next_id{0};
+  thread_local uint32_t id = next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void Tracer::Record(char phase, std::string_view label) {
+  if (!enabled()) return;
+  // Timestamp before the lock: queueing delay must not inflate span
+  // durations. Per-thread timestamp order is still preserved (a thread
+  // reads its clock in program order).
+  const int64_t ts = NowMicros();
+  const uint32_t tid = CurrentThreadId();
+  std::lock_guard<std::mutex> lock(mu_);
+  Event* slot;
+  if (ring_.size() < capacity_) {
+    ring_.emplace_back();
+    slot = &ring_.back();
+  } else {
+    slot = &ring_[next_];
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++total_;
+  size_t len = label.size() < kMaxLabel ? label.size() : kMaxLabel;
+  std::memcpy(slot->label, label.data(), len);
+  slot->label[len] = '\0';
+  slot->ts_us = ts;
+  slot->tid = tid;
+  slot->phase = phase;
+}
+
+void Tracer::SetCurrentThreadName(std::string_view name) {
+  const uint32_t tid = CurrentThreadId();
+  std::lock_guard<std::mutex> lock(mu_);
+  thread_names_[tid] = std::string(name);
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+  thread_names_.clear();
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ > ring_.size() ? total_ - ring_.size() : 0;
+}
+
+std::vector<Tracer::Event> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  if (total_ <= capacity_) {
+    out = ring_;
+  } else {
+    // Ring has wrapped: the oldest surviving event sits at next_.
+    out.insert(out.end(), ring_.begin() + static_cast<ptrdiff_t>(next_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<ptrdiff_t>(next_));
+  }
+  return out;
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  std::vector<Event> events = snapshot();
+  std::map<uint32_t, std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    names = thread_names_;
+  }
+
+  // Repair pass: ring overwrite can leave an 'E' whose 'B' was lost
+  // (drop it) or a 'B' whose 'E' is still pending at export time
+  // (synthesize an 'E' at the thread's last timestamp). After this
+  // every emitted event participates in a matched, properly nested
+  // per-thread B/E pairing.
+  std::map<uint32_t, std::vector<size_t>> open;  // tid -> stack of B indexes
+  std::map<uint32_t, int64_t> last_ts;
+  std::vector<bool> keep(events.size(), true);
+  for (size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    last_ts[e.tid] = e.ts_us;
+    if (e.phase == 'B') {
+      open[e.tid].push_back(i);
+    } else if (open[e.tid].empty()) {
+      keep[i] = false;  // orphan end: its begin was overwritten
+    } else {
+      open[e.tid].pop_back();
+    }
+  }
+  std::vector<Event> synthesized;
+  for (auto& [tid, stack] : open) {
+    // Close innermost-first so the synthesized ends nest correctly.
+    for (size_t j = stack.size(); j-- > 0;) {
+      Event e = events[stack[j]];
+      e.phase = 'E';
+      e.ts_us = last_ts[tid];
+      synthesized.push_back(e);
+    }
+  }
+
+  int64_t base_ts = 0;
+  bool have_base = false;
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (keep[i] && (!have_base || events[i].ts_us < base_ts)) {
+      base_ts = events[i].ts_us;
+      have_base = true;
+    }
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [tid, name] : names) {
+    if (!first) out += ",";
+    first = false;
+    out += StringPrintf(
+        "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%u,"
+        "\"args\":{\"name\":\"",
+        tid);
+    AppendJsonEscaped(name, &out);
+    out += "\"}}";
+  }
+  auto emit = [&](const Event& e) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":\"";
+    AppendJsonEscaped(e.label, &out);
+    out += StringPrintf(
+        "\",\"cat\":\"x3\",\"ph\":\"%c\",\"ts\":%lld,\"pid\":1,\"tid\":%u}",
+        e.phase, static_cast<long long>(e.ts_us - base_ts), e.tid);
+  };
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (keep[i]) emit(events[i]);
+  }
+  for (const Event& e : synthesized) emit(e);
+  out += "\n]}\n";
+  return out;
+}
+
+Status Tracer::WriteChromeTrace(Env* env, const std::string& path) const {
+  return WriteStringToFile(env, path, ToChromeTraceJson());
+}
+
+namespace internal {
+
+namespace {
+/// Path from X3_TRACE at startup; empty = not configured.
+std::string* g_trace_env_path = nullptr;
+}  // namespace
+
+bool InitTraceFromEnv() {
+  const char* path = std::getenv("X3_TRACE");
+  if (path == nullptr || *path == '\0') return false;
+  if (g_trace_env_path == nullptr) g_trace_env_path = new std::string();  // x3-lint: allow(raw-new-delete) -- leaked process singleton
+  *g_trace_env_path = path;
+  Tracer::Global().SetEnabled(true);
+  return true;
+}
+
+void FlushTraceAtExit() {
+  if (g_trace_env_path == nullptr || g_trace_env_path->empty()) return;
+  Status s = Tracer::Global().WriteChromeTrace(Env::Default(),
+                                               *g_trace_env_path);
+  s.IgnoreError();  // exiting: nowhere to report a late I/O failure
+}
+
+namespace {
+/// `X3_TRACE=path.json` enables the global tracer for the whole process
+/// and dumps a Chrome trace to `path.json` on clean exit — zero code
+/// changes needed in tests or benches (README "Observability").
+struct TraceEnvHook {
+  TraceEnvHook() {
+    if (InitTraceFromEnv()) std::atexit(FlushTraceAtExit);
+  }
+};
+TraceEnvHook g_trace_env_hook;
+}  // namespace
+
+}  // namespace internal
+}  // namespace x3

@@ -1,0 +1,191 @@
+#ifndef X3_UTIL_TRACE_H_
+#define X3_UTIL_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace x3 {
+
+class Env;  // util/env.h; used by pointer only
+
+/// Span tracer: a bounded ring buffer of begin/end events with thread
+/// ids, exportable as Chrome `trace_event` JSON (loadable in Perfetto
+/// and chrome://tracing). Spans nest: each X3_TRACE_SPAN scope emits a
+/// 'B' event at entry and an 'E' event at exit on the recording thread,
+/// and the exporter pairs them per thread into duration slices.
+///
+/// Cost model (see DESIGN.md §9): recording is runtime-gated by one
+/// relaxed atomic load — a disabled tracer costs one predictable branch
+/// per span. An enabled tracer takes a mutex per event; spans are
+/// placed at stage granularity (per cuboid, per sort, per spill), never
+/// per row, so the lock is uncontended in practice. When the ring is
+/// full the oldest events are overwritten (newest-wins, like a flight
+/// recorder); `dropped()` reports how many were lost and the exporter
+/// repairs the resulting orphan begin/end events so the JSON is always
+/// well-formed.
+///
+/// Thread-safe for concurrent Begin/End/SetCurrentThreadName; Clear()
+/// and the exporters take the same mutex, so they may run concurrently
+/// with recording too (they see a consistent snapshot).
+class Tracer {
+ public:
+  /// Labels longer than this are truncated (stored inline, no
+  /// allocation on the recording path).
+  static constexpr size_t kMaxLabel = 47;
+
+  /// Default ring capacity, in events. A full cube run over the paper's
+  /// 7-axis lattice emits on the order of 10^4 span events; 1<<16
+  /// leaves an order of magnitude of headroom while bounding the ring
+  /// at a few MiB.
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  struct Event {
+    char label[kMaxLabel + 1];  // NUL-terminated, possibly truncated
+    int64_t ts_us;              // monotonic-clock microseconds
+    uint32_t tid;               // small per-thread id (CurrentThreadId)
+    char phase;                 // 'B' = span begin, 'E' = span end
+  };
+
+  explicit Tracer(size_t capacity = kDefaultCapacity);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The process-wide tracer every X3_TRACE_SPAN without an explicit
+  /// context records into. Never destroyed.
+  static Tracer& Global();
+
+  /// Recording gate. Disabled (the default) makes Begin/End a single
+  /// relaxed load; events already in the ring are kept.
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void Begin(std::string_view label) { Record('B', label); }
+  void End(std::string_view label) { Record('E', label); }
+
+  /// Names the calling thread's track in the exported trace (Chrome
+  /// "thread_name" metadata). Recorded even while disabled: threads are
+  /// usually created before tracing is switched on.
+  void SetCurrentThreadName(std::string_view name);
+
+  /// Drops all recorded events, thread names and the dropped count.
+  void Clear();
+
+  /// Events currently held (<= capacity).
+  size_t size() const;
+  /// Events overwritten because the ring was full.
+  uint64_t dropped() const;
+  /// Copy of the held events, oldest first.
+  std::vector<Event> snapshot() const;
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}): one matched
+  /// B/E pair per surviving span, timestamps rebased to the earliest
+  /// event, plus thread_name metadata. Orphans from ring overwrite are
+  /// repaired: an end without a begin is dropped, a begin without an
+  /// end is closed at its thread's last timestamp — so the output
+  /// always satisfies the pairing/monotonicity invariants the golden
+  /// tests check.
+  std::string ToChromeTraceJson() const;
+
+  /// Writes ToChromeTraceJson() to `path` through `env`.
+  Status WriteChromeTrace(Env* env, const std::string& path) const;
+
+  /// Small dense id of the calling thread (0, 1, 2, ... in first-use
+  /// order). Stable for the thread's lifetime.
+  static uint32_t CurrentThreadId();
+
+ private:
+  void Record(char phase, std::string_view label);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  const size_t capacity_;
+  std::vector<Event> ring_;  // grows to capacity_, then wraps
+  size_t next_ = 0;          // ring slot of the next event
+  uint64_t total_ = 0;       // events ever recorded
+  std::map<uint32_t, std::string> thread_names_;
+};
+
+#if defined(X3_ENABLE_TRACING)
+
+/// RAII span: emits `label` begin at construction and end at scope
+/// exit into `tracer`. Null or disabled tracer = no events. The label
+/// is copied inline (no allocation), truncated to Tracer::kMaxLabel.
+class TraceSpan {
+ public:
+  TraceSpan(Tracer* tracer, std::string_view label)
+      : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr) {
+    if (tracer_ != nullptr) {
+      len_ = label.size() < Tracer::kMaxLabel ? label.size()
+                                              : Tracer::kMaxLabel;
+      std::memcpy(label_, label.data(), len_);
+      tracer_->Begin(std::string_view(label_, len_));
+    }
+  }
+  ~TraceSpan() {
+    if (tracer_ != nullptr) tracer_->End(std::string_view(label_, len_));
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  size_t len_ = 0;
+  char label_[Tracer::kMaxLabel];
+};
+
+#else  // !X3_ENABLE_TRACING
+
+/// Tracing compiled out (X3_ENABLE_TRACING off): the span type is an
+/// empty object with inline empty ctor/dtor, so every X3_TRACE_SPAN
+/// compiles to nothing — the disabled-build guarantee of DESIGN.md §9.
+/// The Tracer class itself stays available (exporters are still
+/// testable); only span recording vanishes.
+class TraceSpan {
+ public:
+  TraceSpan(Tracer*, std::string_view) {}
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+};
+
+#endif  // X3_ENABLE_TRACING
+
+#define X3_TRACE_CONCAT_INNER(a, b) a##b
+#define X3_TRACE_CONCAT(a, b) X3_TRACE_CONCAT_INNER(a, b)
+
+/// Opens a nestable trace span for the rest of the enclosing scope:
+///   X3_TRACE_SPAN(ctx->tracer(), "compute");
+///   X3_TRACE_SPAN(&Tracer::Global(), "spill");
+/// Compiles to a no-op when X3_ENABLE_TRACING is off.
+#define X3_TRACE_SPAN(tracer, label)                               \
+  ::x3::TraceSpan X3_TRACE_CONCAT(x3_trace_span_, __LINE__)((tracer), \
+                                                            (label))
+
+namespace internal {
+
+/// Re-reads the X3_TRACE environment variable; when set to a path,
+/// enables the global tracer and remembers the path for FlushTraceAtExit.
+/// Runs once at static initialization (which also registers the atexit
+/// dump); exposed so tests can drive the hook directly.
+bool InitTraceFromEnv();
+
+/// Writes the global tracer's Chrome trace to the X3_TRACE path
+/// (no-op when X3_TRACE was not set).
+void FlushTraceAtExit();
+
+}  // namespace internal
+}  // namespace x3
+
+#endif  // X3_UTIL_TRACE_H_

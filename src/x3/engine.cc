@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <utility>
 
 #include "util/timer.h"
 #include "x3/binder.h"
@@ -42,11 +43,21 @@ Result<X3ExecutionResult> X3Engine::ExecuteQuery(
 
   Timer timer;
   X3_RETURN_IF_ERROR(ctx->CheckInterrupted());
-  X3_ASSIGN_OR_RETURN(CubeLattice lattice, BuildCubeLattice(query));
-  X3_ASSIGN_OR_RETURN(FactTable facts,
-                      BuildFactTable(*db_, query, lattice));
+  // The stage timer records "materialize" (with the fact count as its
+  // row detail) and opens the pipeline's first trace span.
+  Result<std::pair<CubeLattice, FactTable>> materialized =
+      [&]() -> Result<std::pair<CubeLattice, FactTable>> {
+    ScopedStageTimer stage(ctx->stats(), "materialize", ctx->tracer());
+    X3_ASSIGN_OR_RETURN(CubeLattice lattice, BuildCubeLattice(query));
+    X3_ASSIGN_OR_RETURN(FactTable facts,
+                        BuildFactTable(*db_, query, lattice));
+    stage.AddRows(facts.size());
+    return std::make_pair(std::move(lattice), std::move(facts));
+  }();
+  X3_RETURN_IF_ERROR(materialized.status());
+  CubeLattice lattice = std::move(materialized->first);
+  FactTable facts = std::move(materialized->second);
   double materialize_seconds = timer.ElapsedSeconds();
-  ctx->stats()->Record("materialize", materialize_seconds);
 
   // The materialized fact table is working memory of the query: charge
   // it for the duration of the cube computation so peak_memory reflects
@@ -75,6 +86,19 @@ Result<X3ExecutionResult> X3Engine::ExecuteQuery(
   result.plan_seconds = ctx->stats()->TotalSeconds("plan");
   result.stage_timings = ctx->stats()->timings();
   return result;
+}
+
+Result<std::string> X3Engine::ExplainAnalyze(std::string_view query_text,
+                                             CubeAlgorithm algorithm,
+                                             CubeComputeOptions options) const {
+  X3_ASSIGN_OR_RETURN(CubeQuery query, Compile(query_text));
+  options.aggregate = query.aggregate;
+  if (query.min_count > options.min_count) {
+    options.min_count = query.min_count;
+  }
+  X3_ASSIGN_OR_RETURN(CubeLattice lattice, BuildCubeLattice(query));
+  X3_ASSIGN_OR_RETURN(FactTable facts, BuildFactTable(*db_, query, lattice));
+  return ExplainAnalyzeCube(algorithm, facts, lattice, options);
 }
 
 }  // namespace x3

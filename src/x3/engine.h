@@ -88,6 +88,14 @@ class X3Engine {
                                          CubeAlgorithm algorithm,
                                          CubeComputeOptions options) const;
 
+  /// EXPLAIN ANALYZE: compiles and runs the full pipeline, then renders
+  /// the cube plan annotated with per-step actual time, rows and spill
+  /// I/O (see ExplainAnalyzeCube in cube/algorithm.h). Costs a real
+  /// execution.
+  Result<std::string> ExplainAnalyze(
+      std::string_view query_text, CubeAlgorithm algorithm,
+      CubeComputeOptions options = CubeComputeOptions{}) const;
+
  private:
   Database* db_;
 };
