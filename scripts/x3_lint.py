@@ -42,6 +42,13 @@ Rules (see docs/STATIC_ANALYSIS.md for the rationale):
                      src/util/trace.cc: all timing goes through
                      Timer/MonotonicNow so stage timings and trace
                      timestamps share one time base behind one seam.
+  raw-mutex          No bare std::mutex / std::condition_variable /
+                     std::lock_guard / std::unique_lock (or their timed/
+                     recursive/shared cousins) in src/ outside
+                     src/util/thread_annotations.*: every lock is an
+                     annotated x3::Mutex so clang -Wthread-safety sees
+                     it and the debug lock-order detector ranks it.
+                     (Tests may use raw primitives to build fixtures.)
 
 A finding can be suppressed with a trailing comment naming the rule:
     some_call();  // x3-lint: allow(raw-new-delete) -- justification
@@ -82,6 +89,13 @@ REMOVE_FILE = re.compile(
 RAW_CLOCK = re.compile(
     r"(?:steady_clock|system_clock|high_resolution_clock|\bClock)\s*::\s*"
     r"now\s*\(")
+# Raw locking primitives. x3::Mutex/MutexLock/CondVar
+# (util/thread_annotations.h) are the only lock types allowed in src/:
+# they carry the capability annotations and the lock-order rank.
+RAW_MUTEX = re.compile(
+    r"std\s*::\s*(?:(?:timed_|recursive_|recursive_timed_|shared_)?mutex\b|"
+    r"condition_variable(?:_any)?\b|"
+    r"(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b)")
 ALLOW = re.compile(r"x3-lint:\s*allow\(([\w-]+)\)")
 
 
@@ -138,6 +152,7 @@ class Linter:
         is_thread_pool = rel.startswith("src/util/thread_pool.")
         is_env = rel.startswith("src/util/env.")
         is_clock_seam = rel in ("src/util/timer.h", "src/util/trace.cc")
+        is_lock_seam = rel.startswith("src/util/thread_annotations.")
         with open(path, encoding="utf-8", errors="replace") as f:
             lines = f.readlines()
 
@@ -205,6 +220,11 @@ class Linter:
                 self.report(path, lineno, "raw-clock",
                             "raw clock read in src/; use Timer or "
                             "MonotonicNow (util/timer.h)", raw)
+            if in_src and not is_lock_seam and RAW_MUTEX.search(code):
+                self.report(path, lineno, "raw-mutex",
+                            "raw std::mutex/condition_variable/lock in src/; "
+                            "use x3::Mutex/MutexLock/CondVar "
+                            "(util/thread_annotations.h)", raw)
             if in_src and not is_logging_h and BARE_ASSERT.search(code):
                 self.report(path, lineno, "bare-assert",
                             "bare assert(); use X3_CHECK (always on) or "

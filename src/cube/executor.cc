@@ -1,12 +1,11 @@
 #include "cube/executor.h"
 
 #include <algorithm>
-#include <condition_variable>
-#include <mutex>
 #include <utility>
 
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace x3 {
@@ -54,8 +53,12 @@ Status RunPlanTasks(std::vector<PlanTask> tasks, size_t parallelism,
   std::vector<Status> statuses(n, Status::OK());
 
   ThreadPool pool(std::min(parallelism, n));
-  std::mutex mu;
-  std::condition_variable cv;
+  // Scheduler lock. Local, so GUARDED_BY cannot name it (the analysis
+  // only tracks members/globals); the rank still orders it below the
+  // pool lock — Submit from the completion handler is the one legal
+  // nesting direction.
+  Mutex mu{lock_rank::kExecutorScheduler};
+  CondVar cv;
   size_t completed = 0;
   size_t inflight = 0;
   bool failed = false;
@@ -71,7 +74,7 @@ Status RunPlanTasks(std::vector<PlanTask> tasks, size_t parallelism,
     pool.Submit([&, i] {
       PlanTasksCounter().Increment();
       Status s = tasks[i].run(&task_stats[i]);
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(&mu);
       statuses[i] = std::move(s);
       ++completed;
       --inflight;
@@ -81,16 +84,16 @@ Status RunPlanTasks(std::vector<PlanTask> tasks, size_t parallelism,
           if (--blockers[d] == 0) submit(d);
         }
       }
-      cv.notify_all();
+      cv.NotifyAll();
     });
   };
 
   {
-    std::unique_lock<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     for (size_t i = 0; i < n; ++i) {
       if (blockers[i] == 0) submit(i);
     }
-    cv.wait(lock, [&] {
+    cv.Wait(&mu, [&] {
       return inflight == 0 && (failed || completed == n);
     });
   }

@@ -58,12 +58,15 @@ Status CubeViewStore::Materialize(CuboidId cuboid, bool with_fact_ids) {
     }
   }
   // Fact lists are built in ascending f, so they are sorted & distinct
-  // already (a fact enters a given cell at most once).
+  // already (a fact enters a given cell at most once). Publish under
+  // the lock; the whole build above ran on private state.
+  MutexLock lock(&mu_);
   views_[cuboid] = std::move(view);
   return Status::OK();
 }
 
 size_t CubeViewStore::ApproxBytes() const {
+  MutexLock lock(&mu_);
   size_t bytes = 0;
   for (const auto& [id, view] : views_) {
     for (const auto& [key, cell] : view.cells) {
@@ -115,6 +118,10 @@ Result<std::unordered_map<GroupKey, AggregateState>> CubeViewStore::Answer(
 
   std::unordered_map<GroupKey, AggregateState> out;
 
+  // View selection and roll-up hold mu_ (`best` points into views_);
+  // the base-table fallback below runs unlocked.
+  {
+  MutexLock lock(&mu_);
   // Candidate views: prefer exact, then the smallest usable ancestor.
   const View* best = nullptr;
   CuboidId best_id = 0;
@@ -151,7 +158,56 @@ Result<std::unordered_map<GroupKey, AggregateState>> CubeViewStore::Answer(
     }
   }
 
-  if (best == nullptr) {
+  if (best != nullptr) {
+    st->source_view = best_id;
+    if (best_exact) {
+      st->strategy = ViewStrategy::kExact;
+    } else {
+      st->strategy = best_needs_ids ? ViewStrategy::kRollupWithIds
+                                    : ViewStrategy::kRollup;
+    }
+
+    // Roll up: project each non-null view cell onto the kept fields.
+    std::unordered_map<GroupKey, std::vector<uint32_t>> fact_sets;
+    for (const auto& [key, cell] : best->cells) {
+      ++st->view_cells_scanned;
+      GroupKey target_key;
+      target_key.reserve(best_kept.size() * 4);
+      bool has_null = false;
+      for (size_t pos : best_kept) {
+        std::string_view field(key.data() + pos * 4, 4);
+        if (field == std::string_view("\xFF\xFF\xFF\xFF", 4)) {
+          has_null = true;
+          break;
+        }
+        target_key.append(field);
+      }
+      if (has_null) continue;
+      // Dropped-axis null cells DO contribute (the fact belongs to the
+      // target group even though the dropped axis was missing).
+      if (best_needs_ids) {
+        auto& set = fact_sets[target_key];
+        set.insert(set.end(), cell.facts.begin(), cell.facts.end());
+      } else {
+        out[target_key].Merge(cell.agg);
+      }
+    }
+    if (best_needs_ids) {
+      for (auto& [key, set] : fact_sets) {
+        std::sort(set.begin(), set.end());
+        set.erase(std::unique(set.begin(), set.end()), set.end());
+        AggregateState& agg = out[key];
+        for (uint32_t f : set) {
+          agg.Update(facts_->measure(f));
+          ++st->facts_scanned;
+        }
+      }
+    }
+    return out;
+  }
+  }
+
+  {
     // Fall back to the base table.
     st->strategy = ViewStrategy::kBase;
     std::vector<size_t> present = lattice_->PresentAxes(target);
@@ -186,52 +242,6 @@ Result<std::unordered_map<GroupKey, AggregateState>> CubeViewStore::Answer(
     }
     return out;
   }
-
-  st->source_view = best_id;
-  if (best_exact) {
-    st->strategy = ViewStrategy::kExact;
-  } else {
-    st->strategy = best_needs_ids ? ViewStrategy::kRollupWithIds
-                                  : ViewStrategy::kRollup;
-  }
-
-  // Roll up: project each non-null view cell onto the kept fields.
-  std::unordered_map<GroupKey, std::vector<uint32_t>> fact_sets;
-  for (const auto& [key, cell] : best->cells) {
-    ++st->view_cells_scanned;
-    GroupKey target_key;
-    target_key.reserve(best_kept.size() * 4);
-    bool has_null = false;
-    for (size_t pos : best_kept) {
-      std::string_view field(key.data() + pos * 4, 4);
-      if (field == std::string_view("\xFF\xFF\xFF\xFF", 4)) {
-        has_null = true;
-        break;
-      }
-      target_key.append(field);
-    }
-    if (has_null) continue;
-    // Dropped-axis null cells DO contribute (the fact belongs to the
-    // target group even though the dropped axis was missing).
-    if (best_needs_ids) {
-      auto& set = fact_sets[target_key];
-      set.insert(set.end(), cell.facts.begin(), cell.facts.end());
-    } else {
-      out[target_key].Merge(cell.agg);
-    }
-  }
-  if (best_needs_ids) {
-    for (auto& [key, set] : fact_sets) {
-      std::sort(set.begin(), set.end());
-      set.erase(std::unique(set.begin(), set.end()), set.end());
-      AggregateState& agg = out[key];
-      for (uint32_t f : set) {
-        agg.Update(facts_->measure(f));
-        ++st->facts_scanned;
-      }
-    }
-  }
-  return out;
 }
 
 }  // namespace x3

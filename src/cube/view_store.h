@@ -12,6 +12,7 @@
 #include "relax/cube_lattice.h"
 #include "schema/summarizability.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace x3 {
 
@@ -54,6 +55,14 @@ struct ViewComputeStats {
 /// an LND-ancestor view rolled up without ids when the dropped axes are
 /// provably disjoint; an id-carrying ancestor with fact-set union; or
 /// the base table.
+///
+/// Thread safety: the view map is guarded by `mu_` (rank
+/// lock_rank::kViewStore), so concurrent Answer() calls — the shared
+/// cuboid-cache shape the serving layer needs — are safe, including
+/// against a concurrent Materialize(). Materialize builds the view
+/// outside the lock and only publishes under it; Answer's base-table
+/// fallback also runs unlocked (it touches only the immutable fact
+/// table and lattice).
 class CubeViewStore {
  public:
   /// Both referents must outlive the store.
@@ -66,15 +75,19 @@ class CubeViewStore {
   /// Materializes `cuboid` from the base table (with null-value groups;
   /// fact ids retained when `with_fact_ids`). Re-materializing replaces
   /// the view.
-  Status Materialize(CuboidId cuboid, bool with_fact_ids);
+  Status Materialize(CuboidId cuboid, bool with_fact_ids) X3_EXCLUDES(mu_);
 
-  bool Contains(CuboidId cuboid) const {
+  bool Contains(CuboidId cuboid) const X3_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return views_.count(cuboid) > 0;
   }
-  size_t num_views() const { return views_.size(); }
+  size_t num_views() const X3_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return views_.size();
+  }
 
   /// Approximate memory held by materialized views.
-  size_t ApproxBytes() const;
+  size_t ApproxBytes() const X3_EXCLUDES(mu_);
 
   /// Computes the cells of `target` (no null groups — the real cuboid)
   /// using the best available strategy. `properties` may be null
@@ -82,7 +95,7 @@ class CubeViewStore {
   Result<std::unordered_map<GroupKey, AggregateState>> Answer(
       CuboidId target, AggregateFunction fn,
       const LatticeProperties* properties = nullptr,
-      ViewComputeStats* stats = nullptr) const;
+      ViewComputeStats* stats = nullptr) const X3_EXCLUDES(mu_);
 
  private:
   struct ViewCell {
@@ -111,7 +124,8 @@ class CubeViewStore {
 
   const FactTable* facts_;
   const CubeLattice* lattice_;
-  std::unordered_map<CuboidId, View> views_;
+  mutable Mutex mu_{lock_rank::kViewStore};
+  std::unordered_map<CuboidId, View> views_ X3_GUARDED_BY(mu_);
 };
 
 }  // namespace x3

@@ -48,13 +48,13 @@ PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
 
 const Page& PageHandle::page() const {
   X3_CHECK(pool_ != nullptr);
-  return pool_->frames_[frame_].page;
+  return pool_->PinnedPage(frame_);
 }
 
 Page& PageHandle::MutablePage() {
   X3_CHECK(pool_ != nullptr);
   pool_->MarkDirty(frame_);
-  return pool_->frames_[frame_].page;
+  return pool_->PinnedPage(frame_);
 }
 
 void PageHandle::Release() {
@@ -81,6 +81,7 @@ BufferPool::~BufferPool() {
 }
 
 Result<PageHandle> BufferPool::Fetch(PageId id) {
+  MutexLock lock(&mu_);
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     ++stats_.hits;
@@ -112,6 +113,10 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
 }
 
 Result<PageHandle> BufferPool::New() {
+  // Allocate under mu_ too: every PageFile call the pool makes is
+  // serialized by this lock, which is what makes the underlying file
+  // safe to share between concurrent workers.
+  MutexLock lock(&mu_);
   X3_ASSIGN_OR_RETURN(PageId id, file_->AllocatePage());
   X3_ASSIGN_OR_RETURN(size_t frame, GrabFrame());
   Frame& f = frames_[frame];
@@ -125,6 +130,7 @@ Result<PageHandle> BufferPool::New() {
 }
 
 Status BufferPool::FlushAll() {
+  MutexLock lock(&mu_);
   for (size_t i = 0; i < frames_.size(); ++i) {
     Frame& f = frames_[i];
     if (f.page_id != kInvalidPageId && f.dirty) {
@@ -137,7 +143,13 @@ Status BufferPool::FlushAll() {
   return file_->Flush();
 }
 
+BufferPoolStats BufferPool::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
 void BufferPool::Unpin(size_t frame) {
+  MutexLock lock(&mu_);
   Frame& f = frames_[frame];
   X3_CHECK(f.pin_count > 0) << "unpin of unpinned frame";
   if (--f.pin_count == 0) {
@@ -146,9 +158,13 @@ void BufferPool::Unpin(size_t frame) {
   }
 }
 
-void BufferPool::MarkDirty(size_t frame) { frames_[frame].dirty = true; }
+void BufferPool::MarkDirty(size_t frame) {
+  MutexLock lock(&mu_);
+  frames_[frame].dirty = true;
+}
 
 Result<size_t> BufferPool::GrabFrame() {
+  mu_.AssertHeld();
   if (!free_frames_.empty()) {
     size_t frame = free_frames_.back();
     free_frames_.pop_back();

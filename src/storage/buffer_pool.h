@@ -11,6 +11,7 @@
 #include "storage/page_file.h"
 #include "util/result.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace x3 {
 
@@ -64,6 +65,19 @@ struct BufferPoolStats {
 /// pool over 8 KB pages) imposes on the cube algorithms: all base-data
 /// and intermediate-file access goes through here, so page hit/miss
 /// counts give a machine-independent I/O cost alongside wall-clock time.
+///
+/// Thread safety: the page table, LRU list, free list and stats are
+/// guarded by `mu_` (rank lock_rank::kBufferPool), so Fetch/New/
+/// FlushAll and handle release may be called from concurrent workers.
+/// Page *payload* access via a PageHandle deliberately bypasses the
+/// lock: a pinned frame is never evicted or reused, `frames_` is never
+/// resized after construction, and writers of the same page must
+/// coordinate among themselves (same rule as before the pool was
+/// lock-protected). Disk I/O for misses/evictions currently happens
+/// with `mu_` held — acceptable at the engine's stage-granular
+/// concurrency; a future serving layer would split the lock. See
+/// docs/STATIC_ANALYSIS.md §7 for the annotation macros and the full
+/// lock-rank table.
 class BufferPool {
  public:
   /// Creates a pool of `capacity` frames over `file` (not owned; must
@@ -76,17 +90,19 @@ class BufferPool {
 
   /// Fetches page `id`, reading from disk on miss. Fails with
   /// ResourceExhausted when every frame is pinned.
-  Result<PageHandle> Fetch(PageId id);
+  Result<PageHandle> Fetch(PageId id) X3_EXCLUDES(mu_);
 
   /// Allocates a fresh page in the file and returns it pinned (zeroed,
   /// dirty).
-  Result<PageHandle> New();
+  Result<PageHandle> New() X3_EXCLUDES(mu_);
 
   /// Writes back all dirty frames.
-  Status FlushAll();
+  Status FlushAll() X3_EXCLUDES(mu_);
 
   size_t capacity() const { return capacity_; }
-  const BufferPoolStats& stats() const { return stats_; }
+  /// Snapshot of the traffic counters (by value: the counters are
+  /// guarded, a reference would escape the lock).
+  BufferPoolStats stats() const X3_EXCLUDES(mu_);
   PageFile* file() { return file_; }
 
  private:
@@ -102,19 +118,28 @@ class BufferPool {
     bool in_lru = false;
   };
 
-  void Unpin(size_t frame);
-  void MarkDirty(size_t frame);
+  void Unpin(size_t frame) X3_EXCLUDES(mu_);
+  void MarkDirty(size_t frame) X3_EXCLUDES(mu_);
   /// Finds a frame for a new resident page, evicting if needed.
-  Result<size_t> GrabFrame();
+  Result<size_t> GrabFrame() X3_REQUIRES(mu_);
+  /// Payload of a pinned frame. Outside the analysis on purpose: pin
+  /// protection (not mu_) is what makes the access safe — see the
+  /// class comment.
+  Page& PinnedPage(size_t frame) X3_NO_THREAD_SAFETY_ANALYSIS {
+    return frames_[frame].page;
+  }
 
   PageFile* file_;
   size_t capacity_;
-  std::vector<Frame> frames_;
-  std::vector<size_t> free_frames_;
-  std::unordered_map<PageId, size_t> page_table_;
+  mutable Mutex mu_{lock_rank::kBufferPool};
+  /// Sized once in the constructor, never resized: PinnedPage indexes
+  /// it without the lock under pin protection.
+  std::vector<Frame> frames_ X3_GUARDED_BY(mu_);
+  std::vector<size_t> free_frames_ X3_GUARDED_BY(mu_);
+  std::unordered_map<PageId, size_t> page_table_ X3_GUARDED_BY(mu_);
   /// Unpinned frames, least recently used first.
-  std::list<size_t> lru_;
-  BufferPoolStats stats_;
+  std::list<size_t> lru_ X3_GUARDED_BY(mu_);
+  BufferPoolStats stats_ X3_GUARDED_BY(mu_);
 };
 
 }  // namespace x3

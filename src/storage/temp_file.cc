@@ -27,7 +27,7 @@ TempFileManager::~TempFileManager() {
   // external quiescence anyway.
   std::vector<std::string> paths;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     paths.swap(owned_paths_);
   }
   for (const std::string& p : paths) {
@@ -40,12 +40,12 @@ void TempFileManager::RemoveAndCount(const std::string& path) {
   if (s.ok() || s.code() == StatusCode::kNotFound) return;
   X3_LOG(Warning) << "temp file removal failed (possible leak): "
                   << s.ToString();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++remove_failures_;
 }
 
 std::string TempFileManager::NextPath(const std::string& tag) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string path =
       StringPrintf("%s/x3-%d-%llu.%s.tmp", base_dir_.c_str(),
                    static_cast<int>(::getpid()),
@@ -56,7 +56,7 @@ std::string TempFileManager::NextPath(const std::string& tag) {
 
 void TempFileManager::Remove(const std::string& path) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     owned_paths_.erase(
         std::remove(owned_paths_.begin(), owned_paths_.end(), path),
         owned_paths_.end());
@@ -65,12 +65,12 @@ void TempFileManager::Remove(const std::string& path) {
 }
 
 size_t TempFileManager::created_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return counter_;
 }
 
-uint64_t TempFileManager::remove_failures() const {
-  std::lock_guard<std::mutex> lock(mu_);
+uint64_t TempFileManager::failed_removes() const {
+  MutexLock lock(&mu_);
   return remove_failures_;
 }
 

@@ -2,11 +2,11 @@
 #define X3_STORAGE_TEMP_FILE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/env.h"
+#include "util/thread_annotations.h"
 
 namespace x3 {
 
@@ -31,31 +31,32 @@ class TempFileManager {
 
   /// Returns a fresh path like <base>/x3-<pid>-<n>.<tag>.tmp. The file
   /// is not created; the path is recorded for cleanup.
-  std::string NextPath(const std::string& tag);
+  std::string NextPath(const std::string& tag) X3_EXCLUDES(mu_);
 
   /// Deletes a file early and stops tracking it.
-  void Remove(const std::string& path);
+  void Remove(const std::string& path) X3_EXCLUDES(mu_);
 
   const std::string& base_dir() const { return base_dir_; }
   Env* env() const { return env_; }
-  size_t created_count() const;
+  size_t created_count() const X3_EXCLUDES(mu_);
 
   /// Removals (explicit or at destruction) that failed for a reason
   /// other than the file never having been created. A non-zero count
-  /// means temp files may have leaked on disk.
-  uint64_t remove_failures() const;
+  /// means temp files may have leaked on disk; the fault-sweep harness
+  /// asserts zero at the end of every healthy-env lane.
+  uint64_t failed_removes() const X3_EXCLUDES(mu_);
 
  private:
   /// Removes `path` via the env, counting real failures. NotFound is
   /// success: NextPath hands out paths before any file exists.
-  void RemoveAndCount(const std::string& path);
+  void RemoveAndCount(const std::string& path) X3_EXCLUDES(mu_);
 
   Env* env_;
   std::string base_dir_;
-  mutable std::mutex mu_;
-  uint64_t counter_ = 0;
-  uint64_t remove_failures_ = 0;
-  std::vector<std::string> owned_paths_;
+  mutable Mutex mu_{lock_rank::kTempFileManager};
+  uint64_t counter_ X3_GUARDED_BY(mu_) = 0;
+  uint64_t remove_failures_ X3_GUARDED_BY(mu_) = 0;
+  std::vector<std::string> owned_paths_ X3_GUARDED_BY(mu_);
 };
 
 }  // namespace x3

@@ -18,6 +18,7 @@ bool LabelMatches(const std::string& label, std::string_view query) {
 }  // namespace
 
 StageTiming* StatsSink::EntryLocked(std::string_view label) {
+  mu_.AssertHeld();
   auto it = index_.find(std::string(label));
   if (it != index_.end()) return &timings_[it->second];
   StageTiming entry;
@@ -29,7 +30,7 @@ StageTiming* StatsSink::EntryLocked(std::string_view label) {
 
 void StatsSink::Record(std::string_view label, double seconds, uint64_t rows,
                        uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   StageTiming* entry = EntryLocked(label);
   entry->seconds += seconds;
   entry->max_seconds = std::max(entry->max_seconds, seconds);
@@ -43,10 +44,10 @@ void StatsSink::Append(const StatsSink& other) {
   // two locks; self-append is not a use case).
   std::vector<StageTiming> copied;
   {
-    std::lock_guard<std::mutex> lock(other.mu_);
+    MutexLock lock(&other.mu_);
     copied = other.timings_;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const StageTiming& t : copied) {
     StageTiming* entry = EntryLocked(t.label);
     entry->seconds += t.seconds;
@@ -58,7 +59,7 @@ void StatsSink::Append(const StatsSink& other) {
 }
 
 double StatsSink::TotalSeconds(std::string_view label) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   double total = 0;
   for (const StageTiming& t : timings_) {
     if (LabelMatches(t.label, label)) total += t.seconds;
@@ -67,7 +68,7 @@ double StatsSink::TotalSeconds(std::string_view label) const {
 }
 
 size_t StatsSink::CountStages(std::string_view label) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   size_t n = 0;
   for (const StageTiming& t : timings_) {
     if (LabelMatches(t.label, label)) n += t.count;
@@ -76,14 +77,14 @@ size_t StatsSink::CountStages(std::string_view label) const {
 }
 
 std::optional<StageTiming> StatsSink::Find(std::string_view label) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = index_.find(std::string(label));
   if (it == index_.end()) return std::nullopt;
   return timings_[it->second];
 }
 
 std::string StatsSink::ToString() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out;
   for (const StageTiming& t : timings_) {
     out += StringPrintf("%s: %.3f ms", t.label.c_str(), t.seconds * 1e3);

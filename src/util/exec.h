@@ -4,7 +4,6 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -13,6 +12,7 @@
 
 #include "util/memory_budget.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 #include "util/trace.h"
 
@@ -97,50 +97,55 @@ class StatsSink {
 
   /// Records one stage occurrence with optional row/byte detail.
   void Record(std::string_view label, double seconds, uint64_t rows,
-              uint64_t bytes);
+              uint64_t bytes) X3_EXCLUDES(mu_);
 
   /// Direct view of the entries. Only safe once concurrent recording
   /// has quiesced (after the execution's join point) — callers that
   /// need a snapshot mid-flight should use the aggregate queries.
-  const std::vector<StageTiming>& timings() const { return timings_; }
+  /// Deliberately outside the static analysis: it returns a reference
+  /// to guarded state under a quiesce contract the analysis cannot see.
+  const std::vector<StageTiming>& timings() const
+      X3_NO_THREAD_SAFETY_ANALYSIS {
+    return timings_;
+  }
 
   /// Merges every entry of `other` into this sink (per-worker sinks at
   /// a join point) under the label-merge semantics above:
   /// TotalSeconds/CountStages over the merged sink equal the sums over
   /// the parts.
-  void Append(const StatsSink& other);
+  void Append(const StatsSink& other) X3_EXCLUDES(mu_);
 
   /// Sum of all stages whose label equals `label` or starts with
   /// "<label>/" (so TotalSeconds("cuboid") sums every per-cuboid entry).
-  double TotalSeconds(std::string_view label) const;
+  double TotalSeconds(std::string_view label) const X3_EXCLUDES(mu_);
 
   /// Total occurrence count over stages with label `label` or prefix
   /// "<label>/" (a label recorded on N threads counts N).
-  size_t CountStages(std::string_view label) const;
+  size_t CountStages(std::string_view label) const X3_EXCLUDES(mu_);
 
   /// The merged entry for exactly `label`, or nullopt if never
   /// recorded.
-  std::optional<StageTiming> Find(std::string_view label) const;
+  std::optional<StageTiming> Find(std::string_view label) const
+      X3_EXCLUDES(mu_);
 
-  void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Clear() X3_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     timings_.clear();
     index_.clear();
   }
 
   /// One "label: 1.234 ms" line per stage (with "xN" and max detail for
   /// merged occurrences), for logs and EXPLAIN ANALYZE style output.
-  std::string ToString() const;
+  std::string ToString() const X3_EXCLUDES(mu_);
 
  private:
-  /// Callee must hold mu_.
-  StageTiming* EntryLocked(std::string_view label);
+  StageTiming* EntryLocked(std::string_view label) X3_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<StageTiming> timings_;
+  mutable Mutex mu_{lock_rank::kStatsSink};
+  std::vector<StageTiming> timings_ X3_GUARDED_BY(mu_);
   /// label -> index into timings_ (stable: entries are never removed
   /// except by Clear).
-  std::unordered_map<std::string, size_t> index_;
+  std::unordered_map<std::string, size_t> index_ X3_GUARDED_BY(mu_);
 };
 
 /// RAII helper: records the elapsed time of a scope into a sink under a

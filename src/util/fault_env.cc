@@ -83,7 +83,7 @@ FaultKind EffectiveKind(FaultKind kind, FaultOp op) {
 }  // namespace
 
 void FaultInjectionEnv::Arm(const Options& options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   options_ = options;
   ops_seen_ = 0;
   faults_fired_ = 0;
@@ -92,22 +92,22 @@ void FaultInjectionEnv::Arm(const Options& options) {
 }
 
 uint64_t FaultInjectionEnv::ops_seen() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return ops_seen_;
 }
 
 uint64_t FaultInjectionEnv::faults_fired() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return faults_fired_;
 }
 
 bool FaultInjectionEnv::crashed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return crashed_;
 }
 
 std::vector<FaultOp> FaultInjectionEnv::op_trace() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return trace_;
 }
 
@@ -128,7 +128,7 @@ Status FaultInjectionEnv::MakeFaultStatus(FaultKind kind, FaultOp op,
 
 FaultInjectionEnv::Decision FaultInjectionEnv::NextOp(FaultOp op,
                                                       size_t transfer_len) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Decision d;
   if (IsMetadataOp(op) && !options_.count_metadata_ops) {
     return d;  // pass-through, uncounted

@@ -2,11 +2,11 @@
 #define X3_UTIL_FAULT_ENV_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/env.h"
+#include "util/thread_annotations.h"
 
 namespace x3 {
 
@@ -85,18 +85,18 @@ class FaultInjectionEnv : public EnvWrapper {
       : EnvWrapper(target), options_(options) {}
 
   /// Re-arms the schedule and resets every counter and the trace.
-  void Arm(const Options& options);
+  void Arm(const Options& options) X3_EXCLUDES(mu_);
 
   /// Counted operations so far.
-  uint64_t ops_seen() const;
+  uint64_t ops_seen() const X3_EXCLUDES(mu_);
   /// Faults injected so far.
-  uint64_t faults_fired() const;
+  uint64_t faults_fired() const X3_EXCLUDES(mu_);
   /// True once a kTornWriteCrash fault has fired: all further data
   /// operations fail until Arm() is called again.
-  bool crashed() const;
+  bool crashed() const X3_EXCLUDES(mu_);
   /// The kind of every counted operation, in order (for schedule
   /// construction: which indexes are writes, which are syncs, ...).
-  std::vector<FaultOp> op_trace() const;
+  std::vector<FaultOp> op_trace() const X3_EXCLUDES(mu_);
 
   Result<std::unique_ptr<File>> OpenFile(const std::string& path,
                                          OpenMode mode) override;
@@ -115,18 +115,18 @@ class FaultInjectionEnv : public EnvWrapper {
   /// Counts the operation and decides its fate. `transfer_len` is the
   /// byte count of a read/write (for prefix computation). Public for
   /// the internal FaultFile decorator; not part of the user API.
-  Decision NextOp(FaultOp op, size_t transfer_len);
+  Decision NextOp(FaultOp op, size_t transfer_len) X3_EXCLUDES(mu_);
 
  private:
   Status MakeFaultStatus(FaultKind kind, FaultOp op, uint64_t index,
                          bool transient) const;
 
-  mutable std::mutex mu_;
-  Options options_;
-  uint64_t ops_seen_ = 0;
-  uint64_t faults_fired_ = 0;
-  bool crashed_ = false;
-  std::vector<FaultOp> trace_;
+  mutable Mutex mu_{lock_rank::kFaultInjectionEnv};
+  Options options_ X3_GUARDED_BY(mu_);
+  uint64_t ops_seen_ X3_GUARDED_BY(mu_) = 0;
+  uint64_t faults_fired_ X3_GUARDED_BY(mu_) = 0;
+  bool crashed_ X3_GUARDED_BY(mu_) = false;
+  std::vector<FaultOp> trace_ X3_GUARDED_BY(mu_);
 };
 
 }  // namespace x3

@@ -4,10 +4,22 @@
 #include <cstdio>
 #include <string>
 
+#include "util/thread_annotations.h"
+
 namespace x3 {
 namespace {
 
 std::atomic<int> g_log_level{-1};
+
+// Capture sink (test-only). The atomic is the fast-path gate — the
+// normal case loads one relaxed bool and never touches the mutex; the
+// guarded pair is only read under the lock once the gate says a sink
+// may be installed. Constant-initialized (constexpr Mutex), so capture
+// works during static init and at exit.
+std::atomic<bool> g_capture_installed{false};
+constinit Mutex g_capture_mu(lock_rank::kLogCapture);
+LogCaptureFn g_capture_fn X3_GUARDED_BY(g_capture_mu) = nullptr;
+void* g_capture_arg X3_GUARDED_BY(g_capture_mu) = nullptr;
 
 int InitialLevel() {
   const char* env = std::getenv("X3_LOG_LEVEL");
@@ -31,6 +43,13 @@ LogLevel GetLogLevel() {
 
 void SetLogLevel(LogLevel level) {
   g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void SetLogCaptureForTest(LogCaptureFn fn, void* arg) {
+  MutexLock lock(&g_capture_mu);
+  g_capture_fn = fn;
+  g_capture_arg = arg;
+  g_capture_installed.store(fn != nullptr, std::memory_order_release);
 }
 
 namespace internal {
@@ -71,8 +90,20 @@ LogMessage::~LogMessage() {
   // concurrent loggers can interleave only at line granularity — never
   // mid-line (the torn-log regression in tests/logging_test.cc).
   const std::string line = stream_.str();
-  size_t written = std::fwrite(line.data(), 1, line.size(), stderr);  // x3-lint: allow(raw-stdio)
-  (void)written;  // stderr gone: nothing useful left to do
+  bool captured = false;
+  if (g_capture_installed.load(std::memory_order_acquire)) {
+    MutexLock lock(&g_capture_mu);
+    if (g_capture_fn != nullptr) {
+      g_capture_fn(level_, line.data(), line.size(), g_capture_arg);
+      captured = true;
+    }
+  }
+  // A fatal line is emitted to stderr even while captured: the abort
+  // below means whoever installed the sink never gets to read it.
+  if (!captured || level_ == LogLevel::kFatal) {
+    size_t written = std::fwrite(line.data(), 1, line.size(), stderr);  // x3-lint: allow(raw-stdio)
+    (void)written;  // stderr gone: nothing useful left to do
+  }
   if (level_ == LogLevel::kFatal) {
     std::fflush(stderr);  // x3-lint: allow(raw-stdio) -- stderr
     std::abort();

@@ -24,6 +24,19 @@ enum class LogLevel : int {
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
+/// Test-only capture sink: while installed, every emitted log line is
+/// handed to `fn` (one whole line per call, newline included) instead
+/// of written to stderr — so tests can assert on log output without
+/// redirecting file descriptors. kFatal lines still go to stderr too
+/// (the process is about to abort; the line must not vanish into a
+/// sink nobody will read). Install with a function and opaque arg;
+/// uninstall with (nullptr, nullptr). The sink is process-global and
+/// synchronized internally; `fn` runs under the capture lock, so it
+/// must not log and must not block on other threads that log.
+using LogCaptureFn = void (*)(LogLevel level, const char* line, size_t len,
+                              void* arg);
+void SetLogCaptureForTest(LogCaptureFn fn, void* arg);
+
 namespace internal {
 
 /// Stream-style log message; emits on destruction. kFatal aborts.

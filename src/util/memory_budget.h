@@ -26,6 +26,13 @@ namespace x3 {
 /// WouldFit-then-ForceReserve sequence is not atomic — callers that
 /// need the hard cap must use Reserve.
 ///
+/// Deliberately lock-free (no x3::Mutex, no capability annotations):
+/// Reserve/Release sit on every allocation-heavy loop, and the atomics
+/// carry no invariant that spans more than one word. That also means
+/// the budget can be charged while holding ANY engine lock without
+/// entering the lock-order ranking — spill paths charge it under the
+/// executor scheduler lock and release it from worker unwinds.
+///
 /// A budget of 0 means "unlimited" (everything stays in memory).
 class MemoryBudget {
  public:

@@ -61,7 +61,7 @@ MetricRegistry::Entry* MetricRegistry::GetOrCreate(const std::string& name,
                                                    Type type) {
   X3_CHECK(internal::ValidMetricName(name))
       << "invalid metric name: " << name;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = entries_.find(name);
   if (it != entries_.end()) {
     X3_CHECK(it->second.type == type)
@@ -111,7 +111,7 @@ std::string RenderBound(double bound) {
 }  // namespace
 
 std::string MetricRegistry::ToPrometheusText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out;
   // std::map iteration is name-sorted: exposition order is stable.
   for (const auto& [name, entry] : entries_) {
@@ -148,7 +148,7 @@ std::string MetricRegistry::ToPrometheusText() const {
 }
 
 std::string MetricRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string counters, gauges, histograms;
   for (const auto& [name, entry] : entries_) {
     switch (entry.type) {
@@ -191,7 +191,7 @@ std::string MetricRegistry::ToJson() const {
 }
 
 std::map<std::string, int64_t> MetricRegistry::SnapshotValues() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::map<std::string, int64_t> out;
   for (const auto& [name, entry] : entries_) {
     switch (entry.type) {
@@ -211,7 +211,7 @@ std::map<std::string, int64_t> MetricRegistry::SnapshotValues() const {
 }
 
 void MetricRegistry::ResetAllForTest() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [name, entry] : entries_) {
     switch (entry.type) {
       case Type::kCounter:

@@ -5,11 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace x3 {
 
@@ -97,26 +97,29 @@ class MetricRegistry {
   /// The registry every engine metric lives in. Never destroyed.
   static MetricRegistry& Global();
 
-  Counter* GetCounter(const std::string& name, const std::string& help);
-  Gauge* GetGauge(const std::string& name, const std::string& help);
-  Histogram* GetHistogram(const std::string& name, const std::string& help);
+  Counter* GetCounter(const std::string& name, const std::string& help)
+      X3_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name, const std::string& help)
+      X3_EXCLUDES(mu_);
+  Histogram* GetHistogram(const std::string& name, const std::string& help)
+      X3_EXCLUDES(mu_);
 
   /// Prometheus text exposition format: exactly one `# HELP` and one
   /// `# TYPE` line per metric, sorted by name.
-  std::string ToPrometheusText() const;
+  std::string ToPrometheusText() const X3_EXCLUDES(mu_);
 
   /// JSON object {"counters": {...}, "gauges": {...},
   /// "histograms": {name: {count, sum, buckets: [{le, count}]}}}.
-  std::string ToJson() const;
+  std::string ToJson() const X3_EXCLUDES(mu_);
 
   /// name -> integer value for every counter and gauge (histograms
   /// contribute "<name>_count"). The determinism harness compares two
   /// runs' snapshots after dropping time-valued metrics by name.
-  std::map<std::string, int64_t> SnapshotValues() const;
+  std::map<std::string, int64_t> SnapshotValues() const X3_EXCLUDES(mu_);
 
   /// Zeroes every registered metric (objects and registration survive,
   /// so cached pointers stay valid). Test isolation only.
-  void ResetAllForTest();
+  void ResetAllForTest() X3_EXCLUDES(mu_);
 
   /// Writes ToPrometheusText() to `path` through `env`.
   Status WritePrometheusFile(Env* env, const std::string& path) const;
@@ -132,10 +135,13 @@ class MetricRegistry {
   };
 
   Entry* GetOrCreate(const std::string& name, const std::string& help,
-                     Type type);
+                     Type type) X3_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
+  mutable Mutex mu_{lock_rank::kMetricRegistry};
+  /// Registered metrics. Node addresses are stable (std::map), so the
+  /// Counter*/Gauge*/Histogram* handed out by GetOrCreate stay valid
+  /// without the lock; only the map structure itself is guarded.
+  std::map<std::string, Entry> entries_ X3_GUARDED_BY(mu_);
 };
 
 namespace internal {

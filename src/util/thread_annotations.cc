@@ -1,0 +1,118 @@
+#include "util/thread_annotations.h"
+
+#if defined(X3_DEBUG_LOCKS)
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+#endif
+
+namespace x3 {
+
+#if defined(X3_DEBUG_LOCKS)
+
+namespace {
+
+// Stable nonzero id for the calling thread. std::this_thread::get_id()
+// is opaque; an address-of-thread_local counter scheme gives us a
+// comparable integer without any platform calls.
+uint64_t DebugThreadId() {
+  static std::atomic<uint64_t> next{1};
+  thread_local const uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// Ranked mutexes this thread currently holds, in acquisition order.
+// Unranked (kNone) mutexes are exempt from ordering and never pushed.
+thread_local std::vector<const Mutex*> t_held;
+
+// Set while a rank-inversion report is being emitted: the fatal path
+// itself logs (LogMessage may take the capture-sink mutex), and that
+// acquisition must not re-enter the checker.
+thread_local bool t_in_report = false;
+
+void CheckRankAgainstHeld(const Mutex* mu) {
+  if (t_in_report) return;
+  for (const Mutex* held : t_held) {
+    if (mu->rank() > held->rank()) continue;
+    t_in_report = true;
+    X3_CHECK(false) << "lock rank inversion: acquiring mutex rank "
+                    << mu->rank() << " while holding rank " << held->rank()
+                    << " (ranks must strictly increase toward leaf locks; "
+                       "see x3::lock_rank in util/thread_annotations.h)";
+  }
+}
+
+void NoteAcquired(const Mutex* mu, std::atomic<uint64_t>* holder) {
+  holder->store(DebugThreadId(), std::memory_order_relaxed);
+  if (mu->rank() != lock_rank::kNone && !t_in_report) t_held.push_back(mu);
+}
+
+void NoteReleased(const Mutex* mu, std::atomic<uint64_t>* holder) {
+  holder->store(0, std::memory_order_relaxed);
+  if (mu->rank() == lock_rank::kNone || t_in_report) return;
+  // Almost always the top of the stack, but out-of-order unlock of
+  // hand-over-hand patterns is legal, so search from the back.
+  for (size_t i = t_held.size(); i > 0; --i) {
+    if (t_held[i - 1] == mu) {
+      t_held.erase(t_held.begin() + static_cast<long>(i - 1));
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void Mutex::Lock() {
+  CheckRankAgainstHeld(this);
+  mu_.lock();
+  NoteAcquired(this, &holder_);
+}
+
+void Mutex::Unlock() {
+  NoteReleased(this, &holder_);
+  mu_.unlock();
+}
+
+bool Mutex::TryLock() {
+  // TryLock cannot deadlock, so rank order is not enforced; successful
+  // acquisition still joins the held stack so locks taken *after* it
+  // are ordered against it.
+  if (!mu_.try_lock()) return false;
+  NoteAcquired(this, &holder_);
+  return true;
+}
+
+void Mutex::AssertHeld() const {
+  X3_CHECK(holder_.load(std::memory_order_relaxed) == DebugThreadId())
+      << "AssertHeld: mutex (rank " << rank_
+      << ") is not held by the calling thread";
+}
+
+void CondVar::Wait(Mutex* mu) {
+  // The underlying wait releases and reacquires mu->mu_; mirror that in
+  // the debug bookkeeping so AssertHeld and the rank checker stay
+  // truthful across the suspension.
+  NoteReleased(mu, &mu->holder_);
+  std::unique_lock<std::mutex> lk(mu->mu_, std::adopt_lock);  // x3-lint: allow(raw-mutex)
+  cv_.wait(lk);
+  lk.release();
+  NoteAcquired(mu, &mu->holder_);
+}
+
+#else  // !X3_DEBUG_LOCKS
+
+void Mutex::Lock() { mu_.lock(); }
+void Mutex::Unlock() { mu_.unlock(); }
+bool Mutex::TryLock() { return mu_.try_lock(); }
+void Mutex::AssertHeld() const {}
+
+void CondVar::Wait(Mutex* mu) {
+  std::unique_lock<std::mutex> lk(mu->mu_, std::adopt_lock);  // x3-lint: allow(raw-mutex)
+  cv_.wait(lk);
+  lk.release();
+}
+
+#endif  // X3_DEBUG_LOCKS
+
+}  // namespace x3

@@ -37,21 +37,21 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   X3_CHECK(task != nullptr);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     X3_CHECK(!stopping_) << "Submit on a stopping ThreadPool";
     queue_.push_back(QueuedTask{std::move(task), Timer()});
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 size_t ThreadPool::DefaultConcurrency() {
@@ -67,8 +67,8 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
   for (;;) {
     QueuedTask task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stopping_ && queue_.empty()) cv_.Wait(&mu_);
       // Drain before exiting: stopping_ only ends the loop once the
       // queue is empty, so every submitted task runs.
       if (queue_.empty()) return;
@@ -82,31 +82,34 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
 }
 
 TaskGroup::~TaskGroup() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(&mu_);
+  while (pending_ != 0) done_cv_.Wait(&mu_);
 }
 
 void TaskGroup::Spawn(std::function<Status()> fn) {
   X3_CHECK(fn != nullptr);
   size_t index;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     X3_CHECK(!waited_) << "Spawn after Wait on a TaskGroup";
     index = statuses_.size();
     statuses_.push_back(Status::OK());
     ++pending_;
   }
+  // Submit outside mu_: the pool lock (kThreadPool) ranks above the
+  // group lock (kTaskGroup), but not holding mu_ here at all keeps the
+  // critical section minimal and lets completions land immediately.
   pool_->Submit([this, index, fn = std::move(fn)] {
     Status status = fn();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     statuses_[index] = std::move(status);
-    if (--pending_ == 0) done_cv_.notify_all();
+    if (--pending_ == 0) done_cv_.NotifyAll();
   });
 }
 
 Status TaskGroup::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(&mu_);
+  while (pending_ != 0) done_cv_.Wait(&mu_);
   waited_ = true;
   for (const Status& status : statuses_) {
     if (!status.ok()) return status;

@@ -1,15 +1,14 @@
 #ifndef X3_UTIL_THREAD_POOL_H_
 #define X3_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace x3 {
@@ -25,6 +24,13 @@ namespace x3 {
 /// may safely reference state owned by the pool's owner. Tasks must not
 /// throw (the engine is Status-based; an escaping exception terminates,
 /// as anywhere else in the codebase).
+///
+/// Thread safety: the queue is guarded by `mu_` (rank
+/// lock_rank::kThreadPool). Submit may legally be called while holding
+/// any lower-ranked lock — the plan scheduler in cube/executor.cc does
+/// so from its completion handler (rank kExecutorScheduler) — and the
+/// lock-order detector enforces exactly that direction. See
+/// docs/STATIC_ANALYSIS.md §7 for the full rank table.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (clamped to at least 1).
@@ -38,7 +44,7 @@ class ThreadPool {
 
   /// Enqueues one task. Thread-safe; may be called from inside a
   /// running task (that is how the plan scheduler releases dependents).
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) X3_EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
 
@@ -55,12 +61,13 @@ class ThreadPool {
     Timer queued;
   };
 
-  void WorkerLoop(size_t worker_index);
+  void WorkerLoop(size_t worker_index) X3_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<QueuedTask> queue_;
-  bool stopping_ = false;
+  Mutex mu_{lock_rank::kThreadPool};
+  CondVar cv_;
+  std::deque<QueuedTask> queue_ X3_GUARDED_BY(mu_);
+  bool stopping_ X3_GUARDED_BY(mu_) = false;
+  /// Immutable after the constructor returns; joined by the destructor.
   std::vector<std::thread> workers_;
 };
 
@@ -82,20 +89,20 @@ class TaskGroup {
   TaskGroup& operator=(const TaskGroup&) = delete;
 
   /// Schedules `fn` on the pool. Must not be called after Wait().
-  void Spawn(std::function<Status()> fn);
+  void Spawn(std::function<Status()> fn) X3_EXCLUDES(mu_);
 
   /// Blocks until all spawned tasks finished; returns the first non-OK
   /// status in spawn order, or OK when every task succeeded.
-  Status Wait();
+  Status Wait() X3_EXCLUDES(mu_);
 
  private:
   ThreadPool* pool_;
-  std::mutex mu_;
-  std::condition_variable done_cv_;
+  Mutex mu_{lock_rank::kTaskGroup};
+  CondVar done_cv_;
   /// One slot per spawned task, written by the worker that ran it.
-  std::vector<Status> statuses_;
-  size_t pending_ = 0;
-  bool waited_ = false;
+  std::vector<Status> statuses_ X3_GUARDED_BY(mu_);
+  size_t pending_ X3_GUARDED_BY(mu_) = 0;
+  bool waited_ X3_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace x3

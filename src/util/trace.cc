@@ -68,7 +68,7 @@ void Tracer::Record(char phase, std::string_view label) {
   // reads its clock in program order).
   const int64_t ts = NowMicros();
   const uint32_t tid = CurrentThreadId();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Event* slot;
   if (ring_.size() < capacity_) {
     ring_.emplace_back();
@@ -88,12 +88,12 @@ void Tracer::Record(char phase, std::string_view label) {
 
 void Tracer::SetCurrentThreadName(std::string_view name) {
   const uint32_t tid = CurrentThreadId();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   thread_names_[tid] = std::string(name);
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ring_.clear();
   next_ = 0;
   total_ = 0;
@@ -101,17 +101,17 @@ void Tracer::Clear() {
 }
 
 size_t Tracer::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return ring_.size();
 }
 
 uint64_t Tracer::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return total_ > ring_.size() ? total_ - ring_.size() : 0;
 }
 
 std::vector<Tracer::Event> Tracer::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<Event> out;
   out.reserve(ring_.size());
   if (total_ <= capacity_) {
@@ -130,7 +130,7 @@ std::string Tracer::ToChromeTraceJson() const {
   std::vector<Event> events = snapshot();
   std::map<uint32_t, std::string> names;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     names = thread_names_;
   }
 

@@ -5,12 +5,12 @@
 #include <cstdint>
 #include <cstring>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace x3 {
 
@@ -76,17 +76,17 @@ class Tracer {
   /// Names the calling thread's track in the exported trace (Chrome
   /// "thread_name" metadata). Recorded even while disabled: threads are
   /// usually created before tracing is switched on.
-  void SetCurrentThreadName(std::string_view name);
+  void SetCurrentThreadName(std::string_view name) X3_EXCLUDES(mu_);
 
   /// Drops all recorded events, thread names and the dropped count.
-  void Clear();
+  void Clear() X3_EXCLUDES(mu_);
 
   /// Events currently held (<= capacity).
-  size_t size() const;
+  size_t size() const X3_EXCLUDES(mu_);
   /// Events overwritten because the ring was full.
-  uint64_t dropped() const;
+  uint64_t dropped() const X3_EXCLUDES(mu_);
   /// Copy of the held events, oldest first.
-  std::vector<Event> snapshot() const;
+  std::vector<Event> snapshot() const X3_EXCLUDES(mu_);
 
   /// Chrome trace_event JSON ({"traceEvents": [...]}): one matched
   /// B/E pair per surviving span, timestamps rebased to the earliest
@@ -95,25 +95,27 @@ class Tracer {
   /// end is closed at its thread's last timestamp — so the output
   /// always satisfies the pairing/monotonicity invariants the golden
   /// tests check.
-  std::string ToChromeTraceJson() const;
+  std::string ToChromeTraceJson() const X3_EXCLUDES(mu_);
 
   /// Writes ToChromeTraceJson() to `path` through `env`.
-  Status WriteChromeTrace(Env* env, const std::string& path) const;
+  Status WriteChromeTrace(Env* env, const std::string& path) const
+      X3_EXCLUDES(mu_);
 
   /// Small dense id of the calling thread (0, 1, 2, ... in first-use
   /// order). Stable for the thread's lifetime.
   static uint32_t CurrentThreadId();
 
  private:
-  void Record(char phase, std::string_view label);
+  void Record(char phase, std::string_view label) X3_EXCLUDES(mu_);
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
+  mutable Mutex mu_{lock_rank::kTracer};
   const size_t capacity_;
-  std::vector<Event> ring_;  // grows to capacity_, then wraps
-  size_t next_ = 0;          // ring slot of the next event
-  uint64_t total_ = 0;       // events ever recorded
-  std::map<uint32_t, std::string> thread_names_;
+  /// Grows to capacity_, then wraps.
+  std::vector<Event> ring_ X3_GUARDED_BY(mu_);
+  size_t next_ X3_GUARDED_BY(mu_) = 0;    // ring slot of the next event
+  uint64_t total_ X3_GUARDED_BY(mu_) = 0; // events ever recorded
+  std::map<uint32_t, std::string> thread_names_ X3_GUARDED_BY(mu_);
 };
 
 #if defined(X3_ENABLE_TRACING)

@@ -131,7 +131,7 @@ class Database {
   /// comes back as a single leading text child.
   Result<XmlDocument> ReconstructSubtree(NodeId root) const;
   const std::vector<NodeId>& document_roots() const { return roots_; }
-  const BufferPoolStats& buffer_stats() const { return pool_->stats(); }
+  BufferPoolStats buffer_stats() const { return pool_->stats(); }
   BufferPool* buffer_pool() { return pool_.get(); }
 
  private:

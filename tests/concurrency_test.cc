@@ -1,9 +1,10 @@
 // Concurrency unit tests for the machinery under the parallel cube
-// executor: MemoryBudget's atomic hard cap, StatsSink's synchronized
-// Record/Append, ThreadPool/TaskGroup scheduling and draining, and
-// RunPlanTasks' dependency ordering and failure semantics. These run
-// in the ThreadSanitizer CI lane (label "tsan"), so a data race here
-// is a build failure, not a flake.
+// executor: the annotated Mutex/MutexLock/CondVar primitives with
+// their debug lock-order detector, MemoryBudget's atomic hard cap,
+// StatsSink's synchronized Record/Append, ThreadPool/TaskGroup
+// scheduling and draining, and RunPlanTasks' dependency ordering and
+// failure semantics. These run in the ThreadSanitizer CI lane (label
+// "tsan"), so a data race here is a build failure, not a flake.
 
 #include <gtest/gtest.h>
 
@@ -17,10 +18,156 @@
 #include "util/exec.h"
 #include "util/memory_budget.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace x3 {
 namespace {
+
+// --- Mutex / MutexLock / CondVar primitives ---
+
+TEST(MutexTest, LockUnlockAndTryLock) {
+  Mutex mu;
+  mu.Lock();
+  EXPECT_FALSE(mu.TryLock());  // already held by this test's thread
+  mu.Unlock();
+  EXPECT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(MutexTest, MutexLockExcludesConcurrentCriticalSections) {
+  Mutex mu;
+  int counter = 0;  // int (not atomic): only the lock protects it
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kRounds; ++i) {
+        MutexLock lock(&mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter, kThreads * kRounds);
+}
+
+TEST(CondVarTest, PredicateWaitSeesNotifiedState) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    MutexLock lock(&mu);
+    ready = true;
+    cv.NotifyAll();
+  });
+  {
+    MutexLock lock(&mu);
+    cv.Wait(&mu, [&] { return ready; });
+    EXPECT_TRUE(ready);
+  }
+  producer.join();
+}
+
+TEST(MutexRankTest, AscendingRankNestingIsAllowed) {
+  // The real nesting the engine relies on: executor scheduler (100)
+  // inside nothing, pool (250) inside scheduler, metrics (550) inside
+  // anything. Strictly ascending ranks must pass the detector.
+  Mutex low(lock_rank::kExecutorScheduler);
+  Mutex mid(lock_rank::kThreadPool);
+  Mutex high(lock_rank::kMetricRegistry);
+  MutexLock a(&low);
+  MutexLock b(&mid);
+  MutexLock c(&high);
+}
+
+TEST(MutexRankTest, UnrankedMutexesNestFreely) {
+  Mutex a;
+  Mutex b;
+  MutexLock la(&a);
+  MutexLock lb(&b);
+}
+
+TEST(MutexRankTest, RanksResetBetweenCriticalSections) {
+  // Sequential (non-nested) acquisition in any order is fine; only
+  // *held* locks constrain the next acquisition.
+  Mutex low(lock_rank::kViewStore);
+  Mutex high(lock_rank::kTracer);
+  { MutexLock l(&high); }
+  { MutexLock l(&low); }
+  { MutexLock l(&high); }
+}
+
+#if defined(X3_DEBUG_LOCKS)
+
+TEST(MutexRankDeathTest, InvertedAcquisitionDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex low(lock_rank::kViewStore);
+  Mutex high(lock_rank::kStatsSink);
+  EXPECT_DEATH(
+      {
+        MutexLock a(&high);
+        MutexLock b(&low);  // rank goes down while high is held: fatal
+      },
+      "lock rank inversion");
+}
+
+TEST(MutexRankDeathTest, SameRankNestingDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex a(lock_rank::kBufferPool);
+  Mutex b(lock_rank::kBufferPool);
+  EXPECT_DEATH(
+      {
+        MutexLock la(&a);
+        MutexLock lb(&b);  // equal rank is an inversion too
+      },
+      "lock rank inversion");
+}
+
+TEST(MutexAssertHeldDeathTest, AssertHeldWithoutLockDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex mu;
+  EXPECT_DEATH(mu.AssertHeld(), "AssertHeld");
+}
+
+TEST(MutexAssertHeldDeathTest, AssertHeldFromOtherThreadDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex mu;
+        mu.Lock();
+        std::thread other([&] { mu.AssertHeld(); });
+        other.join();
+      },
+      "AssertHeld");
+}
+
+TEST(MutexAssertHeldTest, AssertHeldPassesForHolder) {
+  Mutex mu;
+  MutexLock lock(&mu);
+  mu.AssertHeld();  // must not die
+}
+
+TEST(MutexAssertHeldTest, AssertHeldPassesAcrossCondVarReacquire) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    MutexLock lock(&mu);
+    ready = true;
+    cv.NotifyAll();
+  });
+  {
+    MutexLock lock(&mu);
+    cv.Wait(&mu, [&] { return ready; });
+    mu.AssertHeld();  // bookkeeping must survive the wait's reacquire
+  }
+  producer.join();
+}
+
+#endif  // X3_DEBUG_LOCKS
 
 // --- MemoryBudget under contention ---
 

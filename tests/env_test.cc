@@ -269,11 +269,11 @@ TEST_F(EnvTest, TempManagerCountsFailedRemoves) {
   opts.repeat = UINT64_MAX;
   fault.Arm(opts);
   temp.Remove(path);
-  EXPECT_EQ(temp.remove_failures(), 1u);
+  EXPECT_EQ(temp.failed_removes(), 1u);
   // Never-created paths are not failures.
   fault.Arm(FaultInjectionEnv::Options());
   temp.Remove(temp.NextPath("never-created"));
-  EXPECT_EQ(temp.remove_failures(), 1u);
+  EXPECT_EQ(temp.failed_removes(), 1u);
   Env::Default()->RemoveFile(path).IgnoreError();
 }
 

@@ -141,7 +141,7 @@ class FaultSweepTest : public ::testing::Test {
                                  << r.status.ToString();
     // Spill/temp files must have been cleaned up (removal is metadata,
     // which the schedule never fails here).
-    EXPECT_EQ(temp.remove_failures(), 0u) << label;
+    EXPECT_EQ(temp.failed_removes(), 0u) << label;
 
     if (r.status.ok()) {
       // A fault was absorbed by a best-effort path (or never reached —
@@ -192,6 +192,9 @@ TEST_F(FaultSweepTest, ExhaustiveSweep) {
   WorkloadResult reference = RunWorkload(&counting, xml_path_, db_path_,
                                          csv_path_, &ref_budget, &ref_temp);
   ASSERT_TRUE(reference.status.ok()) << reference.status;
+  // Healthy env: every temp file the workload created must have been
+  // removed cleanly (a non-zero count means leaked spill files).
+  EXPECT_EQ(ref_temp.failed_removes(), 0u);
   ASSERT_GT(reference.spilled_runs, 0u)
       << "workload must spill so sorter I/O is in the swept schedule";
   ASSERT_FALSE(reference.csv.empty());
@@ -212,6 +215,7 @@ TEST_F(FaultSweepTest, ExhaustiveSweep) {
     WorkloadResult again = RunWorkload(&recount, xml_path_, db_path_,
                                        csv_path_, &budget, &temp);
     ASSERT_TRUE(again.status.ok());
+    EXPECT_EQ(temp.failed_removes(), 0u);
     ASSERT_EQ(recount.ops_seen(), total_ops);
     ASSERT_EQ(again.csv, reference_csv_);
   }
@@ -248,6 +252,7 @@ TEST_F(FaultSweepTest, TornWriteCrashPoints) {
   WorkloadResult reference = RunWorkload(&counting, xml_path_, db_path_,
                                          csv_path_, &ref_budget, &ref_temp);
   ASSERT_TRUE(reference.status.ok()) << reference.status;
+  EXPECT_EQ(ref_temp.failed_removes(), 0u);
   reference_csv_ = reference.csv;
 
   std::vector<uint64_t> write_indexes;
@@ -292,6 +297,7 @@ TEST_F(FaultSweepTest, TransientFaultsRecoverUnderRetry) {
   WorkloadResult reference = RunWorkload(&counting, xml_path_, db_path_,
                                          csv_path_, &ref_budget, &ref_temp);
   ASSERT_TRUE(reference.status.ok()) << reference.status;
+  EXPECT_EQ(ref_temp.failed_removes(), 0u);
   const uint64_t total_ops = counting.ops_seen();
 
   // A transient fault at any point, run under the retrying Env, must be

@@ -102,5 +102,101 @@ TEST(LoggingTest, ConcurrentLogLinesAreNeverTorn) {
   }
 }
 
+// The capture sink receives whole lines under its internal lock, so
+// concurrent loggers may not tear, drop or reorder (per thread) any
+// captured line — same contract as the stderr path above, but
+// observable in-process without fd games.
+TEST(LoggingTest, CaptureSinkSeesEveryConcurrentLineIntact) {
+  struct Capture {
+    std::vector<std::string> lines;
+  };
+  Capture capture;
+  const LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  SetLogCaptureForTest(
+      [](LogLevel level, const char* line, size_t len, void* arg) {
+        ASSERT_EQ(level, LogLevel::kInfo);
+        static_cast<Capture*>(arg)->lines.emplace_back(line, len);
+      },
+      &capture);
+
+  constexpr int kThreads = 8;
+  constexpr int kLines = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      const std::string padding(40, static_cast<char>('a' + t));
+      for (int i = 0; i < kLines; ++i) {
+        X3_LOG(Info) << "cap thread=" << t << " line=" << i << " pad="
+                     << padding << " end";
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  SetLogCaptureForTest(nullptr, nullptr);
+  SetLogLevel(old_level);
+
+  std::vector<int> next_line(kThreads, 0);
+  for (const std::string& line : capture.lines) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.back(), '\n') << "captured line missing newline: " << line;
+    int t = -1;
+    int i = -1;
+    char pad[64] = {0};
+    size_t payload = line.find("cap thread=");
+    ASSERT_NE(payload, std::string::npos) << "torn line: " << line;
+    ASSERT_EQ(std::sscanf(line.c_str() + payload,
+                          "cap thread=%d line=%d pad=%63s", &t, &i, pad),
+              3)
+        << "torn line: " << line;
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, kThreads);
+    EXPECT_EQ(std::string(pad), std::string(40, static_cast<char>('a' + t)));
+    EXPECT_EQ(i, next_line[t]) << "thread " << t << " lines out of order";
+    next_line[t] = i + 1;
+  }
+  EXPECT_EQ(capture.lines.size(), static_cast<size_t>(kThreads) * kLines);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(next_line[t], kLines) << "thread " << t << " lost lines";
+  }
+}
+
+// While a sink is installed, non-fatal lines must NOT reach stderr —
+// capture replaces emission rather than duplicating it.
+TEST(LoggingTest, CaptureSinkSuppressesStderr) {
+  const std::string path = testing::TempDir() + "/x3_log_capture_quiet.txt";
+  const LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+
+  int saved_stderr = dup(STDERR_FILENO);
+  ASSERT_GE(saved_stderr, 0);
+  int capture_fd = open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  ASSERT_GE(capture_fd, 0);
+  ASSERT_GE(dup2(capture_fd, STDERR_FILENO), 0);
+  close(capture_fd);
+
+  int captured_count = 0;
+  SetLogCaptureForTest(
+      [](LogLevel, const char*, size_t, void* arg) {
+        ++*static_cast<int*>(arg);
+      },
+      &captured_count);
+  X3_LOG(Info) << "goes to the sink, not stderr";
+  SetLogCaptureForTest(nullptr, nullptr);
+
+  std::fflush(stderr);
+  ASSERT_GE(dup2(saved_stderr, STDERR_FILENO), 0);
+  close(saved_stderr);
+  SetLogLevel(old_level);
+
+  EXPECT_EQ(captured_count, 1);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[256];
+  size_t n = std::fread(buf, 1, sizeof(buf), f);
+  std::fclose(f);
+  EXPECT_EQ(n, 0u) << "stderr got: " << std::string(buf, n);
+}
+
 }  // namespace
 }  // namespace x3

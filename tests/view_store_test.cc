@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "cube/algorithm.h"
 #include "cube/view_store.h"
 #include "gen/workload.h"
@@ -153,6 +156,51 @@ TEST_P(ViewStoreTest, ApproxBytesGrowsWithViews) {
                       true)
                   .ok());
   EXPECT_GT(store_->ApproxBytes(), with_one);
+}
+
+// Shared-cache shape for the TSan lane: concurrent Answer() readers
+// racing a Materialize() writer on the same store. Every answer must
+// still be exact — a reader sees the view map strictly before or
+// strictly after a publication, never mid-insert.
+TEST_P(ViewStoreTest, ConcurrentAnswerAndMaterializeStayExact) {
+  Build(false, false);
+  CuboidId finest = workload_->lattice.FinestCuboid();
+  ASSERT_TRUE(store_->Materialize(finest, /*with_fact_ids=*/true).ok());
+  const size_t n = workload_->lattice.num_cuboids();
+  // Reference cells computed up front (ReferenceCells is not part of
+  // the store and is not meant to be hammered concurrently).
+  std::vector<std::unordered_map<GroupKey, AggregateState>> expected;
+  expected.reserve(n);
+  for (CuboidId target = 0; target < n; ++target) {
+    expected.push_back(ReferenceCells(*workload_, target));
+  }
+  std::vector<CuboidId> ancestors =
+      workload_->lattice.MoreRelaxedNeighbors(finest);
+  std::thread writer([&] {
+    for (CuboidId c : ancestors) {
+      ASSERT_TRUE(store_->Materialize(c, /*with_fact_ids=*/true).ok());
+    }
+  });
+  constexpr int kReaders = 4;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      for (CuboidId target = r % n; target < n; ++target) {
+        ViewComputeStats stats;
+        auto cells = store_->Answer(target, AggregateFunction::kCount,
+                                    &workload_->properties, &stats);
+        ASSERT_TRUE(cells.ok());
+        EXPECT_TRUE(CellsEqual(*cells, expected[target]))
+            << "cuboid " << target << " via "
+            << ViewStrategyToString(stats.strategy);
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_TRUE(store_->Contains(finest));
+  EXPECT_GE(store_->num_views(), 1u + ancestors.size());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ViewStoreTest, ::testing::Values(0, 1, 2));
