@@ -1,0 +1,242 @@
+#!/usr/bin/env python3
+"""Captures the perf trajectory of the figure benchmarks (ROADMAP item 4).
+
+Runs the fig5/fig6 figure benchmarks in two memory configurations (an
+ample budget of 2x the fact table, and a constrained budget of 0.25x
+that forces the external-sort spill path), and records wall-clock plus
+the machine-independent footprint counters the bench harness exports
+(cells, factKB, peakMemKB, spillKB) into a BENCH_<n>.json snapshot.
+
+A snapshot holds up to two sides, `before` and `after`, so a refactor
+PR can capture the pre-change tree first and the post-change tree
+second and the delta is reviewable in one file (see BENCH_1.json: the
+row-major -> columnar FactTable refactor).
+
+Commands:
+  capture  --build-dir DIR --out FILE --side {before,after} --label TXT
+           [--trees N] [--compress-spill]
+      Runs the benchmarks and writes/updates one side of the snapshot.
+      --compress-spill runs the TD family with block-compressed spill
+      runs; the flag is recorded in the side so `check` replays the
+      same configuration.
+  check    --baseline FILE --build-dir DIR [--tolerance PCT]
+      CI regression gate: re-runs the benchmarks at the scale recorded
+      in the baseline's `after` (or only) side and fails if any
+      machine-independent counter regressed: cells must match exactly,
+      factKB / peakMemKB / spillKB must not exceed the recorded value
+      by more than the tolerance (default 10%, plus a small absolute
+      slack for near-zero values). Wall-clock is reported but not
+      gated: CI machines vary too much for cross-machine time gates,
+      and the counters are what the refactor actually promises.
+  report   --baseline FILE
+      Prints the before/after footprint table (EXPERIMENTS.md source).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+FIGURES = ["fig5_sparse", "fig6_dense"]
+BINARY = {"fig5_sparse": "bench_fig5_sparse", "fig6_dense": "bench_fig6_dense"}
+CONFIGS = {"ample": 2.0, "constrained": 0.25}
+COUNTERS = ["cells", "factKB", "peakMemKB", "spillKB"]
+DEFAULT_TREES = 5000
+
+
+def run_figure(build_dir, figure, trees, budget_factor, compress_spill):
+    """Runs one figure binary, returns {benchmark_name: metrics dict}."""
+    binary = os.path.join(build_dir, "bench", BINARY[figure])
+    if not os.path.exists(binary):
+        sys.exit(f"bench binary not found: {binary} (build it first)")
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_path = tmp.name
+    env = dict(os.environ)
+    env["X3_BENCH_TREES"] = str(trees)
+    env["X3_BENCH_BUDGET_FACTOR"] = repr(budget_factor)
+    env["X3_BENCH_COMPRESS_SPILL"] = "1" if compress_spill else "0"
+    try:
+        subprocess.run(
+            [binary, "--benchmark_min_time=1x",
+             f"--benchmark_out={out_path}", "--benchmark_out_format=json"],
+            env=env, check=True, stdout=subprocess.DEVNULL)
+        with open(out_path) as f:
+            raw = json.load(f)
+    finally:
+        os.unlink(out_path)
+    results = {}
+    for bench in raw.get("benchmarks", []):
+        name = bench["name"]
+        entry = {"real_ms": round(bench["real_time"], 3)}
+        for counter in COUNTERS:
+            if counter in bench:
+                entry[counter] = round(bench[counter], 3)
+        results[name] = entry
+    return results
+
+
+def summarize(figures):
+    """Aggregates one side's per-benchmark metrics for the report table."""
+    total_ms = 0.0
+    peak_kb = 0.0
+    spill_kb = 0.0
+    fact_kb = 0.0
+    for config_results in figures.values():
+        for benchmarks in config_results.values():
+            for metrics in benchmarks.values():
+                total_ms += metrics["real_ms"]
+                peak_kb = max(peak_kb, metrics.get("peakMemKB", 0.0))
+                spill_kb += metrics.get("spillKB", 0.0)
+                fact_kb = max(fact_kb, metrics.get("factKB", 0.0))
+    return {
+        "wall_ms_total": round(total_ms, 1),
+        "peak_mem_kb_max": round(peak_kb, 1),
+        "spill_kb_total": round(spill_kb, 1),
+        "fact_kb_max": round(fact_kb, 1),
+    }
+
+
+def git_commit():
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], capture_output=True,
+            text=True, check=True).stdout.strip()
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return "unknown"
+
+
+def capture_side(build_dir, trees, compress_spill):
+    figures = {}
+    for figure in FIGURES:
+        figures[figure] = {}
+        for config, factor in CONFIGS.items():
+            print(f"  running {figure} ({config}, factor {factor}, "
+                  f"{trees} trees, compress_spill={compress_spill})...",
+                  flush=True)
+            figures[figure][config] = run_figure(
+                build_dir, figure, trees, factor, compress_spill)
+    return figures
+
+
+def cmd_capture(args):
+    snapshot = {"schema": 1, "trees": args.trees, "figures": FIGURES,
+                "configs": CONFIGS}
+    if os.path.exists(args.out):
+        with open(args.out) as f:
+            snapshot = json.load(f)
+        if snapshot.get("trees") != args.trees:
+            sys.exit(f"{args.out} was captured at trees={snapshot.get('trees')},"
+                     f" refusing to mix with trees={args.trees}")
+    side = {
+        "label": args.label,
+        "commit": git_commit(),
+        "compress_spill": args.compress_spill,
+        "figures": capture_side(args.build_dir, args.trees,
+                                args.compress_spill),
+    }
+    side["summary"] = summarize(side["figures"])
+    snapshot[args.side] = side
+    with open(args.out, "w") as f:
+        json.dump(snapshot, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.side} side of {args.out}: {side['summary']}")
+
+
+def cmd_check(args):
+    with open(args.baseline) as f:
+        snapshot = json.load(f)
+    side = snapshot.get("after") or snapshot.get("before")
+    if side is None:
+        sys.exit(f"{args.baseline} has no captured side")
+    trees = snapshot["trees"]
+    tolerance = 1.0 + args.tolerance / 100.0
+    slack_kb = 16.0  # absolute slack so near-zero baselines don't gate noise
+    compress_spill = side.get("compress_spill", False)
+    print(f"re-running capture at trees={trees} against "
+          f"'{side['label']}' ({side['commit']})")
+    current = capture_side(args.build_dir, trees, compress_spill)
+    failures = []
+    wall_base = 0.0
+    wall_now = 0.0
+    for figure, config_results in side["figures"].items():
+        for config, benchmarks in config_results.items():
+            for name, base in benchmarks.items():
+                now = current.get(figure, {}).get(config, {}).get(name)
+                if now is None:
+                    failures.append(f"{name} [{config}]: benchmark vanished")
+                    continue
+                wall_base += base["real_ms"]
+                wall_now += now["real_ms"]
+                if now.get("cells") != base.get("cells"):
+                    failures.append(
+                        f"{name} [{config}]: cells {now.get('cells')} != "
+                        f"baseline {base.get('cells')}")
+                for counter in ("factKB", "peakMemKB", "spillKB"):
+                    b = base.get(counter, 0.0)
+                    n = now.get(counter, 0.0)
+                    if n > b * tolerance + slack_kb:
+                        failures.append(
+                            f"{name} [{config}]: {counter} {n:.1f} > "
+                            f"baseline {b:.1f} (+{args.tolerance}% + "
+                            f"{slack_kb}KB slack)")
+    print(f"wall-clock (informational): baseline {wall_base:.0f} ms, "
+          f"now {wall_now:.0f} ms")
+    if failures:
+        print(f"REGRESSION: {len(failures)} counter(s) regressed vs "
+              f"{args.baseline}:")
+        for failure in failures:
+            print(f"  {failure}")
+        sys.exit(1)
+    print(f"OK: all footprint counters within {args.tolerance}% of "
+          f"{args.baseline}")
+
+
+def cmd_report(args):
+    with open(args.baseline) as f:
+        snapshot = json.load(f)
+    print(f"| side | label | commit | wall ms | peak mem KB "
+          f"| spill KB | fact KB |")
+    print("|---|---|---|---|---|---|---|")
+    for side_name in ("before", "after"):
+        side = snapshot.get(side_name)
+        if side is None:
+            continue
+        s = side["summary"]
+        print(f"| {side_name} | {side['label']} | {side['commit']} "
+              f"| {s['wall_ms_total']} | {s['peak_mem_kb_max']} "
+              f"| {s['spill_kb_total']} | {s['fact_kb_max']} |")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("capture")
+    p.add_argument("--build-dir", default="build")
+    p.add_argument("--out", required=True)
+    p.add_argument("--side", choices=["before", "after"], required=True)
+    p.add_argument("--label", required=True)
+    p.add_argument("--trees", type=int, default=DEFAULT_TREES)
+    p.add_argument("--compress-spill", action="store_true",
+                   help="run the TD family with block-compressed spill "
+                        "runs (recorded in the side; check replays it)")
+    p.set_defaults(func=cmd_capture)
+
+    p = sub.add_parser("check")
+    p.add_argument("--baseline", required=True)
+    p.add_argument("--build-dir", default="build")
+    p.add_argument("--tolerance", type=float, default=10.0)
+    p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser("report")
+    p.add_argument("--baseline", required=True)
+    p.set_defaults(func=cmd_report)
+
+    args = parser.parse_args()
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()

@@ -42,6 +42,11 @@ Rules (see docs/STATIC_ANALYSIS.md for the rationale):
                      src/util/trace.cc: all timing goes through
                      Timer/MonotonicNow so stage timings and trace
                      timestamps share one time base behind one seam.
+  raw-fact-set       No std::set/std::unordered_set of raw integer fact
+                     ids in src/cube/: fact-id sets are FactIdSet
+                     (util/fact_id_set.h), the compressed roaring-style
+                     representation, so cardinality/union/intersection
+                     stay O(words) and the memory budget stays honest.
   raw-mutex          No bare std::mutex / std::condition_variable /
                      std::lock_guard / std::unique_lock (or their timed/
                      recursive/shared cousins) in src/ outside
@@ -92,6 +97,12 @@ RAW_CLOCK = re.compile(
 # Raw locking primitives. x3::Mutex/MutexLock/CondVar
 # (util/thread_annotations.h) are the only lock types allowed in src/:
 # they carry the capability annotations and the lock-order rank.
+# A set of raw integer ids in cube code is a fact-id set by another
+# name; FactIdSet is the one blessed representation.
+RAW_FACT_SET = re.compile(
+    r"std\s*::\s*(?:unordered_)?set\s*<\s*(?:std\s*::\s*)?"
+    r"(?:uint32_t|uint64_t|size_t|unsigned(?:\s+(?:int|long(?:\s+long)?))?)"
+    r"\s*>")
 RAW_MUTEX = re.compile(
     r"std\s*::\s*(?:(?:timed_|recursive_|recursive_timed_|shared_)?mutex\b|"
     r"condition_variable(?:_any)?\b|"
@@ -220,6 +231,10 @@ class Linter:
                 self.report(path, lineno, "raw-clock",
                             "raw clock read in src/; use Timer or "
                             "MonotonicNow (util/timer.h)", raw)
+            if rel.startswith("src/cube/") and RAW_FACT_SET.search(code):
+                self.report(path, lineno, "raw-fact-set",
+                            "raw integer set in src/cube/; fact-id sets "
+                            "use FactIdSet (util/fact_id_set.h)", raw)
             if in_src and not is_lock_seam and RAW_MUTEX.search(code):
                 self.report(path, lineno, "raw-mutex",
                             "raw std::mutex/condition_variable/lock in src/; "

@@ -81,6 +81,9 @@ struct CubeComputeOptions {
   /// aggregates are commutative). The bottom-up family executes its
   /// single recursive partition walk sequentially regardless.
   size_t parallelism = 1;
+  /// Block-compress sort spill runs (TD family). Cuts spill bytes at
+  /// some CPU cost; results are bit-identical either way.
+  bool compress_spill = false;
 };
 
 /// Cost counters exposed by every algorithm (machine-independent

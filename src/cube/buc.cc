@@ -1,7 +1,7 @@
 #include <algorithm>
-#include <unordered_map>
 
 #include "cube/executor.h"
+#include "util/fact_id_set.h"
 #include "util/logging.h"
 
 namespace x3 {
@@ -40,9 +40,9 @@ class BucComputation {
 
   Result<CubeResult> Run() {
     ScopedStageTimer timer(ctx_->stats(), "partition-walk", ctx_->tracer());
-    std::vector<uint32_t> rows(facts_.size());
+    FactIdSet rows;
     for (size_t f = 0; f < facts_.size(); ++f) {
-      rows[f] = static_cast<uint32_t>(f);
+      rows.Add(static_cast<uint32_t>(f));
     }
     ++stats_->base_scans;
     X3_RETURN_IF_ERROR(Recurse(0, rows));
@@ -67,12 +67,12 @@ class BucComputation {
     }
   }
 
-  Status Recurse(size_t axis, const std::vector<uint32_t>& rows) {
+  Status Recurse(size_t axis, const FactIdSet& rows) {
     X3_RETURN_IF_ERROR(ctx_->Poll());
     // Iceberg pruning: every deeper group is a subset of `rows`, so
     // nothing below the threshold can qualify (Beyer-Ramakrishnan).
     if (options_.min_count > 1 &&
-        rows.size() < static_cast<size_t>(options_.min_count)) {
+        rows.cardinality() < static_cast<size_t>(options_.min_count)) {
       return Status::OK();
     }
     if (axis == lattice_.num_axes()) {
@@ -80,6 +80,11 @@ class BucComputation {
       return Status::OK();
     }
     const AxisLattice& axis_lattice = lattice_.axis(axis);
+    // Columnar scan state for this axis: the partition loops below walk
+    // the mask/value columns directly through the shared offset index.
+    std::span<const AxisStateMask> masks = facts_.AxisMaskColumn(axis);
+    std::span<const ValueId> values = facts_.AxisValueColumn(axis);
+    std::span<const uint32_t> offsets = facts_.AxisOffsets(axis);
     for (AxisStateId s = 0; s < axis_lattice.num_states(); ++s) {
       states_[axis] = s;
       if (!axis_lattice.state(s).grouping_present()) {
@@ -94,20 +99,30 @@ class BucComputation {
       // (§3.4's replicated membership); empty partitions never exist
       // and recursion prunes automatically.
       std::vector<std::pair<ValueId, uint32_t>> pairs;
-      pairs.reserve(rows.size());
+      pairs.reserve(rows.cardinality());
       bool fast = AssumeDisjoint(axis, s);
-      if (fast) {
-        for (uint32_t row : rows) {
-          ValueId v = facts_.FirstAdmittedValue(axis, row, s);
-          if (v != kInvalidValueId) pairs.emplace_back(v, row);
+      rows.ForEach([&](uint32_t row) {
+        uint32_t lo = offsets[row];
+        uint32_t hi = offsets[row + 1];
+        for (uint32_t i = lo; i < hi; ++i) {
+          if (!FactTable::AdmittedAt(masks[i], s)) continue;
+          if (fast) {
+            pairs.emplace_back(values[i], row);
+            break;  // disjointness assumed: first admitted value only
+          }
+          // First-seen dedup within the fact's binding range (the same
+          // value may appear under several masks pre-collapse).
+          bool seen = false;
+          for (uint32_t j = lo; j < i; ++j) {
+            if (values[j] == values[i] &&
+                FactTable::AdmittedAt(masks[j], s)) {
+              seen = true;
+              break;
+            }
+          }
+          if (!seen) pairs.emplace_back(values[i], row);
         }
-      } else {
-        std::vector<ValueId> values;
-        for (uint32_t row : rows) {
-          facts_.AdmittedValues(axis, row, s, &values);
-          for (ValueId v : values) pairs.emplace_back(v, row);
-        }
-      }
+      });
       std::sort(pairs.begin(), pairs.end());
       size_t charged = pairs.size() * sizeof(pairs[0]);
       stats_->partition_rows += pairs.size();
@@ -120,12 +135,14 @@ class BucComputation {
       // (cancellation) surfacing from a deeper level — collect the
       // status and fall through to the Release.
       Status status = Status::OK();
-      std::vector<uint32_t> partition;
+      FactIdSet partition;
       for (size_t i = 0; i < pairs.size() && status.ok();) {
         ValueId v = pairs[i].first;
-        partition.clear();
+        partition.Clear();
+        // Rows of a run arrive ascending (sort ties break on row), so
+        // these Adds hit the append fast path.
         while (i < pairs.size() && pairs[i].first == v) {
-          partition.push_back(pairs[i].second);
+          partition.Add(pairs[i].second);
           ++i;
         }
         ++stats_->partitions;
@@ -139,14 +156,13 @@ class BucComputation {
     return Status::OK();
   }
 
-  void Emit(const std::vector<uint32_t>& rows) {
+  void Emit(const FactIdSet& rows) {
     if (rows.empty()) return;
     CuboidId cuboid = lattice_.Encode(states_);
     GroupKey key = PackGroupKey(values_);
     AggregateState* cell = result_.MutableCell(cuboid, key);
-    for (uint32_t row : rows) {
-      cell->Update(facts_.measure(row));
-    }
+    rows.ForEach(
+        [&](uint32_t row) { cell->Update(facts_.measure(row)); });
   }
 
   CubeAlgorithm variant_;

@@ -40,6 +40,16 @@ Result<bool> CounterPass(const FactTable& facts, const CubeLattice& lattice,
   for (size_t a = 0; a < lattice.num_axes(); ++a) {
     cache[a].resize(lattice.axis(a).num_states());
   }
+  // Columnar scan state: the cache fill below walks each axis's mask
+  // and value columns directly through the shared offset index.
+  std::vector<std::span<const AxisStateMask>> col_masks(lattice.num_axes());
+  std::vector<std::span<const ValueId>> col_values(lattice.num_axes());
+  std::vector<std::span<const uint32_t>> col_offsets(lattice.num_axes());
+  for (size_t a = 0; a < lattice.num_axes(); ++a) {
+    col_masks[a] = facts.AxisMaskColumn(a);
+    col_values[a] = facts.AxisValueColumn(a);
+    col_offsets[a] = facts.AxisOffsets(a);
+  }
   std::vector<size_t> idx;
   std::vector<ValueId> tuple;
   bool overflow = false;
@@ -49,9 +59,19 @@ Result<bool> CounterPass(const FactTable& facts, const CubeLattice& lattice,
     if (!interrupted.ok()) break;
     int64_t measure = facts.measure(f);
     for (size_t a = 0; a < lattice.num_axes(); ++a) {
+      uint32_t lo = col_offsets[a][f];
+      uint32_t hi = col_offsets[a][f + 1];
       for (AxisStateId s = 0; s < lattice.axis(a).num_states(); ++s) {
         if (!lattice.axis(a).state(s).grouping_present()) continue;
-        facts.AdmittedValues(a, f, s, &cache[a][s]);
+        std::vector<ValueId>& list = cache[a][s];
+        list.clear();
+        for (uint32_t i = lo; i < hi; ++i) {
+          if (!FactTable::AdmittedAt(col_masks[a][i], s)) continue;
+          ValueId v = col_values[a][i];
+          if (std::find(list.begin(), list.end(), v) == list.end()) {
+            list.push_back(v);  // first-seen distinct order
+          }
+        }
       }
     }
     for (size_t b = 0; b < batch.size() && !overflow; ++b) {

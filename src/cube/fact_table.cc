@@ -8,10 +8,10 @@
 namespace x3 {
 
 FactTable::FactTable(size_t num_axes) : num_axes_(num_axes) {
-  axis_bindings_.resize(num_axes);
+  axis_masks_.resize(num_axes);
+  axis_value_cols_.resize(num_axes);
   axis_offsets_.resize(num_axes);
-  axis_values_.resize(num_axes);
-  axis_value_ids_.resize(num_axes);
+  axis_dicts_.resize(num_axes);
   for (size_t a = 0; a < num_axes; ++a) {
     axis_offsets_[a].push_back(0);
   }
@@ -23,7 +23,7 @@ void FactTable::BeginFact(uint64_t fact_id, int64_t measure) {
   if (!fact_ids_.empty()) {
     for (size_t a = 0; a < num_axes_; ++a) {
       axis_offsets_[a].push_back(
-          static_cast<uint32_t>(axis_bindings_[a].size()));
+          static_cast<uint32_t>(axis_masks_[a].size()));
     }
   }
   fact_ids_.push_back(fact_id);
@@ -31,27 +31,22 @@ void FactTable::BeginFact(uint64_t fact_id, int64_t measure) {
 }
 
 ValueId FactTable::InternAxisValue(size_t axis, std::string_view value) {
-  auto& ids = axis_value_ids_[axis];
-  auto it = ids.find(std::string(value));
-  if (it != ids.end()) return it->second;
-  ValueId id = static_cast<ValueId>(axis_values_[axis].size());
-  axis_values_[axis].emplace_back(value);
-  ids.emplace(axis_values_[axis].back(), id);
-  return id;
+  return axis_dicts_[axis].Intern(value);
 }
 
 void FactTable::AddBinding(size_t axis, AxisStateMask mask, ValueId value) {
   X3_CHECK(!finished_) << "AddBinding after Finish";
   X3_CHECK(!fact_ids_.empty()) << "AddBinding before BeginFact";
-  auto& bindings = axis_bindings_[axis];
+  std::vector<ValueId>& values = axis_value_cols_[axis];
   size_t fact_start = axis_offsets_[axis].back();
-  for (size_t i = fact_start; i < bindings.size(); ++i) {
-    if (bindings[i].value == value) {
-      bindings[i].mask |= mask;  // collapse duplicates by value
+  for (size_t i = fact_start; i < values.size(); ++i) {
+    if (values[i] == value) {
+      axis_masks_[axis][i] |= mask;  // collapse duplicates by value
       return;
     }
   }
-  bindings.push_back({mask, value});
+  axis_masks_[axis].push_back(mask);
+  values.push_back(value);
 }
 
 void FactTable::Finish() {
@@ -59,41 +54,54 @@ void FactTable::Finish() {
   if (!fact_ids_.empty()) {
     for (size_t a = 0; a < num_axes_; ++a) {
       axis_offsets_[a].push_back(
-          static_cast<uint32_t>(axis_bindings_[a].size()));
+          static_cast<uint32_t>(axis_masks_[a].size()));
     }
   }
   finished_ = true;
 }
 
-std::span<const AxisBinding> FactTable::bindings(size_t axis,
-                                                 size_t fact) const {
+std::span<const AxisStateMask> FactTable::BindingMasks(size_t axis,
+                                                       size_t fact) const {
   X3_DCHECK(finished_);
   uint32_t lo = axis_offsets_[axis][fact];
   uint32_t hi = axis_offsets_[axis][fact + 1];
-  return std::span<const AxisBinding>(axis_bindings_[axis].data() + lo,
-                                      hi - lo);
+  return std::span<const AxisStateMask>(axis_masks_[axis].data() + lo,
+                                        hi - lo);
+}
+
+std::span<const ValueId> FactTable::BindingValues(size_t axis,
+                                                  size_t fact) const {
+  X3_DCHECK(finished_);
+  uint32_t lo = axis_offsets_[axis][fact];
+  uint32_t hi = axis_offsets_[axis][fact + 1];
+  return std::span<const ValueId>(axis_value_cols_[axis].data() + lo,
+                                  hi - lo);
 }
 
 void FactTable::AdmittedValues(size_t axis, size_t fact, AxisStateId state,
                                std::vector<ValueId>* out) const {
   out->clear();
-  for (const AxisBinding& b : bindings(axis, fact)) {
-    if (!b.AdmittedAt(state)) continue;
+  std::span<const AxisStateMask> masks = BindingMasks(axis, fact);
+  std::span<const ValueId> values = BindingValues(axis, fact);
+  for (size_t i = 0; i < masks.size(); ++i) {
+    if (!AdmittedAt(masks[i], state)) continue;
+    ValueId value = values[i];
     bool seen = false;
     for (ValueId v : *out) {
-      if (v == b.value) {
+      if (v == value) {
         seen = true;
         break;
       }
     }
-    if (!seen) out->push_back(b.value);
+    if (!seen) out->push_back(value);
   }
 }
 
 ValueId FactTable::FirstAdmittedValue(size_t axis, size_t fact,
                                       AxisStateId state) const {
-  for (const AxisBinding& b : bindings(axis, fact)) {
-    if (b.AdmittedAt(state)) return b.value;
+  std::span<const AxisStateMask> masks = BindingMasks(axis, fact);
+  for (size_t i = 0; i < masks.size(); ++i) {
+    if (AdmittedAt(masks[i], state)) return BindingValues(axis, fact)[i];
   }
   return kInvalidValueId;
 }
@@ -101,9 +109,12 @@ ValueId FactTable::FirstAdmittedValue(size_t axis, size_t fact,
 size_t FactTable::ApproxBytes() const {
   size_t bytes = fact_ids_.size() * (sizeof(uint64_t) + sizeof(int64_t));
   for (size_t a = 0; a < num_axes_; ++a) {
-    bytes += axis_bindings_[a].size() * sizeof(AxisBinding);
+    bytes += axis_masks_[a].size() * sizeof(AxisStateMask);
+    bytes += axis_value_cols_[a].size() * sizeof(ValueId);
     bytes += axis_offsets_[a].size() * sizeof(uint32_t);
-    for (const std::string& v : axis_values_[a]) bytes += v.size() + 32;
+    for (size_t v = 0; v < axis_dicts_[a].size(); ++v) {
+      bytes += axis_dicts_[a].Value(static_cast<ValueId>(v)).size() + 32;
+    }
   }
   return bytes;
 }
@@ -111,7 +122,9 @@ size_t FactTable::ApproxBytes() const {
 namespace {
 
 constexpr uint32_t kFactTableMagic = 0x58334654;  // "X3FT"
-constexpr uint32_t kFactTableVersion = 1;
+/// Version 2: columnar binding storage — separate mask (uint64) and
+/// value (uint32) columns instead of the v1 array-of-AxisBinding.
+constexpr uint32_t kFactTableVersion = 2;
 
 }  // namespace
 
@@ -137,12 +150,14 @@ Status FactTable::Save(const std::string& path, Env* env) const {
   w(fact_ids_.data(), fact_ids_.size() * sizeof(uint64_t));
   w(measures_.data(), measures_.size() * sizeof(int64_t));
   for (size_t a = 0; a < num_axes_ && s.ok(); ++a) {
-    uint64_t counts[2] = {axis_bindings_[a].size(), axis_values_[a].size()};
+    uint64_t counts[2] = {axis_masks_[a].size(), axis_dicts_[a].size()};
     w(counts, sizeof(counts));
     w(axis_offsets_[a].data(), axis_offsets_[a].size() * sizeof(uint32_t));
-    w(axis_bindings_[a].data(),
-      axis_bindings_[a].size() * sizeof(AxisBinding));
-    for (const std::string& v : axis_values_[a]) {
+    w(axis_masks_[a].data(), axis_masks_[a].size() * sizeof(AxisStateMask));
+    w(axis_value_cols_[a].data(),
+      axis_value_cols_[a].size() * sizeof(ValueId));
+    for (uint64_t i = 0; i < axis_dicts_[a].size() && s.ok(); ++i) {
+      const std::string& v = axis_dicts_[a].Value(static_cast<ValueId>(i));
       uint32_t len = static_cast<uint32_t>(v.size());
       w(&len, sizeof(len));
       w(v.data(), v.size());
@@ -185,7 +200,7 @@ Result<FactTable> FactTable::Load(const std::string& path, Env* env) {
   for (size_t a = 0; a < num_axes; ++a) {
     uint64_t counts[2];
     X3_RETURN_IF_ERROR(reader.Read(counts, sizeof(counts)));
-    if (!plausible(counts[0], sizeof(AxisBinding)) ||
+    if (!plausible(counts[0], sizeof(AxisStateMask)) ||
         !plausible(counts[1], sizeof(uint32_t))) {
       return Status::Corruption("implausible axis counts in " + path);
     }
@@ -193,10 +208,12 @@ Result<FactTable> FactTable::Load(const std::string& path, Env* env) {
     table.axis_offsets_[a].resize(offsets);
     X3_RETURN_IF_ERROR(reader.Read(table.axis_offsets_[a].data(),
                                    offsets * sizeof(uint32_t)));
-    table.axis_bindings_[a].resize(counts[0]);
-    X3_RETURN_IF_ERROR(reader.Read(table.axis_bindings_[a].data(),
-                                   counts[0] * sizeof(AxisBinding)));
-    table.axis_values_[a].reserve(counts[1]);
+    table.axis_masks_[a].resize(counts[0]);
+    X3_RETURN_IF_ERROR(reader.Read(table.axis_masks_[a].data(),
+                                   counts[0] * sizeof(AxisStateMask)));
+    table.axis_value_cols_[a].resize(counts[0]);
+    X3_RETURN_IF_ERROR(reader.Read(table.axis_value_cols_[a].data(),
+                                   counts[0] * sizeof(ValueId)));
     for (uint64_t i = 0; i < counts[1]; ++i) {
       uint32_t len = 0;
       X3_RETURN_IF_ERROR(reader.Read(&len, sizeof(len)));
@@ -205,8 +222,11 @@ Result<FactTable> FactTable::Load(const std::string& path, Env* env) {
       }
       std::string v(len, '\0');
       X3_RETURN_IF_ERROR(reader.Read(v.data(), len));
-      table.axis_value_ids_[a].emplace(v, static_cast<ValueId>(i));
-      table.axis_values_[a].push_back(std::move(v));
+      // Interning in stored order reproduces the dense id assignment.
+      ValueId id = table.axis_dicts_[a].Intern(v);
+      if (id != static_cast<ValueId>(i)) {
+        return Status::Corruption("duplicate dictionary value in " + path);
+      }
     }
   }
   X3_RETURN_IF_ERROR(reader.Close());

@@ -5,29 +5,14 @@
 #include <span>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "relax/cube_lattice.h"
 #include "util/result.h"
 #include "xdb/database.h"
+#include "xdb/value_dictionary.h"
 
 namespace x3 {
-
-/// One axis binding of a fact: the transformed grouping value plus the
-/// admission mask recording at which of the axis's relaxation states
-/// this binding is a valid match (bit s = state s of the AxisLattice).
-struct AxisBinding {
-  AxisStateMask mask = 0;
-  ValueId value = kInvalidValueId;
-
-  bool AdmittedAt(AxisStateId state) const {
-    return (mask >> state) & 1u;
-  }
-  bool operator==(const AxisBinding& other) const {
-    return mask == other.mask && value == other.value;
-  }
-};
 
 /// The materialized input of cube computation: per fact, per axis, the
 /// list of bindings with admission masks. This is the paper's
@@ -35,10 +20,25 @@ struct AxisBinding {
 /// the most relaxed fully instantiated pattern is matched once, and all
 /// cube algorithms consume this table.
 ///
-/// A fact with no binding on an axis simply has an empty binding list
+/// Storage is structure-of-arrays: each axis keeps two contiguous
+/// columns — the admission masks (bit s = admitted at state s of the
+/// AxisLattice) and the dictionary-encoded grouping values — sharing
+/// one per-fact offset index:
+///
+///   axis a:  masks_  [m0 m1 | m2 | m3 m4 m5 | ...]   uint64 column
+///            values_ [v0 v1 | v2 | v3 v4 v5 | ...]   uint32 column
+///            offsets_[0, 2, 3, 6, ...]               facts + 1 entries
+///
+/// The executors' inner loops (COUNTER's admitted-value cache fills,
+/// BUC's partition scans, topdown's sort-record emission) scan these
+/// columns sequentially; a scan that only needs values — or only masks
+/// — touches nothing else. There is no row-major (array-of-structs)
+/// path.
+///
+/// A fact with no binding on an axis simply has an empty binding range
 /// there (the coverage-violation case); a fact with several distinct
-/// values (the disjointness-violation case) has several bindings.
-/// Values are dictionary-encoded per axis.
+/// values (the disjointness-violation case) has several entries.
+/// Values are interned per axis through an xdb::ValueDictionary.
 class FactTable {
  public:
   explicit FactTable(size_t num_axes);
@@ -72,8 +72,38 @@ class FactTable {
   uint64_t fact_id(size_t fact) const { return fact_ids_[fact]; }
   int64_t measure(size_t fact) const { return measures_[fact]; }
 
-  /// Bindings of `axis` for `fact`.
-  std::span<const AxisBinding> bindings(size_t axis, size_t fact) const;
+  /// Number of bindings of `axis` for `fact`.
+  size_t NumBindings(size_t axis, size_t fact) const {
+    return axis_offsets_[axis][fact + 1] - axis_offsets_[axis][fact];
+  }
+
+  /// The admission-mask column slice of `axis` for `fact`. Parallel to
+  /// BindingValues: entry i of both describes binding i.
+  std::span<const AxisStateMask> BindingMasks(size_t axis,
+                                              size_t fact) const;
+
+  /// The value column slice of `axis` for `fact`.
+  std::span<const ValueId> BindingValues(size_t axis, size_t fact) const;
+
+  /// Whole-column access for executor inner loops: the full mask /
+  /// value columns of one axis plus the per-fact offset index (size
+  /// facts + 1). Fact f's bindings live at [offsets[f], offsets[f+1]).
+  /// Scanning these directly avoids per-fact span construction in
+  /// loops that touch every fact.
+  std::span<const AxisStateMask> AxisMaskColumn(size_t axis) const {
+    return axis_masks_[axis];
+  }
+  std::span<const ValueId> AxisValueColumn(size_t axis) const {
+    return axis_value_cols_[axis];
+  }
+  std::span<const uint32_t> AxisOffsets(size_t axis) const {
+    return axis_offsets_[axis];
+  }
+
+  /// True when binding `mask` admits `state`.
+  static bool AdmittedAt(AxisStateMask mask, AxisStateId state) {
+    return (mask >> state) & 1u;
+  }
 
   /// Distinct values of `axis` for `fact` admitted at `state`, appended
   /// to `*out` (cleared first). Order is first-seen.
@@ -86,11 +116,11 @@ class FactTable {
                              AxisStateId state) const;
 
   const std::string& AxisValueName(size_t axis, ValueId value) const {
-    return axis_values_[axis][value];
+    return axis_dicts_[axis].Value(value);
   }
   /// Number of distinct values seen on `axis`.
   size_t AxisCardinality(size_t axis) const {
-    return axis_values_[axis].size();
+    return axis_dicts_[axis].size();
   }
 
   /// Rough in-memory footprint, for budget-aware callers.
@@ -108,13 +138,13 @@ class FactTable {
 
   std::vector<uint64_t> fact_ids_;
   std::vector<int64_t> measures_;
-  /// Per axis: flat binding array + per-fact offsets (size facts+1 once
-  /// finished).
-  std::vector<std::vector<AxisBinding>> axis_bindings_;
+  /// Per axis, the two binding columns plus the shared per-fact offset
+  /// index (size facts+1 once finished). masks/values are parallel.
+  std::vector<std::vector<AxisStateMask>> axis_masks_;
+  std::vector<std::vector<ValueId>> axis_value_cols_;
   std::vector<std::vector<uint32_t>> axis_offsets_;
   /// Per axis value dictionaries.
-  std::vector<std::vector<std::string>> axis_values_;
-  std::vector<std::unordered_map<std::string, ValueId>> axis_value_ids_;
+  std::vector<ValueDictionary> axis_dicts_;
 };
 
 }  // namespace x3

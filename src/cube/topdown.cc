@@ -51,6 +51,7 @@ ExternalSorter::Options SorterOptions(const CubeComputeOptions& options,
   sort_options.budget = options.budget;
   sort_options.temp_files = options.temp_files;
   sort_options.exec = ctx;
+  sort_options.compress_spill = options.compress_spill;
   return sort_options;
 }
 
@@ -153,13 +154,36 @@ Status RunPipe(const FactTable& facts, const CubePlanPipe& pipe,
                          ctx->tracer());
   ExternalSorter sorter(SorterOptions(options, ctx));
   ++stats->base_scans;
+  // Columnar scan state: one (mask column, value column, offsets, state)
+  // tuple per sort-order entry, so the record-building loop below walks
+  // the axis columns directly instead of calling back into the table.
+  struct FieldCols {
+    std::span<const AxisStateMask> masks;
+    std::span<const ValueId> values;
+    std::span<const uint32_t> offsets;
+    AxisStateId state;
+  };
+  std::vector<FieldCols> fields;
+  fields.reserve(pipe.sort_order.size());
+  for (const auto& [axis, state] : pipe.sort_order) {
+    fields.push_back(FieldCols{facts.AxisMaskColumn(axis),
+                               facts.AxisValueColumn(axis),
+                               facts.AxisOffsets(axis), state});
+  }
   std::string record;
   for (size_t f = 0; f < facts.size(); ++f) {
     X3_RETURN_IF_ERROR(ctx->Poll());
     record.clear();
-    for (const auto& [axis, state] : pipe.sort_order) {
-      ValueId v = facts.FirstAdmittedValue(axis, f, state);
-      AppendBE32(&record, v == kInvalidValueId ? kNullField : v);
+    for (const FieldCols& col : fields) {
+      uint32_t field = kNullField;
+      uint32_t hi = col.offsets[f + 1];
+      for (uint32_t i = col.offsets[f]; i < hi; ++i) {
+        if (FactTable::AdmittedAt(col.masks[i], col.state)) {
+          field = col.values[i];  // disjointness: first admitted value
+          break;
+        }
+      }
+      AppendBE32(&record, field);
     }
     AppendMeasure(&record, facts.measure(f));
     X3_RETURN_IF_ERROR(sorter.Add(record));

@@ -47,7 +47,9 @@ Status CubeViewStore::Materialize(CuboidId cuboid, bool with_fact_ids) {
       ViewCell& cell = view.cells[PackGroupKey(tuple)];
       cell.agg.Update(facts_->measure(f));
       if (with_fact_ids) {
-        cell.facts.push_back(static_cast<uint32_t>(f));
+        // Ascending f: hits FactIdSet's append fast path, and a fact
+        // enters a given cell at most once per odometer walk.
+        cell.facts.Add(static_cast<uint32_t>(f));
       }
       size_t i = 0;
       for (; i < view.present.size(); ++i) {
@@ -57,9 +59,8 @@ Status CubeViewStore::Materialize(CuboidId cuboid, bool with_fact_ids) {
       if (i == view.present.size()) break;
     }
   }
-  // Fact lists are built in ascending f, so they are sorted & distinct
-  // already (a fact enters a given cell at most once). Publish under
-  // the lock; the whole build above ran on private state.
+  // Publish under the lock; the whole build above ran on private
+  // state.
   MutexLock lock(&mu_);
   views_[cuboid] = std::move(view);
   return Status::OK();
@@ -71,7 +72,7 @@ size_t CubeViewStore::ApproxBytes() const {
   for (const auto& [id, view] : views_) {
     for (const auto& [key, cell] : view.cells) {
       bytes += key.size() + sizeof(ViewCell) + 32;
-      bytes += cell.facts.size() * sizeof(uint32_t);
+      bytes += cell.facts.ApproxBytes();
     }
   }
   return bytes;
@@ -168,7 +169,7 @@ Result<std::unordered_map<GroupKey, AggregateState>> CubeViewStore::Answer(
     }
 
     // Roll up: project each non-null view cell onto the kept fields.
-    std::unordered_map<GroupKey, std::vector<uint32_t>> fact_sets;
+    std::unordered_map<GroupKey, FactIdSet> fact_sets;
     for (const auto& [key, cell] : best->cells) {
       ++st->view_cells_scanned;
       GroupKey target_key;
@@ -186,21 +187,20 @@ Result<std::unordered_map<GroupKey, AggregateState>> CubeViewStore::Answer(
       // Dropped-axis null cells DO contribute (the fact belongs to the
       // target group even though the dropped axis was missing).
       if (best_needs_ids) {
-        auto& set = fact_sets[target_key];
-        set.insert(set.end(), cell.facts.begin(), cell.facts.end());
+        // Set union deduplicates facts reaching the target group from
+        // several source cells (the disjointness repair, §3.6).
+        fact_sets[target_key].UnionWith(cell.facts);
       } else {
         out[target_key].Merge(cell.agg);
       }
     }
     if (best_needs_ids) {
       for (auto& [key, set] : fact_sets) {
-        std::sort(set.begin(), set.end());
-        set.erase(std::unique(set.begin(), set.end()), set.end());
         AggregateState& agg = out[key];
-        for (uint32_t f : set) {
+        set.ForEach([&](uint32_t f) {
           agg.Update(facts_->measure(f));
           ++st->facts_scanned;
-        }
+        });
       }
     }
     return out;

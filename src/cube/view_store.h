@@ -11,6 +11,7 @@
 #include "cube/fact_table.h"
 #include "relax/cube_lattice.h"
 #include "schema/summarizability.h"
+#include "util/fact_id_set.h"
 #include "util/result.h"
 #include "util/thread_annotations.h"
 
@@ -100,9 +101,9 @@ class CubeViewStore {
  private:
   struct ViewCell {
     AggregateState agg;
-    /// Sorted distinct contributing fact indices (empty when the view
-    /// was materialized without ids).
-    std::vector<uint32_t> facts;
+    /// Contributing fact indices as a compressed set (empty when the
+    /// view was materialized without ids).
+    FactIdSet facts;
   };
   struct View {
     bool with_fact_ids = false;

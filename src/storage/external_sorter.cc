@@ -4,6 +4,7 @@
 #include <cstring>
 #include <queue>
 
+#include "util/compress.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/string_util.h"
@@ -30,6 +31,18 @@ Counter& MergePassesCounter() {
       "x3_sort_merge_passes_total", "K-way merge passes over spilled runs");
   return *c;
 }
+Counter& SpillRawBytesCounter() {
+  static Counter* c = MetricRegistry::Global().GetCounter(
+      "x3_sort_spill_raw_bytes_total",
+      "Uncompressed bytes framed into compressed spill blocks");
+  return *c;
+}
+Counter& SpillBlocksCounter() {
+  static Counter* c = MetricRegistry::Global().GetCounter(
+      "x3_sort_spill_blocks_total",
+      "Blocks written to compressed spill runs");
+  return *c;
+}
 
 }  // namespace
 
@@ -47,9 +60,26 @@ namespace {
 /// + allocator slack), in addition to payload bytes.
 constexpr size_t kRecordOverhead = 48;
 
+/// Target uncompressed size of one spill block. Blocks end only at
+/// record boundaries, so a record larger than this makes one oversized
+/// block rather than spanning two.
+constexpr size_t kSpillBlockSize = 64 * 1024;
+
+/// Ceiling on the raw-size field accepted when reading a block back —
+/// a corrupt header must not drive a multi-gigabyte allocation.
+constexpr uint32_t kMaxBlockRawSize = 1u << 30;
+
 /// Writes length-prefixed records to a run file through the Env.
+/// Compressed mode frames them into blocks instead:
+///   [raw u32][stored u32][payload ...]
+/// with stored < raw for a compressed payload and stored == raw for the
+/// stored-raw fallback (incompressible block). Field encoding is
+/// native-endian, matching the record length prefixes — runs never
+/// leave the machine that wrote them.
 class RunWriter {
  public:
+  explicit RunWriter(bool compress) : compress_(compress) {}
+
   Status Open(Env* env, const std::string& path) {
     path_ = path;
     return writer_.Open(env, path);
@@ -57,6 +87,12 @@ class RunWriter {
 
   Status Append(std::string_view record) {
     uint32_t len = static_cast<uint32_t>(record.size());
+    if (compress_) {
+      block_.append(reinterpret_cast<const char*>(&len), sizeof(len));
+      block_.append(record);
+      if (block_.size() >= kSpillBlockSize) return FlushBlock();
+      return Status::OK();
+    }
     X3_RETURN_IF_ERROR(writer_.Append(
         std::string_view(reinterpret_cast<const char*>(&len), sizeof(len))));
     if (len > 0) X3_RETURN_IF_ERROR(writer_.Append(record));
@@ -64,19 +100,49 @@ class RunWriter {
     return Status::OK();
   }
 
-  Status Close() { return writer_.Close(); }
+  Status Close() {
+    if (compress_ && !block_.empty()) X3_RETURN_IF_ERROR(FlushBlock());
+    return writer_.Close();
+  }
 
   uint64_t bytes() const { return bytes_; }
 
  private:
+  Status FlushBlock() {
+    uint32_t raw = static_cast<uint32_t>(block_.size());
+    CompressString(block_, &packed_);
+    std::string_view payload =
+        packed_.size() < block_.size() ? std::string_view(packed_)
+                                       : std::string_view(block_);
+    uint32_t stored = static_cast<uint32_t>(payload.size());
+    X3_RETURN_IF_ERROR(writer_.Append(
+        std::string_view(reinterpret_cast<const char*>(&raw), sizeof(raw))));
+    X3_RETURN_IF_ERROR(writer_.Append(std::string_view(
+        reinterpret_cast<const char*>(&stored), sizeof(stored))));
+    X3_RETURN_IF_ERROR(writer_.Append(payload));
+    bytes_ += sizeof(raw) + sizeof(stored) + stored;
+    SpillRawBytesCounter().Increment(raw);
+    SpillBlocksCounter().Increment();
+    block_.clear();
+    return Status::OK();
+  }
+
   SequentialFileWriter writer_;
   std::string path_;
+  bool compress_;
+  std::string block_;   // pending uncompressed block
+  std::string packed_;  // reused compression output
   uint64_t bytes_ = 0;
 };
 
 /// Reads length-prefixed records back from a run file through the Env.
+/// In compressed mode, inflates one block at a time and serves records
+/// out of the inflated buffer; any malformed frame surfaces as
+/// Corruption, never a crash or over-read.
 class RunReader {
  public:
+  explicit RunReader(bool compress) : compress_(compress) {}
+
   Status Open(Env* env, const std::string& path) {
     path_ = path;
     return reader_.Open(env, path);
@@ -84,6 +150,7 @@ class RunReader {
 
   /// Returns false at EOF.
   bool Next(std::string* record, Status* status) {
+    if (compress_) return NextFromBlock(record, status);
     uint32_t len = 0;
     size_t got = 0;
     Status s = reader_.ReadPartial(&len, sizeof(len), &got);
@@ -109,8 +176,81 @@ class RunReader {
   }
 
  private:
+  bool NextFromBlock(std::string* record, Status* status) {
+    if (pos_ >= block_.size()) {
+      if (!LoadBlock(status)) return false;
+    }
+    if (pos_ + sizeof(uint32_t) > block_.size()) {
+      *status = Status::Corruption("truncated record header in block of " +
+                                   path_);
+      return false;
+    }
+    uint32_t len = 0;
+    std::memcpy(&len, block_.data() + pos_, sizeof(len));
+    pos_ += sizeof(len);
+    if (pos_ + len > block_.size()) {
+      *status =
+          Status::Corruption("record overruns block boundary in " + path_);
+      return false;
+    }
+    record->assign(block_, pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  /// Reads and inflates the next block. Returns false at clean EOF or
+  /// on error (distinguished via *status).
+  bool LoadBlock(Status* status) {
+    uint32_t header[2];  // raw, stored
+    size_t got = 0;
+    Status s = reader_.ReadPartial(header, sizeof(header), &got);
+    if (!s.ok()) {
+      *status = s;
+      return false;
+    }
+    if (got == 0) return false;  // clean EOF between blocks
+    if (got != sizeof(header)) {
+      *status = Status::Corruption("truncated block header in " + path_);
+      return false;
+    }
+    uint32_t raw = header[0];
+    uint32_t stored = header[1];
+    if (raw > kMaxBlockRawSize || stored > raw) {
+      *status = Status::Corruption("implausible block header in " + path_);
+      return false;
+    }
+    payload_.resize(stored);
+    if (stored > 0) {
+      s = reader_.Read(payload_.data(), stored);
+      if (!s.ok()) {
+        *status = s;
+        return false;
+      }
+    }
+    if (stored == raw) {
+      block_ = std::move(payload_);
+    } else {
+      Result<std::string> inflated = DecompressString(payload_, raw);
+      if (!inflated.ok()) {
+        *status = inflated.status();
+        return false;
+      }
+      block_ = std::move(*inflated);
+    }
+    pos_ = 0;
+    if (block_.empty()) {
+      *status = Status::Corruption("empty block in " + path_);
+      return false;
+    }
+    return true;
+  }
+
   SequentialFileReader reader_;
   std::string path_;
+  bool compress_;
+  std::string block_;    // current inflated block
+  std::string payload_;  // raw on-disk payload scratch
+  size_t pos_ = 0;
 };
 
 /// Streams a sorted in-memory buffer.
@@ -135,14 +275,17 @@ class VectorStream : public SortedStream {
 class MergeStream : public SortedStream {
  public:
   MergeStream(Env* env, std::vector<std::string> run_paths,
-              RecordComparator cmp)
-      : env_(env), run_paths_(std::move(run_paths)), cmp_(std::move(cmp)) {}
+              RecordComparator cmp, bool compressed)
+      : env_(env),
+        run_paths_(std::move(run_paths)),
+        cmp_(std::move(cmp)),
+        compressed_(compressed) {}
 
   Status Init() {
     readers_.resize(run_paths_.size());
     heads_.resize(run_paths_.size());
     for (size_t i = 0; i < run_paths_.size(); ++i) {
-      readers_[i] = std::make_unique<RunReader>();
+      readers_[i] = std::make_unique<RunReader>(compressed_);
       X3_RETURN_IF_ERROR(readers_[i]->Open(env_, run_paths_[i]));
       Status s;
       if (readers_[i]->Next(&heads_[i], &s)) {
@@ -188,6 +331,7 @@ class MergeStream : public SortedStream {
   Env* env_;
   std::vector<std::string> run_paths_;
   RecordComparator cmp_;
+  bool compressed_;
   std::vector<std::unique_ptr<RunReader>> readers_;
   std::vector<std::string> heads_;
   std::vector<size_t> heap_;
@@ -239,7 +383,7 @@ Status ExternalSorter::SpillBuffer() {
               return options_.comparator(a, b) < 0;
             });
   std::string path = options_.temp_files->NextPath("run");
-  RunWriter writer;
+  RunWriter writer(options_.compress_spill);
   X3_RETURN_IF_ERROR(writer.Open(options_.temp_files->env(), path));
   for (const std::string& rec : buffer_) {
     X3_RETURN_IF_ERROR(writer.Append(rec));
@@ -267,10 +411,11 @@ Status ExternalSorter::CascadeMerges() {
         runs_.begin() + static_cast<ptrdiff_t>(options_.merge_fanin));
     runs_.erase(runs_.begin(),
                 runs_.begin() + static_cast<ptrdiff_t>(options_.merge_fanin));
-    MergeStream merge(options_.temp_files->env(), group, options_.comparator);
+    MergeStream merge(options_.temp_files->env(), group, options_.comparator,
+                      options_.compress_spill);
     X3_RETURN_IF_ERROR(merge.Init());
     std::string out_path = options_.temp_files->NextPath("merge");
-    RunWriter writer;
+    RunWriter writer(options_.compress_spill);
     X3_RETURN_IF_ERROR(writer.Open(options_.temp_files->env(), out_path));
     std::string rec;
     Status s;
@@ -312,8 +457,9 @@ Result<std::unique_ptr<SortedStream>> ExternalSorter::Finish() {
   X3_RETURN_IF_ERROR(CascadeMerges());
   ++stats_.merge_passes;
   MergePassesCounter().Increment();
-  auto merge = std::make_unique<MergeStream>(options_.temp_files->env(), runs_,
-                                             options_.comparator);
+  auto merge = std::make_unique<MergeStream>(
+      options_.temp_files->env(), runs_, options_.comparator,
+      options_.compress_spill);
   X3_RETURN_IF_ERROR(merge->Init());
   return std::unique_ptr<SortedStream>(std::move(merge));
 }

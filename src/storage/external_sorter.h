@@ -66,6 +66,12 @@ class ExternalSorter {
     /// query unwinds mid-sort instead of finishing the pass. nullptr =
     /// uninterruptible.
     ExecutionContext* exec = nullptr;
+    /// Block-compress spill runs: records are framed into ~64 KiB
+    /// blocks, each stored as [raw u32][stored u32][payload] where
+    /// stored < raw means a compressed payload and stored == raw a
+    /// stored-raw fallback. Applies to spill and merge runs alike;
+    /// SortStats::spill_bytes counts on-disk (compressed) bytes.
+    bool compress_spill = false;
   };
 
   explicit ExternalSorter(Options options);

@@ -1,0 +1,217 @@
+#include "util/compress.h"
+
+#include <cstring>
+
+namespace x3 {
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+/// Matches are not searched within the last kTailLiterals bytes; they
+/// are always emitted as the final literal run. Keeps the match loop's
+/// 4-byte loads in bounds without per-byte checks.
+constexpr size_t kTailLiterals = 12;
+constexpr size_t kMaxOffset = 65535;
+constexpr int kHashBits = 13;
+
+inline uint32_t Load32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+/// Fibonacci hash of the next 4 source bytes into the match table.
+inline uint32_t HashSequence(uint32_t word) {
+  return (word * 2654435761u) >> (32 - kHashBits);
+}
+
+/// Bounds-checked output cursor: Put* return false instead of writing
+/// past `end`, so an undersized destination surfaces as "does not fit"
+/// (CompressBlock returns 0) rather than an overrun.
+struct Writer {
+  uint8_t* pos;
+  uint8_t* end;
+
+  bool PutByte(uint8_t b) {
+    if (pos >= end) return false;
+    *pos++ = b;
+    return true;
+  }
+  bool PutBytes(const uint8_t* src, size_t n) {
+    if (static_cast<size_t>(end - pos) < n) return false;
+    std::memcpy(pos, src, n);
+    pos += n;
+    return true;
+  }
+  /// Emits the 0..255 extension bytes of a length field >= 15.
+  bool PutLengthExtension(size_t len) {
+    while (len >= 255) {
+      if (!PutByte(255)) return false;
+      len -= 255;
+    }
+    return PutByte(static_cast<uint8_t>(len));
+  }
+};
+
+/// Emits one sequence: literal run [lit, lit+lit_len), then (unless
+/// final) a match of `match_len` at `offset`.
+bool EmitSequence(Writer* out, const uint8_t* lit, size_t lit_len,
+                  size_t offset, size_t match_len) {
+  size_t match_code = match_len == 0 ? 0 : match_len - kMinMatch;
+  uint8_t token =
+      static_cast<uint8_t>((lit_len < 15 ? lit_len : 15) << 4 |
+                           (match_code < 15 ? match_code : 15));
+  if (!out->PutByte(token)) return false;
+  if (lit_len >= 15 && !out->PutLengthExtension(lit_len - 15)) return false;
+  if (!out->PutBytes(lit, lit_len)) return false;
+  if (match_len == 0) return true;  // final literals-only sequence
+  if (!out->PutByte(static_cast<uint8_t>(offset & 0xff))) return false;
+  if (!out->PutByte(static_cast<uint8_t>(offset >> 8))) return false;
+  if (match_code >= 15 && !out->PutLengthExtension(match_code - 15)) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+size_t CompressBlock(const uint8_t* src, size_t src_size, uint8_t* dst,
+                     size_t dst_capacity) {
+  if (src_size == 0) return 0;
+  Writer out{dst, dst + dst_capacity};
+  // Table of source positions keyed by the hash of the 4 bytes there;
+  // kInvalidPos marks an empty slot (position 0 is valid).
+  constexpr uint32_t kInvalidPos = UINT32_MAX;
+  uint32_t table[size_t{1} << kHashBits];
+  std::memset(table, 0xff, sizeof(table));
+
+  const uint8_t* const src_end = src + src_size;
+  const uint8_t* const match_limit =
+      src_size > kTailLiterals ? src_end - kTailLiterals : src;
+  const uint8_t* anchor = src;  // start of the pending literal run
+  const uint8_t* ip = src;
+
+  while (ip < match_limit) {
+    uint32_t hash = HashSequence(Load32(ip));
+    uint32_t candidate = table[hash];
+    table[hash] = static_cast<uint32_t>(ip - src);
+    if (candidate == kInvalidPos ||
+        static_cast<size_t>(ip - src) - candidate > kMaxOffset ||
+        Load32(src + candidate) != Load32(ip)) {
+      ++ip;
+      continue;
+    }
+    // Extend the match forward; the 4 hashed bytes already matched.
+    const uint8_t* match = src + candidate;
+    size_t match_len = kMinMatch;
+    while (ip + match_len < match_limit &&
+           ip[match_len] == match[match_len]) {
+      ++match_len;
+    }
+    if (!EmitSequence(&out, anchor, static_cast<size_t>(ip - anchor),
+                      static_cast<size_t>(ip - match), match_len)) {
+      return 0;
+    }
+    ip += match_len;
+    anchor = ip;
+  }
+  if (!EmitSequence(&out, anchor, static_cast<size_t>(src_end - anchor),
+                    /*offset=*/0, /*match_len=*/0)) {
+    return 0;
+  }
+  return static_cast<size_t>(out.pos - dst);
+}
+
+namespace {
+
+/// Reads a 4-bit length field's extension bytes. Returns false on
+/// truncation.
+bool ReadLengthExtension(const uint8_t** ip, const uint8_t* end,
+                         size_t* len) {
+  uint8_t byte;
+  do {
+    if (*ip >= end) return false;
+    byte = *(*ip)++;
+    *len += byte;
+  } while (byte == 255);
+  return true;
+}
+
+}  // namespace
+
+Result<size_t> DecompressBlock(const uint8_t* src, size_t src_size,
+                               uint8_t* dst, size_t dst_capacity) {
+  const uint8_t* ip = src;
+  const uint8_t* const src_end = src + src_size;
+  uint8_t* op = dst;
+  uint8_t* const dst_end = dst + dst_capacity;
+
+  while (ip < src_end) {
+    uint8_t token = *ip++;
+    // Literal run.
+    size_t lit_len = token >> 4;
+    if (lit_len == 15 && !ReadLengthExtension(&ip, src_end, &lit_len)) {
+      return Status::Corruption("compressed block: truncated literal length");
+    }
+    if (static_cast<size_t>(src_end - ip) < lit_len) {
+      return Status::Corruption("compressed block: truncated literals");
+    }
+    if (static_cast<size_t>(dst_end - op) < lit_len) {
+      return Status::Corruption("compressed block: output overflow");
+    }
+    std::memcpy(op, ip, lit_len);
+    ip += lit_len;
+    op += lit_len;
+    if (ip == src_end) break;  // final literals-only sequence
+    // Match.
+    if (static_cast<size_t>(src_end - ip) < 2) {
+      return Status::Corruption("compressed block: truncated match offset");
+    }
+    size_t offset = static_cast<size_t>(ip[0]) | size_t{ip[1]} << 8;
+    ip += 2;
+    if (offset == 0 || offset > static_cast<size_t>(op - dst)) {
+      return Status::Corruption("compressed block: match offset out of range");
+    }
+    size_t match_len = (token & 0x0f) + kMinMatch;
+    if ((token & 0x0f) == 15) {
+      size_t extension = 0;
+      if (!ReadLengthExtension(&ip, src_end, &extension)) {
+        return Status::Corruption("compressed block: truncated match length");
+      }
+      match_len += extension;
+    }
+    if (static_cast<size_t>(dst_end - op) < match_len) {
+      return Status::Corruption("compressed block: output overflow");
+    }
+    // Byte-wise copy: matches may overlap their own output (offset <
+    // match_len replicates a repeating pattern).
+    const uint8_t* from = op - offset;
+    for (size_t i = 0; i < match_len; ++i) op[i] = from[i];
+    op += match_len;
+  }
+  return static_cast<size_t>(op - dst);
+}
+
+void CompressString(std::string_view raw, std::string* out) {
+  out->resize(MaxCompressedSize(raw.size()));
+  size_t compressed = CompressBlock(
+      reinterpret_cast<const uint8_t*>(raw.data()), raw.size(),
+      reinterpret_cast<uint8_t*>(out->data()), out->size());
+  out->resize(compressed);
+}
+
+Result<std::string> DecompressString(std::string_view block,
+                                     size_t raw_size) {
+  std::string out(raw_size, '\0');
+  X3_ASSIGN_OR_RETURN(
+      size_t got,
+      DecompressBlock(reinterpret_cast<const uint8_t*>(block.data()),
+                      block.size(), reinterpret_cast<uint8_t*>(out.data()),
+                      out.size()));
+  if (got != raw_size) {
+    return Status::Corruption("compressed block: size mismatch");
+  }
+  return out;
+}
+
+}  // namespace x3

@@ -1,0 +1,245 @@
+#include "util/fact_id_set.h"
+
+#include <algorithm>
+
+#include "util/metrics.h"
+
+namespace x3 {
+
+namespace {
+
+Counter& UnionsCounter() {
+  static Counter* c = MetricRegistry::Global().GetCounter(
+      "x3_factset_unions_total", "FactIdSet union operations");
+  return *c;
+}
+
+Counter& IntersectionsCounter() {
+  static Counter* c = MetricRegistry::Global().GetCounter(
+      "x3_factset_intersections_total", "FactIdSet intersection operations");
+  return *c;
+}
+
+Counter& PromotionsCounter() {
+  static Counter* c = MetricRegistry::Global().GetCounter(
+      "x3_factset_container_promotions_total",
+      "FactIdSet array containers promoted to bitmaps");
+  return *c;
+}
+
+inline bool BitmapTest(const std::vector<uint64_t>& bitmap, uint16_t low) {
+  return (bitmap[low >> 6] >> (low & 63)) & 1;
+}
+
+inline void BitmapSet(std::vector<uint64_t>& bitmap, uint16_t low) {
+  bitmap[low >> 6] |= uint64_t{1} << (low & 63);
+}
+
+}  // namespace
+
+size_t FactIdSet::Chunk::Cardinality() const {
+  if (kind == ContainerKind::kArray) return array.size();
+  size_t n = 0;
+  for (uint64_t word : bitmap) n += __builtin_popcountll(word);
+  return n;
+}
+
+FactIdSet FactIdSet::FromIds(const std::vector<uint32_t>& ids) {
+  FactIdSet set;
+  for (uint32_t id : ids) set.Add(id);
+  return set;
+}
+
+FactIdSet::Chunk* FactIdSet::FindOrCreateChunk(uint16_t key) {
+  auto it = std::lower_bound(
+      chunks_.begin(), chunks_.end(), key,
+      [](const Chunk& chunk, uint16_t k) { return chunk.key < k; });
+  if (it != chunks_.end() && it->key == key) return &*it;
+  it = chunks_.insert(it, Chunk{});
+  it->key = key;
+  return &*it;
+}
+
+const FactIdSet::Chunk* FactIdSet::FindChunk(uint16_t key) const {
+  auto it = std::lower_bound(
+      chunks_.begin(), chunks_.end(), key,
+      [](const Chunk& chunk, uint16_t k) { return chunk.key < k; });
+  if (it != chunks_.end() && it->key == key) return &*it;
+  return nullptr;
+}
+
+void FactIdSet::Promote(Chunk* chunk) {
+  std::vector<uint64_t> bitmap(kBitmapWords, 0);
+  for (uint16_t low : chunk->array) BitmapSet(bitmap, low);
+  chunk->array.clear();
+  chunk->array.shrink_to_fit();
+  chunk->bitmap = std::move(bitmap);
+  chunk->kind = ContainerKind::kBitmap;
+  PromotionsCounter().Increment();
+}
+
+void FactIdSet::DemoteIfSmall(Chunk* chunk, size_t cardinality) {
+  if (chunk->kind != ContainerKind::kBitmap ||
+      cardinality > kArrayContainerMax) {
+    return;
+  }
+  std::vector<uint16_t> array;
+  array.reserve(cardinality);
+  for (size_t word = 0; word < kBitmapWords; ++word) {
+    uint64_t bits = chunk->bitmap[word];
+    while (bits != 0) {
+      int bit = __builtin_ctzll(bits);
+      array.push_back(static_cast<uint16_t>(word * 64 + bit));
+      bits &= bits - 1;
+    }
+  }
+  chunk->bitmap.clear();
+  chunk->bitmap.shrink_to_fit();
+  chunk->array = std::move(array);
+  chunk->kind = ContainerKind::kArray;
+}
+
+void FactIdSet::Add(uint32_t id) {
+  Chunk* chunk = FindOrCreateChunk(static_cast<uint16_t>(id >> 16));
+  uint16_t low = static_cast<uint16_t>(id);
+  if (chunk->kind == ContainerKind::kBitmap) {
+    if (BitmapTest(chunk->bitmap, low)) return;
+    BitmapSet(chunk->bitmap, low);
+    ++cardinality_;
+    return;
+  }
+  // Fast path: ascending inserts append.
+  if (chunk->array.empty() || chunk->array.back() < low) {
+    chunk->array.push_back(low);
+  } else {
+    auto it =
+        std::lower_bound(chunk->array.begin(), chunk->array.end(), low);
+    if (it != chunk->array.end() && *it == low) return;
+    chunk->array.insert(it, low);
+  }
+  ++cardinality_;
+  if (chunk->array.size() > kArrayContainerMax) Promote(chunk);
+}
+
+bool FactIdSet::Contains(uint32_t id) const {
+  const Chunk* chunk = FindChunk(static_cast<uint16_t>(id >> 16));
+  if (chunk == nullptr) return false;
+  uint16_t low = static_cast<uint16_t>(id);
+  if (chunk->kind == ContainerKind::kBitmap) {
+    return BitmapTest(chunk->bitmap, low);
+  }
+  return std::binary_search(chunk->array.begin(), chunk->array.end(), low);
+}
+
+void FactIdSet::Clear() {
+  chunks_.clear();
+  cardinality_ = 0;
+}
+
+void FactIdSet::UnionChunk(Chunk* dst, const Chunk& src) {
+  if (dst->kind == ContainerKind::kArray &&
+      src.kind == ContainerKind::kArray) {
+    std::vector<uint16_t> merged;
+    merged.reserve(dst->array.size() + src.array.size());
+    std::set_union(dst->array.begin(), dst->array.end(), src.array.begin(),
+                   src.array.end(), std::back_inserter(merged));
+    dst->array = std::move(merged);
+    if (dst->array.size() > kArrayContainerMax) Promote(dst);
+    return;
+  }
+  if (dst->kind == ContainerKind::kArray) Promote(dst);
+  if (src.kind == ContainerKind::kBitmap) {
+    for (size_t word = 0; word < kBitmapWords; ++word) {
+      dst->bitmap[word] |= src.bitmap[word];
+    }
+  } else {
+    for (uint16_t low : src.array) BitmapSet(dst->bitmap, low);
+  }
+}
+
+void FactIdSet::UnionWith(const FactIdSet& other) {
+  UnionsCounter().Increment();
+  for (const Chunk& src : other.chunks_) {
+    Chunk* dst = FindOrCreateChunk(src.key);
+    UnionChunk(dst, src);
+  }
+  cardinality_ = 0;
+  for (const Chunk& chunk : chunks_) cardinality_ += chunk.Cardinality();
+}
+
+size_t FactIdSet::IntersectChunk(Chunk* dst, const Chunk& src) {
+  if (dst->kind == ContainerKind::kArray) {
+    std::vector<uint16_t> kept;
+    for (uint16_t low : dst->array) {
+      bool in_src =
+          src.kind == ContainerKind::kBitmap
+              ? BitmapTest(src.bitmap, low)
+              : std::binary_search(src.array.begin(), src.array.end(), low);
+      if (in_src) kept.push_back(low);
+    }
+    dst->array = std::move(kept);
+    return dst->array.size();
+  }
+  size_t cardinality = 0;
+  if (src.kind == ContainerKind::kBitmap) {
+    for (size_t word = 0; word < kBitmapWords; ++word) {
+      dst->bitmap[word] &= src.bitmap[word];
+      cardinality += __builtin_popcountll(dst->bitmap[word]);
+    }
+  } else {
+    std::vector<uint64_t> kept(kBitmapWords, 0);
+    for (uint16_t low : src.array) {
+      if (BitmapTest(dst->bitmap, low)) {
+        BitmapSet(kept, low);
+        ++cardinality;
+      }
+    }
+    dst->bitmap = std::move(kept);
+  }
+  DemoteIfSmall(dst, cardinality);
+  return cardinality;
+}
+
+void FactIdSet::IntersectWith(const FactIdSet& other) {
+  IntersectionsCounter().Increment();
+  std::vector<Chunk> kept;
+  cardinality_ = 0;
+  for (Chunk& dst : chunks_) {
+    const Chunk* src = other.FindChunk(dst.key);
+    if (src == nullptr) continue;
+    size_t cardinality = IntersectChunk(&dst, *src);
+    if (cardinality == 0) continue;
+    cardinality_ += cardinality;
+    kept.push_back(std::move(dst));
+  }
+  chunks_ = std::move(kept);
+}
+
+bool FactIdSet::operator==(const FactIdSet& other) const {
+  if (cardinality_ != other.cardinality_) return false;
+  // Container kinds may differ for the same logical set (a demoted
+  // bitmap vs a built-up array), so compare elementwise.
+  bool equal = true;
+  ForEach([&](uint32_t id) {
+    if (equal && !other.Contains(id)) equal = false;
+  });
+  return equal;
+}
+
+std::vector<uint32_t> FactIdSet::ToVector() const {
+  std::vector<uint32_t> out;
+  out.reserve(cardinality_);
+  ForEach([&out](uint32_t id) { out.push_back(id); });
+  return out;
+}
+
+size_t FactIdSet::ApproxBytes() const {
+  size_t bytes = sizeof(*this) + chunks_.capacity() * sizeof(Chunk);
+  for (const Chunk& chunk : chunks_) {
+    bytes += chunk.array.capacity() * sizeof(uint16_t) +
+             chunk.bitmap.capacity() * sizeof(uint64_t);
+  }
+  return bytes;
+}
+
+}  // namespace x3

@@ -24,7 +24,8 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
   }
   db->file_ = std::make_unique<PageFile>();
   X3_RETURN_IF_ERROR(db->file_->Open(db->options_.data_file,
-                                     /*truncate=*/true, db->env_));
+                                     /*truncate=*/true, db->env_,
+                                     db->options_.compress_pages));
   db->pool_ = std::make_unique<BufferPool>(db->file_.get(),
                                            db->options_.buffer_pool_pages);
   db->store_ = std::make_unique<NodeStore>(db->pool_.get());
@@ -149,8 +150,8 @@ Result<std::unique_ptr<Database>> Database::OpenExisting(
   db->options_ = options;
   db->env_ = options.env != nullptr ? options.env : Env::Default();
   db->file_ = std::make_unique<PageFile>();
-  X3_RETURN_IF_ERROR(
-      db->file_->Open(options.data_file, /*truncate=*/false, db->env_));
+  X3_RETURN_IF_ERROR(db->file_->Open(options.data_file, /*truncate=*/false,
+                                     db->env_, options.compress_pages));
   // Recovery scan: checksum-verify every page before trusting any of
   // them, so torn writes surface now (with a page id) rather than as a
   // wrong cube later.

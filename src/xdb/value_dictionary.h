@@ -22,6 +22,10 @@ class ValueDictionary {
 
   ValueDictionary(const ValueDictionary&) = delete;
   ValueDictionary& operator=(const ValueDictionary&) = delete;
+  // Movable: FactTable owns one dictionary per axis and is itself
+  // move-only (deleting copy above suppresses the implicit moves).
+  ValueDictionary(ValueDictionary&&) noexcept = default;
+  ValueDictionary& operator=(ValueDictionary&&) noexcept = default;
 
   ValueId Intern(std::string_view value);
   ValueId Lookup(std::string_view value) const;

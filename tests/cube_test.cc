@@ -34,9 +34,9 @@ TEST(FactTableTest, BuildAndAccess) {
   ASSERT_EQ(table.size(), 2u);
   EXPECT_EQ(table.fact_id(0), 100u);
   EXPECT_EQ(table.measure(1), 7);
-  EXPECT_EQ(table.bindings(0, 0).size(), 1u);
-  EXPECT_EQ(table.bindings(1, 0).size(), 1u);
-  EXPECT_EQ(table.bindings(1, 1).size(), 0u);  // coverage gap
+  EXPECT_EQ(table.NumBindings(0, 0), 1u);
+  EXPECT_EQ(table.NumBindings(1, 0), 1u);
+  EXPECT_EQ(table.NumBindings(1, 1), 0u);  // coverage gap
   EXPECT_EQ(table.AxisCardinality(0), 2u);
   EXPECT_EQ(table.AxisValueName(0, v0), "john");
 }
@@ -48,8 +48,8 @@ TEST(FactTableTest, DuplicateBindingsCollapseByValue) {
   table.AddBinding(0, 0b01, v);
   table.AddBinding(0, 0b10, v);  // same value, different state
   table.Finish();
-  ASSERT_EQ(table.bindings(0, 0).size(), 1u);
-  EXPECT_EQ(table.bindings(0, 0)[0].mask, 0b11u);
+  ASSERT_EQ(table.NumBindings(0, 0), 1u);
+  EXPECT_EQ(table.BindingMasks(0, 0)[0], 0b11u);
 }
 
 TEST(FactTableTest, AdmittedValuesFilterByState) {
@@ -93,11 +93,14 @@ TEST(FactTableTest, SaveLoadRoundTrip) {
     EXPECT_EQ(loaded->fact_id(f), table.fact_id(f));
     EXPECT_EQ(loaded->measure(f), table.measure(f));
     for (size_t a = 0; a < table.num_axes(); ++a) {
-      auto lb = loaded->bindings(a, f);
-      auto tb = table.bindings(a, f);
-      ASSERT_EQ(lb.size(), tb.size());
-      for (size_t i = 0; i < lb.size(); ++i) {
-        EXPECT_TRUE(lb[i] == tb[i]);
+      auto lm = loaded->BindingMasks(a, f);
+      auto tm = table.BindingMasks(a, f);
+      auto lv = loaded->BindingValues(a, f);
+      auto tv = table.BindingValues(a, f);
+      ASSERT_EQ(lm.size(), tm.size());
+      for (size_t i = 0; i < lm.size(); ++i) {
+        EXPECT_EQ(lm[i], tm[i]);
+        EXPECT_EQ(lv[i], tv[i]);
       }
     }
   }
@@ -278,17 +281,17 @@ TEST_F(Figure1CubeTest, FactTableShape) {
   ASSERT_EQ(facts_->size(), 4u);
   // Axis n: pub1 has 2 bindings, pub2 1, pub3 1 (only at relaxed
   // states), pub4 1.
-  EXPECT_EQ(facts_->bindings(0, 0).size(), 2u);
-  EXPECT_EQ(facts_->bindings(0, 1).size(), 1u);
-  EXPECT_EQ(facts_->bindings(0, 2).size(), 1u);
+  EXPECT_EQ(facts_->NumBindings(0, 0), 2u);
+  EXPECT_EQ(facts_->NumBindings(0, 1), 1u);
+  EXPECT_EQ(facts_->NumBindings(0, 2), 1u);
   // pub3's name is NOT admitted at the rigid state (authors wrapper).
-  EXPECT_FALSE(facts_->bindings(0, 2)[0].AdmittedAt(0));
+  EXPECT_FALSE(FactTable::AdmittedAt(facts_->BindingMasks(0, 2)[0], 0));
   // Axis p: pub3 has no publisher anywhere.
-  EXPECT_EQ(facts_->bindings(1, 2).size(), 0u);
+  EXPECT_EQ(facts_->NumBindings(1, 2), 0u);
   // Axis y: pub2 has two years; pub4's year is nested (not admitted at
   // the rigid child state, and y has no structural relaxations).
-  EXPECT_EQ(facts_->bindings(2, 1).size(), 2u);
-  EXPECT_EQ(facts_->bindings(2, 3).size(), 0u);
+  EXPECT_EQ(facts_->NumBindings(2, 1), 2u);
+  EXPECT_EQ(facts_->NumBindings(2, 3), 0u);
 }
 
 TEST_F(Figure1CubeTest, MotivatingCountsFromSection1) {
@@ -386,10 +389,13 @@ TEST_F(Figure1CubeTest, SumMinMaxAvgAgreeAcrossAlgorithms) {
     measured.BeginFact(facts_->fact_id(f),
                        static_cast<int64_t>(f * 10 + 1));
     for (size_t a = 0; a < 3; ++a) {
-      for (const AxisBinding& b : facts_->bindings(a, f)) {
+      auto masks = facts_->BindingMasks(a, f);
+      auto values = facts_->BindingValues(a, f);
+      for (size_t i = 0; i < masks.size(); ++i) {
         measured.AddBinding(
-            a, b.mask,
-            measured.InternAxisValue(a, facts_->AxisValueName(a, b.value)));
+            a, masks[i],
+            measured.InternAxisValue(a,
+                                     facts_->AxisValueName(a, values[i])));
       }
     }
   }
@@ -637,8 +643,10 @@ TEST_P(StructuralRelaxationSweepTest, AlgorithmsAgreeUnderPcad) {
   // Some fact must have a binding admitted only at the relaxed state.
   bool saw_relaxed_only = false;
   for (size_t f = 0; f < facts->size() && !saw_relaxed_only; ++f) {
-    for (const AxisBinding& b : facts->bindings(0, f)) {
-      if (!b.AdmittedAt(0) && b.mask != 0) saw_relaxed_only = true;
+    for (AxisStateMask mask : facts->BindingMasks(0, f)) {
+      if (!FactTable::AdmittedAt(mask, 0) && mask != 0) {
+        saw_relaxed_only = true;
+      }
     }
   }
   EXPECT_TRUE(saw_relaxed_only);

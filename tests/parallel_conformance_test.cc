@@ -174,6 +174,58 @@ TEST(ParallelConformanceTest, SafeVariantsAlsoMatchTheReferenceInParallel) {
   }
 }
 
+TEST(ParallelConformanceTest, CompressedSpillRunsStayCellExact) {
+  // A budget far below the fact bytes forces the TD family's external
+  // sorts to spill; block-compressing those runs must not change a
+  // single cell at any parallelism, for any variant.
+  ExperimentSetting setting;
+  setting.coverage_holds = false;
+  setting.disjointness_holds = false;
+  setting.num_axes = 3;
+  setting.num_trees = 400;
+  setting.seed = 0x5b111;
+  auto workload = BuildTreebankWorkload(setting);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  const size_t budget_bytes =
+      std::max<size_t>(workload->facts.ApproxBytes() / 4, 16 * 1024);
+
+  uint64_t compressed_spill_bytes = 0;
+  for (CubeAlgorithm algo : GlobalCuboidExecutorRegistry().Algorithms()) {
+    const std::string name = CubeAlgorithmToString(algo);
+    MemoryBudget plain_budget(budget_bytes);
+    TempFileManager plain_temp;
+    ExecutionContext plain_ctx(
+        {&plain_budget, &plain_temp, nullptr, std::nullopt});
+    CubeComputeOptions plain = BaseOptions(*workload, &plain_ctx);
+    auto uncompressed =
+        ComputeCube(algo, workload->facts, workload->lattice, plain);
+    ASSERT_TRUE(uncompressed.ok()) << name << ": " << uncompressed.status();
+
+    for (size_t parallelism : ParallelismLevels()) {
+      MemoryBudget budget(budget_bytes);
+      TempFileManager temp;
+      ExecutionContext ctx({&budget, &temp, nullptr, std::nullopt});
+      CubeComputeOptions options = BaseOptions(*workload, &ctx);
+      options.parallelism = parallelism;
+      options.compress_spill = true;
+      CubeComputeStats stats;
+      auto compressed = ComputeCube(algo, workload->facts, workload->lattice,
+                                    options, &stats);
+      ASSERT_TRUE(compressed.ok())
+          << name << " parallelism " << parallelism << ": "
+          << compressed.status();
+      std::string diff;
+      EXPECT_TRUE(uncompressed->Equals(*compressed, &diff))
+          << name << " parallelism " << parallelism << ": " << diff;
+      EXPECT_EQ(budget.used(), 0u) << name;
+      compressed_spill_bytes += stats.spill_bytes;
+    }
+  }
+  // The sweep is vacuous unless some variant actually spilled
+  // compressed runs under this budget.
+  EXPECT_GT(compressed_spill_bytes, 0u);
+}
+
 TEST(ParallelConformanceTest, IcebergThresholdsSurviveParallelism) {
   ExperimentSetting setting;
   setting.coverage_holds = true;
