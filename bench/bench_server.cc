@@ -1,0 +1,255 @@
+// Closed-loop multi-tenant workload driver for the X3Server serving
+// layer (the bench half of scripts/workload_harness.py).
+//
+// N client threads share one server over one database holding BOTH
+// corpora (Treebank trees and DBLP articles — two tenants, two query
+// shapes). Each client runs a seeded random query mix — shape, target
+// cuboid (or the full cube), algorithm (safe and unsafe variants),
+// iceberg threshold — paced to a target aggregate QPS, waiting for each
+// answer before issuing the next (closed loop). When the run drains,
+// the driver reports p50/p99 latency interpolated from the metric
+// registry's x3_server_query_latency_seconds histogram and cache hit
+// rates from the x3_server_* counters, as one JSON object on stdout.
+//
+// Flags (all optional): --clients=N --qps=Q --queries=N --seed=S
+// --threads=N --cache-kb=N --trees=N --articles=N
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cube/algorithm.h"
+#include "gen/dblp_gen.h"
+#include "gen/treebank_gen.h"
+#include "gen/workload.h"
+#include "schema/dtd_parser.h"
+#include "server/x3_server.h"
+#include "util/metrics.h"
+#include "util/random.h"
+
+namespace {
+
+struct Flags {
+  size_t clients = 4;
+  double qps = 200;       // aggregate target across all clients
+  size_t queries = 400;   // total, split across clients
+  uint64_t seed = 1;
+  size_t threads = 0;     // server workers; 0 = hardware concurrency
+  size_t cache_kb = 256;
+  size_t trees = 300;
+  size_t articles = 400;
+};
+
+uint64_t ParseU64(const char* s) {
+  return static_cast<uint64_t>(std::strtoull(s, nullptr, 10));
+}
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* eq = std::strchr(arg, '=');
+    if (eq == nullptr) continue;
+    std::string key(arg, eq - arg);
+    const char* value = eq + 1;
+    if (key == "--clients") flags.clients = ParseU64(value);
+    else if (key == "--qps") flags.qps = std::strtod(value, nullptr);
+    else if (key == "--queries") flags.queries = ParseU64(value);
+    else if (key == "--seed") flags.seed = ParseU64(value);
+    else if (key == "--threads") flags.threads = ParseU64(value);
+    else if (key == "--cache-kb") flags.cache_kb = ParseU64(value);
+    else if (key == "--trees") flags.trees = ParseU64(value);
+    else if (key == "--articles") flags.articles = ParseU64(value);
+  }
+  return flags;
+}
+
+struct Tenant {
+  x3::CubeQuery query;
+  x3::LatticeProperties properties;
+  uint64_t num_cuboids = 0;
+};
+
+/// Linearly interpolated quantile from the exponential-bucket latency
+/// histogram (the standard Prometheus histogram_quantile estimate).
+double QuantileSeconds(const x3::Histogram& hist, double q) {
+  uint64_t total = hist.count();
+  if (total == 0) return 0;
+  double rank = q * static_cast<double>(total);
+  uint64_t below = 0;
+  for (size_t i = 0; i < x3::Histogram::kNumBuckets; ++i) {
+    uint64_t cumulative = hist.bucket_count(i);
+    if (static_cast<double>(cumulative) >= rank) {
+      double upper = x3::Histogram::BucketUpperBound(i);
+      double lower = i == 0 ? 0 : x3::Histogram::BucketUpperBound(i - 1);
+      if (!std::isfinite(upper)) return lower;
+      uint64_t in_bucket = cumulative - below;
+      if (in_bucket == 0) return upper;
+      double fraction =
+          (rank - static_cast<double>(below)) / static_cast<double>(in_bucket);
+      return lower + (upper - lower) * fraction;
+    }
+    below = cumulative;
+  }
+  return x3::Histogram::BucketUpperBound(x3::Histogram::kNumBuckets - 2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = ParseFlags(argc, argv);
+
+  auto db = x3::Database::Open({});
+  if (!db.ok()) {
+    std::fprintf(stderr, "db open: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+
+  // Tenant 1: Treebank with both summarizability properties failing
+  // (forces fact-id roll-ups and algorithm downgrades).
+  x3::ExperimentSetting setting;
+  setting.num_axes = 3;
+  setting.num_trees = flags.trees;
+  setting.coverage_holds = false;
+  setting.disjointness_holds = false;
+  setting.dense = true;
+  setting.seed = flags.seed;
+  x3::TreebankConfig config = x3::MakeTreebankConfig(setting);
+  x3::TreebankGenerator treebank_gen(config);
+  if (!treebank_gen.LoadInto(db->get(), setting.num_trees).ok()) return 1;
+
+  // Tenant 2: DBLP (§4.5's corpus; author repeats/missing as in real
+  // DBLP).
+  x3::DblpConfig dblp_config;
+  dblp_config.seed = flags.seed + 1;
+  x3::DblpGenerator dblp_gen(dblp_config);
+  if (!dblp_gen.LoadInto(db->get(), flags.articles).ok()) return 1;
+
+  x3::X3Engine engine(db->get());
+  std::vector<Tenant> tenants(2);
+  tenants[0].query = x3::MakeTreebankQuery(config);
+  tenants[1].query = x3::MakeDblpQuery();
+  const std::string dtds[2] = {treebank_gen.MatchingDtd(), x3::DblpDtd()};
+  const std::string fact_tags[2] = {x3::TreebankRootTag(), "article"};
+  for (int t = 0; t < 2; ++t) {
+    auto schema = x3::ParseDtd(dtds[t]);
+    if (!schema.ok()) return 1;
+    auto prepared = engine.Prepare(tenants[t].query);
+    if (!prepared.ok()) return 1;
+    tenants[t].num_cuboids = prepared->lattice.num_cuboids();
+    auto properties = x3::InferLatticeProperties(*schema, prepared->lattice,
+                                                 fact_tags[t]);
+    if (!properties.ok()) return 1;
+    tenants[t].properties = std::move(*properties);
+  }
+
+  x3::X3ServerOptions options;
+  options.num_threads = flags.threads;
+  options.cache_capacity_bytes = flags.cache_kb << 10;
+  x3::X3Server server(db->get(), options);
+
+  const x3::CubeAlgorithm kAlgorithms[] = {
+      x3::CubeAlgorithm::kCounter,  x3::CubeAlgorithm::kBUC,
+      x3::CubeAlgorithm::kBUCCust,  x3::CubeAlgorithm::kTD,
+      x3::CubeAlgorithm::kTDOptAll, x3::CubeAlgorithm::kTDCust,
+  };
+
+  std::atomic<uint64_t> ok_count{0}, failed_count{0};
+  auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(flags.clients);
+  for (size_t c = 0; c < flags.clients; ++c) {
+    clients.emplace_back([&, c] {
+      size_t quota = flags.queries / flags.clients +
+                     (c < flags.queries % flags.clients ? 1 : 0);
+      double interval_s =
+          flags.qps > 0 ? static_cast<double>(flags.clients) / flags.qps : 0;
+      x3::Random rng(flags.seed * 1000 + c);
+      auto next_slot = std::chrono::steady_clock::now();
+      for (size_t i = 0; i < quota; ++i) {
+        // Closed loop with pacing: wait for this client's next slot,
+        // issue, block on the answer.
+        if (interval_s > 0) {
+          std::this_thread::sleep_until(next_slot);
+          next_slot += std::chrono::duration_cast<
+              std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(interval_s));
+        }
+        Tenant& tenant = tenants[rng.Uniform(2)];
+        x3::ServerRequest request;
+        request.query = tenant.query;
+        request.properties = &tenant.properties;
+        request.algorithm = kAlgorithms[rng.Uniform(6)];
+        request.min_count = rng.Bernoulli(0.2) ? 2 : 0;
+        if (!rng.Bernoulli(1.0 / 8)) {
+          request.target =
+              rng.Uniform(static_cast<uint32_t>(tenant.num_cuboids));
+        }
+        auto answer = server.Execute(std::move(request));
+        if (answer.ok()) {
+          ok_count.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          failed_count.fetch_add(1, std::memory_order_relaxed);
+          std::fprintf(stderr, "query failed: %s\n",
+                       answer.status().ToString().c_str());
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  // Reported numbers come from the metrics registry — the same wiring
+  // the CI observability gate and a production scrape would read.
+  x3::MetricRegistry& registry = x3::MetricRegistry::Global();
+  x3::Histogram* latency = registry.GetHistogram(
+      "x3_server_query_latency_seconds", "");
+  uint64_t hits = registry.GetCounter("x3_server_cache_hits_total", "")->value();
+  uint64_t rollups =
+      registry.GetCounter("x3_server_rollup_answers_total", "")->value();
+  uint64_t misses =
+      registry.GetCounter("x3_server_cache_misses_total", "")->value();
+  uint64_t served =
+      registry.GetCounter("x3_server_cache_served_total", "")->value();
+  uint64_t evictions =
+      registry.GetCounter("x3_server_cache_evictions_total", "")->value();
+  uint64_t queries = registry.GetCounter("x3_server_queries_total", "")->value();
+  double served_total = static_cast<double>(served + misses);
+  std::printf(
+      "{\n"
+      "  \"clients\": %zu, \"target_qps\": %.1f, \"queries\": %llu,\n"
+      "  \"ok\": %llu, \"failed\": %llu,\n"
+      "  \"wall_seconds\": %.3f, \"achieved_qps\": %.1f,\n"
+      "  \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"mean_ms\": %.3f,\n"
+      "  \"exact_hits\": %llu, \"rollup_answers\": %llu,\n"
+      "  \"cache_misses\": %llu, \"cache_served\": %llu,\n"
+      "  \"cache_hit_rate\": %.3f, \"evictions\": %llu\n"
+      "}\n",
+      flags.clients, flags.qps,
+      static_cast<unsigned long long>(queries),
+      static_cast<unsigned long long>(ok_count.load()),
+      static_cast<unsigned long long>(failed_count.load()), wall_seconds,
+      static_cast<double>(queries) / wall_seconds,
+      QuantileSeconds(*latency, 0.50) * 1e3,
+      QuantileSeconds(*latency, 0.99) * 1e3,
+      latency->count() > 0
+          ? latency->sum() / static_cast<double>(latency->count()) * 1e3
+          : 0,
+      static_cast<unsigned long long>(hits),
+      static_cast<unsigned long long>(rollups),
+      static_cast<unsigned long long>(misses),
+      static_cast<unsigned long long>(served),
+      served_total > 0 ? static_cast<double>(served) / served_total : 0,
+      static_cast<unsigned long long>(evictions));
+  return failed_count.load() == 0 ? 0 : 2;
+}

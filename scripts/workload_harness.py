@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Closed-loop multi-tenant workload harness for the X3Server layer.
+
+Wraps the bench_server driver (bench/bench_server.cc): runs one or more
+(clients, qps) settings against a server holding both tenant corpora
+(Treebank + DBLP), collects the JSON report each run prints — p50/p99
+latency interpolated from the x3_server_query_latency_seconds histogram
+and cache hit rates from the x3_server_* counters — and renders a table.
+
+Usage:
+  workload_harness.py --bin build/bench/bench_server
+      [--clients 1,4,8] [--qps 200] [--queries 400] [--seed 1]
+      [--cache-kb 256] [--trace out.json] [--metrics out.txt] [--check]
+
+With --trace/--metrics the first run exports the Chrome trace and the
+Prometheus text (via the X3_TRACE / X3_METRICS env hooks) so
+check_observability.py can validate them. With --check the harness
+fails (exit 1) unless every query succeeded and the cache actually
+served part of the load — the CI server-smoke gate.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def run_once(args, clients, env_extra=None):
+    cmd = [
+        args.bin,
+        f"--clients={clients}",
+        f"--qps={args.qps}",
+        f"--queries={args.queries}",
+        f"--seed={args.seed}",
+        f"--threads={args.threads}",
+        f"--cache-kb={args.cache_kb}",
+        f"--trees={args.trees}",
+        f"--articles={args.articles}",
+    ]
+    env = dict(os.environ)
+    if env_extra:
+        env.update(env_extra)
+    proc = subprocess.run(cmd, capture_output=True, text=True, env=env)
+    if proc.returncode not in (0, 2):
+        print(proc.stderr, file=sys.stderr)
+        sys.exit(f"workload_harness: {' '.join(cmd)} exited "
+                 f"{proc.returncode}")
+    try:
+        report = json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        print(proc.stdout, file=sys.stderr)
+        sys.exit(f"workload_harness: unparseable driver output: {e}")
+    return report
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bin", required=True,
+                        help="path to the bench_server binary")
+    parser.add_argument("--clients", default="4",
+                        help="comma-separated client-thread counts")
+    parser.add_argument("--qps", type=float, default=200)
+    parser.add_argument("--queries", type=int, default=400)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--threads", type=int, default=0,
+                        help="server worker threads (0 = hardware)")
+    parser.add_argument("--cache-kb", type=int, default=256)
+    parser.add_argument("--trees", type=int, default=300)
+    parser.add_argument("--articles", type=int, default=400)
+    parser.add_argument("--trace", help="export Chrome trace JSON here "
+                        "(first run only)")
+    parser.add_argument("--metrics", help="export Prometheus text here "
+                        "(first run only)")
+    parser.add_argument("--check", action="store_true",
+                        help="CI gate: fail unless all queries succeeded "
+                        "and the cache served part of the load")
+    args = parser.parse_args()
+
+    client_counts = [int(c) for c in args.clients.split(",")]
+    reports = []
+    for i, clients in enumerate(client_counts):
+        env_extra = {}
+        if i == 0 and args.trace:
+            env_extra["X3_TRACE"] = args.trace
+        if i == 0 and args.metrics:
+            env_extra["X3_METRICS"] = args.metrics
+        reports.append(run_once(args, clients, env_extra))
+
+    header = (f"{'clients':>8} {'qps*':>8} {'qps':>8} {'p50 ms':>9} "
+              f"{'p99 ms':>9} {'mean ms':>9} {'hit rate':>9} "
+              f"{'rollups':>8} {'evict':>6} {'failed':>7}")
+    print(header)
+    print("-" * len(header))
+    for r in reports:
+        print(f"{r['clients']:>8} {r['target_qps']:>8.0f} "
+              f"{r['achieved_qps']:>8.1f} {r['p50_ms']:>9.3f} "
+              f"{r['p99_ms']:>9.3f} {r['mean_ms']:>9.3f} "
+              f"{r['cache_hit_rate']:>9.3f} {r['rollup_answers']:>8} "
+              f"{r['evictions']:>6} {r['failed']:>7}")
+
+    if args.check:
+        for r in reports:
+            if r["failed"] != 0:
+                sys.exit(f"workload_harness: {r['failed']} queries failed "
+                         f"at {r['clients']} clients")
+            if r["ok"] != args.queries:
+                sys.exit(f"workload_harness: expected {args.queries} "
+                         f"answers, got {r['ok']}")
+            if r["cache_served"] == 0:
+                sys.exit("workload_harness: cache never served a query "
+                         "(cache wiring broken?)")
+            if not (0 < r["p50_ms"] <= r["p99_ms"]):
+                sys.exit(f"workload_harness: implausible percentiles "
+                         f"p50={r['p50_ms']} p99={r['p99_ms']}")
+        print("workload_harness: check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,6 +54,13 @@ Rules (see docs/STATIC_ANALYSIS.md for the rationale):
                      annotated x3::Mutex so clang -Wthread-safety sees
                      it and the debug lock-order detector ranks it.
                      (Tests may use raw primitives to build fixtures.)
+  server-compute-cube  No direct ComputeCube(...) calls in src/server/:
+                     the serving layer answers from the materialized-
+                     cuboid cache (CubeViewStore::AnswerFromViews) and
+                     falls back to compute only on the single designated
+                     cache-miss path in X3Server::RunQuery, which fills
+                     the cache afterwards. Any other call site would
+                     silently bypass admission accounting and caching.
 
 A finding can be suppressed with a trailing comment naming the rule:
     some_call();  // x3-lint: allow(raw-new-delete) -- justification
@@ -107,6 +114,9 @@ RAW_MUTEX = re.compile(
     r"std\s*::\s*(?:(?:timed_|recursive_|recursive_timed_|shared_)?mutex\b|"
     r"condition_variable(?:_any)?\b|"
     r"(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b)")
+# The serving layer must answer through the cuboid cache; ComputeCube is
+# reserved for the one annotated cache-miss fallback.
+SERVER_COMPUTE_CUBE = re.compile(r"(?<![\w:.])ComputeCube\s*\(")
 ALLOW = re.compile(r"x3-lint:\s*allow\(([\w-]+)\)")
 
 
@@ -240,6 +250,12 @@ class Linter:
                             "raw std::mutex/condition_variable/lock in src/; "
                             "use x3::Mutex/MutexLock/CondVar "
                             "(util/thread_annotations.h)", raw)
+            if rel.startswith("src/server/") and SERVER_COMPUTE_CUBE.search(code):
+                self.report(path, lineno, "server-compute-cube",
+                            "direct ComputeCube in src/server/; serve from "
+                            "the cuboid cache and leave compute to the "
+                            "annotated cache-miss path in X3Server::RunQuery",
+                            raw)
             if in_src and not is_logging_h and BARE_ASSERT.search(code):
                 self.report(path, lineno, "bare-assert",
                             "bare assert(); use X3_CHECK (always on) or "

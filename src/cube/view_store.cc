@@ -66,16 +66,36 @@ Status CubeViewStore::Materialize(CuboidId cuboid, bool with_fact_ids) {
   return Status::OK();
 }
 
+size_t CubeViewStore::ViewBytesLocked(const View& view) {
+  size_t bytes = 0;
+  for (const auto& [key, cell] : view.cells) {
+    bytes += key.size() + sizeof(ViewCell) + 32;
+    bytes += cell.facts.ApproxBytes();
+  }
+  return bytes;
+}
+
 size_t CubeViewStore::ApproxBytes() const {
   MutexLock lock(&mu_);
   size_t bytes = 0;
   for (const auto& [id, view] : views_) {
-    for (const auto& [key, cell] : view.cells) {
-      bytes += key.size() + sizeof(ViewCell) + 32;
-      bytes += cell.facts.ApproxBytes();
-    }
+    bytes += ViewBytesLocked(view);
   }
   return bytes;
+}
+
+size_t CubeViewStore::ViewApproxBytes(CuboidId cuboid) const {
+  MutexLock lock(&mu_);
+  auto it = views_.find(cuboid);
+  return it == views_.end() ? 0 : ViewBytesLocked(it->second);
+}
+
+std::vector<CuboidId> CubeViewStore::MaterializedIds() const {
+  MutexLock lock(&mu_);
+  std::vector<CuboidId> ids;
+  ids.reserve(views_.size());
+  for (const auto& [id, view] : views_) ids.push_back(id);
+  return ids;
 }
 
 bool CubeViewStore::IsLndDescendant(const View& view, CuboidId target,
@@ -109,9 +129,10 @@ bool CubeViewStore::IsLndDescendant(const View& view, CuboidId target,
   return true;
 }
 
-Result<std::unordered_map<GroupKey, AggregateState>> CubeViewStore::Answer(
-    CuboidId target, AggregateFunction fn,
-    const LatticeProperties* properties, ViewComputeStats* stats) const {
+Result<std::unordered_map<GroupKey, AggregateState>>
+CubeViewStore::AnswerFromViews(CuboidId target, AggregateFunction fn,
+                               const LatticeProperties* properties,
+                               ViewComputeStats* stats) const {
   (void)fn;  // all components are maintained in AggregateState
   ViewComputeStats local;
   ViewComputeStats* st = stats != nullptr ? stats : &local;
@@ -119,9 +140,7 @@ Result<std::unordered_map<GroupKey, AggregateState>> CubeViewStore::Answer(
 
   std::unordered_map<GroupKey, AggregateState> out;
 
-  // View selection and roll-up hold mu_ (`best` points into views_);
-  // the base-table fallback below runs unlocked.
-  {
+  // View selection and roll-up hold mu_ (`best` points into views_).
   MutexLock lock(&mu_);
   // Candidate views: prefer exact, then the smallest usable ancestor.
   const View* best = nullptr;
@@ -205,10 +224,26 @@ Result<std::unordered_map<GroupKey, AggregateState>> CubeViewStore::Answer(
     }
     return out;
   }
+  return Status::NotFound("no usable view for cuboid " +
+                          std::to_string(target));
+}
+
+Result<std::unordered_map<GroupKey, AggregateState>> CubeViewStore::Answer(
+    CuboidId target, AggregateFunction fn,
+    const LatticeProperties* properties, ViewComputeStats* stats) const {
+  ViewComputeStats local;
+  ViewComputeStats* st = stats != nullptr ? stats : &local;
+  Result<std::unordered_map<GroupKey, AggregateState>> from_views =
+      AnswerFromViews(target, fn, properties, st);
+  if (from_views.ok() ||
+      from_views.status().code() != StatusCode::kNotFound) {
+    return from_views;
   }
 
+  std::unordered_map<GroupKey, AggregateState> out;
   {
-    // Fall back to the base table.
+    // Fall back to the base table (unlocked: only the immutable fact
+    // table and lattice are touched).
     st->strategy = ViewStrategy::kBase;
     std::vector<size_t> present = lattice_->PresentAxes(target);
     std::vector<AxisStateId> states = lattice_->Decode(target);

@@ -78,6 +78,14 @@ class CubeViewStore {
   /// the view.
   Status Materialize(CuboidId cuboid, bool with_fact_ids) X3_EXCLUDES(mu_);
 
+  /// Drops the materialized view of `cuboid`; false when it was not
+  /// materialized. The serving layer's cuboid cache uses this as its
+  /// eviction hook.
+  bool Evict(CuboidId cuboid) X3_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return views_.erase(cuboid) > 0;
+  }
+
   bool Contains(CuboidId cuboid) const X3_EXCLUDES(mu_) {
     MutexLock lock(&mu_);
     return views_.count(cuboid) > 0;
@@ -87,13 +95,30 @@ class CubeViewStore {
     return views_.size();
   }
 
+  /// Ids of the currently materialized views, unordered.
+  std::vector<CuboidId> MaterializedIds() const X3_EXCLUDES(mu_);
+
   /// Approximate memory held by materialized views.
   size_t ApproxBytes() const X3_EXCLUDES(mu_);
+
+  /// Approximate memory of one materialized view (0 when absent) — the
+  /// unit the serving layer's LRU accounting is denominated in.
+  size_t ViewApproxBytes(CuboidId cuboid) const X3_EXCLUDES(mu_);
 
   /// Computes the cells of `target` (no null groups — the real cuboid)
   /// using the best available strategy. `properties` may be null
   /// ("assume nothing": id-less roll-ups are never chosen).
   Result<std::unordered_map<GroupKey, AggregateState>> Answer(
+      CuboidId target, AggregateFunction fn,
+      const LatticeProperties* properties = nullptr,
+      ViewComputeStats* stats = nullptr) const X3_EXCLUDES(mu_);
+
+  /// Answer() restricted to the materialized views: exact or roll-up
+  /// strategies only, NotFound when no usable view exists. The base
+  /// table is never scanned, so a NotFound caller can decide for itself
+  /// how a miss is computed (the serving layer routes it through
+  /// ComputeCube so misses fill the cache).
+  Result<std::unordered_map<GroupKey, AggregateState>> AnswerFromViews(
       CuboidId target, AggregateFunction fn,
       const LatticeProperties* properties = nullptr,
       ViewComputeStats* stats = nullptr) const X3_EXCLUDES(mu_);
@@ -122,6 +147,10 @@ class CubeViewStore {
   bool IsLndDescendant(const View& view, CuboidId target,
                        std::vector<size_t>* kept_positions,
                        std::vector<size_t>* dropped_axes) const;
+
+  /// Approximate memory of one view (caller holds mu_; the view itself
+  /// is all the state touched).
+  static size_t ViewBytesLocked(const View& view);
 
   const FactTable* facts_;
   const CubeLattice* lattice_;

@@ -1,0 +1,104 @@
+#include "server/cuboid_cache.h"
+
+#include "util/metrics.h"
+
+namespace x3 {
+
+namespace {
+
+Counter* EvictionCounter() {
+  static Counter* counter = MetricRegistry::Global().GetCounter(
+      "x3_server_cache_evictions_total",
+      "Materialized cuboid views evicted by the server's LRU cache");
+  return counter;
+}
+
+Gauge* CacheBytesGauge() {
+  static Gauge* gauge = MetricRegistry::Global().GetGauge(
+      "x3_server_cache_bytes",
+      "Approximate bytes held by cached materialized cuboid views");
+  return gauge;
+}
+
+Gauge* CacheViewsGauge() {
+  static Gauge* gauge = MetricRegistry::Global().GetGauge(
+      "x3_server_cache_views",
+      "Number of materialized cuboid views currently cached");
+  return gauge;
+}
+
+}  // namespace
+
+void CuboidCache::Touch(CubeViewStore* store, CuboidId cuboid) {
+  MutexLock lock(&mu_);
+  auto it = index_.find(Key{store, cuboid});
+  if (it == index_.end()) return;
+  lru_.splice(lru_.begin(), lru_, it->second);
+}
+
+void CuboidCache::Insert(CubeViewStore* store, CuboidId cuboid,
+                         size_t bytes) {
+  MutexLock lock(&mu_);
+  Key key{store, cuboid};
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Re-materialized (racing misses): refresh the size and promote.
+    bytes_ -= it->second->bytes;
+    it->second->bytes = bytes;
+    bytes_ += bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{store, cuboid, bytes});
+    index_[key] = lru_.begin();
+    bytes_ += bytes;
+  }
+  EvictOverflowLocked(key);
+  CacheBytesGauge()->Set(static_cast<int64_t>(bytes_));
+  CacheViewsGauge()->Set(static_cast<int64_t>(lru_.size()));
+}
+
+void CuboidCache::EvictOverflowLocked(const Key& keep) {
+  if (capacity_bytes_ == 0) return;
+  auto it = lru_.end();
+  while (bytes_ > capacity_bytes_ && it != lru_.begin()) {
+    --it;
+    if (it->store == keep.first && it->cuboid == keep.second) continue;
+    it->store->Evict(it->cuboid);
+    bytes_ -= it->bytes;
+    ++evictions_;
+    EvictionCounter()->Increment();
+    index_.erase(Key{it->store, it->cuboid});
+    it = lru_.erase(it);
+  }
+}
+
+void CuboidCache::Clear() {
+  MutexLock lock(&mu_);
+  for (const Entry& entry : lru_) {
+    entry.store->Evict(entry.cuboid);
+    ++evictions_;
+    EvictionCounter()->Increment();
+  }
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+  CacheBytesGauge()->Set(0);
+  CacheViewsGauge()->Set(0);
+}
+
+size_t CuboidCache::bytes() const {
+  MutexLock lock(&mu_);
+  return bytes_;
+}
+
+size_t CuboidCache::num_views() const {
+  MutexLock lock(&mu_);
+  return lru_.size();
+}
+
+uint64_t CuboidCache::evictions() const {
+  MutexLock lock(&mu_);
+  return evictions_;
+}
+
+}  // namespace x3

@@ -1,0 +1,430 @@
+#include "server/x3_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "cube/plan.h"
+#include "util/metrics.h"
+#include "util/timer.h"
+#include "util/trace.h"
+
+namespace x3 {
+
+namespace {
+
+/// Releases an admission reservation on every exit path of RunQuery.
+class ScopedRelease {
+ public:
+  ScopedRelease(MemoryBudget* budget, size_t bytes)
+      : budget_(budget), bytes_(bytes) {}
+  ~ScopedRelease() { budget_->Release(bytes_); }
+
+  ScopedRelease(const ScopedRelease&) = delete;
+  ScopedRelease& operator=(const ScopedRelease&) = delete;
+
+ private:
+  MemoryBudget* budget_;
+  size_t bytes_;
+};
+
+/// The always-correct variant of an algorithm whose global assumption
+/// the property map cannot prove. The server must never serve a wrong
+/// answer (cached views would disagree with computed ones), so OPT
+/// variants are downgraded to their CUST counterparts when their plan
+/// contains unsafe steps.
+CubeAlgorithm SafeCounterpart(CubeAlgorithm algorithm) {
+  switch (algorithm) {
+    case CubeAlgorithm::kBUCOpt:
+      return CubeAlgorithm::kBUCCust;
+    case CubeAlgorithm::kTDOpt:
+    case CubeAlgorithm::kTDOptAll:
+      return CubeAlgorithm::kTDCust;
+    default:
+      return algorithm;
+  }
+}
+
+Counter* AdmissionDeniedCounter() {
+  static Counter* counter = MetricRegistry::Global().GetCounter(
+      "x3_server_admission_denied_total",
+      "Queries refused because the admission budget was exhausted");
+  return counter;
+}
+
+Counter* PlanDowngradeCounter() {
+  static Counter* counter = MetricRegistry::Global().GetCounter(
+      "x3_server_plan_downgrades_total",
+      "Queries whose OPT algorithm was downgraded to its CUST "
+      "counterpart because the plan had unproven-safe steps");
+  return counter;
+}
+
+Gauge* ShapesGauge() {
+  static Gauge* gauge = MetricRegistry::Global().GetGauge(
+      "x3_server_shapes", "Query shapes resident in the server");
+  return gauge;
+}
+
+}  // namespace
+
+std::string NormalizedQueryKey(const CubeQuery& query) {
+  std::string key = "fact=" + query.fact_path;
+  for (const AxisSpec& axis : query.axes) {
+    key += "|axis=" + axis.path + ";relax=" + axis.relaxations.ToString();
+    switch (axis.transform.kind) {
+      case ValueTransform::Kind::kIdentity:
+        break;
+      case ValueTransform::Kind::kPrefix:
+        key += ";prefix=" + std::to_string(axis.transform.prefix_length);
+        break;
+      case ValueTransform::Kind::kLowercase:
+        key += ";lowercase";
+        break;
+    }
+  }
+  key += "|measure=" + query.measure_path;
+  key += "|agg=";
+  key += AggregateFunctionToString(query.aggregate);
+  return key;
+}
+
+Result<ServerAnswer> X3Server::Ticket::Wait() {
+  MutexLock lock(&mu_);
+  while (!done_) done_cv_.Wait(&mu_);
+  if (!result_.has_value()) {
+    return Status::Internal("ticket result already consumed by Wait()");
+  }
+  Result<ServerAnswer> result = std::move(*result_);
+  result_.reset();
+  return result;
+}
+
+void X3Server::Ticket::Complete(Result<ServerAnswer> result) {
+  {
+    MutexLock lock(&mu_);
+    result_.emplace(std::move(result));
+    done_ = true;
+  }
+  done_cv_.NotifyAll();
+}
+
+X3Server::X3Server(Database* db, X3ServerOptions options)
+    : db_(db),
+      options_(std::move(options)),
+      engine_(db),
+      budget_(options_.admission_budget_bytes),
+      temp_files_(options_.temp_dir, options_.env),
+      cache_(options_.cache_capacity_bytes),
+      pool_(std::make_unique<ThreadPool>(
+          options_.num_threads != 0 ? options_.num_threads
+                                    : ThreadPool::DefaultConcurrency())) {}
+
+X3Server::~X3Server() {
+  // Drain queued and in-flight queries while every member they touch
+  // is still alive (pool_ is declared last, so destroyed first).
+  pool_.reset();
+}
+
+std::shared_ptr<X3Server::Ticket> X3Server::Submit(ServerRequest request) {
+  std::shared_ptr<Ticket> ticket = std::unique_ptr<Ticket>(new Ticket());
+  pool_->Submit(
+      [this, ticket, request = std::move(request)]() {
+        RunTask(ticket, request);
+      });
+  return ticket;
+}
+
+Result<ServerAnswer> X3Server::Execute(ServerRequest request) {
+  return Submit(std::move(request))->Wait();
+}
+
+size_t X3Server::num_shapes() const {
+  MutexLock lock(&mu_);
+  return shapes_.size();
+}
+
+void X3Server::RunTask(const std::shared_ptr<Ticket>& ticket,
+                       const ServerRequest& request) {
+  MetricRegistry& registry = MetricRegistry::Global();
+  static Counter* queries = registry.GetCounter(
+      "x3_server_queries_total", "Queries submitted to the serving layer");
+  static Counter* cache_hits = registry.GetCounter(
+      "x3_server_cache_hits_total",
+      "Cuboids answered exactly from a cached materialized view");
+  static Counter* rollup_answers = registry.GetCounter(
+      "x3_server_rollup_answers_total",
+      "Cuboids answered by safe roll-up from a cached finer view");
+  static Counter* cache_misses = registry.GetCounter(
+      "x3_server_cache_misses_total",
+      "Queries that fell back to ComputeCube");
+  static Counter* cache_served = registry.GetCounter(
+      "x3_server_cache_served_total",
+      "Queries answered entirely from cached views");
+  static Counter* cancelled = registry.GetCounter(
+      "x3_server_cancelled_total", "Queries that unwound with kCancelled");
+  static Counter* deadline_exceeded = registry.GetCounter(
+      "x3_server_deadline_exceeded_total",
+      "Queries that unwound with kDeadlineExceeded");
+  static Counter* failures = registry.GetCounter(
+      "x3_server_failures_total",
+      "Queries that failed for a reason other than cancellation, "
+      "deadline or admission");
+  static Gauge* inflight =
+      registry.GetGauge("x3_server_inflight", "Queries currently executing");
+  static Histogram* latency = registry.GetHistogram(
+      "x3_server_query_latency_seconds",
+      "End-to-end per-query latency in seconds (worker pickup to answer)");
+
+  queries->Increment();
+  inflight->Add(1);
+  Timer timer;
+  Result<ServerAnswer> result = [&]() -> Result<ServerAnswer> {
+    X3_TRACE_SPAN(&Tracer::Global(), "server/query");
+    return RunQuery(request, ticket.get());
+  }();
+  double seconds = timer.ElapsedSeconds();
+  latency->Observe(seconds);
+  inflight->Add(-1);
+  if (result.ok()) {
+    result->latency_seconds = seconds;
+    if (result->exact_hits > 0) cache_hits->Increment(result->exact_hits);
+    if (result->rollup_answers > 0) {
+      rollup_answers->Increment(result->rollup_answers);
+    }
+    if (result->computed) {
+      cache_misses->Increment();
+    } else {
+      cache_served->Increment();
+    }
+  } else {
+    switch (result.status().code()) {
+      case StatusCode::kCancelled:
+        cancelled->Increment();
+        break;
+      case StatusCode::kDeadlineExceeded:
+        deadline_exceeded->Increment();
+        break;
+      case StatusCode::kResourceExhausted:
+        // Counted at the admission check site.
+        break;
+      default:
+        failures->Increment();
+        break;
+    }
+  }
+  ticket->Complete(std::move(result));
+}
+
+Result<std::shared_ptr<X3Server::ShapeState>> X3Server::GetOrBuildShape(
+    const std::string& key, const CubeQuery& query,
+    const LatticeProperties* properties, ExecutionContext* ctx) {
+  std::shared_ptr<ShapeState> shape;
+  bool builder = false;
+  {
+    MutexLock lock(&mu_);
+    auto it = shapes_.find(key);
+    if (it == shapes_.end()) {
+      shape = std::make_shared<ShapeState>();
+      shapes_.emplace(key, shape);
+      builder = true;
+    } else {
+      shape = it->second;
+    }
+  }
+
+  if (builder) {
+    Result<PreparedQuery> prepared = engine_.Prepare(query, ctx);
+    Status status = prepared.status();
+    if (status.ok()) {
+      shape->prepared =
+          std::make_unique<PreparedQuery>(std::move(*prepared));
+      shape->properties =
+          properties != nullptr
+              ? *properties
+              : LatticeProperties::AssumeNothing(shape->prepared->lattice);
+      shape->disjoint_everywhere =
+          shape->properties.DisjointEverywhere(shape->prepared->lattice);
+      shape->views = std::make_unique<CubeViewStore>(
+          &shape->prepared->facts, &shape->prepared->lattice);
+    } else {
+      // Drop the failed shape so a later query retries the build (a
+      // cancelled or deadline-expired builder must not poison the
+      // shape for every other tenant).
+      MutexLock lock(&mu_);
+      auto it = shapes_.find(key);
+      if (it != shapes_.end() && it->second == shape) shapes_.erase(it);
+    }
+    {
+      MutexLock lock(&shape->mu);
+      shape->build_status = status;
+      shape->ready = true;
+    }
+    shape->ready_cv.NotifyAll();
+    ShapesGauge()->Set(static_cast<int64_t>(num_shapes()));
+    X3_RETURN_IF_ERROR(status);
+    return shape;
+  }
+
+  {
+    MutexLock lock(&shape->mu);
+    while (!shape->ready) shape->ready_cv.Wait(&shape->mu);
+    X3_RETURN_IF_ERROR(shape->build_status);
+  }
+  return shape;
+}
+
+void X3Server::EnsureMaterialized(ShapeState* shape, CuboidId cuboid) {
+  if (shape->views->Contains(cuboid)) return;
+  // Fact ids repair disjointness for later roll-ups; when the property
+  // map proves disjointness everywhere the id-less views suffice and
+  // cost far less memory (§3.6's trade-off).
+  bool with_ids = !shape->disjoint_everywhere;
+  if (!shape->views->Materialize(cuboid, with_ids).ok()) return;
+  cache_.Insert(shape->views.get(), cuboid,
+                shape->views->ViewApproxBytes(cuboid));
+}
+
+Result<ServerAnswer> X3Server::RunQuery(const ServerRequest& request,
+                                        Ticket* ticket) {
+  CubeQuery query;
+  if (request.query.has_value()) {
+    query = *request.query;
+  } else {
+    X3_ASSIGN_OR_RETURN(query, engine_.Compile(request.query_text));
+  }
+
+  double deadline_seconds = request.deadline_seconds.has_value()
+                                ? *request.deadline_seconds
+                                : options_.default_deadline_seconds;
+  ExecutionContext::Options ctx_options;
+  ctx_options.budget = &budget_;
+  ctx_options.temp_files = &temp_files_;
+  ctx_options.cancel = &ticket->token_;
+  if (deadline_seconds > 0) {
+    ctx_options.deadline = DeadlineAfterSeconds(deadline_seconds);
+  }
+  ExecutionContext ctx(ctx_options);
+  X3_RETURN_IF_ERROR(ctx.CheckInterrupted());
+
+  X3_ASSIGN_OR_RETURN(std::shared_ptr<ShapeState> shape,
+                      GetOrBuildShape(NormalizedQueryKey(query), query,
+                                      request.properties, &ctx));
+  const CubeLattice& lattice = shape->prepared->lattice;
+  const FactTable& facts = shape->prepared->facts;
+
+  if (request.target.has_value() &&
+      *request.target >= lattice.num_cuboids()) {
+    return Status::InvalidArgument(
+        "target cuboid " + std::to_string(*request.target) +
+        " out of range (lattice has " +
+        std::to_string(lattice.num_cuboids()) + " cuboids)");
+  }
+
+  // Admission control: the shape's fact table is the working-set floor
+  // of any algorithm over it. Reserve (hard cap) refuses the query
+  // outright instead of letting concurrent tenants overshoot together.
+  size_t admission_bytes = facts.ApproxBytes();
+  if (!budget_.Reserve(admission_bytes).ok()) {
+    AdmissionDeniedCounter()->Increment();
+    return Status::ResourceExhausted(
+        "admission denied: query working set of " +
+        std::to_string(admission_bytes) + " bytes does not fit the " +
+        "remaining budget (" + std::to_string(budget_.available()) +
+        " of " + std::to_string(budget_.capacity()) + " bytes free)");
+  }
+  ScopedRelease release(&budget_, admission_bytes);
+
+  ServerAnswer answer;
+  answer.aggregate = query.aggregate;
+  answer.num_cuboids_in_lattice = lattice.num_cuboids();
+
+  std::vector<CuboidId> targets;
+  if (request.target.has_value()) {
+    targets.push_back(*request.target);
+  } else {
+    targets = lattice.TopoOrder();
+  }
+
+  std::vector<std::pair<CuboidId, CellMap>> cells;
+  bool all_from_cache = request.use_cache;
+  if (request.use_cache) {
+    for (CuboidId target : targets) {
+      X3_RETURN_IF_ERROR(ctx.Poll());
+      ViewComputeStats view_stats;
+      Result<CellMap> from_views = shape->views->AnswerFromViews(
+          target, query.aggregate, &shape->properties, &view_stats);
+      if (from_views.ok()) {
+        cache_.Touch(shape->views.get(), view_stats.source_view);
+        if (view_stats.strategy == ViewStrategy::kExact) {
+          ++answer.exact_hits;
+        } else {
+          ++answer.rollup_answers;
+        }
+        cells.emplace_back(target, std::move(*from_views));
+      } else if (from_views.status().code() == StatusCode::kNotFound) {
+        all_from_cache = false;
+        cells.clear();
+        break;
+      } else {
+        return from_views.status();
+      }
+    }
+  }
+
+  if (!all_from_cache) {
+    answer.exact_hits = 0;
+    answer.rollup_answers = 0;
+    CubeAlgorithm algorithm = request.algorithm;
+    CubePlan plan = BuildCubePlan(algorithm, lattice, shape->properties);
+    if (plan.unsafe_steps > 0) {
+      algorithm = SafeCounterpart(algorithm);
+      PlanDowngradeCounter()->Increment();
+    }
+    CubeComputeOptions compute;
+    compute.aggregate = query.aggregate;
+    compute.properties = &shape->properties;
+    compute.exec = &ctx;
+    compute.parallelism = request.parallelism != 0
+                              ? request.parallelism
+                              : options_.default_parallelism;
+    // min_count stays 0: the cache holds unfiltered cells so requests
+    // with different iceberg thresholds share the same views; the
+    // filter is applied per request below.
+    CubeComputeStats stats;
+    X3_ASSIGN_OR_RETURN(
+        CubeResult cube,
+        ComputeCube(algorithm, facts, lattice, compute,  // x3-lint: allow(server-compute-cube) -- the designated cache-miss path
+                    &stats));
+    for (CuboidId target : targets) {
+      cells.emplace_back(target, std::move(*cube.mutable_cuboid(target)));
+    }
+    answer.computed = true;
+    answer.algorithm_used = algorithm;
+    if (request.use_cache) {
+      // Cache fill: the finest cuboid is the universal donor —
+      // TDOPTALL's roll-up property means every coarser cuboid rolls
+      // up from it (with fact ids when disjointness is unproven) —
+      // plus the requested cuboid itself for exact-hit repeats.
+      EnsureMaterialized(shape.get(), lattice.FinestCuboid());
+      if (request.target.has_value() &&
+          *request.target != lattice.FinestCuboid()) {
+        EnsureMaterialized(shape.get(), *request.target);
+      }
+    }
+  }
+
+  int64_t min_count = std::max(query.min_count, request.min_count);
+  if (min_count > 1) {
+    // Same rule as CubeResult::ApplyIcebergFilter: drop cells whose
+    // distinct-fact count is below the threshold.
+    for (auto& [id, map] : cells) {
+      for (auto it = map.begin(); it != map.end();) {
+        it = it->second.count < min_count ? map.erase(it) : std::next(it);
+      }
+    }
+  }
+  answer.cuboids = std::move(cells);
+  return answer;
+}
+
+}  // namespace x3

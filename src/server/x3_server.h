@@ -1,0 +1,260 @@
+#ifndef X3_SERVER_X3_SERVER_H_
+#define X3_SERVER_X3_SERVER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cube/algorithm.h"
+#include "cube/view_store.h"
+#include "schema/summarizability.h"
+#include "server/cuboid_cache.h"
+#include "storage/temp_file.h"
+#include "util/exec.h"
+#include "util/memory_budget.h"
+#include "util/result.h"
+#include "util/thread_annotations.h"
+#include "util/thread_pool.h"
+#include "x3/engine.h"
+
+namespace x3 {
+
+/// Configuration of an X3Server.
+struct X3ServerOptions {
+  /// Worker threads executing queries. 0 = hardware concurrency.
+  size_t num_threads = 4;
+  /// Admission budget shared by every in-flight query: an admitted
+  /// query reserves its shape's fact-table footprint for the duration
+  /// of its execution and is refused with kResourceExhausted when the
+  /// reservation does not fit (the budget must therefore fit at least
+  /// one shape). 0 = unlimited. Compute-time working memory (counter
+  /// tables, sort buffers) is charged to the same budget, so budgeted
+  /// algorithms spill instead of overshooting.
+  size_t admission_budget_bytes = 0;
+  /// Capacity of the materialized-cuboid LRU cache. 0 = unlimited.
+  size_t cache_capacity_bytes = 64ull << 20;
+  /// Default per-query deadline in seconds; 0 = none. A request's
+  /// explicit deadline overrides this.
+  double default_deadline_seconds = 0;
+  /// Default per-query compute parallelism (CubeComputeOptions
+  /// semantics: 1 = calling thread, 0 = hardware concurrency).
+  size_t default_parallelism = 1;
+  /// Environment spill files go through; nullptr = Env::Default().
+  Env* env = nullptr;
+  /// Base directory for spill files; empty = $TMPDIR.
+  std::string temp_dir;
+};
+
+/// One cube request against a serving session.
+struct ServerRequest {
+  /// X^3 query text, compiled via X3Engine::Compile — or a
+  /// pre-compiled query in `query` (which wins when set).
+  std::string query_text;
+  std::optional<CubeQuery> query;
+  /// The cuboid (relaxation point) wanted; nullopt = the full cube
+  /// (every cuboid of the lattice). Validated against the lattice.
+  std::optional<CuboidId> target;
+  CubeAlgorithm algorithm = CubeAlgorithm::kTDCust;
+  /// Iceberg threshold applied to the answer (max with the query's own
+  /// HAVING threshold). Applied after caching: the cache always holds
+  /// unfiltered cells, so differently-thresholded requests share views.
+  int64_t min_count = 0;
+  /// Per-axis summarizability annotations; must outlive the server.
+  /// nullptr = assume nothing (id-less roll-ups are never used and the
+  /// OPT algorithm variants are always downgraded). The FIRST request
+  /// that builds a shape fixes the shape's properties; later requests
+  /// for the same normalized query inherit them.
+  const LatticeProperties* properties = nullptr;
+  /// Per-request deadline in seconds; overrides the server default.
+  std::optional<double> deadline_seconds;
+  /// Compute parallelism; 0 = the server default.
+  size_t parallelism = 0;
+  /// When false the query bypasses the cuboid cache entirely (no view
+  /// lookups, no cache fill) — the cold-path escape hatch.
+  bool use_cache = true;
+};
+
+/// Cells of one cuboid, keyed by packed group key.
+using CellMap = std::unordered_map<GroupKey, AggregateState>;
+
+/// A completed query's answer.
+struct ServerAnswer {
+  AggregateFunction aggregate = AggregateFunction::kCount;
+  /// (cuboid id, cells) for the requested cuboid — or for every cuboid
+  /// of the lattice, in topological (finest-first) order, for a
+  /// full-cube request.
+  std::vector<std::pair<CuboidId, CellMap>> cuboids;
+  /// How the cuboids were answered: exact view hits, safe roll-ups
+  /// from a finer view, or (`computed`) a ComputeCube run.
+  uint64_t exact_hits = 0;
+  uint64_t rollup_answers = 0;
+  bool computed = false;
+  /// The algorithm that actually ran on the miss path (after any
+  /// safety downgrade); meaningless when `computed` is false.
+  CubeAlgorithm algorithm_used = CubeAlgorithm::kTDCust;
+  uint64_t num_cuboids_in_lattice = 0;
+  double latency_seconds = 0;
+};
+
+/// A long-lived serving session over one shared Database: concurrent
+/// Submit() calls are fair-scheduled (FIFO) onto a worker pool,
+/// admission-controlled through a shared MemoryBudget, bounded by
+/// per-query deadlines and cancellable mid-flight, and answered from
+/// an LRU cache of materialized cuboids whenever CubeViewStore can
+/// prove an exact hit or a safe roll-up — falling back to ComputeCube
+/// (which then fills the cache) otherwise.
+///
+/// Query shapes — the compiled pattern, its lattice, the materialized
+/// fact table, the property map and the per-shape CubeViewStore — are
+/// built once per normalized query and kept for the server's lifetime;
+/// only the materialized views inside them are subject to eviction.
+/// Shape fact tables are deliberately NOT charged to the admission
+/// budget (they are session state, not per-query working memory), so
+/// `budget()->used() == 0` holds whenever no query is in flight.
+///
+/// Thread-safe. Destroying the server drains every submitted query
+/// first (ThreadPool drain-on-destroy), so tickets handed out earlier
+/// always complete.
+class X3Server {
+ public:
+  /// A submitted query's handle. Obtained from Submit(); shared
+  /// ownership, so it stays valid however long the caller keeps it.
+  class Ticket {
+   public:
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+
+    /// Blocks until the query finished and moves its result out. May
+    /// be called once; later calls return kInternal.
+    Result<ServerAnswer> Wait() X3_EXCLUDES(mu_);
+
+    /// Requests cooperative cancellation (idempotent; the query
+    /// unwinds with kCancelled at its next poll).
+    void Cancel() { token_.Cancel(); }
+
+    /// Arms deterministic mid-flight cancellation: the token trips
+    /// after `checks` further polls (test hook; see
+    /// CancellationToken::CancelAfterChecks).
+    void CancelAfterChecks(int64_t checks) {
+      token_.CancelAfterChecks(checks);
+    }
+
+    bool done() const X3_EXCLUDES(mu_) {
+      MutexLock lock(&mu_);
+      return done_;
+    }
+
+   private:
+    friend class X3Server;
+    Ticket() = default;
+
+    void Complete(Result<ServerAnswer> result) X3_EXCLUDES(mu_);
+
+    CancellationToken token_;
+    mutable Mutex mu_{lock_rank::kServerTicket};
+    CondVar done_cv_;
+    bool done_ X3_GUARDED_BY(mu_) = false;
+    std::optional<Result<ServerAnswer>> result_ X3_GUARDED_BY(mu_);
+  };
+
+  /// `db` must outlive the server and already contain the data.
+  explicit X3Server(Database* db, X3ServerOptions options = {});
+
+  /// Drains all in-flight and queued queries, then joins the workers.
+  ~X3Server();
+
+  X3Server(const X3Server&) = delete;
+  X3Server& operator=(const X3Server&) = delete;
+
+  /// Enqueues the query. Never blocks on query execution; the returned
+  /// ticket resolves once a worker ran it. Fairness is FIFO: queries
+  /// start in submission order.
+  std::shared_ptr<Ticket> Submit(ServerRequest request);
+
+  /// Submit + Wait (the blocking convenience for single-tenant use).
+  Result<ServerAnswer> Execute(ServerRequest request);
+
+  /// The shared admission budget (used() drops back to 0 once every
+  /// in-flight query drained).
+  MemoryBudget* budget() { return &budget_; }
+
+  size_t cache_bytes() const { return cache_.bytes(); }
+  size_t cache_views() const { return cache_.num_views(); }
+  uint64_t cache_evictions() const { return cache_.evictions(); }
+  size_t num_shapes() const X3_EXCLUDES(mu_);
+
+  /// Evicts every cached view (forced cold start; test hook).
+  void FlushCacheForTest() { cache_.Clear(); }
+
+ private:
+  /// Everything the server keeps per normalized query: the compiled
+  /// query, lattice and fact table (X3Engine::Prepare's output), the
+  /// shape's property map, and the view store the cuboid cache manages
+  /// views in. Built lazily by the first query of the shape; `mu` is
+  /// the build latch. The pointers are immutable once `ready` is
+  /// published under `mu`.
+  struct ShapeState {
+    Mutex mu{lock_rank::kServerShape};
+    CondVar ready_cv;
+    bool ready X3_GUARDED_BY(mu) = false;
+    Status build_status X3_GUARDED_BY(mu);
+    /// Immutable after `ready` (written by the builder, then
+    /// published; readers synchronize through `mu`).
+    std::unique_ptr<PreparedQuery> prepared;
+    LatticeProperties properties;
+    bool disjoint_everywhere = false;
+    std::unique_ptr<CubeViewStore> views;
+  };
+
+  /// The worker-side body of one submitted query: metrics, tracing and
+  /// ticket completion around RunQuery.
+  void RunTask(const std::shared_ptr<Ticket>& ticket,
+               const ServerRequest& request);
+
+  Result<ServerAnswer> RunQuery(const ServerRequest& request,
+                                Ticket* ticket);
+
+  /// Returns the ready shape for `key`, building it (on this thread,
+  /// deduplicated across concurrent requesters) if needed. A failed
+  /// build is reported to every waiter and the shape is dropped so a
+  /// later query can retry.
+  Result<std::shared_ptr<ShapeState>> GetOrBuildShape(
+      const std::string& key, const CubeQuery& query,
+      const LatticeProperties* properties, ExecutionContext* ctx)
+      X3_EXCLUDES(mu_);
+
+  /// Materializes `cuboid` into the shape's view store (if absent) and
+  /// accounts it with the LRU cache.
+  void EnsureMaterialized(ShapeState* shape, CuboidId cuboid);
+
+  Database* db_;
+  const X3ServerOptions options_;
+  X3Engine engine_;
+  MemoryBudget budget_;
+  TempFileManager temp_files_;
+  CuboidCache cache_;
+
+  mutable Mutex mu_{lock_rank::kServerSession};
+  std::unordered_map<std::string, std::shared_ptr<ShapeState>> shapes_
+      X3_GUARDED_BY(mu_);
+
+  /// Declared last: destroyed first, draining every queued task while
+  /// the shapes, cache and budget above are still alive.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+/// The cache key's normalization: fact path, per-axis (path,
+/// relaxations, transform), measure path and aggregate — everything
+/// that determines the lattice and fact table, and nothing that does
+/// not (axis variable names and iceberg thresholds are excluded, so
+/// renamed variables and different HAVING clauses share one shape).
+std::string NormalizedQueryKey(const CubeQuery& query);
+
+}  // namespace x3
+
+#endif  // X3_SERVER_X3_SERVER_H_

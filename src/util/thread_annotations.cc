@@ -2,7 +2,6 @@
 
 #if defined(X3_DEBUG_LOCKS)
 #include <cstdint>
-#include <vector>
 
 #include "util/logging.h"
 #endif
@@ -24,7 +23,20 @@ uint64_t DebugThreadId() {
 
 // Ranked mutexes this thread currently holds, in acquisition order.
 // Unranked (kNone) mutexes are exempt from ordering and never pushed.
-thread_local std::vector<const Mutex*> t_held;
+//
+// A fixed-size POD stack, NOT a std::vector: it must be trivially
+// destructible so it stays usable during atexit handlers. The
+// X3_TRACE / X3_METRICS flush hooks take ranked mutexes (tracer,
+// registry) after the main thread's nontrivial thread_locals have
+// already been destroyed — with a vector here that bookkeeping was a
+// use-after-free. The rank chain is short by construction, so a small
+// constant capacity is plenty; overflow trips a check.
+struct HeldStack {
+  static constexpr size_t kMax = 64;
+  const Mutex* items[kMax];
+  size_t size;
+};
+thread_local HeldStack t_held{};
 
 // Set while a rank-inversion report is being emitted: the fatal path
 // itself logs (LogMessage may take the capture-sink mutex), and that
@@ -33,7 +45,8 @@ thread_local bool t_in_report = false;
 
 void CheckRankAgainstHeld(const Mutex* mu) {
   if (t_in_report) return;
-  for (const Mutex* held : t_held) {
+  for (size_t i = 0; i < t_held.size; ++i) {
+    const Mutex* held = t_held.items[i];
     if (mu->rank() > held->rank()) continue;
     t_in_report = true;
     X3_CHECK(false) << "lock rank inversion: acquiring mutex rank "
@@ -45,7 +58,11 @@ void CheckRankAgainstHeld(const Mutex* mu) {
 
 void NoteAcquired(const Mutex* mu, std::atomic<uint64_t>* holder) {
   holder->store(DebugThreadId(), std::memory_order_relaxed);
-  if (mu->rank() != lock_rank::kNone && !t_in_report) t_held.push_back(mu);
+  if (mu->rank() == lock_rank::kNone || t_in_report) return;
+  X3_CHECK(t_held.size < HeldStack::kMax)
+      << "held-lock stack overflow: a thread holds " << HeldStack::kMax
+      << " ranked mutexes at once";
+  t_held.items[t_held.size++] = mu;
 }
 
 void NoteReleased(const Mutex* mu, std::atomic<uint64_t>* holder) {
@@ -53,9 +70,12 @@ void NoteReleased(const Mutex* mu, std::atomic<uint64_t>* holder) {
   if (mu->rank() == lock_rank::kNone || t_in_report) return;
   // Almost always the top of the stack, but out-of-order unlock of
   // hand-over-hand patterns is legal, so search from the back.
-  for (size_t i = t_held.size(); i > 0; --i) {
-    if (t_held[i - 1] == mu) {
-      t_held.erase(t_held.begin() + static_cast<long>(i - 1));
+  for (size_t i = t_held.size; i > 0; --i) {
+    if (t_held.items[i - 1] == mu) {
+      for (size_t j = i - 1; j + 1 < t_held.size; ++j) {
+        t_held.items[j] = t_held.items[j + 1];
+      }
+      --t_held.size;
       return;
     }
   }

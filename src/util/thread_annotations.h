@@ -75,6 +75,14 @@ namespace x3 {
 // this table in sync with docs/STATIC_ANALYSIS.md §7.
 namespace lock_rank {
 inline constexpr uint32_t kNone = 0;  // unranked: exempt from ordering
+// The serving layer sits below every engine lock: a server thread may
+// hold its session/shape/cache bookkeeping while calling into the
+// view store (kViewStore) or submitting to the pool (kThreadPool),
+// never the other way around.
+inline constexpr uint32_t kServerSession = 40;  // X3Server::mu_
+inline constexpr uint32_t kServerShape = 60;    // ShapeState build latch
+inline constexpr uint32_t kServerCache = 80;    // CuboidCache::mu_
+inline constexpr uint32_t kServerTicket = 90;   // X3Server::Ticket::mu_
 inline constexpr uint32_t kExecutorScheduler = 100;  // executor.cc local
 inline constexpr uint32_t kViewStore = 150;          // CubeViewStore::mu_
 inline constexpr uint32_t kTaskGroup = 200;          // TaskGroup::mu_

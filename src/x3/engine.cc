@@ -15,6 +15,18 @@ Result<CubeQuery> X3Engine::Compile(std::string_view query_text) const {
   return BindX3Query(ast);
 }
 
+Result<PreparedQuery> X3Engine::Prepare(const CubeQuery& query,
+                                        ExecutionContext* ctx) const {
+  ExecutionContext local_ctx;
+  if (ctx == nullptr) ctx = &local_ctx;
+  X3_RETURN_IF_ERROR(ctx->CheckInterrupted());
+  ScopedStageTimer stage(ctx->stats(), "materialize", ctx->tracer());
+  X3_ASSIGN_OR_RETURN(CubeLattice lattice, BuildCubeLattice(query));
+  X3_ASSIGN_OR_RETURN(FactTable facts, BuildFactTable(*db_, query, lattice));
+  stage.AddRows(facts.size());
+  return PreparedQuery(query, std::move(lattice), std::move(facts));
+}
+
 Result<X3ExecutionResult> X3Engine::Execute(std::string_view query_text,
                                             CubeAlgorithm algorithm,
                                             CubeComputeOptions options) const {
@@ -42,21 +54,12 @@ Result<X3ExecutionResult> X3Engine::ExecuteQuery(
       ctx->budget() != nullptr ? ctx->budget() : options.budget;
 
   Timer timer;
-  X3_RETURN_IF_ERROR(ctx->CheckInterrupted());
-  // The stage timer records "materialize" (with the fact count as its
+  // Prepare records the "materialize" stage (with the fact count as its
   // row detail) and opens the pipeline's first trace span.
-  Result<std::pair<CubeLattice, FactTable>> materialized =
-      [&]() -> Result<std::pair<CubeLattice, FactTable>> {
-    ScopedStageTimer stage(ctx->stats(), "materialize", ctx->tracer());
-    X3_ASSIGN_OR_RETURN(CubeLattice lattice, BuildCubeLattice(query));
-    X3_ASSIGN_OR_RETURN(FactTable facts,
-                        BuildFactTable(*db_, query, lattice));
-    stage.AddRows(facts.size());
-    return std::make_pair(std::move(lattice), std::move(facts));
-  }();
-  X3_RETURN_IF_ERROR(materialized.status());
-  CubeLattice lattice = std::move(materialized->first);
-  FactTable facts = std::move(materialized->second);
+  Result<PreparedQuery> prepared = Prepare(query, ctx);
+  X3_RETURN_IF_ERROR(prepared.status());
+  CubeLattice lattice = std::move(prepared->lattice);
+  FactTable facts = std::move(prepared->facts);
   double materialize_seconds = timer.ElapsedSeconds();
 
   // The materialized fact table is working memory of the query: charge

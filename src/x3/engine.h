@@ -13,6 +13,23 @@
 
 namespace x3 {
 
+/// A compiled query materialized against a database: the relaxation
+/// lattice plus the fact table, ready for any number of ComputeCube /
+/// CubeViewStore passes. This is the unit the serving layer keeps per
+/// distinct query shape — materialize once, compute and answer many
+/// times.
+struct PreparedQuery {
+  CubeQuery query;
+  CubeLattice lattice;
+  FactTable facts;
+
+  PreparedQuery(CubeQuery query_in, CubeLattice lattice_in,
+                FactTable facts_in)
+      : query(std::move(query_in)),
+        lattice(std::move(lattice_in)),
+        facts(std::move(facts_in)) {}
+};
+
 /// Result of executing an X^3 query end to end.
 struct X3ExecutionResult {
   CubeLattice lattice;
@@ -59,6 +76,15 @@ class X3Engine {
 
   /// Parses + binds a query without executing it.
   Result<CubeQuery> Compile(std::string_view query_text) const;
+
+  /// Builds the lattice and materializes the fact table for a compiled
+  /// query without computing any cube. When `ctx` is non-null its
+  /// cancellation token and deadline cover the materialization and the
+  /// "materialize" stage timing lands in its stats sink. The returned
+  /// fact table is NOT charged to any budget — the caller decides how
+  /// long it lives (X3Server keeps it for the server's lifetime).
+  Result<PreparedQuery> Prepare(const CubeQuery& query,
+                                ExecutionContext* ctx = nullptr) const;
 
   /// Full pipeline with default options.
   Result<X3ExecutionResult> Execute(

@@ -83,6 +83,25 @@ TEST(MutexRankTest, AscendingRankNestingIsAllowed) {
   MutexLock c(&high);
 }
 
+TEST(MutexRankTest, ServerRanksSitBelowEngineLocks) {
+  // The serving layer's chain: session bookkeeping, then a shape's
+  // build latch, then the cuboid cache, then a ticket, and from any of
+  // them into the view store (cache eviction) and the pool — ranks
+  // strictly increasing all the way down.
+  Mutex session(lock_rank::kServerSession);
+  Mutex shape(lock_rank::kServerShape);
+  Mutex cache(lock_rank::kServerCache);
+  Mutex ticket(lock_rank::kServerTicket);
+  Mutex views(lock_rank::kViewStore);
+  Mutex pool(lock_rank::kThreadPool);
+  MutexLock a(&session);
+  MutexLock b(&shape);
+  MutexLock c(&cache);
+  MutexLock d(&ticket);
+  MutexLock e(&views);
+  MutexLock f(&pool);
+}
+
 TEST(MutexRankTest, UnrankedMutexesNestFreely) {
   Mutex a;
   Mutex b;
@@ -122,6 +141,49 @@ TEST(MutexRankDeathTest, SameRankNestingDies) {
       {
         MutexLock la(&a);
         MutexLock lb(&b);  // equal rank is an inversion too
+      },
+      "lock rank inversion");
+}
+
+TEST(MutexRankDeathTest, ViewStoreIntoCuboidCacheDies) {
+  // Eviction is legal only cache -> store: a view store calling back
+  // into the cache while holding its own lock would invert the order
+  // and deadlock against a concurrent Insert.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex store(lock_rank::kViewStore);
+  Mutex cache(lock_rank::kServerCache);
+  EXPECT_DEATH(
+      {
+        MutexLock a(&store);
+        MutexLock b(&cache);
+      },
+      "lock rank inversion");
+}
+
+TEST(MutexRankDeathTest, CacheIntoServerSessionDies) {
+  // The cache must never re-enter the server's session map (e.g. to
+  // drop a shape) while holding its own lock.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex cache(lock_rank::kServerCache);
+  Mutex session(lock_rank::kServerSession);
+  EXPECT_DEATH(
+      {
+        MutexLock a(&cache);
+        MutexLock b(&session);
+      },
+      "lock rank inversion");
+}
+
+TEST(MutexRankDeathTest, TicketIntoServerShapeDies) {
+  // Ticket completion is a leaf below the shape latch: a worker that
+  // still holds a ticket lock must not wait on a shape build.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex ticket(lock_rank::kServerTicket);
+  Mutex shape(lock_rank::kServerShape);
+  EXPECT_DEATH(
+      {
+        MutexLock a(&ticket);
+        MutexLock b(&shape);
       },
       "lock rank inversion");
 }

@@ -12,10 +12,14 @@
 #include <algorithm>
 #include <cstdint>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cube/algorithm.h"
+#include "server/x3_server.h"
 #include "storage/temp_file.h"
 #include "util/env.h"
 #include "util/fault_env.h"
@@ -345,6 +349,172 @@ TEST_F(FaultSweepTest, TransientFaultsRecoverUnderRetry) {
     EXPECT_EQ(budget.used(), 0u);
     EXPECT_GT(retry.retries_attempted(), retries_before) << "op " << index;
     retries_before = retry.retries_attempted();
+  }
+}
+
+// --- Server lane: the same discipline for the serving layer ---
+
+/// Flattens a ServerAnswer into comparable (cuboid → key → count) form.
+std::map<CuboidId, std::map<GroupKey, int64_t>> FlattenAnswer(
+    const ServerAnswer& answer) {
+  std::map<CuboidId, std::map<GroupKey, int64_t>> flat;
+  for (const auto& [id, cells] : answer.cuboids) {
+    auto& m = flat[id];
+    for (const auto& [key, state] : cells) m[key] = state.count;
+  }
+  return flat;
+}
+
+/// Sweeps storage faults through an X3Server whose spill files run over
+/// a FaultInjectionEnv. Invariants per iteration: the query the fault
+/// lands in fails with a structured error (or absorbs it and stays
+/// cell-exact), the other in-flight queries stay exact, a follow-up
+/// query on the healed env is exact, and the admission budget drains
+/// back to zero — a faulted query must never wedge the session.
+class ServerFaultSweepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open({});
+    ASSERT_TRUE(db.ok()) << db.status();
+    db_ = std::move(*db);
+    ASSERT_TRUE(db_->LoadXmlString(BuildCorpusXml()).ok());
+
+    X3Engine probe(db_.get());
+    auto query = probe.Compile(kQuery);
+    ASSERT_TRUE(query.ok()) << query.status();
+    query_ = *query;
+    auto prepared = probe.Prepare(query_);
+    ASSERT_TRUE(prepared.ok()) << prepared.status();
+    finest_ = prepared->lattice.FinestCuboid();
+    coarsest_ = prepared->lattice.TopoOrder().back();
+    // Admission fits exactly one in-flight query, and the slack left
+    // over after the fact-table reservation is far below the sorter's
+    // working set — every compute run spills through the injected env.
+    budget_bytes_ = prepared->facts.ApproxBytes() + 1024;
+  }
+
+  /// The per-iteration request mix: three TD computes (full cube,
+  /// coarsest point, finest point). use_cache=false keeps every request
+  /// on the compute path, so each one's spill I/O is in the schedule.
+  std::vector<ServerRequest> MakeRequests() const {
+    std::vector<ServerRequest> requests(3);
+    requests[1].target = coarsest_;
+    requests[2].target = finest_;
+    for (ServerRequest& r : requests) {
+      r.query = query_;
+      r.algorithm = CubeAlgorithm::kTD;
+      r.use_cache = false;
+    }
+    return requests;
+  }
+
+  /// One worker: submissions are concurrent, execution is FIFO, so the
+  /// spill-op schedule is deterministic and index-replay is meaningful.
+  std::unique_ptr<X3Server> MakeServer(Env* env) {
+    X3ServerOptions options;
+    options.num_threads = 1;
+    options.admission_budget_bytes = budget_bytes_;
+    options.env = env;
+    return std::make_unique<X3Server>(db_.get(), options);
+  }
+
+  /// Runs the mix against a fresh server on `env`; every answer must be
+  /// OK. Returns the flattened answers.
+  std::vector<std::map<CuboidId, std::map<GroupKey, int64_t>>> RunClean(
+      Env* env) {
+    std::vector<std::map<CuboidId, std::map<GroupKey, int64_t>>> flats;
+    auto server = MakeServer(env);
+    std::vector<std::shared_ptr<X3Server::Ticket>> tickets;
+    for (ServerRequest& request : MakeRequests()) {
+      tickets.push_back(server->Submit(std::move(request)));
+    }
+    for (auto& ticket : tickets) {
+      auto answer = ticket->Wait();
+      EXPECT_TRUE(answer.ok()) << answer.status();
+      if (!answer.ok()) return flats;
+      flats.push_back(FlattenAnswer(*answer));
+    }
+    EXPECT_EQ(server->budget()->used(), 0u);
+    return flats;
+  }
+
+  std::unique_ptr<Database> db_;
+  CubeQuery query_;
+  CuboidId finest_ = 0;
+  CuboidId coarsest_ = 0;
+  size_t budget_bytes_ = 0;
+};
+
+TEST_F(ServerFaultSweepTest, SpillFaultsFailCleanlyAndSessionStaysLive) {
+  // Learn the schedule, and prove it is replayable.
+  FaultInjectionEnv counting(Env::Default());
+  auto reference = RunClean(&counting);
+  ASSERT_EQ(reference.size(), 3u);
+  const uint64_t total_ops = counting.ops_seen();
+  ASSERT_GT(total_ops, 0u)
+      << "server mix must spill so its I/O is in the swept schedule";
+  {
+    FaultInjectionEnv recount(Env::Default());
+    auto again = RunClean(&recount);
+    ASSERT_EQ(again.size(), 3u);
+    ASSERT_EQ(recount.ops_seen(), total_ops);
+    for (size_t i = 0; i < 3; ++i) ASSERT_EQ(again[i], reference[i]);
+  }
+  std::cout << "[ SCHEDULE ] " << total_ops << " server spill ops"
+            << std::endl;
+
+  constexpr FaultKind kKinds[] = {FaultKind::kEIO, FaultKind::kENOSPC,
+                                  FaultKind::kShortRead,
+                                  FaultKind::kShortWrite,
+                                  FaultKind::kSyncFailure};
+  FaultInjectionEnv fault(Env::Default());
+  const uint64_t stride = std::max<uint64_t>(1, total_ops / 24);
+  for (uint64_t index = 0; index < total_ops; index += stride) {
+    FaultInjectionEnv::Options opts;
+    opts.fail_op_index = index;
+    opts.kind = kKinds[HashFinalize(0xfeed ^ index) % std::size(kKinds)];
+    opts.seed = index;
+    fault.Arm(opts);
+    const std::string label = "server op " + std::to_string(index) + " (" +
+                              FaultKindToString(opts.kind) + ")";
+
+    auto server = MakeServer(&fault);
+    auto requests = MakeRequests();
+    std::vector<std::shared_ptr<X3Server::Ticket>> tickets;
+    for (ServerRequest& request : requests) {
+      ServerRequest copy = request;
+      tickets.push_back(server->Submit(std::move(copy)));
+    }
+    for (size_t i = 0; i < tickets.size(); ++i) {
+      auto answer = tickets[i]->Wait();
+      if (answer.ok()) {
+        // The fault landed elsewhere (or was absorbed): absorption is
+        // only acceptable when the cells are still exactly right.
+        EXPECT_EQ(FlattenAnswer(*answer), reference[i])
+            << label << ": request " << i
+            << " absorbed a fault and answered wrong cells";
+      } else {
+        // Structured failure, attributable to the injection — never a
+        // crash, never a leaked admission slot (checked after drain).
+        EXPECT_GE(fault.faults_fired(), 1u)
+            << label << ": request " << i << " failed without a fault: "
+            << answer.status().ToString();
+      }
+    }
+    EXPECT_EQ(server->budget()->used(), 0u)
+        << label << ": admission budget leaked";
+
+    // Heal the env (the one-shot fault may or may not have fired —
+    // a mid-flight abort short-circuits the rest of that query's
+    // schedule) and the same session must serve exact answers again.
+    fault.Arm(FaultInjectionEnv::Options{});
+    auto followup = server->Execute(requests[0]);
+    ASSERT_TRUE(followup.ok())
+        << label << ": follow-up on healed env failed: "
+        << followup.status().ToString();
+    EXPECT_EQ(FlattenAnswer(*followup), reference[0]) << label;
+    EXPECT_EQ(server->budget()->used(), 0u) << label;
+    if (::testing::Test::HasFatalFailure()) return;
   }
 }
 

@@ -1,0 +1,408 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cube/algorithm.h"
+#include "gen/dblp_gen.h"
+#include "gen/treebank_gen.h"
+#include "gen/workload.h"
+#include "schema/dtd_parser.h"
+#include "server/x3_server.h"
+#include "util/random.h"
+
+namespace x3 {
+namespace {
+
+/// One query shape of the multi-tenant corpus: the compiled query, its
+/// inferred properties, and a full reference cube to check server
+/// answers against.
+struct ShapeRef {
+  CubeQuery query;
+  LatticeProperties properties;
+  CubeLattice lattice;
+  FactTable facts;
+  CubeResult reference;
+
+  ShapeRef(CubeQuery query_in, LatticeProperties properties_in,
+           CubeLattice lattice_in, FactTable facts_in,
+           CubeResult reference_in)
+      : query(std::move(query_in)),
+        properties(std::move(properties_in)),
+        lattice(std::move(lattice_in)),
+        facts(std::move(facts_in)),
+        reference(std::move(reference_in)) {}
+};
+
+/// The shared multi-tenant corpus: Treebank trees and DBLP articles in
+/// ONE database, with per-shape references. Built once for the suite
+/// (the reference cubes are the expensive part).
+class Corpus {
+ public:
+  static Corpus& Get() {
+    static Corpus* corpus = new Corpus();
+    return *corpus;
+  }
+
+  Database* db() { return db_.get(); }
+  ShapeRef& treebank() { return *treebank_; }
+  ShapeRef& dblp() { return *dblp_; }
+
+ private:
+  Corpus() {
+    auto db = Database::Open({});
+    EXPECT_TRUE(db.ok());
+    db_ = std::move(*db);
+
+    // Both summarizability properties fail on both corpora (missing and
+    // repeated axis elements), so the server must rely on fact-id
+    // roll-ups and algorithm downgrades — the hard case.
+    ExperimentSetting setting;
+    setting.num_axes = 3;
+    setting.num_trees = 160;
+    setting.coverage_holds = false;
+    setting.disjointness_holds = false;
+    setting.dense = true;
+    setting.seed = 4242;
+    TreebankConfig config = MakeTreebankConfig(setting);
+    TreebankGenerator treebank_gen(config);
+    EXPECT_TRUE(treebank_gen.LoadInto(db_.get(), setting.num_trees).ok());
+    treebank_ = BuildShape(MakeTreebankQuery(config),
+                           treebank_gen.MatchingDtd(), TreebankRootTag());
+
+    DblpConfig dblp_config;
+    dblp_config.seed = 77;
+    DblpGenerator dblp_gen(dblp_config);
+    EXPECT_TRUE(dblp_gen.LoadInto(db_.get(), 250).ok());
+    dblp_ = BuildShape(MakeDblpQuery(), DblpDtd(), "article");
+  }
+
+  std::unique_ptr<ShapeRef> BuildShape(CubeQuery query,
+                                       const std::string& dtd,
+                                       const std::string& fact_tag) {
+    auto schema = ParseDtd(dtd);
+    EXPECT_TRUE(schema.ok());
+    X3Engine engine(db_.get());
+    auto prepared = engine.Prepare(query);
+    EXPECT_TRUE(prepared.ok());
+    auto properties =
+        InferLatticeProperties(*schema, prepared->lattice, fact_tag);
+    EXPECT_TRUE(properties.ok());
+    CubeComputeOptions options;
+    options.aggregate = query.aggregate;
+    auto reference = ComputeCube(CubeAlgorithm::kReference, prepared->facts,
+                                 prepared->lattice, options);
+    EXPECT_TRUE(reference.ok());
+    return std::make_unique<ShapeRef>(
+        std::move(query), std::move(*properties),
+        std::move(prepared->lattice), std::move(prepared->facts),
+        std::move(*reference));
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<ShapeRef> treebank_;
+  std::unique_ptr<ShapeRef> dblp_;
+};
+
+bool CellsEqual(const CellMap& got, const CellMap& want) {
+  if (got.size() != want.size()) return false;
+  for (const auto& [key, state] : got) {
+    auto it = want.find(key);
+    if (it == want.end() || !(state == it->second)) return false;
+  }
+  return true;
+}
+
+/// The reference cells of one cuboid with the request's iceberg
+/// threshold applied (the same rule as CubeResult::ApplyIcebergFilter).
+CellMap ReferenceCells(const ShapeRef& shape, CuboidId cuboid,
+                       int64_t min_count) {
+  CellMap cells = shape.reference.cuboid(cuboid);
+  if (min_count > 1) {
+    for (auto it = cells.begin(); it != cells.end();) {
+      it = it->second.count < min_count ? cells.erase(it) : std::next(it);
+    }
+  }
+  return cells;
+}
+
+/// Every cuboid of `answer` must be cell-exact against the reference.
+void ExpectAnswerExact(const ShapeRef& shape, const ServerAnswer& answer,
+                       int64_t min_count, const std::string& context) {
+  for (const auto& [cuboid, cells] : answer.cuboids) {
+    EXPECT_TRUE(
+        CellsEqual(cells, ReferenceCells(shape, cuboid, min_count)))
+        << context << ": cuboid " << cuboid
+        << (answer.computed ? " (computed)" : " (from cache)");
+  }
+}
+
+ServerRequest MakeRequest(const ShapeRef& shape,
+                          std::optional<CuboidId> target = std::nullopt) {
+  ServerRequest request;
+  request.query = shape.query;
+  request.properties = &shape.properties;
+  request.target = target;
+  return request;
+}
+
+/// The seeded random mix of the issue: shapes x targets (including the
+/// full cube) x algorithms (including unsafe ones that must be
+/// downgraded) x iceberg thresholds x parallelism, submitted
+/// concurrently against a small cache (eviction pressure) with a few
+/// mid-flight cancellations, then checked cell-by-cell.
+TEST(ServerConformanceTest, SeededRandomMixIsCellExact) {
+  Corpus& corpus = Corpus::Get();
+  const CubeAlgorithm kAlgorithms[] = {
+      CubeAlgorithm::kCounter, CubeAlgorithm::kBUC,
+      CubeAlgorithm::kBUCOpt,  CubeAlgorithm::kBUCCust,
+      CubeAlgorithm::kTD,      CubeAlgorithm::kTDOpt,
+      CubeAlgorithm::kTDOptAll, CubeAlgorithm::kTDCust,
+  };
+  const size_t kParallelism[] = {1, 2, 0};
+
+  for (uint64_t seed : {11u, 23u}) {
+    Random rng(seed);
+    X3ServerOptions options;
+    options.num_threads = 0;  // hardware concurrency
+    options.cache_capacity_bytes = 32 << 10;  // small: forces evictions
+    X3Server server(corpus.db(), options);
+
+    struct Pending {
+      std::shared_ptr<X3Server::Ticket> ticket;
+      ShapeRef* shape;
+      int64_t min_count;
+      bool cancelled;
+      std::string context;
+    };
+    std::vector<Pending> pending;
+    for (int i = 0; i < 48; ++i) {
+      ShapeRef& shape =
+          rng.Bernoulli(0.5) ? corpus.treebank() : corpus.dblp();
+      ServerRequest request = MakeRequest(shape);
+      request.algorithm = kAlgorithms[rng.Uniform(8)];
+      request.parallelism = kParallelism[rng.Uniform(3)];
+      request.min_count = rng.Bernoulli(0.25) ? 2 : 0;
+      if (!rng.Bernoulli(1.0 / 6)) {  // 1-in-6 asks for the full cube
+        request.target =
+            rng.Uniform(static_cast<uint32_t>(shape.lattice.num_cuboids()));
+      }
+      std::string context = "seed " + std::to_string(seed) + " request " +
+                            std::to_string(i) + " algo " +
+                            CubeAlgorithmToString(request.algorithm);
+      bool cancel = rng.Bernoulli(0.12);
+      int64_t min_count = request.min_count;
+      auto ticket = server.Submit(std::move(request));
+      if (cancel) {
+        // Trips the token after a random number of further polls: some
+        // land mid-computation, some after completion — both must be
+        // handled cleanly.
+        ticket->CancelAfterChecks(
+            static_cast<int64_t>(rng.Uniform(4000)));
+      }
+      pending.push_back(
+          {std::move(ticket), &shape, min_count, cancel, context});
+    }
+
+    size_t ok_answers = 0;
+    for (Pending& p : pending) {
+      Result<ServerAnswer> answer = p.ticket->Wait();
+      if (answer.ok()) {
+        ++ok_answers;
+        ExpectAnswerExact(*p.shape, *answer, p.min_count, p.context);
+      } else {
+        EXPECT_TRUE(p.cancelled) << p.context << ": unexpected failure "
+                                 << answer.status().ToString();
+        EXPECT_EQ(answer.status().code(), StatusCode::kCancelled)
+            << p.context;
+      }
+    }
+    // Cancellation probability is low; the bulk of the mix must have
+    // been answered (and checked) for the sweep to mean anything.
+    EXPECT_GE(ok_answers, 36u) << "seed " << seed;
+    EXPECT_EQ(server.budget()->used(), 0u)
+        << "admission reservations leaked";
+  }
+}
+
+TEST(ServerConformanceTest, ExactHitThenRollupServeFromCache) {
+  Corpus& corpus = Corpus::Get();
+  X3Server server(corpus.db(), {});
+  ShapeRef& shape = corpus.dblp();
+  CuboidId finest = shape.lattice.FinestCuboid();
+
+  ServerRequest cold = MakeRequest(shape);
+  cold.target = finest;
+  auto first = server.Execute(cold);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->computed);
+  ExpectAnswerExact(shape, *first, 0, "cold");
+
+  // Same cuboid again: an exact view hit, no recompute.
+  auto second = server.Execute(MakeRequest(shape, finest));
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->computed);
+  EXPECT_EQ(second->exact_hits, 1u);
+  ExpectAnswerExact(shape, *second, 0, "exact hit");
+
+  // A coarser cuboid: answered by roll-up from the cached finest view
+  // (with fact ids, since DBLP's author axis is not disjoint).
+  ServerRequest coarse = MakeRequest(shape);
+  coarse.target = shape.lattice.TopoOrder().back();
+  auto third = server.Execute(coarse);
+  ASSERT_TRUE(third.ok());
+  EXPECT_FALSE(third->computed);
+  EXPECT_EQ(third->rollup_answers, 1u);
+  ExpectAnswerExact(shape, *third, 0, "rollup");
+  EXPECT_EQ(server.budget()->used(), 0u);
+}
+
+TEST(ServerConformanceTest, EvictionPressureKeepsAnswersExact) {
+  Corpus& corpus = Corpus::Get();
+  X3ServerOptions options;
+  options.cache_capacity_bytes = 1;  // every insert evicts its peers
+  X3Server server(corpus.db(), options);
+  // Ping-pong between the two tenants: each miss fills that shape's
+  // finest view, which displaces the other shape's under the 1-byte
+  // capacity, so the next query of the displaced tenant misses again.
+  for (int round = 0; round < 3; ++round) {
+    for (ShapeRef* shape : {&corpus.treebank(), &corpus.dblp()}) {
+      for (CuboidId target :
+           {shape->lattice.FinestCuboid(), shape->lattice.TopoOrder().back()}) {
+        auto answer = server.Execute(MakeRequest(*shape, target));
+        ASSERT_TRUE(answer.ok());
+        ExpectAnswerExact(*shape, *answer, 0, "eviction round");
+      }
+    }
+  }
+  EXPECT_GT(server.cache_evictions(), 0u);
+  EXPECT_LE(server.cache_views(), 2u);
+  EXPECT_EQ(server.budget()->used(), 0u);
+}
+
+TEST(ServerConformanceTest, CacheFlushForcesRecompute) {
+  Corpus& corpus = Corpus::Get();
+  X3Server server(corpus.db(), {});
+  ShapeRef& shape = corpus.treebank();
+  CuboidId finest = shape.lattice.FinestCuboid();
+  ASSERT_TRUE(server.Execute(MakeRequest(shape, finest)).ok());
+  EXPECT_GT(server.cache_views(), 0u);
+  server.FlushCacheForTest();
+  EXPECT_EQ(server.cache_views(), 0u);
+  auto answer = server.Execute(MakeRequest(shape, finest));
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer->computed) << "flushed cache cannot serve hits";
+  ExpectAnswerExact(shape, *answer, 0, "after flush");
+}
+
+TEST(ServerConformanceTest, UnsafeAlgorithmIsDowngraded) {
+  Corpus& corpus = Corpus::Get();
+  X3Server server(corpus.db(), {});
+  ShapeRef& shape = corpus.treebank();  // neither property holds
+  ServerRequest request = MakeRequest(shape);
+  request.algorithm = CubeAlgorithm::kTDOptAll;
+  request.use_cache = false;
+  auto answer = server.Execute(std::move(request));
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer->computed);
+  EXPECT_EQ(answer->algorithm_used, CubeAlgorithm::kTDCust)
+      << "TDOPTALL's assumptions fail on this corpus";
+  ExpectAnswerExact(shape, *answer, 0, "downgraded");
+}
+
+TEST(ServerConformanceTest, AdmissionDenialUnderTinyBudget) {
+  Corpus& corpus = Corpus::Get();
+  X3ServerOptions options;
+  options.admission_budget_bytes = 1;  // no shape's fact table fits
+  X3Server server(corpus.db(), options);
+  auto answer = server.Execute(MakeRequest(corpus.dblp()));
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(server.budget()->used(), 0u);
+}
+
+TEST(ServerConformanceTest, DeadlineExceededSurfaces) {
+  Corpus& corpus = Corpus::Get();
+  X3Server server(corpus.db(), {});
+  ServerRequest request = MakeRequest(corpus.treebank());
+  request.deadline_seconds = 1e-12;  // expired before the first check
+  auto answer = server.Execute(std::move(request));
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(server.budget()->used(), 0u);
+}
+
+TEST(ServerConformanceTest, ImmediateCancellationFailsCleanly) {
+  Corpus& corpus = Corpus::Get();
+  X3Server server(corpus.db(), {});
+  ServerRequest request = MakeRequest(corpus.treebank());
+  auto ticket = server.Submit(std::move(request));
+  ticket->CancelAfterChecks(0);  // first poll trips
+  auto answer = ticket->Wait();
+  // Deterministically cancelled unless the worker already finished
+  // every poll before the arm landed — then the answer must be exact.
+  if (answer.ok()) {
+    ExpectAnswerExact(corpus.treebank(), *answer, 0, "raced cancel");
+  } else {
+    EXPECT_EQ(answer.status().code(), StatusCode::kCancelled);
+  }
+  EXPECT_EQ(server.budget()->used(), 0u);
+}
+
+TEST(ServerConformanceTest, InvalidTargetRejected) {
+  Corpus& corpus = Corpus::Get();
+  X3Server server(corpus.db(), {});
+  ShapeRef& shape = corpus.dblp();
+  auto answer =
+      server.Execute(MakeRequest(shape, shape.lattice.num_cuboids()));
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServerConformanceTest, CompileErrorSurfaces) {
+  Corpus& corpus = Corpus::Get();
+  X3Server server(corpus.db(), {});
+  ServerRequest request;
+  request.query_text = "for $x in nonsense CUBE please";
+  auto answer = server.Execute(std::move(request));
+  EXPECT_FALSE(answer.ok());
+}
+
+TEST(ServerConformanceTest, ConcurrentSameShapeBuildsOnce) {
+  Corpus& corpus = Corpus::Get();
+  X3ServerOptions options;
+  options.num_threads = 0;
+  X3Server server(corpus.db(), options);
+  ShapeRef& shape = corpus.dblp();
+  std::vector<std::shared_ptr<X3Server::Ticket>> tickets;
+  for (int i = 0; i < 12; ++i) {
+    tickets.push_back(
+        server.Submit(MakeRequest(shape, shape.lattice.FinestCuboid())));
+  }
+  for (auto& ticket : tickets) {
+    auto answer = ticket->Wait();
+    ASSERT_TRUE(answer.ok());
+    ExpectAnswerExact(shape, *answer, 0, "concurrent build");
+  }
+  EXPECT_EQ(server.num_shapes(), 1u)
+      << "concurrent first queries must share one shape build";
+  EXPECT_EQ(server.budget()->used(), 0u);
+}
+
+TEST(ServerConformanceTest, TicketWaitConsumesOnce) {
+  Corpus& corpus = Corpus::Get();
+  X3Server server(corpus.db(), {});
+  auto ticket = server.Submit(
+      MakeRequest(corpus.dblp(), corpus.dblp().lattice.FinestCuboid()));
+  ASSERT_TRUE(ticket->Wait().ok());
+  EXPECT_TRUE(ticket->done());
+  auto again = ticket->Wait();
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace x3

@@ -456,5 +456,146 @@ TEST(EngineTest, CompileOnlyValidates) {
   EXPECT_FALSE(engine.Compile("for nonsense").ok());
 }
 
+/// X3Engine::Compile error paths: every malformed query must surface
+/// the right status code (kParseError from the parser, kInvalidArgument
+/// from the binder) with a message naming the offending construct —
+/// these are the messages the serving layer hands back to clients
+/// verbatim, so they must stay precise.
+class EngineCompileErrorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testutil::OpenFigure1Db();
+    ASSERT_NE(db_, nullptr);
+    engine_ = std::make_unique<X3Engine>(db_.get());
+  }
+
+  void ExpectCompileError(const std::string& query_text,
+                          StatusCode expected_code,
+                          const std::string& message_fragment) {
+    auto query = engine_->Compile(query_text);
+    ASSERT_FALSE(query.ok()) << query_text;
+    EXPECT_EQ(query.status().code(), expected_code)
+        << query.status().ToString();
+    EXPECT_NE(query.status().message().find(message_fragment),
+              std::string::npos)
+        << "expected '" << message_fragment << "' in: "
+        << query.status().ToString();
+  }
+
+  void ExpectParseError(const std::string& query_text,
+                        const std::string& message_fragment) {
+    ExpectCompileError(query_text, StatusCode::kParseError, message_fragment);
+  }
+
+  void ExpectBindError(const std::string& query_text,
+                       const std::string& message_fragment) {
+    ExpectCompileError(query_text, StatusCode::kInvalidArgument,
+                       message_fragment);
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<X3Engine> engine_;
+};
+
+TEST_F(EngineCompileErrorTest, MalformedText) {
+  ExpectParseError("COUNT COUNT COUNT", "expected");
+  ExpectParseError("for $b in doc(\"a\")//p X^3", "expected");
+  // Truncated before the return clause.
+  ExpectParseError(
+      "for $b in doc(\"a\")//publication X^3 $b by $b/year (LND)", "expected");
+}
+
+TEST_F(EngineCompileErrorTest, UnknownRelaxation) {
+  ExpectParseError(R"(
+for $b in doc("book.xml")//publication,
+    $y in $b/year
+X^3 $b by $y (SIBLING)
+return COUNT($b).
+)",
+                   "unknown relaxation");
+}
+
+TEST_F(EngineCompileErrorTest, UnboundAxisVariable) {
+  ExpectBindError(R"(
+for $b in doc("book.xml")//publication
+X^3 $b by $y (LND)
+return COUNT($b).
+)",
+                     "unbound variable $y");
+}
+
+TEST_F(EngineCompileErrorTest, VariableBoundTwice) {
+  ExpectBindError(R"(
+for $b in doc("book.xml")//publication,
+    $y in $b/year,
+    $y in $b/author
+X^3 $b by $y (LND)
+return COUNT($b).
+)",
+                     "bound twice");
+}
+
+TEST_F(EngineCompileErrorTest, FactVariableNotBound) {
+  ExpectBindError(R"(
+for $y in doc("book.xml")//year
+X^3 $b by $y (LND)
+return COUNT($b).
+)",
+                     "is not bound");
+}
+
+TEST_F(EngineCompileErrorTest, FactVariableNotDocRooted) {
+  ExpectBindError(R"(
+for $r in doc("book.xml")//bib,
+    $b in $r/publication,
+    $y in $b/year
+X^3 $b by $y (LND)
+return COUNT($b).
+)",
+                     "must be bound to a doc(...) path");
+}
+
+TEST_F(EngineCompileErrorTest, AxisNotRootedAtFactVariable) {
+  ExpectBindError(R"(
+for $b in doc("book.xml")//publication,
+    $other in doc("other.xml")//journal,
+    $y in $other/year
+X^3 $b by $y (LND)
+return COUNT($b).
+)",
+                     "must be rooted at the fact variable");
+}
+
+TEST_F(EngineCompileErrorTest, BindingCycle) {
+  ExpectBindError(R"(
+for $b in doc("book.xml")//publication,
+    $p in $q/x,
+    $q in $p/y
+X^3 $b by $p (LND)
+return COUNT($b).
+)",
+                     "too deep");
+}
+
+TEST_F(EngineCompileErrorTest, MeasureNotRelativeToFact) {
+  ExpectBindError(R"(
+for $b in doc("book.xml")//publication,
+    $y in $b/year
+X^3 $b by $y (LND)
+return SUM($y/price).
+)",
+                     "measure path must be relative to the fact");
+}
+
+TEST_F(EngineCompileErrorTest, UnknownAggregateFunction) {
+  ExpectBindError(R"(
+for $b in doc("book.xml")//publication,
+    $y in $b/year
+X^3 $b by $y (LND)
+return MEDIAN($b).
+)",
+                     "unknown aggregate function");
+}
+
 }  // namespace
 }  // namespace x3
