@@ -30,6 +30,15 @@ Commands:
       and the counters are what the refactor actually promises.
   report   --baseline FILE
       Prints the before/after footprint table (EXPERIMENTS.md source).
+  capture-delta  --build-dir DIR --out FILE --label TXT [--trees N]
+                 [--min-time T]
+      Runs bench_delta (delta cube maintenance vs full rematerialize vs
+      budget-constrained TDCUST recompute over a committed small batch)
+      and writes a BENCH_<n>.json snapshot with per-batch-size wall
+      times, speedups and the spill delta. Cell-exactness of the delta
+      path against the rebuild is asserted inside the binary at startup
+      (X3_CHECK), so every recorded row compares provably identical
+      cells.
 """
 
 import argparse
@@ -44,6 +53,12 @@ BINARY = {"fig5_sparse": "bench_fig5_sparse", "fig6_dense": "bench_fig6_dense"}
 CONFIGS = {"ample": 2.0, "constrained": 0.25}
 COUNTERS = ["cells", "factKB", "peakMemKB", "spillKB"]
 DEFAULT_TREES = 5000
+
+DELTA_BINARY = "bench_delta"
+DELTA_COUNTERS = COUNTERS + ["facts", "newFacts", "viewsPatched",
+                             "viewsRecomputed"]
+DELTA_PATHS = ["DeltaMaintain", "FullRematerialize", "FullRecomputeTD"]
+DELTA_DEFAULT_TREES = 2000
 
 
 def run_figure(build_dir, figure, trees, budget_factor, compress_spill):
@@ -193,6 +208,92 @@ def cmd_check(args):
           f"{args.baseline}")
 
 
+def run_delta(build_dir, trees, min_time):
+    """Runs bench_delta, returns {benchmark_name: metrics dict}."""
+    binary = os.path.join(build_dir, "bench", DELTA_BINARY)
+    if not os.path.exists(binary):
+        sys.exit(f"bench binary not found: {binary} (build it first)")
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_path = tmp.name
+    env = dict(os.environ)
+    env["X3_BENCH_TREES"] = str(trees)
+    try:
+        subprocess.run(
+            [binary, f"--benchmark_min_time={min_time}",
+             f"--benchmark_out={out_path}", "--benchmark_out_format=json"],
+            env=env, check=True, stdout=subprocess.DEVNULL)
+        with open(out_path) as f:
+            raw = json.load(f)
+    finally:
+        os.unlink(out_path)
+    results = {}
+    for bench in raw.get("benchmarks", []):
+        entry = {"real_ms": round(bench["real_time"], 3)}
+        for counter in DELTA_COUNTERS:
+            if counter in bench:
+                entry[counter] = round(bench[counter], 3)
+        results[bench["name"]] = entry
+    return results
+
+
+def summarize_delta(results):
+    """Per batch size: the three paths' wall times, speedups, spill."""
+    per_batch = {}
+    for name, metrics in results.items():
+        path, _, batch = name.partition("/")
+        per_batch.setdefault(batch, {})[path.split("BM_", 1)[-1]] = metrics
+    summary = {}
+    for batch, paths in sorted(per_batch.items(), key=lambda kv: int(kv[0])):
+        if any(p not in paths for p in DELTA_PATHS):
+            sys.exit(f"batch size {batch}: missing one of {DELTA_PATHS}")
+        delta = paths["DeltaMaintain"]
+        remat = paths["FullRematerialize"]
+        recompute = paths["FullRecomputeTD"]
+        summary[batch] = {
+            "delta_ms": delta["real_ms"],
+            "rematerialize_ms": remat["real_ms"],
+            "recompute_td_ms": recompute["real_ms"],
+            "speedup_vs_rematerialize": round(
+                remat["real_ms"] / delta["real_ms"], 2),
+            "speedup_vs_recompute": round(
+                recompute["real_ms"] / delta["real_ms"], 2),
+            "spill_kb_saved": round(
+                recompute.get("spillKB", 0.0) - delta.get("spillKB", 0.0), 1),
+            "cells": delta.get("cells"),
+        }
+    return summary
+
+
+def cmd_capture_delta(args):
+    print(f"  running {DELTA_BINARY} ({args.trees} trees, "
+          f"min_time={args.min_time})...", flush=True)
+    results = run_delta(args.build_dir, args.trees, args.min_time)
+    snapshot = {
+        "schema": 1,
+        "benchmark": "delta_maintenance",
+        "trees": args.trees,
+        "paths": DELTA_PATHS,
+        "label": args.label,
+        "commit": git_commit(),
+        "exactness": "asserted in-binary at startup: delta-maintained "
+                     "views answer every cuboid with exactly the cells "
+                     "of a from-scratch rebuild",
+        "results": results,
+        "summary": summarize_delta(results),
+    }
+    with open(args.out, "w") as f:
+        json.dump(snapshot, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.out}:")
+    for batch, s in snapshot["summary"].items():
+        print(f"  batch {batch:>3}: delta {s['delta_ms']:.2f} ms vs "
+              f"rematerialize {s['rematerialize_ms']:.2f} ms "
+              f"({s['speedup_vs_rematerialize']}x) vs recompute "
+              f"{s['recompute_td_ms']:.2f} ms "
+              f"({s['speedup_vs_recompute']}x), spill saved "
+              f"{s['spill_kb_saved']} KB")
+
+
 def cmd_report(args):
     with open(args.baseline) as f:
         snapshot = json.load(f)
@@ -233,6 +334,17 @@ def main():
     p = sub.add_parser("report")
     p.add_argument("--baseline", required=True)
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("capture-delta")
+    p.add_argument("--build-dir", default="build")
+    p.add_argument("--out", required=True)
+    p.add_argument("--label", required=True)
+    p.add_argument("--trees", type=int, default=DELTA_DEFAULT_TREES)
+    p.add_argument("--min-time", default="1x",
+                   help="--benchmark_min_time value; the packaged "
+                        "library in CI accepts the '1x' iteration form, "
+                        "older local builds need a plain double")
+    p.set_defaults(func=cmd_capture_delta)
 
     args = parser.parse_args()
     args.func(args)

@@ -54,6 +54,14 @@ Rules (see docs/STATIC_ANALYSIS.md for the rationale):
                      annotated x3::Mutex so clang -Wthread-safety sees
                      it and the debug lock-order detector ranks it.
                      (Tests may use raw primitives to build fixtures.)
+  raw-page-write     No direct page/catalog mutation (WritePage,
+                     AllocatePage, FlushAll, RenameFile) in src/xdb/
+                     outside the WAL-commit/checkpoint path: every
+                     durable state change must be WAL-logged first so
+                     crash recovery replays it. The designated sites
+                     (Database::Checkpoint, the OpenExisting tail-page
+                     repair) carry an explicit allow comment naming why
+                     they are exempt.
   server-compute-cube  No direct ComputeCube(...) calls in src/server/:
                      the serving layer answers from the materialized-
                      cuboid cache (CubeViewStore::AnswerFromViews) and
@@ -117,6 +125,11 @@ RAW_MUTEX = re.compile(
 # The serving layer must answer through the cuboid cache; ComputeCube is
 # reserved for the one annotated cache-miss fallback.
 SERVER_COMPUTE_CUBE = re.compile(r"(?<![\w:.])ComputeCube\s*\(")
+# Direct page/catalog mutation in src/xdb/ bypasses the WAL: only the
+# checkpoint path and the recovery repair path may do it, and each such
+# site must carry an allow comment justifying why.
+RAW_PAGE_WRITE = re.compile(
+    r"\b(?:WritePage|AllocatePage|FlushAll|RenameFile)\s*\(")
 ALLOW = re.compile(r"x3-lint:\s*allow\(([\w-]+)\)")
 
 
@@ -250,6 +263,12 @@ class Linter:
                             "raw std::mutex/condition_variable/lock in src/; "
                             "use x3::Mutex/MutexLock/CondVar "
                             "(util/thread_annotations.h)", raw)
+            if rel.startswith("src/xdb/") and RAW_PAGE_WRITE.search(code):
+                self.report(path, lineno, "raw-page-write",
+                            "direct page/catalog mutation in src/xdb/; "
+                            "durable changes go through the WAL-commit/"
+                            "checkpoint path (annotate designated sites)",
+                            raw)
             if rel.startswith("src/server/") and SERVER_COMPUTE_CUBE.search(code):
                 self.report(path, lineno, "server-compute-cube",
                             "direct ComputeCube in src/server/; serve from "

@@ -69,14 +69,14 @@ Result<CubeLattice> BuildCubeLattice(const CubeQuery& query) {
   return CubeLattice::Build(std::move(axes));
 }
 
-Result<FactTable> BuildFactTable(const Database& db, const CubeQuery& query,
-                                 const CubeLattice& lattice) {
-  X3_ASSIGN_OR_RETURN(ParsedPattern fact, ParseFactPath(query));
-  TwigMatcher matcher(&db);
+namespace {
 
-  // Fact roots: distinct bindings of the fact path's output node.
+/// Distinct fact roots of `query` in `db`, ascending: the bindings of
+/// the fact path's output node.
+Result<std::vector<NodeId>> FindFactRoots(const ParsedPattern& fact,
+                                          TwigMatcher* matcher) {
   X3_ASSIGN_OR_RETURN(std::vector<WitnessTree> fact_witnesses,
-                      matcher.FindMatches(fact.pattern));
+                      matcher->FindMatches(fact.pattern));
   std::vector<NodeId> fact_roots;
   fact_roots.reserve(fact_witnesses.size());
   for (const WitnessTree& w : fact_witnesses) {
@@ -86,7 +86,17 @@ Result<FactTable> BuildFactTable(const Database& db, const CubeQuery& query,
   std::sort(fact_roots.begin(), fact_roots.end());
   fact_roots.erase(std::unique(fact_roots.begin(), fact_roots.end()),
                    fact_roots.end());
+  return fact_roots;
+}
 
+/// Appends one fact (bindings + measure) per root in `fact_roots` to
+/// `*table` (no Finish). Shared by the full build and delta appends so
+/// replayed batches produce byte-identical fact rows.
+Status AppendFactsForRoots(const Database& db, const CubeQuery& query,
+                           const CubeLattice& lattice,
+                           const ParsedPattern& fact, TwigMatcher* matcher,
+                           const std::vector<NodeId>& fact_roots,
+                           FactTable* table) {
   // Optional measure path.
   bool has_measure = !query.measure_path.empty();
   TreePattern measure_pattern;
@@ -99,8 +109,6 @@ Result<FactTable> BuildFactTable(const Database& db, const CubeQuery& query,
         ParseRelativePath(query.measure_path, &measure_pattern, root));
     measure_node = spine.back();
   }
-
-  FactTable table(query.axes.size());
 
   // Per axis: grouping tag id (for the candidate superset search).
   std::vector<TagId> grouping_tags(query.axes.size(), kInvalidTagId);
@@ -115,7 +123,7 @@ Result<FactTable> BuildFactTable(const Database& db, const CubeQuery& query,
     if (has_measure) {
       X3_ASSIGN_OR_RETURN(
           std::vector<WitnessTree> mw,
-          matcher.FindMatchesUnder(measure_pattern, fact_root, /*limit=*/1));
+          matcher->FindMatchesUnder(measure_pattern, fact_root, /*limit=*/1));
       if (!mw.empty()) {
         NodeId m = mw[0].bindings[static_cast<size_t>(measure_node)];
         if (m != kInvalidNodeId) {
@@ -125,7 +133,7 @@ Result<FactTable> BuildFactTable(const Database& db, const CubeQuery& query,
         }
       }
     }
-    table.BeginFact(fact_root, measure);
+    table->BeginFact(fact_root, measure);
 
     for (size_t a = 0; a < query.axes.size(); ++a) {
       if (grouping_tags[a] == kInvalidTagId) continue;  // tag never loaded
@@ -139,21 +147,60 @@ Result<FactTable> BuildFactTable(const Database& db, const CubeQuery& query,
           if (!state.grouping_present()) continue;
           X3_ASSIGN_OR_RETURN(
               bool embeds,
-              matcher.Embeds(state.pattern,
-                             {{state.pattern.root(), fact_root},
-                              {state.grouping_node, candidate}}));
+              matcher->Embeds(state.pattern,
+                              {{state.pattern.root(), fact_root},
+                               {state.grouping_node, candidate}}));
           if (embeds) mask |= AxisStateMask{1} << s;
         }
         if (mask == 0) continue;
         X3_ASSIGN_OR_RETURN(std::string raw, db.NodeValue(candidate));
         std::string value = query.axes[a].transform.Apply(raw);
-        ValueId vid = table.InternAxisValue(a, value);
-        table.AddBinding(a, mask, vid);
+        ValueId vid = table->InternAxisValue(a, value);
+        table->AddBinding(a, mask, vid);
       }
     }
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<FactTable> BuildFactTable(const Database& db, const CubeQuery& query,
+                                 const CubeLattice& lattice) {
+  X3_ASSIGN_OR_RETURN(ParsedPattern fact, ParseFactPath(query));
+  TwigMatcher matcher(&db);
+  X3_ASSIGN_OR_RETURN(std::vector<NodeId> fact_roots,
+                      FindFactRoots(fact, &matcher));
+  FactTable table(query.axes.size());
+  X3_RETURN_IF_ERROR(AppendFactsForRoots(db, query, lattice, fact, &matcher,
+                                         fact_roots, &table));
   table.Finish();
   return table;
+}
+
+Result<size_t> AppendNewFacts(const Database& db, const CubeQuery& query,
+                              const CubeLattice& lattice,
+                              NodeId first_new_node, FactTable* table) {
+  if (!table->finished()) {
+    return Status::InvalidArgument("AppendNewFacts on an unfinished table");
+  }
+  X3_ASSIGN_OR_RETURN(ParsedPattern fact, ParseFactPath(query));
+  TwigMatcher matcher(&db);
+  X3_ASSIGN_OR_RETURN(std::vector<NodeId> fact_roots,
+                      FindFactRoots(fact, &matcher));
+  // Only roots of the new batch: NodeIds are global preorder positions,
+  // so every node of a batch-loaded document is >= the pre-batch count.
+  std::vector<NodeId> new_roots;
+  for (NodeId root : fact_roots) {
+    if (root >= first_new_node) new_roots.push_back(root);
+  }
+  if (new_roots.empty()) return size_t{0};
+  table->ReopenForAppend();
+  Status s = AppendFactsForRoots(db, query, lattice, fact, &matcher,
+                                 new_roots, table);
+  table->Finish();
+  X3_RETURN_IF_ERROR(s);
+  return new_roots.size();
 }
 
 }  // namespace x3

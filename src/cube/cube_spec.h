@@ -72,6 +72,17 @@ Result<CubeLattice> BuildCubeLattice(const CubeQuery& query);
 Result<FactTable> BuildFactTable(const Database& db, const CubeQuery& query,
                                  const CubeLattice& lattice);
 
+/// Delta counterpart of BuildFactTable: re-evaluates the fact pattern
+/// and appends only facts rooted at nodes >= `first_new_node` (the
+/// database's node count before the committed batch) to `*table`, which
+/// must be a finished table previously built by BuildFactTable for the
+/// same (query, lattice). Returns the number of facts appended; the
+/// table is finished again on return. Existing fact indices and
+/// ValueIds are untouched, so views over the old prefix stay valid.
+Result<size_t> AppendNewFacts(const Database& db, const CubeQuery& query,
+                              const CubeLattice& lattice,
+                              NodeId first_new_node, FactTable* table);
+
 }  // namespace x3
 
 #endif  // X3_CUBE_CUBE_SPEC_H_

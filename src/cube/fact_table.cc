@@ -60,6 +60,32 @@ void FactTable::Finish() {
   finished_ = true;
 }
 
+void FactTable::ReopenForAppend() {
+  X3_CHECK(finished_) << "ReopenForAppend before Finish";
+  // Undo Finish's sealing entries; BeginFact re-seals the last existing
+  // fact exactly the same way.
+  if (!fact_ids_.empty()) {
+    for (size_t a = 0; a < num_axes_; ++a) {
+      axis_offsets_[a].pop_back();
+    }
+  }
+  finished_ = false;
+}
+
+FactTable FactTable::Clone() const {
+  FactTable copy(num_axes_);
+  copy.finished_ = finished_;
+  copy.fact_ids_ = fact_ids_;
+  copy.measures_ = measures_;
+  copy.axis_masks_ = axis_masks_;
+  copy.axis_value_cols_ = axis_value_cols_;
+  copy.axis_offsets_ = axis_offsets_;
+  for (size_t a = 0; a < num_axes_; ++a) {
+    copy.axis_dicts_[a] = axis_dicts_[a].Clone();
+  }
+  return copy;
+}
+
 std::span<const AxisStateMask> FactTable::BindingMasks(size_t axis,
                                                        size_t fact) const {
   X3_DCHECK(finished_);

@@ -63,6 +63,18 @@ class FactTable {
   /// Seals the table; required before any read access.
   void Finish();
 
+  /// Reopens a finished table for appending more facts (delta ingest):
+  /// BeginFact/AddBinding work again until the next Finish(). Existing
+  /// fact indices, ValueIds and column contents are untouched, so
+  /// views and fact-id sets built over the old prefix stay valid.
+  void ReopenForAppend();
+
+  /// Deep copy (copy construction stays deleted so accidental copies
+  /// never compile). The serving layer clones a snapshot's table to
+  /// append a committed batch's facts while the old snapshot keeps
+  /// serving readers.
+  FactTable Clone() const;
+
   // --- Access ---
 
   size_t num_axes() const { return num_axes_; }

@@ -98,6 +98,75 @@ std::vector<CuboidId> CubeViewStore::MaterializedIds() const {
   return ids;
 }
 
+bool CubeViewStore::ViewHasFactIds(CuboidId cuboid) const {
+  MutexLock lock(&mu_);
+  auto it = views_.find(cuboid);
+  return it != views_.end() && it->second.with_fact_ids;
+}
+
+Status CubeViewStore::CloneViewFrom(const CubeViewStore& source,
+                                    CuboidId cuboid) {
+  View copy;
+  {
+    MutexLock lock(&source.mu_);
+    auto it = source.views_.find(cuboid);
+    if (it == source.views_.end()) {
+      return Status::NotFound("source has no view for cuboid " +
+                              std::to_string(cuboid));
+    }
+    copy = it->second;
+  }
+  MutexLock lock(&mu_);
+  views_[cuboid] = std::move(copy);
+  return Status::OK();
+}
+
+Status CubeViewStore::ApplyDelta(CuboidId cuboid, size_t first_new_fact,
+                                 uint64_t* cells_touched) {
+  MutexLock lock(&mu_);
+  auto it = views_.find(cuboid);
+  if (it == views_.end()) {
+    return Status::NotFound("no materialized view for cuboid " +
+                            std::to_string(cuboid));
+  }
+  View& view = it->second;
+
+  std::vector<std::vector<ValueId>> lists(view.present.size());
+  std::vector<size_t> idx;
+  std::vector<ValueId> tuple(view.present.size());
+  static const std::vector<ValueId> kNullList{kInvalidValueId};
+
+  // Same walk as Materialize, restricted to the delta facts: every new
+  // fact lands in exactly the cells a full rebuild would put it in, so
+  // the patched view equals a fresh materialization cell for cell.
+  for (size_t f = first_new_fact; f < facts_->size(); ++f) {
+    for (size_t i = 0; i < view.present.size(); ++i) {
+      size_t axis = view.present[i];
+      facts_->AdmittedValues(axis, f, view.states[axis], &lists[i]);
+      if (lists[i].empty()) lists[i] = kNullList;
+    }
+    idx.assign(view.present.size(), 0);
+    for (;;) {
+      for (size_t i = 0; i < view.present.size(); ++i) {
+        tuple[i] = lists[i][idx[i]];
+      }
+      ViewCell& cell = view.cells[PackGroupKey(tuple)];
+      cell.agg.Update(facts_->measure(f));
+      if (view.with_fact_ids) {
+        cell.facts.Add(static_cast<uint32_t>(f));
+      }
+      if (cells_touched != nullptr) ++*cells_touched;
+      size_t i = 0;
+      for (; i < view.present.size(); ++i) {
+        if (++idx[i] < lists[i].size()) break;
+        idx[i] = 0;
+      }
+      if (i == view.present.size()) break;
+    }
+  }
+  return Status::OK();
+}
+
 bool CubeViewStore::IsLndDescendant(const View& view, CuboidId target,
                                     std::vector<size_t>* kept_positions,
                                     std::vector<size_t>* dropped_axes) const {

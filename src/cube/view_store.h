@@ -98,6 +98,30 @@ class CubeViewStore {
   /// Ids of the currently materialized views, unordered.
   std::vector<CuboidId> MaterializedIds() const X3_EXCLUDES(mu_);
 
+  /// True iff `cuboid` is materialized with fact ids (false when it is
+  /// not materialized at all). Delta planning distinguishes the two:
+  /// id-carrying views can always absorb new facts, id-less views only
+  /// where summarizability still proves the merge safe.
+  bool ViewHasFactIds(CuboidId cuboid) const X3_EXCLUDES(mu_);
+
+  /// Copies `cuboid`'s materialized view out of `source` into this
+  /// store (replacing any existing view of the same cuboid). NotFound
+  /// when `source` has no such view. The two stores' locks are taken
+  /// sequentially, never nested, so same-rank stores are fine.
+  Status CloneViewFrom(const CubeViewStore& source, CuboidId cuboid)
+      X3_EXCLUDES(mu_);
+
+  /// Folds facts [first_new_fact, facts()->size()) of the (re-finished)
+  /// fact table into `cuboid`'s materialized view — the same
+  /// null-value-group odometer walk Materialize runs, restricted to the
+  /// delta range, so the patched view is byte-identical to a fresh
+  /// materialization. Caller is responsible for only patching views the
+  /// delta plan proved safe. `cells_touched` (optional) accumulates the
+  /// number of cell updates. NotFound when the view is not
+  /// materialized.
+  Status ApplyDelta(CuboidId cuboid, size_t first_new_fact,
+                    uint64_t* cells_touched = nullptr) X3_EXCLUDES(mu_);
+
   /// Approximate memory held by materialized views.
   size_t ApproxBytes() const X3_EXCLUDES(mu_);
 

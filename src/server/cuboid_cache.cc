@@ -72,6 +72,21 @@ void CuboidCache::EvictOverflowLocked(const Key& keep) {
   }
 }
 
+void CuboidCache::DropStore(CubeViewStore* store) {
+  MutexLock lock(&mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->store != store) {
+      ++it;
+      continue;
+    }
+    bytes_ -= it->bytes;
+    index_.erase(Key{it->store, it->cuboid});
+    it = lru_.erase(it);
+  }
+  CacheBytesGauge()->Set(static_cast<int64_t>(bytes_));
+  CacheViewsGauge()->Set(static_cast<int64_t>(lru_.size()));
+}
+
 void CuboidCache::Clear() {
   MutexLock lock(&mu_);
   for (const Entry& entry : lru_) {

@@ -52,6 +52,13 @@ class CuboidCache {
   void Insert(CubeViewStore* store, CuboidId cuboid, size_t bytes)
       X3_EXCLUDES(mu_);
 
+  /// Forgets every entry of `store` WITHOUT evicting the views: the
+  /// write path calls this when it swaps a shape's snapshot, so the
+  /// cache never keeps keys into a store that is about to be destroyed
+  /// (the old snapshot's views die with their snapshot). Not counted as
+  /// evictions.
+  void DropStore(CubeViewStore* store) X3_EXCLUDES(mu_);
+
   /// Evicts every cached view (test hook for forced cold starts).
   void Clear() X3_EXCLUDES(mu_);
 

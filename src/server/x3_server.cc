@@ -65,6 +65,42 @@ Gauge* ShapesGauge() {
   return gauge;
 }
 
+Counter* WalCommitsCounter() {
+  static Counter* counter = MetricRegistry::Global().GetCounter(
+      "x3_wal_commits_total",
+      "Write batches committed through the server's WAL lane");
+  return counter;
+}
+
+Counter* WalCommitFailuresCounter() {
+  static Counter* counter = MetricRegistry::Global().GetCounter(
+      "x3_wal_commit_failures_total",
+      "Write batches that failed to commit (rolled back)");
+  return counter;
+}
+
+Counter* WalDocumentsCounter() {
+  static Counter* counter = MetricRegistry::Global().GetCounter(
+      "x3_wal_documents_total",
+      "Documents ingested through committed server write batches");
+  return counter;
+}
+
+Gauge* WalLastCommitLsnGauge() {
+  static Gauge* gauge = MetricRegistry::Global().GetGauge(
+      "x3_wal_last_commit_lsn",
+      "LSN of the most recent batch committed through the server");
+  return gauge;
+}
+
+Counter* ShapesDroppedCounter() {
+  static Counter* counter = MetricRegistry::Global().GetCounter(
+      "x3_delta_shapes_dropped_total",
+      "Shapes dropped after a failed delta maintenance pass (rebuilt "
+      "lazily by the next query)");
+  return counter;
+}
+
 }  // namespace
 
 std::string NormalizedQueryKey(const CubeQuery& query) {
@@ -233,19 +269,35 @@ Result<std::shared_ptr<X3Server::ShapeState>> X3Server::GetOrBuildShape(
   }
 
   if (builder) {
-    Result<PreparedQuery> prepared = engine_.Prepare(query, ctx);
+    // The pattern matcher reads the database: exclude the write lane's
+    // mutation (db_mu_) for the duration of the build, and record the
+    // commit horizon the snapshot reflects inside the same critical
+    // section so the write path can tell whether a concurrently built
+    // shape already covers its batch.
+    uint64_t built_lsn = 0;
+    Result<PreparedQuery> prepared = [&]() -> Result<PreparedQuery> {
+      MutexLock db_lock(&db_mu_);
+      Result<PreparedQuery> p = engine_.Prepare(query, ctx);
+      built_lsn = db_->last_commit_lsn();
+      return p;
+    }();
     Status status = prepared.status();
     if (status.ok()) {
-      shape->prepared =
+      auto snapshot = std::make_shared<ShapeSnapshot>();
+      snapshot->prepared =
           std::make_unique<PreparedQuery>(std::move(*prepared));
+      snapshot->built_lsn = built_lsn;
       shape->properties =
           properties != nullptr
               ? *properties
-              : LatticeProperties::AssumeNothing(shape->prepared->lattice);
+              : LatticeProperties::AssumeNothing(
+                    snapshot->prepared->lattice);
       shape->disjoint_everywhere =
-          shape->properties.DisjointEverywhere(shape->prepared->lattice);
-      shape->views = std::make_unique<CubeViewStore>(
-          &shape->prepared->facts, &shape->prepared->lattice);
+          shape->properties.DisjointEverywhere(snapshot->prepared->lattice);
+      snapshot->views = std::make_unique<CubeViewStore>(
+          &snapshot->prepared->facts, &snapshot->prepared->lattice);
+      MutexLock lock(&shape->mu);
+      shape->snapshot = std::move(snapshot);
     } else {
       // Drop the failed shape so a later query retries the build (a
       // cancelled or deadline-expired builder must not poison the
@@ -273,15 +325,29 @@ Result<std::shared_ptr<X3Server::ShapeState>> X3Server::GetOrBuildShape(
   return shape;
 }
 
-void X3Server::EnsureMaterialized(ShapeState* shape, CuboidId cuboid) {
-  if (shape->views->Contains(cuboid)) return;
+std::shared_ptr<const X3Server::ShapeSnapshot> X3Server::PinSnapshot(
+    ShapeState* shape) {
+  MutexLock lock(&shape->mu);
+  return shape->snapshot;
+}
+
+void X3Server::EnsureMaterialized(
+    ShapeState* shape, const std::shared_ptr<const ShapeSnapshot>& snapshot,
+    CuboidId cuboid) {
+  if (snapshot->views->Contains(cuboid)) return;
   // Fact ids repair disjointness for later roll-ups; when the property
   // map proves disjointness everywhere the id-less views suffice and
   // cost far less memory (§3.6's trade-off).
   bool with_ids = !shape->disjoint_everywhere;
-  if (!shape->views->Materialize(cuboid, with_ids).ok()) return;
-  cache_.Insert(shape->views.get(), cuboid,
-                shape->views->ViewApproxBytes(cuboid));
+  if (!snapshot->views->Materialize(cuboid, with_ids).ok()) return;
+  size_t bytes = snapshot->views->ViewApproxBytes(cuboid);
+  // Register with the cache only while this snapshot is still current:
+  // the swap in MaintainShape and this insert are both under shape->mu,
+  // so a retired snapshot's store never (re)enters the cache after its
+  // entries were dropped.
+  MutexLock lock(&shape->mu);
+  if (shape->snapshot != snapshot) return;
+  cache_.Insert(snapshot->views.get(), cuboid, bytes);
 }
 
 Result<ServerAnswer> X3Server::RunQuery(const ServerRequest& request,
@@ -309,8 +375,16 @@ Result<ServerAnswer> X3Server::RunQuery(const ServerRequest& request,
   X3_ASSIGN_OR_RETURN(std::shared_ptr<ShapeState> shape,
                       GetOrBuildShape(NormalizedQueryKey(query), query,
                                       request.properties, &ctx));
-  const CubeLattice& lattice = shape->prepared->lattice;
-  const FactTable& facts = shape->prepared->facts;
+  // Pin the shape's current snapshot for the whole query: a write
+  // batch committing concurrently swaps in a NEW snapshot, so this
+  // query reads a consistent (entirely pre- or entirely post-batch)
+  // fact table + view store pair throughout.
+  std::shared_ptr<const ShapeSnapshot> snapshot = PinSnapshot(shape.get());
+  if (snapshot == nullptr) {
+    return Status::Internal("shape ready without a snapshot");
+  }
+  const CubeLattice& lattice = snapshot->prepared->lattice;
+  const FactTable& facts = snapshot->prepared->facts;
 
   if (request.target.has_value() &&
       *request.target >= lattice.num_cuboids()) {
@@ -351,10 +425,10 @@ Result<ServerAnswer> X3Server::RunQuery(const ServerRequest& request,
     for (CuboidId target : targets) {
       X3_RETURN_IF_ERROR(ctx.Poll());
       ViewComputeStats view_stats;
-      Result<CellMap> from_views = shape->views->AnswerFromViews(
+      Result<CellMap> from_views = snapshot->views->AnswerFromViews(
           target, query.aggregate, &shape->properties, &view_stats);
       if (from_views.ok()) {
-        cache_.Touch(shape->views.get(), view_stats.source_view);
+        cache_.Touch(snapshot->views.get(), view_stats.source_view);
         if (view_stats.strategy == ViewStrategy::kExact) {
           ++answer.exact_hits;
         } else {
@@ -405,10 +479,10 @@ Result<ServerAnswer> X3Server::RunQuery(const ServerRequest& request,
       // TDOPTALL's roll-up property means every coarser cuboid rolls
       // up from it (with fact ids when disjointness is unproven) —
       // plus the requested cuboid itself for exact-hit repeats.
-      EnsureMaterialized(shape.get(), lattice.FinestCuboid());
+      EnsureMaterialized(shape.get(), snapshot, lattice.FinestCuboid());
       if (request.target.has_value() &&
           *request.target != lattice.FinestCuboid()) {
-        EnsureMaterialized(shape.get(), *request.target);
+        EnsureMaterialized(shape.get(), snapshot, *request.target);
       }
     }
   }
@@ -425,6 +499,141 @@ Result<ServerAnswer> X3Server::RunQuery(const ServerRequest& request,
   }
   answer.cuboids = std::move(cells);
   return answer;
+}
+
+Result<bool> X3Server::MaintainShape(ShapeState* shape,
+                                     NodeId first_new_node,
+                                     uint64_t commit_lsn, DeltaStats* stats) {
+  std::shared_ptr<const ShapeSnapshot> old = PinSnapshot(shape);
+  if (old == nullptr) return false;
+  // A shape built concurrently with (or after) the commit already
+  // evaluated its pattern over the post-batch database; appending the
+  // batch's facts again would double-count them.
+  if (old->built_lsn >= commit_lsn) return false;
+
+  const PreparedQuery& prev = *old->prepared;
+  size_t first_new_fact = prev.facts.size();
+  FactTable facts = prev.facts.Clone();
+  X3_ASSIGN_OR_RETURN(size_t appended,
+                      AppendNewFacts(*db_, prev.query, prev.lattice,
+                                     first_new_node, &facts));
+  if (appended == 0) {
+    // No fact of the batch matched this shape: the old snapshot is
+    // still exact, keep serving it (and its cached views) untouched.
+    return false;
+  }
+
+  auto next = std::make_shared<ShapeSnapshot>();
+  next->prepared = std::make_unique<PreparedQuery>(prev.query, prev.lattice,
+                                                   std::move(facts));
+  next->built_lsn = commit_lsn;
+  next->views = std::make_unique<CubeViewStore>(&next->prepared->facts,
+                                                &next->prepared->lattice);
+
+  DeltaPlan plan =
+      PlanViewDeltas(*old->views, next->prepared->facts,
+                     next->prepared->lattice, shape->properties,
+                     first_new_fact);
+  DeltaStats local;
+  X3_RETURN_IF_ERROR(
+      ApplyViewDeltas(*old->views, next->views.get(), plan, &local));
+  stats->views_patched += local.views_patched;
+  stats->views_recomputed += local.views_recomputed;
+  stats->facts_applied += local.facts_applied;
+  stats->cells_touched += local.cells_touched;
+
+  // Atomic publish: swap the snapshot and move the cache accounting
+  // from the retired store to the new one in one shape->mu critical
+  // section, so a racing reader either inserts into the still-current
+  // old store (dropped right here) or observes the swap and skips.
+  MutexLock lock(&shape->mu);
+  cache_.DropStore(old->views.get());
+  shape->snapshot = next;
+  for (const ViewDeltaStep& step : plan.steps) {
+    cache_.Insert(next->views.get(), step.cuboid,
+                  next->views->ViewApproxBytes(step.cuboid));
+  }
+  return true;
+}
+
+Result<ServerWriteResult> X3Server::CommitDocuments(
+    const std::vector<std::string>& documents) {
+  MutexLock write_lock(&write_mu_);
+  X3_TRACE_SPAN(&Tracer::Global(), "server/commit");
+  ServerWriteResult result;
+  result.documents = documents.size();
+
+  NodeId first_new_node = 0;
+  {
+    // Database mutation happens with shape builds excluded (they read
+    // the node store through the pattern matcher).
+    MutexLock db_lock(&db_mu_);
+    first_new_node = db_->node_count();
+    Status begin = db_->BeginBatch();
+    if (!begin.ok()) {
+      WalCommitFailuresCounter()->Increment();
+      return begin;
+    }
+    for (const std::string& xml : documents) {
+      Result<NodeId> root = db_->LoadXmlString(xml);
+      if (!root.ok()) {
+        db_->RollbackBatch().IgnoreError();
+        WalCommitFailuresCounter()->Increment();
+        return root.status();
+      }
+    }
+    Result<uint64_t> lsn = db_->CommitBatch();
+    if (!lsn.ok()) {
+      WalCommitFailuresCounter()->Increment();
+      return lsn.status();
+    }
+    result.commit_lsn = *lsn;
+  }
+  WalCommitsCounter()->Increment();
+  WalDocumentsCounter()->Increment(documents.size());
+  WalLastCommitLsnGauge()->Set(static_cast<int64_t>(result.commit_lsn));
+
+  // The batch is durable; fold it into every resident shape. Readers
+  // keep answering from their pinned snapshots throughout.
+  std::vector<std::pair<std::string, std::shared_ptr<ShapeState>>> shapes;
+  {
+    MutexLock lock(&mu_);
+    shapes.reserve(shapes_.size());
+    for (const auto& [key, shape] : shapes_) shapes.emplace_back(key, shape);
+  }
+  for (const auto& [key, shape] : shapes) {
+    bool usable = [&shape = shape] {
+      MutexLock lock(&shape->mu);
+      while (!shape->ready) shape->ready_cv.Wait(&shape->mu);
+      return shape->build_status.ok();
+    }();
+    if (!usable) continue;
+    Result<bool> updated = MaintainShape(shape.get(), first_new_node,
+                                         result.commit_lsn, &result.delta);
+    if (updated.ok()) {
+      if (*updated) ++result.shapes_updated;
+      continue;
+    }
+    // Maintenance failed (the batch is durable regardless): drop the
+    // shape so the next query rebuilds it from the post-batch database
+    // instead of serving a stale fact table.
+    std::shared_ptr<const ShapeSnapshot> old = PinSnapshot(shape.get());
+    if (old != nullptr) cache_.DropStore(old->views.get());
+    {
+      MutexLock lock(&mu_);
+      auto it = shapes_.find(key);
+      if (it != shapes_.end() && it->second == shape) shapes_.erase(it);
+    }
+    ShapesDroppedCounter()->Increment();
+    ShapesGauge()->Set(static_cast<int64_t>(num_shapes()));
+  }
+  return result;
+}
+
+Status X3Server::Checkpoint() {
+  MutexLock write_lock(&write_mu_);
+  MutexLock db_lock(&db_mu_);
+  return db_->Checkpoint();
 }
 
 }  // namespace x3

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cube/algorithm.h"
+#include "cube/delta.h"
 #include "cube/view_store.h"
 #include "schema/summarizability.h"
 #include "server/cuboid_cache.h"
@@ -81,6 +82,18 @@ struct ServerRequest {
 
 /// Cells of one cuboid, keyed by packed group key.
 using CellMap = std::unordered_map<GroupKey, AggregateState>;
+
+/// Outcome of one committed write batch (X3Server::CommitDocuments).
+struct ServerWriteResult {
+  /// WAL LSN of the batch's commit record (the durability horizon the
+  /// batch is replayed up to after a crash).
+  uint64_t commit_lsn = 0;
+  size_t documents = 0;
+  /// Query shapes whose fact table grew and whose snapshot was swapped.
+  size_t shapes_updated = 0;
+  /// Aggregated view-maintenance counters across the updated shapes.
+  DeltaStats delta;
+};
 
 /// A completed query's answer.
 struct ServerAnswer {
@@ -179,6 +192,23 @@ class X3Server {
   /// Submit + Wait (the blocking convenience for single-tenant use).
   Result<ServerAnswer> Execute(ServerRequest request);
 
+  /// The serialized write lane: loads `documents` (XML strings) into
+  /// the database as ONE transactional batch (WAL-first, all-or-
+  /// nothing), then folds the committed facts into every resident
+  /// query shape — delta-patching materialized views where the plan
+  /// proves it safe, rebuilding them (with fact ids) where it does not
+  /// — and atomically swaps each shape's snapshot. Concurrent readers
+  /// never observe a partial batch: a query sees either the complete
+  /// pre-batch snapshot or the complete post-batch one. Writers are
+  /// serialized against each other; a failed load rolls the batch back
+  /// and leaves every shape untouched.
+  Result<ServerWriteResult> CommitDocuments(
+      const std::vector<std::string>& documents) X3_EXCLUDES(write_mu_);
+
+  /// Durably checkpoints the database (raises the replay horizon and
+  /// truncates the WAL), serialized with writers.
+  Status Checkpoint() X3_EXCLUDES(write_mu_);
+
   /// The shared admission budget (used() drops back to 0 once every
   /// in-flight query drained).
   MemoryBudget* budget() { return &budget_; }
@@ -192,24 +222,38 @@ class X3Server {
   void FlushCacheForTest() { cache_.Clear(); }
 
  private:
-  /// Everything the server keeps per normalized query: the compiled
-  /// query, lattice and fact table (X3Engine::Prepare's output), the
-  /// shape's property map, and the view store the cuboid cache manages
-  /// views in. Built lazily by the first query of the shape; `mu` is
-  /// the build latch. The pointers are immutable once `ready` is
-  /// published under `mu`.
+  /// One immutable version of a shape's materialized state: the
+  /// compiled query, lattice and fact table (X3Engine::Prepare's
+  /// output) plus the view store the cuboid cache manages views in.
+  /// The write path publishes a NEW snapshot per committed batch
+  /// (copy-on-write); a running query pins the snapshot it started on,
+  /// so it never sees a half-applied batch.
+  struct ShapeSnapshot {
+    std::unique_ptr<PreparedQuery> prepared;
+    std::unique_ptr<CubeViewStore> views;
+    /// Database commit LSN this snapshot's fact table reflects. The
+    /// write path skips shapes whose snapshot already covers the
+    /// batch (a shape built concurrently with the commit).
+    uint64_t built_lsn = 0;
+  };
+
+  /// Everything the server keeps per normalized query: the current
+  /// snapshot, the shape's property map, and the build latch. Built
+  /// lazily by the first query of the shape; `mu` is the build latch
+  /// and guards the snapshot pointer swap. `properties` is immutable
+  /// once `ready` is published under `mu`.
   struct ShapeState {
     Mutex mu{lock_rank::kServerShape};
     CondVar ready_cv;
     bool ready X3_GUARDED_BY(mu) = false;
     Status build_status X3_GUARDED_BY(mu);
-    /// Immutable after `ready` (written by the builder, then
-    /// published; readers synchronize through `mu`).
-    std::unique_ptr<PreparedQuery> prepared;
     LatticeProperties properties;
     bool disjoint_everywhere = false;
-    std::unique_ptr<CubeViewStore> views;
+    std::shared_ptr<const ShapeSnapshot> snapshot X3_GUARDED_BY(mu);
   };
+
+  /// Pins the shape's current snapshot (brief shape->mu acquisition).
+  static std::shared_ptr<const ShapeSnapshot> PinSnapshot(ShapeState* shape);
 
   /// The worker-side body of one submitted query: metrics, tracing and
   /// ticket completion around RunQuery.
@@ -228,9 +272,23 @@ class X3Server {
       const LatticeProperties* properties, ExecutionContext* ctx)
       X3_EXCLUDES(mu_);
 
-  /// Materializes `cuboid` into the shape's view store (if absent) and
-  /// accounts it with the LRU cache.
-  void EnsureMaterialized(ShapeState* shape, CuboidId cuboid);
+  /// Materializes `cuboid` into the snapshot's view store (if absent)
+  /// and accounts it with the LRU cache — only while `snapshot` is
+  /// still the shape's current one. A reader racing a snapshot swap
+  /// keeps its (now-stale) view for its own query but never registers
+  /// it with the cache, so the cache never holds keys into a store
+  /// whose snapshot has been retired.
+  void EnsureMaterialized(ShapeState* shape,
+                          const std::shared_ptr<const ShapeSnapshot>& snapshot,
+                          CuboidId cuboid);
+
+  /// Delta-maintains one shape after a batch committed at `commit_lsn`
+  /// grew the database past `first_new_node`: clones the fact table,
+  /// appends the new facts, plans and applies view deltas, swaps the
+  /// snapshot and re-accounts the cache. No-op (false) when no new
+  /// fact matched the shape or the snapshot already covers the batch.
+  Result<bool> MaintainShape(ShapeState* shape, NodeId first_new_node,
+                             uint64_t commit_lsn, DeltaStats* stats);
 
   Database* db_;
   const X3ServerOptions options_;
@@ -238,6 +296,15 @@ class X3Server {
   MemoryBudget budget_;
   TempFileManager temp_files_;
   CuboidCache cache_;
+
+  /// Serializes writers (rank kServerWrite: held across the whole
+  /// commit + maintenance pass, below every other server lock).
+  Mutex write_mu_{lock_rank::kServerWrite};
+  /// Excludes shape builds (which read the database through the
+  /// pattern matcher) from the write lane's database mutation. Held by
+  /// CommitDocuments during BeginBatch..CommitBatch and by
+  /// GetOrBuildShape around X3Engine::Prepare.
+  Mutex db_mu_{lock_rank::kDatabaseIngest};
 
   mutable Mutex mu_{lock_rank::kServerSession};
   std::unordered_map<std::string, std::shared_ptr<ShapeState>> shapes_

@@ -1,0 +1,402 @@
+#include "storage/write_ahead_log.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "util/metrics.h"
+#include "util/string_util.h"
+#include "util/trace.h"
+
+namespace x3 {
+
+namespace {
+
+Counter& CommitsCounter() {
+  static Counter* c = MetricRegistry::Global().GetCounter(
+      "x3_wal_commits_total", "Transactions committed through the WAL");
+  return *c;
+}
+Counter& RecordsCounter() {
+  static Counter* c = MetricRegistry::Global().GetCounter(
+      "x3_wal_records_total", "WAL records written (begin/data/commit)");
+  return *c;
+}
+Counter& BytesCounter() {
+  static Counter* c = MetricRegistry::Global().GetCounter(
+      "x3_wal_bytes_total", "Bytes appended to WAL segments");
+  return *c;
+}
+Counter& RecoveriesCounter() {
+  static Counter* c = MetricRegistry::Global().GetCounter(
+      "x3_wal_recoveries_total", "WAL recovery scans run at open");
+  return *c;
+}
+Counter& TruncatedRecordsCounter() {
+  static Counter* c = MetricRegistry::Global().GetCounter(
+      "x3_wal_truncated_records_total",
+      "Torn or uncommitted WAL records cut off during recovery");
+  return *c;
+}
+Counter& SegmentsCreatedCounter() {
+  static Counter* c = MetricRegistry::Global().GetCounter(
+      "x3_wal_segments_created_total", "WAL segment files created");
+  return *c;
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+uint64_t ReadU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+uint32_t ReadU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+WriteAheadLog::WriteAheadLog(Env* env, std::string base,
+                             const Options& options)
+    : env_(env), base_(std::move(base)), options_(options) {}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (file_ != nullptr) file_->Close().IgnoreError();
+}
+
+std::string WriteAheadLog::SegmentPath(const std::string& base,
+                                       uint64_t seq) {
+  return StringPrintf("%s.wal.%06llu", base.c_str(),
+                      static_cast<unsigned long long>(seq));
+}
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::CreateFresh(
+    Env* env, std::string base, const Options& options) {
+  X3_RETURN_IF_ERROR(RemoveSegments(env, base));
+  return std::unique_ptr<WriteAheadLog>(
+      new WriteAheadLog(env, std::move(base), options));
+}
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::OpenAndRecover(
+    Env* env, std::string base, const Options& options,
+    RecoveryInfo* info) {
+  std::unique_ptr<WriteAheadLog> wal(
+      new WriteAheadLog(env, std::move(base), options));
+  RecoveryInfo local;
+  X3_RETURN_IF_ERROR(wal->Recover(info != nullptr ? info : &local));
+  return wal;
+}
+
+Status WriteAheadLog::RemoveSegments(Env* env, const std::string& base) {
+  // The on-disk set is contiguous from 1; delete newest-first so an
+  // interrupted pass leaves it contiguous from 1 as well.
+  uint64_t last = 0;
+  while (env->FileExists(SegmentPath(base, last + 1))) ++last;
+  for (uint64_t seq = last; seq >= 1; --seq) {
+    Status s = env->RemoveFile(SegmentPath(base, seq));
+    if (!s.ok() && s.code() != StatusCode::kNotFound) return s;
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> WriteAheadLog::SegmentPaths() const {
+  std::vector<std::string> paths;
+  uint64_t seq = 1;
+  while (env_->FileExists(SegmentPath(base_, seq))) {
+    paths.push_back(SegmentPath(base_, seq));
+    ++seq;
+  }
+  return paths;
+}
+
+Status WriteAheadLog::OpenSegment(uint64_t seq, uint64_t offset) {
+  if (file_ != nullptr) {
+    X3_RETURN_IF_ERROR(file_->Close());
+    file_.reset();
+  }
+  X3_ASSIGN_OR_RETURN(
+      file_, env_->OpenFile(SegmentPath(base_, seq), OpenMode::kReadWrite));
+  segment_seq_ = seq;
+  segment_offset_ = offset;
+  if (offset == 0) SegmentsCreatedCounter().Increment();
+  return Status::OK();
+}
+
+void WriteAheadLog::EncodeRecord(WalRecordType type, uint64_t txn_id,
+                                 std::string_view payload,
+                                 std::string* out) {
+  uint64_t lsn = next_lsn_++;
+  size_t start = out->size();
+  AppendU64(out, lsn);
+  AppendU64(out, txn_id);
+  AppendU32(out, static_cast<uint32_t>(payload.size()));
+  out->push_back(static_cast<char>(type));
+  out->append(payload.data(), payload.size());
+  uint64_t checksum = WalRecordChecksum(
+      reinterpret_cast<const uint8_t*>(out->data() + start),
+      out->size() - start, lsn);
+  AppendU64(out, checksum);
+}
+
+Result<uint64_t> WriteAheadLog::BeginTxn() {
+  X3_RETURN_IF_ERROR(broken_);
+  if (txn_open_) {
+    return Status::InvalidArgument(
+        "WAL transaction already open on " + base_);
+  }
+  txn_open_ = true;
+  open_txn_id_ = next_txn_id_++;
+  pending_.clear();
+  pending_records_ = 0;
+  EncodeRecord(WalRecordType::kTxnBegin, open_txn_id_, {}, &pending_);
+  ++pending_records_;
+  return open_txn_id_;
+}
+
+Status WriteAheadLog::AppendData(uint64_t txn_id, std::string_view payload) {
+  X3_RETURN_IF_ERROR(broken_);
+  if (!txn_open_ || txn_id != open_txn_id_) {
+    return Status::InvalidArgument(StringPrintf(
+        "WAL append to transaction %llu which is not open on %s",
+        static_cast<unsigned long long>(txn_id), base_.c_str()));
+  }
+  if (payload.size() > kWalMaxPayloadBytes) {
+    return Status::OutOfRange(
+        StringPrintf("WAL payload of %zu bytes exceeds the record limit",
+                     payload.size()));
+  }
+  EncodeRecord(WalRecordType::kTxnData, txn_id, payload, &pending_);
+  ++pending_records_;
+  return Status::OK();
+}
+
+Result<uint64_t> WriteAheadLog::Commit(uint64_t txn_id) {
+  X3_RETURN_IF_ERROR(broken_);
+  if (!txn_open_ || txn_id != open_txn_id_) {
+    return Status::InvalidArgument(StringPrintf(
+        "WAL commit of transaction %llu which is not open on %s",
+        static_cast<unsigned long long>(txn_id), base_.c_str()));
+  }
+  X3_TRACE_SPAN(&Tracer::Global(), "wal/commit");
+  uint64_t commit_lsn = next_lsn_;  // the commit record's LSN
+  EncodeRecord(WalRecordType::kTxnCommit, txn_id, {}, &pending_);
+  ++pending_records_;
+
+  // Rotate at transaction boundaries only, so one transaction is
+  // always a contiguous byte range of one segment (recovery relies on
+  // this to cut an uncommitted tail with a single truncate).
+  Status io;
+  if (file_ == nullptr) {
+    io = OpenSegment(segment_seq_ == 0 ? 1 : segment_seq_, 0);
+  } else if (segment_offset_ >= options_.segment_size_bytes) {
+    io = OpenSegment(segment_seq_ + 1, 0);
+  }
+  if (io.ok()) {
+    io = file_->WriteAt(segment_offset_, pending_.data(), pending_.size());
+  }
+  if (io.ok()) io = file_->Sync();
+  if (!io.ok()) {
+    // The segment tail is in an unknown state; poison the log so the
+    // owner reopens (recovery re-establishes the committed prefix).
+    broken_ = Status::InvalidArgument(
+        "WAL broken by failed commit on " + base_ + ": " + io.message());
+    txn_open_ = false;
+    pending_.clear();
+    pending_records_ = 0;
+    return io;
+  }
+  segment_offset_ += pending_.size();
+  last_commit_lsn_ = commit_lsn;
+  CommitsCounter().Increment();
+  RecordsCounter().Increment(pending_records_);
+  BytesCounter().Increment(pending_.size());
+  txn_open_ = false;
+  pending_.clear();
+  pending_records_ = 0;
+  return commit_lsn;
+}
+
+Status WriteAheadLog::Abort(uint64_t txn_id) {
+  if (!txn_open_ || txn_id != open_txn_id_) {
+    return Status::InvalidArgument(StringPrintf(
+        "WAL abort of transaction %llu which is not open on %s",
+        static_cast<unsigned long long>(txn_id), base_.c_str()));
+  }
+  // Nothing reached disk; the buffered records (and their LSNs) are
+  // simply never written. LSNs stay dense on disk because they are
+  // reassigned: the buffer held LSNs next_lsn_ - pending_records_
+  // onward, which are returned to the sequence here.
+  next_lsn_ -= pending_records_;
+  txn_open_ = false;
+  pending_.clear();
+  pending_records_ = 0;
+  return Status::OK();
+}
+
+Status WriteAheadLog::DeleteAllSegments() {
+  if (txn_open_) {
+    return Status::InvalidArgument(
+        "WAL truncation with a transaction open on " + base_);
+  }
+  if (file_ != nullptr) {
+    file_->Close().IgnoreError();
+    file_.reset();
+  }
+  X3_RETURN_IF_ERROR(RemoveSegments(env_, base_));
+  segment_seq_ = 0;
+  segment_offset_ = 0;
+  // Deleting the log also heals a commit-poisoned one: whatever unknown
+  // bytes the failed commit left behind are gone, and the caller just
+  // made everything the log was protecting durable elsewhere.
+  broken_ = Status::OK();
+  return Status::OK();
+}
+
+void WriteAheadLog::EnsureNextLsnAtLeast(uint64_t lsn) {
+  next_lsn_ = std::max(next_lsn_, lsn);
+}
+
+Status WriteAheadLog::Recover(RecoveryInfo* info) {
+  X3_TRACE_SPAN(&Tracer::Global(), "wal/recover");
+  RecoveriesCounter().Increment();
+  *info = RecoveryInfo();
+
+  uint64_t expected_lsn = 0;  // 0 = first record may carry any LSN
+  uint64_t max_txn_id = 0;
+  bool stop = false;  // first invalid record found: later segments die
+
+  uint64_t seq = 1;
+  for (; env_->FileExists(SegmentPath(base_, seq)); ++seq) {
+    if (stop) {
+      // Everything past the first invalid record is dead.
+      X3_RETURN_IF_ERROR(env_->RemoveFile(SegmentPath(base_, seq)));
+      ++info->truncated_segments;
+      continue;
+    }
+    std::unique_ptr<File> file;
+    X3_ASSIGN_OR_RETURN(
+        file, env_->OpenFile(SegmentPath(base_, seq), OpenMode::kReadWrite));
+    X3_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+    std::string buf(static_cast<size_t>(size), '\0');
+    if (size > 0) {
+      X3_RETURN_IF_ERROR(file->ReadAt(0, buf.data(), buf.size()));
+    }
+    const auto* bytes = reinterpret_cast<const uint8_t*>(buf.data());
+
+    // Per-segment scan state. A transaction never spans segments
+    // (commits rotate only at transaction boundaries), so an open
+    // transaction at a cut is always local to this segment.
+    uint64_t valid_end = 0;   // end of the last committed transaction
+    uint64_t offset = 0;
+    bool open_txn = false;
+    uint64_t open_txn_id = 0;
+    uint64_t open_txn_records = 0;
+    std::vector<std::string> open_payloads;
+
+    while (offset < size) {
+      size_t remaining = static_cast<size_t>(size - offset);
+      if (remaining < kWalHeaderBytes + kWalTrailerBytes) break;
+      WalRecordHeader h;
+      h.lsn = ReadU64(bytes + offset);
+      h.txn_id = ReadU64(bytes + offset + 8);
+      h.payload_len = ReadU32(bytes + offset + 16);
+      h.type = bytes[offset + 20];
+      if (h.payload_len > kWalMaxPayloadBytes) break;
+      size_t total =
+          kWalHeaderBytes + h.payload_len + kWalTrailerBytes;
+      if (remaining < total) break;
+      if (h.type < static_cast<uint8_t>(WalRecordType::kTxnBegin) ||
+          h.type > static_cast<uint8_t>(WalRecordType::kTxnCommit)) {
+        break;
+      }
+      uint64_t stored =
+          ReadU64(bytes + offset + kWalHeaderBytes + h.payload_len);
+      uint64_t computed = WalRecordChecksum(
+          bytes + offset, kWalHeaderBytes + h.payload_len, h.lsn);
+      if (stored != computed) break;
+      if (expected_lsn != 0 && h.lsn != expected_lsn) break;
+      expected_lsn = h.lsn + 1;
+
+      auto type = static_cast<WalRecordType>(h.type);
+      bool protocol_ok = true;
+      switch (type) {
+        case WalRecordType::kTxnBegin:
+          if (open_txn) {
+            protocol_ok = false;
+            break;
+          }
+          open_txn = true;
+          open_txn_id = h.txn_id;
+          open_txn_records = 0;
+          open_payloads.clear();
+          break;
+        case WalRecordType::kTxnData:
+          if (!open_txn || h.txn_id != open_txn_id) {
+            protocol_ok = false;
+            break;
+          }
+          open_payloads.emplace_back(
+              buf.data() + offset + kWalHeaderBytes, h.payload_len);
+          break;
+        case WalRecordType::kTxnCommit:
+          if (!open_txn || h.txn_id != open_txn_id) {
+            protocol_ok = false;
+            break;
+          }
+          info->txns.push_back(CommittedTxn{
+              h.txn_id, h.lsn, std::move(open_payloads)});
+          open_payloads.clear();
+          open_txn = false;
+          max_txn_id = std::max(max_txn_id, h.txn_id);
+          break;
+      }
+      if (!protocol_ok) break;
+      ++open_txn_records;
+      info->max_lsn = h.lsn;
+      offset += total;
+      if (!open_txn) valid_end = offset;
+    }
+
+    // Cut the tail: anything past the last committed transaction is a
+    // torn write or an uncommitted transaction whose commit never made
+    // it. Rewind the LSN horizon with it.
+    if (valid_end < size) {
+      if (open_txn) {
+        info->truncated_records += open_txn_records;
+        expected_lsn -= open_txn_records;
+      }
+      if (offset < size) ++info->truncated_records;  // the invalid bytes
+      if (info->max_lsn >= expected_lsn && expected_lsn > 0) {
+        info->max_lsn = expected_lsn - 1;
+      }
+      X3_RETURN_IF_ERROR(file->Truncate(valid_end));
+      X3_RETURN_IF_ERROR(file->Sync());
+      stop = true;
+    }
+    if (stop || !env_->FileExists(SegmentPath(base_, seq + 1))) {
+      // Keep the last surviving segment open as the append target.
+      file_ = std::move(file);
+      segment_seq_ = seq;
+      segment_offset_ = valid_end;
+    } else {
+      X3_RETURN_IF_ERROR(file->Close());
+    }
+  }
+
+  TruncatedRecordsCounter().Increment(info->truncated_records);
+  next_lsn_ = info->max_lsn + 1;
+  last_commit_lsn_ =
+      info->txns.empty() ? 0 : info->txns.back().commit_lsn;
+  next_txn_id_ = max_txn_id + 1;
+  return Status::OK();
+}
+
+}  // namespace x3

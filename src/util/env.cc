@@ -140,6 +140,15 @@ class PosixFile : public File {
     return Status::OK();
   }
 
+  Status Truncate(uint64_t size) override {
+    X3_RETURN_IF_ERROR(CheckOpenAndOffset(size, 0));
+    WritesCounter().Increment();
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return Status::IOError(ErrnoMessage("ftruncate failed on", path_, errno));
+    }
+    return Status::OK();
+  }
+
   Result<uint64_t> Size() override {
     if (fd_ < 0) return Status::Internal("size of closed file " + path_);
     struct stat st;
@@ -286,6 +295,9 @@ class RetryFile : public File {
   }
   Status Sync() override {
     return Retry([&] { return target_->Sync(); });
+  }
+  Status Truncate(uint64_t size) override {
+    return Retry([&] { return target_->Truncate(size); });
   }
   Result<uint64_t> Size() override { return target_->Size(); }
   Status Close() override { return target_->Close(); }

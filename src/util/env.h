@@ -50,6 +50,11 @@ class File {
   /// Durably flushes written data to the device (real fsync).
   virtual Status Sync() = 0;
 
+  /// Shrinks (or extends, zero-filled) the file to exactly `size`
+  /// bytes. The WAL uses this to cut a torn record tail off a segment
+  /// during recovery.
+  virtual Status Truncate(uint64_t size) = 0;
+
   /// Current size of the file in bytes.
   virtual Result<uint64_t> Size() = 0;
 

@@ -223,6 +223,14 @@ class FaultFile : public File {
     return target_->Sync();
   }
 
+  Status Truncate(uint64_t size) override {
+    // Counted as a write (it mutates durable state) with no transfer
+    // bytes, so short-transfer kinds degrade to all-or-nothing.
+    FaultInjectionEnv::Decision d = env_->NextOp(FaultOp::kWrite, 0);
+    if (!d.status.ok()) return d.status;
+    return target_->Truncate(size);
+  }
+
   Result<uint64_t> Size() override {
     FaultInjectionEnv::Decision d = env_->NextOp(FaultOp::kSize, 0);
     if (!d.status.ok()) return d.status;

@@ -79,6 +79,8 @@ inline constexpr uint32_t kNone = 0;  // unranked: exempt from ordering
 // hold its session/shape/cache bookkeeping while calling into the
 // view store (kViewStore) or submitting to the pool (kThreadPool),
 // never the other way around.
+inline constexpr uint32_t kServerWrite = 20;  // X3Server::write_mu_
+inline constexpr uint32_t kDatabaseIngest = 30;  // X3Server::db_mu_
 inline constexpr uint32_t kServerSession = 40;  // X3Server::mu_
 inline constexpr uint32_t kServerShape = 60;    // ShapeState build latch
 inline constexpr uint32_t kServerCache = 80;    // CuboidCache::mu_

@@ -9,6 +9,7 @@
 #include "util/string_util.h"
 #include "xdb/document_loader.h"
 #include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
 
 namespace x3 {
 
@@ -29,6 +30,11 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
   db->pool_ = std::make_unique<BufferPool>(db->file_.get(),
                                            db->options_.buffer_pool_pages);
   db->store_ = std::make_unique<NodeStore>(db->pool_.get());
+  WriteAheadLog::Options wal_options;
+  wal_options.segment_size_bytes = db->options_.wal_segment_size_bytes;
+  X3_ASSIGN_OR_RETURN(
+      db->wal_, WriteAheadLog::CreateFresh(db->env_, db->options_.data_file,
+                                           wal_options));
   return db;
 }
 
@@ -36,13 +42,21 @@ namespace {
 
 constexpr uint32_t kCatalogMagic = 0x58334354;  // "X3CT"
 // Version 2: catalog carries a trailing 64-bit checksum of the body.
-constexpr uint32_t kCatalogVersion = 2;
+// Version 3: after the header, the catalog records the WAL durable
+// horizon (u64 commit LSN) and a journal of the partially filled tail
+// page's records (u32 count + raw record bytes), so recovery can
+// rebuild that page if a post-checkpoint write tears it.
+constexpr uint32_t kCatalogVersion = 3;
 
 /// Seed for the catalog body checksum, distinct from page checksums.
 constexpr uint64_t kCatalogChecksumSeed = 0x58334354a5a5a5a5ULL;
 
 void AppendRaw(std::string* out, const void* data, size_t len) {
-  out->append(static_cast<const char*>(data), len);
+  // len == 0 legitimately pairs with a null `data` (an empty vector's
+  // data()); append's pointer contract forbids that even for 0 bytes.
+  if (len != 0) {
+    out->append(static_cast<const char*>(data), len);
+  }
 }
 
 void AppendString(std::string* out, const std::string& s) {
@@ -62,7 +76,11 @@ class CatalogCursor {
     if (len > data_.size() - pos_) {
       return Status::Corruption("truncated catalog " + path_);
     }
-    std::memcpy(out, data_.data() + pos_, len);
+    // len == 0 legitimately pairs with a null `out` (an empty vector's
+    // data()); memcpy's nonnull contract forbids that even for 0 bytes.
+    if (len != 0) {
+      std::memcpy(out, data_.data() + pos_, len);
+    }
     pos_ += len;
     return Status::OK();
   }
@@ -93,13 +111,34 @@ std::string CatalogPath(const std::string& data_file) {
 }  // namespace
 
 Status Database::Checkpoint() {
-  X3_RETURN_IF_ERROR(pool_->FlushAll());
+  if (in_batch_) {
+    return Status::InvalidArgument(
+        "Checkpoint with an open batch: commit or roll back first");
+  }
+  X3_RETURN_IF_ERROR(pool_->FlushAll());  // x3-lint: allow(raw-page-write) -- checkpoint: pages flushed before the catalog rename commits them
   // Make the data pages durable before the catalog that describes them.
   X3_RETURN_IF_ERROR(file_->Sync());
 
   std::string body;
   uint32_t header[3] = {kCatalogMagic, kCatalogVersion, store_->size()};
   AppendRaw(&body, header, sizeof(header));
+
+  // WAL durable horizon: everything committed up to this LSN is covered
+  // by this catalog, so reopen only replays transactions past it.
+  uint64_t durable = last_commit_lsn_;
+  AppendRaw(&body, &durable, sizeof(durable));
+
+  // Journal the partially filled tail page's records. Full pages are
+  // append-frozen (never rewritten), but the tail page is rewritten by
+  // future flushes; if one of those tears it, recovery rebuilds the
+  // committed records from this image.
+  uint32_t tail_count = static_cast<uint32_t>(
+      store_->size() % NodeStore::kRecordsPerPage);
+  AppendRaw(&body, &tail_count, sizeof(tail_count));
+  std::string tail_image;
+  X3_RETURN_IF_ERROR(store_->SerializeRange(store_->size() - tail_count,
+                                            tail_count, &tail_image));
+  AppendRaw(&body, tail_image.data(), tail_image.size());
 
   uint32_t num_roots = static_cast<uint32_t>(roots_.size());
   AppendRaw(&body, &num_roots, sizeof(num_roots));
@@ -137,7 +176,15 @@ Status Database::Checkpoint() {
     env_->RemoveFile(tmp_path).IgnoreError();
     return s;
   }
-  return env_->RenameFile(tmp_path, path);
+  X3_RETURN_IF_ERROR(env_->RenameFile(tmp_path, path));  // x3-lint: allow(raw-page-write) -- checkpoint: the atomic catalog-commit rename itself
+  // The rename is the commit point: from here the catalog covers every
+  // applied transaction, so the WAL's job is done and its segments can
+  // go (this also revives a WAL poisoned by a failed commit).
+  durable_lsn_ = last_commit_lsn_;
+  if (wal_ != nullptr) {
+    X3_RETURN_IF_ERROR(wal_->DeleteAllSegments());
+  }
+  return Status::OK();
 }
 
 Result<std::unique_ptr<Database>> Database::OpenExisting(
@@ -149,16 +196,11 @@ Result<std::unique_ptr<Database>> Database::OpenExisting(
   auto db = std::unique_ptr<Database>(new Database());
   db->options_ = options;
   db->env_ = options.env != nullptr ? options.env : Env::Default();
-  db->file_ = std::make_unique<PageFile>();
-  X3_RETURN_IF_ERROR(db->file_->Open(options.data_file, /*truncate=*/false,
-                                     db->env_, options.compress_pages));
-  // Recovery scan: checksum-verify every page before trusting any of
-  // them, so torn writes surface now (with a page id) rather than as a
-  // wrong cube later.
-  X3_RETURN_IF_ERROR(db->file_->VerifyAllPages());
-  db->pool_ = std::make_unique<BufferPool>(db->file_.get(),
-                                           options.buffer_pool_pages);
 
+  // The catalog comes first: Checkpoint writes it atomically, so it is
+  // the recovery anchor. Its node count bounds which pages are
+  // trusted, and its tail-page journal + durable LSN drive the data
+  // file repair and WAL replay below.
   std::string path = CatalogPath(options.data_file);
   std::string raw;
   Status s = ReadFileToString(db->env_, path, &raw);
@@ -194,6 +236,96 @@ Result<std::unique_ptr<Database>> Database::OpenExisting(
   if (header[1] != kCatalogVersion) {
     return Status::Corruption("unsupported catalog version");
   }
+
+  uint64_t durable_lsn = 0;
+  X3_RETURN_IF_ERROR(cursor.ReadRaw(&durable_lsn, sizeof(durable_lsn)));
+  uint32_t tail_count = 0;
+  X3_RETURN_IF_ERROR(cursor.ReadRaw(&tail_count, sizeof(tail_count)));
+  if (tail_count != header[2] % NodeStore::kRecordsPerPage) {
+    return Status::Corruption(StringPrintf(
+        "catalog tail journal has %u records but %u nodes imply %u",
+        tail_count, header[2],
+        static_cast<uint32_t>(header[2] % NodeStore::kRecordsPerPage)));
+  }
+  std::string tail_image(tail_count * NodeStore::kRecordBytes, '\0');
+  X3_RETURN_IF_ERROR(cursor.ReadRaw(tail_image.data(), tail_image.size()));
+
+  // Repair the data file before opening it as pages. Only bytes past
+  // the catalog's coverage (a crashed batch's appends) and the shared
+  // tail page (rewritten by every flush) can legitimately be damaged;
+  // full pages under the catalog are append-frozen and must verify.
+  uint64_t full_pages = header[2] / NodeStore::kRecordsPerPage;
+  uint64_t covered_pages = full_pages + (tail_count != 0 ? 1 : 0);
+  uint64_t slot_bytes = options.compress_pages
+                            ? kCompressedDiskPageSize
+                            : kDiskPageSize;
+  X3_ASSIGN_OR_RETURN(uint64_t file_bytes,
+                      db->env_->FileSize(options.data_file));
+  if (file_bytes < full_pages * slot_bytes) {
+    return Status::Corruption(StringPrintf(
+        "%s has %llu bytes but the catalog covers %llu full pages: "
+        "truncated page file?",
+        options.data_file.c_str(),
+        static_cast<unsigned long long>(file_bytes),
+        static_cast<unsigned long long>(full_pages)));
+  }
+  if (file_bytes != covered_pages * slot_bytes &&
+      file_bytes != full_pages * slot_bytes) {
+    // A crash mid-append left a ragged/uncovered tail. Cut back to the
+    // full-page prefix; the tail page (if any) is rebuilt below and
+    // uncheckpointed batches are re-applied from the WAL.
+    std::unique_ptr<File> raw;
+    X3_ASSIGN_OR_RETURN(
+        raw, db->env_->OpenFile(options.data_file, OpenMode::kReadWrite));
+    Status trunc = raw->Truncate(full_pages * slot_bytes);
+    if (trunc.ok()) trunc = raw->Sync();
+    raw->Close().IgnoreError();
+    X3_RETURN_IF_ERROR(trunc);
+    db->recovery_stats_.data_file_truncated = true;
+  }
+
+  db->file_ = std::make_unique<PageFile>();
+  X3_RETURN_IF_ERROR(db->file_->Open(options.data_file, /*truncate=*/false,
+                                     db->env_, options.compress_pages));
+  if (tail_count != 0) {
+    Page journaled;
+    journaled.Zero();
+    std::memcpy(journaled.bytes(), tail_image.data(), tail_image.size());
+    PageId tail_id = static_cast<PageId>(full_pages);
+    if (db->file_->page_count() == full_pages) {
+      // The tail page never made it to disk (or the truncation above
+      // removed it): rebuild it from the catalog's journal.
+      X3_ASSIGN_OR_RETURN(PageId got, db->file_->AllocatePage());  // x3-lint: allow(raw-page-write) -- recovery: tail-page rebuild from the catalog journal
+      if (got != tail_id) {
+        return Status::Internal(StringPrintf(
+            "tail page allocated out of order: got %u want %u", got,
+            tail_id));
+      }
+      X3_RETURN_IF_ERROR(db->file_->WritePage(tail_id, journaled));  // x3-lint: allow(raw-page-write) -- recovery: tail-page rebuild from the catalog journal
+      X3_RETURN_IF_ERROR(db->file_->Sync());
+      db->recovery_stats_.tail_page_rebuilt = true;
+    } else {
+      Page check;
+      Status read = db->file_->ReadPage(tail_id, &check);
+      if (read.code() == StatusCode::kCorruption) {
+        // A post-checkpoint flush tore the shared tail page. The
+        // journal holds every committed record on it.
+        X3_RETURN_IF_ERROR(db->file_->WritePage(tail_id, journaled));  // x3-lint: allow(raw-page-write) -- recovery: torn tail page repaired from the catalog journal
+        X3_RETURN_IF_ERROR(db->file_->Sync());
+        db->recovery_stats_.tail_page_rebuilt = true;
+      } else {
+        X3_RETURN_IF_ERROR(read);
+      }
+    }
+  }
+
+  // Recovery scan: checksum-verify every page before trusting any of
+  // them, so torn writes surface now (with a page id) rather than as a
+  // wrong cube later.
+  X3_RETURN_IF_ERROR(db->file_->VerifyAllPages());
+  db->pool_ = std::make_unique<BufferPool>(db->file_.get(),
+                                           options.buffer_pool_pages);
+
   // The node count must fit in the verified data pages.
   uint64_t capacity = static_cast<uint64_t>(db->file_->page_count()) *
                       NodeStore::kRecordsPerPage;
@@ -253,11 +385,104 @@ Result<std::unique_ptr<Database>> Database::OpenExisting(
   if (cursor.remaining() != 0) {
     return Status::Corruption("trailing bytes in catalog " + path);
   }
+
+  db->durable_lsn_ = durable_lsn;
+  db->last_commit_lsn_ = durable_lsn;
+
+  // WAL recovery: cut any torn tail, then re-apply committed batches
+  // the catalog doesn't cover. Replay re-shreds the logged documents
+  // through the normal load path (deterministic, so the rebuilt state
+  // is identical to the pre-crash one) without re-logging them, and
+  // nothing is checkpointed here — recovering twice is idempotent.
+  WriteAheadLog::Options wal_options;
+  wal_options.segment_size_bytes = options.wal_segment_size_bytes;
+  WriteAheadLog::RecoveryInfo info;
+  X3_ASSIGN_OR_RETURN(db->wal_,
+                      WriteAheadLog::OpenAndRecover(
+                          db->env_, options.data_file, wal_options, &info));
+  db->recovery_stats_.wal_records_truncated = info.truncated_records;
+  db->recovery_stats_.wal_segments_truncated = info.truncated_segments;
+  for (const WriteAheadLog::CommittedTxn& txn : info.txns) {
+    if (txn.commit_lsn <= durable_lsn) continue;
+    for (const std::string& payload : txn.payloads) {
+      Result<NodeId> root = db->LoadXmlString(payload);
+      if (!root.ok()) {
+        return Status::Corruption(StringPrintf(
+            "WAL replay of transaction %llu failed: %s",
+            static_cast<unsigned long long>(txn.txn_id),
+            root.status().message().c_str()));
+      }
+      ++db->recovery_stats_.replayed_documents;
+    }
+    db->last_commit_lsn_ = txn.commit_lsn;
+    ++db->recovery_stats_.replayed_txns;
+  }
+  db->wal_->EnsureNextLsnAtLeast(db->last_commit_lsn_ + 1);
   return db;
+}
+
+Status Database::BeginBatch() {
+  if (in_batch_) {
+    return Status::InvalidArgument("a batch is already open");
+  }
+  X3_ASSIGN_OR_RETURN(batch_txn_, wal_->BeginTxn());
+  marks_.node_count = store_->size();
+  marks_.roots = roots_.size();
+  marks_.tags = tags_.size();
+  marks_.values = values_.size();
+  marks_.tag_index = tag_index_.size();
+  in_batch_ = true;
+  return Status::OK();
+}
+
+Result<uint64_t> Database::CommitBatch() {
+  if (!in_batch_) {
+    return Status::InvalidArgument("no batch is open");
+  }
+  in_batch_ = false;
+  Result<uint64_t> lsn = wal_->Commit(batch_txn_);
+  if (!lsn.ok()) {
+    // The batch may or may not have reached disk (the write tore, or
+    // the sync failed after a complete write) — reopening resolves the
+    // ambiguity to exactly-before or exactly-after. In *this* process
+    // the batch is gone either way, and the WAL stays poisoned until
+    // Checkpoint() or reopen.
+    RollbackToMarks();
+    return lsn.status();
+  }
+  last_commit_lsn_ = *lsn;
+  return lsn;
+}
+
+Status Database::RollbackBatch() {
+  if (!in_batch_) {
+    return Status::InvalidArgument("no batch is open");
+  }
+  in_batch_ = false;
+  Status s = wal_->Abort(batch_txn_);
+  RollbackToMarks();
+  return s;
+}
+
+void Database::RollbackToMarks() {
+  store_->TruncateTo(marks_.node_count);
+  tags_.TruncateTo(marks_.tags);
+  values_.TruncateTo(marks_.values);
+  // Pre-existing tags may have gained postings for the rolled-back
+  // nodes; pop them (postings are appended in node-id order).
+  for (size_t t = 0; t < marks_.tag_index && t < tag_index_.size(); ++t) {
+    std::vector<NodeId>& list = tag_index_[t];
+    while (!list.empty() && list.back() >= marks_.node_count) {
+      list.pop_back();
+    }
+  }
+  tag_index_.resize(marks_.tag_index);
+  roots_.resize(marks_.roots);
 }
 
 Database::~Database() {
   // Tear down in dependency order before deleting the backing file.
+  wal_.reset();
   store_.reset();
   pool_.reset();
   if (file_ != nullptr) {
@@ -267,10 +492,20 @@ Database::~Database() {
   if (owns_data_file_ && env_ != nullptr) {
     env_->RemoveFile(options_.data_file).IgnoreError();
     env_->RemoveFile(CatalogPath(options_.data_file)).IgnoreError();
+    WriteAheadLog::RemoveSegments(env_, options_.data_file).IgnoreError();
   }
 }
 
 Result<NodeId> Database::LoadDocument(const XmlDocument& doc) {
+  if (in_batch_) {
+    // Log before apply. The WAL buffers the serialized document in
+    // memory (nothing hits disk until CommitBatch), and replay re-parses
+    // this exact byte form, so write options must stay canonical.
+    XmlWriteOptions wo;
+    wo.indent = false;
+    wo.declaration = false;
+    X3_RETURN_IF_ERROR(wal_->AppendData(batch_txn_, WriteXml(doc, wo)));
+  }
   DocumentLoader loader(this);
   return loader.Load(doc);
 }

@@ -9,6 +9,7 @@
 
 #include "storage/buffer_pool.h"
 #include "storage/page_file.h"
+#include "storage/write_ahead_log.h"
 #include "util/env.h"
 #include "util/result.h"
 #include "xdb/node_store.h"
@@ -36,6 +37,25 @@ struct DatabaseOptions {
   /// OpenExisting must pass the same value the file was created with).
   /// The checksum trailer and recovery semantics are unchanged.
   bool compress_pages = false;
+  /// WAL segment rotation threshold ("<data_file>.wal.<n>" files).
+  uint64_t wal_segment_size_bytes = 4ull << 20;
+};
+
+/// What recovery did while reopening a database (OpenExisting).
+struct DatabaseRecoveryStats {
+  /// Committed WAL transactions past the catalog's durable horizon
+  /// that were replayed into the store.
+  uint64_t replayed_txns = 0;
+  uint64_t replayed_documents = 0;
+  /// Torn/uncommitted WAL records cut off by WAL recovery.
+  uint64_t wal_records_truncated = 0;
+  uint64_t wal_segments_truncated = 0;
+  /// The partially filled tail page was rebuilt from the catalog's
+  /// record journal (a checkpoint write tore it, or it was never
+  /// written).
+  bool tail_page_rebuilt = false;
+  /// Pages past the catalog's coverage were cut off the data file.
+  bool data_file_truncated = false;
 };
 
 /// Summary statistics of a database's contents (the numbers the paper
@@ -80,6 +100,35 @@ class Database {
   /// with a write-to-temp + fsync + rename sequence so OpenExisting can
   /// restore the database after a restart or crash.
   Status Checkpoint();
+
+  /// Opens a write batch. Documents loaded until CommitBatch() are
+  /// logged to the WAL and applied to the in-memory/paged state; none
+  /// of them is durable (or visible after a crash) until the batch
+  /// commits. Batches cannot nest.
+  Status BeginBatch();
+
+  /// Durably commits the open batch with one group fsync of the WAL.
+  /// Returns the batch's commit LSN. On failure the in-memory state is
+  /// rolled back to the BeginBatch() savepoint and the WAL refuses
+  /// further writes until Checkpoint() or reopen; durability of the
+  /// failed batch is ambiguous (a reopen lands exactly before or
+  /// exactly after it, never in between).
+  Result<uint64_t> CommitBatch();
+
+  /// Abandons the open batch: reclaims its WAL records and rewinds
+  /// the store, dictionaries, indexes, and roots to the savepoint.
+  Status RollbackBatch();
+
+  bool in_batch() const { return in_batch_; }
+  /// Highest commit LSN covered by the on-disk catalog.
+  uint64_t durable_lsn() const { return durable_lsn_; }
+  /// Highest commit LSN applied to the in-memory state.
+  uint64_t last_commit_lsn() const { return last_commit_lsn_; }
+  /// What recovery did (only meaningful after OpenExisting).
+  const DatabaseRecoveryStats& recovery_stats() const {
+    return recovery_stats_;
+  }
+  WriteAheadLog* wal() { return wal_.get(); }
 
   ~Database();
 
@@ -143,6 +192,18 @@ class Database {
 
   friend class DocumentLoader;
 
+  /// BeginBatch() savepoint: sizes of every mutable structure, enough
+  /// to rewind an aborted batch (all growth is append-only).
+  struct BatchMarks {
+    NodeId node_count = 0;
+    size_t roots = 0;
+    size_t tags = 0;
+    size_t values = 0;
+    size_t tag_index = 0;
+  };
+
+  void RollbackToMarks();
+
   DatabaseOptions options_;
   Env* env_ = nullptr;
   bool owns_data_file_ = false;
@@ -155,6 +216,13 @@ class Database {
   std::vector<std::vector<NodeId>> tag_index_;
   std::vector<NodeId> roots_;
   std::vector<NodeId> empty_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  uint64_t durable_lsn_ = 0;
+  uint64_t last_commit_lsn_ = 0;
+  bool in_batch_ = false;
+  uint64_t batch_txn_ = 0;
+  BatchMarks marks_;
+  DatabaseRecoveryStats recovery_stats_;
 };
 
 }  // namespace x3

@@ -57,6 +57,22 @@ Status NodeStore::Get(NodeId id, NodeRecord* record) const {
   return Status::OK();
 }
 
+Status NodeStore::SerializeRange(NodeId first, NodeId count,
+                                 std::string* out) const {
+  if (first + count < first || first + count > count_) {
+    return Status::OutOfRange(StringPrintf(
+        "record range [%u, %u) of %u", first, first + count, count_));
+  }
+  for (NodeId id = first; id < first + count; ++id) {
+    NodeRecord record;
+    X3_RETURN_IF_ERROR(Get(id, &record));
+    uint8_t bytes[kRecordBytes];
+    Encode(record, bytes);
+    out->append(reinterpret_cast<const char*>(bytes), kRecordBytes);
+  }
+  return Status::OK();
+}
+
 Status NodeStore::UpdateEnd(NodeId id, NodeId end) {
   if (id >= count_) {
     return Status::OutOfRange(

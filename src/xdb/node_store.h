@@ -63,6 +63,17 @@ class NodeStore {
   /// during loading).
   Status UpdateEnd(NodeId id, NodeId end);
 
+  /// Drops records [count, size()) — batch rollback. Page bytes past
+  /// the new count become invisible garbage; the next append
+  /// overwrites them.
+  void TruncateTo(NodeId count) { count_ = count; }
+
+  /// Appends the on-disk byte image of records [first, first + count)
+  /// to `*out` (kRecordBytes each). The checkpoint catalog journals
+  /// the partially filled tail page's records this way so recovery can
+  /// rebuild the page if a later write tears it.
+  Status SerializeRange(NodeId first, NodeId count, std::string* out) const;
+
   /// Number of stored nodes.
   NodeId size() const { return count_; }
 

@@ -16,4 +16,11 @@ TagId TagDictionary::Lookup(std::string_view tag) const {
   return it == ids_.end() ? kInvalidTagId : it->second;
 }
 
+void TagDictionary::TruncateTo(size_t count) {
+  for (size_t id = count; id < names_.size(); ++id) {
+    ids_.erase(names_[id]);
+  }
+  names_.resize(count);
+}
+
 }  // namespace x3

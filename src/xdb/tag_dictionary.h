@@ -36,6 +36,11 @@ class TagDictionary {
 
   size_t size() const { return names_.size(); }
 
+  /// Forgets every tag with id >= `count` (batch rollback: ids are
+  /// assigned densely, so the tags interned since a savepoint are
+  /// exactly the tail of the dictionary).
+  void TruncateTo(size_t count);
+
  private:
   std::unordered_map<std::string, TagId> ids_;
   std::vector<std::string> names_;

@@ -16,4 +16,18 @@ ValueId ValueDictionary::Lookup(std::string_view value) const {
   return it == ids_.end() ? kInvalidValueId : it->second;
 }
 
+void ValueDictionary::TruncateTo(size_t count) {
+  for (size_t id = count; id < values_.size(); ++id) {
+    ids_.erase(values_[id]);
+  }
+  values_.resize(count);
+}
+
+ValueDictionary ValueDictionary::Clone() const {
+  ValueDictionary copy;
+  copy.ids_ = ids_;
+  copy.values_ = values_;
+  return copy;
+}
+
 }  // namespace x3

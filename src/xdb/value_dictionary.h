@@ -32,6 +32,15 @@ class ValueDictionary {
   const std::string& Value(ValueId id) const { return values_[id]; }
   size_t size() const { return values_.size(); }
 
+  /// Forgets every value with id >= `count` (batch rollback: ids are
+  /// dense, so the values interned since a savepoint are the tail).
+  void TruncateTo(size_t count);
+
+  /// Deep copy (copy construction stays deleted so accidental copies
+  /// of a FactTable's per-axis dictionaries don't compile; delta fact
+  /// builds clone explicitly).
+  ValueDictionary Clone() const;
+
  private:
   std::unordered_map<std::string, ValueId> ids_;
   std::vector<std::string> values_;

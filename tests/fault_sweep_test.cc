@@ -21,6 +21,7 @@
 #include "cube/algorithm.h"
 #include "server/x3_server.h"
 #include "storage/temp_file.h"
+#include "storage/write_ahead_log.h"
 #include "util/env.h"
 #include "util/fault_env.h"
 #include "util/hash.h"
@@ -349,6 +350,246 @@ TEST_F(FaultSweepTest, TransientFaultsRecoverUnderRetry) {
     EXPECT_EQ(budget.used(), 0u);
     EXPECT_GT(retry.retries_attempted(), retries_before) << "op " << index;
     retries_before = retry.retries_attempted();
+  }
+}
+
+// --- WAL lane: transactional batch ingest under faults ---
+
+constexpr const char* kBatchDocA =
+    "<database><publication><author><name>walA</name></author>"
+    "<year>2001</year></publication></database>";
+constexpr const char* kBatchDocB =
+    "<database><publication><author><name>walB</name></author>"
+    "<year>2002</year></publication></database>";
+constexpr size_t kBatchDocs = 2;
+
+/// Flattens an execution's cube into comparable (cuboid → key → count)
+/// form, mirroring FlattenAnswer below for the engine path.
+std::map<CuboidId, std::map<GroupKey, int64_t>> FlattenCube(
+    const X3ExecutionResult& exec) {
+  std::map<CuboidId, std::map<GroupKey, int64_t>> flat;
+  for (CuboidId id = 0; id < exec.cube.num_cuboids(); ++id) {
+    auto& m = flat[id];
+    for (const auto& [key, state] : exec.cube.cuboid(id)) m[key] = state.count;
+  }
+  return flat;
+}
+
+/// Sweeps faults through the transactional write path: a durable base
+/// corpus, then BeginBatch → two document loads → CommitBatch →
+/// Checkpoint with every I/O index failed in turn. The invariant is
+/// atomicity across crash-and-recover: a healthy reopen always
+/// succeeds (the base checkpoint is never at risk), sees either all of
+/// the batch or none of it — 62 or 60 publications, never 61 — sees
+/// all of it whenever CommitBatch returned OK, and computes a cube
+/// that is cell-exact against the matching reference.
+class WalFaultSweepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_path_ = files_.NextPath("wal-sweep-db");
+    base_xml_ = BuildCorpusXml();
+    ComputeReference(/*with_batch=*/false, &reference_base_);
+    ComputeReference(/*with_batch=*/true, &reference_full_);
+  }
+
+  void TearDown() override { CleanSlate(); }
+
+  void CleanSlate() {
+    Env::Default()->RemoveFile(db_path_).IgnoreError();
+    Env::Default()->RemoveFile(db_path_ + ".cat").IgnoreError();
+    WriteAheadLog::RemoveSegments(Env::Default(), db_path_).IgnoreError();
+  }
+
+  /// Reference cube from a pristine in-memory database loading the
+  /// same documents in the same order (so interned ValueIds line up).
+  void ComputeReference(bool with_batch,
+                        std::map<CuboidId, std::map<GroupKey, int64_t>>* out) {
+    auto db = Database::Open({});
+    ASSERT_TRUE(db.ok()) << db.status();
+    ASSERT_TRUE((*db)->LoadXmlString(base_xml_).ok());
+    if (with_batch) {
+      ASSERT_TRUE((*db)->LoadXmlString(kBatchDocA).ok());
+      ASSERT_TRUE((*db)->LoadXmlString(kBatchDocB).ok());
+    }
+    X3Engine engine(db->get());
+    auto exec = engine.Execute(kQuery, CubeAlgorithm::kTD);
+    ASSERT_TRUE(exec.ok()) << exec.status();
+    *out = FlattenCube(*exec);
+    ASSERT_FALSE(out->empty());
+  }
+
+  /// Opens a fresh database over `env` and makes the base corpus
+  /// durable with a checkpoint. Faults must be disarmed here: the swept
+  /// schedule starts at the batch phase.
+  Result<std::unique_ptr<Database>> OpenFresh(Env* env) {
+    DatabaseOptions options;
+    options.data_file = db_path_;
+    options.buffer_pool_pages = kPoolFrames;
+    options.env = env;
+    X3_ASSIGN_OR_RETURN(std::unique_ptr<Database> db, Database::Open(options));
+    X3_RETURN_IF_ERROR(db->LoadXmlString(base_xml_).status());
+    X3_RETURN_IF_ERROR(db->Checkpoint());
+    return db;
+  }
+
+  struct BatchOutcome {
+    /// CommitBatch returned OK: the batch is durable in the WAL and
+    /// recovery must surface it no matter what happens afterwards.
+    bool committed = false;
+    /// First error of the whole phase (OK = commit AND checkpoint ran
+    /// clean, i.e. the fault landed past the schedule's end).
+    Status status;
+  };
+
+  /// The swept phase: one transactional batch plus the checkpoint that
+  /// retires its WAL segments.
+  BatchOutcome RunBatchPhase(Database* db) {
+    BatchOutcome out;
+    auto run = [&]() -> Status {
+      X3_RETURN_IF_ERROR(db->BeginBatch());
+      for (const char* doc : {kBatchDocA, kBatchDocB}) {
+        Status s = db->LoadXmlString(doc).status();
+        if (!s.ok()) {
+          db->RollbackBatch().IgnoreError();
+          return s;
+        }
+      }
+      X3_RETURN_IF_ERROR(db->CommitBatch().status());
+      out.committed = true;
+      X3_RETURN_IF_ERROR(db->Checkpoint());
+      return Status::OK();
+    };
+    out.status = run();
+    return out;
+  }
+
+  /// Reopens with a healthy env and checks the atomicity invariants.
+  /// Returns the publication count seen.
+  size_t CheckRecovered(const BatchOutcome& outcome, const std::string& label,
+                        bool check_cube) {
+    DatabaseOptions options;
+    options.data_file = db_path_;
+    options.buffer_pool_pages = kPoolFrames;
+    auto reopened = Database::OpenExisting(options);
+    // The base corpus was checkpointed before the fault was armed, so
+    // recovery has a sound prefix to land on: reopen must succeed.
+    EXPECT_TRUE(reopened.ok())
+        << label << ": healthy reopen failed: " << reopened.status();
+    if (!reopened.ok()) return 0;
+
+    size_t count = (*reopened)->NodesWithTag("publication").size();
+    const bool has_batch = count == kNumPublications + kBatchDocs;
+    EXPECT_TRUE(count == kNumPublications || has_batch)
+        << label << ": partial batch visible after recovery (" << count
+        << " publications)";
+    if (outcome.committed) {
+      EXPECT_TRUE(has_batch)
+          << label << ": committed batch lost on recovery (" << count
+          << " publications)";
+    }
+
+    if (check_cube) {
+      X3Engine engine(reopened->get());
+      auto exec = engine.Execute(kQuery, CubeAlgorithm::kTD);
+      EXPECT_TRUE(exec.ok()) << label << ": " << exec.status();
+      if (exec.ok()) {
+        EXPECT_EQ(FlattenCube(*exec),
+                  has_batch ? reference_full_ : reference_base_)
+            << label << ": recovered cube has wrong cells";
+      }
+    }
+    return count;
+  }
+
+  TempFileManager files_;
+  std::string db_path_;
+  std::string base_xml_;
+  std::map<CuboidId, std::map<GroupKey, int64_t>> reference_base_;
+  std::map<CuboidId, std::map<GroupKey, int64_t>> reference_full_;
+};
+
+TEST_F(WalFaultSweepTest, BatchIngestIsAtomicUnderEveryFault) {
+  // Learn the batch phase's I/O schedule: Arm() resets the op counter,
+  // so indexes are relative to the phase start, not the base load.
+  FaultInjectionEnv counting(Env::Default());
+  CleanSlate();
+  uint64_t total_ops = 0;
+  {
+    auto db = OpenFresh(&counting);
+    ASSERT_TRUE(db.ok()) << db.status();
+    counting.Arm(FaultInjectionEnv::Options{});
+    BatchOutcome outcome = RunBatchPhase(db->get());
+    ASSERT_TRUE(outcome.status.ok()) << outcome.status;
+    total_ops = counting.ops_seen();
+    // A clean commit + checkpoint retires every WAL segment.
+    EXPECT_FALSE(
+        Env::Default()->FileExists(WriteAheadLog::SegmentPath(db_path_, 1)));
+  }
+  ASSERT_GT(total_ops, 4u) << "batch phase too small to sweep";
+  std::cout << "[ SCHEDULE ] " << total_ops << " batch-phase I/O ops"
+            << std::endl;
+
+  // Replayability: the batch phase sees the identical schedule on a
+  // second clean run.
+  {
+    CleanSlate();
+    auto db = OpenFresh(&counting);
+    ASSERT_TRUE(db.ok()) << db.status();
+    counting.Arm(FaultInjectionEnv::Options{});
+    BatchOutcome outcome = RunBatchPhase(db->get());
+    ASSERT_TRUE(outcome.status.ok()) << outcome.status;
+    ASSERT_EQ(counting.ops_seen(), total_ops);
+    CheckRecovered(outcome, "clean run", /*check_cube=*/true);
+  }
+
+  // Exhaustive sweep: every batch-phase op index × every fault kind,
+  // including the crash kind (after it fires, every later operation in
+  // the iteration fails — the close runs against the "dead machine",
+  // so nothing after the crash point can leak to disk).
+  constexpr FaultKind kKinds[] = {FaultKind::kEIO, FaultKind::kENOSPC,
+                                  FaultKind::kShortWrite,
+                                  FaultKind::kSyncFailure,
+                                  FaultKind::kTornWriteCrash};
+  FaultInjectionEnv fault(Env::Default());
+  for (uint64_t index = 0; index < total_ops; ++index) {
+    for (FaultKind kind : kKinds) {
+      CleanSlate();
+      auto db = OpenFresh(&fault);
+      ASSERT_TRUE(db.ok()) << db.status();
+
+      FaultInjectionEnv::Options opts;
+      opts.fail_op_index = index;
+      opts.kind = kind;
+      opts.seed = index;
+      fault.Arm(opts);
+      const std::string label = "batch op " + std::to_string(index) + " (" +
+                                FaultKindToString(kind) + ")";
+      BatchOutcome outcome = RunBatchPhase(db->get());
+      if (!outcome.status.ok()) {
+        EXPECT_GE(fault.faults_fired(), 1u)
+            << label << ": batch failed without an injected fault: "
+            << outcome.status.ToString();
+      }
+      // Close while still armed: for the crash kind this models the
+      // process dying — the destructor's I/O all fails.
+      db->reset();
+      fault.Arm(FaultInjectionEnv::Options{});
+
+      size_t count = CheckRecovered(outcome, label, /*check_cube=*/true);
+      if (::testing::Test::HasFatalFailure()) return;
+
+      // Recovery is idempotent: a second reopen (which re-runs WAL
+      // replay / tail-page repair on whatever the first one wrote)
+      // sees the same database.
+      DatabaseOptions options;
+      options.data_file = db_path_;
+      options.buffer_pool_pages = kPoolFrames;
+      auto again = Database::OpenExisting(options);
+      ASSERT_TRUE(again.ok()) << label << ": second reopen failed: "
+                              << again.status();
+      EXPECT_EQ((*again)->NodesWithTag("publication").size(), count)
+          << label << ": recovery not idempotent";
+    }
   }
 }
 

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -13,6 +15,7 @@
 #include "schema/dtd_parser.h"
 #include "server/x3_server.h"
 #include "util/random.h"
+#include "x3/engine.h"
 
 namespace x3 {
 namespace {
@@ -402,6 +405,295 @@ TEST(ServerConformanceTest, TicketWaitConsumesOnce) {
   auto again = ticket->Wait();
   ASSERT_FALSE(again.ok());
   EXPECT_EQ(again.status().code(), StatusCode::kInternal);
+}
+
+// --- Write/read interleaving: the transactional write lane ---
+//
+// These tests own a private database (the shared Corpus above is
+// immutable — its reference cubes would be invalidated by writes).
+
+constexpr const char* kWriteQuery = R"(
+for $b in doc("pubs.xml")//publication,
+    $n in $b/author/name,
+    $y in $b/year
+X^3 $b by $n (LND), $y (LND)
+return COUNT($b))";
+
+constexpr size_t kWriteBasePubs = 30;
+constexpr size_t kPubsPerBatch = 2;
+
+std::string WritePubDoc(size_t i) {
+  return "<database><publication><author><name>author" +
+         std::to_string(i % 7) + "</name></author><year>" +
+         std::to_string(2000 + i % 5) + "</year></publication></database>";
+}
+
+std::string WriteBaseCorpus() {
+  std::string xml = "<database>";
+  for (size_t i = 0; i < kWriteBasePubs; ++i) {
+    xml += "<publication><author><name>author";
+    xml += std::to_string(i % 7);
+    xml += "</name></author><year>";
+    xml += std::to_string(2000 + i % 5);
+    xml += "</year></publication>";
+  }
+  xml += "</database>";
+  return xml;
+}
+
+ServerRequest WriteShapeRequest(std::optional<CuboidId> target = std::nullopt,
+                                bool use_cache = true) {
+  ServerRequest request;
+  request.query_text = kWriteQuery;
+  request.target = target;
+  request.use_cache = use_cache;
+  return request;
+}
+
+/// Sum of counts in one cuboid's cells. Every publication binds exactly
+/// one author and one year, so in a consistent snapshot this equals the
+/// fact count for EVERY cuboid — which makes a torn batch (some cuboids
+/// pre-batch, some post-batch) detectable inside a single answer.
+int64_t CuboidTotal(const CellMap& cells) {
+  int64_t total = 0;
+  for (const auto& [key, state] : cells) total += state.count;
+  return total;
+}
+
+/// Checks intra-answer consistency and returns the answer's fact count
+/// (-1 and an error string when the cuboid totals disagree).
+int64_t ConsistentTotal(const ServerAnswer& answer, std::string* error) {
+  int64_t total = -1;
+  for (const auto& [cuboid, cells] : answer.cuboids) {
+    int64_t t = CuboidTotal(cells);
+    if (total == -1) total = t;
+    if (t != total) {
+      *error = "cuboid " + std::to_string(cuboid) + " totals " +
+               std::to_string(t) + " but a sibling totals " +
+               std::to_string(total) + " — reader saw a torn batch";
+      return -1;
+    }
+  }
+  return total;
+}
+
+/// Full-cube answer must be cell-exact against a reference computed
+/// directly from the database (only valid while no write is in flight).
+void ExpectAnswerMatchesDatabase(Database* db, const ServerAnswer& answer,
+                                 const std::string& context) {
+  X3Engine engine(db);
+  auto exec = engine.Execute(kWriteQuery, CubeAlgorithm::kReference);
+  ASSERT_TRUE(exec.ok()) << context << ": " << exec.status();
+  for (const auto& [cuboid, cells] : answer.cuboids) {
+    EXPECT_TRUE(CellsEqual(cells, exec->cube.cuboid(cuboid)))
+        << context << ": cuboid " << cuboid << " diverges from the database";
+  }
+}
+
+class ServerWriteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open({});
+    ASSERT_TRUE(db.ok()) << db.status();
+    db_ = std::move(*db);
+    ASSERT_TRUE(db_->LoadXmlString(WriteBaseCorpus()).ok());
+  }
+
+  std::vector<std::string> MakeBatch(size_t round) {
+    std::vector<std::string> docs;
+    for (size_t d = 0; d < kPubsPerBatch; ++d) {
+      docs.push_back(WritePubDoc(kWriteBasePubs + round * kPubsPerBatch + d));
+    }
+    return docs;
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(ServerWriteTest, CommitsAreAtomicallyVisibleToConcurrentReaders) {
+  X3ServerOptions options;
+  options.num_threads = 4;
+  X3Server server(db_.get(), options);
+
+  // Warm the shape so readers race the write lane, not the first build.
+  auto warm = server.Execute(WriteShapeRequest());
+  ASSERT_TRUE(warm.ok()) << warm.status();
+
+  constexpr size_t kReaders = 3;
+  constexpr size_t kBatches = 5;
+  std::atomic<bool> done{false};
+  struct ReaderLog {
+    std::vector<std::string> errors;
+    size_t answers = 0;
+  };
+  std::vector<ReaderLog> logs(kReaders);
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      ReaderLog& log = logs[r];
+      int64_t last_total = -1;
+      bool use_cache = r % 2 == 0;
+      while (!done.load(std::memory_order_acquire)) {
+        auto answer = server.Execute(WriteShapeRequest(std::nullopt,
+                                                       use_cache));
+        if (!answer.ok()) {
+          log.errors.push_back("query failed: " + answer.status().ToString());
+          return;
+        }
+        ++log.answers;
+        std::string error;
+        int64_t total = ConsistentTotal(*answer, &error);
+        if (total < 0) {
+          log.errors.push_back(error);
+          return;
+        }
+        // All-or-nothing: the visible fact count is always base plus a
+        // whole number of batches.
+        int64_t over_base = total - static_cast<int64_t>(kWriteBasePubs);
+        if (over_base < 0 ||
+            over_base > static_cast<int64_t>(kBatches * kPubsPerBatch) ||
+            over_base % static_cast<int64_t>(kPubsPerBatch) != 0) {
+          log.errors.push_back("partial batch visible: total " +
+                               std::to_string(total));
+          return;
+        }
+        // Snapshots are swapped, never rolled back: totals per reader
+        // are monotone.
+        if (total < last_total) {
+          log.errors.push_back("total went backwards: " +
+                               std::to_string(last_total) + " then " +
+                               std::to_string(total));
+          return;
+        }
+        last_total = total;
+      }
+    });
+  }
+
+  uint64_t last_lsn = 0;
+  for (size_t round = 0; round < kBatches; ++round) {
+    auto result = server.CommitDocuments(MakeBatch(round));
+    ASSERT_TRUE(result.ok()) << "batch " << round << ": " << result.status();
+    EXPECT_EQ(result->documents, kPubsPerBatch) << "batch " << round;
+    EXPECT_GT(result->commit_lsn, last_lsn) << "batch " << round;
+    last_lsn = result->commit_lsn;
+    EXPECT_EQ(result->shapes_updated, 1u) << "batch " << round;
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  size_t total_answers = 0;
+  for (size_t r = 0; r < kReaders; ++r) {
+    for (const std::string& error : logs[r].errors) {
+      ADD_FAILURE() << "reader " << r << ": " << error;
+    }
+    total_answers += logs[r].answers;
+  }
+  EXPECT_GT(total_answers, 0u) << "no reader completed a single answer";
+
+  // Quiescent: the final state is every batch, exactly.
+  auto final_answer = server.Execute(WriteShapeRequest());
+  ASSERT_TRUE(final_answer.ok());
+  std::string error;
+  EXPECT_EQ(ConsistentTotal(*final_answer, &error),
+            static_cast<int64_t>(kWriteBasePubs + kBatches * kPubsPerBatch))
+      << error;
+  ExpectAnswerMatchesDatabase(db_.get(), *final_answer, "final");
+  EXPECT_EQ(server.budget()->used(), 0u);
+  EXPECT_TRUE(server.Checkpoint().ok());
+}
+
+TEST_F(ServerWriteTest, PostCommitQueriesSeeTheBatchExactly) {
+  X3Server server(db_.get(), {});
+  auto warm = server.Execute(WriteShapeRequest());
+  ASSERT_TRUE(warm.ok()) << warm.status();
+
+  for (size_t round = 0; round < 3; ++round) {
+    auto result = server.CommitDocuments(MakeBatch(round));
+    ASSERT_TRUE(result.ok()) << result.status();
+    // The warm shape's views were maintained, not dropped: the write
+    // either patched them or recomputed them, but did something.
+    EXPECT_GE(result->delta.views_patched + result->delta.views_recomputed,
+              1u)
+        << "round " << round;
+
+    auto answer = server.Execute(WriteShapeRequest());
+    ASSERT_TRUE(answer.ok()) << answer.status();
+    std::string error;
+    EXPECT_EQ(ConsistentTotal(*answer, &error),
+              static_cast<int64_t>(kWriteBasePubs +
+                                   (round + 1) * kPubsPerBatch))
+        << "round " << round << " " << error;
+    ExpectAnswerMatchesDatabase(db_.get(), *answer,
+                                "round " + std::to_string(round));
+  }
+  EXPECT_EQ(server.budget()->used(), 0u);
+}
+
+TEST_F(ServerWriteTest, CacheStaysCoherentAcrossSnapshotSwaps) {
+  X3Server server(db_.get(), {});
+
+  // Fill the cache and prove it serves hits.
+  auto probe = server.Execute(WriteShapeRequest());
+  ASSERT_TRUE(probe.ok());
+  CuboidId finest = 0;
+  {
+    auto cold = server.Execute(WriteShapeRequest(finest));
+    ASSERT_TRUE(cold.ok());
+    auto hit = server.Execute(WriteShapeRequest(finest));
+    ASSERT_TRUE(hit.ok());
+    EXPECT_FALSE(hit->computed) << "second identical query must hit";
+  }
+
+  // The swap must retire every cached view of the old snapshot: a
+  // post-commit query answered from cache with pre-batch cells is the
+  // staleness bug this test exists for.
+  auto result = server.CommitDocuments(MakeBatch(0));
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto after = server.Execute(WriteShapeRequest(finest));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(CuboidTotal(after->cuboids.at(0).second),
+            static_cast<int64_t>(kWriteBasePubs + kPubsPerBatch))
+      << (after->computed ? "(computed)" : "(served from cache)");
+
+  // And the maintained views keep serving hits — exactly.
+  auto again = server.Execute(WriteShapeRequest(finest));
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->computed)
+      << "maintained views must be cached after the swap";
+  auto full = server.Execute(WriteShapeRequest());
+  ASSERT_TRUE(full.ok());
+  ExpectAnswerMatchesDatabase(db_.get(), *full, "after swap");
+  EXPECT_EQ(server.budget()->used(), 0u);
+}
+
+TEST_F(ServerWriteTest, FailedDocumentRollsBackWholeBatch) {
+  X3Server server(db_.get(), {});
+  auto warm = server.Execute(WriteShapeRequest());
+  ASSERT_TRUE(warm.ok());
+
+  auto bad = server.CommitDocuments(
+      {WritePubDoc(kWriteBasePubs), "<publication><unclosed>"});
+  ASSERT_FALSE(bad.ok()) << "malformed document must fail the batch";
+
+  // Nothing of the batch is visible — not even the valid document.
+  auto answer = server.Execute(WriteShapeRequest());
+  ASSERT_TRUE(answer.ok());
+  std::string error;
+  EXPECT_EQ(ConsistentTotal(*answer, &error),
+            static_cast<int64_t>(kWriteBasePubs))
+      << error;
+
+  // The lane is not wedged: a clean batch right after commits fine.
+  auto good = server.CommitDocuments(MakeBatch(0));
+  ASSERT_TRUE(good.ok()) << good.status();
+  auto after = server.Execute(WriteShapeRequest());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(ConsistentTotal(*after, &error),
+            static_cast<int64_t>(kWriteBasePubs + kPubsPerBatch))
+      << error;
+  ExpectAnswerMatchesDatabase(db_.get(), *after, "after rollback");
+  EXPECT_EQ(server.budget()->used(), 0u);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include "storage/temp_file.h"
 #include "tests/test_helpers.h"
+#include "util/fault_env.h"
 #include "util/random.h"
 #include "xdb/database.h"
 #include "xdb/structural_join.h"
@@ -357,6 +358,25 @@ class DatabaseRecoveryTest : public ::testing::Test {
     return options;
   }
 
+  /// Like CheckpointedDb but with more than one page of records (full
+  /// frozen pages + a partially filled tail page).
+  DatabaseOptions MultiPageCheckpointedDb() {
+    DatabaseOptions options;
+    options.data_file = temp_.NextPath("recovery-multi-db");
+    auto db = Database::Open(options);
+    EXPECT_TRUE(db.ok());
+    std::string xml = "<r>";
+    for (int i = 0; i < 450; ++i) xml += "<x/>";
+    xml += "</r>";
+    EXPECT_TRUE((*db)->LoadXmlString(xml).ok());
+    multi_page_nodes_ = (*db)->node_count();
+    EXPECT_GT(multi_page_nodes_, NodeStore::kRecordsPerPage);
+    EXPECT_NE(multi_page_nodes_ % NodeStore::kRecordsPerPage, 0u);
+    EXPECT_TRUE((*db)->Checkpoint().ok());
+    catalog_path_ = options.data_file + ".cat";
+    return options;
+  }
+
   void TearDown() override {
     if (!catalog_path_.empty()) {
       Env::Default()->RemoveFile(catalog_path_).IgnoreError();
@@ -376,10 +396,27 @@ class DatabaseRecoveryTest : public ::testing::Test {
 
   TempFileManager temp_;
   std::string catalog_path_;
+  NodeId multi_page_nodes_ = 0;
 };
 
-TEST_F(DatabaseRecoveryTest, BitFlippedPageIsCorruptionOnReopen) {
+TEST_F(DatabaseRecoveryTest, BitFlippedTailPageHealsOnReopen) {
+  // Figure 1 fits in the (single, partially filled) tail page, whose
+  // records the checkpoint journals into the catalog — a bit flip
+  // there is repaired from the journal instead of being fatal.
   DatabaseOptions options = CheckpointedDb();
+  FlipBit(options.data_file, 100);
+  auto reopened = Database::OpenExisting(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_TRUE((*reopened)->recovery_stats().tail_page_rebuilt);
+  EXPECT_EQ((*reopened)->NodesWithTag("publication").size(), 4u);
+  EXPECT_EQ((*reopened)->NodesWithTag("author").size(), 5u);
+  EXPECT_TRUE((*reopened)->ReconstructSubtree(0).ok());
+}
+
+TEST_F(DatabaseRecoveryTest, BitFlippedFrozenPageIsCorruptionOnReopen) {
+  // Full pages are append-frozen and NOT journaled: damage there is
+  // unrepairable and must surface as Corruption naming the page.
+  DatabaseOptions options = MultiPageCheckpointedDb();
   FlipBit(options.data_file, 100);
   auto reopened = Database::OpenExisting(options);
   ASSERT_FALSE(reopened.ok());
@@ -388,18 +425,32 @@ TEST_F(DatabaseRecoveryTest, BitFlippedPageIsCorruptionOnReopen) {
       << reopened.status().ToString();
 }
 
-TEST_F(DatabaseRecoveryTest, TruncatedPageFileIsCorruptionOnReopen) {
-  DatabaseOptions options = CheckpointedDb();
-  // Drop the last page cleanly (a page-aligned truncation passes the
-  // size check and every surviving checksum; only the catalog's node
-  // count exposes the loss).
-  auto size = Env::Default()->FileSize(options.data_file);
-  ASSERT_TRUE(size.ok());
-  ASSERT_GE(*size, kDiskPageSize);
+TEST_F(DatabaseRecoveryTest, DroppedTailPageHealsOnReopen) {
+  // A page-aligned truncation that removes exactly the tail page is
+  // rebuilt from the catalog journal.
+  DatabaseOptions options = MultiPageCheckpointedDb();
   std::string contents;
   ASSERT_TRUE(
       ReadFileToString(Env::Default(), options.data_file, &contents).ok());
+  ASSERT_GE(contents.size(), 2 * kDiskPageSize);
   contents.resize(contents.size() - kDiskPageSize);
+  ASSERT_TRUE(
+      WriteStringToFile(Env::Default(), options.data_file, contents).ok());
+  auto reopened = Database::OpenExisting(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_TRUE((*reopened)->recovery_stats().tail_page_rebuilt);
+  EXPECT_EQ((*reopened)->node_count(), multi_page_nodes_);
+}
+
+TEST_F(DatabaseRecoveryTest, TruncatedPageFileIsCorruptionOnReopen) {
+  // Losing a frozen full page is beyond repair: only the tail page is
+  // journaled, so the size check must reject the file.
+  DatabaseOptions options = MultiPageCheckpointedDb();
+  std::string contents;
+  ASSERT_TRUE(
+      ReadFileToString(Env::Default(), options.data_file, &contents).ok());
+  ASSERT_GE(contents.size(), 2 * kDiskPageSize);
+  contents.resize(contents.size() - 2 * kDiskPageSize);
   ASSERT_TRUE(
       WriteStringToFile(Env::Default(), options.data_file, contents).ok());
   auto reopened = Database::OpenExisting(options);
@@ -426,6 +477,226 @@ TEST_F(DatabaseRecoveryTest, UndamagedDbReopensClean) {
   auto reopened = Database::OpenExisting(options);
   ASSERT_TRUE(reopened.ok()) << reopened.status();
   EXPECT_EQ((*reopened)->NodesWithTag("publication").size(), 4u);
+}
+
+// --- Transactional ingest (WAL batches) ---
+
+class DatabaseBatchTest : public ::testing::Test {
+ protected:
+  DatabaseOptions Options() {
+    DatabaseOptions options;
+    options.data_file = temp_.NextPath("batch-db");
+    data_file_ = options.data_file;
+    return options;
+  }
+
+  void TearDown() override {
+    if (!data_file_.empty()) {
+      Env::Default()->RemoveFile(data_file_ + ".cat").IgnoreError();
+      WriteAheadLog::RemoveSegments(Env::Default(), data_file_)
+          .IgnoreError();
+    }
+  }
+
+  TempFileManager temp_;
+  std::string data_file_;
+};
+
+TEST_F(DatabaseBatchTest, CommitMakesBatchDurableWithoutCheckpoint) {
+  DatabaseOptions options = Options();
+  {
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Checkpoint().ok());  // empty durable baseline
+    ASSERT_TRUE((*db)->BeginBatch().ok());
+    ASSERT_TRUE((*db)->LoadXmlString(testutil::kFigure1Xml).ok());
+    ASSERT_TRUE((*db)->LoadXmlString("<extra><leaf/></extra>").ok());
+    auto lsn = (*db)->CommitBatch();
+    ASSERT_TRUE(lsn.ok()) << lsn.status();
+    EXPECT_GT(*lsn, 0u);
+    EXPECT_GT((*db)->last_commit_lsn(), (*db)->durable_lsn());
+    // No checkpoint: the batch lives only in the WAL.
+  }
+  auto reopened = Database::OpenExisting(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->recovery_stats().replayed_txns, 1u);
+  EXPECT_EQ((*reopened)->recovery_stats().replayed_documents, 2u);
+  EXPECT_EQ((*reopened)->document_roots().size(), 2u);
+  EXPECT_EQ((*reopened)->NodesWithTag("publication").size(), 4u);
+  EXPECT_EQ((*reopened)->NodesWithTag("leaf").size(), 1u);
+  // begin + two data records + commit = LSNs 1..4.
+  EXPECT_EQ((*reopened)->last_commit_lsn(), 4u);
+  EXPECT_GT((*reopened)->last_commit_lsn(), (*reopened)->durable_lsn());
+}
+
+TEST_F(DatabaseBatchTest, ReplayIsIdempotentAcrossReopens) {
+  DatabaseOptions options = Options();
+  {
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+    ASSERT_TRUE((*db)->BeginBatch().ok());
+    ASSERT_TRUE((*db)->LoadXmlString(testutil::kFigure1Xml).ok());
+    ASSERT_TRUE((*db)->CommitBatch().ok());
+  }
+  NodeId nodes_first = 0;
+  {
+    auto db = Database::OpenExisting(options);
+    ASSERT_TRUE(db.ok()) << db.status();
+    nodes_first = (*db)->node_count();
+    EXPECT_EQ((*db)->recovery_stats().replayed_txns, 1u);
+  }
+  auto db = Database::OpenExisting(options);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ((*db)->recovery_stats().replayed_txns, 1u);
+  EXPECT_EQ((*db)->node_count(), nodes_first);
+  EXPECT_EQ((*db)->NodesWithTag("publication").size(), 4u);
+}
+
+TEST_F(DatabaseBatchTest, CheckpointRaisesDurableHorizonAndDropsWal) {
+  DatabaseOptions options = Options();
+  {
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->BeginBatch().ok());
+    ASSERT_TRUE((*db)->LoadXmlString(testutil::kFigure1Xml).ok());
+    ASSERT_TRUE((*db)->CommitBatch().ok());
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+    EXPECT_EQ((*db)->durable_lsn(), (*db)->last_commit_lsn());
+    EXPECT_TRUE((*db)->wal()->SegmentPaths().empty());
+  }
+  auto reopened = Database::OpenExisting(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->recovery_stats().replayed_txns, 0u);
+  EXPECT_EQ((*reopened)->NodesWithTag("publication").size(), 4u);
+  // LSNs stay monotonic across the checkpoint-emptied log.
+  EXPECT_GT((*reopened)->wal()->next_lsn(), (*reopened)->durable_lsn());
+}
+
+TEST_F(DatabaseBatchTest, RollbackRestoresEveryStructure) {
+  auto db = Database::Open(Options());
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->LoadXmlString(testutil::kFigure1Xml).ok());
+  NodeId nodes = (*db)->node_count();
+  size_t tags = (*db)->tags().size();
+  size_t values = (*db)->values().size();
+  size_t roots = (*db)->document_roots().size();
+  size_t pubs = (*db)->NodesWithTag("publication").size();
+
+  ASSERT_TRUE((*db)->BeginBatch().ok());
+  // Reuses existing tags (publication) and introduces new ones.
+  ASSERT_TRUE(
+      (*db)->LoadXmlString("<bundle><publication/><brandnew/></bundle>")
+          .ok());
+  ASSERT_TRUE((*db)->RollbackBatch().ok());
+
+  EXPECT_EQ((*db)->node_count(), nodes);
+  EXPECT_EQ((*db)->tags().size(), tags);
+  EXPECT_EQ((*db)->values().size(), values);
+  EXPECT_EQ((*db)->document_roots().size(), roots);
+  EXPECT_EQ((*db)->NodesWithTag("publication").size(), pubs);
+  EXPECT_TRUE((*db)->NodesWithTag("brandnew").empty());
+  EXPECT_TRUE((*db)->NodesWithTag("bundle").empty());
+
+  // The database is fully usable afterwards.
+  ASSERT_TRUE((*db)->BeginBatch().ok());
+  ASSERT_TRUE((*db)->LoadXmlString("<after/>").ok());
+  ASSERT_TRUE((*db)->CommitBatch().ok());
+  EXPECT_EQ((*db)->NodesWithTag("after").size(), 1u);
+}
+
+TEST_F(DatabaseBatchTest, BatchProtocolErrors) {
+  auto db = Database::Open(Options());
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->CommitBatch().status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ((*db)->RollbackBatch().code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE((*db)->BeginBatch().ok());
+  EXPECT_EQ((*db)->BeginBatch().code(), StatusCode::kInvalidArgument);
+  // Checkpoint mid-batch is refused (it would have to either persist
+  // or silently drop the uncommitted half).
+  EXPECT_EQ((*db)->Checkpoint().code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE((*db)->RollbackBatch().ok());
+  EXPECT_TRUE((*db)->Checkpoint().ok());
+}
+
+TEST_F(DatabaseBatchTest, FailedCommitRollsBackMemoryAndReopenIsExact) {
+  // Crash the WAL commit write partway (torn write): this process's
+  // memory state rolls back, and a reopen recovers exactly the
+  // committed prefix — the first batch, not half of the second.
+  FaultInjectionEnv fault(Env::Default());
+  DatabaseOptions options = Options();
+  options.env = &fault;
+  {
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+    ASSERT_TRUE((*db)->BeginBatch().ok());
+    ASSERT_TRUE((*db)->LoadXmlString(testutil::kFigure1Xml).ok());
+    ASSERT_TRUE((*db)->CommitBatch().ok());
+
+    ASSERT_TRUE((*db)->BeginBatch().ok());
+    ASSERT_TRUE((*db)->LoadXmlString("<doomed><x/><y/></doomed>").ok());
+    NodeId committed_nodes_hwm = (*db)->node_count();
+    FaultInjectionEnv::Options fo;
+    fo.kind = FaultKind::kTornWriteCrash;
+    fo.fail_op_index = 0;  // Arm resets the count; the next op (the
+                           // commit's WriteAt) tears
+    fault.Arm(fo);
+    auto lsn = (*db)->CommitBatch();
+    ASSERT_FALSE(lsn.ok());
+    // Memory rolled back past the doomed batch.
+    EXPECT_LT((*db)->node_count(), committed_nodes_hwm);
+    EXPECT_TRUE((*db)->NodesWithTag("doomed").empty());
+    EXPECT_EQ((*db)->NodesWithTag("publication").size(), 4u);
+    // The WAL is poisoned until checkpoint/reopen.
+    EXPECT_EQ((*db)->BeginBatch().code(), StatusCode::kInvalidArgument);
+    fault.Arm(FaultInjectionEnv::Options());  // heal the "machine"
+  }
+  auto reopened = Database::OpenExisting(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  // Exactly the committed prefix: batch 1 replayed; never a partial
+  // "doomed" batch. (A torn prefix may cover the whole commit buffer,
+  // in which case the doomed batch is legitimately durable — all or
+  // nothing either way.)
+  EXPECT_EQ((*reopened)->NodesWithTag("publication").size(), 4u);
+  size_t doomed = (*reopened)->NodesWithTag("doomed").size();
+  if (doomed != 0) {
+    EXPECT_EQ((*reopened)->NodesWithTag("x").size(), 1u);
+    EXPECT_EQ((*reopened)->NodesWithTag("y").size(), 1u);
+  } else {
+    EXPECT_TRUE((*reopened)->NodesWithTag("x").empty());
+    EXPECT_TRUE((*reopened)->NodesWithTag("y").empty());
+  }
+}
+
+TEST_F(DatabaseBatchTest, CheckpointHealsPoisonedWal) {
+  FaultInjectionEnv fault(Env::Default());
+  DatabaseOptions options = Options();
+  options.env = &fault;
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->BeginBatch().ok());
+  ASSERT_TRUE((*db)->LoadXmlString("<first/>").ok());
+  ASSERT_TRUE((*db)->CommitBatch().ok());  // opens the WAL segment
+  ASSERT_TRUE((*db)->BeginBatch().ok());
+  ASSERT_TRUE((*db)->LoadXmlString("<gone/>").ok());
+  FaultInjectionEnv::Options fo;
+  fo.kind = FaultKind::kSyncFailure;
+  fo.fail_op_index = 1;  // the commit's Sync (op 0 is its WriteAt)
+  fault.Arm(fo);
+  ASSERT_FALSE((*db)->CommitBatch().ok());
+  fault.Arm(FaultInjectionEnv::Options());  // disarm
+  EXPECT_EQ((*db)->BeginBatch().code(), StatusCode::kInvalidArgument);
+  // A checkpoint makes the rolled-back state durable, deletes the
+  // unknown WAL tail, and revives the write path.
+  ASSERT_TRUE((*db)->Checkpoint().ok());
+  ASSERT_TRUE((*db)->BeginBatch().ok());
+  ASSERT_TRUE((*db)->LoadXmlString("<revived/>").ok());
+  ASSERT_TRUE((*db)->CommitBatch().ok());
+  EXPECT_EQ((*db)->NodesWithTag("first").size(), 1u);
+  EXPECT_EQ((*db)->NodesWithTag("revived").size(), 1u);
+  EXPECT_TRUE((*db)->NodesWithTag("gone").empty());
 }
 
 // --- Structural join ---
