@@ -7,12 +7,21 @@
 // cuboid (or the full cube), algorithm (safe and unsafe variants),
 // iceberg threshold — paced to a target aggregate QPS, waiting for each
 // answer before issuing the next (closed loop). When the run drains,
-// the driver reports p50/p99 latency interpolated from the metric
+// the driver reports p50/p95/p99 latency interpolated from the metric
 // registry's x3_server_query_latency_seconds histogram and cache hit
 // rates from the x3_server_* counters, as one JSON object on stdout.
 //
+// Observability artifacts (the statusz/query-log half of the
+// harness): --query-log-out dumps the server's per-query JSONL log,
+// --statusz-out dumps a Statusz() JSON snapshot taken right after the
+// run drained, --slow-ms arms the slow-query lane, and --stall-ms
+// injects ONE deliberately stalled query (ServerRequest::
+// debug_hold_seconds) with the watchdog armed to flag it — the
+// end-to-end fixture scripts/check_observability.py validates.
+//
 // Flags (all optional): --clients=N --qps=Q --queries=N --seed=S
-// --threads=N --cache-kb=N --trees=N --articles=N
+// --threads=N --cache-kb=N --trees=N --articles=N --slow-ms=N
+// --stall-ms=N --watchdog-ms=N --statusz-out=PATH --query-log-out=PATH
 
 #include <chrono>
 #include <cmath>
@@ -31,6 +40,7 @@
 #include "gen/workload.h"
 #include "schema/dtd_parser.h"
 #include "server/x3_server.h"
+#include "util/env.h"
 #include "util/metrics.h"
 #include "util/random.h"
 
@@ -45,6 +55,11 @@ struct Flags {
   size_t cache_kb = 256;
   size_t trees = 300;
   size_t articles = 400;
+  double slow_ms = 0;      // slow-query lane threshold; 0 = disabled
+  double stall_ms = 0;     // inject one stalled query of this length
+  double watchdog_ms = 0;  // watchdog tick; 0 = derived from stall_ms
+  std::string statusz_out;    // write a Statusz() JSON snapshot here
+  std::string query_log_out;  // write the query log JSONL here
 };
 
 uint64_t ParseU64(const char* s) {
@@ -67,39 +82,25 @@ Flags ParseFlags(int argc, char** argv) {
     else if (key == "--cache-kb") flags.cache_kb = ParseU64(value);
     else if (key == "--trees") flags.trees = ParseU64(value);
     else if (key == "--articles") flags.articles = ParseU64(value);
+    else if (key == "--slow-ms") flags.slow_ms = std::strtod(value, nullptr);
+    else if (key == "--stall-ms") flags.stall_ms = std::strtod(value, nullptr);
+    else if (key == "--watchdog-ms") {
+      flags.watchdog_ms = std::strtod(value, nullptr);
+    } else if (key == "--statusz-out") {
+      flags.statusz_out = value;
+    } else if (key == "--query-log-out") {
+      flags.query_log_out = value;
+    }
   }
   return flags;
 }
 
 struct Tenant {
+  std::string name;
   x3::CubeQuery query;
   x3::LatticeProperties properties;
   uint64_t num_cuboids = 0;
 };
-
-/// Linearly interpolated quantile from the exponential-bucket latency
-/// histogram (the standard Prometheus histogram_quantile estimate).
-double QuantileSeconds(const x3::Histogram& hist, double q) {
-  uint64_t total = hist.count();
-  if (total == 0) return 0;
-  double rank = q * static_cast<double>(total);
-  uint64_t below = 0;
-  for (size_t i = 0; i < x3::Histogram::kNumBuckets; ++i) {
-    uint64_t cumulative = hist.bucket_count(i);
-    if (static_cast<double>(cumulative) >= rank) {
-      double upper = x3::Histogram::BucketUpperBound(i);
-      double lower = i == 0 ? 0 : x3::Histogram::BucketUpperBound(i - 1);
-      if (!std::isfinite(upper)) return lower;
-      uint64_t in_bucket = cumulative - below;
-      if (in_bucket == 0) return upper;
-      double fraction =
-          (rank - static_cast<double>(below)) / static_cast<double>(in_bucket);
-      return lower + (upper - lower) * fraction;
-    }
-    below = cumulative;
-  }
-  return x3::Histogram::BucketUpperBound(x3::Histogram::kNumBuckets - 2);
-}
 
 }  // namespace
 
@@ -134,7 +135,9 @@ int main(int argc, char** argv) {
 
   x3::X3Engine engine(db->get());
   std::vector<Tenant> tenants(2);
+  tenants[0].name = "treebank";
   tenants[0].query = x3::MakeTreebankQuery(config);
+  tenants[1].name = "dblp";
   tenants[1].query = x3::MakeDblpQuery();
   const std::string dtds[2] = {treebank_gen.MatchingDtd(), x3::DblpDtd()};
   const std::string fact_tags[2] = {x3::TreebankRootTag(), "article"};
@@ -153,6 +156,19 @@ int main(int argc, char** argv) {
   x3::X3ServerOptions options;
   options.num_threads = flags.threads;
   options.cache_capacity_bytes = flags.cache_kb << 10;
+  // The validation scripts require one log record per submitted query,
+  // so the ring must hold the whole run (+ the injected stall).
+  options.query_log_capacity = flags.queries + 16;
+  options.slow_query_threshold_seconds = flags.slow_ms / 1e3;
+  if (flags.stall_ms > 0 || flags.watchdog_ms > 0) {
+    // Watchdog armed for deadline-less queries: the injected stall must
+    // cross the stuck threshold while healthy queries stay far below it.
+    double watchdog_ms =
+        flags.watchdog_ms > 0 ? flags.watchdog_ms : flags.stall_ms / 4;
+    options.watchdog_interval_seconds = watchdog_ms / 1e3;
+    options.stuck_after_seconds =
+        flags.stall_ms > 0 ? flags.stall_ms / 2 / 1e3 : 60.0;
+  }
   x3::X3Server server(db->get(), options);
 
   const x3::CubeAlgorithm kAlgorithms[] = {
@@ -163,6 +179,21 @@ int main(int argc, char** argv) {
 
   std::atomic<uint64_t> ok_count{0}, failed_count{0};
   auto wall_start = std::chrono::steady_clock::now();
+
+  // The deliberately stalled query: submitted before the clients so it
+  // is in flight while the healthy load runs; the watchdog must flag
+  // it (and nothing else).
+  std::shared_ptr<x3::X3Server::Ticket> stall_ticket;
+  if (flags.stall_ms > 0) {
+    x3::ServerRequest stall;
+    stall.query = tenants[0].query;
+    stall.properties = &tenants[0].properties;
+    stall.target = 0;
+    stall.tenant = "stall-probe";
+    stall.debug_hold_seconds = flags.stall_ms / 1e3;
+    stall_ticket = server.Submit(std::move(stall));
+  }
+
   std::vector<std::thread> clients;
   clients.reserve(flags.clients);
   for (size_t c = 0; c < flags.clients; ++c) {
@@ -188,6 +219,7 @@ int main(int argc, char** argv) {
         request.properties = &tenant.properties;
         request.algorithm = kAlgorithms[rng.Uniform(6)];
         request.min_count = rng.Bernoulli(0.2) ? 2 : 0;
+        request.tenant = tenant.name;
         if (!rng.Bernoulli(1.0 / 8)) {
           request.target =
               rng.Uniform(static_cast<uint32_t>(tenant.num_cuboids));
@@ -204,10 +236,39 @@ int main(int argc, char** argv) {
     });
   }
   for (auto& t : clients) t.join();
+  if (stall_ticket != nullptr) {
+    auto answer = stall_ticket->Wait();
+    if (answer.ok()) {
+      ok_count.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      failed_count.fetch_add(1, std::memory_order_relaxed);
+      std::fprintf(stderr, "stall probe failed: %s\n",
+                   answer.status().ToString().c_str());
+    }
+  }
   double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
+
+  // Observability artifacts, captured while the server is still alive.
+  if (!flags.statusz_out.empty()) {
+    x3::StatuszReport statusz = server.Statusz();
+    auto s = x3::WriteStringToFile(x3::Env::Default(), flags.statusz_out,
+                                   statusz.ToJson() + "\n");
+    if (!s.ok()) {
+      std::fprintf(stderr, "statusz dump: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!flags.query_log_out.empty()) {
+    auto s = server.query_log().WriteJsonl(x3::Env::Default(),
+                                           flags.query_log_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "query log dump: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
 
   // Reported numbers come from the metrics registry — the same wiring
   // the CI observability gate and a production scrape would read.
@@ -224,24 +285,28 @@ int main(int argc, char** argv) {
   uint64_t evictions =
       registry.GetCounter("x3_server_cache_evictions_total", "")->value();
   uint64_t queries = registry.GetCounter("x3_server_queries_total", "")->value();
+  uint64_t slow = registry.GetCounter("x3_server_slow_queries_total", "")->value();
+  uint64_t stuck = registry.GetCounter("x3_server_stuck_queries_total", "")->value();
   double served_total = static_cast<double>(served + misses);
   std::printf(
       "{\n"
       "  \"clients\": %zu, \"target_qps\": %.1f, \"queries\": %llu,\n"
       "  \"ok\": %llu, \"failed\": %llu,\n"
       "  \"wall_seconds\": %.3f, \"achieved_qps\": %.1f,\n"
-      "  \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"mean_ms\": %.3f,\n"
+      "  \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, \"mean_ms\": %.3f,\n"
       "  \"exact_hits\": %llu, \"rollup_answers\": %llu,\n"
       "  \"cache_misses\": %llu, \"cache_served\": %llu,\n"
-      "  \"cache_hit_rate\": %.3f, \"evictions\": %llu\n"
+      "  \"cache_hit_rate\": %.3f, \"evictions\": %llu,\n"
+      "  \"slow_queries\": %llu, \"stuck_queries\": %llu\n"
       "}\n",
       flags.clients, flags.qps,
       static_cast<unsigned long long>(queries),
       static_cast<unsigned long long>(ok_count.load()),
       static_cast<unsigned long long>(failed_count.load()), wall_seconds,
       static_cast<double>(queries) / wall_seconds,
-      QuantileSeconds(*latency, 0.50) * 1e3,
-      QuantileSeconds(*latency, 0.99) * 1e3,
+      latency->Quantile(0.50) * 1e3,
+      latency->Quantile(0.95) * 1e3,
+      latency->Quantile(0.99) * 1e3,
       latency->count() > 0
           ? latency->sum() / static_cast<double>(latency->count()) * 1e3
           : 0,
@@ -250,6 +315,8 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(misses),
       static_cast<unsigned long long>(served),
       served_total > 0 ? static_cast<double>(served) / served_total : 0,
-      static_cast<unsigned long long>(evictions));
+      static_cast<unsigned long long>(evictions),
+      static_cast<unsigned long long>(slow),
+      static_cast<unsigned long long>(stuck));
   return failed_count.load() == 0 ? 0 : 2;
 }

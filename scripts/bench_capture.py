@@ -39,6 +39,22 @@ Commands:
       path against the rebuild is asserted inside the binary at startup
       (X3_CHECK), so every recorded row compares provably identical
       cells.
+  capture-server  --build-dir DIR --out FILE --label TXT [--queries N]
+                  [--seed S] [--trees N] [--articles N]
+      Runs the bench_server serving-layer driver single-client (so the
+      cache outcome of the seeded query mix is deterministic) and
+      writes a BENCH_<n>.json snapshot of the machine-independent
+      serving counters: queries, cache exact hits / roll-ups / misses /
+      served, evictions, stuck queries. Wall-clock and latency
+      percentiles are recorded informationally.
+  check-server  --baseline FILE --build-dir DIR
+      CI regression gate for the serving layer: re-runs bench_server at
+      the scale recorded in the baseline and fails if any deterministic
+      counter (queries, ok, failed, exact_hits, rollup_answers,
+      cache_misses, cache_served, evictions, stuck_queries) changed —
+      the cache/admission/observability wiring must answer the same
+      seeded workload exactly the same way. Wall-clock and percentiles
+      are reported but not gated.
 """
 
 import argparse
@@ -294,6 +310,86 @@ def cmd_capture_delta(args):
               f"{s['spill_kb_saved']} KB")
 
 
+SERVER_BINARY = "bench_server"
+# Deterministic under --clients=1 with a fixed seed: gated exactly.
+SERVER_GATED = ["queries", "ok", "failed", "exact_hits", "rollup_answers",
+                "cache_misses", "cache_served", "evictions", "stuck_queries"]
+# Machine/timing dependent: recorded for the report, never gated.
+SERVER_INFORMATIONAL = ["wall_seconds", "achieved_qps", "p50_ms", "p95_ms",
+                        "p99_ms", "mean_ms", "cache_hit_rate",
+                        "slow_queries"]
+SERVER_DEFAULTS = {"queries": 200, "seed": 1, "trees": 200, "articles": 300}
+
+
+def run_server(build_dir, config):
+    """Runs the serving-layer driver once, returns its JSON report."""
+    binary = os.path.join(build_dir, "bench", SERVER_BINARY)
+    if not os.path.exists(binary):
+        sys.exit(f"bench binary not found: {binary} (build it first)")
+    cmd = [binary, "--clients=1", "--qps=0", "--threads=1",
+           f"--queries={config['queries']}", f"--seed={config['seed']}",
+           f"--trees={config['trees']}", f"--articles={config['articles']}"]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode not in (0, 2):
+        print(proc.stderr, file=sys.stderr)
+        sys.exit(f"{' '.join(cmd)} exited {proc.returncode}")
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        print(proc.stdout, file=sys.stderr)
+        sys.exit(f"unparseable bench_server output: {e}")
+
+
+def cmd_capture_server(args):
+    config = {"queries": args.queries, "seed": args.seed,
+              "trees": args.trees, "articles": args.articles}
+    print(f"  running {SERVER_BINARY} (single client, {config})...",
+          flush=True)
+    report = run_server(args.build_dir, config)
+    snapshot = {
+        "schema": 1,
+        "benchmark": "server_workload",
+        "config": config,
+        "label": args.label,
+        "commit": git_commit(),
+        "gated_counters": {k: report[k] for k in SERVER_GATED},
+        "informational": {k: report[k] for k in SERVER_INFORMATIONAL},
+    }
+    with open(args.out, "w") as f:
+        json.dump(snapshot, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.out}: {snapshot['gated_counters']}")
+
+
+def cmd_check_server(args):
+    with open(args.baseline) as f:
+        snapshot = json.load(f)
+    if snapshot.get("benchmark") != "server_workload":
+        sys.exit(f"{args.baseline} is not a capture-server snapshot")
+    config = snapshot["config"]
+    print(f"re-running {SERVER_BINARY} at {config} against "
+          f"'{snapshot['label']}' ({snapshot['commit']})")
+    report = run_server(args.build_dir, config)
+    failures = []
+    for counter in SERVER_GATED:
+        base = snapshot["gated_counters"].get(counter)
+        now = report.get(counter)
+        if now != base:
+            failures.append(f"{counter}: {now} != baseline {base}")
+    base_wall = snapshot["informational"]["wall_seconds"]
+    print(f"wall-clock (informational): baseline {base_wall:.3f} s, "
+          f"now {report['wall_seconds']:.3f} s; p99 "
+          f"{snapshot['informational']['p99_ms']:.3f} -> "
+          f"{report['p99_ms']:.3f} ms")
+    if failures:
+        print(f"REGRESSION: {len(failures)} serving counter(s) changed vs "
+              f"{args.baseline}:")
+        for failure in failures:
+            print(f"  {failure}")
+        sys.exit(1)
+    print(f"OK: all deterministic serving counters match {args.baseline}")
+
+
 def cmd_report(args):
     with open(args.baseline) as f:
         snapshot = json.load(f)
@@ -345,6 +441,22 @@ def main():
                         "library in CI accepts the '1x' iteration form, "
                         "older local builds need a plain double")
     p.set_defaults(func=cmd_capture_delta)
+
+    p = sub.add_parser("capture-server")
+    p.add_argument("--build-dir", default="build")
+    p.add_argument("--out", required=True)
+    p.add_argument("--label", required=True)
+    p.add_argument("--queries", type=int, default=SERVER_DEFAULTS["queries"])
+    p.add_argument("--seed", type=int, default=SERVER_DEFAULTS["seed"])
+    p.add_argument("--trees", type=int, default=SERVER_DEFAULTS["trees"])
+    p.add_argument("--articles", type=int,
+                   default=SERVER_DEFAULTS["articles"])
+    p.set_defaults(func=cmd_capture_server)
+
+    p = sub.add_parser("check-server")
+    p.add_argument("--baseline", required=True)
+    p.add_argument("--build-dir", default="build")
+    p.set_defaults(func=cmd_check_server)
 
     args = parser.parse_args()
     args.func(args)

@@ -10,13 +10,21 @@ and cache hit rates from the x3_server_* counters — and renders a table.
 Usage:
   workload_harness.py --bin build/bench/bench_server
       [--clients 1,4,8] [--qps 200] [--queries 400] [--seed 1]
-      [--cache-kb 256] [--trace out.json] [--metrics out.txt] [--check]
+      [--cache-kb 256] [--trace out.json] [--metrics out.txt]
+      [--statusz out.json] [--query-log out.jsonl]
+      [--slow-ms N] [--stall-ms N] [--check]
 
 With --trace/--metrics the first run exports the Chrome trace and the
-Prometheus text (via the X3_TRACE / X3_METRICS env hooks) so
-check_observability.py can validate them. With --check the harness
-fails (exit 1) unless every query succeeded and the cache actually
-served part of the load — the CI server-smoke gate.
+Prometheus text (via the X3_TRACE / X3_METRICS env hooks); --statusz
+and --query-log add the Statusz() snapshot and the per-query JSONL
+lifecycle log (first run only) so check_observability.py can validate
+all four together. --slow-ms arms the server's slow-query lane;
+--stall-ms injects one deliberately stalled query with the watchdog
+armed. With --check the harness fails (exit 1) unless every query
+succeeded, the cache actually served part of the load, and the
+watchdog flagged exactly the injected stall (one stuck query with
+--stall-ms, zero without — the false-positive gate) — the CI
+server-smoke gate.
 """
 
 import argparse
@@ -26,7 +34,7 @@ import subprocess
 import sys
 
 
-def run_once(args, clients, env_extra=None):
+def run_once(args, clients, env_extra=None, artifacts=False):
     cmd = [
         args.bin,
         f"--clients={clients}",
@@ -38,6 +46,14 @@ def run_once(args, clients, env_extra=None):
         f"--trees={args.trees}",
         f"--articles={args.articles}",
     ]
+    if args.slow_ms > 0:
+        cmd.append(f"--slow-ms={args.slow_ms}")
+    if args.stall_ms > 0:
+        cmd.append(f"--stall-ms={args.stall_ms}")
+    if artifacts and args.statusz:
+        cmd.append(f"--statusz-out={args.statusz}")
+    if artifacts and args.query_log:
+        cmd.append(f"--query-log-out={args.query_log}")
     env = dict(os.environ)
     if env_extra:
         env.update(env_extra)
@@ -72,9 +88,19 @@ def main():
                         "(first run only)")
     parser.add_argument("--metrics", help="export Prometheus text here "
                         "(first run only)")
+    parser.add_argument("--statusz", help="export the Statusz() JSON "
+                        "snapshot here (first run only)")
+    parser.add_argument("--query-log", help="export the per-query JSONL "
+                        "lifecycle log here (first run only)")
+    parser.add_argument("--slow-ms", type=float, default=0,
+                        help="slow-query lane threshold (0 = disabled)")
+    parser.add_argument("--stall-ms", type=float, default=0,
+                        help="inject one stalled query of this length "
+                        "with the watchdog armed (0 = disabled)")
     parser.add_argument("--check", action="store_true",
-                        help="CI gate: fail unless all queries succeeded "
-                        "and the cache served part of the load")
+                        help="CI gate: fail unless all queries succeeded, "
+                        "the cache served part of the load, and the "
+                        "watchdog flagged exactly the injected stall")
     args = parser.parse_args()
 
     client_counts = [int(c) for c in args.clients.split(",")]
@@ -85,34 +111,50 @@ def main():
             env_extra["X3_TRACE"] = args.trace
         if i == 0 and args.metrics:
             env_extra["X3_METRICS"] = args.metrics
-        reports.append(run_once(args, clients, env_extra))
+        reports.append(run_once(args, clients, env_extra, artifacts=(i == 0)))
 
     header = (f"{'clients':>8} {'qps*':>8} {'qps':>8} {'p50 ms':>9} "
-              f"{'p99 ms':>9} {'mean ms':>9} {'hit rate':>9} "
-              f"{'rollups':>8} {'evict':>6} {'failed':>7}")
+              f"{'p95 ms':>9} {'p99 ms':>9} {'mean ms':>9} {'hit rate':>9} "
+              f"{'rollups':>8} {'evict':>6} {'slow':>5} {'stuck':>6} "
+              f"{'failed':>7}")
     print(header)
     print("-" * len(header))
     for r in reports:
         print(f"{r['clients']:>8} {r['target_qps']:>8.0f} "
               f"{r['achieved_qps']:>8.1f} {r['p50_ms']:>9.3f} "
+              f"{r['p95_ms']:>9.3f} "
               f"{r['p99_ms']:>9.3f} {r['mean_ms']:>9.3f} "
               f"{r['cache_hit_rate']:>9.3f} {r['rollup_answers']:>8} "
-              f"{r['evictions']:>6} {r['failed']:>7}")
+              f"{r['evictions']:>6} {r['slow_queries']:>5} "
+              f"{r['stuck_queries']:>6} {r['failed']:>7}")
 
     if args.check:
+        # The injected stall is one extra query on top of --queries.
+        expected_ok = args.queries + (1 if args.stall_ms > 0 else 0)
+        expected_stuck = 1 if args.stall_ms > 0 else 0
         for r in reports:
             if r["failed"] != 0:
                 sys.exit(f"workload_harness: {r['failed']} queries failed "
                          f"at {r['clients']} clients")
-            if r["ok"] != args.queries:
-                sys.exit(f"workload_harness: expected {args.queries} "
+            if r["ok"] != expected_ok:
+                sys.exit(f"workload_harness: expected {expected_ok} "
                          f"answers, got {r['ok']}")
             if r["cache_served"] == 0:
                 sys.exit("workload_harness: cache never served a query "
                          "(cache wiring broken?)")
-            if not (0 < r["p50_ms"] <= r["p99_ms"]):
+            if not (0 < r["p50_ms"] <= r["p95_ms"] <= r["p99_ms"]):
                 sys.exit(f"workload_harness: implausible percentiles "
-                         f"p50={r['p50_ms']} p99={r['p99_ms']}")
+                         f"p50={r['p50_ms']} p95={r['p95_ms']} "
+                         f"p99={r['p99_ms']}")
+            if r["stuck_queries"] != expected_stuck:
+                sys.exit(f"workload_harness: watchdog flagged "
+                         f"{r['stuck_queries']} stuck queries, expected "
+                         f"{expected_stuck} (false "
+                         f"{'negative' if expected_stuck else 'positive'})")
+            if args.stall_ms > 0 and args.slow_ms > 0 \
+                    and r["slow_queries"] == 0:
+                sys.exit("workload_harness: the injected stall never hit "
+                         "the slow-query lane")
         print("workload_harness: check passed")
     return 0
 

@@ -69,6 +69,14 @@ Rules (see docs/STATIC_ANALYSIS.md for the rationale):
                      cache-miss path in X3Server::RunQuery, which fills
                      the cache afterwards. Any other call site would
                      silently bypass admission accounting and caching.
+  server-raw-log     No ad-hoc logging (printf/puts/perror, std::cout/
+                     cerr/clog) in src/server/ outside query_log.*: a
+                     serving-layer event either belongs in the
+                     structured query log (QueryLog), a metric, or an
+                     X3_LOG line (which carries the qid prefix) — text
+                     printed anywhere else is invisible to the statusz/
+                     JSONL consumers and unattributable to a query.
+                     (fprintf is already banned repo-wide by raw-stdio.)
 
 A finding can be suppressed with a trailing comment naming the rule:
     some_call();  // x3-lint: allow(raw-new-delete) -- justification
@@ -125,6 +133,11 @@ RAW_MUTEX = re.compile(
 # The serving layer must answer through the cuboid cache; ComputeCube is
 # reserved for the one annotated cache-miss fallback.
 SERVER_COMPUTE_CUBE = re.compile(r"(?<![\w:.])ComputeCube\s*\(")
+# Ad-hoc logging in the serving layer: serving events go through
+# QueryLog, metrics, or X3_LOG (qid-prefixed), never bare stdio streams.
+SERVER_RAW_LOG = re.compile(
+    r"(?<![\w:.>])(?:std\s*::\s*)?(?:printf|puts|putchar|perror)\s*\(|"
+    r"std\s*::\s*(?:cout|cerr|clog)\b")
 # Direct page/catalog mutation in src/xdb/ bypasses the WAL: only the
 # checkpoint path and the recovery repair path may do it, and each such
 # site must carry an allow comment justifying why.
@@ -275,6 +288,13 @@ class Linter:
                             "the cuboid cache and leave compute to the "
                             "annotated cache-miss path in X3Server::RunQuery",
                             raw)
+            if (rel.startswith("src/server/")
+                    and not rel.startswith("src/server/query_log.")
+                    and SERVER_RAW_LOG.search(code)):
+                self.report(path, lineno, "server-raw-log",
+                            "ad-hoc logging in src/server/; use the "
+                            "structured QueryLog, a metric, or X3_LOG "
+                            "(qid-prefixed)", raw)
             if in_src and not is_logging_h and BARE_ASSERT.search(code):
                 self.report(path, lineno, "bare-assert",
                             "bare assert(); use X3_CHECK (always on) or "

@@ -229,7 +229,8 @@ class CounterExecutor final : public CuboidExecutor {
           {}});
     }
     X3_RETURN_IF_ERROR(
-        RunPlanTasks(std::move(tasks), options.parallelism, stats));
+        RunPlanTasks(std::move(tasks), options.parallelism, stats,
+                     ctx->query_id()));
     return result;
   }
 };

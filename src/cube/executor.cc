@@ -5,6 +5,7 @@
 
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/query_id.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
@@ -22,7 +23,7 @@ Counter& PlanTasksCounter() {
 }  // namespace
 
 Status RunPlanTasks(std::vector<PlanTask> tasks, size_t parallelism,
-                    CubeComputeStats* stats) {
+                    CubeComputeStats* stats, uint64_t query_id) {
   X3_CHECK(stats != nullptr);
   const size_t n = tasks.size();
   if (parallelism <= 1 || n <= 1) {
@@ -71,7 +72,10 @@ Status RunPlanTasks(std::vector<PlanTask> tasks, size_t parallelism,
   // budget charge they hold).
   std::function<void(size_t)> submit = [&](size_t i) {
     ++inflight;
-    pool.Submit([&, i] {
+    pool.Submit([&, i, query_id] {
+      // Pool workers run many queries' tasks over their lifetime; the
+      // scope re-attributes this one's spans/logs to its query.
+      ScopedQueryId qid_scope(query_id);
       PlanTasksCounter().Increment();
       Status s = tasks[i].run(&task_stats[i]);
       MutexLock lock(&mu);

@@ -88,8 +88,13 @@ struct PlanTask {
 /// its budget charges), and the returned status is the first non-OK by
 /// task index — not by completion time — so errors are deterministic.
 /// Per-task stats are absorbed in task-index order either way.
+///
+/// `query_id` (usually ctx->query_id() at the call site) is
+/// re-established on whichever thread runs each task (ScopedQueryId),
+/// so pool workers' trace spans and log lines stay attributed to the
+/// query that spawned them; 0 = unattributed.
 Status RunPlanTasks(std::vector<PlanTask> tasks, size_t parallelism,
-                    CubeComputeStats* stats);
+                    CubeComputeStats* stats, uint64_t query_id = 0);
 
 namespace internal {
 

@@ -50,7 +50,8 @@ class ReferenceExecutor final : public CuboidExecutor {
           {}});
     }
     X3_RETURN_IF_ERROR(
-        RunPlanTasks(std::move(tasks), options.parallelism, stats));
+        RunPlanTasks(std::move(tasks), options.parallelism, stats,
+                     ctx->query_id()));
     return result;
   }
 };

@@ -373,7 +373,8 @@ class TopDownExecutor final : public CuboidExecutor {
       tasks.push_back(std::move(task));
     }
     X3_RETURN_IF_ERROR(
-        RunPlanTasks(std::move(tasks), options.parallelism, stats));
+        RunPlanTasks(std::move(tasks), options.parallelism, stats,
+                     ctx->query_id()));
     return result;
   }
 };

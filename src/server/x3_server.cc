@@ -1,10 +1,14 @@
 #include "server/x3_server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "cube/plan.h"
+#include "util/logging.h"
 #include "util/metrics.h"
+#include "util/query_id.h"
+#include "util/string_util.h"
 #include "util/timer.h"
 #include "util/trace.h"
 
@@ -101,6 +105,21 @@ Counter* ShapesDroppedCounter() {
   return counter;
 }
 
+Counter* StuckQueriesCounter() {
+  static Counter* counter = MetricRegistry::Global().GetCounter(
+      "x3_server_stuck_queries_total",
+      "Queries the watchdog flagged as in flight past their stuck "
+      "threshold");
+  return counter;
+}
+
+Counter* SlowQueriesCounter() {
+  static Counter* counter = MetricRegistry::Global().GetCounter(
+      "x3_server_slow_queries_total",
+      "Queries whose end-to-end latency met the slow-query threshold");
+  return counter;
+}
+
 }  // namespace
 
 std::string NormalizedQueryKey(const CubeQuery& query) {
@@ -151,11 +170,24 @@ X3Server::X3Server(Database* db, X3ServerOptions options)
       budget_(options_.admission_budget_bytes),
       temp_files_(options_.temp_dir, options_.env),
       cache_(options_.cache_capacity_bytes),
+      query_log_(options_.query_log_capacity),
       pool_(std::make_unique<ThreadPool>(
           options_.num_threads != 0 ? options_.num_threads
-                                    : ThreadPool::DefaultConcurrency())) {}
+                                    : ThreadPool::DefaultConcurrency())) {
+  if (options_.watchdog_interval_seconds > 0) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });  // x3-lint: allow(raw-thread) -- watchdog must outlive a wedged pool
+  }
+}
 
 X3Server::~X3Server() {
+  if (watchdog_.joinable()) {
+    {
+      MutexLock lock(&watchdog_mu_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.NotifyAll();
+    watchdog_.join();
+  }
   // Drain queued and in-flight queries while every member they touch
   // is still alive (pool_ is declared last, so destroyed first).
   pool_.reset();
@@ -163,6 +195,9 @@ X3Server::~X3Server() {
 
 std::shared_ptr<X3Server::Ticket> X3Server::Submit(ServerRequest request) {
   std::shared_ptr<Ticket> ticket = std::unique_ptr<Ticket>(new Ticket());
+  // Mint the query id before the ticket escapes: qid_ is immutable once
+  // visible to the worker, Wait()ers or the watchdog.
+  ticket->qid_ = next_qid_.fetch_add(1, std::memory_order_relaxed);
   pool_->Submit(
       [this, ticket, request = std::move(request)]() {
         RunTask(ticket, request);
@@ -213,16 +248,45 @@ void X3Server::RunTask(const std::shared_ptr<Ticket>& ticket,
 
   queries->Increment();
   inflight->Add(1);
+
+  // Every span, log line and query-log record downstream of this point
+  // carries the server-minted qid.
+  ScopedQueryId qid_scope(ticket->query_id());
+
+  auto entry = std::make_shared<InflightEntry>();
+  entry->qid = ticket->query_id();
+  entry->tenant = request.tenant;
+  entry->deadline_seconds = request.deadline_seconds.has_value()
+                                ? *request.deadline_seconds
+                                : options_.default_deadline_seconds;
+  RegisterInflight(entry);
+
+  QueryLogRecord record;
+  record.qid = ticket->query_id();
+  record.tenant = request.tenant;
+  record.queue_seconds = ticket->queued_.ElapsedSeconds();
+  record.cache_bypassed = !request.use_cache;
+  record.algorithm_requested = request.algorithm;
+  record.algorithm_used = request.algorithm;
+
   Timer timer;
   Result<ServerAnswer> result = [&]() -> Result<ServerAnswer> {
     X3_TRACE_SPAN(&Tracer::Global(), "server/query");
-    return RunQuery(request, ticket.get());
+    return RunQuery(request, ticket.get(), entry.get(), &record);
   }();
   double seconds = timer.ElapsedSeconds();
+  DeregisterInflight(ticket->query_id());
   latency->Observe(seconds);
   inflight->Add(-1);
+
+  record.latency_seconds = seconds;
+  record.budget_peak_bytes = budget_.peak();
+  record.status = result.status().code();
   if (result.ok()) {
     result->latency_seconds = seconds;
+    record.exact_hits = result->exact_hits;
+    record.rollup_answers = result->rollup_answers;
+    record.computed = result->computed;
     if (result->exact_hits > 0) cache_hits->Increment(result->exact_hits);
     if (result->rollup_answers > 0) {
       rollup_answers->Increment(result->rollup_answers);
@@ -233,6 +297,7 @@ void X3Server::RunTask(const std::shared_ptr<Ticket>& ticket,
       cache_served->Increment();
     }
   } else {
+    record.error = result.status().message();
     switch (result.status().code()) {
       case StatusCode::kCancelled:
         cancelled->Increment();
@@ -248,7 +313,26 @@ void X3Server::RunTask(const std::shared_ptr<Ticket>& ticket,
         break;
     }
   }
+  if (options_.slow_query_threshold_seconds > 0 &&
+      seconds >= options_.slow_query_threshold_seconds) {
+    record.slow = true;
+    SlowQueriesCounter()->Increment();
+    X3_LOG(Warning) << "slow query: " << seconds * 1e3 << " ms (threshold "
+                    << options_.slow_query_threshold_seconds * 1e3
+                    << " ms), shape " << record.shape_key;
+  }
+  query_log_.Commit(std::move(record));
   ticket->Complete(std::move(result));
+}
+
+void X3Server::RegisterInflight(const std::shared_ptr<InflightEntry>& entry) {
+  MutexLock lock(&inflight_mu_);
+  inflight_.emplace(entry->qid, entry);
+}
+
+void X3Server::DeregisterInflight(uint64_t qid) {
+  MutexLock lock(&inflight_mu_);
+  inflight_.erase(qid);
 }
 
 Result<std::shared_ptr<X3Server::ShapeState>> X3Server::GetOrBuildShape(
@@ -351,13 +435,17 @@ void X3Server::EnsureMaterialized(
 }
 
 Result<ServerAnswer> X3Server::RunQuery(const ServerRequest& request,
-                                        Ticket* ticket) {
+                                        Ticket* ticket,
+                                        InflightEntry* inflight,
+                                        QueryLogRecord* record) {
+  inflight->stage.store("compile", std::memory_order_relaxed);
   CubeQuery query;
   if (request.query.has_value()) {
     query = *request.query;
   } else {
     X3_ASSIGN_OR_RETURN(query, engine_.Compile(request.query_text));
   }
+  record->shape_key = NormalizedQueryKey(query);
 
   double deadline_seconds = request.deadline_seconds.has_value()
                                 ? *request.deadline_seconds
@@ -366,14 +454,48 @@ Result<ServerAnswer> X3Server::RunQuery(const ServerRequest& request,
   ctx_options.budget = &budget_;
   ctx_options.temp_files = &temp_files_;
   ctx_options.cancel = &ticket->token_;
+  ctx_options.query_id = ticket->query_id();
   if (deadline_seconds > 0) {
     ctx_options.deadline = DeadlineAfterSeconds(deadline_seconds);
   }
   ExecutionContext ctx(ctx_options);
   X3_RETURN_IF_ERROR(ctx.CheckInterrupted());
 
+  // Copies the context's per-stage breakdown into the query-log record
+  // on EVERY exit path (success, cancellation, deadline, failure) — a
+  // cancelled query's record shows which stage it died in. Safe at
+  // scope exit: by the time RunQuery unwinds, the executor has drained
+  // its workers (the same quiesce contract that lets ctx be destroyed).
+  struct StageCopy {
+    ExecutionContext* ctx;
+    QueryLogRecord* record;
+    ~StageCopy() {
+      for (const StageTiming& t : ctx->stats()->timings()) {
+        record->stages.push_back(
+            QueryStageMs{t.label, t.seconds * 1e3, t.rows, t.bytes});
+        // Stage bytes are exclusively external-sort spill I/O today
+        // (ScopedStageTimer::AddBytes at the sorter call sites).
+        record->spill_bytes += t.bytes;
+      }
+    }
+  } stage_copy{&ctx, record};
+
+  if (request.debug_hold_seconds > 0) {
+    // Test hook: a cancellation- and deadline-honoring stall inside the
+    // worker, so watchdog and slow-lane tests can manufacture a stuck
+    // or slow query deterministically.
+    inflight->stage.store("debug-hold", std::memory_order_relaxed);
+    ScopedStageTimer hold_timer(ctx.stats(), "debug-hold", ctx.tracer());
+    Timer hold;
+    while (hold.ElapsedSeconds() < request.debug_hold_seconds) {
+      X3_RETURN_IF_ERROR(ctx.CheckInterrupted());
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  inflight->stage.store("build-shape", std::memory_order_relaxed);
   X3_ASSIGN_OR_RETURN(std::shared_ptr<ShapeState> shape,
-                      GetOrBuildShape(NormalizedQueryKey(query), query,
+                      GetOrBuildShape(record->shape_key, query,
                                       request.properties, &ctx));
   // Pin the shape's current snapshot for the whole query: a write
   // batch committing concurrently swaps in a NEW snapshot, so this
@@ -397,6 +519,7 @@ Result<ServerAnswer> X3Server::RunQuery(const ServerRequest& request,
   // Admission control: the shape's fact table is the working-set floor
   // of any algorithm over it. Reserve (hard cap) refuses the query
   // outright instead of letting concurrent tenants overshoot together.
+  inflight->stage.store("admission", std::memory_order_relaxed);
   size_t admission_bytes = facts.ApproxBytes();
   if (!budget_.Reserve(admission_bytes).ok()) {
     AdmissionDeniedCounter()->Increment();
@@ -422,6 +545,7 @@ Result<ServerAnswer> X3Server::RunQuery(const ServerRequest& request,
   std::vector<std::pair<CuboidId, CellMap>> cells;
   bool all_from_cache = request.use_cache;
   if (request.use_cache) {
+    inflight->stage.store("cache-lookup", std::memory_order_relaxed);
     for (CuboidId target : targets) {
       X3_RETURN_IF_ERROR(ctx.Poll());
       ViewComputeStats view_stats;
@@ -448,12 +572,15 @@ Result<ServerAnswer> X3Server::RunQuery(const ServerRequest& request,
   if (!all_from_cache) {
     answer.exact_hits = 0;
     answer.rollup_answers = 0;
+    inflight->stage.store("compute", std::memory_order_relaxed);
     CubeAlgorithm algorithm = request.algorithm;
     CubePlan plan = BuildCubePlan(algorithm, lattice, shape->properties);
     if (plan.unsafe_steps > 0) {
       algorithm = SafeCounterpart(algorithm);
       PlanDowngradeCounter()->Increment();
+      record->downgraded = true;
     }
+    record->algorithm_used = algorithm;
     CubeComputeOptions compute;
     compute.aggregate = query.aggregate;
     compute.properties = &shape->properties;
@@ -469,12 +596,27 @@ Result<ServerAnswer> X3Server::RunQuery(const ServerRequest& request,
         CubeResult cube,
         ComputeCube(algorithm, facts, lattice, compute,  // x3-lint: allow(server-compute-cube) -- the designated cache-miss path
                     &stats));
+    if (options_.slow_query_threshold_seconds > 0 &&
+        inflight->started.ElapsedSeconds() >=
+            options_.slow_query_threshold_seconds) {
+      // Slow lane: this query is already past the threshold, so RunTask
+      // will mark its record slow — attach the full plan-with-actuals
+      // rendering while the cube is still alive. The plan is rebuilt
+      // for the algorithm that actually ran (post-downgrade).
+      CubePlan ran = algorithm == request.algorithm
+                         ? std::move(plan)
+                         : BuildCubePlan(algorithm, lattice,
+                                         shape->properties);
+      record->slow_explain =
+          ExplainCubePlanWithActuals(ran, lattice, *ctx.stats(), cube);
+    }
     for (CuboidId target : targets) {
       cells.emplace_back(target, std::move(*cube.mutable_cuboid(target)));
     }
     answer.computed = true;
     answer.algorithm_used = algorithm;
     if (request.use_cache) {
+      inflight->stage.store("cache-fill", std::memory_order_relaxed);
       // Cache fill: the finest cuboid is the universal donor —
       // TDOPTALL's roll-up property means every coarser cuboid rolls
       // up from it (with fact ids when disjointness is unproven) —
@@ -487,6 +629,7 @@ Result<ServerAnswer> X3Server::RunQuery(const ServerRequest& request,
     }
   }
 
+  inflight->stage.store("finalize", std::memory_order_relaxed);
   int64_t min_count = std::max(query.min_count, request.min_count);
   if (min_count > 1) {
     // Same rule as CubeResult::ApplyIcebergFilter: drop cells whose
@@ -634,6 +777,260 @@ Status X3Server::Checkpoint() {
   MutexLock write_lock(&write_mu_);
   MutexLock db_lock(&db_mu_);
   return db_->Checkpoint();
+}
+
+void X3Server::WatchdogLoop() {
+  Tracer::Global().SetCurrentThreadName("watchdog");
+  for (;;) {
+    {
+      MutexLock lock(&watchdog_mu_);
+      if (!watchdog_stop_) {
+        // Spurious wakeups just scan early; the scan is idempotent.
+        watchdog_cv_.WaitFor(&watchdog_mu_,
+                             options_.watchdog_interval_seconds);
+      }
+      if (watchdog_stop_) return;
+    }
+    // Scan with NO lock held: the whole point of the watchdog is to
+    // keep working while the rest of the server is wedged.
+    WatchdogScanOnce();
+  }
+}
+
+size_t X3Server::WatchdogScanOnce() {
+  std::vector<std::shared_ptr<InflightEntry>> entries;
+  {
+    MutexLock lock(&inflight_mu_);
+    entries.reserve(inflight_.size());
+    for (const auto& [qid, entry] : inflight_) entries.push_back(entry);
+  }
+  size_t newly_flagged = 0;
+  for (const std::shared_ptr<InflightEntry>& e : entries) {
+    double age = e->started.ElapsedSeconds();
+    double threshold =
+        e->deadline_seconds > 0
+            ? options_.stuck_deadline_multiple * e->deadline_seconds
+            : options_.stuck_after_seconds;
+    if (threshold <= 0 || age < threshold) continue;
+    // Flag once per query: exchange() makes repeat scans of the same
+    // stuck query free and keeps the counter an exact stuck-query count.
+    if (e->stuck.exchange(true, std::memory_order_relaxed)) continue;
+    ++newly_flagged;
+    StuckQueriesCounter()->Increment();
+    X3_LOG(Warning) << "watchdog: qid=" << e->qid << " tenant='" << e->tenant
+                    << "' stuck in stage '"
+                    << e->stage.load(std::memory_order_relaxed) << "' for "
+                    << age << " s (threshold " << threshold << " s)";
+  }
+  if (newly_flagged > 0) {
+    // One-shot context dump per flagging pass: the operator gets the
+    // full server picture next to the warning, not just the qid.
+    X3_LOG(Warning) << "watchdog: " << newly_flagged
+                    << " newly stuck quer"
+                    << (newly_flagged == 1 ? "y" : "ies")
+                    << "; statusz dump:\n"
+                    << Statusz().ToText();
+  }
+  return newly_flagged;
+}
+
+StatuszReport X3Server::Statusz() const {
+  StatuszReport r;
+  r.uptime_seconds = started_.ElapsedSeconds();
+  r.num_threads = pool_->num_threads();
+  r.queue_depth = pool_->queue_depth();
+  r.queries_submitted = next_qid_.load(std::memory_order_relaxed) - 1;
+
+  {
+    MutexLock lock(&inflight_mu_);
+    r.inflight.reserve(inflight_.size());
+    for (const auto& [qid, entry] : inflight_) {
+      StatuszQuery q;
+      q.qid = qid;
+      q.tenant = entry->tenant;
+      q.stage = entry->stage.load(std::memory_order_relaxed);
+      q.age_seconds = entry->started.ElapsedSeconds();
+      q.stuck = entry->stuck.load(std::memory_order_relaxed);
+      r.inflight.push_back(std::move(q));
+    }
+  }
+  std::sort(r.inflight.begin(), r.inflight.end(),
+            [](const StatuszQuery& a, const StatuszQuery& b) {
+              return a.qid < b.qid;
+            });
+
+  std::vector<std::pair<std::string, std::shared_ptr<ShapeState>>> shapes;
+  {
+    MutexLock lock(&mu_);
+    shapes.reserve(shapes_.size());
+    for (const auto& [key, shape] : shapes_) shapes.emplace_back(key, shape);
+  }
+  std::sort(shapes.begin(), shapes.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [key, shape] : shapes) {
+    StatuszShape s;
+    s.key = key;
+    // A shape mid-build reports zeros rather than blocking on its latch.
+    std::shared_ptr<const ShapeSnapshot> snapshot = PinSnapshot(shape.get());
+    if (snapshot != nullptr) {
+      s.built_lsn = snapshot->built_lsn;
+      s.fact_rows = snapshot->prepared->facts.size();
+    }
+    r.shapes.push_back(std::move(s));
+  }
+
+  r.last_commit_lsn = db_->last_commit_lsn();
+  r.durable_lsn = db_->durable_lsn();
+
+  r.cache_bytes = cache_.bytes();
+  r.cache_views = cache_.num_views();
+  r.cache_evictions = cache_.evictions();
+  // The very counters RunTask increments (same registry objects), so a
+  // statusz snapshot and a metrics scrape agree by construction.
+  MetricRegistry& registry = MetricRegistry::Global();
+  r.cache_hits =
+      registry
+          .GetCounter("x3_server_cache_hits_total",
+                      "Cuboids answered exactly from a cached materialized "
+                      "view")
+          ->value();
+  r.rollup_answers =
+      registry
+          .GetCounter("x3_server_rollup_answers_total",
+                      "Cuboids answered by safe roll-up from a cached finer "
+                      "view")
+          ->value();
+  r.cache_misses = registry
+                       .GetCounter("x3_server_cache_misses_total",
+                                   "Queries that fell back to ComputeCube")
+                       ->value();
+  uint64_t served =
+      registry
+          .GetCounter("x3_server_cache_served_total",
+                      "Queries answered entirely from cached views")
+          ->value();
+  r.cache_hit_ratio =
+      served + r.cache_misses > 0
+          ? static_cast<double>(served) /
+                static_cast<double>(served + r.cache_misses)
+          : 0;
+
+  r.budget_capacity_bytes = budget_.capacity();
+  r.budget_used_bytes = budget_.used();
+  r.budget_peak_bytes = budget_.peak();
+  r.admission_denied = AdmissionDeniedCounter()->value();
+  r.stuck_queries = StuckQueriesCounter()->value();
+
+  Histogram* latency = registry.GetHistogram(
+      "x3_server_query_latency_seconds",
+      "End-to-end per-query latency in seconds (worker pickup to answer)");
+  r.latency_p50_ms = latency->Quantile(0.50) * 1e3;
+  r.latency_p95_ms = latency->Quantile(0.95) * 1e3;
+  r.latency_p99_ms = latency->Quantile(0.99) * 1e3;
+  return r;
+}
+
+std::string StatuszReport::ToText() const {
+  std::string out;
+  out += StringPrintf("x3 server: up %.1f s, %zu worker threads\n",
+                      uptime_seconds, num_threads);
+  out += StringPrintf(
+      "queries: %llu submitted, %zu in flight, %zu queued\n",
+      static_cast<unsigned long long>(queries_submitted), inflight.size(),
+      queue_depth);
+  out += StringPrintf("latency: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n",
+                      latency_p50_ms, latency_p95_ms, latency_p99_ms);
+  for (const StatuszQuery& q : inflight) {
+    out += StringPrintf("  qid=%llu tenant='%s' stage=%s age=%.3f s%s\n",
+                        static_cast<unsigned long long>(q.qid),
+                        q.tenant.c_str(), q.stage, q.age_seconds,
+                        q.stuck ? " STUCK" : "");
+  }
+  out += StringPrintf(
+      "wal: last_commit_lsn=%llu durable_lsn=%llu\n",
+      static_cast<unsigned long long>(last_commit_lsn),
+      static_cast<unsigned long long>(durable_lsn));
+  out += StringPrintf("shapes: %zu resident\n", shapes.size());
+  for (const StatuszShape& s : shapes) {
+    out += StringPrintf("  built_lsn=%llu fact_rows=%zu key=%s\n",
+                        static_cast<unsigned long long>(s.built_lsn),
+                        s.fact_rows, s.key.c_str());
+  }
+  out += StringPrintf(
+      "cache: %zu views, %zu bytes, %llu evictions, hit ratio %.3f "
+      "(%llu exact + %llu rollup vs %llu miss)\n",
+      cache_views, cache_bytes,
+      static_cast<unsigned long long>(cache_evictions), cache_hit_ratio,
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(rollup_answers),
+      static_cast<unsigned long long>(cache_misses));
+  out += StringPrintf(
+      "budget: %zu/%zu bytes used, peak %zu, %llu admission denials\n",
+      budget_used_bytes, budget_capacity_bytes, budget_peak_bytes,
+      static_cast<unsigned long long>(admission_denied));
+  out += StringPrintf("watchdog: %llu stuck queries flagged\n",
+                      static_cast<unsigned long long>(stuck_queries));
+  return out;
+}
+
+std::string StatuszReport::ToJson() const {
+  std::string out = "{";
+  out += StringPrintf("\"uptime_seconds\":%.3f", uptime_seconds);
+  out += StringPrintf(",\"num_threads\":%zu", num_threads);
+  out += StringPrintf(",\"queries_submitted\":%llu",
+                      static_cast<unsigned long long>(queries_submitted));
+  out += StringPrintf(",\"queue_depth\":%zu", queue_depth);
+  out += ",\"inflight\":[";
+  for (size_t i = 0; i < inflight.size(); ++i) {
+    const StatuszQuery& q = inflight[i];
+    if (i > 0) out += ",";
+    out += StringPrintf("{\"qid\":%llu,\"tenant\":",
+                        static_cast<unsigned long long>(q.qid));
+    out += JsonQuote(q.tenant);
+    out += ",\"stage\":";
+    out += JsonQuote(q.stage);
+    out += StringPrintf(",\"age_seconds\":%.3f,\"stuck\":%s}", q.age_seconds,
+                        q.stuck ? "true" : "false");
+  }
+  out += "]";
+  out += ",\"shapes\":[";
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    const StatuszShape& s = shapes[i];
+    if (i > 0) out += ",";
+    out += "{\"key\":" + JsonQuote(s.key);
+    out += StringPrintf(",\"built_lsn\":%llu,\"fact_rows\":%zu}",
+                        static_cast<unsigned long long>(s.built_lsn),
+                        s.fact_rows);
+  }
+  out += "]";
+  out += StringPrintf(",\"last_commit_lsn\":%llu",
+                      static_cast<unsigned long long>(last_commit_lsn));
+  out += StringPrintf(",\"durable_lsn\":%llu",
+                      static_cast<unsigned long long>(durable_lsn));
+  out += StringPrintf(",\"cache_bytes\":%zu", cache_bytes);
+  out += StringPrintf(",\"cache_views\":%zu", cache_views);
+  out += StringPrintf(",\"cache_evictions\":%llu",
+                      static_cast<unsigned long long>(cache_evictions));
+  out += StringPrintf(",\"cache_hits\":%llu",
+                      static_cast<unsigned long long>(cache_hits));
+  out += StringPrintf(",\"rollup_answers\":%llu",
+                      static_cast<unsigned long long>(rollup_answers));
+  out += StringPrintf(",\"cache_misses\":%llu",
+                      static_cast<unsigned long long>(cache_misses));
+  out += StringPrintf(",\"cache_hit_ratio\":%.6f", cache_hit_ratio);
+  out += StringPrintf(",\"budget_capacity_bytes\":%zu",
+                      budget_capacity_bytes);
+  out += StringPrintf(",\"budget_used_bytes\":%zu", budget_used_bytes);
+  out += StringPrintf(",\"budget_peak_bytes\":%zu", budget_peak_bytes);
+  out += StringPrintf(",\"admission_denied\":%llu",
+                      static_cast<unsigned long long>(admission_denied));
+  out += StringPrintf(",\"stuck_queries\":%llu",
+                      static_cast<unsigned long long>(stuck_queries));
+  out += StringPrintf(",\"latency_p50_ms\":%.3f", latency_p50_ms);
+  out += StringPrintf(",\"latency_p95_ms\":%.3f", latency_p95_ms);
+  out += StringPrintf(",\"latency_p99_ms\":%.3f", latency_p99_ms);
+  out += "}";
+  return out;
 }
 
 }  // namespace x3

@@ -1,11 +1,13 @@
 #ifndef X3_SERVER_X3_SERVER_H_
 #define X3_SERVER_X3_SERVER_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -15,12 +17,14 @@
 #include "cube/view_store.h"
 #include "schema/summarizability.h"
 #include "server/cuboid_cache.h"
+#include "server/query_log.h"
 #include "storage/temp_file.h"
 #include "util/exec.h"
 #include "util/memory_budget.h"
 #include "util/result.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 #include "x3/engine.h"
 
 namespace x3 {
@@ -49,6 +53,25 @@ struct X3ServerOptions {
   Env* env = nullptr;
   /// Base directory for spill files; empty = $TMPDIR.
   std::string temp_dir;
+
+  // --- Query-lifecycle observability (DESIGN.md §13) ---
+
+  /// Queries whose end-to-end latency meets or exceeds this are marked
+  /// `slow` in the query log, and (when they computed a cube) get the
+  /// full ExplainCubePlanWithActuals rendering attached to their
+  /// record. 0 = slow lane disabled.
+  double slow_query_threshold_seconds = 0;
+  /// Ring capacity of the per-query lifecycle log.
+  size_t query_log_capacity = QueryLog::kDefaultCapacity;
+  /// Stuck-query watchdog tick interval; 0 = watchdog disabled.
+  double watchdog_interval_seconds = 0;
+  /// A query with a deadline is flagged as stuck once its in-flight
+  /// age exceeds this multiple of its deadline (it should have unwound
+  /// with kDeadlineExceeded long before).
+  double stuck_deadline_multiple = 3.0;
+  /// A query WITHOUT a deadline is flagged once its age exceeds this;
+  /// 0 = deadline-less queries are never flagged.
+  double stuck_after_seconds = 0;
 };
 
 /// One cube request against a serving session.
@@ -78,6 +101,14 @@ struct ServerRequest {
   /// When false the query bypasses the cuboid cache entirely (no view
   /// lookups, no cache fill) — the cold-path escape hatch.
   bool use_cache = true;
+  /// Caller-supplied tenant label, carried verbatim into the query log
+  /// and statusz (attribution only; no isolation semantics).
+  std::string tenant;
+  /// Test hook: holds the query inside the worker for this long
+  /// (cancellation- and deadline-honoring busy wait, reported as stage
+  /// "debug-hold") before the normal execution path. Drives the
+  /// watchdog and slow-lane tests; 0 in production.
+  double debug_hold_seconds = 0;
 };
 
 /// Cells of one cuboid, keyed by packed group key.
@@ -112,6 +143,72 @@ struct ServerAnswer {
   CubeAlgorithm algorithm_used = CubeAlgorithm::kTDCust;
   uint64_t num_cuboids_in_lattice = 0;
   double latency_seconds = 0;
+};
+
+/// One in-flight query as reported by X3Server::Statusz().
+struct StatuszQuery {
+  uint64_t qid = 0;
+  std::string tenant;
+  /// Static stage label ("queued", "compile", "build-shape",
+  /// "cache-lookup", "compute", ...) at snapshot time.
+  const char* stage = "";
+  /// Seconds since the worker picked the query up.
+  double age_seconds = 0;
+  /// The watchdog has flagged this query as stuck.
+  bool stuck = false;
+};
+
+/// One resident query shape as reported by X3Server::Statusz().
+struct StatuszShape {
+  std::string key;
+  /// Commit LSN the shape's current snapshot reflects; compare with
+  /// StatuszReport::durable_lsn / last_commit_lsn for staleness.
+  uint64_t built_lsn = 0;
+  size_t fact_rows = 0;
+};
+
+/// Point-in-time introspection snapshot of a serving session — the
+/// answer to "what is this server doing and why is it slow". Every
+/// count mirrors the metric registry (same underlying counters), so a
+/// statusz snapshot and a metrics scrape taken together agree.
+struct StatuszReport {
+  double uptime_seconds = 0;
+  size_t num_threads = 0;
+  /// Queries accepted by Submit so far (== the last minted qid).
+  uint64_t queries_submitted = 0;
+  /// Submitted but not yet picked up by a worker.
+  size_t queue_depth = 0;
+  std::vector<StatuszQuery> inflight;
+  std::vector<StatuszShape> shapes;
+  /// Database write-lane horizons: in-memory vs durably checkpointed.
+  uint64_t last_commit_lsn = 0;
+  uint64_t durable_lsn = 0;
+  // Cuboid cache.
+  size_t cache_bytes = 0;
+  size_t cache_views = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_hits = 0;
+  uint64_t rollup_answers = 0;
+  uint64_t cache_misses = 0;
+  /// Served-entirely-from-cache queries / completed queries.
+  double cache_hit_ratio = 0;
+  // Admission budget.
+  size_t budget_capacity_bytes = 0;
+  size_t budget_used_bytes = 0;
+  size_t budget_peak_bytes = 0;
+  uint64_t admission_denied = 0;
+  // Watchdog.
+  uint64_t stuck_queries = 0;
+  // Latency percentiles (Histogram::Quantile over the server latency
+  // histogram), milliseconds.
+  double latency_p50_ms = 0;
+  double latency_p95_ms = 0;
+  double latency_p99_ms = 0;
+
+  /// Human-readable multi-line rendering.
+  std::string ToText() const;
+  /// Single JSON object (the schema check_observability.py validates).
+  std::string ToJson() const;
 };
 
 /// A long-lived serving session over one shared Database: concurrent
@@ -162,6 +259,11 @@ class X3Server {
       return done_;
     }
 
+    /// The server-minted query id (monotonically increasing from 1 in
+    /// submission order); the key joining this query's trace spans,
+    /// log lines and query-log record.
+    uint64_t query_id() const { return qid_; }
+
    private:
     friend class X3Server;
     Ticket() = default;
@@ -169,6 +271,11 @@ class X3Server {
     void Complete(Result<ServerAnswer> result) X3_EXCLUDES(mu_);
 
     CancellationToken token_;
+    /// Set once by Submit before the ticket escapes; immutable after.
+    uint64_t qid_ = 0;
+    /// Started at Submit; the gap to worker pickup is the query's
+    /// FIFO queue wait.
+    Timer queued_;
     mutable Mutex mu_{lock_rank::kServerTicket};
     CondVar done_cv_;
     bool done_ X3_GUARDED_BY(mu_) = false;
@@ -218,6 +325,16 @@ class X3Server {
   uint64_t cache_evictions() const { return cache_.evictions(); }
   size_t num_shapes() const X3_EXCLUDES(mu_);
 
+  /// The per-query lifecycle log (one record per completed query).
+  const QueryLog& query_log() const { return query_log_; }
+
+  /// Point-in-time introspection snapshot: uptime, in-flight queries
+  /// with qid/age/current stage, pool queue depth, cache contents and
+  /// hit ratio, shape LSNs vs the WAL durable horizon, budget state.
+  /// Safe to call concurrently with queries and writes (brief
+  /// registry/shape lock acquisitions; never held across each other).
+  StatuszReport Statusz() const X3_EXCLUDES(mu_);
+
   /// Evicts every cached view (forced cold start; test hook).
   void FlushCacheForTest() { cache_.Clear(); }
 
@@ -255,13 +372,43 @@ class X3Server {
   /// Pins the shape's current snapshot (brief shape->mu acquisition).
   static std::shared_ptr<const ShapeSnapshot> PinSnapshot(ShapeState* shape);
 
-  /// The worker-side body of one submitted query: metrics, tracing and
-  /// ticket completion around RunQuery.
+  /// One in-flight query's live bookkeeping: registered by RunTask at
+  /// worker pickup, deregistered on every exit path. `stage` is an
+  /// atomic pointer to a static string literal, so RunQuery updates it
+  /// lock-free and Statusz/watchdog read it race-free; the registry
+  /// map itself is guarded by inflight_mu_ (rank kServerInflight),
+  /// which is never held across any other lock acquisition.
+  struct InflightEntry {
+    uint64_t qid = 0;
+    std::string tenant;
+    Timer started;
+    double deadline_seconds = 0;  // 0 = none
+    std::atomic<const char*> stage{"queued"};
+    std::atomic<bool> stuck{false};
+  };
+
+  /// The worker-side body of one submitted query: metrics, tracing,
+  /// inflight registration, query-log commit and ticket completion
+  /// around RunQuery.
   void RunTask(const std::shared_ptr<Ticket>& ticket,
                const ServerRequest& request);
 
   Result<ServerAnswer> RunQuery(const ServerRequest& request,
-                                Ticket* ticket);
+                                Ticket* ticket, InflightEntry* inflight,
+                                QueryLogRecord* record);
+
+  /// Registers/deregisters one in-flight query with the registry.
+  void RegisterInflight(const std::shared_ptr<InflightEntry>& entry)
+      X3_EXCLUDES(inflight_mu_);
+  void DeregisterInflight(uint64_t qid) X3_EXCLUDES(inflight_mu_);
+
+  /// The watchdog thread body: every watchdog_interval_seconds, flags
+  /// queries in flight past their stuck threshold (once per query),
+  /// bumps x3_server_stuck_queries_total and logs a one-shot statusz
+  /// dump per flagging pass. Exits promptly on shutdown notify.
+  void WatchdogLoop() X3_EXCLUDES(watchdog_mu_);
+  /// One watchdog scan; returns how many queries it newly flagged.
+  size_t WatchdogScanOnce();
 
   /// Returns the ready shape for `key`, building it (on this thread,
   /// deduplicated across concurrent requesters) if needed. A failed
@@ -309,6 +456,27 @@ class X3Server {
   mutable Mutex mu_{lock_rank::kServerSession};
   std::unordered_map<std::string, std::shared_ptr<ShapeState>> shapes_
       X3_GUARDED_BY(mu_);
+
+  /// Query-id mint (Submit) — the next ticket's qid. Starts at 1; 0
+  /// means "no query" everywhere downstream.
+  std::atomic<uint64_t> next_qid_{1};
+  /// Server-start stopwatch (statusz uptime).
+  Timer started_;
+  QueryLog query_log_;
+
+  mutable Mutex inflight_mu_{lock_rank::kServerInflight};
+  std::unordered_map<uint64_t, std::shared_ptr<InflightEntry>> inflight_
+      X3_GUARDED_BY(inflight_mu_);
+
+  /// Watchdog wakeup/shutdown latch (rank kServerWatchdog, below every
+  /// other server lock: the watchdog never holds it while scanning).
+  Mutex watchdog_mu_{lock_rank::kServerWatchdog};
+  CondVar watchdog_cv_;
+  bool watchdog_stop_ X3_GUARDED_BY(watchdog_mu_) = false;
+  /// The one sanctioned raw thread outside ThreadPool: the watchdog
+  /// must keep ticking while every pool worker is wedged — running it
+  /// on the pool would let the condition it detects starve it.
+  std::thread watchdog_;  // x3-lint: allow(raw-thread) -- watchdog must outlive a wedged pool
 
   /// Declared last: destroyed first, draining every queued task while
   /// the shapes, cache and budget above are still alive.

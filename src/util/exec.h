@@ -215,6 +215,11 @@ class ExecutionContext {
     /// Span tracer for this execution; nullptr = the process-global
     /// tracer (the usual case — per-execution tracers are for tests).
     Tracer* tracer = nullptr;
+    /// Server-minted query id this execution runs on behalf of; 0 when
+    /// the engine is used directly. The parallel executor re-establishes
+    /// it (ScopedQueryId) on pool workers so their spans and log lines
+    /// stay attributed to the query.
+    uint64_t query_id = 0;
   };
 
   ExecutionContext() = default;
@@ -229,6 +234,7 @@ class ExecutionContext {
   const std::optional<Clock::time_point>& deadline() const {
     return options_.deadline;
   }
+  uint64_t query_id() const { return options_.query_id; }
 
   StatsSink* stats() { return &stats_; }
   const StatsSink& stats() const { return stats_; }

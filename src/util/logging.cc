@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <string>
 
+#include "util/query_id.h"
 #include "util/thread_annotations.h"
 
 namespace x3 {
@@ -80,6 +81,13 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
     if (*p == '/') base = p + 1;
   }
   stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+  // Attribute the line to the in-flight query when one is established
+  // on this thread (ScopedQueryId), mirroring the qid arg on trace
+  // spans — grep `qid=N` across stderr and the Chrome trace to follow
+  // one query end to end.
+  if (uint64_t qid = CurrentQueryId(); qid != 0) {
+    stream_ << "qid=" << qid << " ";
+  }
 }
 
 LogMessage::~LogMessage() {

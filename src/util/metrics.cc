@@ -45,6 +45,30 @@ double Histogram::BucketUpperBound(size_t i) {
   return bound;
 }
 
+double Histogram::Quantile(double q) const {
+  uint64_t total = count();
+  if (total == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  double rank = q * static_cast<double>(total);
+  uint64_t below = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    uint64_t cumulative = bucket_count(i);
+    if (static_cast<double>(cumulative) >= rank) {
+      double upper = BucketUpperBound(i);
+      double lower = i == 0 ? 0 : BucketUpperBound(i - 1);
+      if (!std::isfinite(upper)) return lower;
+      uint64_t in_bucket = cumulative - below;
+      if (in_bucket == 0) return upper;
+      double fraction = (rank - static_cast<double>(below)) /
+                        static_cast<double>(in_bucket);
+      return lower + (upper - lower) * fraction;
+    }
+    below = cumulative;
+  }
+  return BucketUpperBound(kNumBuckets - 2);
+}
+
 void Histogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -166,11 +190,11 @@ std::string MetricRegistry::ToJson() const {
       case Type::kHistogram: {
         const Histogram& h = *entry.histogram;
         if (!histograms.empty()) histograms += ",";
-        histograms += StringPrintf("\"%s\":{\"count\":%llu,\"sum\":%.9f,"
-                                   "\"buckets\":[",
-                                   name.c_str(),
-                                   static_cast<unsigned long long>(h.count()),
-                                   h.sum());
+        histograms += StringPrintf(
+            "\"%s\":{\"count\":%llu,\"sum\":%.9f,"
+            "\"p50\":%.9f,\"p95\":%.9f,\"p99\":%.9f,\"buckets\":[",
+            name.c_str(), static_cast<unsigned long long>(h.count()),
+            h.sum(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99));
         for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
           if (i > 0) histograms += ",";
           double bound = Histogram::BucketUpperBound(i);
@@ -201,10 +225,14 @@ std::map<std::string, int64_t> MetricRegistry::SnapshotValues() const {
       case Type::kGauge:
         out[name] = entry.gauge->value();
         break;
-      case Type::kHistogram:
-        out[name + "_count"] =
-            static_cast<int64_t>(entry.histogram->count());
+      case Type::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        out[name + "_count"] = static_cast<int64_t>(h.count());
+        out[name + "_p50_us"] = static_cast<int64_t>(h.Quantile(0.50) * 1e6);
+        out[name + "_p95_us"] = static_cast<int64_t>(h.Quantile(0.95) * 1e6);
+        out[name + "_p99_us"] = static_cast<int64_t>(h.Quantile(0.99) * 1e6);
         break;
+      }
     }
   }
   return out;

@@ -68,6 +68,14 @@ class Histogram {
   }
   /// Cumulative count of observations <= BucketUpperBound(i).
   uint64_t bucket_count(size_t i) const;
+
+  /// Linearly interpolated quantile estimate (the standard Prometheus
+  /// histogram_quantile over the exponential buckets). `q` in [0, 1];
+  /// returns 0 for an empty histogram and the last finite bound when
+  /// the rank lands in the +Inf bucket. The single implementation every
+  /// consumer (bench harness report, derived p50/p95/p99 snapshot
+  /// gauges, statusz) shares — nobody re-derives percentiles by hand.
+  double Quantile(double q) const;
   /// +Inf (represented as infinity) for the last bucket.
   static double BucketUpperBound(size_t i);
 
@@ -112,9 +120,11 @@ class MetricRegistry {
   /// "histograms": {name: {count, sum, buckets: [{le, count}]}}}.
   std::string ToJson() const X3_EXCLUDES(mu_);
 
-  /// name -> integer value for every counter and gauge (histograms
-  /// contribute "<name>_count"). The determinism harness compares two
-  /// runs' snapshots after dropping time-valued metrics by name.
+  /// name -> integer value for every counter and gauge. Histograms
+  /// contribute "<name>_count" plus derived "<name>_p50_us" /
+  /// "<name>_p95_us" / "<name>_p99_us" interpolated-quantile entries in
+  /// integer microseconds (time-valued like the sum, so the
+  /// determinism harness's time-metric name filter drops them too).
   std::map<std::string, int64_t> SnapshotValues() const X3_EXCLUDES(mu_);
 
   /// Zeroes every registered metric (objects and registration survive,

@@ -1,0 +1,52 @@
+#ifndef X3_UTIL_QUERY_ID_H_
+#define X3_UTIL_QUERY_ID_H_
+
+#include <cstdint>
+
+namespace x3 {
+
+/// Per-thread current query id, the attribution key of the query
+/// observability plane (DESIGN.md §13). X3Server::Submit mints a
+/// monotonically increasing id per accepted request; ScopedQueryId
+/// establishes it on whichever thread is doing that query's work
+/// (server worker, parallel-executor pool worker), and the tracer and
+/// logger read it implicitly so every span and log line carries a
+/// `qid` without threading a parameter through each call signature.
+///
+/// Id 0 is reserved for "no query" (engine used directly, startup,
+/// background maintenance) — consumers skip the annotation for it.
+///
+/// Header-only and dependency-free on purpose: trace.cc and logging.cc
+/// both sit below everything else in the layering and must be able to
+/// include this without a cycle.
+namespace query_id {
+
+inline thread_local uint64_t g_current_query_id = 0;
+
+}  // namespace query_id
+
+/// Query id attributed to the calling thread, 0 when none.
+inline uint64_t CurrentQueryId() { return query_id::g_current_query_id; }
+
+/// RAII: attributes the enclosing scope's work to `qid`, restoring the
+/// previous id (usually 0) on exit. Nestable; used at the two places a
+/// thread starts running on behalf of a query — X3Server::RunTask and
+/// the parallel executor's task bodies.
+class ScopedQueryId {
+ public:
+  explicit ScopedQueryId(uint64_t qid)
+      : previous_(query_id::g_current_query_id) {
+    query_id::g_current_query_id = qid;
+  }
+  ~ScopedQueryId() { query_id::g_current_query_id = previous_; }
+
+  ScopedQueryId(const ScopedQueryId&) = delete;
+  ScopedQueryId& operator=(const ScopedQueryId&) = delete;
+
+ private:
+  uint64_t previous_;
+};
+
+}  // namespace x3
+
+#endif  // X3_UTIL_QUERY_ID_H_

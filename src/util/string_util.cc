@@ -127,4 +127,41 @@ std::string XmlEscape(std::string_view s) {
   return out;
 }
 
+void AppendJsonEscaped(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StringPrintf("\\u%04x", c);
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+std::string JsonQuote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  AppendJsonEscaped(s, &out);
+  out += '"';
+  return out;
+}
+
 }  // namespace x3

@@ -39,6 +39,14 @@ std::string StringPrintf(const char* fmt, ...)
 /// Escapes XML special characters (& < > " ') for text/attribute output.
 std::string XmlEscape(std::string_view s);
 
+/// Appends `s` to `*out` with JSON string-literal escaping (quotes,
+/// backslashes, control characters). Shared by every hand-rolled JSON
+/// exporter (Chrome trace, metrics, query log, statusz).
+void AppendJsonEscaped(std::string_view s, std::string* out);
+
+/// JSON string-literal form of `s` including the surrounding quotes.
+std::string JsonQuote(std::string_view s);
+
 }  // namespace x3
 
 #endif  // X3_UTIL_STRING_UTIL_H_

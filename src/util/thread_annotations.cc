@@ -1,5 +1,7 @@
 #include "util/thread_annotations.h"
 
+#include <chrono>
+
 #if defined(X3_DEBUG_LOCKS)
 #include <cstdint>
 
@@ -120,6 +122,16 @@ void CondVar::Wait(Mutex* mu) {
   NoteAcquired(mu, &mu->holder_);
 }
 
+bool CondVar::WaitFor(Mutex* mu, double seconds) {
+  NoteReleased(mu, &mu->holder_);
+  std::unique_lock<std::mutex> lk(mu->mu_, std::adopt_lock);  // x3-lint: allow(raw-mutex)
+  std::cv_status status =
+      cv_.wait_for(lk, std::chrono::duration<double>(seconds));
+  lk.release();
+  NoteAcquired(mu, &mu->holder_);
+  return status == std::cv_status::no_timeout;
+}
+
 #else  // !X3_DEBUG_LOCKS
 
 void Mutex::Lock() { mu_.lock(); }
@@ -131,6 +143,14 @@ void CondVar::Wait(Mutex* mu) {
   std::unique_lock<std::mutex> lk(mu->mu_, std::adopt_lock);  // x3-lint: allow(raw-mutex)
   cv_.wait(lk);
   lk.release();
+}
+
+bool CondVar::WaitFor(Mutex* mu, double seconds) {
+  std::unique_lock<std::mutex> lk(mu->mu_, std::adopt_lock);  // x3-lint: allow(raw-mutex)
+  std::cv_status status =
+      cv_.wait_for(lk, std::chrono::duration<double>(seconds));
+  lk.release();
+  return status == std::cv_status::no_timeout;
 }
 
 #endif  // X3_DEBUG_LOCKS

@@ -79,12 +79,15 @@ inline constexpr uint32_t kNone = 0;  // unranked: exempt from ordering
 // hold its session/shape/cache bookkeeping while calling into the
 // view store (kViewStore) or submitting to the pool (kThreadPool),
 // never the other way around.
+inline constexpr uint32_t kServerWatchdog = 15;  // X3Server watchdog wakeup
 inline constexpr uint32_t kServerWrite = 20;  // X3Server::write_mu_
 inline constexpr uint32_t kDatabaseIngest = 30;  // X3Server::db_mu_
 inline constexpr uint32_t kServerSession = 40;  // X3Server::mu_
+inline constexpr uint32_t kServerInflight = 50;  // X3Server::inflight_mu_
 inline constexpr uint32_t kServerShape = 60;    // ShapeState build latch
 inline constexpr uint32_t kServerCache = 80;    // CuboidCache::mu_
 inline constexpr uint32_t kServerTicket = 90;   // X3Server::Ticket::mu_
+inline constexpr uint32_t kQueryLog = 95;       // QueryLog::mu_
 inline constexpr uint32_t kExecutorScheduler = 100;  // executor.cc local
 inline constexpr uint32_t kViewStore = 150;          // CubeViewStore::mu_
 inline constexpr uint32_t kTaskGroup = 200;          // TaskGroup::mu_
@@ -166,6 +169,14 @@ class CondVar {
   void Wait(Mutex* mu, Pred pred) X3_REQUIRES(mu) {
     while (!pred()) Wait(mu);
   }
+
+  // Timed wait: like Wait but returns after at most `seconds` even
+  // without a notification. Returns true when notified (or spuriously
+  // woken) before the timeout, false on timeout; either way *mu is
+  // reacquired. Used by periodic background threads (the stuck-query
+  // watchdog) that must both tick on an interval and exit promptly on
+  // shutdown notification.
+  bool WaitFor(Mutex* mu, double seconds) X3_REQUIRES(mu);
 
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }

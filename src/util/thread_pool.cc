@@ -25,6 +25,13 @@ Histogram& QueueWaitHistogram() {
   return *h;
 }
 
+Gauge& QueueDepthGauge() {
+  static Gauge* g = MetricRegistry::Global().GetGauge(
+      "x3_threadpool_queue_depth",
+      "Tasks queued on thread pools, not yet picked up by a worker");
+  return *g;
+}
+
 }  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -51,7 +58,13 @@ void ThreadPool::Submit(std::function<void()> task) {
     X3_CHECK(!stopping_) << "Submit on a stopping ThreadPool";
     queue_.push_back(QueuedTask{std::move(task), Timer()});
   }
+  QueueDepthGauge().Add(1);
   cv_.NotifyOne();
+}
+
+size_t ThreadPool::queue_depth() const {
+  MutexLock lock(&mu_);
+  return queue_.size();
 }
 
 size_t ThreadPool::DefaultConcurrency() {
@@ -75,6 +88,7 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    QueueDepthGauge().Add(-1);
     QueueWaitHistogram().Observe(task.queued.ElapsedSeconds());
     TasksCounter().Increment();
     task.fn();

@@ -48,6 +48,11 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Tasks currently queued and not yet picked up by a worker. A
+  /// point-in-time reading for introspection (statusz); also exported
+  /// continuously as the x3_threadpool_queue_depth gauge.
+  size_t queue_depth() const X3_EXCLUDES(mu_);
+
   /// std::thread::hardware_concurrency() with the zero-means-unknown
   /// case clamped to 1. The meaning of `parallelism = 0` knobs.
   static size_t DefaultConcurrency();
@@ -63,7 +68,7 @@ class ThreadPool {
 
   void WorkerLoop(size_t worker_index) X3_EXCLUDES(mu_);
 
-  Mutex mu_{lock_rank::kThreadPool};
+  mutable Mutex mu_{lock_rank::kThreadPool};
   CondVar cv_;
   std::deque<QueuedTask> queue_ X3_GUARDED_BY(mu_);
   bool stopping_ X3_GUARDED_BY(mu_) = false;

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "util/env.h"
+#include "util/query_id.h"
 #include "util/string_util.h"
 
 namespace x3 {
@@ -15,34 +16,6 @@ int64_t NowMicros() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
-}
-
-void AppendJsonEscaped(std::string_view s, std::string* out) {
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\\':
-        *out += "\\\\";
-        break;
-      case '\n':
-        *out += "\\n";
-        break;
-      case '\t':
-        *out += "\\t";
-        break;
-      case '\r':
-        *out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          *out += StringPrintf("\\u%04x", c);
-        } else {
-          *out += c;
-        }
-    }
-  }
 }
 
 }  // namespace
@@ -68,6 +41,7 @@ void Tracer::Record(char phase, std::string_view label) {
   // reads its clock in program order).
   const int64_t ts = NowMicros();
   const uint32_t tid = CurrentThreadId();
+  const uint64_t qid = CurrentQueryId();
   MutexLock lock(&mu_);
   Event* slot;
   if (ring_.size() < capacity_) {
@@ -82,6 +56,7 @@ void Tracer::Record(char phase, std::string_view label) {
   std::memcpy(slot->label, label.data(), len);
   slot->label[len] = '\0';
   slot->ts_us = ts;
+  slot->qid = qid;
   slot->tid = tid;
   slot->phase = phase;
 }
@@ -191,8 +166,13 @@ std::string Tracer::ToChromeTraceJson() const {
     out += "\n{\"name\":\"";
     AppendJsonEscaped(e.label, &out);
     out += StringPrintf(
-        "\",\"cat\":\"x3\",\"ph\":\"%c\",\"ts\":%lld,\"pid\":1,\"tid\":%u}",
+        "\",\"cat\":\"x3\",\"ph\":\"%c\",\"ts\":%lld,\"pid\":1,\"tid\":%u",
         e.phase, static_cast<long long>(e.ts_us - base_ts), e.tid);
+    if (e.qid != 0) {
+      out += StringPrintf(",\"args\":{\"qid\":%llu}",
+                          static_cast<unsigned long long>(e.qid));
+    }
+    out += "}";
   };
   for (size_t i = 0; i < events.size(); ++i) {
     if (keep[i]) emit(events[i]);

@@ -50,6 +50,7 @@ class Tracer {
   struct Event {
     char label[kMaxLabel + 1];  // NUL-terminated, possibly truncated
     int64_t ts_us;              // monotonic-clock microseconds
+    uint64_t qid;               // CurrentQueryId() at record time, 0 = none
     uint32_t tid;               // small per-thread id (CurrentThreadId)
     char phase;                 // 'B' = span begin, 'E' = span end
   };
@@ -90,11 +91,13 @@ class Tracer {
 
   /// Chrome trace_event JSON ({"traceEvents": [...]}): one matched
   /// B/E pair per surviving span, timestamps rebased to the earliest
-  /// event, plus thread_name metadata. Orphans from ring overwrite are
-  /// repaired: an end without a begin is dropped, a begin without an
-  /// end is closed at its thread's last timestamp — so the output
-  /// always satisfies the pairing/monotonicity invariants the golden
-  /// tests check.
+  /// event, plus thread_name metadata. Span events recorded while a
+  /// query id was established carry `"args":{"qid":N}`, so filtering on
+  /// qid in Perfetto isolates one query's connected track. Orphans from
+  /// ring overwrite are repaired: an end without a begin is dropped, a
+  /// begin without an end is closed at its thread's last timestamp — so
+  /// the output always satisfies the pairing/monotonicity invariants
+  /// the golden tests check.
   std::string ToChromeTraceJson() const X3_EXCLUDES(mu_);
 
   /// Writes ToChromeTraceJson() to `path` through `env`.

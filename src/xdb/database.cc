@@ -180,7 +180,7 @@ Status Database::Checkpoint() {
   // The rename is the commit point: from here the catalog covers every
   // applied transaction, so the WAL's job is done and its segments can
   // go (this also revives a WAL poisoned by a failed commit).
-  durable_lsn_ = last_commit_lsn_;
+  durable_lsn_ = last_commit_lsn_.load(std::memory_order_relaxed);
   if (wal_ != nullptr) {
     X3_RETURN_IF_ERROR(wal_->DeleteAllSegments());
   }

@@ -1,6 +1,7 @@
 #ifndef X3_XDB_DATABASE_H_
 #define X3_XDB_DATABASE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -120,10 +121,18 @@ class Database {
   Status RollbackBatch();
 
   bool in_batch() const { return in_batch_; }
-  /// Highest commit LSN covered by the on-disk catalog.
-  uint64_t durable_lsn() const { return durable_lsn_; }
-  /// Highest commit LSN applied to the in-memory state.
-  uint64_t last_commit_lsn() const { return last_commit_lsn_; }
+  /// Highest commit LSN covered by the on-disk catalog. Relaxed-atomic
+  /// so introspection (X3Server::Statusz) may read the durability
+  /// horizon concurrently with the write lane; mutation still happens
+  /// only under the owner's ingest lock.
+  uint64_t durable_lsn() const {
+    return durable_lsn_.load(std::memory_order_relaxed);
+  }
+  /// Highest commit LSN applied to the in-memory state. Same atomic
+  /// read contract as durable_lsn().
+  uint64_t last_commit_lsn() const {
+    return last_commit_lsn_.load(std::memory_order_relaxed);
+  }
   /// What recovery did (only meaningful after OpenExisting).
   const DatabaseRecoveryStats& recovery_stats() const {
     return recovery_stats_;
@@ -217,8 +226,8 @@ class Database {
   std::vector<NodeId> roots_;
   std::vector<NodeId> empty_;
   std::unique_ptr<WriteAheadLog> wal_;
-  uint64_t durable_lsn_ = 0;
-  uint64_t last_commit_lsn_ = 0;
+  std::atomic<uint64_t> durable_lsn_{0};
+  std::atomic<uint64_t> last_commit_lsn_{0};
   bool in_batch_ = false;
   uint64_t batch_txn_ = 0;
   BatchMarks marks_;
